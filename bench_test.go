@@ -1,0 +1,248 @@
+package gpujoule_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// micro-benchmarks of the substrates. The figure benchmarks run the
+// same harness code as cmd/paper at a reduced workload scale so a
+// single -bench=. pass regenerates the whole evaluation in minutes;
+// use cmd/paper -scale 1 for the paper-scale numbers recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/harness"
+	"gpujoule/internal/interconnect"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/memsys"
+	"gpujoule/internal/silicon"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/workloads"
+)
+
+const benchScale = 0.1
+
+// newHarness builds a fresh harness per benchmark so b.N iterations
+// measure full regeneration cost (no warm cache).
+func benchHarness() *harness.Harness { return harness.New(benchScale) }
+
+func BenchmarkTable1b(b *testing.B) {
+	// Full Fig. 3 calibration against the reference silicon (the
+	// Table Ib regeneration plus the Fig. 4a validation loop).
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		v, err := h.Validate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.TableIb) == 0 || len(v.Fig4b) != 18 {
+			b.Fatal("validation incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchHarness().Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		v, err := h.Validate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.Fig4a) != 5 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		v, err := h.Validate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.Fig4b) != 18 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchHarness().Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchHarness().Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchHarness().Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchHarness().Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchHarness().Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 15 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkLinkEnergyStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchHarness().LinkEnergyStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAmortizationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchHarness().AmortizationStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchHarness().HeadlineStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchHarness().AblationStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := memsys.MustNewCache(2<<20, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*7%100000) * isa.LineBytes)
+	}
+}
+
+func BenchmarkBWResourceAcquire(b *testing.B) {
+	r := memsys.NewBWResource("bench", 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(float64(i), 128)
+	}
+}
+
+func BenchmarkRingSend(b *testing.B) {
+	ring := interconnect.NewRing(32, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring.Send(float64(i), i%32, (i+7)%32, 128)
+	}
+}
+
+func BenchmarkModelEstimate(b *testing.B) {
+	m := core.ProjectionModel(core.OnPackageLinks())
+	var c isa.Counts
+	c.Inst[isa.OpFFMA32] = 1 << 30
+	c.Txn[isa.TxnDRAMToL2] = 1 << 24
+	c.StallCycles = 1 << 20
+	c.Cycles = 1 << 22
+	c.GPMCount = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.EstimateEnergy(&c) <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+func BenchmarkSimulateStream8GPM(b *testing.B) {
+	app, err := workloads.ByName("Stream", workloads.Params{Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.MultiGPM(8, sim.BW2x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSiliconMeasurement(b *testing.B) {
+	dev := silicon.NewK40()
+	app, err := workloads.ByName("Kmeans", workloads.Params{Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Run(app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

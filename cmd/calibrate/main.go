@@ -1,0 +1,54 @@
+// Command calibrate runs the full GPUJoule calibration workflow of
+// Fig. 3 against the reference silicon: microbenchmark measurement,
+// Eq. 5 energy derivation, mixed-benchmark validation (Fig. 4a), and
+// real-application validation (Fig. 4b). It prints the recovered
+// Table Ib alongside the published values.
+//
+// Usage:
+//
+//	calibrate [-scale f] [-apps=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpujoule/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "application scale for Fig. 4b validation")
+	apps := flag.Bool("apps", true, "run the 18-application Fig. 4b validation")
+	flag.Parse()
+
+	h := harness.New(*scale)
+	v, err := h.Validate()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("calibrated against reference silicon in %d iteration(s)\n", v.Calibration.Iterations)
+	fmt.Printf("idle (constant) power: %.1f W, EPStall: %.3f nJ\n\n",
+		v.Calibration.IdleWatts, v.Calibration.Model.EPStall*1e9)
+
+	tables := harness.ValidationTables(v)
+	// Fig. 4b is the last table; skip it when -apps=false.
+	if !*apps {
+		tables = tables[:len(tables)-1]
+	}
+	for _, t := range tables {
+		if err := t.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *apps {
+		fmt.Printf("Fig. 4b mean absolute error: %.1f%% over %d applications (paper: 9.4%%)\n",
+			v.Fig4bMAEPct(), len(v.Fig4b))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+// Command gpmsim simulates one workload on one multi-module GPU
+// configuration and reports performance, event counts, and the
+// GPUJoule energy breakdown.
+//
+// Usage:
+//
+//	gpmsim -workload Stream -gpms 8 [-bw 2x] [-topology ring]
+//	       [-monolithic] [-scale f] [-baseline] [-json]
+//
+// With -baseline, the 1-GPM run is also simulated and scaling metrics
+// (speedup, energy ratio, EDPSE, parallel efficiency) are reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/interconnect"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "Stream", "Table II workload name (see -list)")
+	gpms := flag.Int("gpms", 4, "number of GPU modules (1, 2, 4, 8, 16, 32)")
+	bw := flag.String("bw", "2x", "inter-GPM bandwidth setting: 1x, 2x, or 4x")
+	topo := flag.String("topology", "ring", "inter-GPM topology: ring or switch")
+	mono := flag.Bool("monolithic", false, "fuse modules into a hypothetical monolithic die")
+	scale := flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper scale)")
+	baseline := flag.Bool("baseline", false, "also run 1-GPM and report scaling metrics")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	list := flag.Bool("list", false, "list workload names and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workloads.Names(), "\n"))
+		return
+	}
+
+	app, err := workloads.ByName(*name, workloads.Params{Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg, err := buildConfig(*gpms, *bw, *topo, *mono)
+	if err != nil {
+		fatal(err)
+	}
+	model := core.ProjectionModel(linksFor(cfg))
+
+	res, err := sim.Run(cfg, app)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pt *metrics.ScalingPoint
+	if *baseline && !*mono && *gpms > 1 {
+		base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+		if err != nil {
+			fatal(err)
+		}
+		bs := metrics.Sample{EnergyJoules: model.EstimateEnergy(&base.Counts), DelaySeconds: base.Seconds()}
+		ss := metrics.Sample{EnergyJoules: model.EstimateEnergy(&res.Counts), DelaySeconds: res.Seconds()}
+		p := metrics.Derive(bs, cfg.GPMs, ss)
+		pt = &p
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, app.Name, cfg, model, res, pt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printRun(app.Name, cfg, model, res)
+	if pt != nil {
+		fmt.Printf("\nscaling vs 1-GPM: %v\n", *pt)
+	}
+}
+
+// summary is the -json output schema.
+type summary struct {
+	Workload    string                `json:"workload"`
+	Config      string                `json:"config"`
+	GPMs        int                   `json:"gpms"`
+	Cycles      uint64                `json:"cycles"`
+	Seconds     float64               `json:"seconds"`
+	EnergyJ     float64               `json:"energy_joules"`
+	AvgPowerW   float64               `json:"avg_power_watts"`
+	Launches    int                   `json:"launches"`
+	L1HitRate   float64               `json:"l1_hit_rate"`
+	L2HitRate   float64               `json:"l2_hit_rate"`
+	RemoteFills float64               `json:"remote_fill_fraction"`
+	Breakdown   map[string]float64    `json:"energy_breakdown_joules"`
+	Txns        map[string]uint64     `json:"transactions"`
+	Scaling     *metrics.ScalingPoint `json:"scaling_vs_1gpm,omitempty"`
+}
+
+func writeJSON(w *os.File, app string, cfg sim.Config, model *core.Model, res *sim.Result, pt *metrics.ScalingPoint) error {
+	b := model.Estimate(&res.Counts)
+	out := summary{
+		Workload:    app,
+		Config:      cfg.Name(),
+		GPMs:        cfg.GPMs,
+		Cycles:      res.Counts.Cycles,
+		Seconds:     res.Seconds(),
+		EnergyJ:     b.Total(),
+		AvgPowerW:   b.AveragePower(),
+		Launches:    len(res.Launches),
+		L1HitRate:   res.L1HitRate(),
+		L2HitRate:   res.L2HitRate(),
+		RemoteFills: res.RemoteFillFraction(),
+		Breakdown: map[string]float64{
+			"compute":  b.Compute,
+			"stall":    b.Stall,
+			"constant": b.Constant,
+			"shm_rf":   b.ShmToRF,
+			"l1_rf":    b.L1ToRF,
+			"l2_l1":    b.L2ToL1,
+			"dram_l2":  b.DRAMToL2,
+			"intergpm": b.InterGPM,
+		},
+		Txns:    make(map[string]uint64, isa.NumTxnKinds),
+		Scaling: pt,
+	}
+	for k := 0; k < isa.NumTxnKinds; k++ {
+		kind := isa.TxnKind(k)
+		if n := res.Counts.Txn[kind]; n > 0 {
+			out.Txns[kind.String()] = n
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func buildConfig(gpms int, bw, topo string, mono bool) (sim.Config, error) {
+	var setting sim.BWSetting
+	switch bw {
+	case "1x":
+		setting = sim.BW1x
+	case "2x":
+		setting = sim.BW2x
+	case "4x":
+		setting = sim.BW4x
+	default:
+		return sim.Config{}, fmt.Errorf("unknown bandwidth setting %q (want 1x, 2x, or 4x)", bw)
+	}
+	cfg := sim.MultiGPM(gpms, setting)
+	switch topo {
+	case "ring":
+	case "switch":
+		cfg.Topology = interconnect.TopologySwitch
+		cfg.Domain = sim.DomainOnBoard
+	default:
+		return sim.Config{}, fmt.Errorf("unknown topology %q (want ring or switch)", topo)
+	}
+	cfg.Monolithic = mono
+	return cfg, nil
+}
+
+func linksFor(cfg sim.Config) core.LinkEnergyConfig {
+	if cfg.Domain == sim.DomainOnPackage {
+		return core.OnPackageLinks()
+	}
+	return core.OnBoardLinks()
+}
+
+func printRun(app string, cfg sim.Config, model *core.Model, res *sim.Result) {
+	b := model.Estimate(&res.Counts)
+	fmt.Printf("workload:   %s on %s\n", app, cfg.Name())
+	fmt.Printf("time:       %.3f ms (%d launches)\n", res.Seconds()*1e3, len(res.Launches))
+	fmt.Printf("energy:     %.4f J (avg power %.1f W)\n", b.Total(), b.AveragePower())
+	fmt.Printf("caches:     L1 hit %.1f%%  L2 hit %.1f%%  remote fills %.1f%%\n",
+		res.L1HitRate()*100, res.L2HitRate()*100, res.RemoteFillFraction()*100)
+	fmt.Printf("breakdown:  compute %.3f J | stall %.3f J | const %.3f J\n",
+		b.Compute, b.Stall, b.Constant)
+	fmt.Printf("            shm->RF %.3f J | L1->RF %.3f J | L2->L1 %.3f J | DRAM->L2 %.3f J | inter-GPM %.3f J\n",
+		b.ShmToRF, b.L1ToRF, b.L2ToL1, b.DRAMToL2, b.InterGPM)
+	fmt.Printf("traffic:    DRAM %.1f MB  inter-GPM %.1f MB (%d switch sectors)\n",
+		mb(res.Counts.TotalTransactionBytes(isa.TxnDRAMToL2)),
+		mb(res.Counts.TotalTransactionBytes(isa.TxnInterGPM)),
+		res.Counts.Txn[isa.TxnSwitch])
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpmsim:", err)
+	os.Exit(1)
+}

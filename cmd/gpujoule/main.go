@@ -1,0 +1,83 @@
+// Command gpujoule applies the GPUJoule energy model (Eq. 4) to a
+// workload's event counts and prints the component-wise breakdown —
+// the model alone, decoupled from any particular simulator, as the
+// paper's top-down methodology intends.
+//
+// Usage:
+//
+//	gpujoule -workload Kmeans [-gpms 1] [-scale f] [-model k40|onboard|onpackage]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "Kmeans", "Table II workload name")
+	gpms := flag.Int("gpms", 1, "number of GPU modules")
+	scale := flag.Float64("scale", 0.5, "workload scale factor")
+	modelName := flag.String("model", "k40", "energy model: k40, onboard, or onpackage")
+	flag.Parse()
+
+	var model *core.Model
+	switch *modelName {
+	case "k40":
+		model = core.K40Model()
+	case "onboard":
+		model = core.ProjectionModel(core.OnBoardLinks())
+	case "onpackage":
+		model = core.ProjectionModel(core.OnPackageLinks())
+	default:
+		fatal(fmt.Errorf("unknown model %q (want k40, onboard, or onpackage)", *modelName))
+	}
+
+	app, err := workloads.ByName(*name, workloads.Params{Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(sim.MultiGPM(*gpms, sim.BW2x), app)
+	if err != nil {
+		fatal(err)
+	}
+
+	c := &res.Counts
+	b := model.Estimate(c)
+	fmt.Printf("model %s on %s (%d GPMs)\n\n", model.Name, app.Name, *gpms)
+
+	fmt.Println("event counts:")
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if c.Inst[op] > 0 {
+			fmt.Printf("  inst %-10v %14d (warp %d)\n", op, c.Inst[op], c.WarpInst[op])
+		}
+	}
+	for k := isa.TxnKind(0); int(k) < isa.NumTxnKinds; k++ {
+		if c.Txn[k] > 0 {
+			fmt.Printf("  txn  %-14v %12d (%d bytes)\n", k, c.Txn[k], c.TotalTransactionBytes(k))
+		}
+	}
+	fmt.Printf("  stalls %d SM-cycles, time %d cycles\n\n", c.StallCycles, c.Cycles)
+
+	fmt.Println("Eq. 4 energy breakdown:")
+	fmt.Printf("  SM pipeline (busy)   %10.4f J\n", b.Compute)
+	fmt.Printf("  SM pipeline (idle)   %10.4f J\n", b.Stall)
+	fmt.Printf("  constant overhead    %10.4f J\n", b.Constant)
+	fmt.Printf("  SharedMem->RF        %10.4f J\n", b.ShmToRF)
+	fmt.Printf("  L1->RF               %10.4f J\n", b.L1ToRF)
+	fmt.Printf("  L2->L1               %10.4f J\n", b.L2ToL1)
+	fmt.Printf("  DRAM->L2             %10.4f J\n", b.DRAMToL2)
+	fmt.Printf("  inter-GPM            %10.4f J\n", b.InterGPM)
+	fmt.Printf("  total                %10.4f J  (%.1f W over %.3f ms)\n",
+		b.Total(), b.AveragePower(), b.Seconds*1e3)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpujoule:", err)
+	os.Exit(1)
+}

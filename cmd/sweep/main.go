@@ -1,0 +1,196 @@
+// Command sweep runs workloads across a grid of multi-module designs
+// and emits one CSV row per (workload, design) point: performance,
+// cache behaviour, traffic, energy, and scaling metrics. It is the
+// data-export tool behind custom analyses and plots.
+//
+// Usage:
+//
+//	sweep [-workloads Stream,Lulesh-150 | -all] [-gpms 1,2,4,8,16,32]
+//	      [-bw 1x,2x,4x] [-topologies ring,switch] [-scale f] [-o out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/interconnect"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+	"gpujoule/internal/workloads"
+)
+
+func main() {
+	names := flag.String("workloads", "Stream,Kmeans,Lulesh-150,MiniAMR", "comma-separated Table II workloads")
+	all := flag.Bool("all", false, "sweep the full 14-workload evaluation subset")
+	gpms := flag.String("gpms", "1,2,4,8,16,32", "comma-separated module counts")
+	bws := flag.String("bw", "1x,2x,4x", "comma-separated bandwidth settings")
+	topos := flag.String("topologies", "ring", "comma-separated topologies (ring, switch)")
+	scale := flag.Float64("scale", 0.5, "workload scale factor")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	params := workloads.Params{Scale: *scale}
+	var apps []*trace.App
+	if *all {
+		apps = workloads.Eval14(params)
+	} else {
+		for _, name := range splitList(*names) {
+			app, err := workloads.ByName(name, params)
+			if err != nil {
+				fatal(err)
+			}
+			apps = append(apps, app)
+		}
+	}
+
+	counts, err := parseInts(*gpms)
+	if err != nil {
+		fatal(err)
+	}
+	settings, err := parseBWs(*bws)
+	if err != nil {
+		fatal(err)
+	}
+	topologies, err := parseTopos(*topos)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintln(w, "workload,category,gpms,bw,topology,domain,cycles,seconds,"+
+		"speedup,energy_j,energy_ratio,edpse_pct,avg_power_w,"+
+		"l1_hit,l2_hit,remote_fill_frac,dram_gb,intergpm_gb,stall_frac")
+
+	for _, app := range apps {
+		base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range counts {
+			for _, bw := range settings {
+				for _, topo := range topologies {
+					if n == 1 && topo != interconnect.TopologyRing {
+						continue
+					}
+					cfg := sim.MultiGPM(n, bw)
+					cfg.Topology = topo
+					if topo == interconnect.TopologySwitch {
+						cfg.Domain = sim.DomainOnBoard
+					}
+					model := modelFor(cfg)
+					res := base
+					if n > 1 || bw != sim.BW2x {
+						res, err = sim.Run(cfg, app)
+						if err != nil {
+							fatal(err)
+						}
+					}
+					emit(w, app, cfg, model, base, res)
+				}
+				if n == 1 {
+					break // the 1-GPM design has no fabric; one row suffices
+				}
+			}
+		}
+	}
+}
+
+func emit(w *os.File, app *trace.App, cfg sim.Config, model *core.Model, base, res *sim.Result) {
+	b := model.Estimate(&res.Counts)
+	bs := metrics.Sample{EnergyJoules: model.EstimateEnergy(&base.Counts), DelaySeconds: base.Seconds()}
+	ss := metrics.Sample{EnergyJoules: b.Total(), DelaySeconds: res.Seconds()}
+	pt := metrics.Derive(bs, cfg.GPMs, ss)
+	stallFrac := float64(res.Counts.StallCycles) /
+		(float64(res.Counts.Cycles) * float64(res.Counts.SMCount))
+	fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%d,%.6g,%.4g,%.6g,%.4g,%.4g,%.4g,%.4f,%.4f,%.4f,%.4g,%.4g,%.4f\n",
+		app.Name, app.Category, cfg.GPMs, cfg.InterGPM, cfg.Topology, cfg.Domain,
+		res.Counts.Cycles, res.Seconds(),
+		pt.Speedup, ss.EnergyJoules, pt.EnergyRatio, pt.EDPSE, b.AveragePower(),
+		res.L1HitRate(), res.L2HitRate(), res.RemoteFillFraction(),
+		gb(res.Counts.TotalTransactionBytes(isa.TxnDRAMToL2)),
+		gb(res.Counts.TotalTransactionBytes(isa.TxnInterGPM)),
+		stallFrac)
+}
+
+func modelFor(cfg sim.Config) *core.Model {
+	if cfg.Domain == sim.DomainOnPackage {
+		return core.ProjectionModel(core.OnPackageLinks())
+	}
+	return core.ProjectionModel(core.OnBoardLinks())
+}
+
+func gb(b uint64) float64 { return float64(b) / (1 << 30) }
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad module count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseBWs(s string) ([]sim.BWSetting, error) {
+	var out []sim.BWSetting
+	for _, p := range splitList(s) {
+		switch p {
+		case "1x":
+			out = append(out, sim.BW1x)
+		case "2x":
+			out = append(out, sim.BW2x)
+		case "4x":
+			out = append(out, sim.BW4x)
+		default:
+			return nil, fmt.Errorf("bad bandwidth setting %q (want 1x, 2x, 4x)", p)
+		}
+	}
+	return out, nil
+}
+
+func parseTopos(s string) ([]interconnect.Topology, error) {
+	var out []interconnect.Topology
+	for _, p := range splitList(s) {
+		switch p {
+		case "ring":
+			out = append(out, interconnect.TopologyRing)
+		case "switch":
+			out = append(out, interconnect.TopologySwitch)
+		default:
+			return nil, fmt.Errorf("bad topology %q (want ring or switch)", p)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

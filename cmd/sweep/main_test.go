@@ -1,0 +1,61 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"gpujoule/internal/interconnect"
+	"gpujoule/internal/sim"
+)
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitList = %v, want %v", got, want)
+	}
+	if splitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1,2,32")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 32}) {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "0", "-2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseBWs(t *testing.T) {
+	got, err := parseBWs("1x,2x,4x")
+	if err != nil || !reflect.DeepEqual(got, []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x}) {
+		t.Errorf("parseBWs = %v, %v", got, err)
+	}
+	if _, err := parseBWs("8x"); err == nil {
+		t.Error("unknown setting should fail")
+	}
+}
+
+func TestParseTopos(t *testing.T) {
+	got, err := parseTopos("ring,switch")
+	if err != nil || !reflect.DeepEqual(got, []interconnect.Topology{
+		interconnect.TopologyRing, interconnect.TopologySwitch}) {
+		t.Errorf("parseTopos = %v, %v", got, err)
+	}
+	if _, err := parseTopos("torus"); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	onPkg := modelFor(sim.MultiGPM(4, sim.BW2x))
+	onBoard := modelFor(sim.MultiGPM(4, sim.BW1x))
+	if onPkg.Amortization == 0 || onBoard.Amortization != 0 {
+		t.Error("model selection by domain wrong")
+	}
+}

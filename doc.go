@@ -1,0 +1,16 @@
+// Package gpujoule reproduces "Understanding the Future of Energy
+// Efficiency in Multi-Module GPUs" (Arunkumar, Bolotin, Nellans, Wu —
+// HPCA 2019): the GPUJoule top-down instruction-based GPU energy model,
+// the EDP Scaling Efficiency metric, a trace-driven multi-GPM GPU
+// performance simulator, a reference-silicon substitute for model
+// calibration and validation, the 18 Table II workloads, and an
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root-level benchmarks (bench_test.go) regenerate each
+// experiment; run them with:
+//
+//	go test -bench=. -benchmem
+package gpujoule

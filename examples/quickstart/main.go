@@ -1,0 +1,53 @@
+// Quickstart: simulate one workload on a 4-module GPU, estimate its
+// energy with GPUJoule, and compute the paper's EDP Scaling Efficiency
+// against the single-module baseline — the whole pipeline in ~40
+// lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/workloads"
+)
+
+func main() {
+	// 1. Build a workload trace (Table II's STREAM triad, reduced size).
+	app, err := workloads.ByName("Stream", workloads.Params{Scale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Simulate it on the 1-GPM baseline and on a 4-GPM on-package
+	//    design with 1:1 inter-GPM to DRAM bandwidth (Table IV, 2x-BW).
+	base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quad, err := sim.Run(sim.MultiGPM(4, sim.BW2x), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Estimate energy with the GPUJoule projection model (Eq. 4).
+	model := core.ProjectionModel(core.OnPackageLinks())
+	baseSample := metrics.Sample{
+		EnergyJoules: model.EstimateEnergy(&base.Counts),
+		DelaySeconds: base.Seconds(),
+	}
+	quadSample := metrics.Sample{
+		EnergyJoules: model.EstimateEnergy(&quad.Counts),
+		DelaySeconds: quad.Seconds(),
+	}
+
+	// 4. Derive the scaling metrics (Eqs. 1-2).
+	pt := metrics.Derive(baseSample, 4, quadSample)
+	fmt.Printf("%s: 1-GPM %.3f ms / %.3f J -> 4-GPM %.3f ms / %.3f J\n",
+		app.Name,
+		baseSample.DelaySeconds*1e3, baseSample.EnergyJoules,
+		quadSample.DelaySeconds*1e3, quadSample.EnergyJoules)
+	fmt.Println(pt)
+}

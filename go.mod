@@ -1,0 +1,3 @@
+module gpujoule
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package bottomup implements a GPUWattch/McPAT-style bottom-up GPU
+// energy model: per-microarchitectural-component access energies plus
+// structure leakage and clock power, combined with switching-activity
+// counts (§II).
+//
+// The paper's motivation for GPUJoule is that such models are fragile:
+// every parameter encodes guessed microarchitectural detail, and a
+// model tuned for one generation mis-predicts the next until it is
+// painstakingly retuned ("adopting a commonly used bottom-up energy
+// model that was tuned for NVIDIA's Fermi architecture without
+// retuning it to the Kepler generation led to an average error of over
+// 100%"). This package exists to reproduce that comparison against the
+// reference silicon: a Kepler-tuned instance tracks reality, while the
+// Fermi-tuned instance — correct for its own generation — overshoots
+// badly on Kepler-class hardware.
+package bottomup
+
+import (
+	"fmt"
+
+	"gpujoule/internal/isa"
+)
+
+// Params is a bottom-up parameterization: per-component access
+// energies (joules) and static/clock power (watts), all of which a
+// modeler must guess from die photos, process scaling rules, and
+// microbenchmark reverse engineering.
+type Params struct {
+	// Name identifies the tuning (e.g. "Fermi-40nm").
+	Name string
+
+	// Per-thread-instruction front-end energy: fetch, decode,
+	// scheduling, and operand-collector overhead.
+	FrontEnd float64
+	// Register-file energy per operand access.
+	RFAccess float64
+	// OperandsPerInst is the modeled average operand count.
+	OperandsPerInst float64
+
+	// Functional-unit energy per thread operation, by unit.
+	IntALU, FP32ALU, FP64ALU, SFU float64
+
+	// Memory-structure energies per modeled transaction. The
+	// transaction granularity is itself a microarchitectural guess:
+	// TxnBytes is what the modeler believes the L2/DRAM transfer size
+	// is (128 B on Fermi, 32 B sectors on Kepler).
+	SharedAccess, L1Access, L2Access, DRAMAccess float64
+	TxnBytes                                     int
+
+	// Static power: leakage per SM and per MB of L2, plus clock-tree
+	// power per SM and board overhead.
+	LeakPerSM, LeakPerMBL2, ClockPerSM, Board float64
+}
+
+// Model applies a Params tuning to event counts.
+type Model struct {
+	P Params
+	// SMs and L2MB describe the machine the model THINKS it is
+	// estimating (the Kepler-class reference: 16 SMs, 2 MB L2).
+	SMs  int
+	L2MB float64
+	// ClockHz converts cycles to seconds.
+	ClockHz float64
+}
+
+// New builds a bottom-up model instance for a 16-SM, 2-MB-L2 module at
+// 1 GHz.
+func New(p Params) *Model {
+	return &Model{P: p, SMs: 16, L2MB: 2, ClockHz: 1e9}
+}
+
+// unitFor maps an instruction class to its functional-unit energy.
+func (m *Model) unitFor(op isa.Op) float64 {
+	switch op {
+	case isa.OpIAdd32, isa.OpISub32, isa.OpAnd32, isa.OpOr32, isa.OpXor32:
+		return m.P.IntALU
+	case isa.OpIMul32, isa.OpIMad32:
+		return m.P.IntALU * 2
+	case isa.OpFAdd32, isa.OpFMul32, isa.OpFFMA32:
+		return m.P.FP32ALU
+	case isa.OpFAdd64, isa.OpFMul64, isa.OpFFMA64:
+		return m.P.FP64ALU
+	case isa.OpSin32, isa.OpCos32, isa.OpSqrt32, isa.OpLog2_32, isa.OpExp2_32, isa.OpRcp32:
+		return m.P.SFU
+	default:
+		return 0
+	}
+}
+
+// Estimate computes the bottom-up energy of a run from its event
+// counts. Unlike GPUJoule's Eq. 4, every term leans on assumed
+// microarchitectural structure (operand counts, transaction sizes,
+// leakage per structure).
+func (m *Model) Estimate(c *isa.Counts) float64 {
+	var dynamic float64
+	for op := isa.OpFAdd32; op <= isa.OpRcp32; op++ {
+		n := float64(c.Inst[op])
+		dynamic += n * (m.P.FrontEnd + m.P.OperandsPerInst*m.P.RFAccess + m.unitFor(op))
+	}
+	// Memory instructions pay front-end and RF costs too.
+	for _, op := range []isa.Op{isa.OpLoadGlobal, isa.OpStoreGlobal, isa.OpLoadShared, isa.OpStoreShared} {
+		dynamic += float64(c.Inst[op]) * (m.P.FrontEnd + m.P.RFAccess)
+	}
+
+	// Data movement at the modeler's assumed transaction size: counts
+	// are in 32-byte sectors (what the hardware reports); the model
+	// re-buckets them into its own granularity.
+	sectorsPerTxn := float64(m.P.TxnBytes) / float64(isa.SectorBytes)
+	dynamic += float64(c.Txn[isa.TxnShmToRF]) * m.P.SharedAccess
+	dynamic += float64(c.Txn[isa.TxnL1ToRF]) * m.P.L1Access
+	dynamic += float64(c.Txn[isa.TxnL2ToL1]) / sectorsPerTxn * m.P.L2Access
+	dynamic += float64(c.Txn[isa.TxnDRAMToL2]) / sectorsPerTxn * m.P.DRAMAccess
+
+	seconds := float64(c.Cycles) / m.ClockHz
+	static := (m.P.LeakPerSM+m.P.ClockPerSM)*float64(m.SMs) +
+		m.P.LeakPerMBL2*m.L2MB + m.P.Board
+	return dynamic + static*seconds
+}
+
+// TunedKepler returns a bottom-up parameterization tuned for the
+// 28 nm Kepler-class reference silicon: with its transaction sizes and
+// process energies right, it lands in the same accuracy class as the
+// calibrated top-down model (minus the effects neither can see).
+func TunedKepler() *Model {
+	return New(Params{
+		Name:            "Kepler-28nm",
+		FrontEnd:        0.015e-9,
+		RFAccess:        0.008e-9,
+		OperandsPerInst: 3,
+		IntALU:          0.030e-9,
+		FP32ALU:         0.012e-9,
+		FP64ALU:         0.115e-9,
+		SFU:             0.055e-9,
+		SharedAccess:    5.2e-9,
+		L1Access:        5.7e-9,
+		L2Access:        3.9e-9, // per 32 B sector
+		DRAMAccess:      7.7e-9, // per 32 B sector
+		TxnBytes:        32,     // Kepler L2/DRAM move sectors
+		LeakPerSM:       0.9,
+		LeakPerMBL2:     1.2,
+		ClockPerSM:      1.05,
+		Board:           22,
+	})
+}
+
+// TunedFermi returns the same model tuned for 40 nm Fermi — correct
+// for its own generation, wrong for Kepler: roughly 2x the per-op
+// dynamic energy (process node), higher leakage, and 128-byte
+// non-sectored L2/DRAM transactions. Applying it to Kepler-class
+// counts reproduces the >100% average error of §II.
+func TunedFermi() *Model {
+	return New(Params{
+		Name:            "Fermi-40nm",
+		FrontEnd:        0.033e-9,
+		RFAccess:        0.017e-9,
+		OperandsPerInst: 3,
+		IntALU:          0.065e-9,
+		FP32ALU:         0.026e-9,
+		FP64ALU:         0.24e-9,
+		SFU:             0.12e-9,
+		SharedAccess:    10.5e-9,
+		L1Access:        11.5e-9,
+		L2Access:        16.0e-9, // per assumed 128 B line
+		DRAMAccess:      31.0e-9, // per assumed 128 B line
+		TxnBytes:        128,     // Fermi moved whole lines
+		LeakPerSM:       2.1,
+		LeakPerMBL2:     2.6,
+		ClockPerSM:      1.9,
+		Board:           28,
+	})
+}
+
+// String describes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("bottom-up(%s)", m.P.Name)
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/isa"
+)
+
+// Applying Eq. 4 to hand-written event counts: a billion FMAs, some
+// DRAM traffic, stalls, and a millisecond of wall time on one module.
+func ExampleModel_Estimate() {
+	m := core.K40Model()
+
+	var c isa.Counts
+	c.Inst[isa.OpFFMA32] = 1e9
+	c.Txn[isa.TxnDRAMToL2] = 2e6
+	c.StallCycles = 5e6
+	c.Cycles = 1e6 // 1 ms at 1 GHz
+	c.SMCount = 16
+	c.GPMCount = 1
+
+	b := m.Estimate(&c)
+	fmt.Printf("compute  %.4f J\n", b.Compute)
+	fmt.Printf("DRAM->L2 %.4f J\n", b.DRAMToL2)
+	fmt.Printf("stalls   %.4f J\n", b.Stall)
+	fmt.Printf("constant %.4f J\n", b.Constant)
+	fmt.Printf("total    %.4f J\n", b.Total())
+	// Output:
+	// compute  0.0500 J
+	// DRAM->L2 0.0156 J
+	// stalls   0.0110 J
+	// constant 0.0250 J
+	// total    0.1016 J
+}
+
+// The multi-module projection replaces the K40's GDDR5 DRAM energy
+// with HBM and adds integration-domain link costs (§V-A2).
+func ExampleProjectionModel() {
+	onPkg := core.ProjectionModel(core.OnPackageLinks())
+	onBoard := core.ProjectionModel(core.OnBoardLinks())
+
+	fmt.Printf("HBM DRAM->L2: %.2f nJ/sector\n", onPkg.EPT[isa.TxnDRAMToL2]*1e9)
+	fmt.Printf("on-package link: %.3f nJ/sector-hop\n", onPkg.EPT[isa.TxnInterGPM]*1e9)
+	fmt.Printf("on-board link: %.2f nJ/sector-hop\n", onBoard.EPT[isa.TxnInterGPM]*1e9)
+	fmt.Printf("on-package amortization: %.0f%%\n", onPkg.Amortization*100)
+	// Output:
+	// HBM DRAM->L2: 5.40 nJ/sector
+	// on-package link: 0.138 nJ/sector-hop
+	// on-board link: 2.56 nJ/sector-hop
+	// on-package amortization: 50%
+}
+
+// Constant power amortization under on-package integration (§V-A2):
+// with a 50% rate, half the per-module constant power is shared.
+func ExampleModel_ConstantPowerTotal() {
+	m := core.ProjectionModel(core.OnPackageLinks())
+	fmt.Printf("1 GPM:  %.1f W\n", m.ConstantPowerTotal(1))
+	fmt.Printf("32 GPM: %.1f W\n", m.ConstantPowerTotal(32))
+	fmt.Printf("32 GPM, no amortization: %.1f W\n", m.WithAmortization(0).ConstantPowerTotal(32))
+	// Output:
+	// 1 GPM:  25.0 W
+	// 32 GPM: 412.5 W
+	// 32 GPM, no amortization: 800.0 W
+}

@@ -1,0 +1,192 @@
+// Package core implements GPUJoule, the paper's top-down
+// instruction-based GPU energy estimation framework (§IV), and its
+// multi-module extensions (§V-A2).
+//
+// The model is Eq. 4 of the paper:
+//
+//	E = Σc EPIc·ICc + Σm EPTm·TCm + EPStall·stalls + ConstPower·T
+//
+// It is deliberately decoupled from microarchitectural detail: its only
+// inputs are the per-class instruction counts, data-movement
+// transaction counts, lane-stall cycles, and execution time collected
+// by any performance simulator (or hardware counters).
+package core
+
+import (
+	"fmt"
+
+	"gpujoule/internal/isa"
+)
+
+// Physical unit helpers. The model works in joules and seconds.
+const (
+	// NanoJoule is 1 nJ in joules.
+	NanoJoule = 1e-9
+	// PicoJoulePerBit converts a pJ/bit link cost into joules/bit.
+	PicoJoulePerBit = 1e-12
+)
+
+// Published per-bit energy costs used by the multi-module projection
+// (§V-A2).
+const (
+	// HBMPicoJoulePerBit is the DRAM-to-L2 energy of an HBM stack
+	// (O'Connor et al., used in place of the K40's GDDR5).
+	HBMPicoJoulePerBit = 21.1
+	// OnPackagePicoJoulePerBit is the ground-referenced single-ended
+	// on-package link cost (Poulton et al.).
+	OnPackagePicoJoulePerBit = 0.54
+	// OnBoardPicoJoulePerBit is the estimated on-board link cost.
+	OnBoardPicoJoulePerBit = 10
+	// SwitchPicoJoulePerBit is the additional cost of traversing a
+	// high-radix switch chip (§V-C footnote).
+	SwitchPicoJoulePerBit = 10
+)
+
+// Model is a GPUJoule energy model instance: the calibrated EPI/EPT
+// tables plus the constant-power and stall terms of Eq. 4, extended
+// with the multi-module constant-energy amortization of §V-A2.
+type Model struct {
+	// Name describes the model's provenance (e.g. "K40 Table Ib").
+	Name string
+
+	// EPI[op] is the energy per thread-level instruction, in joules.
+	// Memory and control opcodes carry zero (their energy is accounted
+	// through transactions and stalls).
+	EPI [isa.NumOps]float64
+
+	// EPT[kind] is the energy per data-movement transaction, in joules.
+	EPT [isa.NumTxnKinds]float64
+
+	// EPStall is the energy per SM lane-stall cycle, in joules.
+	EPStall float64
+
+	// ConstPower is the per-GPM constant (idle) power in watts:
+	// voltage regulators, power delivery, host I/O, static power.
+	ConstPower float64
+
+	// ClockHz converts cycle counts to seconds.
+	ClockHz float64
+
+	// Amortization is the fraction of per-GPM constant power that is
+	// shared across modules rather than replicated (0 for on-board
+	// integration; 0.5 assumed for on-package, §V-A2). With
+	// amortization a and N modules the total constant power is
+	// ConstPower·((1−a)·N + a).
+	Amortization float64
+}
+
+// Validate reports structural problems with the model.
+func (m *Model) Validate() error {
+	if m.ClockHz <= 0 {
+		return fmt.Errorf("core: model %q: clock must be positive, got %g", m.Name, m.ClockHz)
+	}
+	if m.ConstPower < 0 || m.EPStall < 0 {
+		return fmt.Errorf("core: model %q: negative constant terms", m.Name)
+	}
+	if m.Amortization < 0 || m.Amortization > 1 {
+		return fmt.Errorf("core: model %q: amortization %g outside [0,1]", m.Name, m.Amortization)
+	}
+	for op, e := range m.EPI {
+		if e < 0 {
+			return fmt.Errorf("core: model %q: negative EPI for %v", m.Name, isa.Op(op))
+		}
+	}
+	for k, e := range m.EPT {
+		if e < 0 {
+			return fmt.Errorf("core: model %q: negative EPT for %v", m.Name, isa.TxnKind(k))
+		}
+	}
+	return nil
+}
+
+// ConstantPowerTotal returns the machine-wide constant power for a
+// design with gpms modules, applying amortization.
+func (m *Model) ConstantPowerTotal(gpms int) float64 {
+	if gpms < 1 {
+		gpms = 1
+	}
+	return m.ConstPower * ((1-m.Amortization)*float64(gpms) + m.Amortization)
+}
+
+// Breakdown is a component-wise energy decomposition in joules, using
+// the categories of Fig. 7.
+type Breakdown struct {
+	// Compute is the SM Pipeline (Busy) term: Σ EPI·IC.
+	Compute float64
+	// Stall is the SM Pipeline (Idle) term: EPStall·stalls.
+	Stall float64
+	// Constant is the constant-energy overhead: ConstPower·T.
+	Constant float64
+	// ShmToRF, L1ToRF, L2ToL1, DRAMToL2 are the intra-module
+	// data-movement terms.
+	ShmToRF, L1ToRF, L2ToL1, DRAMToL2 float64
+	// InterGPM is the inter-module term (link hops plus any switch
+	// traversals).
+	InterGPM float64
+	// Seconds is the execution time used for the constant term.
+	Seconds float64
+}
+
+// Total returns the summed energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.Compute + b.Stall + b.Constant +
+		b.ShmToRF + b.L1ToRF + b.L2ToL1 + b.DRAMToL2 + b.InterGPM
+}
+
+// AveragePower returns the run-average power in watts.
+func (b Breakdown) AveragePower() float64 {
+	if b.Seconds <= 0 {
+		return 0
+	}
+	return b.Total() / b.Seconds
+}
+
+// Estimate applies Eq. 4 to the event counts of one run.
+func (m *Model) Estimate(c *isa.Counts) Breakdown {
+	var b Breakdown
+	for op := range c.Inst {
+		b.Compute += m.EPI[op] * float64(c.Inst[op])
+	}
+	b.ShmToRF = m.EPT[isa.TxnShmToRF] * float64(c.Txn[isa.TxnShmToRF])
+	b.L1ToRF = m.EPT[isa.TxnL1ToRF] * float64(c.Txn[isa.TxnL1ToRF])
+	b.L2ToL1 = m.EPT[isa.TxnL2ToL1] * float64(c.Txn[isa.TxnL2ToL1])
+	b.DRAMToL2 = m.EPT[isa.TxnDRAMToL2] * float64(c.Txn[isa.TxnDRAMToL2])
+	b.InterGPM = m.EPT[isa.TxnInterGPM]*float64(c.Txn[isa.TxnInterGPM]) +
+		m.EPT[isa.TxnSwitch]*float64(c.Txn[isa.TxnSwitch])
+	b.Stall = m.EPStall * float64(c.StallCycles)
+	b.Seconds = float64(c.Cycles) / m.ClockHz
+	b.Constant = m.ConstantPowerTotal(c.GPMCount) * b.Seconds
+	return b
+}
+
+// EstimateEnergy returns just the total energy in joules.
+func (m *Model) EstimateEnergy(c *isa.Counts) float64 { return m.Estimate(c).Total() }
+
+// PerBitToSector converts a pJ/bit cost into joules per 32-byte sector.
+func PerBitToSector(pJPerBit float64) float64 {
+	return pJPerBit * PicoJoulePerBit * float64(isa.SectorBytes) * 8
+}
+
+// Clone returns a deep copy of the model (arrays copy by value).
+func (m *Model) Clone() *Model {
+	cp := *m
+	return &cp
+}
+
+// WithLinkEnergy returns a copy whose inter-GPM link cost is scaled by
+// factor (the §V-C link-energy sensitivity study).
+func (m *Model) WithLinkEnergy(factor float64) *Model {
+	cp := m.Clone()
+	cp.EPT[isa.TxnInterGPM] *= factor
+	cp.Name = fmt.Sprintf("%s(link×%g)", m.Name, factor)
+	return cp
+}
+
+// WithAmortization returns a copy with the given constant-energy
+// amortization rate (the §V-C amortization sensitivity study).
+func (m *Model) WithAmortization(rate float64) *Model {
+	cp := m.Clone()
+	cp.Amortization = rate
+	cp.Name = fmt.Sprintf("%s(amort=%g)", m.Name, rate)
+	return cp
+}

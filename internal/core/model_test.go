@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpujoule/internal/isa"
+)
+
+func TestK40ModelMatchesTableIb(t *testing.T) {
+	m := K40Model()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the published values (nJ).
+	cases := []struct {
+		op   isa.Op
+		want float64
+	}{
+		{isa.OpFAdd32, 0.06}, {isa.OpFFMA32, 0.05}, {isa.OpIAdd32, 0.07},
+		{isa.OpSin32, 0.10}, {isa.OpIMad32, 0.15}, {isa.OpFFMA64, 0.16},
+		{isa.OpSqrt32, 0.02}, {isa.OpRcp32, 0.31},
+	}
+	for _, c := range cases {
+		if got := m.EPI[c.op] * 1e9; math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("EPI[%v] = %g nJ, want %g", c.op, got, c.want)
+		}
+	}
+	txns := []struct {
+		k    isa.TxnKind
+		want float64
+	}{
+		{isa.TxnShmToRF, 5.45}, {isa.TxnL1ToRF, 5.99},
+		{isa.TxnL2ToL1, 3.96}, {isa.TxnDRAMToL2, 7.82},
+	}
+	for _, c := range txns {
+		if got := m.EPT[c.k] * 1e9; math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("EPT[%v] = %g nJ, want %g", c.k, got, c.want)
+		}
+	}
+	// Every Table Ib compute row must carry an EPI.
+	for _, op := range isa.ComputeOps() {
+		if m.EPI[op] == 0 {
+			t.Errorf("EPI[%v] missing", op)
+		}
+	}
+	// Memory and control opcodes carry none.
+	if m.EPI[isa.OpLoadGlobal] != 0 || m.EPI[isa.OpBarrier] != 0 {
+		t.Error("memory/control opcodes must have zero EPI")
+	}
+}
+
+func TestTableIbSectorArithmetic(t *testing.T) {
+	// The published per-bit numbers imply the transaction sizes used by
+	// the simulator: ≈128 B for RF-facing classes, ≈32 B sectors below.
+	check := func(nJ, pJPerBit float64, wantBytes float64) {
+		bytes := nJ * 1e-9 / (pJPerBit * 1e-12) / 8
+		if math.Abs(bytes-wantBytes) > wantBytes*0.05 {
+			t.Errorf("%g nJ at %g pJ/bit implies %.1f bytes, want %g", nJ, pJPerBit, bytes, wantBytes)
+		}
+	}
+	check(5.45, 5.32, 128) // SharedMem->RF
+	check(5.99, 5.85, 128) // L1->RF
+	check(3.96, 15.48, 32) // L2->L1
+	check(7.82, 30.55, 32) // DRAM->L2
+}
+
+func TestEstimateHandComputed(t *testing.T) {
+	m := &Model{
+		Name:       "hand",
+		EPStall:    2e-9,
+		ConstPower: 10,
+		ClockHz:    1e9,
+	}
+	m.EPI[isa.OpFFMA32] = 1e-9
+	m.EPT[isa.TxnDRAMToL2] = 4e-9
+
+	var c isa.Counts
+	c.Inst[isa.OpFFMA32] = 1000
+	c.Txn[isa.TxnDRAMToL2] = 500
+	c.StallCycles = 100
+	c.Cycles = 2000 // 2 µs
+	c.GPMCount = 1
+
+	b := m.Estimate(&c)
+	if math.Abs(b.Compute-1e-6) > 1e-12 {
+		t.Errorf("compute %g, want 1e-6", b.Compute)
+	}
+	if math.Abs(b.DRAMToL2-2e-6) > 1e-12 {
+		t.Errorf("dram %g, want 2e-6", b.DRAMToL2)
+	}
+	if math.Abs(b.Stall-2e-7) > 1e-13 {
+		t.Errorf("stall %g, want 2e-7", b.Stall)
+	}
+	if math.Abs(b.Constant-2e-5) > 1e-11 {
+		t.Errorf("constant %g, want 2e-5", b.Constant)
+	}
+	want := 1e-6 + 2e-6 + 2e-7 + 2e-5
+	if math.Abs(b.Total()-want) > 1e-12 {
+		t.Errorf("total %g, want %g", b.Total(), want)
+	}
+	if p := b.AveragePower(); math.Abs(p-want/2e-6) > 1e-6 {
+		t.Errorf("avg power %g", p)
+	}
+}
+
+func TestConstantPowerAmortization(t *testing.T) {
+	m := K40Model()
+	m.Amortization = 0.5
+	// §V-A2: with 50% amortization, half the per-GPM constant power
+	// scales with module count and half is shared.
+	if got := m.ConstantPowerTotal(1); math.Abs(got-m.ConstPower) > 1e-9 {
+		t.Errorf("1 GPM total %g, want %g", got, m.ConstPower)
+	}
+	if got := m.ConstantPowerTotal(32); math.Abs(got-m.ConstPower*16.5) > 1e-9 {
+		t.Errorf("32 GPM total %g, want %g", got, m.ConstPower*16.5)
+	}
+	m.Amortization = 0
+	if got := m.ConstantPowerTotal(32); math.Abs(got-m.ConstPower*32) > 1e-9 {
+		t.Errorf("unamortized 32 GPM total %g, want linear", got)
+	}
+}
+
+func TestProjectionModelSubstitutions(t *testing.T) {
+	p := ProjectionModel(OnPackageLinks())
+	k40 := K40Model()
+	// HBM replaces GDDR5 for DRAM->L2 (21.1 pJ/bit over a 32 B sector).
+	wantDRAM := PerBitToSector(HBMPicoJoulePerBit)
+	if math.Abs(p.EPT[isa.TxnDRAMToL2]-wantDRAM) > 1e-15 {
+		t.Errorf("projection DRAM EPT %g, want %g", p.EPT[isa.TxnDRAMToL2], wantDRAM)
+	}
+	if p.EPT[isa.TxnDRAMToL2] >= k40.EPT[isa.TxnDRAMToL2] {
+		t.Error("HBM must cost less per sector than GDDR5")
+	}
+	// On-package links at 0.54 pJ/bit; on-board at 10 pJ/bit.
+	if math.Abs(p.EPT[isa.TxnInterGPM]-PerBitToSector(0.54)) > 1e-15 {
+		t.Error("on-package link energy wrong")
+	}
+	b := ProjectionModel(OnBoardLinks())
+	if math.Abs(b.EPT[isa.TxnInterGPM]-PerBitToSector(10)) > 1e-15 {
+		t.Error("on-board link energy wrong")
+	}
+	if p.Amortization != 0.5 || b.Amortization != 0 {
+		t.Error("domain amortization defaults wrong")
+	}
+	// Compute EPIs are inherited unchanged.
+	for _, op := range isa.ComputeOps() {
+		if p.EPI[op] != k40.EPI[op] {
+			t.Errorf("projection changed EPI[%v]", op)
+		}
+	}
+}
+
+func TestPerBitToSector(t *testing.T) {
+	// 10 pJ/bit over 32 bytes = 10e-12 * 256 = 2.56 nJ.
+	if got := PerBitToSector(10); math.Abs(got-2.56e-9) > 1e-15 {
+		t.Errorf("PerBitToSector(10) = %g, want 2.56e-9", got)
+	}
+}
+
+func TestWithLinkEnergy(t *testing.T) {
+	m := ProjectionModel(OnBoardLinks())
+	m4 := m.WithLinkEnergy(4)
+	if math.Abs(m4.EPT[isa.TxnInterGPM]-4*m.EPT[isa.TxnInterGPM]) > 1e-18 {
+		t.Error("link energy not scaled")
+	}
+	if m4.EPT[isa.TxnDRAMToL2] != m.EPT[isa.TxnDRAMToL2] {
+		t.Error("WithLinkEnergy must not touch other classes")
+	}
+	if m.EPT[isa.TxnInterGPM] == m4.EPT[isa.TxnInterGPM] {
+		t.Error("original model mutated")
+	}
+}
+
+func TestWithAmortization(t *testing.T) {
+	m := ProjectionModel(OnPackageLinks())
+	m25 := m.WithAmortization(0.25)
+	if m25.Amortization != 0.25 || m.Amortization != 0.5 {
+		t.Error("WithAmortization must copy, not mutate")
+	}
+}
+
+func TestModelValidateRejections(t *testing.T) {
+	bad := K40Model()
+	bad.ClockHz = 0
+	if bad.Validate() == nil {
+		t.Error("zero clock must fail")
+	}
+	bad = K40Model()
+	bad.Amortization = 1.5
+	if bad.Validate() == nil {
+		t.Error("amortization >1 must fail")
+	}
+	bad = K40Model()
+	bad.EPI[isa.OpFAdd32] = -1
+	if bad.Validate() == nil {
+		t.Error("negative EPI must fail")
+	}
+	bad = K40Model()
+	bad.EPT[isa.TxnL2ToL1] = -1
+	if bad.Validate() == nil {
+		t.Error("negative EPT must fail")
+	}
+}
+
+func TestEstimateLinearityProperty(t *testing.T) {
+	// Property: Eq. 4 is linear — doubling every event count and the
+	// execution time doubles the energy.
+	m := ProjectionModel(OnPackageLinks())
+	f := func(inst, txn uint16, stalls, cycles uint16) bool {
+		var c isa.Counts
+		c.Inst[isa.OpFFMA32] = uint64(inst)
+		c.Txn[isa.TxnDRAMToL2] = uint64(txn)
+		c.StallCycles = uint64(stalls)
+		c.Cycles = uint64(cycles) + 1
+		c.GPMCount = 4
+
+		double := c
+		double.Inst[isa.OpFFMA32] *= 2
+		double.Txn[isa.TxnDRAMToL2] *= 2
+		double.StallCycles *= 2
+		double.Cycles *= 2
+
+		e1 := m.EstimateEnergy(&c)
+		e2 := m.EstimateEnergy(&double)
+		return math.Abs(e2-2*e1) <= 1e-9*math.Max(1, e2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownAveragePowerZeroTime(t *testing.T) {
+	var b Breakdown
+	if b.AveragePower() != 0 {
+		t.Error("zero-time breakdown must report zero power")
+	}
+}

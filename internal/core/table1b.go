@@ -1,0 +1,118 @@
+package core
+
+import (
+	"gpujoule/internal/isa"
+)
+
+// Table Ib of the paper: EPI and EPT values measured on an NVIDIA
+// Tesla K40 with the GPUJoule microbenchmark methodology. All values
+// in nanojoules (converted to joules in the constructed model).
+var tableIbEPI = map[isa.Op]float64{
+	isa.OpFAdd32:  0.06,
+	isa.OpFMul32:  0.05,
+	isa.OpFFMA32:  0.05,
+	isa.OpIAdd32:  0.07,
+	isa.OpISub32:  0.07,
+	isa.OpAnd32:   0.06,
+	isa.OpOr32:    0.06,
+	isa.OpXor32:   0.06,
+	isa.OpSin32:   0.10,
+	isa.OpCos32:   0.10,
+	isa.OpIMul32:  0.13,
+	isa.OpIMad32:  0.15,
+	isa.OpFAdd64:  0.15,
+	isa.OpFMul64:  0.13,
+	isa.OpFFMA64:  0.16,
+	isa.OpSqrt32:  0.02,
+	isa.OpLog2_32: 0.03,
+	isa.OpExp2_32: 0.08,
+	isa.OpRcp32:   0.31,
+}
+
+// Table Ib data-movement transaction energies, in nanojoules per
+// transaction (128 B for the RF-facing classes, 32 B sectors below).
+var tableIbEPT = map[isa.TxnKind]float64{
+	isa.TxnShmToRF:  5.45,
+	isa.TxnL1ToRF:   5.99,
+	isa.TxnL2ToL1:   3.96,
+	isa.TxnDRAMToL2: 7.82,
+}
+
+// Baseline constant terms for the K40-class GPM. The paper reports the
+// methodology (idle-power measurement) but not the numbers; these are
+// representative values for a K40-class board and are recovered by the
+// calibration flow against the reference silicon.
+const (
+	// K40ConstPower is the per-GPM constant power in watts.
+	K40ConstPower = 25.0
+	// K40EPStall is the energy per SM lane-stall cycle in joules
+	// (≈2.2 W per stalled SM at 1 GHz).
+	K40EPStall = 2.2 * NanoJoule
+	// K40ClockHz is the module clock used throughout the study.
+	K40ClockHz = 1e9
+)
+
+// K40Model returns the GPUJoule model with the published Table Ib
+// values: the model validated against silicon in §IV-B.
+func K40Model() *Model {
+	m := &Model{
+		Name:       "GPUJoule-K40",
+		EPStall:    K40EPStall,
+		ConstPower: K40ConstPower,
+		ClockHz:    K40ClockHz,
+	}
+	for op, nj := range tableIbEPI {
+		m.EPI[op] = nj * NanoJoule
+	}
+	for k, nj := range tableIbEPT {
+		m.EPT[k] = nj * NanoJoule
+	}
+	return m
+}
+
+// LinkEnergyConfig selects the inter-GPM signaling energy for a
+// projection model.
+type LinkEnergyConfig struct {
+	// LinkPicoJoulePerBit is the per-link-hop transfer energy.
+	LinkPicoJoulePerBit float64
+	// SwitchPicoJoulePerBit is the additional per-switch-traversal
+	// energy (0 for ring topologies).
+	SwitchPicoJoulePerBit float64
+	// Amortization is the fraction of per-GPM constant power shared
+	// across modules.
+	Amortization float64
+}
+
+// OnPackageLinks returns the §V-A2 on-package configuration:
+// 0.54 pJ/bit links and 50% constant-energy amortization.
+func OnPackageLinks() LinkEnergyConfig {
+	return LinkEnergyConfig{
+		LinkPicoJoulePerBit:   OnPackagePicoJoulePerBit,
+		SwitchPicoJoulePerBit: SwitchPicoJoulePerBit,
+		Amortization:          0.5,
+	}
+}
+
+// OnBoardLinks returns the §V-A2 on-board configuration: 10 pJ/bit
+// links and no amortization.
+func OnBoardLinks() LinkEnergyConfig {
+	return LinkEnergyConfig{
+		LinkPicoJoulePerBit:   OnBoardPicoJoulePerBit,
+		SwitchPicoJoulePerBit: SwitchPicoJoulePerBit,
+		Amortization:          0,
+	}
+}
+
+// ProjectionModel returns the future-GPU energy model of §V-A2: the
+// K40-calibrated EPI/EPT tables with the DRAM-to-L2 transaction cost
+// replaced by HBM's 21.1 pJ/bit and inter-GPM link energies added per
+// the integration domain.
+func ProjectionModel(links LinkEnergyConfig) *Model {
+	m := K40Model()
+	m.Name = "GPUJoule-MultiGPM"
+	m.EPT[isa.TxnDRAMToL2] = PerBitToSector(HBMPicoJoulePerBit)
+	m.EPT[isa.TxnInterGPM] = PerBitToSector(links.LinkPicoJoulePerBit)
+	m.EPT[isa.TxnSwitch] = PerBitToSector(links.SwitchPicoJoulePerBit)
+	m.Amortization = links.Amortization
+	return m
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"gpujoule/internal/core"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/stats"
+)
+
+// AblationRow is one design-choice ablation at the 32-GPM on-package
+// 2x-BW design point.
+type AblationRow struct {
+	// Name describes the ablated choice.
+	Name string
+	// Speedup is the mean speedup over the 1-GPM baseline.
+	Speedup float64
+	// EnergyRatio is the mean energy normalized to the 1-GPM baseline.
+	EnergyRatio float64
+	// EDPSE is the mean EDP scaling efficiency in percent.
+	EDPSE float64
+	// InterGPMGB is the mean inter-GPM link traffic in gigabytes.
+	InterGPMGB float64
+}
+
+// AblationResult collects the §V-A/§V-E design-choice ablations: the
+// locality mechanisms the paper adopts from prior multi-module work
+// (distributed contiguous CTA scheduling + first-touch placement) and
+// the §V-E suggestion of aggressive SM clock-gating.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Row returns the named row.
+func (r AblationResult) Row(name string) (AblationRow, bool) {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row, true
+		}
+	}
+	return AblationRow{}, false
+}
+
+// Ablation names.
+const (
+	AblationBaseline     = "baseline (contiguous CTAs, first-touch, module-side L2)"
+	AblationRoundRobin   = "round-robin CTA scheduling"
+	AblationStripedPages = "striped (NUMA-blind) page placement"
+	AblationMemorySideL2 = "memory-side L2 placement"
+	AblationClockGating  = "aggressive SM clock-gating (70% idle power saved)"
+)
+
+// AblationStudy quantifies how much each §V-A1 locality mechanism and
+// the §V-E clock-gating suggestion contribute at the 32-GPM design
+// point. The locality ablations rerun the simulator; the clock-gating
+// ablation reprices the baseline run with a reduced stall energy.
+func (h *Harness) AblationStudy() (AblationResult, error) {
+	var res AblationResult
+
+	baseCfg := sim.MultiGPM(32, sim.BW2x)
+
+	rrCfg := baseCfg
+	rrCfg.CTASchedule = sim.ScheduleRoundRobin
+
+	stripedCfg := baseCfg
+	stripedCfg.ForceStripedPages = true
+
+	memSideCfg := baseCfg
+	memSideCfg.L2 = sim.L2MemorySide
+
+	gated := h.onPackage.Clone()
+	gated.EPStall *= 0.3
+	gated.Name = h.onPackage.Name + "(gated)"
+
+	points := []struct {
+		name  string
+		cfg   sim.Config
+		model *core.Model
+	}{
+		{AblationBaseline, baseCfg, h.onPackage},
+		{AblationRoundRobin, rrCfg, h.onPackage},
+		{AblationStripedPages, stripedCfg, h.onPackage},
+		{AblationMemorySideL2, memSideCfg, h.onPackage},
+		{AblationClockGating, baseCfg, gated},
+	}
+
+	for _, p := range points {
+		var sp, er, ed, gb []float64
+		for _, app := range h.apps {
+			base, err := h.baseline(app)
+			if err != nil {
+				return res, err
+			}
+			r, err := h.run(app, p.cfg)
+			if err != nil {
+				return res, err
+			}
+			bs := sample(p.model, base)
+			ss := sample(p.model, r)
+			sp = append(sp, metrics.Speedup(bs, ss))
+			er = append(er, metrics.EnergyRatio(bs, ss))
+			ed = append(ed, metrics.EDPSE(bs, p.cfg.GPMs, ss))
+			gb = append(gb, float64(r.Counts.TotalTransactionBytes(isa.TxnInterGPM))/(1<<30))
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name:        p.name,
+			Speedup:     stats.Mean(sp),
+			EnergyRatio: stats.Mean(er),
+			EDPSE:       stats.Mean(ed),
+			InterGPMGB:  stats.Mean(gb),
+		})
+	}
+	return res, nil
+}
+
+// AblationTable renders the ablation study.
+func AblationTable(r AblationResult) *Table {
+	t := &Table{
+		Title: "Ablation: §V-A1 locality mechanisms and §V-E clock-gating (32-GPM, 2x-BW)",
+		Note: "contiguous CTA scheduling + first-touch placement are the locality choices the " +
+			"paper adopts; removing either exposes far more inter-GPM traffic",
+		Header: []string{"Design point", "Speedup", "Energy vs 1-GPM", "EDPSE (%)", "Inter-GPM GB"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, f2(row.Speedup), f2(row.EnergyRatio), f1(row.EDPSE), f2(row.InterGPMGB))
+	}
+	return t
+}

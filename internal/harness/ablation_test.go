@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeAblationStudy(t *testing.T) {
+	skipIfShort(t)
+	res, err := sharedHarness.AblationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("ablation has 5 design points, got %d", len(res.Rows))
+	}
+	base, ok := res.Row(AblationBaseline)
+	if !ok {
+		t.Fatal("baseline row missing")
+	}
+	rr, _ := res.Row(AblationRoundRobin)
+	striped, _ := res.Row(AblationStripedPages)
+	gated, _ := res.Row(AblationClockGating)
+
+	// The §V-A1 locality mechanisms matter: removing either contiguous
+	// CTA scheduling or first-touch placement hurts efficiency.
+	if rr.EDPSE >= base.EDPSE {
+		t.Errorf("round-robin CTA scheduling should hurt EDPSE: %.1f >= %.1f",
+			rr.EDPSE, base.EDPSE)
+	}
+	if striped.EDPSE >= base.EDPSE {
+		t.Errorf("NUMA-blind placement should hurt EDPSE: %.1f >= %.1f",
+			striped.EDPSE, base.EDPSE)
+	}
+	if rr.EnergyRatio <= base.EnergyRatio {
+		t.Errorf("locality-blind scheduling should cost energy: %.2f <= %.2f",
+			rr.EnergyRatio, base.EnergyRatio)
+	}
+
+	// §V-A1: module-side L2s filter remote traffic; memory-side
+	// placement crosses the fabric on every remote L1 miss, including
+	// home-L2 hits, so it can never move less inter-GPM data.
+	if memSide, ok := res.Row(AblationMemorySideL2); !ok {
+		t.Error("memory-side L2 row missing")
+	} else {
+		if memSide.InterGPMGB < base.InterGPMGB*0.99 {
+			t.Errorf("memory-side L2 must not reduce fabric traffic: %.2f GB < %.2f GB",
+				memSide.InterGPMGB, base.InterGPMGB)
+		}
+		if memSide.EDPSE > base.EDPSE*1.3 {
+			t.Errorf("memory-side L2 should not dramatically beat module-side: %.1f vs %.1f",
+				memSide.EDPSE, base.EDPSE)
+		}
+	}
+
+	// §V-E: reducing idle-SM power improves energy without touching
+	// performance.
+	if gated.Speedup != base.Speedup {
+		t.Errorf("clock-gating is an energy lever only: speedup %.2f vs %.2f",
+			gated.Speedup, base.Speedup)
+	}
+	if gated.EnergyRatio >= base.EnergyRatio || gated.EDPSE <= base.EDPSE {
+		t.Errorf("clock-gating should save energy and lift EDPSE: E %.2f vs %.2f, EDPSE %.1f vs %.1f",
+			gated.EnergyRatio, base.EnergyRatio, gated.EDPSE, base.EDPSE)
+	}
+}
+
+func TestAblationTableRenders(t *testing.T) {
+	tb := AblationTable(AblationResult{Rows: []AblationRow{
+		{Name: "x", Speedup: 2, EnergyRatio: 1.5, EDPSE: 40, InterGPMGB: 3.25},
+	}})
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Ablation") || !strings.Contains(sb.String(), "40.0") {
+		t.Errorf("table missing content:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVDir(t *testing.T) {
+	rep := &Report{
+		Scale: 1,
+		Records: []ExperimentRecord{
+			{ID: "Figure 6", Table: func() *Table {
+				tb := &Table{Header: []string{"a", "b"}}
+				tb.AddRow("1", "2")
+				return tb
+			}()},
+			{ID: "Link-energy study (§V-C)", Table: &Table{Header: []string{"x"}}},
+		},
+	}
+	dir := t.TempDir()
+	if err := rep.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("wrote %d files, want 2", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure_6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(string(data))
+	if got != "a,b\n1,2" {
+		t.Errorf("figure_6.csv = %q", got)
+	}
+	for _, e := range entries {
+		if strings.ContainsAny(e.Name(), " §()") {
+			t.Errorf("unsanitized filename %q", e.Name())
+		}
+	}
+}

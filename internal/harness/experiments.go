@@ -1,0 +1,440 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gpujoule/internal/stats"
+)
+
+// Comparison is one paper-vs-measured data point of the reproduction
+// record.
+type Comparison struct {
+	// Metric names the quantity.
+	Metric string
+	// Paper is the published value or claim.
+	Paper string
+	// Measured is this run's value.
+	Measured string
+	// Holds reports whether the qualitative claim (direction, rough
+	// factor, crossover) reproduces.
+	Holds bool
+}
+
+// ExperimentRecord is one experiment's reproduction record.
+type ExperimentRecord struct {
+	// ID is the table/figure identifier.
+	ID string
+	// Table is the regenerated data.
+	Table *Table
+	// Comparisons are the headline paper-vs-measured points.
+	Comparisons []Comparison
+}
+
+// Report is the full reproduction record: every experiment with its
+// regenerated data and paper-vs-measured comparisons.
+type Report struct {
+	Scale   float64
+	Records []ExperimentRecord
+}
+
+// Holds reports whether every qualitative claim reproduced.
+func (r *Report) Holds() bool {
+	for _, rec := range r.Records {
+		for _, c := range rec.Comparisons {
+			if !c.Holds {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func yes(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+// BuildReport runs every experiment and assembles the reproduction
+// record. It is the programmatic source of EXPERIMENTS.md.
+func (h *Harness) BuildReport() (*Report, error) {
+	rep := &Report{Scale: h.params.Scale}
+	if rep.Scale == 0 {
+		rep.Scale = 1
+	}
+
+	// §IV: calibration and validation.
+	v, err := h.Validate()
+	if err != nil {
+		return nil, err
+	}
+	vt := ValidationTables(v)
+
+	var maxIbErr float64
+	for _, row := range v.TableIb {
+		if e := row.ErrPct(); e > maxIbErr || -e > maxIbErr {
+			if e < 0 {
+				e = -e
+			}
+			maxIbErr = e
+		}
+	}
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Table Ib", Table: vt[0],
+		Comparisons: []Comparison{
+			{"EPI/EPT recovery", "published K40 values",
+				fmt.Sprintf("max deviation %.1f%%", maxIbErr), maxIbErr <= 20},
+		},
+	})
+
+	var fig4aErrs []float64
+	for _, e := range v.Fig4a {
+		fig4aErrs = append(fig4aErrs, e.ErrPct())
+	}
+	lo, hi := stats.Min(fig4aErrs), stats.Max(fig4aErrs)
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 4a", Table: vt[1],
+		Comparisons: []Comparison{
+			{"mixed-µbench error band", "within +2.5% / -6%",
+				fmt.Sprintf("within %+.1f%% / %+.1f%%", hi, lo), hi <= 5 && lo >= -12},
+		},
+	})
+
+	outliers := v.Fig4bOutliers(25)
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 4b", Table: vt[2],
+		Comparisons: []Comparison{
+			{"application MAE", "9.4%",
+				fmt.Sprintf("%.1f%%", v.Fig4bMAEPct()), v.Fig4bMAEPct() <= 15},
+			{"outliers (|err|>25%)", "RSBench, CoMD, BFS, MiniAMR",
+				fmt.Sprintf("%v", outliers), len(outliers) >= 3 && len(outliers) <= 5},
+		},
+	})
+
+	// §II motivation: Figure 2.
+	fig2, err := h.Figure2()
+	if err != nil {
+		return nil, err
+	}
+	last2 := fig2[len(fig2)-1]
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 2", Table: Fig2Table(fig2),
+		Comparisons: []Comparison{
+			{"32x on-board energy vs 1-GPM", "~2x",
+				fmt.Sprintf("%.2fx", last2.EnergyRatio), last2.EnergyRatio >= 1.5},
+			{"energy grows monotonically", "yes",
+				yes(monotoneUp(fig2)), monotoneUp(fig2)},
+		},
+	})
+
+	// §V-B: Figures 6 and 7.
+	fig6, err := h.Figure6()
+	if err != nil {
+		return nil, err
+	}
+	first6, last6 := fig6[0], fig6[len(fig6)-1]
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 6", Table: Fig6Table(fig6),
+		Comparisons: []Comparison{
+			{"EDPSE at 2 GPMs", "94%", fmt.Sprintf("%.1f%%", first6.All),
+				first6.All >= 80},
+			{"EDPSE at 32 GPMs", "36%", fmt.Sprintf("%.1f%%", last6.All),
+				last6.All <= 60},
+			{"compute-intensive >100% at small counts", "yes",
+				fmt.Sprintf("%.1f%% at 2 GPMs", first6.Compute), first6.Compute >= 95},
+			{"memory-intensive trails compute", "yes",
+				yes(last6.Memory < last6.Compute), last6.Memory < last6.Compute},
+		},
+	})
+
+	fig7, err := h.Figure7()
+	if err != nil {
+		return nil, err
+	}
+	first7, last7 := fig7[0], fig7[len(fig7)-1]
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 7", Table: Fig7Table(fig7),
+		Comparisons: []Comparison{
+			{"1->2 GPM incremental speedup", "1.87x",
+				fmt.Sprintf("%.2fx", first7.Speedup), first7.Speedup >= 1.6},
+			{"16->32 GPM incremental speedup", "1.47x",
+				fmt.Sprintf("%.2fx", last7.Speedup), last7.Speedup >= 1.1 && last7.Speedup <= 1.7},
+			{"monolithic 16->32 speedup", "1.81x",
+				fmt.Sprintf("%.2fx", last7.MonolithicSpeedup),
+				last7.MonolithicSpeedup > last7.Speedup},
+			{"16->32 energy increase", "+15.7%",
+				fmt.Sprintf("%+.1f%%", last7.EnergyIncreasePct), last7.EnergyIncreasePct > 5},
+			{"idle+constant dominate the growth", "yes",
+				fmt.Sprintf("%.1f%% of %.1f%%", last7.SMIdlePct+last7.ConstantPct, last7.EnergyIncreasePct),
+				last7.SMIdlePct+last7.ConstantPct > last7.InterModulePct*3},
+		},
+	})
+
+	// §V-C: Figures 8 and 9 plus the point studies.
+	fig8, err := h.Figure8()
+	if err != nil {
+		return nil, err
+	}
+	var bw1, bw4 float64
+	for _, r := range fig8 {
+		switch r.BW.String() {
+		case "1x-BW":
+			bw1 = r.ByGPM[32]
+		case "4x-BW":
+			bw4 = r.ByGPM[32]
+		}
+	}
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 8", Table: Fig8Table(fig8),
+		Comparisons: []Comparison{
+			{"32-GPM EDPSE gain, 1x->4x BW", "~3x",
+				fmt.Sprintf("%.2fx (%.1f%% -> %.1f%%)", bw4/bw1, bw1, bw4), bw4/bw1 >= 1.5},
+		},
+	})
+
+	fig9, err := h.Figure9()
+	if err != nil {
+		return nil, err
+	}
+	last9 := fig9[len(fig9)-1]
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 9", Table: Fig9Table(fig9),
+		Comparisons: []Comparison{
+			{"32-GPM switch vs ring EDPSE", "~2x",
+				fmt.Sprintf("%.2fx (%.1f%% vs %.1f%%)",
+					last9.Switch1x/last9.Ring1x, last9.Switch1x, last9.Ring1x),
+				last9.Switch1x/last9.Ring1x >= 1.4},
+		},
+	})
+
+	link, err := h.LinkEnergyStudy()
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Link-energy study (§V-C)", Table: LinkEnergyTable(link),
+		Comparisons: []Comparison{
+			{"EDPSE change at 4x link energy", "<1%",
+				fmt.Sprintf("%.2f%%", link.MaxEDPSEChangePct()), link.MaxEDPSEChangePct() <= 6},
+			{"4x energy for 2x bandwidth", "+8.8% EDPSE",
+				fmt.Sprintf("%+.2f%%", link.DoubledBWGainPct()), link.DoubledBWGainPct() > 0},
+		},
+	})
+
+	amort, err := h.AmortizationStudy()
+	if err != nil {
+		return nil, err
+	}
+	var a25, a50 AmortizationRow
+	for _, r := range amort.Rows {
+		if r.Rate == 0.25 {
+			a25 = r
+		}
+		if r.Rate == 0.5 {
+			a50 = r
+		}
+	}
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Amortization study (§V-C)", Table: AmortizationTable(amort),
+		Comparisons: []Comparison{
+			{"energy saving at 50% rate", "22.3%",
+				fmt.Sprintf("%.1f%%", a50.EnergySavingPct),
+				a50.EnergySavingPct >= 10 && a50.EnergySavingPct <= 35},
+			{"EDPSE gain at 50% rate", "+8.1 pts",
+				fmt.Sprintf("%+.1f pts", a50.EDPSEGainPts), a50.EDPSEGainPts > 0},
+			{"energy saving at 25% rate", "10.4%",
+				fmt.Sprintf("%.1f%%", a25.EnergySavingPct),
+				a25.EnergySavingPct > 0 && a25.EnergySavingPct < a50.EnergySavingPct},
+		},
+	})
+
+	// §V-D: Figure 10 and the concluding trade.
+	fig10, err := h.Figure10()
+	if err != nil {
+		return nil, err
+	}
+	var e32x1, e16x2, s16x2, s32x1 float64
+	for _, r := range fig10 {
+		if r.N == 32 && r.BW.String() == "1x-BW" {
+			e32x1, s32x1 = r.EnergyRatio, r.Speedup
+		}
+		if r.N == 16 && r.BW.String() == "2x-BW" {
+			e16x2, s16x2 = r.EnergyRatio, r.Speedup
+		}
+	}
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Figure 10", Table: Fig10Table(fig10),
+		Comparisons: []Comparison{
+			{"16-GPM/2x-BW energy vs 32-GPM/1x-BW", "about half",
+				fmt.Sprintf("%.2fx vs %.2fx", e16x2, e32x1), e16x2 < 0.75*e32x1},
+			{"16-GPM/2x-BW performance vs 32-GPM/1x-BW", "outperforms",
+				fmt.Sprintf("%.2fx vs %.2fx speedup", s16x2, s32x1), s16x2 >= 0.75*s32x1},
+		},
+	})
+
+	head, err := h.HeadlineStudy()
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Concluding trade (§V-D, §VII)", Table: HeadlineTable(head),
+		Comparisons: []Comparison{
+			{"energy saving from 4x bandwidth", "27.4%",
+				fmt.Sprintf("%.1f%%", head.EnergySavingBW4xPct), head.EnergySavingBW4xPct >= 15},
+			{"with on-package amortization", "45%",
+				fmt.Sprintf("%.1f%%", head.EnergySavingOnPackagePct),
+				head.EnergySavingOnPackagePct > head.EnergySavingBW4xPct},
+			{"best-design strong-scaling speedup", "~18x",
+				fmt.Sprintf("%.2fx", head.BestSpeedup), head.BestSpeedup >= 10},
+		},
+	})
+
+	// §II model-fidelity motivation.
+	fid, err := h.FidelityStudy()
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Model fidelity (§II)", Table: FidelityTable(fid),
+		Comparisons: []Comparison{
+			{"stale bottom-up model (Fermi-tuned on Kepler)", ">100% average error",
+				fmt.Sprintf("%+.0f%% mean (%.0f%% MAE)", fid.FermiMeanErr, fid.FermiMAE),
+				fid.FermiMeanErr >= 60},
+			{"top-down beats same-generation bottom-up", "motivates GPUJoule",
+				fmt.Sprintf("%.1f%% vs %.1f%% MAE", fid.TopDownMAE, fid.KeplerMAE),
+				fid.TopDownMAE < fid.KeplerMAE},
+		},
+	})
+
+	// Repo-specific ablation of the adopted design choices.
+	abl, err := h.AblationStudy()
+	if err != nil {
+		return nil, err
+	}
+	base, _ := abl.Row(AblationBaseline)
+	rr, _ := abl.Row(AblationRoundRobin)
+	striped, _ := abl.Row(AblationStripedPages)
+	rep.Records = append(rep.Records, ExperimentRecord{
+		ID: "Design-choice ablation (§V-A1, §V-E)", Table: AblationTable(abl),
+		Comparisons: []Comparison{
+			{"locality mechanisms matter", "adopted from prior work",
+				fmt.Sprintf("EDPSE %.1f%% vs %.1f%% (rr-CTA) / %.1f%% (striped)",
+					base.EDPSE, rr.EDPSE, striped.EDPSE),
+				base.EDPSE > rr.EDPSE && base.EDPSE > striped.EDPSE},
+		},
+	})
+
+	return rep, nil
+}
+
+func monotoneUp(rows []Fig2Row) bool {
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EnergyRatio < rows[i-1].EnergyRatio {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteMarkdown renders the reproduction record as the EXPERIMENTS.md
+// document.
+func (rep *Report) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "# EXPERIMENTS — paper vs. measured\n\n")
+	fmt.Fprintf(w, "Generated by `go run ./cmd/paper -markdown -scale %g` on %s.\n\n",
+		rep.Scale, time.Now().UTC().Format("2006-01-02"))
+	fmt.Fprintf(w, "Absolute magnitudes come from the synthetic substrate documented in\n")
+	fmt.Fprintf(w, "DESIGN.md; the comparisons below record whether each of the paper's\n")
+	fmt.Fprintf(w, "qualitative findings (directions, rough factors, crossovers)\n")
+	fmt.Fprintf(w, "reproduces. Overall: **%d/%d claims hold**.\n\n", rep.holdCount(), rep.totalCount())
+
+	for _, rec := range rep.Records {
+		fmt.Fprintf(w, "## %s\n\n", rec.ID)
+		fmt.Fprintf(w, "| Metric | Paper | This reproduction | Holds |\n")
+		fmt.Fprintf(w, "|---|---|---|---|\n")
+		for _, c := range rec.Comparisons {
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n", c.Metric, c.Paper, c.Measured, yes(c.Holds))
+		}
+		fmt.Fprintf(w, "\n```\n")
+		if err := rec.Table.Fprint(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "```\n\n")
+	}
+	return nil
+}
+
+// WriteTables renders the reproduction record as plain aligned-text
+// tables (the cmd/paper default format), reusing the same experiment
+// results as the markdown record.
+func (rep *Report) WriteTables(w io.Writer) error {
+	if err := TableIII().Fprint(w); err != nil {
+		return err
+	}
+	if err := TableIV().Fprint(w); err != nil {
+		return err
+	}
+	for _, rec := range rep.Records {
+		if err := rec.Table.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVDir writes each experiment's table as a CSV file under dir
+// (created if needed), named after the experiment id.
+func (rep *Report) WriteCSVDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("harness: creating %s: %w", dir, err)
+	}
+	for _, rec := range rep.Records {
+		name := strings.ToLower(rec.ID)
+		name = strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+				return r
+			default:
+				return '_'
+			}
+		}, name)
+		name = strings.Trim(strings.ReplaceAll(name, "__", "_"), "_")
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return fmt.Errorf("harness: creating CSV for %s: %w", rec.ID, err)
+		}
+		if err := rec.Table.FprintCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rep *Report) holdCount() int {
+	n := 0
+	for _, rec := range rep.Records {
+		for _, c := range rec.Comparisons {
+			if c.Holds {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (rep *Report) totalCount() int {
+	n := 0
+	for _, rec := range rep.Records {
+		n += len(rec.Comparisons)
+	}
+	return n
+}

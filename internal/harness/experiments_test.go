@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"gpujoule/internal/sim"
+)
+
+func TestShapeMetricsStudy(t *testing.T) {
+	skipIfShort(t)
+	rows, err := sharedHarness.MetricsStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("metrics study covers 5 module counts, got %d", len(rows))
+	}
+	// §V-D: the diminishing trend shows up under every weighting.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EDPSE > rows[i-1].EDPSE+2 {
+			t.Errorf("EDPSE must decline: %d-GPM %.1f > %d-GPM %.1f",
+				rows[i].N, rows[i].EDPSE, rows[i-1].N, rows[i-1].EDPSE)
+		}
+		if rows[i].ED2PSE > rows[i-1].ED2PSE+2 {
+			t.Errorf("ED2PSE must decline: %d-GPM %.1f > %d-GPM %.1f",
+				rows[i].N, rows[i].ED2PSE, rows[i-1].N, rows[i-1].ED2PSE)
+		}
+	}
+	// Higher delay weighting punishes sub-linear scaling harder.
+	last := rows[len(rows)-1]
+	if !(last.ED2PSE <= last.EDPSE && last.EDPSE <= last.EnergySE) {
+		t.Errorf("weighting order violated at 32 GPMs: i=0 %.1f, i=1 %.1f, i=2 %.1f",
+			last.EnergySE, last.EDPSE, last.ED2PSE)
+	}
+}
+
+func TestPerWorkloadTables(t *testing.T) {
+	skipIfShort(t)
+	tb, err := sharedHarness.PerWorkloadEDPSE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 14 {
+		t.Fatalf("per-workload table covers 14 workloads, got %d", len(tb.Rows))
+	}
+	names := make(map[string]bool)
+	for _, row := range tb.Rows {
+		names[row[0]] = true
+		if row[1] != "C" && row[1] != "M" {
+			t.Errorf("%s category cell %q", row[0], row[1])
+		}
+	}
+	if !names["Stream"] || !names["Lulesh-150"] {
+		t.Error("expected workloads missing")
+	}
+
+	sc, err := sharedHarness.PerWorkloadScaling(8, sim.BW2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Rows) != 14 || len(sc.Header) != 7 {
+		t.Errorf("scaling table shape %dx%d", len(sc.Rows), len(sc.Header))
+	}
+}
+
+func TestBuildReportAndMarkdown(t *testing.T) {
+	skipIfShort(t)
+	rep, err := sharedHarness.BuildReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) < 12 {
+		t.Fatalf("report covers every experiment, got %d records", len(rep.Records))
+	}
+	ids := make(map[string]bool)
+	for _, rec := range rep.Records {
+		ids[rec.ID] = true
+		if rec.Table == nil {
+			t.Errorf("%s: missing table", rec.ID)
+		}
+		if len(rec.Comparisons) == 0 {
+			t.Errorf("%s: no comparisons", rec.ID)
+		}
+	}
+	for _, want := range []string{"Table Ib", "Figure 2", "Figure 4a", "Figure 4b",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10"} {
+		if !ids[want] {
+			t.Errorf("report missing %s", want)
+		}
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	md := sb.String()
+	for _, want := range []string{"# EXPERIMENTS", "| Metric | Paper |", "## Figure 6", "claims hold"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// At reduced scale most—though not necessarily all—claims hold.
+	if rep.holdCount() < rep.totalCount()*2/3 {
+		t.Errorf("only %d/%d claims hold at reduced scale", rep.holdCount(), rep.totalCount())
+	}
+}
+
+func TestShapeFidelityStudy(t *testing.T) {
+	skipIfShort(t)
+	res, err := sharedHarness.FidelityStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 18 {
+		t.Fatalf("fidelity study covers all 18 applications, got %d", len(res.Rows))
+	}
+	// §II: the stale bottom-up tuning overshoots massively on average...
+	if res.FermiMeanErr < 50 {
+		t.Errorf("Fermi-tuned mean error %+.0f%%, paper reports >100%%", res.FermiMeanErr)
+	}
+	// ...while the calibrated top-down model stays far more accurate
+	// than either bottom-up instance.
+	if res.TopDownMAE >= res.KeplerMAE {
+		t.Errorf("top-down MAE %.1f%% should beat same-generation bottom-up %.1f%%",
+			res.TopDownMAE, res.KeplerMAE)
+	}
+	if res.KeplerMAE >= res.FermiMAE {
+		t.Errorf("same-generation bottom-up (%.1f%%) must beat the stale tuning (%.1f%%)",
+			res.KeplerMAE, res.FermiMAE)
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+
+	"gpujoule/internal/bottomup"
+	"gpujoule/internal/calib"
+	"gpujoule/internal/silicon"
+	"gpujoule/internal/stats"
+	"gpujoule/internal/workloads"
+)
+
+// FidelityRow is one application's estimation error under each model.
+type FidelityRow struct {
+	App string
+	// TopDownPct is the calibrated GPUJoule error (Fig. 4b).
+	TopDownPct float64
+	// KeplerTunedPct is the bottom-up model tuned for the silicon's own
+	// generation.
+	KeplerTunedPct float64
+	// FermiTunedPct is the bottom-up model tuned for the previous
+	// generation and applied without retuning (§II).
+	FermiTunedPct float64
+}
+
+// FidelityResult is the §II model-fidelity comparison.
+type FidelityResult struct {
+	Rows []FidelityRow
+	// MAE per model, percent.
+	TopDownMAE, KeplerMAE, FermiMAE float64
+	// FermiMeanErr is the signed mean error of the stale tuning (the
+	// paper reports an average error of over 100%).
+	FermiMeanErr float64
+}
+
+// FidelityStudy reproduces the §II motivation: calibrate GPUJoule
+// top-down against the reference silicon, then compare its
+// application-level accuracy with a bottom-up model tuned for the same
+// generation and with one tuned for the previous generation applied
+// without retuning.
+func (h *Harness) FidelityStudy() (FidelityResult, error) {
+	var res FidelityResult
+
+	dev := silicon.NewK40()
+	cal, err := calib.Calibrate(dev, calib.Options{})
+	if err != nil {
+		return res, err
+	}
+	kepler := bottomup.TunedKepler()
+	fermi := bottomup.TunedFermi()
+
+	var td, kp, fm, fmSigned []float64
+	for _, app := range workloads.All(h.params) {
+		m, err := dev.Run(app)
+		if err != nil {
+			return res, err
+		}
+		c := &m.Result.Counts
+		row := FidelityRow{
+			App:            app.Name,
+			TopDownPct:     stats.RelErrPct(cal.Model.EstimateEnergy(c), m.SensorJoules),
+			KeplerTunedPct: stats.RelErrPct(kepler.Estimate(c), m.SensorJoules),
+			FermiTunedPct:  stats.RelErrPct(fermi.Estimate(c), m.SensorJoules),
+		}
+		res.Rows = append(res.Rows, row)
+		td = append(td, row.TopDownPct)
+		kp = append(kp, row.KeplerTunedPct)
+		fm = append(fm, row.FermiTunedPct)
+		fmSigned = append(fmSigned, row.FermiTunedPct)
+	}
+	res.TopDownMAE = stats.MeanAbs(td)
+	res.KeplerMAE = stats.MeanAbs(kp)
+	res.FermiMAE = stats.MeanAbs(fm)
+	res.FermiMeanErr = stats.Mean(fmSigned)
+	return res, nil
+}
+
+// FidelityTable renders the model-fidelity comparison.
+func FidelityTable(r FidelityResult) *Table {
+	t := &Table{
+		Title: "Study: top-down vs bottom-up model fidelity (§II)",
+		Note: fmt.Sprintf("MAE: GPUJoule %.1f%%, bottom-up same-generation %.1f%%, "+
+			"bottom-up stale (Fermi-tuned) %.1f%% (mean %+.0f%%; paper reports >100%% average error "+
+			"without retuning)", r.TopDownMAE, r.KeplerMAE, r.FermiMAE, r.FermiMeanErr),
+		Header: []string{"Application", "GPUJoule", "Bottom-up (Kepler-tuned)", "Bottom-up (Fermi-tuned)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.App,
+			fmt.Sprintf("%+.1f%%", row.TopDownPct),
+			fmt.Sprintf("%+.1f%%", row.KeplerTunedPct),
+			fmt.Sprintf("%+.1f%%", row.FermiTunedPct))
+	}
+	return t
+}

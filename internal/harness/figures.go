@@ -1,0 +1,308 @@
+package harness
+
+import (
+	"gpujoule/internal/core"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/stats"
+	"gpujoule/internal/trace"
+)
+
+// Fig2Row is one point of Figure 2: the average energy to solution of
+// an n-GPM on-board (1x-BW) GPU, normalized to the single-GPM design.
+type Fig2Row struct {
+	N           int
+	EnergyRatio float64
+}
+
+// Figure2 regenerates Figure 2: the energy cost of strong scaling with
+// on-board integration, averaged over the 14 evaluation workloads.
+// The paper's headline: the 32-GPM point costs ≈2× the energy of the
+// monolithic baseline.
+func (h *Harness) Figure2() ([]Fig2Row, error) {
+	out := make([]Fig2Row, 0, len(GPMSteps))
+	for _, n := range GPMSteps {
+		var ratios []float64
+		for _, app := range h.apps {
+			base, err := h.baseline(app)
+			if err != nil {
+				return nil, err
+			}
+			r, err := h.scaled(app, n, sim.BW1x)
+			if err != nil {
+				return nil, err
+			}
+			m := h.onBoard
+			ratios = append(ratios, metrics.EnergyRatio(sample(m, base), sample(m, r)))
+		}
+		out = append(out, Fig2Row{N: n, EnergyRatio: stats.Mean(ratios)})
+	}
+	return out, nil
+}
+
+// Fig6Row is one point of Figure 6: average EDPSE (percent) at n GPMs
+// for the compute-intensive, memory-intensive, and full workload sets,
+// at the baseline on-package 2x-BW configuration.
+type Fig6Row struct {
+	N                    int
+	Compute, Memory, All float64
+}
+
+// Figure6 regenerates Figure 6.
+func (h *Harness) Figure6() ([]Fig6Row, error) {
+	out := make([]Fig6Row, 0, len(GPMSteps))
+	for _, n := range GPMSteps {
+		var comp, mem, all []float64
+		for _, app := range h.apps {
+			cfg := sim.MultiGPM(n, sim.BW2x)
+			r, err := h.scaled(app, n, sim.BW2x)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := h.point(app, cfg, r)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, pt.EDPSE)
+			if app.Category == trace.CategoryCompute {
+				comp = append(comp, pt.EDPSE)
+			} else {
+				mem = append(mem, pt.EDPSE)
+			}
+		}
+		out = append(out, Fig6Row{
+			N:       n,
+			Compute: stats.Mean(comp),
+			Memory:  stats.Mean(mem),
+			All:     stats.Mean(all),
+		})
+	}
+	return out, nil
+}
+
+// Fig7Row is one scaling step of Figure 7: the average incremental
+// speedup over the preceding configuration, the average incremental
+// energy increase, its decomposition into the paper's component
+// categories (as percent of the preceding configuration's energy), and
+// the hypothetical monolithic GPU's incremental speedup over the same
+// step.
+type Fig7Row struct {
+	FromN, ToN int
+	// Speedup is the mean incremental speedup t_from/t_to.
+	Speedup float64
+	// MonolithicSpeedup is the same step on a fused monolithic die.
+	MonolithicSpeedup float64
+	// EnergyIncreasePct is the mean total energy change in percent.
+	EnergyIncreasePct float64
+	// Component deltas, percent of the preceding config's energy,
+	// matching the Fig. 7 stack: SM busy, SM idle, constant, L1->Reg
+	// (incl. shared memory), L2->L1, inter-module, DRAM->L2.
+	SMBusyPct, SMIdlePct, ConstantPct, L1RegPct, L2L1Pct, InterModulePct, DRAMPct float64
+}
+
+// Figure7 regenerates Figure 7 at the on-package 2x-BW baseline.
+func (h *Harness) Figure7() ([]Fig7Row, error) {
+	steps := append([]int{1}, GPMSteps...)
+	out := make([]Fig7Row, 0, len(GPMSteps))
+	m := h.onPackage
+	for i := 1; i < len(steps); i++ {
+		from, to := steps[i-1], steps[i]
+		var row Fig7Row
+		row.FromN, row.ToN = from, to
+		var speedups, mono []float64
+		var dE, dBusy, dIdle, dConst, dL1, dL2, dInter, dDRAM []float64
+		for _, app := range h.apps {
+			prev, err := h.scaled(app, from, sim.BW2x)
+			if err != nil {
+				return nil, err
+			}
+			cur, err := h.scaled(app, to, sim.BW2x)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, prev.Seconds()/cur.Seconds())
+
+			pb := m.Estimate(&prev.Counts)
+			cb := m.Estimate(&cur.Counts)
+			tot := pb.Total()
+			dE = append(dE, (cb.Total()-tot)/tot*100)
+			dBusy = append(dBusy, (cb.Compute-pb.Compute)/tot*100)
+			dIdle = append(dIdle, (cb.Stall-pb.Stall)/tot*100)
+			dConst = append(dConst, (cb.Constant-pb.Constant)/tot*100)
+			dL1 = append(dL1, (cb.L1ToRF+cb.ShmToRF-pb.L1ToRF-pb.ShmToRF)/tot*100)
+			dL2 = append(dL2, (cb.L2ToL1-pb.L2ToL1)/tot*100)
+			dInter = append(dInter, (cb.InterGPM-pb.InterGPM)/tot*100)
+			dDRAM = append(dDRAM, (cb.DRAMToL2-pb.DRAMToL2)/tot*100)
+
+			mprev, err := h.monolithic(app, from)
+			if err != nil {
+				return nil, err
+			}
+			mcur, err := h.monolithic(app, to)
+			if err != nil {
+				return nil, err
+			}
+			mono = append(mono, mprev.Seconds()/mcur.Seconds())
+		}
+		row.Speedup = stats.Mean(speedups)
+		row.MonolithicSpeedup = stats.Mean(mono)
+		row.EnergyIncreasePct = stats.Mean(dE)
+		row.SMBusyPct = stats.Mean(dBusy)
+		row.SMIdlePct = stats.Mean(dIdle)
+		row.ConstantPct = stats.Mean(dConst)
+		row.L1RegPct = stats.Mean(dL1)
+		row.L2L1Pct = stats.Mean(dL2)
+		row.InterModulePct = stats.Mean(dInter)
+		row.DRAMPct = stats.Mean(dDRAM)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig8Row is one bandwidth setting of Figure 8: average EDPSE per GPM
+// count.
+type Fig8Row struct {
+	BW      sim.BWSetting
+	ByGPM   map[int]float64
+	Average float64
+}
+
+// Figure8 regenerates Figure 8: EDPSE as a function of the Table IV
+// interconnect bandwidth setting.
+func (h *Harness) Figure8() ([]Fig8Row, error) {
+	out := make([]Fig8Row, 0, 3)
+	for _, bw := range []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x} {
+		row := Fig8Row{BW: bw, ByGPM: make(map[int]float64, len(GPMSteps))}
+		var avgAll []float64
+		for _, n := range GPMSteps {
+			cfg := sim.MultiGPM(n, bw)
+			var vals []float64
+			for _, app := range h.apps {
+				r, err := h.scaled(app, n, bw)
+				if err != nil {
+					return nil, err
+				}
+				pt, err := h.point(app, cfg, r)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, pt.EDPSE)
+			}
+			row.ByGPM[n] = stats.Mean(vals)
+			avgAll = append(avgAll, row.ByGPM[n])
+		}
+		row.Average = stats.Mean(avgAll)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig9Row is one GPM count of Figure 9: average EDPSE for on-board
+// integration with a ring at 1x-BW, a switch at 1x-BW, and a switch at
+// 2x-BW.
+type Fig9Row struct {
+	N                          int
+	Ring1x, Switch1x, Switch2x float64
+}
+
+// Figure9 regenerates Figure 9. All three designs are on-board
+// (10 pJ/bit links, no amortization); the switch adds its own
+// 10 pJ/bit traversal cost.
+func (h *Harness) Figure9() ([]Fig9Row, error) {
+	out := make([]Fig9Row, 0, len(GPMSteps))
+	for _, n := range GPMSteps {
+		var row Fig9Row
+		row.N = n
+		var ring, sw1, sw2 []float64
+		for _, app := range h.apps {
+			ringCfg := sim.MultiGPM(n, sim.BW1x)
+			r, err := h.scaled(app, n, sim.BW1x)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := h.point(app, ringCfg, r)
+			if err != nil {
+				return nil, err
+			}
+			ring = append(ring, pt.EDPSE)
+
+			for _, v := range []struct {
+				bw  sim.BWSetting
+				acc *[]float64
+			}{{sim.BW1x, &sw1}, {sim.BW2x, &sw2}} {
+				sr, err := h.switched(app, n, v.bw)
+				if err != nil {
+					return nil, err
+				}
+				swCfg := sim.MultiGPM(n, v.bw)
+				swCfg.Domain = sim.DomainOnBoard
+				pt, err := h.point(app, swCfg, sr)
+				if err != nil {
+					return nil, err
+				}
+				*v.acc = append(*v.acc, pt.EDPSE)
+			}
+		}
+		row.Ring1x = stats.Mean(ring)
+		row.Switch1x = stats.Mean(sw1)
+		row.Switch2x = stats.Mean(sw2)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig10Row is one (GPM count, bandwidth) point of Figure 10: average
+// speedup over the 1-GPM GPU and average energy normalized to it.
+// Energy accounting follows §V-D: the 1x-BW points are on-board (no
+// amortization), the 2x/4x points on-package with amortization.
+type Fig10Row struct {
+	N           int
+	BW          sim.BWSetting
+	Speedup     float64
+	EnergyRatio float64
+}
+
+// Figure10 regenerates Figure 10.
+func (h *Harness) Figure10() ([]Fig10Row, error) {
+	var out []Fig10Row
+	for _, n := range GPMSteps {
+		for _, bw := range []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x} {
+			cfg := sim.MultiGPM(n, bw)
+			m := h.Model(cfg)
+			var sp, er []float64
+			for _, app := range h.apps {
+				base, err := h.baseline(app)
+				if err != nil {
+					return nil, err
+				}
+				r, err := h.scaled(app, n, bw)
+				if err != nil {
+					return nil, err
+				}
+				bs, ss := sample(m, base), sample(m, r)
+				sp = append(sp, metrics.Speedup(bs, ss))
+				er = append(er, metrics.EnergyRatio(bs, ss))
+			}
+			out = append(out, Fig10Row{N: n, BW: bw, Speedup: stats.Mean(sp), EnergyRatio: stats.Mean(er)})
+		}
+	}
+	return out, nil
+}
+
+// averageEDPSE computes the mean EDPSE over the evaluation suite for
+// an arbitrary configuration and model (used by the point studies).
+func (h *Harness) averageEDPSE(cfg sim.Config, m *core.Model) (float64, error) {
+	var vals []float64
+	for _, app := range h.apps {
+		base, err := h.baseline(app)
+		if err != nil {
+			return 0, err
+		}
+		r, err := h.run(app, cfg)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, metrics.EDPSE(sample(m, base), cfg.GPMs, sample(m, r)))
+	}
+	return stats.Mean(vals), nil
+}

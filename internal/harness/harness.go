@@ -1,0 +1,128 @@
+// Package harness defines and runs the paper's evaluation (§V): one
+// experiment per table and figure, each producing machine-checkable
+// rows plus a renderable table. Simulation results are cached and
+// shared across experiments (the 2x-BW sweep feeds Figs. 2, 6, 7, and
+// 10), so regenerating the whole evaluation costs one pass per distinct
+// configuration.
+package harness
+
+import (
+	"fmt"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/interconnect"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+	"gpujoule/internal/workloads"
+)
+
+// GPMSteps are the multi-module design points of Table III.
+var GPMSteps = []int{2, 4, 8, 16, 32}
+
+// Harness runs the evaluation at a chosen workload scale.
+type Harness struct {
+	params workloads.Params
+	apps   []*trace.App
+	cache  map[cacheKey]*sim.Result
+
+	onPackage *core.Model
+	onBoard   *core.Model
+}
+
+type cacheKey struct {
+	app string
+	cfg string
+}
+
+// New returns a harness over the 14-workload evaluation subset at the
+// given scale (1.0 = paper scale).
+func New(scale float64) *Harness {
+	return &Harness{
+		params:    workloads.Params{Scale: scale},
+		apps:      workloads.Eval14(workloads.Params{Scale: scale}),
+		cache:     make(map[cacheKey]*sim.Result),
+		onPackage: core.ProjectionModel(core.OnPackageLinks()),
+		onBoard:   core.ProjectionModel(core.OnBoardLinks()),
+	}
+}
+
+// Apps returns the evaluation workloads.
+func (h *Harness) Apps() []*trace.App { return h.apps }
+
+// Params returns the workload sizing parameters.
+func (h *Harness) Params() workloads.Params { return h.params }
+
+// Runs reports how many distinct simulations the cache holds.
+func (h *Harness) Runs() int { return len(h.cache) }
+
+// run simulates app on cfg, memoizing by (app, config) identity.
+func (h *Harness) run(app *trace.App, cfg sim.Config) (*sim.Result, error) {
+	key := cacheKey{app: app.Name, cfg: cfg.Name()}
+	if r, ok := h.cache[key]; ok {
+		return r, nil
+	}
+	r, err := sim.Run(cfg, app)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, cfg.Name(), err)
+	}
+	h.cache[key] = r
+	return r, nil
+}
+
+// Model returns the projection energy model for a configuration's
+// integration domain.
+func (h *Harness) Model(cfg sim.Config) *core.Model {
+	if cfg.Domain == sim.DomainOnPackage {
+		return h.onPackage
+	}
+	return h.onBoard
+}
+
+// sample derives the (energy, delay) sample of a run under a model.
+func sample(m *core.Model, r *sim.Result) metrics.Sample {
+	return metrics.Sample{
+		EnergyJoules: m.EstimateEnergy(&r.Counts),
+		DelaySeconds: r.Seconds(),
+	}
+}
+
+// baseline returns the 1-GPM run of an app (the EDPSE denominator's
+// base design). The 1-GPM design has no inter-GPM links, so its energy
+// is domain-independent.
+func (h *Harness) baseline(app *trace.App) (*sim.Result, error) {
+	return h.run(app, sim.MultiGPM(1, sim.BW2x))
+}
+
+// scaled returns the n-GPM ring run of an app at the given bandwidth
+// setting (with the Table IV default domain).
+func (h *Harness) scaled(app *trace.App, n int, bw sim.BWSetting) (*sim.Result, error) {
+	return h.run(app, sim.MultiGPM(n, bw))
+}
+
+// switched returns the n-GPM switch-topology on-board run.
+func (h *Harness) switched(app *trace.App, n int, bw sim.BWSetting) (*sim.Result, error) {
+	cfg := sim.MultiGPM(n, bw)
+	cfg.Topology = interconnect.TopologySwitch
+	cfg.Domain = sim.DomainOnBoard
+	return h.run(app, cfg)
+}
+
+// monolithic returns the hypothetical n×-capability monolithic run.
+func (h *Harness) monolithic(app *trace.App, n int) (*sim.Result, error) {
+	cfg := sim.MultiGPM(n, sim.BW2x)
+	cfg.Monolithic = true
+	return h.run(app, cfg)
+}
+
+// point computes an app's scaling point for a scaled run against its
+// 1-GPM baseline, using the model that matches the scaled config's
+// domain.
+func (h *Harness) point(app *trace.App, cfg sim.Config, scaled *sim.Result) (metrics.ScalingPoint, error) {
+	base, err := h.baseline(app)
+	if err != nil {
+		return metrics.ScalingPoint{}, err
+	}
+	m := h.Model(cfg)
+	return metrics.Derive(sample(m, base), cfg.GPMs, sample(m, scaled)), nil
+}

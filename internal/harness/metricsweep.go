@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/stats"
+)
+
+// MetricsRow is one module count's average scaling efficiency under
+// three figures of merit: pure energy (EDiPSE with i=0, equivalent to
+// performance-per-watt scaling), EDP (i=1, the paper's EDPSE), and
+// ED²P (i=2).
+type MetricsRow struct {
+	N                       int
+	EnergySE, EDPSE, ED2PSE float64
+}
+
+// MetricsStudy checks the §V-D remark that the diminishing-efficiency
+// trend is not an artifact of the EDP weighting: it reappears with
+// ED²P (and with pure energy / performance-per-watt).
+func (h *Harness) MetricsStudy() ([]MetricsRow, error) {
+	out := make([]MetricsRow, 0, len(GPMSteps))
+	m := h.onPackage
+	for _, n := range GPMSteps {
+		var e0, e1, e2 []float64
+		for _, app := range h.apps {
+			base, err := h.baseline(app)
+			if err != nil {
+				return nil, err
+			}
+			r, err := h.scaled(app, n, sim.BW2x)
+			if err != nil {
+				return nil, err
+			}
+			bs, ss := sample(m, base), sample(m, r)
+			e0 = append(e0, metrics.EDiPSE(bs, n, ss, 0))
+			e1 = append(e1, metrics.EDiPSE(bs, n, ss, 1))
+			e2 = append(e2, metrics.EDiPSE(bs, n, ss, 2))
+		}
+		out = append(out, MetricsRow{
+			N:        n,
+			EnergySE: stats.Mean(e0),
+			EDPSE:    stats.Mean(e1),
+			ED2PSE:   stats.Mean(e2),
+		})
+	}
+	return out, nil
+}
+
+// MetricsTable renders the metric-sensitivity study.
+func MetricsTable(rows []MetricsRow) *Table {
+	t := &Table{
+		Title: "Study: metric sensitivity — EDiPSE for i=0 (perf/W), i=1 (EDP), i=2 (ED2P), 2x-BW",
+		Note: "§V-D: the diminishing-efficiency trend appears with ED2P and " +
+			"performance/watt just as with EDPSE",
+		Header: []string{"Config", "Energy SE (i=0)", "EDPSE (i=1)", "ED2PSE (i=2)"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d-GPM", r.N), f1(r.EnergySE), f1(r.EDPSE), f1(r.ED2PSE))
+	}
+	return t
+}
+
+// PerWorkloadEDPSE returns the per-workload EDPSE at each module count
+// (the appendix behind Figure 6's averages).
+func (h *Harness) PerWorkloadEDPSE() (*Table, error) {
+	t := &Table{
+		Title:  "Appendix: per-workload EDPSE at 2x-BW (percent)",
+		Header: []string{"Workload", "Cat", "2-GPM", "4-GPM", "8-GPM", "16-GPM", "32-GPM"},
+	}
+	for _, app := range h.apps {
+		row := []string{app.Name, app.Category.String()}
+		for _, n := range GPMSteps {
+			cfg := sim.MultiGPM(n, sim.BW2x)
+			r, err := h.scaled(app, n, sim.BW2x)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := h.point(app, cfg, r)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(pt.EDPSE))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// PerWorkloadScaling returns per-workload speedup and energy at one
+// design point, for drill-down reporting.
+func (h *Harness) PerWorkloadScaling(n int, bw sim.BWSetting) (*Table, error) {
+	cfg := sim.MultiGPM(n, bw)
+	t := &Table{
+		Title: fmt.Sprintf("Appendix: per-workload scaling at %s", cfg.Name()),
+		Header: []string{"Workload", "Cat", "Speedup", "Energy vs 1-GPM", "EDPSE (%)",
+			"Remote fills (%)", "L2 hit (%)"},
+	}
+	for _, app := range h.apps {
+		r, err := h.run(app, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := h.point(app, cfg, r)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(app.Name, app.Category.String(),
+			f2(pt.Speedup), f2(pt.EnergyRatio), f1(pt.EDPSE),
+			f1(r.RemoteFillFraction()*100), f1(r.L2HitRate()*100))
+	}
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gpujoule/internal/sim"
+)
+
+// Table is a renderable experiment result.
+type Table struct {
+	// Title names the table or figure it reproduces.
+	Title string
+	// Note is an optional caption (paper reference values, caveats).
+	Note string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// FprintCSV renders the table as CSV (header + rows).
+func (t *Table) FprintCSV(w io.Writer) error {
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			cells[i] = c
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// TableIII renders the simulated multi-module configurations.
+func TableIII() *Table {
+	t := &Table{
+		Title:  "Table III: simulated multi-module GPU configurations",
+		Header: []string{"Configuration", "Modules", "Total SMs", "L1/SM", "Total L2", "Total DRAM BW"},
+	}
+	for _, n := range sim.TableIIIGPMCounts {
+		cfg := sim.MultiGPM(n, sim.BW2x)
+		t.AddRow(
+			fmt.Sprintf("%d-GPM", n),
+			fmt.Sprintf("%d", cfg.GPMs),
+			fmt.Sprintf("%d", cfg.TotalSMs()),
+			fmt.Sprintf("%d KB", cfg.L1PerSMBytes/1024),
+			fmt.Sprintf("%d MB", cfg.GPMs*cfg.L2PerGPMBytes/(1024*1024)),
+			fmt.Sprintf("%d GB/s", int(float64(cfg.GPMs)*cfg.DRAMBytesPerCycle)),
+		)
+	}
+	return t
+}
+
+// TableIV renders the per-GPM I/O bandwidth settings.
+func TableIV() *Table {
+	t := &Table{
+		Title:  "Table IV: simulated per-GPM I/O bandwidth",
+		Header: []string{"Configuration", "Inter-GPM BW", "Inter-GPM:DRAM", "Integration domain"},
+	}
+	ratios := map[sim.BWSetting]string{sim.BW1x: "1:2", sim.BW2x: "1:1", sim.BW4x: "2:1"}
+	for _, bw := range []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x} {
+		cfg := sim.MultiGPM(2, bw)
+		t.AddRow(
+			bw.String(),
+			fmt.Sprintf("%d GB/s", int(cfg.InterGPMBytesPerCycle())),
+			ratios[bw],
+			cfg.Domain.String(),
+		)
+	}
+	return t
+}

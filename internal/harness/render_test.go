@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Note:   "n",
+		Header: []string{"a", "bb"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== T ==", "a", "bb", "---", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFprintCSV(t *testing.T) {
+	tb := &Table{Header: []string{"x", "y"}}
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow("quo\"te", "line")
+	var sb strings.Builder
+	if err := tb.FprintCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `plain,"with,comma"` {
+		t.Errorf("comma cell not quoted: %q", lines[1])
+	}
+	if lines[2] != `"quo""te",line` {
+		t.Errorf("quote cell not escaped: %q", lines[2])
+	}
+}
+
+func TestTableIIIContents(t *testing.T) {
+	tb := TableIII()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("Table III has 6 configurations, got %d", len(tb.Rows))
+	}
+	last := tb.Rows[5]
+	if last[0] != "32-GPM" || last[2] != "512" || last[4] != "64 MB" || last[5] != "8192 GB/s" {
+		t.Errorf("32-GPM row wrong: %v", last)
+	}
+}
+
+func TestTableIVContents(t *testing.T) {
+	tb := TableIV()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("Table IV has 3 settings, got %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "128 GB/s" || tb.Rows[0][3] != "on-board" {
+		t.Errorf("1x-BW row wrong: %v", tb.Rows[0])
+	}
+	if tb.Rows[2][1] != "512 GB/s" || tb.Rows[2][2] != "2:1" {
+		t.Errorf("4x-BW row wrong: %v", tb.Rows[2])
+	}
+}
+
+func TestTableIbRowErrPct(t *testing.T) {
+	r := TableIbRow{Name: "x", CalibratedNJ: 5.5, PaperNJ: 5.0}
+	if got := r.ErrPct(); got < 9.9 || got > 10.1 {
+		t.Errorf("ErrPct = %g, want 10", got)
+	}
+	if (TableIbRow{PaperNJ: 0}).ErrPct() != 0 {
+		t.Error("zero reference handled")
+	}
+}

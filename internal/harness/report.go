@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig2Table renders the Figure 2 rows.
+func Fig2Table(rows []Fig2Row) *Table {
+	t := &Table{
+		Title:  "Figure 2: energy of strong scaling, on-board integration (normalized to 1-GPM)",
+		Note:   "paper: average energy rises to ~2x at the 32x design point",
+		Header: []string{"GPU capability", "Energy vs 1-GPM"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%dx", r.N), f2(r.EnergyRatio))
+	}
+	return t
+}
+
+// Fig6Table renders the Figure 6 rows.
+func Fig6Table(rows []Fig6Row) *Table {
+	t := &Table{
+		Title:  "Figure 6: EDPSE by workload class, on-package 2x-BW (percent)",
+		Note:   "paper: all-workload average falls from 94% at 2 GPMs to 36% at 32 GPMs; compute >100% at small counts",
+		Header: []string{"Config", "Compute", "Memory", "All"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d-GPM", r.N), f1(r.Compute), f1(r.Memory), f1(r.All))
+	}
+	return t
+}
+
+// Fig7Table renders the Figure 7 rows.
+func Fig7Table(rows []Fig7Row) *Table {
+	t := &Table{
+		Title: "Figure 7: incremental speedup and energy increase vs preceding configuration (2x-BW)",
+		Note: "paper: 1->2 speedup 1.87x, 16->32 speedup 1.47x (monolithic 1.81x), " +
+			"16->32 energy +15.7%; constant energy dominates the growth",
+		Header: []string{"Step", "Speedup", "Monolithic", "dEnergy%",
+			"SMbusy", "SMidle", "Const", "L1->Reg", "L2->L1", "InterGPM", "DRAM->L2"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d->%d", r.FromN, r.ToN),
+			f2(r.Speedup), f2(r.MonolithicSpeedup), f1(r.EnergyIncreasePct),
+			f1(r.SMBusyPct), f1(r.SMIdlePct), f1(r.ConstantPct),
+			f1(r.L1RegPct), f1(r.L2L1Pct), f1(r.InterModulePct), f1(r.DRAMPct),
+		)
+	}
+	return t
+}
+
+// Fig8Table renders the Figure 8 rows.
+func Fig8Table(rows []Fig8Row) *Table {
+	t := &Table{
+		Title:  "Figure 8: EDPSE as a function of interconnect bandwidth (percent)",
+		Note:   "paper: at high GPM counts, 4x bandwidth improves EDPSE by ~3x",
+		Header: []string{"Config", "2-GPM", "4-GPM", "8-GPM", "16-GPM", "32-GPM"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.BW.String(),
+			f1(r.ByGPM[2]), f1(r.ByGPM[4]), f1(r.ByGPM[8]), f1(r.ByGPM[16]), f1(r.ByGPM[32]))
+	}
+	return t
+}
+
+// Fig9Table renders the Figure 9 rows.
+func Fig9Table(rows []Fig9Row) *Table {
+	t := &Table{
+		Title:  "Figure 9: EDPSE for on-board ring vs switched fabrics (percent)",
+		Note:   "paper: a switch nearly doubles 32-GPM EDPSE at unchanged link bandwidth",
+		Header: []string{"Config", "Ring (1x-BW)", "Switch (1x-BW)", "Switch (2x-BW)"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d-GPM", r.N), f1(r.Ring1x), f1(r.Switch1x), f1(r.Switch2x))
+	}
+	return t
+}
+
+// Fig10Table renders the Figure 10 rows.
+func Fig10Table(rows []Fig10Row) *Table {
+	t := &Table{
+		Title: "Figure 10: speedup and energy vs 1-GPM across bandwidth settings",
+		Note: "paper: 16-GPM/2x-BW outperforms 32-GPM/1x-BW at half the energy; " +
+			"4x bandwidth at 32 GPMs cuts energy 27.4% (45% with on-package amortization)",
+		Header: []string{"Config", "BW", "Speedup", "Energy vs 1-GPM"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d-GPM", r.N), r.BW.String(), f2(r.Speedup), f2(r.EnergyRatio))
+	}
+	return t
+}
+
+// LinkEnergyTable renders the link-energy study.
+func LinkEnergyTable(r LinkEnergyResult) *Table {
+	t := &Table{
+		Title:  "Study: interconnect energy sensitivity (32-GPM, on-board 1x-BW)",
+		Note:   "paper: 4x link energy changes EDPSE <1%; 4x energy for 2x bandwidth gains +8.8%",
+		Header: []string{"Design point", "EDPSE (%)", "vs baseline"},
+	}
+	t.AddRow("10 pJ/bit (baseline)", f2(r.BaseEDPSE), "")
+	t.AddRow("2x link energy", f2(r.EDPSEAt2x), fmt.Sprintf("%+.2f%%", (r.EDPSEAt2x-r.BaseEDPSE)/r.BaseEDPSE*100))
+	t.AddRow("4x link energy", f2(r.EDPSEAt4x), fmt.Sprintf("%+.2f%%", (r.EDPSEAt4x-r.BaseEDPSE)/r.BaseEDPSE*100))
+	t.AddRow("4x link energy, 2x bandwidth", f2(r.DoubledBWEDPSE), fmt.Sprintf("%+.2f%%", r.DoubledBWGainPct()))
+	return t
+}
+
+// AmortizationTable renders the amortization study.
+func AmortizationTable(r AmortizationResult) *Table {
+	t := &Table{
+		Title:  "Study: constant-energy amortization (32-GPM, on-package 2x-BW)",
+		Note:   "paper: 50% rate saves 22.3% energy (+8.1 EDPSE pts); 25% saves 10.4% (+3.5 pts)",
+		Header: []string{"Amortization rate", "Energy saving (%)", "EDPSE gain (pts)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%.0f%%", row.Rate*100), f1(row.EnergySavingPct), f1(row.EDPSEGainPts))
+	}
+	return t
+}
+
+// HeadlineTable renders the concluding study.
+func HeadlineTable(r HeadlineResult) *Table {
+	t := &Table{
+		Title: "Study: the paper's concluding trade (32 GPMs)",
+		Note: "paper: 4x bandwidth cuts energy 27.4% (45% adding on-package amortization); " +
+			"best design reaches ~18x speedup with ~10% energy growth",
+		Header: []string{"Quantity", "Value"},
+	}
+	t.AddRow("energy saving, 1x->4x BW (on-board)", f1(r.EnergySavingBW4xPct)+"%")
+	t.AddRow("energy saving, + on-package amortization", f1(r.EnergySavingOnPackagePct)+"%")
+	t.AddRow("best-design speedup vs 1-GPM", f2(r.BestSpeedup)+"x")
+	t.AddRow("best-design energy vs 1-GPM", f2(r.BestEnergyRatio)+"x")
+	return t
+}
+
+// TableIbTable renders the calibrated-vs-published comparison.
+func TableIbTable(rows []TableIbRow) *Table {
+	t := &Table{
+		Title:  "Table Ib: calibrated EPI/EPT vs published values (nJ)",
+		Note:   "calibrated on the reference silicon with the Fig. 3 microbenchmark flow (Eq. 5)",
+		Header: []string{"Class", "Calibrated", "Published", "Error"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.4f", r.CalibratedNJ), fmt.Sprintf("%.4f", r.PaperNJ),
+			fmt.Sprintf("%+.1f%%", r.ErrPct()))
+	}
+	return t
+}
+
+// ValidationTables renders Table Ib, Fig. 4a, and Fig. 4b.
+func ValidationTables(v *Validation) []*Table {
+	fig4a := &Table{
+		Title:  "Figure 4a: energy estimation error, mixed-instruction microbenchmarks",
+		Note:   "paper: errors within +2.5% and -6%",
+		Header: []string{"Microbenchmark", "Error"},
+	}
+	for _, e := range v.Fig4a {
+		fig4a.AddRow(e.Name, fmt.Sprintf("%+.2f%%", e.ErrPct()))
+	}
+	fig4b := &Table{
+		Title: "Figure 4b: energy estimation error, real applications",
+		Note: fmt.Sprintf("paper: 9.4%% MAE with 4 outliers >30%% (RSBench, CoMD, BFS, MiniAMR); "+
+			"this run: %.1f%% MAE, outliers %v", v.Fig4bMAEPct(), v.Fig4bOutliers(30)),
+		Header: []string{"Application", "Error", "Modeled (J)", "Measured (J)"},
+	}
+	for _, e := range v.Fig4b {
+		fig4b.AddRow(e.Name, fmt.Sprintf("%+.1f%%", e.ErrPct()),
+			fmt.Sprintf("%.4g", e.ModeledJoules), fmt.Sprintf("%.4g", e.MeasuredJoules))
+	}
+	return []*Table{TableIbTable(v.TableIb), fig4a, fig4b}
+}
+
+// RunAll executes every experiment and writes the full report.
+func (h *Harness) RunAll(w io.Writer) error {
+	if err := TableIII().Fprint(w); err != nil {
+		return err
+	}
+	if err := TableIV().Fprint(w); err != nil {
+		return err
+	}
+
+	v, err := h.Validate()
+	if err != nil {
+		return err
+	}
+	for _, t := range ValidationTables(v) {
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+
+	fig2, err := h.Figure2()
+	if err != nil {
+		return err
+	}
+	if err := Fig2Table(fig2).Fprint(w); err != nil {
+		return err
+	}
+
+	fig6, err := h.Figure6()
+	if err != nil {
+		return err
+	}
+	if err := Fig6Table(fig6).Fprint(w); err != nil {
+		return err
+	}
+
+	fig7, err := h.Figure7()
+	if err != nil {
+		return err
+	}
+	if err := Fig7Table(fig7).Fprint(w); err != nil {
+		return err
+	}
+
+	fig8, err := h.Figure8()
+	if err != nil {
+		return err
+	}
+	if err := Fig8Table(fig8).Fprint(w); err != nil {
+		return err
+	}
+
+	fig9, err := h.Figure9()
+	if err != nil {
+		return err
+	}
+	if err := Fig9Table(fig9).Fprint(w); err != nil {
+		return err
+	}
+
+	fig10, err := h.Figure10()
+	if err != nil {
+		return err
+	}
+	if err := Fig10Table(fig10).Fprint(w); err != nil {
+		return err
+	}
+
+	link, err := h.LinkEnergyStudy()
+	if err != nil {
+		return err
+	}
+	if err := LinkEnergyTable(link).Fprint(w); err != nil {
+		return err
+	}
+
+	amort, err := h.AmortizationStudy()
+	if err != nil {
+		return err
+	}
+	if err := AmortizationTable(amort).Fprint(w); err != nil {
+		return err
+	}
+
+	head, err := h.HeadlineStudy()
+	if err != nil {
+		return err
+	}
+	if err := HeadlineTable(head).Fprint(w); err != nil {
+		return err
+	}
+
+	abl, err := h.AblationStudy()
+	if err != nil {
+		return err
+	}
+	return AblationTable(abl).Fprint(w)
+}

@@ -1,0 +1,12 @@
+package harness
+
+import "testing"
+
+// skipIfShort guards the multi-minute integration tests; `go test
+// -short` runs only the fast unit tests.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration shape test; skipped with -short")
+	}
+}

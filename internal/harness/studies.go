@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"gpujoule/internal/core"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/stats"
+)
+
+// LinkEnergyResult is the §V-C interconnect-energy point study on the
+// 32-GPM on-board (1x-BW) design.
+type LinkEnergyResult struct {
+	// BaseEDPSE is the average EDPSE at the published 10 pJ/bit cost.
+	BaseEDPSE float64
+	// EDPSEAt2x and EDPSEAt4x rerun the energy model with 2× and 4×
+	// the per-bit link cost, bandwidth unchanged.
+	EDPSEAt2x, EDPSEAt4x float64
+	// DoubledBWEDPSE evaluates the trade the paper advocates: pay 4×
+	// the per-bit energy to obtain 2× the bandwidth (the 2x-BW run
+	// priced at 40 pJ/bit, still on-board).
+	DoubledBWEDPSE float64
+}
+
+// MaxEDPSEChangePct returns the largest relative EDPSE change (in
+// percent) caused by the 2×/4× link-energy increases; the paper reports
+// it stays below 1%.
+func (r LinkEnergyResult) MaxEDPSEChangePct() float64 {
+	c2 := (r.BaseEDPSE - r.EDPSEAt2x) / r.BaseEDPSE * 100
+	c4 := (r.BaseEDPSE - r.EDPSEAt4x) / r.BaseEDPSE * 100
+	return stats.Max([]float64{c2, c4})
+}
+
+// DoubledBWGainPct returns the EDPSE gain (percentage points relative
+// change) of buying 2× bandwidth with 4× link energy; the paper reports
+// +8.8% for the 32-GPM design.
+func (r LinkEnergyResult) DoubledBWGainPct() float64 {
+	return (r.DoubledBWEDPSE - r.BaseEDPSE) / r.BaseEDPSE * 100
+}
+
+// LinkEnergyStudy regenerates the §V-C interconnect-energy study.
+func (h *Harness) LinkEnergyStudy() (LinkEnergyResult, error) {
+	var res LinkEnergyResult
+	cfg := sim.MultiGPM(32, sim.BW1x) // on-board by default
+
+	base, err := h.averageEDPSE(cfg, h.onBoard)
+	if err != nil {
+		return res, err
+	}
+	res.BaseEDPSE = base
+
+	at2x, err := h.averageEDPSE(cfg, h.onBoard.WithLinkEnergy(2))
+	if err != nil {
+		return res, err
+	}
+	res.EDPSEAt2x = at2x
+
+	at4x, err := h.averageEDPSE(cfg, h.onBoard.WithLinkEnergy(4))
+	if err != nil {
+		return res, err
+	}
+	res.EDPSEAt4x = at4x
+
+	// The advocated trade: 2× bandwidth at 4× per-bit energy, still
+	// on-board (no amortization).
+	cfg2x := sim.MultiGPM(32, sim.BW2x)
+	cfg2x.Domain = sim.DomainOnBoard
+	traded, err := h.averageEDPSE(cfg2x, h.onBoard.WithLinkEnergy(4))
+	if err != nil {
+		return res, err
+	}
+	res.DoubledBWEDPSE = traded
+	return res, nil
+}
+
+// AmortizationResult is the §V-C constant-energy amortization study on
+// the 32-GPM on-package (2x-BW) design.
+type AmortizationResult struct {
+	// Rows holds one entry per amortization rate.
+	Rows []AmortizationRow
+}
+
+// AmortizationRow is one amortization rate's outcome.
+type AmortizationRow struct {
+	// Rate is the fraction of per-GPM constant power shared.
+	Rate float64
+	// EnergySavingPct is the average absolute energy decrease versus
+	// no amortization.
+	EnergySavingPct float64
+	// EDPSEGainPts is the average EDPSE increase versus no
+	// amortization, in percentage points.
+	EDPSEGainPts float64
+}
+
+// AmortizationStudy regenerates the §V-C study: the paper reports a
+// 22.3% energy decrease and +8.1 EDPSE at a 50% rate, and 10.4% /
+// +3.5 at 25%.
+func (h *Harness) AmortizationStudy() (AmortizationResult, error) {
+	var res AmortizationResult
+	cfg := sim.MultiGPM(32, sim.BW2x)
+
+	type accum struct{ energy, edpse []float64 }
+	rates := []float64{0, 0.25, 0.5}
+	accums := make([]accum, len(rates))
+	models := make([]*core.Model, len(rates))
+	for i, rate := range rates {
+		models[i] = h.onPackage.WithAmortization(rate)
+	}
+
+	for _, app := range h.apps {
+		base, err := h.baseline(app)
+		if err != nil {
+			return res, err
+		}
+		r, err := h.run(app, cfg)
+		if err != nil {
+			return res, err
+		}
+		for i, m := range models {
+			s := sample(m, r)
+			accums[i].energy = append(accums[i].energy, s.EnergyJoules)
+			accums[i].edpse = append(accums[i].edpse, metrics.EDPSE(sample(m, base), cfg.GPMs, s))
+		}
+	}
+
+	baseEnergy := stats.Mean(accums[0].energy)
+	baseEDPSE := stats.Mean(accums[0].edpse)
+	for i, rate := range rates[1:] {
+		e := stats.Mean(accums[i+1].energy)
+		d := stats.Mean(accums[i+1].edpse)
+		res.Rows = append(res.Rows, AmortizationRow{
+			Rate:            rate,
+			EnergySavingPct: (baseEnergy - e) / baseEnergy * 100,
+			EDPSEGainPts:    d - baseEDPSE,
+		})
+	}
+	return res, nil
+}
+
+// HeadlineResult is the §V-D / §VII conclusion: starting from the
+// 32-GPM on-board 1x-BW design, raising inter-GPM bandwidth 4× cuts
+// energy substantially, and moving on-package (amortizing constant
+// energy) cuts it further — while strong-scaling speedup reaches ≈18×.
+type HeadlineResult struct {
+	// EnergySavingBW4xPct is the average energy reduction from the
+	// 1x-BW on-board design to the 4x-BW design, same domain (paper:
+	// 27.4%).
+	EnergySavingBW4xPct float64
+	// EnergySavingOnPackagePct adds on-package amortization (paper:
+	// 45%).
+	EnergySavingOnPackagePct float64
+	// BestSpeedup is the mean 32-GPM speedup over 1-GPM at 4x-BW.
+	BestSpeedup float64
+	// BestEnergyRatio is the mean 32-GPM on-package 4x-BW energy
+	// normalized to 1-GPM (paper: energy growth cut from >100% to
+	// ≈10%).
+	BestEnergyRatio float64
+}
+
+// HeadlineStudy regenerates the paper's concluding numbers.
+func (h *Harness) HeadlineStudy() (HeadlineResult, error) {
+	var res HeadlineResult
+
+	cfg4xOnBoard := sim.MultiGPM(32, sim.BW4x)
+	cfg4xOnBoard.Domain = sim.DomainOnBoard
+
+	var e1x, e4xBoard, e4xPkg, speedups, ratios []float64
+	for _, app := range h.apps {
+		base, err := h.baseline(app)
+		if err != nil {
+			return res, err
+		}
+		r1x, err := h.scaled(app, 32, sim.BW1x)
+		if err != nil {
+			return res, err
+		}
+		r4x, err := h.scaled(app, 32, sim.BW4x)
+		if err != nil {
+			return res, err
+		}
+		// Same physical run; energy priced per domain.
+		e1x = append(e1x, h.onBoard.EstimateEnergy(&r1x.Counts))
+		e4xBoard = append(e4xBoard, h.onBoard.EstimateEnergy(&r4x.Counts))
+		e4xPkg = append(e4xPkg, h.onPackage.EstimateEnergy(&r4x.Counts))
+
+		bs := sample(h.onPackage, base)
+		ss := sample(h.onPackage, r4x)
+		speedups = append(speedups, metrics.Speedup(bs, ss))
+		ratios = append(ratios, metrics.EnergyRatio(bs, ss))
+	}
+	base := stats.Mean(e1x)
+	res.EnergySavingBW4xPct = (base - stats.Mean(e4xBoard)) / base * 100
+	res.EnergySavingOnPackagePct = (base - stats.Mean(e4xPkg)) / base * 100
+	res.BestSpeedup = stats.Mean(speedups)
+	res.BestEnergyRatio = stats.Mean(ratios)
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+
+	"gpujoule/internal/sim"
+	"gpujoule/internal/stats"
+	"gpujoule/internal/workloads"
+)
+
+// EfficientScaleRow reports, for one bandwidth setting, the largest
+// module count whose average EDPSE still meets the threshold — the
+// design rule the paper proposes in §III ("future designs will have to
+// satisfy EDPSE design thresholds, e.g. 50%, to justify hardware
+// improvements").
+type EfficientScaleRow struct {
+	BW sim.BWSetting
+	// MaxEfficientGPMs is the largest Table III module count meeting
+	// the threshold (0 when even 2 GPMs miss it).
+	MaxEfficientGPMs int
+	// EDPSEAtMax is the average EDPSE at that point.
+	EDPSEAtMax float64
+	// EDPSEAt32 is the average EDPSE at the 32-GPM point, for context.
+	EDPSEAt32 float64
+}
+
+// EfficientScaleStudy applies the §III threshold rule across the
+// Table IV bandwidth settings. The paper's observation: at the
+// baseline 2x-BW, on-package designs cross the 50% threshold when
+// scaled beyond 16 GPMs.
+func (h *Harness) EfficientScaleStudy(thresholdPct float64) ([]EfficientScaleRow, error) {
+	fig8, err := h.Figure8()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EfficientScaleRow, 0, len(fig8))
+	for _, row := range fig8 {
+		r := EfficientScaleRow{BW: row.BW, EDPSEAt32: row.ByGPM[32]}
+		for _, n := range GPMSteps {
+			if v := row.ByGPM[n]; v >= thresholdPct {
+				r.MaxEfficientGPMs = n
+				r.EDPSEAtMax = v
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EfficientScaleTable renders the threshold study.
+func EfficientScaleTable(rows []EfficientScaleRow, thresholdPct float64) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Study: largest efficient scale at the §III %.0f%% EDPSE threshold", thresholdPct),
+		Note:   "paper: on-package designs run into efficiency limits beyond 16 GPMs at 2x-BW",
+		Header: []string{"Bandwidth", "Max efficient GPMs", "EDPSE there", "EDPSE at 32 GPMs"},
+	}
+	for _, r := range rows {
+		max := fmt.Sprintf("%d", r.MaxEfficientGPMs)
+		at := f1(r.EDPSEAtMax)
+		if r.MaxEfficientGPMs == 0 {
+			max, at = "none", "-"
+		}
+		t.AddRow(r.BW.String(), max, at, f1(r.EDPSEAt32))
+	}
+	return t
+}
+
+// WeakScalingRow is one module count of the weak-scaling companion
+// study: the problem grows with the machine (Gustafson regime), unlike
+// the paper's strong-scaling focus.
+type WeakScalingRow struct {
+	N int
+	// TimeRatio is t_N/t_1: 1.0 means perfect weak scaling.
+	TimeRatio float64
+	// EnergyPerWork is E_N/(N*E_1): energy per unit of work relative
+	// to the 1-GPM design.
+	EnergyPerWork float64
+}
+
+// WeakScalingStudy runs the evaluation workloads with the problem size
+// scaled proportionally to the module count at the baseline 2x-BW
+// design (the Gustafson regime the paper's intro contrasts with strong
+// scaling). Partitioned work weak-scales cleanly; the all-to-all
+// components (gather/scatter, reductions) do not, because ring
+// bisection bandwidth per module shrinks with module count — so time
+// stays near-flat at small counts and degrades at large ones, a milder
+// version of the strong-scaling collapse.
+func (h *Harness) WeakScalingStudy() ([]WeakScalingRow, error) {
+	baseScale := h.params.Scale
+	if baseScale <= 0 {
+		baseScale = 1
+	}
+	// Weak scaling needs its own runs (different problem sizes), so it
+	// uses a private cache via fresh app builds at each size.
+	m := h.onPackage
+	out := make([]WeakScalingRow, 0, len(GPMSteps))
+
+	var t1, e1 float64
+	{
+		var ts, es []float64
+		for _, app := range workloads.Eval14(workloads.Params{Scale: baseScale / 4}) {
+			r, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, r.Seconds())
+			es = append(es, m.EstimateEnergy(&r.Counts))
+		}
+		t1, e1 = stats.Mean(ts), stats.Mean(es)
+	}
+
+	for _, n := range GPMSteps {
+		var ts, es []float64
+		for _, app := range workloads.Eval14(workloads.Params{Scale: baseScale / 4 * float64(n)}) {
+			r, err := sim.Run(sim.MultiGPM(n, sim.BW2x), app)
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, r.Seconds())
+			es = append(es, m.EstimateEnergy(&r.Counts))
+		}
+		out = append(out, WeakScalingRow{
+			N:             n,
+			TimeRatio:     stats.Mean(ts) / t1,
+			EnergyPerWork: stats.Mean(es) / (float64(n) * e1),
+		})
+	}
+	return out, nil
+}
+
+// WeakScalingTable renders the weak-scaling study.
+func WeakScalingTable(rows []WeakScalingRow) *Table {
+	t := &Table{
+		Title: "Study: weak scaling (problem grows with modules, 2x-BW)",
+		Note: "weak scaling holds while traffic stays partition-local and degrades once " +
+			"all-to-all phases meet ring bisection - a milder form of the strong-scaling collapse",
+		Header: []string{"Config", "Time vs 1-GPM", "Energy per work vs 1-GPM"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d-GPM", r.N), f2(r.TimeRatio), f2(r.EnergyPerWork))
+	}
+	return t
+}

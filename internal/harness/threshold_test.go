@@ -1,0 +1,56 @@
+package harness
+
+import "testing"
+
+func TestShapeEfficientScaleStudy(t *testing.T) {
+	skipIfShort(t)
+	rows, err := sharedHarness.EfficientScaleStudy(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("threshold study covers 3 bandwidth settings, got %d", len(rows))
+	}
+	byBW := map[string]EfficientScaleRow{}
+	for _, r := range rows {
+		byBW[r.BW.String()] = r
+		if r.MaxEfficientGPMs == 0 {
+			t.Errorf("%v: even the smallest design misses the threshold", r.BW)
+		}
+		if r.EDPSEAtMax < 50 {
+			t.Errorf("%v: reported max point %d has EDPSE %.1f < threshold",
+				r.BW, r.MaxEfficientGPMs, r.EDPSEAtMax)
+		}
+	}
+	// More bandwidth can only extend (never shrink) the efficient scale.
+	if byBW["4x-BW"].MaxEfficientGPMs < byBW["1x-BW"].MaxEfficientGPMs {
+		t.Errorf("4x-BW efficient scale (%d) below 1x-BW (%d)",
+			byBW["4x-BW"].MaxEfficientGPMs, byBW["1x-BW"].MaxEfficientGPMs)
+	}
+}
+
+func TestShapeWeakScalingStudy(t *testing.T) {
+	skipIfShort(t)
+	rows, err := sharedHarness.WeakScalingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("weak scaling covers 5 module counts, got %d", len(rows))
+	}
+	// Small counts weak-scale well: time and energy/work near-flat.
+	first := rows[0]
+	if first.TimeRatio > 1.5 {
+		t.Errorf("2-GPM weak-scaled time ratio %.2f, want near 1", first.TimeRatio)
+	}
+	if first.EnergyPerWork > 1.3 {
+		t.Errorf("2-GPM energy per work %.2f, want near 1", first.EnergyPerWork)
+	}
+	// Degradation is monotone-ish but far milder than a strong-scaling
+	// slowdown of the same machine would be (time ratio stays well
+	// under N).
+	last := rows[len(rows)-1]
+	if last.TimeRatio > 16 {
+		t.Errorf("32-GPM weak-scaled time ratio %.2f, should stay well under N", last.TimeRatio)
+	}
+}

@@ -1,0 +1,245 @@
+// Package interconnect models the inter-GPM fabrics of multi-module
+// GPUs: the multi-hop ring assumed for on-package integration and the
+// high-radix switch used by on-board systems (§II, §V-C). Fabrics route
+// sector-sized transfers between modules, reserving bandwidth on every
+// traversed link so that NUMA congestion amplifies with module count in
+// rings, exactly the effect the paper identifies as the dominant energy
+// efficiency limiter.
+package interconnect
+
+import (
+	"fmt"
+
+	"gpujoule/internal/memsys"
+)
+
+// Topology names a fabric layout.
+type Topology uint8
+
+// Fabric topologies.
+const (
+	// TopologyRing connects GPMs in a bidirectional ring; transfers
+	// take the minimal-hop direction and consume bandwidth on every
+	// link they traverse.
+	TopologyRing Topology = iota
+	// TopologySwitch connects every GPM to one central high-radix
+	// switch chip; every remote transfer takes exactly one
+	// GPM->switch->GPM route.
+	TopologySwitch
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopologyRing:
+		return "ring"
+	case TopologySwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("topology(%d)", uint8(t))
+	}
+}
+
+// Transfer describes the fabric's handling of one remote sector.
+type Transfer struct {
+	// Done is the completion time in cycles.
+	Done float64
+	// Hops is the number of inter-GPM link traversals charged.
+	Hops int
+	// Switched reports whether the transfer crossed a switch chip.
+	Switched bool
+}
+
+// Fabric routes sector transfers between GPMs.
+type Fabric interface {
+	// Send routes bytes from GPM src to GPM dst starting at time now
+	// (cycles) and returns the transfer outcome. src must differ from
+	// dst.
+	Send(now float64, src, dst, bytes int) Transfer
+	// Hops returns the number of link traversals a transfer from src
+	// to dst makes, without reserving bandwidth.
+	Hops(src, dst int) int
+	// Topology reports the layout.
+	Topology() Topology
+	// GPMs reports the module count.
+	GPMs() int
+	// LinkUtilization returns per-link utilization over the horizon.
+	LinkUtilization(horizon float64) []float64
+	// Reset clears all reservations and statistics.
+	Reset()
+}
+
+// HopLatency is the per-link-traversal latency in cycles (serialization
+// and transit of one hop at 1 GHz).
+const HopLatency = 40
+
+// switchLatency is the additional latency of crossing a switch chip.
+const switchLatency = 60
+
+// Ring is a bidirectional ring fabric. The per-GPM I/O bandwidth budget
+// (Table IV) is split across the two directions, so each of the 2N
+// unidirectional links carries half the per-GPM budget.
+type Ring struct {
+	n int
+	// links[d][i] is the unidirectional link from GPM i in direction d
+	// (0 = clockwise to (i+1)%n, 1 = counter-clockwise to (i-1+n)%n).
+	links [2][]*memsys.BWResource
+}
+
+// NewRing builds a ring of n GPMs where each GPM has perGPMBytesPerCycle
+// of total inter-GPM I/O bandwidth (half per direction).
+func NewRing(n int, perGPMBytesPerCycle float64) *Ring {
+	if n < 2 {
+		panic(fmt.Sprintf("interconnect: ring needs at least 2 GPMs, got %d", n))
+	}
+	r := &Ring{n: n}
+	for d := 0; d < 2; d++ {
+		r.links[d] = make([]*memsys.BWResource, n)
+		for i := 0; i < n; i++ {
+			r.links[d][i] = memsys.NewBWResource(
+				fmt.Sprintf("ring-link[d%d][%d]", d, i), perGPMBytesPerCycle/2)
+		}
+	}
+	return r
+}
+
+// Topology implements Fabric.
+func (r *Ring) Topology() Topology { return TopologyRing }
+
+// Hops implements Fabric: the minimal hop count around the ring.
+func (r *Ring) Hops(src, dst int) int {
+	cw := (dst - src + r.n) % r.n
+	ccw := (src - dst + r.n) % r.n
+	if ccw < cw {
+		return ccw
+	}
+	return cw
+}
+
+// GPMs implements Fabric.
+func (r *Ring) GPMs() int { return r.n }
+
+// Send implements Fabric: the transfer takes the minimal-hop direction,
+// reserving bandwidth on every link along the path in sequence.
+func (r *Ring) Send(now float64, src, dst, bytes int) Transfer {
+	if src == dst {
+		panic(fmt.Sprintf("interconnect: ring transfer %d->%d is local", src, dst))
+	}
+	cw := (dst - src + r.n) % r.n  // hops going clockwise
+	ccw := (src - dst + r.n) % r.n // hops going counter-clockwise
+	dir, hops := 0, cw
+	if ccw < cw {
+		dir, hops = 1, ccw
+	}
+	t := now
+	node := src
+	for h := 0; h < hops; h++ {
+		t = r.links[dir][node].Acquire(t, bytes) + HopLatency
+		if dir == 0 {
+			node = (node + 1) % r.n
+		} else {
+			node = (node - 1 + r.n) % r.n
+		}
+	}
+	return Transfer{Done: t, Hops: hops}
+}
+
+// LinkUtilization implements Fabric.
+func (r *Ring) LinkUtilization(horizon float64) []float64 {
+	out := make([]float64, 0, 2*r.n)
+	for d := 0; d < 2; d++ {
+		for _, l := range r.links[d] {
+			out = append(out, l.Utilization(horizon))
+		}
+	}
+	return out
+}
+
+// Reset implements Fabric.
+func (r *Ring) Reset() {
+	for d := 0; d < 2; d++ {
+		for _, l := range r.links[d] {
+			l.Reset()
+		}
+	}
+}
+
+// Switch is a star fabric through one high-radix switch chip (NVSwitch
+// style, §V-C). Each GPM owns an ingress and an egress link of the full
+// per-GPM I/O bandwidth; every remote transfer consumes the source's
+// egress link and the destination's ingress link — always two link
+// traversals, independent of module count.
+type Switch struct {
+	n       int
+	egress  []*memsys.BWResource // GPM -> switch
+	ingress []*memsys.BWResource // switch -> GPM
+}
+
+// NewSwitch builds a switch fabric over n GPMs with the given per-GPM
+// I/O bandwidth on each of the ingress and egress links.
+func NewSwitch(n int, perGPMBytesPerCycle float64) *Switch {
+	if n < 2 {
+		panic(fmt.Sprintf("interconnect: switch needs at least 2 GPMs, got %d", n))
+	}
+	s := &Switch{
+		n:       n,
+		egress:  make([]*memsys.BWResource, n),
+		ingress: make([]*memsys.BWResource, n),
+	}
+	for i := 0; i < n; i++ {
+		s.egress[i] = memsys.NewBWResource(fmt.Sprintf("switch-egress[%d]", i), perGPMBytesPerCycle)
+		s.ingress[i] = memsys.NewBWResource(fmt.Sprintf("switch-ingress[%d]", i), perGPMBytesPerCycle)
+	}
+	return s
+}
+
+// Topology implements Fabric.
+func (s *Switch) Topology() Topology { return TopologySwitch }
+
+// Hops implements Fabric: always two link traversals (egress + ingress).
+func (s *Switch) Hops(src, dst int) int { return 2 }
+
+// GPMs implements Fabric.
+func (s *Switch) GPMs() int { return s.n }
+
+// Send implements Fabric.
+func (s *Switch) Send(now float64, src, dst, bytes int) Transfer {
+	if src == dst {
+		panic(fmt.Sprintf("interconnect: switch transfer %d->%d is local", src, dst))
+	}
+	t := s.egress[src].Acquire(now, bytes) + HopLatency + switchLatency
+	t = s.ingress[dst].Acquire(t, bytes) + HopLatency
+	return Transfer{Done: t, Hops: 2, Switched: true}
+}
+
+// LinkUtilization implements Fabric.
+func (s *Switch) LinkUtilization(horizon float64) []float64 {
+	out := make([]float64, 0, 2*s.n)
+	for _, l := range s.egress {
+		out = append(out, l.Utilization(horizon))
+	}
+	for _, l := range s.ingress {
+		out = append(out, l.Utilization(horizon))
+	}
+	return out
+}
+
+// Reset implements Fabric.
+func (s *Switch) Reset() {
+	for i := 0; i < s.n; i++ {
+		s.egress[i].Reset()
+		s.ingress[i].Reset()
+	}
+}
+
+// New builds a fabric of the given topology. A 1-GPM GPU has no fabric;
+// callers must not construct one.
+func New(t Topology, gpms int, perGPMBytesPerCycle float64) Fabric {
+	switch t {
+	case TopologyRing:
+		return NewRing(gpms, perGPMBytesPerCycle)
+	case TopologySwitch:
+		return NewSwitch(gpms, perGPMBytesPerCycle)
+	default:
+		panic(fmt.Sprintf("interconnect: unknown topology %v", t))
+	}
+}

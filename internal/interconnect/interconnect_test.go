@@ -1,0 +1,168 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingHops(t *testing.T) {
+	r := NewRing(8, 128)
+	cases := []struct{ src, dst, hops int }{
+		{0, 1, 1}, {0, 7, 1}, {0, 4, 4}, {1, 6, 3}, {6, 1, 3}, {3, 4, 1},
+	}
+	for _, c := range cases {
+		if got := r.Hops(c.src, c.dst); got != c.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+}
+
+func TestRingHopsProperty(t *testing.T) {
+	r := NewRing(16, 128)
+	f := func(a, b uint8) bool {
+		src, dst := int(a%16), int(b%16)
+		if src == dst {
+			return true
+		}
+		h := r.Hops(src, dst)
+		// Symmetric, positive, and at most half the ring.
+		return h == r.Hops(dst, src) && h >= 1 && h <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingSendChargesPerHop(t *testing.T) {
+	r := NewRing(8, 128)
+	tr := r.Send(0, 0, 3, 128)
+	if tr.Hops != 3 {
+		t.Errorf("0->3 should traverse 3 links, got %d", tr.Hops)
+	}
+	if tr.Switched {
+		t.Error("ring transfers never cross a switch")
+	}
+	// Per-hop latency must accumulate.
+	if tr.Done < 3*HopLatency {
+		t.Errorf("3-hop transfer done at %f, want >= %d", tr.Done, 3*HopLatency)
+	}
+	one := r.Send(0, 4, 5, 128)
+	if one.Hops != 1 || one.Done >= tr.Done {
+		t.Error("adjacent transfer should be cheaper than 3-hop")
+	}
+}
+
+func TestRingTakesShortestDirection(t *testing.T) {
+	r := NewRing(8, 128)
+	if tr := r.Send(0, 7, 0, 32); tr.Hops != 1 {
+		t.Errorf("0->7 on an 8-ring wraps in 1 hop, got %d", tr.Hops)
+	}
+}
+
+func TestRingBandwidthContention(t *testing.T) {
+	r := NewRing(4, 128) // 64 B/cyc per directional link
+	var last float64
+	for i := 0; i < 1000; i++ {
+		last = r.Send(0, 0, 1, 128).Done
+	}
+	// 1000 * 128 bytes over a 64 B/cyc link is 2000 cycles of service.
+	if last < 1900 {
+		t.Errorf("saturated link finished at %f, want >= 1900", last)
+	}
+}
+
+func TestRingLocalTransferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("src == dst must panic")
+		}
+	}()
+	NewRing(4, 128).Send(0, 2, 2, 32)
+}
+
+func TestSwitchHopsAndLatency(t *testing.T) {
+	s := NewSwitch(16, 128)
+	tr := s.Send(0, 3, 11, 128)
+	if tr.Hops != 2 || !tr.Switched {
+		t.Errorf("switch transfer: hops=%d switched=%v, want 2/true", tr.Hops, tr.Switched)
+	}
+	if s.Hops(1, 2) != 2 {
+		t.Error("switch hop count is always 2")
+	}
+	if tr.Done < 2*HopLatency+switchLatency {
+		t.Errorf("switch latency missing: done %f", tr.Done)
+	}
+}
+
+func TestSwitchAvoidsThroughTraffic(t *testing.T) {
+	// The defining property of a high-radix switch (§V-C): disjoint
+	// pairs do not contend, while a ring's through-traffic does.
+	ring := NewRing(8, 128)
+	sw := NewSwitch(8, 128)
+
+	// Saturate path 0->4 on both fabrics.
+	for i := 0; i < 500; i++ {
+		ring.Send(0, 0, 4, 128)
+		sw.Send(0, 0, 4, 128)
+	}
+	// A disjoint pair 1->5: on the ring its shortest path shares links
+	// with 0->4 traffic; on the switch it is fully independent.
+	ringDone := ring.Send(0, 1, 5, 128).Done
+	swDone := sw.Send(0, 1, 5, 128).Done
+	if swDone >= ringDone {
+		t.Errorf("switch transfer (%f) should beat congested ring (%f)", swDone, ringDone)
+	}
+}
+
+func TestFabricConstructors(t *testing.T) {
+	if New(TopologyRing, 4, 128).Topology() != TopologyRing {
+		t.Error("New(ring) built the wrong fabric")
+	}
+	if New(TopologySwitch, 4, 128).Topology() != TopologySwitch {
+		t.Error("New(switch) built the wrong fabric")
+	}
+	for _, f := range []Fabric{New(TopologyRing, 4, 128), New(TopologySwitch, 4, 128)} {
+		if f.GPMs() != 4 {
+			t.Errorf("%v fabric reports %d GPMs, want 4", f.Topology(), f.GPMs())
+		}
+		if got := len(f.LinkUtilization(100)); got != 8 {
+			t.Errorf("%v fabric reports %d links, want 8", f.Topology(), got)
+		}
+	}
+}
+
+func TestFabricReset(t *testing.T) {
+	for _, f := range []Fabric{New(TopologyRing, 4, 64), New(TopologySwitch, 4, 64)} {
+		for i := 0; i < 100; i++ {
+			f.Send(0, 0, 2, 128)
+		}
+		f.Reset()
+		for _, u := range f.LinkUtilization(1000) {
+			if u != 0 {
+				t.Errorf("%v link utilization %f after Reset", f.Topology(), u)
+			}
+		}
+	}
+}
+
+func TestTopologyStrings(t *testing.T) {
+	if TopologyRing.String() != "ring" || TopologySwitch.String() != "switch" {
+		t.Error("topology names wrong")
+	}
+}
+
+func TestSmallFabricPanics(t *testing.T) {
+	for _, build := range []func(){
+		func() { NewRing(1, 128) },
+		func() { NewSwitch(1, 128) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("single-GPM fabric must panic")
+				}
+			}()
+			build()
+		}()
+	}
+}

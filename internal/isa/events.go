@@ -1,0 +1,159 @@
+package isa
+
+import "fmt"
+
+// TxnKind classifies a data-movement transaction between two levels of
+// the GPU memory hierarchy. These are exactly the transaction classes of
+// Table Ib's "Data Movement Transactions" section, extended with the
+// inter-GPM link transfers introduced by multi-module designs (§V-A2).
+type TxnKind uint8
+
+// Data-movement transaction classes.
+const (
+	// TxnShmToRF is a 128-byte shared memory to register file transfer.
+	TxnShmToRF TxnKind = iota
+	// TxnL1ToRF is a 128-byte L1 cache to register file transfer
+	// (an L1 hit delivering a full cache line to the warp).
+	TxnL1ToRF
+	// TxnL2ToL1 is a 32-byte sector transfer from L2 into L1.
+	TxnL2ToL1
+	// TxnDRAMToL2 is a 32-byte sector transfer from DRAM into L2.
+	TxnDRAMToL2
+	// TxnInterGPM is a 32-byte sector crossing one inter-GPM link hop.
+	// Multi-hop transfers record one transaction per hop so that link
+	// energy scales with distance, as in a ring.
+	TxnInterGPM
+	// TxnSwitch is a 32-byte sector traversing a switch chip (charged
+	// in addition to the link hops on either side, per §V-C footnote).
+	TxnSwitch
+
+	numTxnKinds
+)
+
+// NumTxnKinds is the number of transaction classes, for sizing arrays.
+const NumTxnKinds = int(numTxnKinds)
+
+// Transaction payload sizes in bytes, matching the per-bit energies of
+// Table Ib (5.45 nJ / 5.32 pJ/bit => 128 B; 3.96 nJ / 15.48 pJ/bit and
+// 7.82 nJ / 30.55 pJ/bit => 32 B sectors).
+const (
+	// LineBytes is the cache line size: RF-facing transactions move
+	// whole lines.
+	LineBytes = 128
+	// SectorBytes is the sector size: inter-cache, DRAM, and inter-GPM
+	// transactions move 32-byte sectors.
+	SectorBytes = 32
+	// SectorsPerLine is the number of sectors in a cache line.
+	SectorsPerLine = LineBytes / SectorBytes
+)
+
+var txnNames = [NumTxnKinds]string{
+	TxnShmToRF:  "SharedMem->RF",
+	TxnL1ToRF:   "L1->RF",
+	TxnL2ToL1:   "L2->L1",
+	TxnDRAMToL2: "DRAM->L2",
+	TxnInterGPM: "InterGPM",
+	TxnSwitch:   "Switch",
+}
+
+// String returns the human-readable name of the transaction class.
+func (k TxnKind) String() string {
+	if int(k) < NumTxnKinds {
+		return txnNames[k]
+	}
+	return fmt.Sprintf("TXN(%d)", uint8(k))
+}
+
+// Bytes returns the payload size of one transaction of this class.
+func (k TxnKind) Bytes() int {
+	switch k {
+	case TxnShmToRF, TxnL1ToRF:
+		return LineBytes
+	default:
+		return SectorBytes
+	}
+}
+
+// Counts aggregates every event class the GPUJoule energy model consumes
+// (Eq. 4): per-class instruction counts, per-class transaction counts,
+// SM lane-stall cycles, and execution time. The performance simulator
+// (and the reference silicon) produce a Counts; the energy model reads
+// it without any further knowledge of the machine.
+type Counts struct {
+	// Inst[op] is the number of executed warp-level instructions of
+	// class op, multiplied by the number of active threads (the paper's
+	// EPIs are per thread-level instruction).
+	Inst [NumOps]uint64
+
+	// WarpInst[op] is the number of executed warp-level instructions of
+	// class op, regardless of how many threads were active. The
+	// difference between 32*WarpInst and Inst measures control
+	// divergence, which GPUJoule deliberately does not model (§IV-A)
+	// but the reference silicon charges for.
+	WarpInst [NumOps]uint64
+
+	// Txn[kind] is the number of data-movement transactions of the
+	// given class.
+	Txn [NumTxnKinds]uint64
+
+	// StallCycles is the total number of SM cycles in which an SM had
+	// at least one resident warp but could issue nothing (a compute
+	// lane stall, §IV). Idle SMs with no work also accumulate here:
+	// the paper attributes GPM idle time waiting on remote memory to
+	// this term plus constant power exposure.
+	StallCycles uint64
+
+	// Cycles is the end-to-end execution time in GPU cycles.
+	Cycles uint64
+
+	// SMCount and GPMCount describe the machine that produced the
+	// counts; the energy model uses them to scale constant power.
+	SMCount  int
+	GPMCount int
+}
+
+// Add accumulates o into c (element-wise; Cycles takes the max, since
+// kernels on different GPMs overlap in time).
+func (c *Counts) Add(o *Counts) {
+	for i := range c.Inst {
+		c.Inst[i] += o.Inst[i]
+		c.WarpInst[i] += o.WarpInst[i]
+	}
+	for i := range c.Txn {
+		c.Txn[i] += o.Txn[i]
+	}
+	c.StallCycles += o.StallCycles
+	if o.Cycles > c.Cycles {
+		c.Cycles = o.Cycles
+	}
+	if o.SMCount > c.SMCount {
+		c.SMCount = o.SMCount
+	}
+	if o.GPMCount > c.GPMCount {
+		c.GPMCount = o.GPMCount
+	}
+}
+
+// AddSequential accumulates o into c treating o as a later phase of the
+// same run: cycles add instead of max.
+func (c *Counts) AddSequential(o *Counts) {
+	cyc := c.Cycles + o.Cycles
+	c.Add(o)
+	c.Cycles = cyc
+}
+
+// TotalInstructions returns the total thread-level instruction count
+// across all compute classes.
+func (c *Counts) TotalInstructions() uint64 {
+	var n uint64
+	for op := OpFAdd32; op <= OpRcp32; op++ {
+		n += c.Inst[op]
+	}
+	return n
+}
+
+// TotalTransactionBytes returns the total bytes moved by transactions of
+// the given class.
+func (c *Counts) TotalTransactionBytes(k TxnKind) uint64 {
+	return c.Txn[k] * uint64(k.Bytes())
+}

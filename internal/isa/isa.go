@@ -1,0 +1,215 @@
+// Package isa defines the PTX-like virtual instruction set used by the
+// GPUJoule reproduction: the compute instruction classes of Table Ib in
+// the paper, the memory-space operations that generate data-movement
+// transactions, and the per-class pipeline latencies used by the
+// performance simulator.
+//
+// The granularity deliberately matches the paper's top-down energy
+// model: instructions are classified only as finely as the energy model
+// distinguishes them (opcode + data type/width), never by
+// microarchitectural port or pipe.
+package isa
+
+import "fmt"
+
+// Op is a PTX-level opcode class. Each Op corresponds to one row of the
+// paper's Table Ib (or a memory operation that produces data-movement
+// transactions rather than a compute EPI).
+type Op uint8
+
+// Compute opcode classes (Table Ib, "PTX Instructions" section).
+const (
+	OpNop Op = iota
+
+	// 32-bit floating point.
+	OpFAdd32
+	OpFMul32
+	OpFFMA32
+
+	// 32-bit integer arithmetic.
+	OpIAdd32
+	OpISub32
+
+	// 32-bit bitwise.
+	OpAnd32
+	OpOr32
+	OpXor32
+
+	// 32-bit float special functions.
+	OpSin32
+	OpCos32
+
+	// 32-bit integer multiply family.
+	OpIMul32
+	OpIMad32
+
+	// 64-bit floating point.
+	OpFAdd64
+	OpFMul64
+	OpFFMA64
+
+	// 32-bit float special-function-unit ops.
+	OpSqrt32
+	OpLog2_32
+	OpExp2_32
+	OpRcp32
+
+	// Memory operations. These carry no EPI; their energy is accounted
+	// through data-movement transactions (EPT) by the memory system.
+	OpLoadGlobal
+	OpStoreGlobal
+	OpLoadShared
+	OpStoreShared
+
+	// Control / synchronization (no Table Ib energy row; modeled as
+	// pipeline-occupancy only).
+	OpBranch
+	OpBarrier
+	OpExit
+
+	numOps
+)
+
+// NumOps is the number of distinct opcode classes, for sizing count arrays.
+const NumOps = int(numOps)
+
+var opNames = [NumOps]string{
+	OpNop:         "NOP",
+	OpFAdd32:      "FADD32",
+	OpFMul32:      "FMUL32",
+	OpFFMA32:      "FFMA32",
+	OpIAdd32:      "IADD32",
+	OpISub32:      "ISUB32",
+	OpAnd32:       "AND32",
+	OpOr32:        "OR32",
+	OpXor32:       "XOR32",
+	OpSin32:       "SIN32",
+	OpCos32:       "COS32",
+	OpIMul32:      "IMUL32",
+	OpIMad32:      "IMAD32",
+	OpFAdd64:      "FADD64",
+	OpFMul64:      "FMUL64",
+	OpFFMA64:      "FFMA64",
+	OpSqrt32:      "SQRT32",
+	OpLog2_32:     "LG2_32",
+	OpExp2_32:     "EX2_32",
+	OpRcp32:       "RCP32",
+	OpLoadGlobal:  "LD.GLOBAL",
+	OpStoreGlobal: "ST.GLOBAL",
+	OpLoadShared:  "LD.SHARED",
+	OpStoreShared: "ST.SHARED",
+	OpBranch:      "BRA",
+	OpBarrier:     "BAR.SYNC",
+	OpExit:        "EXIT",
+}
+
+// String returns the PTX-flavoured mnemonic for the opcode class.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Valid reports whether o names a defined opcode class.
+func (o Op) Valid() bool { return o > OpNop && o < numOps }
+
+// IsCompute reports whether the opcode consumes a compute EPI
+// (i.e. it is one of the Table Ib PTX instruction rows).
+func (o Op) IsCompute() bool { return o >= OpFAdd32 && o <= OpRcp32 }
+
+// IsMemory reports whether the opcode accesses a memory space and so
+// generates data-movement transactions.
+func (o Op) IsMemory() bool { return o >= OpLoadGlobal && o <= OpStoreShared }
+
+// IsGlobalMemory reports whether the opcode accesses the global memory
+// space (and thus traverses the L1/L2/DRAM hierarchy).
+func (o Op) IsGlobalMemory() bool { return o == OpLoadGlobal || o == OpStoreGlobal }
+
+// IsShared reports whether the opcode accesses the on-chip shared memory.
+func (o Op) IsShared() bool { return o == OpLoadShared || o == OpStoreShared }
+
+// IsControl reports whether the opcode is a control or synchronization
+// instruction.
+func (o Op) IsControl() bool { return o == OpBranch || o == OpBarrier || o == OpExit }
+
+// ComputeOps lists every opcode class that carries a Table Ib EPI, in
+// table order. Calibration iterates this list to build microbenchmarks.
+func ComputeOps() []Op {
+	ops := make([]Op, 0, int(OpRcp32-OpFAdd32)+1)
+	for o := OpFAdd32; o <= OpRcp32; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// Latency returns the pipeline latency, in cycles, from issue of the
+// instruction until a dependent instruction of the same warp may issue.
+// Values are representative of a Kepler-class SM; the energy model never
+// reads them (top-down decoupling), only the performance simulator does.
+func (o Op) Latency() int {
+	switch o {
+	case OpFAdd32, OpFMul32, OpFFMA32, OpIAdd32, OpISub32,
+		OpAnd32, OpOr32, OpXor32:
+		return 9
+	case OpIMul32, OpIMad32:
+		return 13
+	case OpFAdd64, OpFMul64, OpFFMA64:
+		return 18
+	case OpSin32, OpCos32, OpSqrt32, OpLog2_32, OpExp2_32, OpRcp32:
+		return 24
+	case OpBranch:
+		return 6
+	case OpBarrier:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// IssueCycles returns the number of SM issue slots the warp instruction
+// occupies. Special-function and 64-bit ops issue at reduced rate on a
+// Kepler-class SM (fewer SFU/DP lanes than the 32-wide warp).
+func (o Op) IssueCycles() int {
+	switch o {
+	case OpSin32, OpCos32, OpSqrt32, OpLog2_32, OpExp2_32, OpRcp32:
+		return 4 // 8 SFU lanes per 32-thread warp
+	case OpFAdd64, OpFMul64, OpFFMA64, OpIMul32, OpIMad32:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Space identifies the memory space accessed by a memory instruction.
+type Space uint8
+
+// Memory spaces.
+const (
+	SpaceNone Space = iota
+	SpaceGlobal
+	SpaceShared
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpaceGlobal:
+		return "global"
+	case SpaceShared:
+		return "shared"
+	default:
+		return "none"
+	}
+}
+
+// Space returns the memory space the opcode accesses.
+func (o Op) Space() Space {
+	switch {
+	case o.IsGlobalMemory():
+		return SpaceGlobal
+	case o.IsShared():
+		return SpaceShared
+	default:
+		return SpaceNone
+	}
+}

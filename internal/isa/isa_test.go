@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                                 Op
+		compute, memory, global, shm, ctrl bool
+	}{
+		{OpFAdd32, true, false, false, false, false},
+		{OpFFMA64, true, false, false, false, false},
+		{OpRcp32, true, false, false, false, false},
+		{OpLoadGlobal, false, true, true, false, false},
+		{OpStoreGlobal, false, true, true, false, false},
+		{OpLoadShared, false, true, false, true, false},
+		{OpStoreShared, false, true, false, true, false},
+		{OpBranch, false, false, false, false, true},
+		{OpBarrier, false, false, false, false, true},
+		{OpExit, false, false, false, false, true},
+		{OpNop, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsCompute(); got != c.compute {
+			t.Errorf("%v.IsCompute() = %v, want %v", c.op, got, c.compute)
+		}
+		if got := c.op.IsMemory(); got != c.memory {
+			t.Errorf("%v.IsMemory() = %v, want %v", c.op, got, c.memory)
+		}
+		if got := c.op.IsGlobalMemory(); got != c.global {
+			t.Errorf("%v.IsGlobalMemory() = %v, want %v", c.op, got, c.global)
+		}
+		if got := c.op.IsShared(); got != c.shm {
+			t.Errorf("%v.IsShared() = %v, want %v", c.op, got, c.shm)
+		}
+		if got := c.op.IsControl(); got != c.ctrl {
+			t.Errorf("%v.IsControl() = %v, want %v", c.op, got, c.ctrl)
+		}
+	}
+}
+
+func TestOpClassesArePartition(t *testing.T) {
+	// Every valid opcode is exactly one of compute, memory, or control.
+	for op := OpNop + 1; op < numOps; op++ {
+		n := 0
+		if op.IsCompute() {
+			n++
+		}
+		if op.IsMemory() {
+			n++
+		}
+		if op.IsControl() {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("%v belongs to %d classes, want exactly 1", op, n)
+		}
+	}
+}
+
+func TestComputeOpsCoverTableIb(t *testing.T) {
+	ops := ComputeOps()
+	if len(ops) != 19 {
+		t.Fatalf("Table Ib has 19 instruction rows, got %d", len(ops))
+	}
+	seen := make(map[Op]bool)
+	for _, op := range ops {
+		if !op.IsCompute() {
+			t.Errorf("%v in ComputeOps but not compute", op)
+		}
+		if seen[op] {
+			t.Errorf("%v duplicated in ComputeOps", op)
+		}
+		seen[op] = true
+	}
+}
+
+func TestOpStringsAreUnique(t *testing.T) {
+	seen := make(map[string]Op)
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if s == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+		if prev, ok := seen[s]; ok {
+			t.Errorf("ops %v and %v share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+	if !strings.HasPrefix(Op(200).String(), "OP(") {
+		t.Errorf("out-of-range op should format numerically, got %q", Op(200).String())
+	}
+}
+
+func TestLatencyAndIssuePositive(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.Latency() <= 0 {
+			t.Errorf("%v latency %d not positive", op, op.Latency())
+		}
+		if op.IssueCycles() <= 0 {
+			t.Errorf("%v issue cycles %d not positive", op, op.IssueCycles())
+		}
+	}
+	if OpFFMA64.Latency() <= OpFAdd32.Latency() {
+		t.Error("DP latency should exceed SP latency")
+	}
+	if OpSin32.IssueCycles() <= OpFAdd32.IssueCycles() {
+		t.Error("SFU ops should issue slower than SP ops")
+	}
+}
+
+func TestSpace(t *testing.T) {
+	if OpLoadGlobal.Space() != SpaceGlobal || OpStoreShared.Space() != SpaceShared {
+		t.Error("memory spaces misclassified")
+	}
+	if OpFAdd32.Space() != SpaceNone {
+		t.Error("compute ops access no memory space")
+	}
+	for _, s := range []Space{SpaceNone, SpaceGlobal, SpaceShared} {
+		if s.String() == "" {
+			t.Errorf("space %d has empty name", s)
+		}
+	}
+}
+
+func TestTxnKindBytes(t *testing.T) {
+	// Table Ib sector arithmetic: RF-facing transactions move 128-byte
+	// lines, everything below moves 32-byte sectors.
+	if TxnShmToRF.Bytes() != 128 || TxnL1ToRF.Bytes() != 128 {
+		t.Error("RF-facing transactions must be 128 bytes")
+	}
+	for _, k := range []TxnKind{TxnL2ToL1, TxnDRAMToL2, TxnInterGPM, TxnSwitch} {
+		if k.Bytes() != 32 {
+			t.Errorf("%v must be a 32-byte sector, got %d", k, k.Bytes())
+		}
+	}
+	if SectorsPerLine != 4 {
+		t.Errorf("128-byte lines hold 4 sectors, got %d", SectorsPerLine)
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	var a, b Counts
+	a.Inst[OpFAdd32] = 10
+	a.WarpInst[OpFAdd32] = 1
+	a.Txn[TxnDRAMToL2] = 5
+	a.StallCycles = 7
+	a.Cycles = 100
+	a.SMCount = 16
+	a.GPMCount = 1
+
+	b.Inst[OpFAdd32] = 32
+	b.WarpInst[OpFAdd32] = 1
+	b.Txn[TxnDRAMToL2] = 3
+	b.StallCycles = 2
+	b.Cycles = 250
+	b.SMCount = 32
+	b.GPMCount = 2
+
+	sum := a
+	sum.Add(&b)
+	if sum.Inst[OpFAdd32] != 42 || sum.WarpInst[OpFAdd32] != 2 {
+		t.Errorf("instruction counts not summed: %+v", sum.Inst[OpFAdd32])
+	}
+	if sum.Txn[TxnDRAMToL2] != 8 || sum.StallCycles != 9 {
+		t.Error("transaction or stall counts not summed")
+	}
+	if sum.Cycles != 250 {
+		t.Errorf("Add takes max cycles (overlap), got %d", sum.Cycles)
+	}
+	if sum.SMCount != 32 || sum.GPMCount != 2 {
+		t.Error("machine shape should take the max")
+	}
+
+	seq := a
+	seq.AddSequential(&b)
+	if seq.Cycles != 350 {
+		t.Errorf("AddSequential sums cycles, got %d", seq.Cycles)
+	}
+}
+
+func TestCountsTotals(t *testing.T) {
+	var c Counts
+	c.Inst[OpFAdd32] = 10
+	c.Inst[OpFFMA64] = 5
+	c.Inst[OpLoadGlobal] = 99 // memory ops excluded from compute total
+	if got := c.TotalInstructions(); got != 15 {
+		t.Errorf("TotalInstructions = %d, want 15", got)
+	}
+	c.Txn[TxnL2ToL1] = 3
+	if got := c.TotalTransactionBytes(TxnL2ToL1); got != 96 {
+		t.Errorf("TotalTransactionBytes = %d, want 96", got)
+	}
+}
+
+func TestCountsAddCommutesProperty(t *testing.T) {
+	f := func(i1, i2 uint32, t1, t2 uint16, s1, s2 uint32) bool {
+		var a, b Counts
+		a.Inst[OpIAdd32] = uint64(i1)
+		b.Inst[OpIAdd32] = uint64(i2)
+		a.Txn[TxnL1ToRF] = uint64(t1)
+		b.Txn[TxnL1ToRF] = uint64(t2)
+		a.StallCycles = uint64(s1)
+		b.StallCycles = uint64(s2)
+
+		ab := a
+		ab.Add(&b)
+		ba := b
+		ba.Add(&a)
+		return ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package memsys provides the memory-system building blocks of the
+// multi-GPM simulator: set-associative caches with LRU replacement, a
+// page table implementing first-touch (or striped) page placement, and
+// bandwidth-limited resources that model DRAM stacks and other shared
+// throughput constraints with organic queueing delay.
+package memsys
+
+import (
+	"fmt"
+
+	"gpujoule/internal/isa"
+)
+
+// Cache is a set-associative, LRU, write-allocate cache with 128-byte
+// lines. It tracks tags only (no data), which is all a performance and
+// energy study needs.
+type Cache struct {
+	sets    []cacheSet
+	setMask uint64
+	ways    int
+
+	// Statistics.
+	Accesses uint64
+	Misses   uint64
+}
+
+type cacheSet struct {
+	// ways, most-recently-used first. Tag 0 is reserved as invalid; the
+	// cache offsets stored tags by 1 to allow address 0.
+	tags []uint64
+}
+
+// NewCache builds a cache of the given total size and associativity.
+// sizeBytes must be a multiple of ways*isa.LineBytes, and the resulting
+// set count must be a power of two.
+func NewCache(sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("memsys: cache size %d and ways %d must be positive", sizeBytes, ways)
+	}
+	lines := sizeBytes / isa.LineBytes
+	if lines*isa.LineBytes != sizeBytes {
+		return nil, fmt.Errorf("memsys: cache size %d is not a multiple of the %d-byte line", sizeBytes, isa.LineBytes)
+	}
+	nsets := lines / ways
+	if nsets*ways != lines {
+		return nil, fmt.Errorf("memsys: %d lines do not divide into %d ways", lines, ways)
+	}
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("memsys: set count %d is not a power of two", nsets)
+	}
+	c := &Cache{
+		sets:    make([]cacheSet, nsets),
+		setMask: uint64(nsets - 1),
+		ways:    ways,
+	}
+	backing := make([]uint64, nsets*ways)
+	for i := range c.sets {
+		c.sets[i].tags = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return c, nil
+}
+
+// MustNewCache is NewCache that panics on configuration error; for use
+// with static, known-good geometries.
+func MustNewCache(sizeBytes, ways int) *Cache {
+	c, err := NewCache(sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lines returns the total line capacity of the cache.
+func (c *Cache) Lines() int { return len(c.sets) * c.ways }
+
+// Access looks up the line containing addr, allocating it on a miss
+// (evicting LRU). It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr / isa.LineBytes
+	tag := line + 1 // reserve 0 as the invalid tag
+	set := &c.sets[line&c.setMask]
+	for i, t := range set.tags {
+		if t == tag {
+			// Move to MRU position.
+			copy(set.tags[1:i+1], set.tags[:i])
+			set.tags[0] = tag
+			return true
+		}
+	}
+	c.Misses++
+	// Evict LRU (last slot), insert at MRU.
+	copy(set.tags[1:], set.tags[:len(set.tags)-1])
+	set.tags[0] = tag
+	return false
+}
+
+// Probe reports whether the line containing addr is present without
+// updating replacement state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr / isa.LineBytes
+	tag := line + 1
+	set := &c.sets[line&c.setMask]
+	for _, t := range set.tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate flushes the entire cache. The simulator calls this at
+// kernel boundaries to model software-based coherence of private
+// caches (§V-A).
+func (c *Cache) Invalidate() {
+	for i := range c.sets {
+		tags := c.sets[i].tags
+		for j := range tags {
+			tags[j] = 0
+		}
+	}
+}
+
+// InvalidateIf evicts every line whose address satisfies pred. Used for
+// selective invalidation of remote lines in module-side L2 caches at
+// kernel boundaries.
+func (c *Cache) InvalidateIf(pred func(addr uint64) bool) {
+	for i := range c.sets {
+		tags := c.sets[i].tags
+		w := 0
+		for _, t := range tags {
+			if t == 0 {
+				continue
+			}
+			addr := (t - 1) * isa.LineBytes
+			if !pred(addr) {
+				tags[w] = t
+				w++
+			}
+		}
+		for ; w < len(tags); w++ {
+			tags[w] = 0
+		}
+	}
+}
+
+// HitRate returns the fraction of accesses that hit, or 0 with no
+// accesses.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(c.Misses)/float64(c.Accesses)
+}
+
+// ResetStats zeroes the access counters without touching contents.
+func (c *Cache) ResetStats() {
+	c.Accesses = 0
+	c.Misses = 0
+}

@@ -1,0 +1,324 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpujoule/internal/isa"
+)
+
+func TestCacheGeometryErrors(t *testing.T) {
+	cases := []struct {
+		size, ways int
+	}{
+		{0, 4},
+		{32 << 10, 0},
+		{100, 4},         // not a multiple of the line size
+		{3 * 128, 2},     // lines do not divide into ways
+		{6 * 128 * 4, 4}, // 6 sets: not a power of two
+	}
+	for _, c := range cases {
+		if _, err := NewCache(c.size, c.ways); err == nil {
+			t.Errorf("NewCache(%d, %d) should fail", c.size, c.ways)
+		}
+	}
+	if _, err := NewCache(32<<10, 4); err != nil {
+		t.Errorf("valid 32KB/4-way cache rejected: %v", err)
+	}
+}
+
+func TestMustNewCachePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewCache should panic on bad geometry")
+		}
+	}()
+	MustNewCache(100, 3)
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := MustNewCache(2*128*4, 2) // 4 sets, 2 ways, 8 lines
+	if c.Access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(64) {
+		t.Error("same-line access should hit")
+	}
+	if c.Accesses != 3 || c.Misses != 1 {
+		t.Errorf("stats accesses=%d misses=%d, want 3/1", c.Accesses, c.Misses)
+	}
+	if hr := c.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Errorf("hit rate %f, want 2/3", hr)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := MustNewCache(128*4, 2) // 2 sets, 2 ways
+	// Three lines mapping to set 0: line numbers 0, 2, 4.
+	a, b, d := uint64(0), uint64(2*128), uint64(4*128)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU, b is LRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b should be evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestCacheProbeDoesNotTouch(t *testing.T) {
+	c := MustNewCache(128*4, 2)
+	c.Access(0)
+	acc, miss := c.Accesses, c.Misses
+	c.Probe(0)
+	c.Probe(1 << 20)
+	if c.Accesses != acc || c.Misses != miss {
+		t.Error("Probe must not update statistics")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := MustNewCache(32<<10, 4)
+	for i := uint64(0); i < 16; i++ {
+		c.Access(i * 128)
+	}
+	c.Invalidate()
+	for i := uint64(0); i < 16; i++ {
+		if c.Probe(i * 128) {
+			t.Fatalf("line %d survived Invalidate", i)
+		}
+	}
+}
+
+func TestCacheInvalidateIf(t *testing.T) {
+	c := MustNewCache(32<<10, 4)
+	for i := uint64(0); i < 32; i++ {
+		c.Access(i * 128)
+	}
+	// Drop odd lines only.
+	c.InvalidateIf(func(addr uint64) bool { return (addr/128)%2 == 1 })
+	for i := uint64(0); i < 32; i++ {
+		got := c.Probe(i * 128)
+		want := i%2 == 0
+		if got != want {
+			t.Errorf("line %d resident=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCacheAddressZero(t *testing.T) {
+	// Address 0 must be cacheable (tag 0 is reserved internally).
+	c := MustNewCache(128*8, 2)
+	c.Access(0)
+	if !c.Probe(0) {
+		t.Error("address 0 not stored")
+	}
+}
+
+func TestCacheResetStats(t *testing.T) {
+	c := MustNewCache(128*8, 2)
+	c.Access(0)
+	c.ResetStats()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("ResetStats should zero counters")
+	}
+	if !c.Probe(0) {
+		t.Error("ResetStats must not evict contents")
+	}
+}
+
+func TestCacheWorkingSetProperty(t *testing.T) {
+	// Property: re-streaming a working set that fits the cache hits on
+	// every post-warmup access.
+	f := func(seed int64) bool {
+		c := MustNewCache(64*128, 4) // 64 lines
+		r := rand.New(rand.NewSource(seed))
+		lines := make([]uint64, 32)
+		base := uint64(r.Intn(1000)) * 128 * 1024
+		for i := range lines {
+			lines[i] = base + uint64(i)*128
+		}
+		for _, a := range lines { // warmup
+			c.Access(a)
+		}
+		for _, a := range lines {
+			if !c.Access(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageTableFirstTouch(t *testing.T) {
+	pt := NewPageTable(4)
+	home := pt.Home(0, 2)
+	if home != 2 {
+		t.Errorf("first touch should assign to toucher 2, got %d", home)
+	}
+	if got := pt.Home(PageBytes-1, 3); got != 2 {
+		t.Errorf("same page must keep its home, got %d", got)
+	}
+	if got := pt.Home(PageBytes, 3); got != 3 {
+		t.Errorf("next page homes on its toucher, got %d", got)
+	}
+	if pt.Pages() != 2 || pt.FirstTouchAssignments != 2 {
+		t.Error("page accounting wrong")
+	}
+}
+
+func TestPageTableLookup(t *testing.T) {
+	pt := NewPageTable(2)
+	if _, ok := pt.Lookup(0); ok {
+		t.Error("untouched page should not resolve")
+	}
+	pt.Home(0, 1)
+	if home, ok := pt.Lookup(100); !ok || home != 1 {
+		t.Error("lookup after touch failed")
+	}
+}
+
+func TestPageTableStripe(t *testing.T) {
+	pt := NewPageTable(4)
+	pt.Stripe(0, 8*PageBytes)
+	dist := pt.Distribution()
+	for g, n := range dist {
+		if n != 2 {
+			t.Errorf("GPM %d holds %d pages, want 2", g, n)
+		}
+	}
+	// Striping must not override existing homes.
+	pt2 := NewPageTable(4)
+	pt2.Home(0, 3)
+	pt2.Stripe(0, 2*PageBytes)
+	if home, _ := pt2.Lookup(0); home != 3 {
+		t.Error("Stripe overrode a first-touch assignment")
+	}
+}
+
+func TestPageTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range toucher should panic")
+		}
+	}()
+	pt := NewPageTable(2)
+	pt.Home(0, 5)
+}
+
+func TestBWResourceUncontended(t *testing.T) {
+	r := NewBWResource("dram", 256)
+	done := r.Acquire(1000, 128)
+	if done < 1000.5 || done > 1000.5+defaultBucketCycles {
+		t.Errorf("uncontended completion %f, want ≈1000.5", done)
+	}
+}
+
+func TestBWResourceMinimumServiceTime(t *testing.T) {
+	// Completion can never beat bytes/bandwidth.
+	f := func(now uint16, kb uint8) bool {
+		r := NewBWResource("x", 64)
+		bytes := (int(kb) + 1) * 128
+		done := r.Acquire(float64(now), bytes)
+		return done >= float64(now)+float64(bytes)/64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBWResourceSaturation(t *testing.T) {
+	// Pushing 2x the capacity of a window must take ~2x the window.
+	r := NewBWResource("dram", 100)
+	var last float64
+	for i := 0; i < 2000; i++ {
+		last = r.Acquire(0, 100) // 2000 * 100 bytes at 100 B/cyc = 2000 cycles
+	}
+	if last < 1900 || last > 2200 {
+		t.Errorf("saturated completion %f, want ≈2000", last)
+	}
+	if u := r.Utilization(2000); u < 0.95 {
+		t.Errorf("utilization %f, want ≈1", u)
+	}
+}
+
+func TestBWResourceBackfill(t *testing.T) {
+	// A request issued later but arriving earlier must be able to use
+	// capacity before a far-future request — the property whose absence
+	// produced the pointer-chase convoy pathology.
+	r := NewBWResource("dram", 256)
+	future := r.Acquire(10000, 128)
+	early := r.Acquire(100, 128)
+	if early >= future {
+		t.Errorf("early request (done %f) starved by future request (done %f)", early, future)
+	}
+	if early > 200+defaultBucketCycles {
+		t.Errorf("early request should complete promptly, done %f", early)
+	}
+}
+
+func TestBWResourceWindowAdvance(t *testing.T) {
+	r := NewBWResource("x", 10)
+	// Jump far beyond the window; must not panic, must serve promptly.
+	far := float64(defaultWindowBuckets*defaultBucketCycles) * 10
+	done := r.Acquire(far, 100)
+	if done < far+10 || done > far+10+defaultBucketCycles {
+		t.Errorf("far-future request mishandled: done %f for now %f", done, far)
+	}
+	// A straggler older than the window clamps to the window start.
+	done2 := r.Acquire(0, 100)
+	if done2 <= 0 {
+		t.Error("straggler must still be served")
+	}
+}
+
+func TestBWResourceReset(t *testing.T) {
+	r := NewBWResource("x", 10)
+	r.Acquire(0, 1000)
+	r.Reset()
+	if r.BytesServed != 0 || r.BusyCycles() != 0 {
+		t.Error("Reset should clear statistics")
+	}
+	if done := r.Acquire(0, 10); done > 1+defaultBucketCycles {
+		t.Errorf("post-reset resource should be idle, done %f", done)
+	}
+}
+
+func TestBWResourceMonotoneInLoadProperty(t *testing.T) {
+	// Property: with equal arrival times, adding more prior traffic
+	// never makes a later request finish sooner.
+	f := func(nReq uint8) bool {
+		light := NewBWResource("l", 32)
+		heavy := NewBWResource("h", 32)
+		for i := 0; i < int(nReq); i++ {
+			heavy.Acquire(0, 128)
+		}
+		return heavy.Acquire(0, 128) >= light.Acquire(0, 128)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBWResourcePanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth should panic")
+		}
+	}()
+	NewBWResource("bad", 0)
+}
+
+var _ = isa.LineBytes // keep the import for geometry-derived constants

@@ -1,0 +1,77 @@
+package memsys
+
+import "fmt"
+
+// PageBytes is the placement granularity used by the page table. 64 KB
+// matches the large-page granularity assumed by prior multi-module GPU
+// work for first-touch placement.
+const PageBytes = 64 * 1024
+
+// PageTable maps pages of the global address space to home GPMs. It
+// implements first-touch placement (the configuration of §V-A1) and
+// striped placement for pre-placed data.
+type PageTable struct {
+	gpms  int
+	homes map[uint64]int
+
+	// FirstTouchAssignments counts pages homed by first touch.
+	FirstTouchAssignments uint64
+}
+
+// NewPageTable returns a page table for a GPU with the given GPM count.
+func NewPageTable(gpms int) *PageTable {
+	if gpms <= 0 {
+		panic(fmt.Sprintf("memsys: page table needs positive GPM count, got %d", gpms))
+	}
+	return &PageTable{gpms: gpms, homes: make(map[uint64]int)}
+}
+
+// GPMs returns the number of modules the table distributes pages over.
+func (pt *PageTable) GPMs() int { return pt.gpms }
+
+// Home returns the home GPM of the page containing addr, assigning it
+// to toucher (the GPM issuing the access) if the page is untouched.
+func (pt *PageTable) Home(addr uint64, toucher int) int {
+	page := addr / PageBytes
+	if home, ok := pt.homes[page]; ok {
+		return home
+	}
+	if toucher < 0 || toucher >= pt.gpms {
+		panic(fmt.Sprintf("memsys: toucher GPM %d out of range [0,%d)", toucher, pt.gpms))
+	}
+	pt.homes[page] = toucher
+	pt.FirstTouchAssignments++
+	return toucher
+}
+
+// Lookup returns the home of the page containing addr without
+// assigning, and whether it was assigned.
+func (pt *PageTable) Lookup(addr uint64) (int, bool) {
+	home, ok := pt.homes[addr/PageBytes]
+	return home, ok
+}
+
+// Stripe pre-assigns every page of [base, base+bytes) round-robin
+// across GPMs, modeling data whose placement was established by an
+// earlier phase with a different access shape.
+func (pt *PageTable) Stripe(base, bytes uint64) {
+	first := base / PageBytes
+	last := (base + bytes - 1) / PageBytes
+	for page := first; page <= last; page++ {
+		if _, ok := pt.homes[page]; !ok {
+			pt.homes[page] = int(page % uint64(pt.gpms))
+		}
+	}
+}
+
+// Pages returns the number of pages with assigned homes.
+func (pt *PageTable) Pages() int { return len(pt.homes) }
+
+// Distribution returns the number of pages homed on each GPM.
+func (pt *PageTable) Distribution() []int {
+	dist := make([]int, pt.gpms)
+	for _, home := range pt.homes {
+		dist[home]++
+	}
+	return dist
+}

@@ -1,0 +1,49 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"gpujoule/internal/metrics"
+)
+
+// A design scaled to 8 modules that achieves a 6x speedup while using
+// 1.2x the energy: Eq. 2 scores the fraction of linear EDP scaling
+// realized.
+func ExampleEDPSE() {
+	base := metrics.Sample{EnergyJoules: 100, DelaySeconds: 8}
+	scaled := metrics.Sample{EnergyJoules: 120, DelaySeconds: 8.0 / 6}
+
+	fmt.Printf("EDPSE = %.1f%%\n", metrics.EDPSE(base, 8, scaled))
+	// Output:
+	// EDPSE = 62.5%
+}
+
+// Parallel efficiency (Eq. 1) ignores energy; EDPSE extends it.
+func ExampleParallelEfficiency() {
+	fmt.Printf("PE = %.1f%%\n", metrics.ParallelEfficiency(8, 8, 8.0/6))
+	// Output:
+	// PE = 75.0%
+}
+
+// EDiPSE (Eq. 3) generalizes the delay weighting: i=2 uses ED²P, which
+// punishes sub-linear speedup harder than EDP does.
+func ExampleEDiPSE() {
+	base := metrics.Sample{EnergyJoules: 100, DelaySeconds: 8}
+	scaled := metrics.Sample{EnergyJoules: 100, DelaySeconds: 2} // 4x on 8 modules
+
+	fmt.Printf("EDPSE  = %.1f%%\n", metrics.EDiPSE(base, 8, scaled, 1))
+	fmt.Printf("ED2PSE = %.1f%%\n", metrics.EDiPSE(base, 8, scaled, 2))
+	// Output:
+	// EDPSE  = 50.0%
+	// ED2PSE = 25.0%
+}
+
+// Derive bundles the scaling metrics of one design point.
+func ExampleDerive() {
+	base := metrics.Sample{EnergyJoules: 50, DelaySeconds: 10}
+	scaled := metrics.Sample{EnergyJoules: 60, DelaySeconds: 2.5}
+
+	fmt.Println(metrics.Derive(base, 4, scaled))
+	// Output:
+	// N=4 speedup=4.00x energy=1.20x EDPSE=83.3% PE=100.0%
+}

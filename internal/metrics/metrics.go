@@ -1,0 +1,113 @@
+// Package metrics implements the efficiency metrics of §III: energy
+// delay product (EDP) and its generalizations, parallel efficiency
+// (Eq. 1), and the paper's contribution, EDP Scaling Efficiency
+// (EDPSE, Eq. 2) with its weighted generalization EDiPSE (Eq. 3).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one (energy, delay) measurement of a design point.
+type Sample struct {
+	// EnergyJoules is the total energy to solution.
+	EnergyJoules float64
+	// DelaySeconds is the time to solution.
+	DelaySeconds float64
+}
+
+// EDP returns the energy-delay product E·D.
+func (s Sample) EDP() float64 { return s.EnergyJoules * s.DelaySeconds }
+
+// EDiP returns the generalized energy-delay product E·Dⁱ.
+func (s Sample) EDiP(i int) float64 {
+	return s.EnergyJoules * math.Pow(s.DelaySeconds, float64(i))
+}
+
+// ED2P returns E·D², the latency-weighted variant mentioned in §III.
+func (s Sample) ED2P() float64 { return s.EDiP(2) }
+
+// Valid reports whether the sample is physically meaningful.
+func (s Sample) Valid() bool {
+	return s.EnergyJoules > 0 && s.DelaySeconds > 0 &&
+		!math.IsInf(s.EnergyJoules, 0) && !math.IsInf(s.DelaySeconds, 0) &&
+		!math.IsNaN(s.EnergyJoules) && !math.IsNaN(s.DelaySeconds)
+}
+
+// ParallelEfficiency implements Eq. 1: the fraction (in percent) of
+// ideal speedup realized when scaling from 1 to n processors, where t1
+// and tn are the respective execution times.
+func ParallelEfficiency(t1 float64, n int, tn float64) float64 {
+	if n <= 0 || tn <= 0 {
+		return math.NaN()
+	}
+	return t1 * 100 / (float64(n) * tn)
+}
+
+// EDPSE implements Eq. 2: EDP Scaling Efficiency in percent, for a
+// design scaled from the base sample (one unit of resources) to n
+// units. 100% means linear EDP scaling (n× speedup at constant
+// energy); values above 100% indicate super-linear speedup or an
+// energy decrease.
+func EDPSE(base Sample, n int, scaled Sample) float64 {
+	return EDiPSE(base, n, scaled, 1)
+}
+
+// EDiPSE implements Eq. 3: the generalized scaling efficiency using
+// E·Dⁱ as the figure of merit, in percent.
+func EDiPSE(base Sample, n int, scaled Sample, i int) float64 {
+	if n <= 0 || !base.Valid() || !scaled.Valid() {
+		return math.NaN()
+	}
+	return base.EDiP(i) * 100 / (math.Pow(float64(n), float64(i)) * scaled.EDiP(i))
+}
+
+// Speedup returns t_base/t_scaled.
+func Speedup(base, scaled Sample) float64 {
+	if scaled.DelaySeconds <= 0 {
+		return math.NaN()
+	}
+	return base.DelaySeconds / scaled.DelaySeconds
+}
+
+// EnergyRatio returns E_scaled/E_base, the normalized energy of Fig. 2
+// and Fig. 10.
+func EnergyRatio(base, scaled Sample) float64 {
+	if base.EnergyJoules <= 0 {
+		return math.NaN()
+	}
+	return scaled.EnergyJoules / base.EnergyJoules
+}
+
+// ScalingPoint bundles the derived metrics of one scaled design point
+// relative to a base design.
+type ScalingPoint struct {
+	// N is the resource multiple of the scaled design.
+	N int
+	// Speedup is t1/tN.
+	Speedup float64
+	// EnergyRatio is EN/E1.
+	EnergyRatio float64
+	// EDPSE is Eq. 2 in percent.
+	EDPSE float64
+	// ParallelEff is Eq. 1 in percent.
+	ParallelEff float64
+}
+
+// Derive computes the full scaling point for base → scaled with n
+// resource units.
+func Derive(base Sample, n int, scaled Sample) ScalingPoint {
+	return ScalingPoint{
+		N:           n,
+		Speedup:     Speedup(base, scaled),
+		EnergyRatio: EnergyRatio(base, scaled),
+		EDPSE:       EDPSE(base, n, scaled),
+		ParallelEff: ParallelEfficiency(base.DelaySeconds, n, scaled.DelaySeconds),
+	}
+}
+
+func (p ScalingPoint) String() string {
+	return fmt.Sprintf("N=%d speedup=%.2fx energy=%.2fx EDPSE=%.1f%% PE=%.1f%%",
+		p.N, p.Speedup, p.EnergyRatio, p.EDPSE, p.ParallelEff)
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEDPFamily(t *testing.T) {
+	s := Sample{EnergyJoules: 10, DelaySeconds: 2}
+	if s.EDP() != 20 {
+		t.Errorf("EDP = %g, want 20", s.EDP())
+	}
+	if s.ED2P() != 40 {
+		t.Errorf("ED2P = %g, want 40", s.ED2P())
+	}
+	if s.EDiP(0) != 10 {
+		t.Errorf("EDiP(0) is just energy, got %g", s.EDiP(0))
+	}
+	if s.EDiP(3) != 80 {
+		t.Errorf("EDiP(3) = %g, want 80", s.EDiP(3))
+	}
+}
+
+func TestParallelEfficiency(t *testing.T) {
+	// Eq. 1: t1=100s, 4 processors, t4=25s => 100%.
+	if pe := ParallelEfficiency(100, 4, 25); math.Abs(pe-100) > 1e-9 {
+		t.Errorf("ideal PE = %g, want 100", pe)
+	}
+	// Sub-linear: t4=50s => 50%.
+	if pe := ParallelEfficiency(100, 4, 50); math.Abs(pe-50) > 1e-9 {
+		t.Errorf("PE = %g, want 50", pe)
+	}
+	if !math.IsNaN(ParallelEfficiency(100, 0, 25)) {
+		t.Error("zero processors is undefined")
+	}
+}
+
+func TestEDPSEIdealScaling(t *testing.T) {
+	// Eq. 2: linear speedup at constant energy gives exactly 100%.
+	base := Sample{EnergyJoules: 100, DelaySeconds: 10}
+	scaled := Sample{EnergyJoules: 100, DelaySeconds: 10.0 / 8}
+	if v := EDPSE(base, 8, scaled); math.Abs(v-100) > 1e-9 {
+		t.Errorf("ideal EDPSE = %g, want 100", v)
+	}
+}
+
+func TestEDPSESuperLinear(t *testing.T) {
+	// Footnote 1: super-linear speedup or an energy decrease pushes
+	// EDPSE above 100%.
+	base := Sample{EnergyJoules: 100, DelaySeconds: 10}
+	scaled := Sample{EnergyJoules: 90, DelaySeconds: 10.0 / 9}
+	if v := EDPSE(base, 8, scaled); v <= 100 {
+		t.Errorf("super-linear EDPSE = %g, want > 100", v)
+	}
+}
+
+func TestEDPSEPaperExample(t *testing.T) {
+	// §III: doubling resources with EDP falling to 0.7x of the base is
+	// NOT a good investment — EDPSE is 1/(2*0.7) ≈ 71%, not 100%.
+	base := Sample{EnergyJoules: 1, DelaySeconds: 1}
+	scaled := Sample{EnergyJoules: 0.7, DelaySeconds: 1} // EDP 0.7x
+	if v := EDPSE(base, 2, scaled); math.Abs(v-100/1.4) > 1e-9 {
+		t.Errorf("EDPSE = %g, want %g", v, 100/1.4)
+	}
+}
+
+func TestEDiPSEWeighting(t *testing.T) {
+	// Eq. 3 with i=2 (ED2P): linear scaling still gives 100%.
+	base := Sample{EnergyJoules: 50, DelaySeconds: 8}
+	scaled := Sample{EnergyJoules: 50, DelaySeconds: 2}
+	if v := EDiPSE(base, 4, scaled, 2); math.Abs(v-100) > 1e-9 {
+		t.Errorf("ED2PSE ideal = %g, want 100", v)
+	}
+	// Energy growth hurts EDPSE more than ED2PSE when delay is ideal.
+	grown := Sample{EnergyJoules: 100, DelaySeconds: 2}
+	if e1, e2 := EDiPSE(base, 4, grown, 1), EDiPSE(base, 4, grown, 2); math.Abs(e1-e2) > 1e-9 {
+		t.Errorf("pure energy growth hits all exponents equally: %g vs %g", e1, e2)
+	}
+	// Delay shortfall hurts higher exponents more.
+	slow := Sample{EnergyJoules: 50, DelaySeconds: 4}
+	if e1, e2 := EDiPSE(base, 4, slow, 1), EDiPSE(base, 4, slow, 2); e2 >= e1 {
+		t.Errorf("ED2PSE (%g) should punish slowness harder than EDPSE (%g)", e2, e1)
+	}
+}
+
+func TestSpeedupAndEnergyRatio(t *testing.T) {
+	base := Sample{EnergyJoules: 10, DelaySeconds: 8}
+	scaled := Sample{EnergyJoules: 15, DelaySeconds: 2}
+	if v := Speedup(base, scaled); v != 4 {
+		t.Errorf("speedup = %g, want 4", v)
+	}
+	if v := EnergyRatio(base, scaled); v != 1.5 {
+		t.Errorf("energy ratio = %g, want 1.5", v)
+	}
+}
+
+func TestInvalidSamples(t *testing.T) {
+	bad := Sample{EnergyJoules: 0, DelaySeconds: 1}
+	good := Sample{EnergyJoules: 1, DelaySeconds: 1}
+	if bad.Valid() {
+		t.Error("zero energy is invalid")
+	}
+	if !math.IsNaN(EDPSE(bad, 2, good)) || !math.IsNaN(EDPSE(good, 2, bad)) {
+		t.Error("invalid samples must yield NaN")
+	}
+	if !math.IsNaN(EDPSE(good, 0, good)) {
+		t.Error("non-positive N must yield NaN")
+	}
+	inf := Sample{EnergyJoules: math.Inf(1), DelaySeconds: 1}
+	if inf.Valid() {
+		t.Error("infinite energy is invalid")
+	}
+}
+
+func TestDerive(t *testing.T) {
+	base := Sample{EnergyJoules: 100, DelaySeconds: 10}
+	scaled := Sample{EnergyJoules: 120, DelaySeconds: 2.5}
+	pt := Derive(base, 8, scaled)
+	if pt.N != 8 || pt.Speedup != 4 || pt.EnergyRatio != 1.2 {
+		t.Errorf("derive wrong: %+v", pt)
+	}
+	wantEDPSE := (100.0 * 10) * 100 / (8 * 120 * 2.5)
+	if math.Abs(pt.EDPSE-wantEDPSE) > 1e-9 {
+		t.Errorf("EDPSE = %g, want %g", pt.EDPSE, wantEDPSE)
+	}
+	if pt.String() == "" {
+		t.Error("scaling point must format")
+	}
+}
+
+func TestEDPSEInverseInNProperty(t *testing.T) {
+	// Property: with fixed samples, EDPSE is inversely proportional to
+	// the resource count N.
+	f := func(e1, d1, e2, d2 uint16, n uint8) bool {
+		base := Sample{EnergyJoules: float64(e1) + 1, DelaySeconds: float64(d1) + 1}
+		scaled := Sample{EnergyJoules: float64(e2) + 1, DelaySeconds: float64(d2) + 1}
+		n1 := int(n%30) + 1
+		v1 := EDPSE(base, n1, scaled)
+		v2 := EDPSE(base, 2*n1, scaled)
+		return math.Abs(v1-2*v2) < 1e-6*math.Max(1, v1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDPSEMatchesParallelEfficiencyProperty(t *testing.T) {
+	// Property: at constant energy, EDPSE degenerates to parallel
+	// efficiency (Eq. 2 extends Eq. 1).
+	f := func(d1, dn uint16, n uint8) bool {
+		t1 := float64(d1) + 1
+		tn := float64(dn) + 1
+		nn := int(n%31) + 1
+		base := Sample{EnergyJoules: 42, DelaySeconds: t1}
+		scaled := Sample{EnergyJoules: 42, DelaySeconds: tn}
+		return math.Abs(EDPSE(base, nn, scaled)-ParallelEfficiency(t1, nn, tn)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package microbench
+
+import (
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+)
+
+func TestComputeSuiteCoversTableIb(t *testing.T) {
+	suite := ComputeSuite()
+	if len(suite) != len(isa.ComputeOps()) {
+		t.Fatalf("compute suite has %d benches for %d Table Ib rows",
+			len(suite), len(isa.ComputeOps()))
+	}
+	for _, b := range suite {
+		if b.Kind != KindCompute {
+			t.Errorf("%s has kind %v", b.Name, b.Kind)
+		}
+		if err := b.App.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestComputeBenchIsPureALU(t *testing.T) {
+	b := ComputeBench(isa.OpFFMA32)
+	r, err := sim.Run(sim.BaseGPM(), b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &r.Counts
+	if c.Inst[isa.OpFFMA32] == 0 {
+		t.Fatal("bench executed no target instructions")
+	}
+	for k := 0; k < isa.NumTxnKinds; k++ {
+		if c.Txn[k] != 0 {
+			t.Errorf("pure-ALU bench produced %v transactions", isa.TxnKind(k))
+		}
+	}
+	// Other compute classes must not pollute the measurement.
+	for _, op := range isa.ComputeOps() {
+		if op != isa.OpFFMA32 && c.Inst[op] != 0 {
+			t.Errorf("bench executed stray %v", op)
+		}
+	}
+	// Full occupancy: stalls should be a small fraction of SM-cycles.
+	stallFrac := float64(c.StallCycles) / (float64(c.Cycles) * float64(c.SMCount))
+	if stallFrac > 0.15 {
+		t.Errorf("compute bench stall fraction %.2f too high for Eq. 5", stallFrac)
+	}
+}
+
+func TestComputeBenchRejectsNonCompute(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-compute opcode must panic")
+		}
+	}()
+	ComputeBench(isa.OpLoadGlobal)
+}
+
+func TestStallBenchStallsHeavily(t *testing.T) {
+	b := StallBench()
+	r, err := sim.Run(sim.BaseGPM(), b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &r.Counts
+	stallFrac := float64(c.StallCycles) / (float64(c.Cycles) * float64(c.SMCount))
+	if stallFrac < 0.5 {
+		t.Errorf("one dependent warp per SM should stall most cycles, got %.2f", stallFrac)
+	}
+}
+
+func TestSharedBenchIsolation(t *testing.T) {
+	b := SharedBench()
+	r, err := sim.Run(sim.BaseGPM(), b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &r.Counts
+	if c.Txn[isa.TxnShmToRF] == 0 {
+		t.Fatal("no shared-memory transactions")
+	}
+	if c.Txn[isa.TxnL1ToRF] != 0 || c.Txn[isa.TxnDRAMToL2] != 0 {
+		t.Error("shared bench must not touch global memory")
+	}
+}
+
+func TestL1BenchHitsL1(t *testing.T) {
+	b := L1Bench()
+	r, err := sim.Run(sim.BaseGPM(), b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := r.L1HitRate(); hr < 0.75 {
+		t.Errorf("L1 bench hit rate %.2f, want mostly hits", hr)
+	}
+	// The background stream must keep DRAM busy.
+	u := dramUtil(r)
+	if u < 0.5 {
+		t.Errorf("background stream left DRAM at %.2f utilization", u)
+	}
+}
+
+func TestL2BenchHitsL2MissesL1(t *testing.T) {
+	b := L2Bench()
+	r, err := sim.Run(sim.BaseGPM(), b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := r.L1HitRate(); hr > 0.3 {
+		t.Errorf("L2 bench should miss L1, hit rate %.2f", hr)
+	}
+	// The DRAM background stream pollutes the L2 by design, so the
+	// aggregate hit rate sits near 0.5; the calibration solve accounts
+	// for the mixture.
+	if hr := r.L2HitRate(); hr < 0.4 {
+		t.Errorf("L2 bench should still hit L2 substantially, hit rate %.2f", hr)
+	}
+	if r.L2HitRate() <= r.L1HitRate() {
+		t.Error("L2 bench must hit L2 more than L1")
+	}
+}
+
+func TestDRAMBenchMissesL2(t *testing.T) {
+	b := DRAMBench()
+	r, err := sim.Run(sim.BaseGPM(), b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := r.L2HitRate(); hr > 0.2 {
+		t.Errorf("DRAM bench should miss L2, hit rate %.2f", hr)
+	}
+	if u := dramUtil(r); u < 0.6 {
+		t.Errorf("DRAM bench should saturate the interface, utilization %.2f", u)
+	}
+}
+
+func TestMemorySuiteOrderAndLevels(t *testing.T) {
+	suite := MemorySuite()
+	wantLevels := []isa.TxnKind{isa.TxnShmToRF, isa.TxnDRAMToL2, isa.TxnL2ToL1, isa.TxnL1ToRF}
+	if len(suite) != len(wantLevels) {
+		t.Fatalf("memory suite size %d", len(suite))
+	}
+	for i, b := range suite {
+		if b.Level != wantLevels[i] {
+			t.Errorf("suite[%d] stresses %v, want %v", i, b.Level, wantLevels[i])
+		}
+		if err := b.App.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestMixedSuiteShape(t *testing.T) {
+	suite := MixedSuite()
+	if len(suite) != 5 {
+		t.Fatalf("Fig. 4a has five mixed benchmarks, got %d", len(suite))
+	}
+	for _, b := range suite {
+		if b.Kind != KindMixed {
+			t.Errorf("%s kind %v", b.Name, b.Kind)
+		}
+		if err := b.App.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		r, err := sim.Run(sim.BaseGPM(), b.App)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Counts.Inst[isa.OpFAdd64] == 0 {
+			t.Errorf("%s must execute FADD64", b.Name)
+		}
+	}
+}
+
+func TestBenchesUseSteadyStateGaps(t *testing.T) {
+	for _, b := range append(append(ComputeSuite(), MemorySuite()...), MixedSuite()...) {
+		if b.App.HostGapCycles <= 0 || b.App.HostGapCycles > 10 {
+			t.Errorf("%s: microbenchmarks measure steady state (tiny gap), got %g",
+				b.Name, b.App.HostGapCycles)
+		}
+	}
+}
+
+func dramUtil(r *sim.Result) float64 {
+	bytes := float64(r.Counts.TotalTransactionBytes(isa.TxnDRAMToL2))
+	var kernelCycles float64
+	for i := range r.Launches {
+		kernelCycles += r.Launches[i].Duration()
+	}
+	return bytes / (kernelCycles * 256)
+}

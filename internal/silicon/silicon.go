@@ -1,0 +1,269 @@
+// Package silicon provides the reference-hardware substitute for the
+// NVIDIA Tesla K40 that the paper calibrates and validates GPUJoule
+// against (§IV). It couples the performance engine of internal/sim
+// with a hidden bottom-up energy model and an NVML-like power sensor.
+//
+// The hidden model deliberately contains effects a top-down
+// instruction-based model cannot express:
+//
+//   - control-divergence energy: inactive lanes in a divergent warp
+//     still burn a fraction of the active-lane energy (§IV-A notes
+//     GPUJoule cannot see partial SM utilization);
+//   - utilization-dependent memory-system background power: the DRAM
+//     interface, memory controllers, and L2 clocks draw near-constant
+//     power while kernels run, which saturating calibration
+//     microbenchmarks amortize into per-transaction costs but
+//     low-memory-utilization applications (RSBench, CoMD) do not pay
+//     per transaction — the first Fig. 4b outlier mechanism;
+//   - instruction-interaction energy when compute and memory pipes are
+//     concurrently busy (the residual errors of Fig. 4a);
+//   - a power sensor with a 15 ms refresh period that blurs kernel
+//     power with inter-launch idle power for apps structured as many
+//     short launches (BFS, MiniAMR) — the second Fig. 4b outlier
+//     mechanism (§IV-B2).
+//
+// Nothing in this package is visible to the GPUJoule model: calibration
+// observes only sensor readings and event counts, exactly like the
+// paper's methodology against real hardware.
+package silicon
+
+import (
+	"math"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+// Hidden is the bottom-up parameter set of the reference silicon.
+type Hidden struct {
+	// Base is the per-event energy table the silicon actually
+	// dissipates (the physical ground truth that calibration should
+	// recover). It reuses the Eq. 4 terms as its linear core.
+	Base *core.Model
+
+	// DivergenceFactor is the fraction of an active lane's energy that
+	// an inactive lane of a divergent warp still dissipates.
+	DivergenceFactor float64
+
+	// MemBackgroundWatts is the memory-system background power while
+	// kernels with any global-memory activity run; it fades as DRAM
+	// utilization u rises, as (1-u)^2 (row activity replaces standby).
+	MemBackgroundWatts float64
+
+	// Interaction[kind] scales the energy added (or saved) when the
+	// compute pipes and the given data-movement class are concurrently
+	// busy: E += Interaction[kind] * min(Ecompute, Ekind).
+	Interaction [isa.NumTxnKinds]float64
+
+	// SensorWindowSeconds is the power-sensor refresh period (15 ms on
+	// the K40 board, §IV-B2).
+	SensorWindowSeconds float64
+
+	// SensorQuantumWatts is the sensor's reporting resolution.
+	SensorQuantumWatts float64
+}
+
+// K40Hidden returns the reference-silicon parameterization used
+// throughout the reproduction.
+func K40Hidden() Hidden {
+	h := Hidden{
+		Base:                core.K40Model(),
+		DivergenceFactor:    0.65,
+		MemBackgroundWatts:  26,
+		SensorWindowSeconds: 15e-3,
+		// Steady-state measurements average many raw samples, so the
+		// effective reporting resolution is finer than the sensor's
+		// 1 W register.
+		SensorQuantumWatts: 0.25,
+	}
+	h.Base.Name = "silicon-K40"
+	h.Interaction[isa.TxnShmToRF] = -0.05
+	h.Interaction[isa.TxnL1ToRF] = 0.04
+	h.Interaction[isa.TxnL2ToL1] = 0.05
+	h.Interaction[isa.TxnDRAMToL2] = 0.05
+	return h
+}
+
+// Device is one piece of reference hardware (a K40-class GPU).
+type Device struct {
+	cfg sim.Config
+	hid Hidden
+}
+
+// NewK40 returns the reference device: one basic GPM (§V-A1) with the
+// hidden K40 energy model.
+func NewK40() *Device {
+	return &Device{cfg: sim.BaseGPM(), hid: K40Hidden()}
+}
+
+// NewDevice returns a reference device with explicit configuration and
+// hidden parameters (for tests and sensitivity studies).
+func NewDevice(cfg sim.Config, hid Hidden) *Device {
+	return &Device{cfg: cfg, hid: hid}
+}
+
+// Config returns the device's architectural configuration.
+func (d *Device) Config() sim.Config { return d.cfg }
+
+// ClockHz returns the device clock, for converting measured cycle
+// counts to seconds.
+func (d *Device) ClockHz() float64 { return d.hid.Base.ClockHz }
+
+// IdlePowerReading returns the sensor's reading with no kernels
+// running: the constant board power (quantized).
+func (d *Device) IdlePowerReading() float64 {
+	return d.quantize(d.hid.Base.ConstPower)
+}
+
+// Measurement is the observable outcome of running an application on
+// the reference hardware: performance counters (profilers expose
+// those) and sensor-derived power/energy. TrueJoules is the hidden
+// ground truth, exported only so tests and experiment harnesses can
+// quantify sensor error; a model under calibration must not read it.
+type Measurement struct {
+	// Result holds the performance counters of the run.
+	Result *sim.Result
+	// SensorJoules is the measured (sensor-derived) energy of the
+	// whole run, including inter-launch gaps.
+	SensorJoules float64
+	// KernelPowerWatts is the sensor-attributed average power during
+	// kernel execution (the Eq. 5 "Power_active").
+	KernelPowerWatts float64
+	// KernelSeconds is the total in-kernel execution time.
+	KernelSeconds float64
+	// TrueJoules is the hidden ground-truth energy.
+	TrueJoules float64
+}
+
+// Run executes the application on the reference hardware and returns
+// its measurement.
+func (d *Device) Run(app *trace.App) (*Measurement, error) {
+	res, err := sim.Run(d.cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	return d.measure(res), nil
+}
+
+// measure applies the hidden energy model and the sensor model to a
+// completed run.
+func (d *Device) measure(res *sim.Result) *Measurement {
+	clk := d.hid.Base.ClockHz
+	m := &Measurement{Result: res}
+
+	totalSeconds := float64(res.Counts.Cycles) / clk
+	var kernelSeconds, trueKernelJoules float64
+	perLaunch := make([]float64, len(res.Launches))
+	for i := range res.Launches {
+		l := &res.Launches[i]
+		e := d.launchTrueJoules(l)
+		perLaunch[i] = e
+		trueKernelJoules += e
+		kernelSeconds += l.Duration() / clk
+	}
+	gapSeconds := totalSeconds - kernelSeconds
+	if gapSeconds < 0 {
+		gapSeconds = 0
+	}
+	idle := d.hid.Base.ConstPower
+	m.TrueJoules = trueKernelJoules + idle*gapSeconds
+	m.KernelSeconds = kernelSeconds
+
+	// Sensor model: a reading attributed to a launch blends the
+	// launch's true power with the window-average power of the whole
+	// run, weighted by how much of a sensor window the launch spans.
+	blurPower := idle
+	if totalSeconds > 0 {
+		blurPower = m.TrueJoules / totalSeconds
+	}
+	var sensorKernelJoules, weightedPower float64
+	for i := range res.Launches {
+		l := &res.Launches[i]
+		dur := l.Duration() / clk
+		if dur <= 0 {
+			continue
+		}
+		truePower := perLaunch[i] / dur
+		w := dur / d.hid.SensorWindowSeconds
+		if w > 1 {
+			w = 1
+		}
+		reading := d.quantize(w*truePower + (1-w)*blurPower)
+		sensorKernelJoules += reading * dur
+		weightedPower += reading * dur
+	}
+	m.SensorJoules = sensorKernelJoules + d.quantize(idle)*gapSeconds
+	if kernelSeconds > 0 {
+		m.KernelPowerWatts = weightedPower / kernelSeconds
+	}
+	return m
+}
+
+// launchTrueJoules evaluates the hidden bottom-up model for one launch.
+func (d *Device) launchTrueJoules(l *sim.LaunchStats) float64 {
+	b := d.hid.Base.Estimate(&l.Counts)
+	e := b.Total()
+
+	// Control divergence: inactive lanes of divergent warps.
+	var divJ float64
+	for op := isa.OpFAdd32; op <= isa.OpRcp32; op++ {
+		inactive := 32*l.Counts.WarpInst[op] - l.Counts.Inst[op]
+		divJ += d.hid.Base.EPI[op] * float64(inactive)
+	}
+	e += d.hid.DivergenceFactor * divJ
+
+	// Utilization-dependent memory-system background power. Kernels
+	// that never touch global memory leave the memory subsystem in its
+	// idle state (already covered by constant power).
+	memTxns := l.Counts.Txn[isa.TxnL1ToRF] + l.Counts.Txn[isa.TxnL2ToL1] + l.Counts.Txn[isa.TxnDRAMToL2]
+	if memTxns > 0 {
+		u := d.dramUtilization(l)
+		seconds := l.Duration() / d.hid.Base.ClockHz
+		e += d.hid.MemBackgroundWatts * (1 - u) * (1 - u) * seconds
+	}
+
+	// Concurrent compute/data-movement interaction.
+	e += d.interactionJoules(&l.Counts, b)
+	return e
+}
+
+// dramUtilization returns the launch's DRAM bandwidth utilization in
+// [0, 1].
+func (d *Device) dramUtilization(l *sim.LaunchStats) float64 {
+	dur := l.Duration()
+	if dur <= 0 {
+		return 0
+	}
+	bytes := float64(l.Counts.TotalTransactionBytes(isa.TxnDRAMToL2))
+	u := bytes / (dur * d.cfg.DRAMBytesPerCycle * float64(d.cfg.GPMs))
+	return math.Min(u, 1)
+}
+
+// interactionJoules evaluates the concurrent-pipe interaction term.
+func (d *Device) interactionJoules(c *isa.Counts, b core.Breakdown) float64 {
+	perKind := [isa.NumTxnKinds]float64{
+		isa.TxnShmToRF:  b.ShmToRF,
+		isa.TxnL1ToRF:   b.L1ToRF,
+		isa.TxnL2ToL1:   b.L2ToL1,
+		isa.TxnDRAMToL2: b.DRAMToL2,
+	}
+	var e float64
+	for kind, coef := range d.hid.Interaction {
+		if coef == 0 {
+			continue
+		}
+		e += coef * math.Min(b.Compute, perKind[kind])
+	}
+	return e
+}
+
+// quantize rounds a power reading to the sensor's resolution.
+func (d *Device) quantize(watts float64) float64 {
+	q := d.hid.SensorQuantumWatts
+	if q <= 0 {
+		return watts
+	}
+	return math.Round(watts/q) * q
+}

@@ -1,0 +1,198 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+func computeApp(name string, active uint8, gapCycles float64, launches int) *trace.App {
+	k := &trace.Kernel{
+		Name: name, Grid: 256, WarpsPerCTA: 8, Iters: 8,
+		Body: []trace.Inst{{Op: isa.OpFFMA32, Active: active, Times: 40}},
+	}
+	return &trace.App{
+		Name:          name,
+		HostGapCycles: gapCycles,
+		Launches:      []trace.Launch{{Kernel: k, Count: launches}},
+	}
+}
+
+func memApp(name string, regionBytes uint64, times, iters int, pat trace.Pattern) *trace.App {
+	k := &trace.Kernel{
+		Name: name, Grid: 256, WarpsPerCTA: 8, Iters: iters,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: pat}, Times: times},
+			{Op: isa.OpFFMA32, Times: 4},
+		},
+	}
+	return &trace.App{
+		Name:          name,
+		Regions:       []trace.Region{{Name: "r", Bytes: regionBytes}},
+		HostGapCycles: 1,
+		Launches:      []trace.Launch{{Kernel: k}},
+	}
+}
+
+func TestIdlePowerReading(t *testing.T) {
+	dev := NewK40()
+	if got := dev.IdlePowerReading(); got != 25 {
+		t.Errorf("idle reading %g, want 25", got)
+	}
+	if dev.ClockHz() != 1e9 {
+		t.Errorf("clock %g, want 1 GHz", dev.ClockHz())
+	}
+	if dev.Config().SMsPerGPM != 16 {
+		t.Error("reference device is the 16-SM basic GPM")
+	}
+}
+
+func TestLongSteadyKernelSensorIsAccurate(t *testing.T) {
+	// With kernels far shorter than the 15 ms window, the sensor blends
+	// with the run average — which, with negligible gaps, is the kernel
+	// power itself. Sensor and truth must agree within quantization.
+	dev := NewK40()
+	m, err := dev.Run(computeApp("steady", 32, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err2 := (m.SensorJoules - m.TrueJoules) / m.TrueJoules * 100
+	if math.Abs(err2) > 2 {
+		t.Errorf("steady-state sensor error %.2f%%, want within 2%%", err2)
+	}
+}
+
+func TestShortLaunchesWithGapsUnderread(t *testing.T) {
+	// Many short kernels separated by long host gaps: the sensor blends
+	// kernel power with idle gaps, underreporting energy (§IV-B2 — the
+	// BFS/MiniAMR mechanism).
+	dev := NewK40()
+	gappy, err := dev.Run(computeApp("gappy", 32, 400e3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gappy.SensorJoules >= gappy.TrueJoules {
+		t.Errorf("blurred sensor should underread: sensor %g >= true %g",
+			gappy.SensorJoules, gappy.TrueJoules)
+	}
+	under := (gappy.TrueJoules - gappy.SensorJoules) / gappy.TrueJoules * 100
+	if under < 5 {
+		t.Errorf("underread %.1f%%, want a substantial artifact", under)
+	}
+}
+
+func TestDivergenceCostsEnergy(t *testing.T) {
+	// Same warp instruction count, half the active threads: the hidden
+	// model charges inactive lanes a fraction of active-lane energy, so
+	// per-thread-instruction energy is higher when divergent.
+	dev := NewK40()
+	full, err := dev.Run(computeApp("full", 32, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := dev.Run(computeApp("div", 16, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPer := full.TrueJoules / float64(full.Result.Counts.Inst[isa.OpFFMA32])
+	divPer := div.TrueJoules / float64(div.Result.Counts.Inst[isa.OpFFMA32])
+	if divPer <= fullPer {
+		t.Errorf("divergent execution must cost more per thread-instruction: %g <= %g",
+			divPer, fullPer)
+	}
+}
+
+func TestMemBackgroundHitsLowUtilization(t *testing.T) {
+	// A kernel with light memory traffic pays nearly the full memory
+	// background power; a DRAM-saturating kernel pays almost none. The
+	// gap is what the top-down model cannot see (the RSBench/CoMD
+	// mechanism).
+	dev := NewK40()
+	// Broadcast reads over a tiny cached region, long-running: DRAM
+	// utilization settles near zero after warmup.
+	light, err := dev.Run(memApp("light", 1<<20, 1, 32, trace.PatShared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dev.hid.Base.Estimate(&light.Result.Counts).Total()
+	// True energy must exceed the linear Eq. 4 part by roughly
+	// MemBackground * kernel time.
+	extra := light.TrueJoules - base
+	wantMin := 0.5 * dev.hid.MemBackgroundWatts * light.KernelSeconds
+	if extra < wantMin {
+		t.Errorf("low-utilization run should pay background power: extra %g < %g", extra, wantMin)
+	}
+
+	heavy, err := dev.Run(memApp("heavy", 256<<20, 12, 8, trace.PatRandom)) // DRAM saturated
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyBase := dev.hid.Base.Estimate(&heavy.Result.Counts).Total()
+	heavyExtraFrac := (heavy.TrueJoules - heavyBase) / heavy.TrueJoules
+	lightExtraFrac := extra / light.TrueJoules
+	if heavyExtraFrac >= lightExtraFrac {
+		t.Errorf("background share must fall with utilization: heavy %.3f >= light %.3f",
+			heavyExtraFrac, lightExtraFrac)
+	}
+}
+
+func TestInteractionAffectsMixes(t *testing.T) {
+	// Pure compute pays no interaction energy; a compute+DRAM mix does.
+	dev := NewK40()
+	pure, err := dev.Run(computeApp("pure", 32, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureBase := dev.hid.Base.Estimate(&pure.Result.Counts).Total()
+	// Divergence is zero (full warps), memory background zero (no
+	// global traffic): truth must equal the linear model exactly.
+	if math.Abs(pure.TrueJoules-pureBase) > 1e-12 {
+		t.Errorf("pure compute truth %g != linear %g", pure.TrueJoules, pureBase)
+	}
+
+	var interacting isa.Counts
+	interacting.Inst[isa.OpFAdd64] = 1e9
+	interacting.WarpInst[isa.OpFAdd64] = 1e9 / 32
+	interacting.Txn[isa.TxnDRAMToL2] = 1e7
+	interacting.Cycles = 1e6
+	interacting.SMCount = 16
+	interacting.GPMCount = 1
+	l := &sim.LaunchStats{Kernel: "x", Start: 0, End: 1e6, Counts: interacting}
+	truth := dev.launchTrueJoules(l)
+	linear := dev.hid.Base.Estimate(&interacting).Total()
+	if truth <= linear {
+		t.Error("compute+DRAM mix must pay interaction energy above the linear model")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	dev := NewK40()
+	if got := dev.quantize(100.13); got != 100.25 {
+		t.Errorf("quantize(100.13) = %g, want 100.25 at 0.25 W resolution", got)
+	}
+	dev.hid.SensorQuantumWatts = 0
+	if got := dev.quantize(100.13); got != 100.13 {
+		t.Error("zero quantum disables quantization")
+	}
+}
+
+func TestMeasurementFields(t *testing.T) {
+	dev := NewK40()
+	m, err := dev.Run(computeApp("fields", 32, 1000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KernelSeconds <= 0 || m.KernelPowerWatts <= 0 {
+		t.Error("kernel time and power must be positive")
+	}
+	if m.SensorJoules <= 0 || m.TrueJoules <= 0 {
+		t.Error("energies must be positive")
+	}
+	total := float64(m.Result.Counts.Cycles) / dev.ClockHz()
+	if m.KernelSeconds > total {
+		t.Error("kernel time cannot exceed total time")
+	}
+}

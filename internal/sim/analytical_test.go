@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/trace"
+)
+
+// The analytical tests validate the performance engine against
+// closed-form bounds, the way a simulator paper would sanity-check its
+// model: a bandwidth-bound kernel's runtime must approach
+// traffic/bandwidth, and an issue-bound kernel's runtime must approach
+// instructions/issue-rate.
+
+func TestAnalyticalDRAMBound(t *testing.T) {
+	// A pure streaming kernel with ample parallelism: runtime must land
+	// within ~35% of the DRAM service bound (latency ramp, queue skew,
+	// and tail account for the slack; it must never beat the bound).
+	app := streamApp(1024, 8, 16, 512<<20)
+	cfg := BaseGPM()
+	r := mustRun(t, cfg, app)
+
+	bytes := float64(r.Counts.TotalTransactionBytes(isa.TxnDRAMToL2))
+	bound := bytes / cfg.DRAMBytesPerCycle
+	got := r.Cycles()
+	if got < bound {
+		t.Fatalf("runtime %.0f beat the DRAM bound %.0f — bandwidth accounting broken", got, bound)
+	}
+	if got > bound*1.35 {
+		t.Errorf("streaming runtime %.0f, want within 35%% of the DRAM bound %.0f", got, bound)
+	}
+}
+
+func TestAnalyticalIssueBound(t *testing.T) {
+	// A pure-ALU kernel: runtime must land within ~25% of total issue
+	// slots divided by machine issue width.
+	k := &trace.Kernel{
+		Name: "alu", Grid: 1024, WarpsPerCTA: 8, Iters: 8,
+		Body: []trace.Inst{{Op: isa.OpFFMA32, Times: 50}},
+	}
+	app := &trace.App{Name: "alu", Launches: []trace.Launch{{Kernel: k}}}
+	cfg := BaseGPM()
+	r := mustRun(t, cfg, app)
+
+	slots := float64(r.Counts.WarpInst[isa.OpFFMA32]) * float64(isa.OpFFMA32.IssueCycles())
+	bound := slots / float64(cfg.TotalSMs())
+	got := r.Cycles()
+	if got < bound {
+		t.Fatalf("runtime %.0f beat the issue bound %.0f", got, bound)
+	}
+	if got > bound*1.25 {
+		t.Errorf("ALU runtime %.0f, want within 25%% of the issue bound %.0f", got, bound)
+	}
+}
+
+func TestAnalyticalRingBisectionBound(t *testing.T) {
+	// All-remote traffic on a ring: aggregate remote throughput is
+	// bounded by total link capacity divided by average hop count, so
+	// runtime >= hop-weighted bytes / total link bandwidth.
+	k := &trace.Kernel{
+		Name: "remote", Grid: 512, WarpsPerCTA: 8, Iters: 8,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom}},
+		},
+	}
+	app := &trace.App{Name: "remote",
+		Regions:  []trace.Region{{Name: "r", Bytes: 512 << 20, Home: trace.HomeStriped}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	cfg := MultiGPM(8, BW1x)
+	r := mustRun(t, cfg, app)
+
+	// Each inter-GPM sector transaction is one hop of a 32-byte sector.
+	hopBytes := float64(r.Counts.TotalTransactionBytes(isa.TxnInterGPM))
+	// 2N unidirectional links at half the per-GPM budget each.
+	totalLinkBW := float64(2*cfg.GPMs) * cfg.InterGPMBytesPerCycle() / 2
+	bound := hopBytes / totalLinkBW
+	if got := r.Cycles(); got < bound {
+		t.Errorf("runtime %.0f beat the ring bisection bound %.0f", got, bound)
+	}
+}
+
+func TestAnalyticalSpeedupNeverExceedsResources(t *testing.T) {
+	// No configuration may exceed N-fold speedup by more than the
+	// cache-growth superlinearity allows; here the working set exceeds
+	// all caches at every scale, so speedup <= N strictly.
+	app := streamApp(512, 8, 8, 1<<30)
+	base := mustRun(t, MultiGPM(1, BW2x), app)
+	for _, n := range []int{2, 4, 8} {
+		r := mustRun(t, MultiGPM(n, BW2x), app)
+		if sp := base.Cycles() / r.Cycles(); sp > float64(n)*1.02 {
+			t.Errorf("%d GPMs: speedup %.2f exceeds resources", n, sp)
+		}
+	}
+}

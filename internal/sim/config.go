@@ -1,0 +1,301 @@
+// Package sim implements the trace-driven multi-GPM GPU performance
+// simulator used for the paper's evaluation (§V-A): SMs with warp-level
+// latency tolerance, distributed CTA scheduling, per-SM L1 caches with
+// software coherence, module-side L2 caches, first-touch page placement,
+// per-GPM HBM stacks, and ring or switch inter-GPM fabrics — all
+// modeled with bandwidth-queued resources so NUMA congestion emerges
+// organically.
+//
+// The simulator produces the exact event classes the GPUJoule energy
+// model consumes (isa.Counts); it carries no energy knowledge itself.
+package sim
+
+import (
+	"fmt"
+
+	"gpujoule/internal/interconnect"
+)
+
+// ClockHz is the module clock. At 1 GHz one cycle is one nanosecond, so
+// bandwidths in bytes/cycle are numerically equal to GB/s.
+const ClockHz = 1e9
+
+// Architectural latencies in cycles (Kepler-class, 1 GHz).
+const (
+	latL1Hit  = 32
+	latL2Hit  = 160
+	latDRAM   = 250
+	latShared = 30
+	latStore  = 4
+)
+
+// hostGapCycles is the host-side inter-kernel launch gap (≈5 µs),
+// during which the GPU idles at constant power. Apps structured as many
+// short launches (BFS, MiniAMR) accumulate substantial gap time, which
+// is what defeats the 15 ms power sensor in Fig. 4b.
+const hostGapCycles = 5000
+
+// defaultEpochCycles bounds cross-SM event reordering at shared
+// bandwidth resources (see package doc of memsys).
+const defaultEpochCycles = 2000
+
+// BWSetting names a per-GPM inter-GPM I/O bandwidth point of Table IV.
+type BWSetting uint8
+
+// Table IV bandwidth settings.
+const (
+	// BW1x is 128 GB/s per GPM (inter-GPM:DRAM = 1:2, on-board).
+	BW1x BWSetting = iota
+	// BW2x is 256 GB/s per GPM (1:1, on-package) — the baseline.
+	BW2x
+	// BW4x is 512 GB/s per GPM (2:1, on-package).
+	BW4x
+)
+
+func (b BWSetting) String() string {
+	switch b {
+	case BW1x:
+		return "1x-BW"
+	case BW2x:
+		return "2x-BW"
+	case BW4x:
+		return "4x-BW"
+	default:
+		return fmt.Sprintf("bw(%d)", uint8(b))
+	}
+}
+
+// BytesPerCycle returns the per-GPM inter-GPM I/O bandwidth of the
+// setting, given the per-GPM DRAM bandwidth.
+func (b BWSetting) BytesPerCycle(dramBytesPerCycle float64) float64 {
+	switch b {
+	case BW1x:
+		return dramBytesPerCycle / 2
+	case BW2x:
+		return dramBytesPerCycle
+	case BW4x:
+		return dramBytesPerCycle * 2
+	default:
+		panic(fmt.Sprintf("sim: unknown bandwidth setting %d", uint8(b)))
+	}
+}
+
+// Domain is the physical integration domain of a multi-module GPU.
+// The domain determines link energy and constant-energy amortization in
+// the energy model; the performance simulator is domain-agnostic.
+type Domain uint8
+
+// Integration domains.
+const (
+	// DomainOnBoard integrates discrete GPMs on a PCB (10 pJ/bit links,
+	// no constant-energy amortization).
+	DomainOnBoard Domain = iota
+	// DomainOnPackage integrates GPMs on one package (0.54 pJ/bit
+	// links, 50% constant-energy amortization by default).
+	DomainOnPackage
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainOnBoard:
+		return "on-board"
+	case DomainOnPackage:
+		return "on-package"
+	default:
+		return fmt.Sprintf("domain(%d)", uint8(d))
+	}
+}
+
+// DefaultDomain returns the integration domain the paper associates
+// with each bandwidth setting (Table IV).
+func (b BWSetting) DefaultDomain() Domain {
+	if b == BW1x {
+		return DomainOnBoard
+	}
+	return DomainOnPackage
+}
+
+// CTASchedule selects how CTAs are distributed over modules.
+type CTASchedule uint8
+
+// CTA scheduling policies.
+const (
+	// ScheduleContiguous assigns contiguous CTA blocks per GPM so
+	// first-touch placement aligns data with compute (the paper's
+	// configuration, §V-A1, following the MCM-GPU proposals).
+	ScheduleContiguous CTASchedule = iota
+	// ScheduleRoundRobin interleaves consecutive CTAs across GPMs — a
+	// locality-blind baseline used by the ablation study.
+	ScheduleRoundRobin
+)
+
+func (s CTASchedule) String() string {
+	switch s {
+	case ScheduleContiguous:
+		return "contiguous"
+	case ScheduleRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("schedule(%d)", uint8(s))
+	}
+}
+
+// L2Placement selects where the L2 cache sits relative to the
+// inter-GPM fabric.
+type L2Placement uint8
+
+// L2 placements.
+const (
+	// L2ModuleSide places each L2 with its requesting module, caching
+	// local and remote data alike — the organization the paper adopts
+	// for multi-module configurations (§V-A1), with remote lines
+	// dropped at kernel boundaries under software coherence.
+	L2ModuleSide L2Placement = iota
+	// L2MemorySide places each L2 with its DRAM stack: remote requests
+	// cross the fabric before the cache lookup. No duplicate caching,
+	// no boundary invalidation, but no remote-traffic filtering either.
+	L2MemorySide
+)
+
+func (p L2Placement) String() string {
+	switch p {
+	case L2ModuleSide:
+		return "module-side"
+	case L2MemorySide:
+		return "memory-side"
+	default:
+		return fmt.Sprintf("l2(%d)", uint8(p))
+	}
+}
+
+// Config describes one simulated GPU (a row of Table III plus a column
+// of Table IV).
+type Config struct {
+	// GPMs is the module count (1, 2, 4, 8, 16, or 32 in the paper).
+	GPMs int
+	// SMsPerGPM is the SM count per module (16 in the basic GPM).
+	SMsPerGPM int
+	// L1PerSMBytes is the per-SM L1 size (32 KB).
+	L1PerSMBytes int
+	// L2PerGPMBytes is the per-GPM L2 size (2 MB, module-side for >1 GPM).
+	L2PerGPMBytes int
+	// DRAMBytesPerCycle is the per-GPM local HBM bandwidth (256 GB/s).
+	DRAMBytesPerCycle float64
+	// InterGPM is the Table IV inter-GPM bandwidth setting.
+	InterGPM BWSetting
+	// Topology selects the inter-GPM fabric (ring by default, §V-A1).
+	Topology interconnect.Topology
+	// Domain is the integration domain (affects energy only).
+	Domain Domain
+	// Monolithic, if true, fuses all modules into one hypothetical
+	// monolithic die: GPMs*SMsPerGPM SMs sharing one GPMs*L2 cache and
+	// one GPMs*DRAM memory system with no inter-module fabric (used
+	// for the Fig. 7 monolithic-scaling comparison).
+	Monolithic bool
+	// L2 selects the L2 placement (module-side by default, §V-A1).
+	L2 L2Placement
+	// CTASchedule selects the CTA distribution policy (contiguous by
+	// default, §V-A1).
+	CTASchedule CTASchedule
+	// ForceStripedPages disables first-touch placement, striping every
+	// page round-robin across modules (the NUMA-blind placement
+	// baseline of the ablation study).
+	ForceStripedPages bool
+	// MaxCTAsPerSM bounds concurrent CTAs per SM (default 8).
+	MaxCTAsPerSM int
+	// EpochCycles bounds cross-SM event reordering (default 2000).
+	EpochCycles float64
+}
+
+// BaseGPM returns the basic GPU module configuration of §V-A1
+// (K40-class: 16 SMs, 32 KB L1/SM, 2 MB L2, 256 GB/s HBM).
+func BaseGPM() Config {
+	return Config{
+		GPMs:              1,
+		SMsPerGPM:         16,
+		L1PerSMBytes:      32 * 1024,
+		L2PerGPMBytes:     2 * 1024 * 1024,
+		DRAMBytesPerCycle: 256,
+		InterGPM:          BW2x,
+		Topology:          interconnect.TopologyRing,
+		Domain:            DomainOnPackage,
+	}
+}
+
+// MultiGPM returns the Table III configuration with n modules at the
+// given Table IV bandwidth setting, ring topology, and the setting's
+// default integration domain.
+func MultiGPM(n int, bw BWSetting) Config {
+	c := BaseGPM()
+	c.GPMs = n
+	c.InterGPM = bw
+	c.Domain = bw.DefaultDomain()
+	return c
+}
+
+// TableIIIGPMCounts are the module counts evaluated in the paper.
+var TableIIIGPMCounts = []int{1, 2, 4, 8, 16, 32}
+
+// Name returns a short descriptive name for the configuration.
+func (c Config) Name() string {
+	if c.Monolithic {
+		return fmt.Sprintf("monolithic-%dx", c.GPMs)
+	}
+	if c.GPMs == 1 {
+		return "1-GPM"
+	}
+	name := fmt.Sprintf("%d-GPM/%s/%s/%s", c.GPMs, c.InterGPM, c.Topology, c.Domain)
+	if c.L2 == L2MemorySide {
+		name += "/mem-side-l2"
+	}
+	if c.CTASchedule == ScheduleRoundRobin {
+		name += "/rr-cta"
+	}
+	if c.ForceStripedPages {
+		name += "/striped-pages"
+	}
+	return name
+}
+
+// TotalSMs returns the total SM count.
+func (c Config) TotalSMs() int { return c.GPMs * c.SMsPerGPM }
+
+// InterGPMBytesPerCycle returns the per-GPM I/O bandwidth in
+// bytes/cycle for the configured setting.
+func (c Config) InterGPMBytesPerCycle() float64 {
+	return c.InterGPM.BytesPerCycle(c.DRAMBytesPerCycle)
+}
+
+// maxCTAs returns the effective per-SM CTA limit.
+func (c Config) maxCTAs() int {
+	if c.MaxCTAsPerSM <= 0 {
+		return 8
+	}
+	return c.MaxCTAsPerSM
+}
+
+// epoch returns the effective epoch length.
+func (c Config) epoch() float64 {
+	if c.EpochCycles <= 0 {
+		return defaultEpochCycles
+	}
+	return c.EpochCycles
+}
+
+// Validate checks the configuration for structural errors.
+func (c Config) Validate() error {
+	if c.GPMs <= 0 {
+		return fmt.Errorf("sim: config needs positive GPM count, got %d", c.GPMs)
+	}
+	if c.SMsPerGPM <= 0 {
+		return fmt.Errorf("sim: config needs positive SMs per GPM, got %d", c.SMsPerGPM)
+	}
+	if c.L1PerSMBytes <= 0 || c.L2PerGPMBytes <= 0 {
+		return fmt.Errorf("sim: config needs positive cache sizes, got L1=%d L2=%d",
+			c.L1PerSMBytes, c.L2PerGPMBytes)
+	}
+	if c.DRAMBytesPerCycle <= 0 {
+		return fmt.Errorf("sim: config needs positive DRAM bandwidth, got %g", c.DRAMBytesPerCycle)
+	}
+	return nil
+}

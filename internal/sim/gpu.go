@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gpujoule/internal/interconnect"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/memsys"
+	"gpujoule/internal/trace"
+)
+
+// GPU is one simulated multi-module GPU instance. A GPU is built per
+// application run; page homes and caches persist across the app's
+// kernel launches but not across apps.
+type GPU struct {
+	cfg    Config
+	fabric interconnect.Fabric // nil when a single module or monolithic
+	pages  *memsys.PageTable
+	gpms   []*gpmState
+
+	// regionBase[i] is the base address of app region i.
+	regionBase []uint64
+	// regionLines[i] is the region size in cache lines.
+	regionLines []uint64
+
+	app  *trace.App
+	time float64 // global clock in cycles, advances across launches
+
+	res *Result
+}
+
+// gpmState is one GPU module: its SMs, module-side L2, local DRAM
+// stack, and CTA work queue for the current launch.
+type gpmState struct {
+	id   int
+	l2   *memsys.Cache
+	l2bw *memsys.BWResource
+	dram *memsys.BWResource
+	sms  []*smState
+
+	// CTA queue for the current launch: ids ctaNext, ctaNext+ctaStride,
+	// ... strictly below ctaEnd.
+	ctaNext, ctaEnd, ctaStride int
+}
+
+// takeCTA pops the next CTA id from the module's queue, or returns
+// false when the queue is empty.
+func (g *gpmState) takeCTA() (int, bool) {
+	if g.ctaNext >= g.ctaEnd {
+		return 0, false
+	}
+	id := g.ctaNext
+	g.ctaNext += g.ctaStride
+	return id, true
+}
+
+// pending reports how many CTAs remain queued.
+func (g *gpmState) pending() int {
+	if g.ctaNext >= g.ctaEnd {
+		return 0
+	}
+	return (g.ctaEnd - g.ctaNext + g.ctaStride - 1) / g.ctaStride
+}
+
+// NewGPU builds a GPU for the given configuration and application. The
+// application is validated; region layout and pre-placed (striped)
+// pages are established up front.
+func NewGPU(cfg Config, app *trace.App) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+
+	// A monolithic configuration fuses the modules into one.
+	phys := cfg
+	if cfg.Monolithic {
+		phys.SMsPerGPM = cfg.GPMs * cfg.SMsPerGPM
+		phys.L2PerGPMBytes = cfg.GPMs * cfg.L2PerGPMBytes
+		phys.DRAMBytesPerCycle = float64(cfg.GPMs) * cfg.DRAMBytesPerCycle
+		phys.GPMs = 1
+	}
+
+	g := &GPU{
+		cfg:   cfg,
+		pages: memsys.NewPageTable(phys.GPMs),
+		app:   app,
+	}
+
+	// Region layout: page-aligned, disjoint, deterministic.
+	base := uint64(16 * 1024 * 1024)
+	g.regionBase = make([]uint64, len(app.Regions))
+	g.regionLines = make([]uint64, len(app.Regions))
+	for i, r := range app.Regions {
+		g.regionBase[i] = base
+		lines := r.Bytes / isa.LineBytes
+		if lines == 0 {
+			lines = 1
+		}
+		g.regionLines[i] = lines
+		pages := (r.Bytes + memsys.PageBytes - 1) / memsys.PageBytes
+		if r.Home == trace.HomeStriped || cfg.ForceStripedPages {
+			g.pages.Stripe(base, r.Bytes)
+		}
+		base += pages * memsys.PageBytes
+	}
+
+	if phys.GPMs > 1 {
+		g.fabric = interconnect.New(cfg.Topology, phys.GPMs, cfg.InterGPMBytesPerCycle())
+	}
+
+	for i := 0; i < phys.GPMs; i++ {
+		l2, err := memsys.NewCache(phys.L2PerGPMBytes, 16)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building L2 for GPM %d: %w", i, err)
+		}
+		gpm := &gpmState{
+			id:   i,
+			l2:   l2,
+			l2bw: memsys.NewBWResource(fmt.Sprintf("l2[%d]", i), 2*phys.DRAMBytesPerCycle),
+			dram: memsys.NewBWResource(fmt.Sprintf("dram[%d]", i), phys.DRAMBytesPerCycle),
+		}
+		for s := 0; s < phys.SMsPerGPM; s++ {
+			l1, err := memsys.NewCache(phys.L1PerSMBytes, 4)
+			if err != nil {
+				return nil, fmt.Errorf("sim: building L1 for GPM %d SM %d: %w", i, s, err)
+			}
+			gpm.sms = append(gpm.sms, &smState{gpm: gpm, l1: l1})
+		}
+		g.gpms = append(g.gpms, gpm)
+	}
+
+	g.res = &Result{App: app.Name, Config: cfg}
+	return g, nil
+}
+
+// Run simulates the whole application and returns the result. Run may
+// be called once per GPU.
+func Run(cfg Config, app *trace.App) (*Result, error) {
+	g, err := NewGPU(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	return g.RunAll()
+}
+
+// RunAll executes every launch of the application in order.
+func (g *GPU) RunAll() (*Result, error) {
+	for i := range g.app.Launches {
+		l := &g.app.Launches[i]
+		for rep := 0; rep < l.EffCount(); rep++ {
+			if err := g.runLaunch(l.Kernel); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g.res.Counts.Cycles = uint64(math.Ceil(g.time))
+	g.res.Counts.SMCount = g.totalSMs()
+	g.res.Counts.GPMCount = g.physicalGPMs()
+	return g.res, nil
+}
+
+func (g *GPU) totalSMs() int {
+	n := 0
+	for _, gpm := range g.gpms {
+		n += len(gpm.sms)
+	}
+	return n
+}
+
+// physicalGPMs returns the number of physical modules (1 for the
+// hypothetical monolithic die regardless of its capability multiplier).
+func (g *GPU) physicalGPMs() int { return len(g.gpms) }
+
+// runLaunch simulates one kernel launch.
+func (g *GPU) runLaunch(k *trace.Kernel) error {
+	start := g.time
+
+	// Software coherence at kernel boundaries (§V-A1): private L1s are
+	// invalidated, and module-side L2s drop remotely-homed lines.
+	for _, gpm := range g.gpms {
+		for _, sm := range gpm.sms {
+			sm.l1.Invalidate()
+		}
+		// Memory-side L2s hold the only cached copy of their home's
+		// data and need no boundary invalidation; module-side L2s drop
+		// remotely-homed lines.
+		if len(g.gpms) > 1 && g.cfg.L2 == L2ModuleSide {
+			id := gpm.id
+			gpm.l2.InvalidateIf(func(addr uint64) bool {
+				home, ok := g.pages.Lookup(addr)
+				return ok && home != id
+			})
+		}
+	}
+
+	// Distributed CTA scheduling (§V-A1): contiguous CTA blocks per
+	// GPM by default, so that first-touch placement aligns data with
+	// compute; the round-robin ablation interleaves instead.
+	n := len(g.gpms)
+	for i, gpm := range g.gpms {
+		if g.cfg.CTASchedule == ScheduleRoundRobin {
+			gpm.ctaNext = i
+			gpm.ctaEnd = k.Grid
+			gpm.ctaStride = n
+		} else {
+			gpm.ctaNext = k.Grid * i / n
+			gpm.ctaEnd = k.Grid * (i + 1) / n
+			gpm.ctaStride = 1
+		}
+	}
+
+	eng := &launchEngine{
+		gpu:    g,
+		kernel: k,
+		start:  start,
+		end:    start,
+	}
+	for _, gpm := range g.gpms {
+		for _, sm := range gpm.sms {
+			sm.beginLaunch(start)
+			sm.refill(eng)
+		}
+	}
+
+	epoch := g.cfg.epoch()
+	for until := start + epoch; eng.activeWarps > 0 || g.pendingCTAs() > 0; until += epoch {
+		progressed := false
+		for _, gpm := range g.gpms {
+			for _, sm := range gpm.sms {
+				if sm.advance(until, eng) {
+					progressed = true
+				}
+			}
+		}
+		if !progressed && eng.activeWarps > 0 {
+			// All remaining warps are waiting beyond this epoch; jump
+			// the epoch window forward to the earliest ready time to
+			// avoid spinning through empty epochs.
+			next := eng.earliestReady(g)
+			if next > until {
+				until = next - epoch
+			}
+		}
+	}
+
+	dur := eng.end - start
+	if dur < 0 {
+		dur = 0
+	}
+
+	// Lane-stall accounting: every SM-cycle inside the launch window
+	// that did not issue an instruction is a stall (this covers both
+	// latency stalls and whole-GPM idling on remote memory, the effect
+	// §V-B identifies as the dominant energy problem).
+	var busy float64
+	for _, gpm := range g.gpms {
+		for _, sm := range gpm.sms {
+			busy += sm.busy
+		}
+	}
+	totalSMCycles := dur * float64(g.totalSMs())
+	stalls := totalSMCycles - busy
+	if stalls < 0 {
+		stalls = 0
+	}
+
+	eng.counts.StallCycles = uint64(stalls)
+	eng.counts.Cycles = uint64(math.Ceil(dur))
+	eng.counts.SMCount = g.totalSMs()
+	eng.counts.GPMCount = g.physicalGPMs()
+
+	g.res.Launches = append(g.res.Launches, LaunchStats{
+		Kernel: k.Name,
+		Start:  start,
+		End:    eng.end,
+		Counts: eng.counts,
+	})
+	g.res.Counts.Add(&eng.counts)
+
+	gap := g.app.HostGapCycles
+	if gap <= 0 {
+		gap = hostGapCycles
+	}
+	g.time = eng.end + gap
+	return nil
+}
+
+func (g *GPU) pendingCTAs() int {
+	n := 0
+	for _, gpm := range g.gpms {
+		n += gpm.pending()
+	}
+	return n
+}
+
+// launchEngine carries per-launch mutable state shared by the SMs.
+type launchEngine struct {
+	gpu         *GPU
+	kernel      *trace.Kernel
+	counts      isa.Counts
+	start, end  float64
+	activeWarps int
+}
+
+// earliestReady scans all resident warps for the minimum ready time,
+// used to fast-forward across long idle periods.
+func (eng *launchEngine) earliestReady(g *GPU) float64 {
+	min := math.Inf(1)
+	for _, gpm := range g.gpms {
+		for _, sm := range gpm.sms {
+			for _, w := range sm.warps {
+				if !w.blocked && w.readyAt < min {
+					min = w.readyAt
+				}
+			}
+		}
+	}
+	return min
+}
+
+// access simulates one global-memory warp access from an SM in gpm,
+// starting at time t and touching the access descriptor's distinct
+// cache lines. It returns the completion time (max over lines;
+// serialized line-to-line when the access is a pointer chase).
+func (g *GPU) access(sm *smState, t float64, m *trace.MemAccess, w *warpState, isStore bool) float64 {
+	gpm := sm.gpm
+	lines := int(m.Lines)
+	if lines <= 0 {
+		lines = 1
+	}
+	done := t
+	lineStart := t
+	for l := 0; l < lines; l++ {
+		addr := g.address(m, w, l)
+		var lineDone float64
+
+		g.res.L1Accesses++
+		eng := w.eng
+		eng.counts.Txn[isa.TxnL1ToRF]++
+		if sm.l1.Access(addr) {
+			lineDone = lineStart + latL1Hit
+		} else {
+			g.res.L1Misses++
+			if g.cfg.L2 == L2MemorySide && len(g.gpms) > 1 {
+				lineDone = g.fillMemorySide(eng, gpm, lineStart, addr, isStore)
+			} else {
+				lineDone = g.fillModuleSide(eng, gpm, lineStart, addr, isStore)
+			}
+		}
+
+		if lineDone > done {
+			done = lineDone
+		}
+		if m.Chase {
+			// Dependent pointer chase: the next line's address depends
+			// on this line's data.
+			lineStart = lineDone
+		}
+	}
+	return done
+}
+
+// fillModuleSide serves an L1 miss through the requesting module's own
+// L2 (the paper's multi-module organization, §V-A1): the L2 caches
+// local and remote data alike, so only L2 misses to remote homes cross
+// the fabric.
+func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr uint64, isStore bool) float64 {
+	eng.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
+	g.res.L2Accesses++
+	t2 := gpm.l2bw.Acquire(t, isa.LineBytes)
+	if gpm.l2.Access(addr) {
+		return t2 + latL2Hit
+	}
+	g.res.L2Misses++
+	eng.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
+
+	home := 0
+	if len(g.gpms) > 1 {
+		home = g.pages.Home(addr, gpm.id)
+	}
+	homeDRAM := g.gpms[home].dram
+	if home == gpm.id {
+		g.res.LocalLineFills++
+		return homeDRAM.Acquire(t2, isa.LineBytes) + latDRAM
+	}
+	g.res.RemoteLineFills++
+	if isStore {
+		// Store data travels requester -> home, then is written at the
+		// home DRAM.
+		tr := g.fabric.Send(t2, gpm.id, home, isa.LineBytes)
+		g.chargeFabric(eng, tr)
+		return homeDRAM.Acquire(tr.Done, isa.LineBytes) + latDRAM
+	}
+	// The request header rides to the home module (latency only), the
+	// line is read from the home DRAM, and the data returns over the
+	// fabric, consuming link bandwidth.
+	reqLat := float64(g.fabric.Hops(gpm.id, home)) * interconnect.HopLatency
+	dramDone := homeDRAM.Acquire(t2+reqLat, isa.LineBytes) + latDRAM
+	tr := g.fabric.Send(dramDone, home, gpm.id, isa.LineBytes)
+	g.chargeFabric(eng, tr)
+	return tr.Done
+}
+
+// fillMemorySide serves an L1 miss with memory-side L2s: the lookup
+// happens at the page's home module, so every remote L1 miss crosses
+// the fabric regardless of whether the home L2 hits.
+func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr uint64, isStore bool) float64 {
+	eng.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
+	home := g.pages.Home(addr, gpm.id)
+	homeGPM := g.gpms[home]
+
+	arrive := t
+	if home != gpm.id && isStore {
+		// Store data travels to the home module first.
+		tr := g.fabric.Send(t, gpm.id, home, isa.LineBytes)
+		g.chargeFabric(eng, tr)
+		arrive = tr.Done
+	} else if home != gpm.id {
+		// Request header crosses the fabric (latency only).
+		arrive = t + float64(g.fabric.Hops(gpm.id, home))*interconnect.HopLatency
+	}
+
+	g.res.L2Accesses++
+	t2 := homeGPM.l2bw.Acquire(arrive, isa.LineBytes)
+	var ready float64
+	if homeGPM.l2.Access(addr) {
+		ready = t2 + latL2Hit
+	} else {
+		g.res.L2Misses++
+		eng.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
+		if home == gpm.id {
+			g.res.LocalLineFills++
+		} else {
+			g.res.RemoteLineFills++
+		}
+		ready = homeGPM.dram.Acquire(t2, isa.LineBytes) + latDRAM
+	}
+	if home == gpm.id || isStore {
+		return ready
+	}
+	// Load data returns to the requester over the fabric.
+	tr := g.fabric.Send(ready, home, gpm.id, isa.LineBytes)
+	g.chargeFabric(eng, tr)
+	return tr.Done
+}
+
+// chargeFabric records the energy-relevant transaction counts of one
+// fabric transfer.
+func (g *GPU) chargeFabric(eng *launchEngine, tr interconnect.Transfer) {
+	eng.counts.Txn[isa.TxnInterGPM] += uint64(tr.Hops) * isa.SectorsPerLine
+	if tr.Switched {
+		eng.counts.Txn[isa.TxnSwitch] += isa.SectorsPerLine
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"gpujoule/internal/isa"
+)
+
+// LaunchStats records one kernel launch's contribution to a run.
+type LaunchStats struct {
+	// Kernel is the kernel name.
+	Kernel string
+	// Start and End are the launch's global start and completion times
+	// in cycles (End excludes the host-side gap that follows).
+	Start, End float64
+	// Counts holds the launch's event counts; Counts.Cycles is the
+	// launch duration.
+	Counts isa.Counts
+}
+
+// Duration returns the launch duration in cycles.
+func (l *LaunchStats) Duration() float64 { return l.End - l.Start }
+
+// Result is the outcome of simulating one application on one GPU
+// configuration.
+type Result struct {
+	// App is the application name.
+	App string
+	// Config is the simulated machine.
+	Config Config
+	// Launches records every kernel launch in order.
+	Launches []LaunchStats
+	// Counts aggregates all launches; Counts.Cycles is the end-to-end
+	// execution time in cycles including host-side inter-launch gaps.
+	Counts isa.Counts
+
+	// Cache diagnostics (aggregated over the whole run).
+	L1Accesses, L1Misses uint64
+	L2Accesses, L2Misses uint64
+	// RemoteLineFills counts L2 miss fills served by a remote GPM's DRAM.
+	RemoteLineFills uint64
+	// LocalLineFills counts L2 miss fills served by the local DRAM.
+	LocalLineFills uint64
+}
+
+// Cycles returns the end-to-end execution time in cycles.
+func (r *Result) Cycles() float64 { return float64(r.Counts.Cycles) }
+
+// Seconds returns the end-to-end execution time in seconds.
+func (r *Result) Seconds() float64 { return r.Cycles() / ClockHz }
+
+// L1HitRate returns the run-wide L1 hit rate.
+func (r *Result) L1HitRate() float64 { return hitRate(r.L1Accesses, r.L1Misses) }
+
+// L2HitRate returns the run-wide L2 hit rate.
+func (r *Result) L2HitRate() float64 { return hitRate(r.L2Accesses, r.L2Misses) }
+
+// RemoteFillFraction returns the fraction of DRAM line fills served by
+// a remote module — the NUMA exposure of the run.
+func (r *Result) RemoteFillFraction() float64 {
+	total := r.RemoteLineFills + r.LocalLineFills
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RemoteLineFills) / float64(total)
+}
+
+func hitRate(accesses, misses uint64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return 1 - float64(misses)/float64(accesses)
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/trace"
+)
+
+// randomKernel builds a structurally valid random kernel from a seed:
+// the engine must execute anything trace.Validate accepts.
+func randomKernel(r *rand.Rand, regions int) *trace.Kernel {
+	ops := []isa.Op{
+		isa.OpFAdd32, isa.OpFFMA32, isa.OpIAdd32, isa.OpSin32, isa.OpFFMA64,
+		isa.OpRcp32, isa.OpLoadGlobal, isa.OpStoreGlobal, isa.OpLoadShared,
+		isa.OpStoreShared, isa.OpBranch,
+	}
+	patterns := []trace.Pattern{trace.PatOwn, trace.PatNeighbor, trace.PatShared, trace.PatRandom}
+
+	n := 1 + r.Intn(8)
+	body := make([]trace.Inst, 0, n+1)
+	for i := 0; i < n; i++ {
+		op := ops[r.Intn(len(ops))]
+		in := trace.Inst{
+			Op:     op,
+			Active: uint8(1 + r.Intn(32)),
+			Times:  1 + r.Intn(4),
+		}
+		if op.IsGlobalMemory() {
+			in.Mem = &trace.MemAccess{
+				Region:      r.Intn(regions),
+				Pattern:     patterns[r.Intn(len(patterns))],
+				Lines:       uint8(1 + r.Intn(8)),
+				NeighborPct: uint8(r.Intn(101)),
+				Chase:       r.Intn(4) == 0,
+			}
+		}
+		body = append(body, in)
+	}
+	if r.Intn(3) == 0 {
+		// Whole-warp barriers only (divergent barriers are malformed).
+		body = append(body, trace.Inst{Op: isa.OpBarrier})
+	}
+	return &trace.Kernel{
+		Name:        "fuzz",
+		Grid:        1 + r.Intn(64),
+		WarpsPerCTA: 1 + r.Intn(8),
+		Iters:       1 + r.Intn(3),
+		Body:        body,
+	}
+}
+
+func randomApp(seed int64) *trace.App {
+	r := rand.New(rand.NewSource(seed))
+	regions := 1 + r.Intn(3)
+	app := &trace.App{Name: "fuzz"}
+	for i := 0; i < regions; i++ {
+		home := trace.HomeFirstTouch
+		if r.Intn(2) == 0 {
+			home = trace.HomeStriped
+		}
+		app.Regions = append(app.Regions, trace.Region{
+			Name:  "r",
+			Bytes: uint64(1+r.Intn(64)) << 20,
+			Home:  home,
+		})
+	}
+	launches := 1 + r.Intn(3)
+	for i := 0; i < launches; i++ {
+		app.Launches = append(app.Launches, trace.Launch{Kernel: randomKernel(r, regions)})
+	}
+	return app
+}
+
+// TestEngineSurvivesRandomKernels is the engine robustness property:
+// any structurally valid app completes without panic or hang, with
+// internally consistent counters, on a variety of machine shapes.
+func TestEngineSurvivesRandomKernels(t *testing.T) {
+	configs := []Config{
+		MultiGPM(1, BW2x),
+		MultiGPM(2, BW1x),
+		MultiGPM(4, BW2x),
+		func() Config { c := MultiGPM(4, BW2x); c.L2 = L2MemorySide; return c }(),
+		func() Config { c := MultiGPM(8, BW1x); c.CTASchedule = ScheduleRoundRobin; return c }(),
+		func() Config { c := MultiGPM(4, BW2x); c.Monolithic = true; return c }(),
+	}
+	f := func(seed int64) bool {
+		app := randomApp(seed)
+		if err := app.Validate(); err != nil {
+			t.Logf("seed %d produced invalid app: %v", seed, err)
+			return false
+		}
+		cfg := configs[int(uint64(seed)%uint64(len(configs)))]
+		r, err := Run(cfg, app)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		c := &r.Counts
+		// Counter consistency invariants.
+		if c.Txn[isa.TxnL1ToRF] != r.L1Accesses {
+			return false
+		}
+		if c.Txn[isa.TxnL2ToL1] != r.L1Misses*isa.SectorsPerLine {
+			return false
+		}
+		if r.LocalLineFills+r.RemoteLineFills != r.L2Misses {
+			return false
+		}
+		if c.Cycles == 0 && len(r.Launches) > 0 {
+			return false
+		}
+		for op := range c.Inst {
+			if c.Inst[op] > 32*c.WarpInst[op] {
+				return false
+			}
+		}
+		// Monolithic and 1-GPM machines never touch a fabric.
+		if (cfg.Monolithic || cfg.GPMs == 1) && c.Txn[isa.TxnInterGPM] != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemorySideL2Conservation(t *testing.T) {
+	cfg := MultiGPM(4, BW2x)
+	cfg.L2 = L2MemorySide
+	k := &trace.Kernel{
+		Name: "ms", Grid: 256, WarpsPerCTA: 4, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom}},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom}},
+			{Op: isa.OpIAdd32, Times: 2},
+		},
+	}
+	app := &trace.App{Name: "ms",
+		Regions:  []trace.Region{{Name: "r", Bytes: 64 << 20, Home: trace.HomeStriped}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	r := mustRun(t, cfg, app)
+	c := &r.Counts
+	if c.Txn[isa.TxnL2ToL1] != r.L1Misses*isa.SectorsPerLine {
+		t.Errorf("memory-side: L2->L1 %d != 4x L1 misses %d", c.Txn[isa.TxnL2ToL1], r.L1Misses)
+	}
+	if c.Txn[isa.TxnDRAMToL2] != r.L2Misses*isa.SectorsPerLine {
+		t.Errorf("memory-side: DRAM->L2 %d != 4x L2 misses %d", c.Txn[isa.TxnDRAMToL2], r.L2Misses)
+	}
+	if c.Txn[isa.TxnInterGPM] == 0 {
+		t.Error("memory-side random traffic must cross the fabric")
+	}
+	// Every remote L1 miss crosses the fabric under memory-side
+	// placement, so fabric traffic is at least the remote-fill volume.
+	if c.Txn[isa.TxnInterGPM] < r.RemoteLineFills*isa.SectorsPerLine {
+		t.Error("memory-side fabric traffic below remote fill volume")
+	}
+}
+
+func TestMemorySideL2SharesCacheAcrossModules(t *testing.T) {
+	// Under memory-side placement, all modules' accesses to the same
+	// data warm ONE home L2, so a broadcast working set larger than one
+	// L2 but smaller than the aggregate still hits; module-side L2s
+	// each keep their own copy (also hits, but with duplicated
+	// capacity). The observable invariant: memory-side must not have a
+	// LOWER aggregate L2 hit rate for striped broadcast reads.
+	k := &trace.Kernel{
+		Name: "bc", Grid: 128, WarpsPerCTA: 4, Iters: 8,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatShared}},
+		},
+	}
+	newApp := func() *trace.App {
+		return &trace.App{Name: "bc",
+			Regions:  []trace.Region{{Name: "tbl", Bytes: 6 << 20, Home: trace.HomeStriped}},
+			Launches: []trace.Launch{{Kernel: k, Count: 3}}}
+	}
+	moduleSide := mustRun(t, MultiGPM(4, BW2x), newApp())
+	msCfg := MultiGPM(4, BW2x)
+	msCfg.L2 = L2MemorySide
+	memorySide := mustRun(t, msCfg, newApp())
+	if memorySide.L2HitRate()+0.05 < moduleSide.L2HitRate() {
+		t.Errorf("memory-side L2 hit rate %.2f should not trail module-side %.2f badly",
+			memorySide.L2HitRate(), moduleSide.L2HitRate())
+	}
+}
+
+func TestRoundRobinSchedulingCoversAllCTAs(t *testing.T) {
+	cfg := MultiGPM(4, BW2x)
+	cfg.CTASchedule = ScheduleRoundRobin
+	k := &trace.Kernel{
+		Name: "rr", Grid: 101, WarpsPerCTA: 2, Iters: 2, // odd grid exercises stride edges
+		Body: []trace.Inst{{Op: isa.OpFFMA32, Times: 4}},
+	}
+	app := &trace.App{Name: "rr", Launches: []trace.Launch{{Kernel: k}}}
+	r := mustRun(t, cfg, app)
+	want := uint64(101 * 2 * 2 * 4)
+	if got := r.Counts.WarpInst[isa.OpFFMA32]; got != want {
+		t.Errorf("round-robin lost CTAs: %d warp insts, want %d", got, want)
+	}
+}
+
+func TestRoundRobinDestroysLocality(t *testing.T) {
+	app := streamApp(256, 4, 8, 64<<20)
+	contiguous := mustRun(t, MultiGPM(4, BW2x), app)
+
+	rrCfg := MultiGPM(4, BW2x)
+	rrCfg.CTASchedule = ScheduleRoundRobin
+	rr := mustRun(t, rrCfg, streamApp(256, 4, 8, 64<<20))
+
+	// Contiguous CTAs + first touch keep partitioned streams local;
+	// round-robin re-runs the same kernel with pages homed by
+	// different-than-streaming owners across launches... With a single
+	// launch both first-touch fine-grained; the difference shows in
+	// neighbor/partition adjacency. At minimum, round-robin must not
+	// *reduce* remote traffic.
+	if rr.RemoteFillFraction()+1e-9 < contiguous.RemoteFillFraction() {
+		t.Errorf("round-robin should not be more local: %.3f < %.3f",
+			rr.RemoteFillFraction(), contiguous.RemoteFillFraction())
+	}
+}

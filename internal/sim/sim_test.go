@@ -1,0 +1,411 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/trace"
+)
+
+func mustRun(t *testing.T, cfg Config, app *trace.App) *Result {
+	t.Helper()
+	r, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := BaseGPM()
+	if cfg.GPMs != 1 || cfg.SMsPerGPM != 16 {
+		t.Error("basic GPM is 16 SMs")
+	}
+	if cfg.L1PerSMBytes != 32<<10 || cfg.L2PerGPMBytes != 2<<20 {
+		t.Error("basic GPM caches: 32 KB L1, 2 MB L2")
+	}
+	if cfg.DRAMBytesPerCycle != 256 {
+		t.Error("basic GPM HBM: 256 GB/s at 1 GHz")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableIVBandwidths(t *testing.T) {
+	// Table IV: 128/256/512 GB/s per GPM against 256 GB/s DRAM.
+	cases := []struct {
+		bw     BWSetting
+		want   float64
+		domain Domain
+	}{
+		{BW1x, 128, DomainOnBoard},
+		{BW2x, 256, DomainOnPackage},
+		{BW4x, 512, DomainOnPackage},
+	}
+	for _, c := range cases {
+		cfg := MultiGPM(4, c.bw)
+		if got := cfg.InterGPMBytesPerCycle(); got != c.want {
+			t.Errorf("%v inter-GPM BW = %g, want %g", c.bw, got, c.want)
+		}
+		if cfg.Domain != c.domain {
+			t.Errorf("%v default domain = %v, want %v", c.bw, cfg.Domain, c.domain)
+		}
+	}
+}
+
+func TestTableIIIScaling(t *testing.T) {
+	for _, n := range TableIIIGPMCounts {
+		cfg := MultiGPM(n, BW2x)
+		if cfg.TotalSMs() != 16*n {
+			t.Errorf("%d-GPM SMs = %d, want %d", n, cfg.TotalSMs(), 16*n)
+		}
+	}
+}
+
+func TestConfigValidateRejections(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.GPMs = 0 },
+		func(c *Config) { c.SMsPerGPM = -1 },
+		func(c *Config) { c.L1PerSMBytes = 0 },
+		func(c *Config) { c.DRAMBytesPerCycle = 0 },
+	} {
+		cfg := BaseGPM()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	app := streamApp(128, 4, 8, 32<<20)
+	r1 := mustRun(t, MultiGPM(4, BW2x), app)
+	r2 := mustRun(t, MultiGPM(4, BW2x), app)
+	if r1.Counts != r2.Counts {
+		t.Error("identical runs must produce identical counts")
+	}
+	if r1.L1Misses != r2.L1Misses || r1.RemoteLineFills != r2.RemoteLineFills {
+		t.Error("identical runs must produce identical cache behaviour")
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	k := &trace.Kernel{
+		Name: "acct", Grid: 8, WarpsPerCTA: 2, Iters: 3,
+		Body: []trace.Inst{
+			{Op: isa.OpFFMA32, Times: 5},
+			{Op: isa.OpIAdd32, Active: 16, Times: 2},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+		},
+	}
+	app := &trace.App{Name: "acct", Regions: []trace.Region{{Name: "r", Bytes: 1 << 20}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	r := mustRun(t, BaseGPM(), app)
+
+	warps := uint64(8 * 2)
+	iters := uint64(3)
+	if got := r.Counts.WarpInst[isa.OpFFMA32]; got != warps*iters*5 {
+		t.Errorf("FFMA32 warp insts = %d, want %d", got, warps*iters*5)
+	}
+	if got := r.Counts.Inst[isa.OpFFMA32]; got != warps*iters*5*32 {
+		t.Errorf("FFMA32 thread insts = %d, want %d", got, warps*iters*5*32)
+	}
+	// Divergent IADD: 16 active threads.
+	if got := r.Counts.Inst[isa.OpIAdd32]; got != warps*iters*2*16 {
+		t.Errorf("divergent IADD32 thread insts = %d, want %d", got, warps*iters*2*16)
+	}
+	if got := r.Counts.WarpInst[isa.OpLoadGlobal]; got != warps*iters {
+		t.Errorf("loads = %d, want %d", got, warps*iters)
+	}
+}
+
+func TestTransactionConservation(t *testing.T) {
+	// Every L1 access delivers one L1->RF line; every L1 miss moves 4
+	// L2->L1 sectors; every L2 miss moves 4 DRAM->L2 sectors.
+	app := streamApp(128, 4, 8, 32<<20)
+	for _, n := range []int{1, 4} {
+		r := mustRun(t, MultiGPM(n, BW2x), app)
+		c := &r.Counts
+		if c.Txn[isa.TxnL1ToRF] != r.L1Accesses {
+			t.Errorf("%d-GPM: L1->RF %d != L1 accesses %d", n, c.Txn[isa.TxnL1ToRF], r.L1Accesses)
+		}
+		if c.Txn[isa.TxnL2ToL1] != r.L1Misses*isa.SectorsPerLine {
+			t.Errorf("%d-GPM: L2->L1 %d != 4x L1 misses %d", n, c.Txn[isa.TxnL2ToL1], r.L1Misses)
+		}
+		if c.Txn[isa.TxnDRAMToL2] != r.L2Misses*isa.SectorsPerLine {
+			t.Errorf("%d-GPM: DRAM->L2 %d != 4x L2 misses %d", n, c.Txn[isa.TxnDRAMToL2], r.L2Misses)
+		}
+		if r.L2Accesses != r.L1Misses {
+			t.Errorf("%d-GPM: every L1 miss visits L2 exactly once", n)
+		}
+		if r.LocalLineFills+r.RemoteLineFills != r.L2Misses {
+			t.Errorf("%d-GPM: fills %d+%d != L2 misses %d",
+				n, r.LocalLineFills, r.RemoteLineFills, r.L2Misses)
+		}
+	}
+}
+
+func TestRemoteTrafficChargesInterGPMHops(t *testing.T) {
+	k := &trace.Kernel{
+		Name: "rand", Grid: 256, WarpsPerCTA: 4, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom}},
+		},
+	}
+	app := &trace.App{Name: "rand",
+		Regions:  []trace.Region{{Name: "r", Bytes: 128 << 20, Home: trace.HomeStriped}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	r := mustRun(t, MultiGPM(8, BW2x), app)
+	// Hops on an 8-ring average 2+: inter-GPM sectors must exceed
+	// 4 * remote fills (one hop each) strictly.
+	minSectors := r.RemoteLineFills * isa.SectorsPerLine
+	if got := r.Counts.Txn[isa.TxnInterGPM]; got <= minSectors {
+		t.Errorf("multi-hop ring should charge >1 hop per remote fill: %d sectors for %d fills",
+			got, r.RemoteLineFills)
+	}
+	if r.Counts.Txn[isa.TxnSwitch] != 0 {
+		t.Error("ring topology must not charge switch traversals")
+	}
+}
+
+func TestSwitchTopologyChargesSwitch(t *testing.T) {
+	k := &trace.Kernel{
+		Name: "rand", Grid: 128, WarpsPerCTA: 4, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom}},
+		},
+	}
+	app := &trace.App{Name: "rand",
+		Regions:  []trace.Region{{Name: "r", Bytes: 64 << 20, Home: trace.HomeStriped}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	cfg := MultiGPM(8, BW1x)
+	cfg.Topology = 1 // interconnect.TopologySwitch
+	r := mustRun(t, cfg, app)
+	if r.Counts.Txn[isa.TxnSwitch] == 0 {
+		t.Error("switch topology must charge switch traversals")
+	}
+	// Every remote fill crosses exactly two links and one switch.
+	wantLinks := r.RemoteLineFills * isa.SectorsPerLine * 2
+	if got := r.Counts.Txn[isa.TxnInterGPM]; got != wantLinks {
+		t.Errorf("switch link sectors = %d, want %d", got, wantLinks)
+	}
+	if got := r.Counts.Txn[isa.TxnSwitch]; got != r.RemoteLineFills*isa.SectorsPerLine {
+		t.Errorf("switch sectors = %d, want %d", got, r.RemoteLineFills*isa.SectorsPerLine)
+	}
+}
+
+func TestBarrierSynchronizesCTA(t *testing.T) {
+	// A kernel whose warps barrier every iteration must complete with
+	// consistent counts (and must not deadlock).
+	k := &trace.Kernel{
+		Name: "bar", Grid: 32, WarpsPerCTA: 8, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpFFMA32, Times: 3},
+			{Op: isa.OpBarrier},
+			{Op: isa.OpIAdd32},
+		},
+	}
+	app := &trace.App{Name: "bar", Launches: []trace.Launch{{Kernel: k}}}
+	r := mustRun(t, BaseGPM(), app)
+	want := uint64(32 * 8 * 4)
+	if got := r.Counts.WarpInst[isa.OpBarrier]; got != want {
+		t.Errorf("barriers executed = %d, want %d", got, want)
+	}
+	if got := r.Counts.WarpInst[isa.OpIAdd32]; got != want {
+		t.Errorf("post-barrier instructions = %d, want %d", got, want)
+	}
+}
+
+func TestSoftwareCoherenceInvalidatesL1(t *testing.T) {
+	// The same kernel launched twice: with L1s flushed at the boundary
+	// (software coherence), the second launch's small working set must
+	// miss L1 again, so misses are at least 2x a single launch's.
+	k := &trace.Kernel{
+		Name: "reuse", Grid: 64, WarpsPerCTA: 2, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+		},
+	}
+	once := &trace.App{Name: "once", Regions: []trace.Region{{Name: "r", Bytes: 1 << 20}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	twice := &trace.App{Name: "twice", Regions: []trace.Region{{Name: "r", Bytes: 1 << 20}},
+		Launches: []trace.Launch{{Kernel: k, Count: 2}}}
+	r1 := mustRun(t, BaseGPM(), once)
+	r2 := mustRun(t, BaseGPM(), twice)
+	if r2.L1Misses < 2*r1.L1Misses {
+		t.Errorf("L1 must be cold after a kernel boundary: %d misses for two launches vs %d for one",
+			r2.L1Misses, r1.L1Misses)
+	}
+}
+
+func TestFirstTouchLocalizesOwnPartitions(t *testing.T) {
+	app := streamApp(256, 4, 8, 64<<20)
+	for _, n := range []int{2, 8} {
+		r := mustRun(t, MultiGPM(n, BW2x), app)
+		if frac := r.RemoteFillFraction(); frac > 0.25 {
+			t.Errorf("%d-GPM partitioned streaming should be mostly local, remote=%.2f", n, frac)
+		}
+	}
+}
+
+func TestStripedHomesSpreadPages(t *testing.T) {
+	k := &trace.Kernel{
+		Name: "sh", Grid: 64, WarpsPerCTA: 4, Iters: 2,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatShared}},
+		},
+	}
+	app := &trace.App{Name: "sh",
+		Regions:  []trace.Region{{Name: "bcast", Bytes: 8 << 20, Home: trace.HomeStriped}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	r := mustRun(t, MultiGPM(4, BW2x), app)
+	// Broadcast reads over striped pages: roughly 3/4 of cold fills are
+	// remote on 4 GPMs.
+	if frac := r.RemoteFillFraction(); frac < 0.4 {
+		t.Errorf("striped broadcast data should be mostly remote, got %.2f", frac)
+	}
+}
+
+func TestStallAccountingBounds(t *testing.T) {
+	app := streamApp(128, 4, 8, 32<<20)
+	r := mustRun(t, MultiGPM(2, BW2x), app)
+	var launchCycles float64
+	for i := range r.Launches {
+		launchCycles += r.Launches[i].Duration()
+	}
+	maxStalls := launchCycles * float64(r.Counts.SMCount)
+	if float64(r.Counts.StallCycles) > maxStalls {
+		t.Errorf("stalls %d exceed total SM-cycles %.0f", r.Counts.StallCycles, maxStalls)
+	}
+}
+
+func TestHostGapSeparatesLaunches(t *testing.T) {
+	k := &trace.Kernel{
+		Name: "tiny", Grid: 16, WarpsPerCTA: 1, Iters: 1,
+		Body: []trace.Inst{{Op: isa.OpIAdd32}},
+	}
+	gap := 50000.0
+	app := &trace.App{Name: "tiny", HostGapCycles: gap,
+		Launches: []trace.Launch{{Kernel: k, Count: 3}}}
+	r := mustRun(t, BaseGPM(), app)
+	if len(r.Launches) != 3 {
+		t.Fatalf("launches = %d, want 3", len(r.Launches))
+	}
+	for i := 1; i < len(r.Launches); i++ {
+		between := r.Launches[i].Start - r.Launches[i-1].End
+		if between < gap {
+			t.Errorf("gap between launches %d,%d = %.0f, want >= %.0f", i-1, i, between, gap)
+		}
+	}
+	if float64(r.Counts.Cycles) < 3*gap {
+		t.Error("total time must include host gaps")
+	}
+}
+
+func TestMoreGPMsNeverSlower(t *testing.T) {
+	// Property over GPM counts: for a well-partitioned streaming app,
+	// time is non-increasing in module count (allowing 5% noise).
+	app := streamApp(512, 4, 8, 64<<20)
+	var prev float64
+	for i, n := range []int{1, 2, 4, 8} {
+		r := mustRun(t, MultiGPM(n, BW2x), app)
+		if i > 0 && r.Cycles() > prev*1.05 {
+			t.Errorf("%d GPMs slower than %d: %.0f vs %.0f", n, n/2, r.Cycles(), prev)
+		}
+		prev = r.Cycles()
+	}
+}
+
+func TestBandwidthSettingOrdering(t *testing.T) {
+	// A NUMA-heavy workload must not run slower with more inter-GPM
+	// bandwidth.
+	k := &trace.Kernel{
+		Name: "numa", Grid: 256, WarpsPerCTA: 8, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom}},
+			{Op: isa.OpFFMA32, Times: 2},
+		},
+	}
+	app := &trace.App{Name: "numa",
+		Regions:  []trace.Region{{Name: "r", Bytes: 256 << 20, Home: trace.HomeStriped}},
+		Launches: []trace.Launch{{Kernel: k}}}
+	t1 := mustRun(t, MultiGPM(8, BW1x), app).Cycles()
+	t2 := mustRun(t, MultiGPM(8, BW2x), app).Cycles()
+	t4 := mustRun(t, MultiGPM(8, BW4x), app).Cycles()
+	if t2 > t1*1.02 || t4 > t2*1.02 {
+		t.Errorf("bandwidth must help NUMA traffic: %g, %g, %g", t1, t2, t4)
+	}
+	if t4 >= t1 {
+		t.Errorf("4x bandwidth should clearly beat 1x on NUMA-bound work: %g vs %g", t4, t1)
+	}
+}
+
+func TestInvalidAppRejected(t *testing.T) {
+	app := &trace.App{Name: "bad"}
+	if _, err := Run(BaseGPM(), app); err == nil {
+		t.Error("empty app must be rejected")
+	}
+}
+
+func TestBWSettingDomainStrings(t *testing.T) {
+	if BW1x.String() != "1x-BW" || BW4x.String() != "4x-BW" {
+		t.Error("bandwidth setting names wrong")
+	}
+	if DomainOnBoard.String() != "on-board" || DomainOnPackage.String() != "on-package" {
+		t.Error("domain names wrong")
+	}
+	cfg := MultiGPM(4, BW2x)
+	if cfg.Name() == "" || BaseGPM().Name() != "1-GPM" {
+		t.Error("config naming wrong")
+	}
+	cfg.Monolithic = true
+	if cfg.Name() != "monolithic-4x" {
+		t.Errorf("monolithic name = %q", cfg.Name())
+	}
+}
+
+func TestAddressGenerationInRegionProperty(t *testing.T) {
+	// Property: generated addresses always fall inside their region.
+	f := func(seed uint32, pat uint8, lines uint8) bool {
+		app := &trace.App{Name: "p",
+			Regions: []trace.Region{{Name: "r", Bytes: 4 << 20}},
+			Launches: []trace.Launch{{Kernel: &trace.Kernel{
+				Name: "k", Grid: 4, WarpsPerCTA: 2,
+				Body: []trace.Inst{{Op: isa.OpIAdd32}},
+			}}}}
+		g, err := NewGPU(MultiGPM(2, BW2x), app)
+		if err != nil {
+			return false
+		}
+		eng := &launchEngine{gpu: g, kernel: app.Launches[0].Kernel}
+		w := &warpState{
+			eng:       eng,
+			id:        int(seed % 8),
+			accessSeq: seed,
+			streamOff: []uint32{seed / 3},
+		}
+		m := &trace.MemAccess{
+			Region:      0,
+			Pattern:     trace.Pattern(pat % 4),
+			Lines:       lines%8 + 1,
+			NeighborPct: 30,
+		}
+		base := g.regionBase[0]
+		limit := base + g.regionLines[0]*isa.LineBytes
+		for l := 0; l < int(m.Lines); l++ {
+			addr := g.address(m, w, l)
+			if addr < base || addr >= limit {
+				return false
+			}
+			if addr%isa.LineBytes != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

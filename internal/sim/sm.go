@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/memsys"
+	"gpujoule/internal/trace"
+)
+
+// warpState is the execution context of one resident 32-thread warp.
+type warpState struct {
+	eng *launchEngine
+	cta *ctaState
+
+	// id is the warp's kernel-global identity (cta*warpsPerCTA + lane).
+	id int
+
+	// readyAt is the earliest time the warp may issue its next
+	// instruction.
+	readyAt float64
+	// blocked marks a warp waiting at a CTA barrier.
+	blocked bool
+
+	// Program position: body index, remaining repeats of the current
+	// instruction, and the body iteration count.
+	bodyIdx int
+	repLeft int
+	iter    int
+
+	// streamOff[r] counts the warp's accesses to region r, driving
+	// streaming address generation.
+	streamOff []uint32
+	// accessSeq counts all memory accesses, seeding per-access hashes.
+	accessSeq uint32
+}
+
+// ctaState tracks one resident CTA's warps and barrier.
+type ctaState struct {
+	id        int
+	warpsLeft int
+	arrived   int
+	warps     []*warpState
+}
+
+// smState is one streaming multiprocessor.
+type smState struct {
+	gpm *gpmState
+	l1  *memsys.Cache
+
+	clock float64
+	busy  float64 // issue-occupied cycles within the current launch
+
+	warps []*warpState
+	ctas  int // resident CTA count
+}
+
+// beginLaunch resets per-launch SM state.
+func (sm *smState) beginLaunch(start float64) {
+	sm.clock = start
+	sm.busy = 0
+	sm.warps = sm.warps[:0]
+	sm.ctas = 0
+}
+
+// refill pulls CTAs from the GPM queue until the residency limit is
+// reached or the queue empties. It reports whether any warps are now
+// resident.
+func (sm *smState) refill(eng *launchEngine) bool {
+	max := eng.gpu.cfg.maxCTAs()
+	k := eng.kernel
+	for sm.ctas < max {
+		ctaID, ok := sm.gpm.takeCTA()
+		if !ok {
+			break
+		}
+		cta := &ctaState{id: ctaID, warpsLeft: k.WarpsPerCTA}
+		for wi := 0; wi < k.WarpsPerCTA; wi++ {
+			w := &warpState{
+				eng:       eng,
+				cta:       cta,
+				id:        ctaID*k.WarpsPerCTA + wi,
+				readyAt:   sm.clock,
+				repLeft:   k.Body[0].Repeat(),
+				streamOff: make([]uint32, len(eng.gpu.app.Regions)),
+			}
+			cta.warps = append(cta.warps, w)
+			sm.warps = append(sm.warps, w)
+		}
+		sm.ctas++
+		eng.activeWarps += k.WarpsPerCTA
+	}
+	return len(sm.warps) > 0
+}
+
+// advance runs the SM's event loop until its clock reaches `until` or
+// it runs out of work. It reports whether any instruction issued.
+func (sm *smState) advance(until float64, eng *launchEngine) bool {
+	progressed := false
+	for {
+		if len(sm.warps) == 0 {
+			if !sm.refill(eng) {
+				if sm.clock < until {
+					sm.clock = until
+				}
+				return progressed
+			}
+		}
+		// Oldest-ready-first selection among unblocked warps.
+		var w *warpState
+		minReady := math.Inf(1)
+		for _, cand := range sm.warps {
+			if !cand.blocked && cand.readyAt < minReady {
+				minReady = cand.readyAt
+				w = cand
+			}
+		}
+		if w == nil {
+			// Every resident warp is blocked at a barrier. This can
+			// only happen on a malformed kernel (barrier under
+			// divergent retirement); fail loudly rather than hang.
+			panic(fmt.Sprintf("sim: SM deadlock in kernel %q: all %d warps blocked at barrier",
+				eng.kernel.Name, len(sm.warps)))
+		}
+		if minReady >= until {
+			if sm.clock < until {
+				sm.clock = until
+			}
+			return progressed
+		}
+		if sm.clock < minReady {
+			sm.clock = minReady
+		}
+		sm.issue(w, eng)
+		progressed = true
+	}
+}
+
+// issue executes w's next instruction at sm.clock.
+func (sm *smState) issue(w *warpState, eng *launchEngine) {
+	k := eng.kernel
+	inst := &k.Body[w.bodyIdx]
+	op := inst.Op
+	active := inst.ActiveThreads()
+
+	eng.counts.WarpInst[op]++
+	eng.counts.Inst[op] += uint64(active)
+
+	occ := float64(op.IssueCycles())
+
+	switch {
+	case op.IsCompute():
+		w.readyAt = sm.clock + occ + float64(op.Latency())
+
+	case op.IsGlobalMemory():
+		lines := int(inst.Mem.Lines)
+		if lines <= 0 {
+			lines = 1
+		}
+		// A divergent access occupies the LSU for one cycle per
+		// distinct line.
+		occ += float64(lines - 1)
+		isStore := op == isa.OpStoreGlobal
+		done := eng.gpu.access(sm, sm.clock+occ, inst.Mem, w, isStore)
+		w.accessSeq++
+		w.streamOff[inst.Mem.Region]++
+		if isStore {
+			// Stores retire through a write buffer without blocking.
+			w.readyAt = sm.clock + occ + latStore
+		} else {
+			w.readyAt = done
+		}
+
+	case op.IsShared():
+		eng.counts.Txn[isa.TxnShmToRF]++
+		w.readyAt = sm.clock + occ + latShared
+
+	case op == isa.OpBarrier:
+		cta := w.cta
+		cta.arrived++
+		if cta.arrived >= cta.warpsLeft {
+			// Last arrival releases everyone at the current time.
+			cta.arrived = 0
+			for _, sib := range cta.warps {
+				if sib.blocked {
+					sib.blocked = false
+					sib.readyAt = sm.clock
+				}
+			}
+			w.readyAt = sm.clock + occ
+		} else {
+			w.blocked = true
+			w.readyAt = sm.clock + occ
+		}
+
+	case op == isa.OpExit:
+		sm.busy += occ
+		sm.clock += occ
+		sm.retire(w, eng)
+		return
+
+	default: // OpBranch, OpNop
+		w.readyAt = sm.clock + occ + float64(op.Latency())
+	}
+
+	sm.busy += occ
+	sm.clock += occ
+
+	// Advance the program position.
+	w.repLeft--
+	if w.repLeft > 0 {
+		return
+	}
+	w.bodyIdx++
+	if w.bodyIdx >= len(k.Body) {
+		w.bodyIdx = 0
+		w.iter++
+		if w.iter >= k.EffIters() {
+			sm.retire(w, eng)
+			return
+		}
+	}
+	w.repLeft = k.Body[w.bodyIdx].Repeat()
+}
+
+// retire removes a finished warp, releasing its CTA slot when the last
+// sibling finishes.
+func (sm *smState) retire(w *warpState, eng *launchEngine) {
+	end := w.readyAt
+	if sm.clock > end {
+		end = sm.clock
+	}
+	if end > eng.end {
+		eng.end = end
+	}
+	for i, cand := range sm.warps {
+		if cand == w {
+			sm.warps[i] = sm.warps[len(sm.warps)-1]
+			sm.warps = sm.warps[:len(sm.warps)-1]
+			break
+		}
+	}
+	w.cta.warpsLeft--
+	if w.cta.warpsLeft == 0 {
+		sm.ctas--
+		sm.refill(eng)
+	}
+	eng.activeWarps--
+}
+
+// address derives the byte address of line index l of warp w's current
+// access, per the access pattern rules of package trace.
+func (g *GPU) address(m *trace.MemAccess, w *warpState, l int) uint64 {
+	base := g.regionBase[m.Region]
+	regionLines := g.regionLines[m.Region]
+	cnt := uint64(w.streamOff[m.Region])
+
+	switch m.Pattern {
+	case trace.PatShared:
+		// Every warp streams the same sequence.
+		line := (cnt*uint64(maxInt(int(m.Lines), 1)) + uint64(l)) % regionLines
+		return base + line*isa.LineBytes
+
+	case trace.PatRandom:
+		h := trace.Hash64(uint64(w.id)<<40 ^ uint64(w.accessSeq)<<8 ^ uint64(l))
+		return base + (h%regionLines)*isa.LineBytes
+
+	case trace.PatOwn, trace.PatNeighbor:
+		totalWarps := uint64(w.eng.kernel.Warps())
+		partLines := regionLines / totalWarps
+		if partLines == 0 {
+			partLines = 1
+		}
+		owner := uint64(w.id)
+		if m.Pattern == trace.PatNeighbor {
+			h := trace.Hash64(uint64(w.id)<<32 ^ uint64(w.accessSeq)<<4 ^ 0xA5)
+			if h%100 < uint64(m.NeighborPct) {
+				// Redirect into the partition of the corresponding
+				// warp of an adjacent CTA.
+				wpc := uint64(w.eng.kernel.WarpsPerCTA)
+				if h&1 == 0 && owner+wpc < totalWarps {
+					owner += wpc
+				} else if owner >= wpc {
+					owner -= wpc
+				} else if owner+wpc < totalWarps {
+					owner += wpc
+				}
+			}
+		}
+		partBase := (owner * partLines) % regionLines
+		var line uint64
+		if m.Lines <= 1 {
+			// Coalesced streaming through the partition.
+			line = partBase + cnt%partLines
+		} else {
+			// Divergent access: lines scatter within the partition.
+			h := trace.Hash64(uint64(w.id)<<24 ^ uint64(w.accessSeq)<<6 ^ uint64(l))
+			line = partBase + h%partLines
+		}
+		return base + (line%regionLines)*isa.LineBytes
+
+	default:
+		panic(fmt.Sprintf("sim: unknown access pattern %v", m.Pattern))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

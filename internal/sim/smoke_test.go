@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/trace"
+)
+
+// streamApp builds a simple memory-streaming app: every warp streams
+// its own partition of a large region.
+func streamApp(ctas, warpsPerCTA, iters int, regionBytes uint64) *trace.App {
+	k := &trace.Kernel{
+		Name:        "stream",
+		Grid:        ctas,
+		WarpsPerCTA: warpsPerCTA,
+		Iters:       iters,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+			{Op: isa.OpFFMA32, Times: 4},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{
+		Name:     "stream-smoke",
+		Category: trace.CategoryMemory,
+		Regions: []trace.Region{
+			{Name: "a", Bytes: regionBytes},
+			{Name: "b", Bytes: regionBytes},
+			{Name: "c", Bytes: regionBytes},
+		},
+		Launches: []trace.Launch{{Kernel: k}},
+	}
+}
+
+// computeApp builds a compute-heavy app with a small cached footprint.
+func computeApp(ctas, warpsPerCTA, iters int) *trace.App {
+	k := &trace.Kernel{
+		Name:        "fma",
+		Grid:        ctas,
+		WarpsPerCTA: warpsPerCTA,
+		Iters:       iters,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpFFMA32, Times: 40},
+		},
+	}
+	return &trace.App{
+		Name:     "fma-smoke",
+		Category: trace.CategoryCompute,
+		Regions:  []trace.Region{{Name: "a", Bytes: 8 << 20}},
+		Launches: []trace.Launch{{Kernel: k}},
+	}
+}
+
+func TestSmokeStreamScalesWithDRAM(t *testing.T) {
+	app := streamApp(256, 4, 16, 64<<20)
+
+	r1, err := Run(MultiGPM(1, BW2x), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(MultiGPM(4, BW2x), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("1-GPM: cycles=%.0f L1=%.2f L2=%.2f remote=%.2f",
+		r1.Cycles(), r1.L1HitRate(), r1.L2HitRate(), r1.RemoteFillFraction())
+	t.Logf("4-GPM: cycles=%.0f L1=%.2f L2=%.2f remote=%.2f",
+		r4.Cycles(), r4.L1HitRate(), r4.L2HitRate(), r4.RemoteFillFraction())
+
+	speedup := r1.Cycles() / r4.Cycles()
+	if speedup < 1.5 {
+		t.Errorf("streaming app should scale with DRAM bandwidth: got %.2fx for 4 GPMs", speedup)
+	}
+	if frac := r4.RemoteFillFraction(); frac > 0.3 {
+		t.Errorf("partitioned streaming should be mostly local after first touch: remote=%.2f", frac)
+	}
+}
+
+func TestSmokeRandomTrafficIsRemote(t *testing.T) {
+	k := &trace.Kernel{
+		Name:        "gather",
+		Grid:        256,
+		WarpsPerCTA: 4,
+		Iters:       8,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom, Lines: 8}},
+			{Op: isa.OpIAdd32, Times: 4},
+		},
+	}
+	app := &trace.App{
+		Name:     "gather-smoke",
+		Category: trace.CategoryMemory,
+		Regions:  []trace.Region{{Name: "graph", Bytes: 256 << 20}},
+		Launches: []trace.Launch{{Kernel: k}},
+	}
+	r4, err := Run(MultiGPM(4, BW2x), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("4-GPM random: remote=%.2f interGPM sectors=%d",
+		r4.RemoteFillFraction(), r4.Counts.Txn[isa.TxnInterGPM])
+	if frac := r4.RemoteFillFraction(); frac < 0.5 {
+		t.Errorf("random access over 4 GPMs should be ~75%% remote, got %.2f", frac)
+	}
+	if r4.Counts.Txn[isa.TxnInterGPM] == 0 {
+		t.Error("remote fills must charge inter-GPM transactions")
+	}
+}
+
+func TestSmokeComputeScalesNearLinearly(t *testing.T) {
+	app := computeApp(512, 4, 24)
+	r1, err := Run(MultiGPM(1, BW2x), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(MultiGPM(4, BW2x), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r1.Cycles() / r4.Cycles()
+	t.Logf("compute speedup 1->4 GPM: %.2fx (stall frac 1-GPM: %.2f)",
+		speedup, float64(r1.Counts.StallCycles)/float64(r1.Counts.Cycles*uint64(r1.Counts.SMCount)))
+	if speedup < 3.1 || speedup > 4.6 {
+		t.Errorf("compute-bound app should scale near-linearly: got %.2fx", speedup)
+	}
+}
+
+func TestSmokeMonolithicHasNoRemote(t *testing.T) {
+	app := streamApp(256, 4, 8, 64<<20)
+	cfg := MultiGPM(4, BW2x)
+	cfg.Monolithic = true
+	r, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemoteLineFills != 0 || r.Counts.Txn[isa.TxnInterGPM] != 0 {
+		t.Errorf("monolithic GPU must have no remote traffic: fills=%d txns=%d",
+			r.RemoteLineFills, r.Counts.Txn[isa.TxnInterGPM])
+	}
+	if r.Counts.GPMCount != 1 {
+		t.Errorf("monolithic GPU is one physical module, got %d", r.Counts.GPMCount)
+	}
+}

@@ -1,0 +1,77 @@
+// Package stats provides the small statistical helpers the evaluation
+// harness needs: geometric and arithmetic means, mean absolute error,
+// and min/max reductions.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be
+// positive; returns NaN otherwise or when empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// MeanAbs returns the mean of |x| over xs, or NaN when empty.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or -Inf when empty.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or +Inf when empty.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RelErrPct returns the relative error of modeled against measured, in
+// percent: (modeled-measured)/measured·100.
+func RelErrPct(modeled, measured float64) float64 {
+	if measured == 0 {
+		return math.NaN()
+	}
+	return (modeled - measured) / measured * 100
+}

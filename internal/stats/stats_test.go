@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %g, want 2", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean is NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 4", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Error("non-positive values are undefined")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty geomean is NaN")
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if m := MeanAbs([]float64{-3, 3, -6}); m != 4 {
+		t.Errorf("MeanAbs = %g, want 4", m)
+	}
+	if !math.IsNaN(MeanAbs(nil)) {
+		t.Error("empty MeanAbs is NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Error("min/max wrong")
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("empty reductions are infinities")
+	}
+}
+
+func TestRelErrPct(t *testing.T) {
+	if e := RelErrPct(110, 100); math.Abs(e-10) > 1e-12 {
+		t.Errorf("RelErrPct = %g, want 10", e)
+	}
+	if e := RelErrPct(90, 100); math.Abs(e+10) > 1e-12 {
+		t.Errorf("RelErrPct = %g, want -10", e)
+	}
+	if !math.IsNaN(RelErrPct(1, 0)) {
+		t.Error("zero measured is undefined")
+	}
+}
+
+func TestGeoMeanAtMostMeanProperty(t *testing.T) {
+	// AM-GM inequality on positive data.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package trace defines the workload representation consumed by the
+// performance simulator: applications made of kernel launches, kernels
+// made of CTAs and warps, and compact per-warp instruction templates
+// with parametric memory access patterns.
+//
+// The representation is trace-driven in the same sense as the paper's
+// proprietary simulator: the simulator replays instruction streams and
+// memory access streams; it never executes real code. Programs are
+// stored as templates shared by all warps of a kernel, with addresses
+// derived per warp, which keeps even 32-GPM (512 SM) runs compact.
+package trace
+
+import (
+	"fmt"
+
+	"gpujoule/internal/isa"
+)
+
+// Pattern selects how a global-memory access derives its address from
+// the accessing warp's identity and progress.
+type Pattern uint8
+
+// Access patterns.
+const (
+	// PatOwn streams through the warp's own contiguous partition of the
+	// region (classic data-parallel partitioning; first touch lands the
+	// pages on the accessing warp's GPM).
+	PatOwn Pattern = iota
+	// PatNeighbor behaves like PatOwn but redirects a fraction of
+	// accesses (NeighborPct) into the address partition of an adjacent
+	// CTA, modeling stencil halo exchange.
+	PatNeighbor
+	// PatShared streams through a region that all warps read in the
+	// same order (broadcast data such as cluster centroids or lookup
+	// tables); highly cacheable.
+	PatShared
+	// PatRandom draws uniformly random line addresses over the whole
+	// region (graph traversal, hash tables); defeats locality.
+	PatRandom
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatOwn:
+		return "own"
+	case PatNeighbor:
+		return "neighbor"
+	case PatShared:
+		return "shared"
+	case PatRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("pattern(%d)", uint8(p))
+	}
+}
+
+// HomePolicy selects how a region's pages get a home GPM.
+type HomePolicy uint8
+
+// Home policies.
+const (
+	// HomeFirstTouch assigns a page to the GPM whose SM touches it
+	// first (the paper's configuration, §V-A1).
+	HomeFirstTouch HomePolicy = iota
+	// HomeStriped round-robins pages across GPMs, modeling data whose
+	// placement an earlier, differently-shaped phase established.
+	HomeStriped
+)
+
+func (h HomePolicy) String() string {
+	switch h {
+	case HomeFirstTouch:
+		return "first-touch"
+	case HomeStriped:
+		return "striped"
+	default:
+		return fmt.Sprintf("home(%d)", uint8(h))
+	}
+}
+
+// Region describes one global-memory data structure of a kernel.
+type Region struct {
+	// Name identifies the region in diagnostics.
+	Name string
+	// Bytes is the region size. Addresses are line-aligned within it.
+	Bytes uint64
+	// Home selects the page-placement policy for the region.
+	Home HomePolicy
+}
+
+// MemAccess parameterizes a global-memory instruction in a warp body.
+type MemAccess struct {
+	// Region indexes into Kernel.Regions.
+	Region int
+	// Pattern selects the address-derivation rule.
+	Pattern Pattern
+	// Lines is the number of distinct 128-byte cache lines the warp
+	// touches per execution (1 = fully coalesced, 32 = fully
+	// divergent). Zero means 1.
+	Lines uint8
+	// NeighborPct is the percentage (0-100) of PatNeighbor accesses
+	// redirected to an adjacent partition.
+	NeighborPct uint8
+	// Chase serializes the access against the warp's previous access to
+	// the same region (a dependent pointer chase), preventing the
+	// simulator from overlapping its latency with later instructions of
+	// the same warp.
+	Chase bool
+}
+
+// Inst is one entry of a warp body template.
+type Inst struct {
+	// Op is the instruction class.
+	Op isa.Op
+	// Active is the number of active threads (1-32); zero means 32.
+	// Values below 32 model control divergence.
+	Active uint8
+	// Mem parameterizes the access for global-memory opcodes; it must
+	// be nil for all other opcodes.
+	Mem *MemAccess
+	// Times repeats the instruction (with independent operands unless
+	// Mem.Chase is set); zero means 1. Used to compress unrolled loops.
+	Times int
+}
+
+// ActiveThreads returns the effective active-thread count.
+func (in *Inst) ActiveThreads() int {
+	if in.Active == 0 {
+		return 32
+	}
+	return int(in.Active)
+}
+
+// Repeat returns the effective repetition count.
+func (in *Inst) Repeat() int {
+	if in.Times <= 0 {
+		return 1
+	}
+	return in.Times
+}
+
+// Kernel is one GPU kernel: a grid of CTAs, each holding identical
+// warps that execute Body Iters times. Region indices in Body refer to
+// the owning App's region table, so that page homes established by one
+// kernel (e.g. an initialization pass) persist for later launches.
+type Kernel struct {
+	// Name identifies the kernel in diagnostics.
+	Name string
+	// Grid is the number of CTAs.
+	Grid int
+	// WarpsPerCTA is the number of 32-thread warps per CTA.
+	WarpsPerCTA int
+	// Iters is how many times each warp executes Body. Zero means 1.
+	Iters int
+	// Body is the per-warp instruction template.
+	Body []Inst
+}
+
+// EffIters returns the effective iteration count.
+func (k *Kernel) EffIters() int {
+	if k.Iters <= 0 {
+		return 1
+	}
+	return k.Iters
+}
+
+// Warps returns the total warp count of the kernel.
+func (k *Kernel) Warps() int { return k.Grid * k.WarpsPerCTA }
+
+// InstructionsPerWarp returns the number of dynamic warp instructions
+// one warp executes.
+func (k *Kernel) InstructionsPerWarp() int {
+	n := 0
+	for i := range k.Body {
+		n += k.Body[i].Repeat()
+	}
+	return n * k.EffIters()
+}
+
+// Validate checks internal consistency of the kernel description
+// against an application with numRegions global-memory regions.
+func (k *Kernel) Validate(numRegions int) error {
+	if k.Grid <= 0 {
+		return fmt.Errorf("trace: kernel %q: grid must be positive, got %d", k.Name, k.Grid)
+	}
+	if k.WarpsPerCTA <= 0 {
+		return fmt.Errorf("trace: kernel %q: warps per CTA must be positive, got %d", k.Name, k.WarpsPerCTA)
+	}
+	if len(k.Body) == 0 {
+		return fmt.Errorf("trace: kernel %q: empty body", k.Name)
+	}
+	for i := range k.Body {
+		in := &k.Body[i]
+		if !in.Op.Valid() {
+			return fmt.Errorf("trace: kernel %q: body[%d]: invalid opcode", k.Name, i)
+		}
+		if in.Active > 32 {
+			return fmt.Errorf("trace: kernel %q: body[%d]: %d active threads exceeds warp width", k.Name, i, in.Active)
+		}
+		if in.Op.IsGlobalMemory() {
+			if in.Mem == nil {
+				return fmt.Errorf("trace: kernel %q: body[%d]: %v requires a MemAccess", k.Name, i, in.Op)
+			}
+			if in.Mem.Region < 0 || in.Mem.Region >= numRegions {
+				return fmt.Errorf("trace: kernel %q: body[%d]: region %d out of range (have %d regions)",
+					k.Name, i, in.Mem.Region, numRegions)
+			}
+			if in.Mem.Lines > 32 {
+				return fmt.Errorf("trace: kernel %q: body[%d]: %d lines exceeds warp width", k.Name, i, in.Mem.Lines)
+			}
+			if in.Mem.NeighborPct > 100 {
+				return fmt.Errorf("trace: kernel %q: body[%d]: neighbor pct %d out of range", k.Name, i, in.Mem.NeighborPct)
+			}
+		} else if in.Mem != nil {
+			return fmt.Errorf("trace: kernel %q: body[%d]: %v must not carry a MemAccess", k.Name, i, in.Op)
+		}
+	}
+	return nil
+}
+
+// Launch is one kernel launch within an application, optionally
+// repeated back-to-back (BFS-style iterative apps launch the same small
+// kernel hundreds of times).
+type Launch struct {
+	Kernel *Kernel
+	// Count is the number of consecutive launches. Zero means 1.
+	Count int
+}
+
+// EffCount returns the effective launch count.
+func (l *Launch) EffCount() int {
+	if l.Count <= 0 {
+		return 1
+	}
+	return l.Count
+}
+
+// Category classifies an application per Table II.
+type Category uint8
+
+// Application categories (Table II).
+const (
+	// CategoryCompute marks compute-intensive applications.
+	CategoryCompute Category = iota
+	// CategoryMemory marks memory-bandwidth-intensive applications.
+	CategoryMemory
+)
+
+func (c Category) String() string {
+	switch c {
+	case CategoryCompute:
+		return "C"
+	case CategoryMemory:
+		return "M"
+	default:
+		return fmt.Sprintf("category(%d)", uint8(c))
+	}
+}
+
+// App is a full application: a sequence of kernel launches sharing one
+// address space. Regions are owned by the app so that page homes
+// established by one launch persist for all later launches.
+type App struct {
+	// Name is the Table II abbreviation (e.g. "Lulesh-150").
+	Name string
+	// Category is the Table II C/M classification.
+	Category Category
+	// Regions is the global-memory region table shared by all kernels.
+	Regions []Region
+	// Launches is the launch sequence.
+	Launches []Launch
+	// HostGapCycles is the host-side processing time between
+	// consecutive kernel launches, in GPU cycles. Zero selects the
+	// simulator default (a few µs). Iterative apps with host-side work
+	// between launches (BFS frontier management, AMR regridding) set
+	// this large, which is what defeats coarse power sensors (§IV-B2).
+	HostGapCycles float64
+}
+
+// Kernels returns the distinct kernels of the app, in launch order.
+func (a *App) Kernels() []*Kernel {
+	seen := make(map[*Kernel]bool)
+	var ks []*Kernel
+	for i := range a.Launches {
+		k := a.Launches[i].Kernel
+		if !seen[k] {
+			seen[k] = true
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// TotalLaunches returns the total number of kernel launches.
+func (a *App) TotalLaunches() int {
+	n := 0
+	for i := range a.Launches {
+		n += a.Launches[i].EffCount()
+	}
+	return n
+}
+
+// Validate checks every region and kernel of the application.
+func (a *App) Validate() error {
+	if len(a.Launches) == 0 {
+		return fmt.Errorf("trace: app %q has no launches", a.Name)
+	}
+	for ri, r := range a.Regions {
+		if r.Bytes == 0 {
+			return fmt.Errorf("trace: app %q: region %d (%s): zero size", a.Name, ri, r.Name)
+		}
+	}
+	for i := range a.Launches {
+		if a.Launches[i].Kernel == nil {
+			return fmt.Errorf("trace: app %q: launch %d has nil kernel", a.Name, i)
+		}
+		if err := a.Launches[i].Kernel.Validate(len(a.Regions)); err != nil {
+			return fmt.Errorf("app %q: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// Hash64 is a small deterministic mixing function (SplitMix64 finalizer)
+// used to derive pseudo-random but replayable addresses from warp
+// identity and progress counters. It is exported so the simulator and
+// workload generators derive identical streams.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

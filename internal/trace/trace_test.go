@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpujoule/internal/isa"
+)
+
+func validKernel() *Kernel {
+	return &Kernel{
+		Name: "k", Grid: 4, WarpsPerCTA: 2, Iters: 3,
+		Body: []Inst{
+			{Op: isa.OpLoadGlobal, Mem: &MemAccess{Region: 0, Pattern: PatOwn}},
+			{Op: isa.OpFFMA32, Times: 5},
+		},
+	}
+}
+
+func validApp() *App {
+	return &App{
+		Name:     "app",
+		Regions:  []Region{{Name: "a", Bytes: 1 << 20}},
+		Launches: []Launch{{Kernel: validKernel()}},
+	}
+}
+
+func TestAppValidateAccepts(t *testing.T) {
+	if err := validApp().Validate(); err != nil {
+		t.Fatalf("valid app rejected: %v", err)
+	}
+}
+
+func TestKernelValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Kernel)
+		want   string
+	}{
+		{"zero grid", func(k *Kernel) { k.Grid = 0 }, "grid"},
+		{"zero warps", func(k *Kernel) { k.WarpsPerCTA = 0 }, "warps"},
+		{"empty body", func(k *Kernel) { k.Body = nil }, "empty body"},
+		{"bad opcode", func(k *Kernel) { k.Body[1].Op = isa.Op(250) }, "invalid opcode"},
+		{"too many threads", func(k *Kernel) { k.Body[1].Active = 33 }, "warp width"},
+		{"missing mem", func(k *Kernel) { k.Body[0].Mem = nil }, "requires a MemAccess"},
+		{"region range", func(k *Kernel) { k.Body[0].Mem = &MemAccess{Region: 5} }, "out of range"},
+		{"too many lines", func(k *Kernel) { k.Body[0].Mem.Lines = 40 }, "lines exceeds"},
+		{"neighbor pct", func(k *Kernel) { k.Body[0].Mem.NeighborPct = 130 }, "neighbor pct"},
+		{"mem on compute", func(k *Kernel) { k.Body[1].Mem = &MemAccess{} }, "must not carry"},
+	}
+	for _, c := range cases {
+		k := validKernel()
+		c.mutate(k)
+		err := k.Validate(1)
+		if err == nil {
+			t.Errorf("%s: validation should fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAppValidateRejections(t *testing.T) {
+	app := validApp()
+	app.Regions[0].Bytes = 0
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "zero size") {
+		t.Errorf("zero-size region should fail, got %v", err)
+	}
+
+	app = validApp()
+	app.Launches = nil
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "no launches") {
+		t.Errorf("empty launch list should fail, got %v", err)
+	}
+
+	app = validApp()
+	app.Launches[0].Kernel = nil
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "nil kernel") {
+		t.Errorf("nil kernel should fail, got %v", err)
+	}
+}
+
+func TestKernelArithmetic(t *testing.T) {
+	k := validKernel()
+	if k.EffIters() != 3 {
+		t.Errorf("EffIters = %d, want 3", k.EffIters())
+	}
+	k.Iters = 0
+	if k.EffIters() != 1 {
+		t.Errorf("zero Iters means 1, got %d", k.EffIters())
+	}
+	if k.Warps() != 8 {
+		t.Errorf("Warps = %d, want 8", k.Warps())
+	}
+	// 1 load + 5 FMA repeats = 6 dynamic instructions per iteration.
+	if got := k.InstructionsPerWarp(); got != 6 {
+		t.Errorf("InstructionsPerWarp = %d, want 6", got)
+	}
+}
+
+func TestInstDefaults(t *testing.T) {
+	in := Inst{Op: isa.OpFAdd32}
+	if in.ActiveThreads() != 32 {
+		t.Errorf("default active threads = %d, want 32", in.ActiveThreads())
+	}
+	if in.Repeat() != 1 {
+		t.Errorf("default repeat = %d, want 1", in.Repeat())
+	}
+	in.Active = 12
+	in.Times = 7
+	if in.ActiveThreads() != 12 || in.Repeat() != 7 {
+		t.Error("explicit active/times not honored")
+	}
+}
+
+func TestLaunchCounting(t *testing.T) {
+	k := validKernel()
+	app := &App{
+		Name:    "x",
+		Regions: []Region{{Name: "a", Bytes: 1 << 20}},
+		Launches: []Launch{
+			{Kernel: k, Count: 3},
+			{Kernel: k},
+		},
+	}
+	if got := app.TotalLaunches(); got != 4 {
+		t.Errorf("TotalLaunches = %d, want 4", got)
+	}
+	if ks := app.Kernels(); len(ks) != 1 || ks[0] != k {
+		t.Errorf("Kernels should deduplicate, got %d", len(ks))
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, p := range []Pattern{PatOwn, PatNeighbor, PatShared, PatRandom} {
+		if strings.HasPrefix(p.String(), "pattern(") {
+			t.Errorf("pattern %d missing name", p)
+		}
+	}
+	if PatOwn.String() != "own" || PatRandom.String() != "random" {
+		t.Error("pattern names wrong")
+	}
+	if HomeFirstTouch.String() != "first-touch" || HomeStriped.String() != "striped" {
+		t.Error("home policy names wrong")
+	}
+	if CategoryCompute.String() != "C" || CategoryMemory.String() != "M" {
+		t.Error("Table II categories print as C and M")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(12345) != Hash64(12345) {
+		t.Fatal("Hash64 must be deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("distinct inputs should almost surely differ")
+	}
+}
+
+func TestHash64MixesProperty(t *testing.T) {
+	// Flipping any single input bit should change roughly half the
+	// output bits; require at least 8 as a loose avalanche check.
+	f := func(x uint64, bit uint8) bool {
+		y := x ^ (1 << (bit % 64))
+		diff := Hash64(x) ^ Hash64(y)
+		n := 0
+		for diff != 0 {
+			diff &= diff - 1
+			n++
+		}
+		return n >= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,456 @@
+package workloads
+
+import (
+	"gpujoule/internal/isa"
+	"gpujoule/internal/trace"
+)
+
+// The builders below encode the first-order behaviour of each Table II
+// application. Conventions:
+//
+//   - Streaming arrays use PatOwn so first-touch placement localizes
+//     them (the §V-A1 configuration rewards this, as in the paper).
+//   - Indirection/gather structures use PatRandom over HomeStriped
+//     regions: this is the NUMA-hostile traffic that exposes inter-GPM
+//     bandwidth at high module counts.
+//   - Halo exchange uses PatNeighbor; with contiguous CTA scheduling
+//     only partition-boundary CTAs cross modules, as on real stencils.
+//   - Broadcast tables use PatShared over small regions that the
+//     module-side L2s capture.
+//   - Control divergence is expressed with Active<32; the reference
+//     silicon charges for it while GPUJoule cannot see it (§IV-A).
+
+// BPROP: back-propagation NN training. Two alternating layer kernels,
+// SP-FMA dominated with sigmoid (EX2) activation, weight streams plus a
+// broadcast activation vector staged through shared memory.
+func buildBPROP(p Params) *trace.App {
+	grid := p.grid(8192)
+	weights := p.stream(96 << 20)
+	regions := []trace.Region{
+		{Name: "weights", Bytes: weights},
+		{Name: "delta", Bytes: weights},
+		{Name: "activations", Bytes: 4 << 20, Home: trace.HomeStriped},
+		// Gradient accumulators scattered across layers.
+		{Name: "grads", Bytes: 32 << 20, Home: trace.HomeStriped},
+	}
+	forward := &trace.Kernel{
+		Name: "bprop-forward", Grid: grid, WarpsPerCTA: 8, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatShared}},
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpFFMA32, Times: 14},
+			{Op: isa.OpExp2_32},
+			{Op: isa.OpRcp32},
+			{Op: isa.OpStoreShared},
+			{Op: isa.OpBarrier},
+		},
+	}
+	backward := &trace.Kernel{
+		Name: "bprop-backward", Grid: grid, WarpsPerCTA: 8, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpFFMA32, Times: 12},
+			{Op: isa.OpFMul32, Times: 2},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 3, Pattern: trace.PatRandom}},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+			{Op: isa.OpBarrier},
+		},
+	}
+	var launches []trace.Launch
+	for i := 0; i < 3; i++ {
+		launches = append(launches, trace.Launch{Kernel: forward}, trace.Launch{Kernel: backward})
+	}
+	return &trace.App{Name: "BPROP", Category: trace.CategoryCompute, Regions: regions, Launches: launches}
+}
+
+// BTREE: B+Tree search. Every warp walks the (shared, fixed-size) tree
+// with dependent, mildly divergent probes; integer-compare dominated.
+// The 6 MB tree exceeds one module's L2 but fits the aggregated
+// module-side L2s, producing the super-linear small-GPM scaling that
+// pushes compute-class EDPSE above 100% (§V-B).
+func buildBTREE(p Params) *trace.App {
+	grid := p.grid(8192)
+	regions := []trace.Region{
+		{Name: "tree", Bytes: 6 << 20, Home: trace.HomeStriped},
+		{Name: "queries", Bytes: p.stream(32 << 20)},
+		{Name: "results", Bytes: p.stream(32 << 20)},
+	}
+	search := &trace.Kernel{
+		Name: "btree-search", Grid: grid, WarpsPerCTA: 8, Iters: 8,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom, Lines: 2, Chase: true}},
+			{Op: isa.OpIAdd32, Times: 6},
+			{Op: isa.OpAnd32, Times: 2},
+			{Op: isa.OpISub32, Times: 2, Active: 28},
+			{Op: isa.OpBranch},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "BTREE", Category: trace.CategoryCompute, Regions: regions,
+		Launches: []trace.Launch{{Kernel: search}}}
+}
+
+// CoMD: classical molecular dynamics force kernel. DP-FMA and
+// square-root dominated with a small, heavily-reused particle set —
+// the memory subsystem is almost idle, which is exactly why GPUJoule
+// underestimates its energy in Fig. 4b (utilization-dependent DRAM
+// background power that a top-down model cannot see).
+func buildCoMD(p Params) *trace.App {
+	grid := p.grid(8192)
+	regions := []trace.Region{
+		// The 49-body particle set is tiny; it lives in the caches.
+		{Name: "positions", Bytes: 1536 << 10, Home: trace.HomeStriped},
+		{Name: "forces", Bytes: p.stream(16 << 20)},
+	}
+	force := &trace.Kernel{
+		Name: "comd-force", Grid: grid, WarpsPerCTA: 8, Iters: 6,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatShared}},
+			{Op: isa.OpFFMA64, Times: 30},
+			{Op: isa.OpFMul64, Times: 4},
+			{Op: isa.OpSqrt32, Times: 2},
+			{Op: isa.OpRcp32},
+			{Op: isa.OpFAdd64, Times: 4},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "CoMD", Category: trace.CategoryCompute, Regions: regions,
+		Launches: []trace.Launch{{Kernel: force}, {Kernel: force}}}
+}
+
+// Hotspot: 2D thermal stencil, iterative. SP compute over a grid with
+// halo exchange; the ~12 MB working set rewards aggregated L2.
+func buildHotspot(p Params) *trace.App {
+	grid := p.grid(8192)
+	temp := p.stream(12 << 20)
+	regions := []trace.Region{
+		{Name: "temp", Bytes: temp},
+		{Name: "power", Bytes: temp},
+		{Name: "out", Bytes: temp},
+	}
+	step := &trace.Kernel{
+		Name: "hotspot-step", Grid: grid, WarpsPerCTA: 8, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatNeighbor, NeighborPct: 20}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpFFMA32, Times: 10},
+			{Op: isa.OpFAdd32, Times: 4},
+			{Op: isa.OpFMul32, Times: 2},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatOwn}},
+			{Op: isa.OpBarrier},
+		},
+	}
+	return &trace.App{Name: "Hotspot", Category: trace.CategoryCompute, Regions: regions,
+		Launches: []trace.Launch{{Kernel: step, Count: p.launches(6)}}}
+}
+
+// LuleshUns: unstructured-mesh shock hydrodynamics. DP compute with
+// divergent indirect gathers; excluded from the §V subset for lack of
+// 32×-fill parallelism (kept at a smaller grid here).
+func buildLuleshUns(p Params) *trace.App {
+	grid := p.grid(1024)
+	regions := []trace.Region{
+		{Name: "nodes", Bytes: p.stream(48 << 20), Home: trace.HomeStriped},
+		{Name: "elems", Bytes: p.stream(64 << 20)},
+	}
+	calc := &trace.Kernel{
+		Name: "luleshuns-calc", Grid: grid, WarpsPerCTA: 8, Iters: 8,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom, Lines: 4}, Active: 24},
+			{Op: isa.OpFFMA64, Times: 14, Active: 24},
+			{Op: isa.OpFMul64, Times: 3},
+			{Op: isa.OpSqrt32},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "LuleshUns", Category: trace.CategoryCompute, Regions: regions,
+		Launches: []trace.Launch{{Kernel: calc, Count: 3}}}
+}
+
+// PathF: PathFinder dynamic programming. Row-wave structure: many
+// small, short launches over a modest row buffer with halo reads.
+func buildPathF(p Params) *trace.App {
+	grid := p.grid(4096)
+	regions := []trace.Region{
+		{Name: "rows", Bytes: p.stream(24 << 20)},
+		{Name: "result", Bytes: p.stream(24 << 20)},
+	}
+	row := &trace.Kernel{
+		Name: "pathf-row", Grid: grid, WarpsPerCTA: 4, Iters: 6,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatNeighbor, NeighborPct: 30}},
+			{Op: isa.OpIAdd32, Times: 5},
+			{Op: isa.OpISub32, Times: 2},
+			{Op: isa.OpBranch},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "PathF", Category: trace.CategoryCompute, Regions: regions,
+		Launches: []trace.Launch{{Kernel: row, Count: p.launches(12)}}}
+}
+
+// RSBench: Monte Carlo neutron cross-section lookup. Transcendental
+// and polynomial evaluation dominates; memory traffic is negligible,
+// making it the second low-memory-utilization outlier of Fig. 4b.
+func buildRSBench(p Params) *trace.App {
+	grid := p.grid(8192)
+	regions := []trace.Region{
+		{Name: "xsdata", Bytes: 2 << 20, Home: trace.HomeStriped},
+		{Name: "out", Bytes: p.stream(8 << 20)},
+	}
+	lookup := &trace.Kernel{
+		Name: "rsbench-lookup", Grid: grid, WarpsPerCTA: 8, Iters: 8,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatShared}},
+			{Op: isa.OpSin32, Times: 2},
+			{Op: isa.OpCos32, Times: 2},
+			{Op: isa.OpExp2_32, Times: 2},
+			{Op: isa.OpLog2_32},
+			{Op: isa.OpFFMA32, Times: 26},
+			{Op: isa.OpFFMA64, Times: 6},
+			{Op: isa.OpFMul32, Times: 6},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "RSBench", Category: trace.CategoryCompute, Regions: regions,
+		Launches: []trace.Launch{{Kernel: lookup}}}
+}
+
+// Srad-v1: speckle-reducing anisotropic diffusion, v1. Stencil with
+// data-dependent (divergent) branches; excluded from the §V subset.
+func buildSradV1(p Params) *trace.App {
+	grid := p.grid(1024)
+	img := p.stream(8 << 20)
+	regions := []trace.Region{
+		{Name: "img", Bytes: img},
+		{Name: "coef", Bytes: img},
+	}
+	diffuse := &trace.Kernel{
+		Name: "sradv1-diffuse", Grid: grid, WarpsPerCTA: 8, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatNeighbor, NeighborPct: 15}},
+			{Op: isa.OpFFMA32, Times: 12, Active: 20},
+			{Op: isa.OpSqrt32, Active: 20},
+			{Op: isa.OpRcp32},
+			{Op: isa.OpBranch},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "Srad-v1", Category: trace.CategoryCompute, Regions: regions,
+		Launches: []trace.Launch{{Kernel: diffuse, Count: p.launches(6)}}}
+}
+
+// MiniAMR: adaptive mesh refinement. Stencil sweeps over refined
+// blocks with boundary-exchange indirection, structured as dozens of
+// sub-millisecond launches — the launch structure that defeats the
+// 15 ms power sensor in Fig. 4b.
+func buildMiniAMR(p Params) *trace.App {
+	grid := p.grid(8192)
+	regions := []trace.Region{
+		{Name: "blocks", Bytes: p.stream(96 << 20)},
+		{Name: "bounds", Bytes: p.stream(32 << 20), Home: trace.HomeStriped},
+	}
+	sweep := &trace.Kernel{
+		Name: "miniamr-sweep", Grid: grid, WarpsPerCTA: 4, Iters: 2,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatNeighbor, NeighborPct: 25}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatRandom, Lines: 2}},
+			{Op: isa.OpFFMA64, Times: 4},
+			{Op: isa.OpFAdd64, Times: 2},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "MiniAMR", Category: trace.CategoryMemory, Regions: regions,
+		// Host-side regridding separates the short sweep kernels.
+		HostGapCycles: 100e3 * p.scale(),
+		Launches:      []trace.Launch{{Kernel: sweep, Count: p.launches(32)}}}
+}
+
+// BFS: breadth-first search over a 1M-node graph. Highly divergent
+// random gathers in many tiny level launches; the other sensor-limited
+// Fig. 4b outlier. Excluded from the §V subset.
+func buildBFS(p Params) *trace.App {
+	grid := p.grid(1024)
+	regions := []trace.Region{
+		{Name: "graph", Bytes: p.stream(128 << 20), Home: trace.HomeStriped},
+		{Name: "frontier", Bytes: p.stream(8 << 20)},
+	}
+	level := &trace.Kernel{
+		Name: "bfs-level", Grid: grid, WarpsPerCTA: 4, Iters: 1,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom, Lines: 8}, Active: 12},
+			{Op: isa.OpIAdd32, Times: 3, Active: 12},
+			{Op: isa.OpBranch},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}, Active: 12},
+		},
+	}
+	return &trace.App{Name: "BFS", Category: trace.CategoryMemory, Regions: regions,
+		// Host-side frontier management between levels dwarfs the tiny
+		// level kernels.
+		HostGapCycles: 300e3 * p.scale(),
+		Launches:      []trace.Launch{{Kernel: level, Count: p.launches(40)}}}
+}
+
+// Kmeans: k-means clustering. Streams the point set while re-reading a
+// tiny broadcast centroid table that the L2s capture; distance
+// computation in SP.
+func buildKmeans(p Params) *trace.App {
+	grid := p.grid(8192)
+	regions := []trace.Region{
+		{Name: "points", Bytes: p.stream(96 << 20)},
+		{Name: "centroids", Bytes: 64 << 10, Home: trace.HomeStriped},
+		{Name: "assign", Bytes: p.stream(16 << 20)},
+		// Per-cluster accumulators, atomically updated from every
+		// module: genuine all-to-all traffic.
+		{Name: "sums", Bytes: 24 << 20, Home: trace.HomeStriped},
+	}
+	assign := &trace.Kernel{
+		Name: "kmeans-assign", Grid: grid, WarpsPerCTA: 8, Iters: 4,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatShared}},
+			{Op: isa.OpFFMA32, Times: 8},
+			{Op: isa.OpFAdd32, Times: 2},
+			{Op: isa.OpBranch},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 3, Pattern: trace.PatRandom}},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "Kmeans", Category: trace.CategoryMemory, Regions: regions,
+		Launches: []trace.Launch{{Kernel: assign, Count: p.launches(5)}}}
+}
+
+// lulesh builds the structured Lulesh variants: DP hydrodynamics over
+// large element streams with indirect nodal gathers — the archetypal
+// NUMA-hostile CORAL workload.
+func lulesh(name string, p Params, meshBytes uint64, grid int) *trace.App {
+	regions := []trace.Region{
+		{Name: "elems", Bytes: p.stream(meshBytes)},
+		{Name: "nodes", Bytes: p.stream(meshBytes / 2), Home: trace.HomeStriped},
+		{Name: "out", Bytes: p.stream(meshBytes)},
+	}
+	calc := &trace.Kernel{
+		Name: name + "-calc", Grid: p.grid(grid), WarpsPerCTA: 8, Iters: 5,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatRandom, Lines: 3}},
+			{Op: isa.OpFFMA64, Times: 10},
+			{Op: isa.OpFMul64, Times: 2},
+			{Op: isa.OpFAdd64, Times: 2},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: name, Category: trace.CategoryMemory, Regions: regions,
+		Launches: []trace.Launch{{Kernel: calc, Count: p.launches(3)}}}
+}
+
+func buildLulesh150(p Params) *trace.App { return lulesh("Lulesh-150", p, 128<<20, 8192) }
+func buildLulesh190(p Params) *trace.App { return lulesh("Lulesh-190", p, 224<<20, 12288) }
+
+// nekbone builds the Nekbone spectral-element solver variants: DP
+// matrix-vector products staged through shared memory over a large
+// element stream, with a modest indirect component from the
+// gather-scatter operator.
+func nekbone(name string, p Params, meshBytes uint64) *trace.App {
+	regions := []trace.Region{
+		{Name: "elems", Bytes: p.stream(meshBytes)},
+		{Name: "gs", Bytes: p.stream(meshBytes / 4), Home: trace.HomeStriped},
+		{Name: "out", Bytes: p.stream(meshBytes)},
+	}
+	ax := &trace.Kernel{
+		Name: name + "-ax", Grid: p.grid(8192), WarpsPerCTA: 8, Iters: 5,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpFFMA64, Times: 12},
+			{Op: isa.OpStoreShared},
+			{Op: isa.OpBarrier},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatRandom}},
+			{Op: isa.OpFAdd64, Times: 2},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: name, Category: trace.CategoryMemory, Regions: regions,
+		Launches: []trace.Launch{{Kernel: ax, Count: p.launches(4)}}}
+}
+
+func buildNekbone12(p Params) *trace.App { return nekbone("Nekbone-12", p, 96<<20) }
+func buildNekbone18(p Params) *trace.App { return nekbone("Nekbone-18", p, 176<<20) }
+
+// MnCtct: Mini Contact search. Divergent random probes against a
+// striped contact structure; excluded from the §V subset.
+func buildMnCtct(p Params) *trace.App {
+	grid := p.grid(1024)
+	regions := []trace.Region{
+		{Name: "contacts", Bytes: p.stream(96 << 20), Home: trace.HomeStriped},
+		{Name: "out", Bytes: p.stream(16 << 20)},
+	}
+	search := &trace.Kernel{
+		Name: "mnctct-search", Grid: grid, WarpsPerCTA: 8, Iters: 6,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom, Lines: 6}, Active: 16},
+			{Op: isa.OpFFMA32, Times: 6, Active: 16},
+			{Op: isa.OpBranch},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}, Active: 16},
+		},
+	}
+	return &trace.App{Name: "MnCtct", Category: trace.CategoryMemory, Regions: regions,
+		Launches: []trace.Launch{{Kernel: search, Count: 3}}}
+}
+
+// Srad-v2: the memory-bound SRAD variant. Large-image stencil with
+// halo reads; bandwidth-dominated SP compute.
+func buildSradV2(p Params) *trace.App {
+	grid := p.grid(8192)
+	img := p.stream(128 << 20)
+	regions := []trace.Region{
+		{Name: "img", Bytes: img},
+		{Name: "out", Bytes: img},
+		// Global diffusion statistics, reduced across the whole image
+		// every iteration.
+		{Name: "stats", Bytes: 32 << 20, Home: trace.HomeStriped},
+	}
+	diffuse := &trace.Kernel{
+		Name: "sradv2-diffuse", Grid: grid, WarpsPerCTA: 8, Iters: 3,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatNeighbor, NeighborPct: 20}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatRandom}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+			{Op: isa.OpFFMA32, Times: 6},
+			{Op: isa.OpFMul32, Times: 2},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "Srad-v2", Category: trace.CategoryMemory, Regions: regions,
+		Launches: []trace.Launch{{Kernel: diffuse, Count: p.launches(5)}}}
+}
+
+// Stream: McCalpin STREAM triad. Pure partitioned bandwidth streaming;
+// the cleanest DRAM-bound point of the suite.
+func buildStream(p Params) *trace.App {
+	grid := p.grid(12288)
+	n := p.stream(256 << 20)
+	regions := []trace.Region{
+		{Name: "a", Bytes: n},
+		{Name: "b", Bytes: n},
+		{Name: "c", Bytes: n},
+	}
+	triad := &trace.Kernel{
+		Name: "stream-triad", Grid: grid, WarpsPerCTA: 8, Iters: 8,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn}},
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 2, Pattern: trace.PatOwn}},
+			{Op: isa.OpFFMA32},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{Name: "Stream", Category: trace.CategoryMemory, Regions: regions,
+		Launches: []trace.Launch{{Kernel: triad, Count: 2}}}
+}

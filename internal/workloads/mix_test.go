@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+)
+
+// mixProfile characterizes one workload's executed instruction mix and
+// memory behaviour on the reference 1-GPM machine.
+type mixProfile struct {
+	dpFrac     float64 // FP64 share of compute instructions
+	sfuFrac    float64 // special-function share of compute instructions
+	intFrac    float64 // integer share of compute instructions
+	bytesPerKI float64 // DRAM bytes per 1000 compute instructions
+	shmPerKI   float64 // shared-memory transactions per 1000 compute instructions
+	divergence float64 // 1 - activeThreads/(32*warpInsts)
+	launches   int
+}
+
+func profile(t *testing.T, name string) mixProfile {
+	t.Helper()
+	app, err := ByName(name, Params{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(sim.BaseGPM(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &r.Counts
+	var comp, dp, sfu, integer, warp, active uint64
+	for _, op := range isa.ComputeOps() {
+		comp += c.Inst[op]
+		warp += c.WarpInst[op]
+		active += c.Inst[op]
+		switch op {
+		case isa.OpFAdd64, isa.OpFMul64, isa.OpFFMA64:
+			dp += c.Inst[op]
+		case isa.OpSin32, isa.OpCos32, isa.OpSqrt32, isa.OpLog2_32, isa.OpExp2_32, isa.OpRcp32:
+			sfu += c.Inst[op]
+		case isa.OpIAdd32, isa.OpISub32, isa.OpIMul32, isa.OpIMad32,
+			isa.OpAnd32, isa.OpOr32, isa.OpXor32:
+			integer += c.Inst[op]
+		}
+	}
+	if comp == 0 {
+		t.Fatalf("%s executed no compute instructions", name)
+	}
+	ki := float64(comp) / 1000
+	return mixProfile{
+		dpFrac:     float64(dp) / float64(comp),
+		sfuFrac:    float64(sfu) / float64(comp),
+		intFrac:    float64(integer) / float64(comp),
+		bytesPerKI: float64(c.TotalTransactionBytes(isa.TxnDRAMToL2)) / ki,
+		shmPerKI:   float64(c.Txn[isa.TxnShmToRF]) / ki,
+		divergence: 1 - float64(active)/float64(32*warp),
+		launches:   len(r.Launches),
+	}
+}
+
+// TestWorkloadCharacterizations pins the first-order behaviour each
+// Table II generator encodes, so workload edits cannot silently drift
+// away from the application they model.
+func TestWorkloadCharacterizations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 18 simulations")
+	}
+
+	// DP-dominated solvers.
+	for _, name := range []string{"CoMD", "Lulesh-150", "Lulesh-190", "Nekbone-12", "Nekbone-18"} {
+		if p := profile(t, name); p.dpFrac < 0.5 {
+			t.Errorf("%s: DP fraction %.2f, want a DP-dominated solver", name, p.dpFrac)
+		}
+	}
+
+	// RSBench leans on the SFU pipes.
+	if p := profile(t, "RSBench"); p.sfuFrac < 0.1 {
+		t.Errorf("RSBench: SFU fraction %.2f, want transcendental-heavy", p.sfuFrac)
+	}
+
+	// Integer-dominated searches.
+	for _, name := range []string{"BTREE", "PathF", "BFS"} {
+		if p := profile(t, name); p.intFrac < 0.5 {
+			t.Errorf("%s: integer fraction %.2f, want compare/address-dominated", name, p.intFrac)
+		}
+	}
+
+	// Shared-memory users.
+	for _, name := range []string{"BPROP", "Nekbone-12", "Hotspot"} {
+		if p := profile(t, name); p.shmPerKI <= 0 {
+			t.Errorf("%s: no shared-memory traffic", name)
+		}
+	}
+
+	// Divergent kernels vs. fully converged ones.
+	for _, name := range []string{"BFS", "MnCtct", "Srad-v1", "LuleshUns"} {
+		if p := profile(t, name); p.divergence < 0.1 {
+			t.Errorf("%s: divergence %.2f, want a divergent kernel", name, p.divergence)
+		}
+	}
+	for _, name := range []string{"Stream", "CoMD"} {
+		if p := profile(t, name); p.divergence > 0.01 {
+			t.Errorf("%s: divergence %.2f, want fully converged warps", name, p.divergence)
+		}
+	}
+
+	// Memory intensity split (DRAM bytes per kilo-instruction).
+	stream := profile(t, "Stream")
+	rsb := profile(t, "RSBench")
+	if stream.bytesPerKI < 10*rsb.bytesPerKI {
+		t.Errorf("Stream (%.1f B/kI) should dwarf RSBench (%.1f B/kI) in DRAM intensity",
+			stream.bytesPerKI, rsb.bytesPerKI)
+	}
+
+	// Many-short-launch apps really are many-launch.
+	for _, name := range []string{"BFS", "MiniAMR"} {
+		if p := profile(t, name); p.launches < 8 {
+			t.Errorf("%s: %d launches, want many short launches", name, p.launches)
+		}
+	}
+	if p := profile(t, "Stream"); p.launches > 4 {
+		t.Errorf("Stream: %d launches, want few long launches", p.launches)
+	}
+}

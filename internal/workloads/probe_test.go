@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"os"
+	"testing"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/metrics"
+	"gpujoule/internal/sim"
+)
+
+// TestProbeScaling is an exploratory calibration aid: it prints the
+// per-workload scaling behaviour at a reduced scale. Run with
+// go test ./internal/workloads -run Probe -v
+func TestProbeScaling(t *testing.T) {
+	if os.Getenv("GPUJOULE_PROBE") == "" {
+		t.Skip("exploratory probe; set GPUJOULE_PROBE=1 to run")
+	}
+	p := Params{Scale: 1.0}
+	model := core.ProjectionModel(core.OnPackageLinks())
+	for _, app := range Eval14(p) {
+		base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm := model.Estimate(&base.Counts)
+		bs := metrics.Sample{EnergyJoules: bm.Total(), DelaySeconds: base.Seconds()}
+		t.Logf("%-11s [%v] 1-GPM: %.3fms P=%.0fW L1=%.2f L2=%.2f stallfrac=%.2f",
+			app.Name, app.Category, base.Seconds()*1e3, bm.AveragePower(),
+			base.L1HitRate(), base.L2HitRate(),
+			float64(base.Counts.StallCycles)/float64(base.Counts.Cycles*uint64(base.Counts.SMCount)))
+		for _, n := range []int{2, 4, 8, 16, 32} {
+			r, err := sim.Run(sim.MultiGPM(n, sim.BW2x), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := model.Estimate(&r.Counts)
+			s := metrics.Sample{EnergyJoules: m.Total(), DelaySeconds: r.Seconds()}
+			pt := metrics.Derive(bs, n, s)
+			t.Logf("  %2d-GPM: speedup=%5.2fx energy=%4.2fx EDPSE=%5.1f%% remote=%.2f L2=%.2f",
+				n, pt.Speedup, pt.EnergyRatio, pt.EDPSE, r.RemoteFillFraction(), r.L2HitRate())
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package workloads provides synthetic trace generators for the 18
+// Rodinia/CORAL applications of Table II. Each generator encodes the
+// published first-order characteristics of its application — compute
+// vs. memory intensity, instruction mix (SP/DP/SFU/integer), working
+// set size, locality structure (streaming, stencil halo, broadcast,
+// indirection), control divergence, and kernel-launch structure — so
+// that the multi-GPM evaluation reproduces the paper's behavioural
+// spread without the original CUDA binaries.
+//
+// The paper's evaluation (§V) uses the 14-workload subset with enough
+// parallelism to fill a 32×-capability GPU (all except BFS, LuleshUns,
+// MnCtct, and Srad-v1); the GPUJoule validation (§IV-B) uses all 18.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"gpujoule/internal/trace"
+)
+
+// Params tunes workload sizing.
+type Params struct {
+	// Scale multiplies grid sizes and streaming working sets. 1.0 is
+	// the paper-scale configuration (fills a 32-GPM GPU); tests use
+	// small fractions. Zero means 1.0.
+	Scale float64
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 {
+		return 1.0
+	}
+	return p.Scale
+}
+
+// grid scales a CTA count, keeping at least 64 CTAs so even tiny test
+// scales exercise multi-GPM distribution.
+func (p Params) grid(base int) int {
+	g := int(float64(base) * p.scale())
+	if g < 64 {
+		g = 64
+	}
+	return g
+}
+
+// stream scales a streaming region size, keeping at least 2 MB.
+func (p Params) stream(baseBytes uint64) uint64 {
+	b := uint64(float64(baseBytes) * p.scale())
+	if b < 2<<20 {
+		b = 2 << 20
+	}
+	return b
+}
+
+// launches scales a launch count down at small scales (iterative apps
+// need not run hundreds of launches in unit tests), keeping at least 2.
+func (p Params) launches(base int) int {
+	n := base
+	if p.scale() < 0.5 {
+		n = base / 2
+	}
+	if p.scale() < 0.1 {
+		n = base / 4
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Generator builds one Table II application at the given scale.
+type Generator struct {
+	// Name is the Table II abbreviation.
+	Name string
+	// Input is the Table II input description.
+	Input string
+	// Category is the Table II C/M classification.
+	Category trace.Category
+	// InEval14 marks membership in the §V evaluation subset.
+	InEval14 bool
+	// Build constructs the app.
+	Build func(p Params) *trace.App
+}
+
+var registry = []Generator{
+	{"BPROP", "65536", trace.CategoryCompute, true, buildBPROP},
+	{"BTREE", "1 Million", trace.CategoryCompute, true, buildBTREE},
+	{"CoMD", "49 bodies", trace.CategoryCompute, true, buildCoMD},
+	{"Hotspot", "1024x1024", trace.CategoryCompute, true, buildHotspot},
+	{"LuleshUns", "Unstrc Mesh", trace.CategoryCompute, false, buildLuleshUns},
+	{"PathF", "1 Million", trace.CategoryCompute, true, buildPathF},
+	{"RSBench", "1 Million", trace.CategoryCompute, true, buildRSBench},
+	{"Srad-v1", "100, 0.5, 502, 458", trace.CategoryCompute, false, buildSradV1},
+	{"MiniAMR", "15,000", trace.CategoryMemory, true, buildMiniAMR},
+	{"BFS", "Graph1MW", trace.CategoryMemory, false, buildBFS},
+	{"Kmeans", "819200", trace.CategoryMemory, true, buildKmeans},
+	{"Lulesh-150", "size 150", trace.CategoryMemory, true, buildLulesh150},
+	{"Lulesh-190", "size 190", trace.CategoryMemory, true, buildLulesh190},
+	{"Nekbone-12", "size 12", trace.CategoryMemory, true, buildNekbone12},
+	{"Nekbone-18", "size 18", trace.CategoryMemory, true, buildNekbone18},
+	{"MnCtct", "Mas1_2", trace.CategoryMemory, false, buildMnCtct},
+	{"Srad-v2", "2048x2048", trace.CategoryMemory, true, buildSradV2},
+	{"Stream", "2^26 elements", trace.CategoryMemory, true, buildStream},
+}
+
+// Names returns the Table II abbreviations of all 18 workloads, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, g := range registry {
+		out[i] = g.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generators returns all 18 Table II generators in table order.
+func Generators() []Generator {
+	out := make([]Generator, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// All builds all 18 applications (the §IV-B validation suite).
+func All(p Params) []*trace.App {
+	out := make([]*trace.App, 0, len(registry))
+	for _, g := range registry {
+		out = append(out, g.Build(p))
+	}
+	return out
+}
+
+// Eval14 builds the 14-workload evaluation subset of §V-A.
+func Eval14(p Params) []*trace.App {
+	out := make([]*trace.App, 0, 14)
+	for _, g := range registry {
+		if g.InEval14 {
+			out = append(out, g.Build(p))
+		}
+	}
+	return out
+}
+
+// ByName builds one application by its Table II abbreviation.
+func ByName(name string, p Params) (*trace.App, error) {
+	for _, g := range registry {
+		if g.Name == name {
+			return g.Build(p), nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+}

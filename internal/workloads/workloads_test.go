@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+func TestAll18Validate(t *testing.T) {
+	apps := All(Params{Scale: 0.1})
+	if len(apps) != 18 {
+		t.Fatalf("Table II has 18 applications, got %d", len(apps))
+	}
+	seen := make(map[string]bool)
+	for _, app := range apps {
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+		if seen[app.Name] {
+			t.Errorf("duplicate workload %s", app.Name)
+		}
+		seen[app.Name] = true
+	}
+}
+
+func TestEval14Subset(t *testing.T) {
+	apps := Eval14(Params{Scale: 0.1})
+	if len(apps) != 14 {
+		t.Fatalf("evaluation subset has 14 workloads, got %d", len(apps))
+	}
+	// §V-A: all except BFS, LuleshUns, MnCtct, and Srad-v1.
+	excluded := map[string]bool{"BFS": true, "LuleshUns": true, "MnCtct": true, "Srad-v1": true}
+	for _, app := range apps {
+		if excluded[app.Name] {
+			t.Errorf("%s must be excluded from the evaluation subset", app.Name)
+		}
+	}
+}
+
+func TestCategoriesMatchTableII(t *testing.T) {
+	want := map[string]trace.Category{
+		"BPROP": trace.CategoryCompute, "BTREE": trace.CategoryCompute,
+		"CoMD": trace.CategoryCompute, "Hotspot": trace.CategoryCompute,
+		"LuleshUns": trace.CategoryCompute, "PathF": trace.CategoryCompute,
+		"RSBench": trace.CategoryCompute, "Srad-v1": trace.CategoryCompute,
+		"MiniAMR": trace.CategoryMemory, "BFS": trace.CategoryMemory,
+		"Kmeans": trace.CategoryMemory, "Lulesh-150": trace.CategoryMemory,
+		"Lulesh-190": trace.CategoryMemory, "Nekbone-12": trace.CategoryMemory,
+		"Nekbone-18": trace.CategoryMemory, "MnCtct": trace.CategoryMemory,
+		"Srad-v2": trace.CategoryMemory, "Stream": trace.CategoryMemory,
+	}
+	for _, app := range All(Params{Scale: 0.1}) {
+		if app.Category != want[app.Name] {
+			t.Errorf("%s category %v, want %v", app.Name, app.Category, want[app.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	app, err := ByName("Stream", Params{Scale: 0.1})
+	if err != nil || app.Name != "Stream" {
+		t.Fatalf("ByName(Stream) = %v, %v", app, err)
+	}
+	if _, err := ByName("NoSuchThing", Params{}); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	p := Params{Scale: 0.2}
+	a := All(p)
+	b := All(p)
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Launches) != len(b[i].Launches) {
+			t.Fatalf("%s: generators must be deterministic", a[i].Name)
+		}
+		for j := range a[i].Launches {
+			ka, kb := a[i].Launches[j].Kernel, b[i].Launches[j].Kernel
+			if ka.Grid != kb.Grid || ka.WarpsPerCTA != kb.WarpsPerCTA || len(ka.Body) != len(kb.Body) {
+				t.Fatalf("%s launch %d differs between builds", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestScaleShrinksWork(t *testing.T) {
+	small, err := ByName("Lulesh-150", Params{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ByName("Lulesh-150", Params{Scale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Launches[0].Kernel.Grid >= big.Launches[0].Kernel.Grid {
+		t.Error("scale must shrink the grid")
+	}
+	if small.Regions[0].Bytes >= big.Regions[0].Bytes {
+		t.Error("scale must shrink streaming regions")
+	}
+}
+
+func TestParamsHelpersProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := Params{Scale: float64(raw) / 64}
+		return p.grid(8192) >= 64 && p.stream(96<<20) >= 2<<20 && p.launches(32) >= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperScaleFillsA32GPMGPU(t *testing.T) {
+	// §V-A: the evaluation workloads must have enough parallelism to
+	// fill a GPU with 32x the capability of the basic module.
+	cfg := sim.MultiGPM(32, sim.BW2x)
+	slots := cfg.TotalSMs() // one CTA per SM minimum
+	for _, app := range Eval14(Params{Scale: 1.0}) {
+		for _, l := range app.Launches {
+			if l.Kernel.Grid < slots {
+				t.Errorf("%s kernel %s has %d CTAs, cannot fill %d SMs",
+					app.Name, l.Kernel.Name, l.Kernel.Grid, slots)
+			}
+		}
+	}
+}
+
+func TestCategoryBehaviourDiverges(t *testing.T) {
+	// The defining behavioural split of Table II: at the 1-GPM design,
+	// memory-intensive workloads move far more DRAM traffic per
+	// instruction than compute-intensive ones (aggregate check).
+	p := Params{Scale: 0.1}
+	intensity := func(name string) float64 {
+		app, err := ByName(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(sim.BaseGPM(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(r.Counts.TotalTransactionBytes(isa.TxnDRAMToL2)) /
+			float64(r.Counts.TotalInstructions())
+	}
+	memAvg := (intensity("Stream") + intensity("Lulesh-150")) / 2
+	compAvg := (intensity("RSBench") + intensity("CoMD")) / 2
+	if memAvg < 4*compAvg {
+		t.Errorf("memory class should be >4x more DRAM-intensive: M=%.3f C=%.3f B/inst",
+			memAvg, compAvg)
+	}
+}
+
+func TestShortLaunchAppsHaveGaps(t *testing.T) {
+	// The Fig. 4b sensor outliers rely on host-side gaps between their
+	// many short launches.
+	for _, name := range []string{"BFS", "MiniAMR"} {
+		app, err := ByName(name, Params{Scale: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.HostGapCycles <= 0 {
+			t.Errorf("%s must declare host-side gaps", name)
+		}
+		if app.TotalLaunches() < 10 {
+			t.Errorf("%s is a many-short-launch app, got %d launches", name, app.TotalLaunches())
+		}
+	}
+}
