@@ -1,0 +1,28 @@
+# Tier-1 verify is `make ci`: vet + build + race-checked unit tests +
+# the full (shape-test) suite. The -short race pass covers every unit
+# test including the run engine's concurrency tests in a few minutes;
+# the full suite without -race runs the multi-minute integration shape
+# tests once.
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the unit tests (includes the internal/runner concurrency
+# suite). The non-short shape tests are minutes-long even without the
+# race detector, so they run in `test` instead.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+ci: vet build race test

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
+	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/workloads"
 )
@@ -54,17 +56,24 @@ func main() {
 	}
 	model := core.ProjectionModel(linksFor(cfg))
 
-	res, err := sim.Run(cfg, app)
+	// Both points (the run and, with -baseline, its 1-GPM reference)
+	// go through the shared run engine: they execute concurrently and
+	// identical points collapse to one simulation.
+	points := []runner.Point{{App: app, Scale: *scale, Config: cfg}}
+	withBase := *baseline && !*mono && *gpms > 1
+	if withBase {
+		points = append(points, runner.Point{App: app, Scale: *scale, Config: sim.MultiGPM(1, sim.BW2x)})
+	}
+	eng := runner.New(runner.Options{})
+	results, err := eng.Run(context.Background(), points)
 	if err != nil {
 		fatal(err)
 	}
+	res := results[0]
 
 	var pt *metrics.ScalingPoint
-	if *baseline && !*mono && *gpms > 1 {
-		base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
-		if err != nil {
-			fatal(err)
-		}
+	if withBase {
+		base := results[1]
 		bs := metrics.Sample{EnergyJoules: model.EstimateEnergy(&base.Counts), DelaySeconds: base.Seconds()}
 		ss := metrics.Sample{EnergyJoules: model.EstimateEnergy(&res.Counts), DelaySeconds: res.Seconds()}
 		p := metrics.Derive(bs, cfg.GPMs, ss)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	paper [-scale f] [-only name] [-list]
+//	paper [-scale f] [-only name] [-list] [-workers n] [-progress]
 //
 // With -only, a single experiment is regenerated; names are table1b,
 // fig2, fig4, fig6, fig7, fig8, fig9, fig10, table3, table4,
@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"gpujoule/internal/harness"
+	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	tables := flag.String("tables", "", "with -markdown: also write the plain-table report to this file")
 	csvDir := flag.String("csvdir", "", "with -markdown: also write each experiment's data as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	progress := flag.Bool("progress", false, "report simulation progress on stderr")
 	flag.Parse()
 
 	names := []string{"table3", "table4", "table1b", "fig2", "fig4", "fig6",
@@ -40,7 +43,16 @@ func main() {
 		return
 	}
 
-	h := harness.New(*scale)
+	opts := harness.Options{Scale: *scale, Workers: *workers}
+	if *progress {
+		opts.OnEvent = func(ev runner.Event) {
+			if ev.Kind == runner.PointDone && ev.Err == nil && !ev.CacheHit {
+				fmt.Fprintf(os.Stderr, "paper: %d/%d %s (%.2fs)\n",
+					ev.Completed, ev.Total, ev.Point, ev.Elapsed.Seconds())
+			}
+		}
+	}
+	h := harness.NewWithOptions(opts)
 	out := os.Stdout
 
 	run := func(name string) error {

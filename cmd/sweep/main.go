@@ -3,29 +3,42 @@
 // cache behaviour, traffic, energy, and scaling metrics. It is the
 // data-export tool behind custom analyses and plots.
 //
+// The grid executes through the shared run engine (internal/runner):
+// points run across a worker pool, duplicates are memoized, and rows
+// come out in deterministic grid order regardless of completion order.
+//
 // Usage:
 //
 //	sweep [-workloads Stream,Lulesh-150 | -all] [-gpms 1,2,4,8,16,32]
 //	      [-bw 1x,2x,4x] [-topologies ring,switch] [-scale f] [-o out.csv]
+//	      [-workers n] [-progress]
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"gpujoule/internal/core"
-	"gpujoule/internal/interconnect"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
+	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
 	"gpujoule/internal/workloads"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	names := flag.String("workloads", "Stream,Kmeans,Lulesh-150,MiniAMR", "comma-separated Table II workloads")
 	all := flag.Bool("all", false, "sweep the full 14-workload evaluation subset")
 	gpms := flag.String("gpms", "1,2,4,8,16,32", "comma-separated module counts")
@@ -33,84 +46,112 @@ func main() {
 	topos := flag.String("topologies", "ring", "comma-separated topologies (ring, switch)")
 	scale := flag.Float64("scale", 0.5, "workload scale factor")
 	out := flag.String("o", "", "output file (default stdout)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	progress := flag.Bool("progress", false, "report point progress on stderr")
 	flag.Parse()
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
 
 	params := workloads.Params{Scale: *scale}
 	var apps []*trace.App
 	if *all {
 		apps = workloads.Eval14(params)
 	} else {
-		for _, name := range splitList(*names) {
+		for _, name := range sim.SplitList(*names) {
 			app, err := workloads.ByName(name, params)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			apps = append(apps, app)
 		}
 	}
 
-	counts, err := parseInts(*gpms)
+	grid, err := sim.ParseGrid(*gpms, *bws, *topos)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	settings, err := parseBWs(*bws)
-	if err != nil {
-		fatal(err)
-	}
-	topologies, err := parseTopos(*topos)
-	if err != nil {
-		fatal(err)
-	}
+	cfgs := grid.Configs()
 
-	fmt.Fprintln(w, "workload,category,gpms,bw,topology,domain,cycles,seconds,"+
-		"speedup,energy_j,energy_ratio,edpse_pct,avg_power_w,"+
-		"l1_hit,l2_hit,remote_fill_frac,dram_gb,intergpm_gb,stall_frac")
-
+	// The row set is the (workload × design) cross product in grid
+	// order; each workload also needs its 1-GPM baseline for the
+	// scaling metrics. The engine dedupes the overlap.
+	baseCfg := sim.MultiGPM(1, sim.BW2x)
+	var points []runner.Point
 	for _, app := range apps {
-		base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
-		if err != nil {
-			fatal(err)
+		points = append(points, runner.Point{App: app, Scale: *scale, Config: baseCfg})
+		for _, cfg := range cfgs {
+			points = append(points, runner.Point{App: app, Scale: *scale, Config: cfg})
 		}
-		for _, n := range counts {
-			for _, bw := range settings {
-				for _, topo := range topologies {
-					if n == 1 && topo != interconnect.TopologyRing {
-						continue
-					}
-					cfg := sim.MultiGPM(n, bw)
-					cfg.Topology = topo
-					if topo == interconnect.TopologySwitch {
-						cfg.Domain = sim.DomainOnBoard
-					}
-					model := modelFor(cfg)
-					res := base
-					if n > 1 || bw != sim.BW2x {
-						res, err = sim.Run(cfg, app)
-						if err != nil {
-							fatal(err)
-						}
-					}
-					emit(w, app, cfg, model, base, res)
-				}
-				if n == 1 {
-					break // the 1-GPM design has no fabric; one row suffices
-				}
+	}
+
+	var onEvent func(runner.Event)
+	if *progress {
+		onEvent = func(ev runner.Event) {
+			if ev.Kind == runner.PointDone {
+				fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (%.2fs)\n",
+					ev.Completed, ev.Total, ev.Point, ev.Elapsed.Seconds())
 			}
 		}
 	}
+	eng := runner.New(runner.Options{Workers: *workers, OnEvent: onEvent})
+	results, err := eng.Run(context.Background(), points)
+	if err != nil {
+		return err
+	}
+	if *progress {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "sweep: %d points, %d distinct simulations, %d cache hits, %.2fs sim wall\n",
+			len(points), st.Simulated, st.CacheHits, st.SimWall.Seconds())
+	}
+
+	// Buffer the output and only keep -o files that were written in
+	// full: any failure past this point removes the partial file.
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *out != "" {
+		if f, err = os.Create(*out); err != nil {
+			return err
+		}
+		defer func() {
+			if f == nil {
+				return // already closed on the success path
+			}
+			f.Close()
+			os.Remove(*out)
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintln(bw, "workload,category,gpms,bw,topology,domain,cycles,seconds,"+
+		"speedup,energy_j,energy_ratio,edpse_pct,avg_power_w,"+
+		"l1_hit,l2_hit,remote_fill_frac,dram_gb,intergpm_gb,stall_frac")
+
+	i := 0
+	for _, app := range apps {
+		base := results[i]
+		i++
+		for _, cfg := range cfgs {
+			emit(bw, app, cfg, modelFor(cfg), base, results[i])
+			i++
+		}
+	}
+
+	// bufio holds the first write error; surface it rather than
+	// silently dropping rows.
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("writing output: %w", err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			os.Remove(*out)
+			f = nil
+			return fmt.Errorf("closing %s: %w", *out, err)
+		}
+		f = nil
+	}
+	return nil
 }
 
-func emit(w *os.File, app *trace.App, cfg sim.Config, model *core.Model, base, res *sim.Result) {
+func emit(w io.Writer, app *trace.App, cfg sim.Config, model *core.Model, base, res *sim.Result) {
 	b := model.Estimate(&res.Counts)
 	bs := metrics.Sample{EnergyJoules: model.EstimateEnergy(&base.Counts), DelaySeconds: base.Seconds()}
 	ss := metrics.Sample{EnergyJoules: b.Total(), DelaySeconds: res.Seconds()}
@@ -135,62 +176,3 @@ func modelFor(cfg sim.Config) *core.Model {
 }
 
 func gb(b uint64) float64 { return float64(b) / (1 << 30) }
-
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, p := range splitList(s) {
-		n, err := strconv.Atoi(p)
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad module count %q", p)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func parseBWs(s string) ([]sim.BWSetting, error) {
-	var out []sim.BWSetting
-	for _, p := range splitList(s) {
-		switch p {
-		case "1x":
-			out = append(out, sim.BW1x)
-		case "2x":
-			out = append(out, sim.BW2x)
-		case "4x":
-			out = append(out, sim.BW4x)
-		default:
-			return nil, fmt.Errorf("bad bandwidth setting %q (want 1x, 2x, 4x)", p)
-		}
-	}
-	return out, nil
-}
-
-func parseTopos(s string) ([]interconnect.Topology, error) {
-	var out []interconnect.Topology
-	for _, p := range splitList(s) {
-		switch p {
-		case "ring":
-			out = append(out, interconnect.TopologyRing)
-		case "switch":
-			out = append(out, interconnect.TopologySwitch)
-		default:
-			return nil, fmt.Errorf("bad topology %q (want ring or switch)", p)
-		}
-	}
-	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
-}

@@ -1,54 +1,48 @@
 package main
 
 import (
-	"reflect"
 	"testing"
 
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/sim"
 )
 
-func TestSplitList(t *testing.T) {
-	got := splitList(" a, b ,,c ")
-	want := []string{"a", "b", "c"}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("splitList = %v, want %v", got, want)
-	}
-	if splitList("") != nil {
-		t.Error("empty list should be nil")
-	}
-}
+// TestGridMatchesLegacyExpansion pins the shared grid helper to the
+// nested-loop expansion sweep used before the run engine existed, so
+// the CSV row order (and therefore the output bytes) stays identical.
+func TestGridMatchesLegacyExpansion(t *testing.T) {
+	counts := []int{1, 2, 4, 8, 16, 32}
+	settings := []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x}
+	topologies := []interconnect.Topology{interconnect.TopologyRing, interconnect.TopologySwitch}
 
-func TestParseInts(t *testing.T) {
-	got, err := parseInts("1,2,32")
-	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 32}) {
-		t.Errorf("parseInts = %v, %v", got, err)
-	}
-	for _, bad := range []string{"x", "0", "-2"} {
-		if _, err := parseInts(bad); err == nil {
-			t.Errorf("parseInts(%q) should fail", bad)
+	var want []sim.Config
+	for _, n := range counts {
+		for _, bw := range settings {
+			for _, topo := range topologies {
+				if n == 1 && topo != interconnect.TopologyRing {
+					continue
+				}
+				cfg := sim.MultiGPM(n, bw)
+				cfg.Topology = topo
+				if topo == interconnect.TopologySwitch {
+					cfg.Domain = sim.DomainOnBoard
+				}
+				want = append(want, cfg)
+			}
+			if n == 1 {
+				break
+			}
 		}
 	}
-}
 
-func TestParseBWs(t *testing.T) {
-	got, err := parseBWs("1x,2x,4x")
-	if err != nil || !reflect.DeepEqual(got, []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x}) {
-		t.Errorf("parseBWs = %v, %v", got, err)
+	got := sim.Grid{GPMs: counts, BWs: settings, Topologies: topologies}.Configs()
+	if len(got) != len(want) {
+		t.Fatalf("grid expands to %d configs, legacy loop produced %d", len(got), len(want))
 	}
-	if _, err := parseBWs("8x"); err == nil {
-		t.Error("unknown setting should fail")
-	}
-}
-
-func TestParseTopos(t *testing.T) {
-	got, err := parseTopos("ring,switch")
-	if err != nil || !reflect.DeepEqual(got, []interconnect.Topology{
-		interconnect.TopologyRing, interconnect.TopologySwitch}) {
-		t.Errorf("parseTopos = %v, %v", got, err)
-	}
-	if _, err := parseTopos("torus"); err == nil {
-		t.Error("unknown topology should fail")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("config %d: got %s, want %s", i, got[i].Name(), want[i].Name())
+		}
 	}
 }
 

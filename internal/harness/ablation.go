@@ -84,6 +84,10 @@ func (h *Harness) AblationStudy() (AblationResult, error) {
 		{AblationClockGating, baseCfg, gated},
 	}
 
+	if err := h.prime(baselineCfg(), baseCfg, rrCfg, stripedCfg, memSideCfg); err != nil {
+		return res, err
+	}
+
 	for _, p := range points {
 		var sp, er, ed, gb []float64
 		for _, app := range h.apps {

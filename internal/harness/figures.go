@@ -20,6 +20,9 @@ type Fig2Row struct {
 // The paper's headline: the 32-GPM point costs ≈2× the energy of the
 // monolithic baseline.
 func (h *Harness) Figure2() ([]Fig2Row, error) {
+	if err := h.prime(scaledConfigs(sim.BW1x)...); err != nil {
+		return nil, err
+	}
 	out := make([]Fig2Row, 0, len(GPMSteps))
 	for _, n := range GPMSteps {
 		var ratios []float64
@@ -50,6 +53,9 @@ type Fig6Row struct {
 
 // Figure6 regenerates Figure 6.
 func (h *Harness) Figure6() ([]Fig6Row, error) {
+	if err := h.prime(scaledConfigs(sim.BW2x)...); err != nil {
+		return nil, err
+	}
 	out := make([]Fig6Row, 0, len(GPMSteps))
 	for _, n := range GPMSteps {
 		var comp, mem, all []float64
@@ -103,6 +109,13 @@ type Fig7Row struct {
 // Figure7 regenerates Figure 7 at the on-package 2x-BW baseline.
 func (h *Harness) Figure7() ([]Fig7Row, error) {
 	steps := append([]int{1}, GPMSteps...)
+	cfgs := scaledConfigs(sim.BW2x)
+	for _, n := range steps {
+		cfgs = append(cfgs, monolithicCfg(n))
+	}
+	if err := h.prime(cfgs...); err != nil {
+		return nil, err
+	}
 	out := make([]Fig7Row, 0, len(GPMSteps))
 	m := h.onPackage
 	for i := 1; i < len(steps); i++ {
@@ -170,6 +183,10 @@ type Fig8Row struct {
 // Figure8 regenerates Figure 8: EDPSE as a function of the Table IV
 // interconnect bandwidth setting.
 func (h *Harness) Figure8() ([]Fig8Row, error) {
+	grid := sim.Grid{GPMs: GPMSteps, BWs: []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x}}
+	if err := h.prime(append(grid.Configs(), baselineCfg())...); err != nil {
+		return nil, err
+	}
 	out := make([]Fig8Row, 0, 3)
 	for _, bw := range []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x} {
 		row := Fig8Row{BW: bw, ByGPM: make(map[int]float64, len(GPMSteps))}
@@ -209,6 +226,13 @@ type Fig9Row struct {
 // (10 pJ/bit links, no amortization); the switch adds its own
 // 10 pJ/bit traversal cost.
 func (h *Harness) Figure9() ([]Fig9Row, error) {
+	cfgs := scaledConfigs(sim.BW1x)
+	for _, n := range GPMSteps {
+		cfgs = append(cfgs, switchedCfg(n, sim.BW1x), switchedCfg(n, sim.BW2x))
+	}
+	if err := h.prime(cfgs...); err != nil {
+		return nil, err
+	}
 	out := make([]Fig9Row, 0, len(GPMSteps))
 	for _, n := range GPMSteps {
 		var row Fig9Row
@@ -264,6 +288,10 @@ type Fig10Row struct {
 
 // Figure10 regenerates Figure 10.
 func (h *Harness) Figure10() ([]Fig10Row, error) {
+	grid := sim.Grid{GPMs: GPMSteps, BWs: []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x}}
+	if err := h.prime(append(grid.Configs(), baselineCfg())...); err != nil {
+		return nil, err
+	}
 	var out []Fig10Row
 	for _, n := range GPMSteps {
 		for _, bw := range []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x} {
@@ -292,6 +320,9 @@ func (h *Harness) Figure10() ([]Fig10Row, error) {
 // averageEDPSE computes the mean EDPSE over the evaluation suite for
 // an arbitrary configuration and model (used by the point studies).
 func (h *Harness) averageEDPSE(cfg sim.Config, m *core.Model) (float64, error) {
+	if err := h.prime(cfg, baselineCfg()); err != nil {
+		return 0, err
+	}
 	var vals []float64
 	for _, app := range h.apps {
 		base, err := h.baseline(app)

@@ -1,17 +1,20 @@
 // Package harness defines and runs the paper's evaluation (§V): one
 // experiment per table and figure, each producing machine-checkable
-// rows plus a renderable table. Simulation results are cached and
-// shared across experiments (the 2x-BW sweep feeds Figs. 2, 6, 7, and
-// 10), so regenerating the whole evaluation costs one pass per distinct
-// configuration.
+// rows plus a renderable table. All simulation points execute through
+// the shared run engine (internal/runner), which parallelizes each
+// experiment's point grid across a worker pool and memoizes results by
+// canonical point key — the 2x-BW sweep feeds Figs. 2, 6, 7, and 10,
+// so regenerating the whole evaluation costs one pass per distinct
+// configuration regardless of how many experiments share it.
 package harness
 
 import (
-	"fmt"
+	"context"
 
 	"gpujoule/internal/core"
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/metrics"
+	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
 	"gpujoule/internal/workloads"
@@ -20,28 +23,50 @@ import (
 // GPMSteps are the multi-module design points of Table III.
 var GPMSteps = []int{2, 4, 8, 16, 32}
 
+// Options configures a Harness.
+type Options struct {
+	// Scale is the workload sizing factor (1.0 = paper scale; 0 means
+	// 1.0).
+	Scale float64
+	// Workers bounds concurrent simulations; <= 0 selects one worker
+	// per CPU.
+	Workers int
+	// OnEvent, when non-nil, receives the run engine's progress events
+	// (points started/completed, cache hits, wall time).
+	OnEvent func(runner.Event)
+	// Context cancels in-flight experiment grids when done; nil means
+	// context.Background().
+	Context context.Context
+}
+
 // Harness runs the evaluation at a chosen workload scale.
 type Harness struct {
 	params workloads.Params
 	apps   []*trace.App
-	cache  map[cacheKey]*sim.Result
+	engine *runner.Engine
+	ctx    context.Context
 
 	onPackage *core.Model
 	onBoard   *core.Model
 }
 
-type cacheKey struct {
-	app string
-	cfg string
+// New returns a harness over the 14-workload evaluation subset at the
+// given scale (1.0 = paper scale), with default execution options.
+func New(scale float64) *Harness {
+	return NewWithOptions(Options{Scale: scale})
 }
 
-// New returns a harness over the 14-workload evaluation subset at the
-// given scale (1.0 = paper scale).
-func New(scale float64) *Harness {
+// NewWithOptions returns a harness with explicit execution options.
+func NewWithOptions(opts Options) *Harness {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Harness{
-		params:    workloads.Params{Scale: scale},
-		apps:      workloads.Eval14(workloads.Params{Scale: scale}),
-		cache:     make(map[cacheKey]*sim.Result),
+		params:    workloads.Params{Scale: opts.Scale},
+		apps:      workloads.Eval14(workloads.Params{Scale: opts.Scale}),
+		engine:    runner.New(runner.Options{Workers: opts.Workers, OnEvent: opts.OnEvent}),
+		ctx:       ctx,
 		onPackage: core.ProjectionModel(core.OnPackageLinks()),
 		onBoard:   core.ProjectionModel(core.OnBoardLinks()),
 	}
@@ -53,21 +78,43 @@ func (h *Harness) Apps() []*trace.App { return h.apps }
 // Params returns the workload sizing parameters.
 func (h *Harness) Params() workloads.Params { return h.params }
 
-// Runs reports how many distinct simulations the cache holds.
-func (h *Harness) Runs() int { return len(h.cache) }
+// Runs reports how many distinct simulations the engine has memoized.
+func (h *Harness) Runs() int { return h.engine.Distinct() }
 
-// run simulates app on cfg, memoizing by (app, config) identity.
+// Engine exposes the shared run engine (for progress statistics).
+func (h *Harness) Engine() *runner.Engine { return h.engine }
+
+// pointFor wraps (app, cfg) as a run-engine point at the harness scale.
+func (h *Harness) pointFor(app *trace.App, cfg sim.Config) runner.Point {
+	return runner.Point{App: app, Scale: h.params.Scale, Config: cfg}
+}
+
+// run simulates app on cfg through the engine (memoized by canonical
+// point key).
 func (h *Harness) run(app *trace.App, cfg sim.Config) (*sim.Result, error) {
-	key := cacheKey{app: app.Name, cfg: cfg.Name()}
-	if r, ok := h.cache[key]; ok {
-		return r, nil
+	return h.engine.One(h.ctx, h.pointFor(app, cfg))
+}
+
+// prime batch-executes the full (apps × configs) grid through the run
+// engine, so it runs across the worker pool and every per-point lookup
+// that follows is a cache hit. Experiment builders call this with their
+// whole grid before deriving metrics serially.
+func (h *Harness) prime(cfgs ...sim.Config) error {
+	_, err := h.engine.Run(h.ctx, runner.Points(h.apps, h.params.Scale, cfgs...))
+	return err
+}
+
+// baselineCfg is the 1-GPM design every scaling metric normalizes to.
+func baselineCfg() sim.Config { return sim.MultiGPM(1, sim.BW2x) }
+
+// scaledConfigs returns the n-GPM ring configs for the given bandwidth
+// across the Table III module steps, prefixed with the 1-GPM baseline.
+func scaledConfigs(bw sim.BWSetting) []sim.Config {
+	cfgs := []sim.Config{baselineCfg()}
+	for _, n := range GPMSteps {
+		cfgs = append(cfgs, sim.MultiGPM(n, bw))
 	}
-	r, err := sim.Run(cfg, app)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, cfg.Name(), err)
-	}
-	h.cache[key] = r
-	return r, nil
+	return cfgs
 }
 
 // Model returns the projection energy model for a configuration's
@@ -91,7 +138,7 @@ func sample(m *core.Model, r *sim.Result) metrics.Sample {
 // base design). The 1-GPM design has no inter-GPM links, so its energy
 // is domain-independent.
 func (h *Harness) baseline(app *trace.App) (*sim.Result, error) {
-	return h.run(app, sim.MultiGPM(1, sim.BW2x))
+	return h.run(app, baselineCfg())
 }
 
 // scaled returns the n-GPM ring run of an app at the given bandwidth
@@ -100,19 +147,29 @@ func (h *Harness) scaled(app *trace.App, n int, bw sim.BWSetting) (*sim.Result, 
 	return h.run(app, sim.MultiGPM(n, bw))
 }
 
-// switched returns the n-GPM switch-topology on-board run.
-func (h *Harness) switched(app *trace.App, n int, bw sim.BWSetting) (*sim.Result, error) {
+// switchedCfg is the n-GPM switch-topology on-board design.
+func switchedCfg(n int, bw sim.BWSetting) sim.Config {
 	cfg := sim.MultiGPM(n, bw)
 	cfg.Topology = interconnect.TopologySwitch
 	cfg.Domain = sim.DomainOnBoard
-	return h.run(app, cfg)
+	return cfg
+}
+
+// switched returns the n-GPM switch-topology on-board run.
+func (h *Harness) switched(app *trace.App, n int, bw sim.BWSetting) (*sim.Result, error) {
+	return h.run(app, switchedCfg(n, bw))
+}
+
+// monolithicCfg is the hypothetical n×-capability monolithic die.
+func monolithicCfg(n int) sim.Config {
+	cfg := sim.MultiGPM(n, sim.BW2x)
+	cfg.Monolithic = true
+	return cfg
 }
 
 // monolithic returns the hypothetical n×-capability monolithic run.
 func (h *Harness) monolithic(app *trace.App, n int) (*sim.Result, error) {
-	cfg := sim.MultiGPM(n, sim.BW2x)
-	cfg.Monolithic = true
-	return h.run(app, cfg)
+	return h.run(app, monolithicCfg(n))
 }
 
 // point computes an app's scaling point for a scaled run against its

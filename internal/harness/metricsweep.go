@@ -21,6 +21,9 @@ type MetricsRow struct {
 // trend is not an artifact of the EDP weighting: it reappears with
 // ED²P (and with pure energy / performance-per-watt).
 func (h *Harness) MetricsStudy() ([]MetricsRow, error) {
+	if err := h.prime(scaledConfigs(sim.BW2x)...); err != nil {
+		return nil, err
+	}
 	out := make([]MetricsRow, 0, len(GPMSteps))
 	m := h.onPackage
 	for _, n := range GPMSteps {
@@ -66,6 +69,9 @@ func MetricsTable(rows []MetricsRow) *Table {
 // PerWorkloadEDPSE returns the per-workload EDPSE at each module count
 // (the appendix behind Figure 6's averages).
 func (h *Harness) PerWorkloadEDPSE() (*Table, error) {
+	if err := h.prime(scaledConfigs(sim.BW2x)...); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  "Appendix: per-workload EDPSE at 2x-BW (percent)",
 		Header: []string{"Workload", "Cat", "2-GPM", "4-GPM", "8-GPM", "16-GPM", "32-GPM"},
@@ -93,6 +99,9 @@ func (h *Harness) PerWorkloadEDPSE() (*Table, error) {
 // design point, for drill-down reporting.
 func (h *Harness) PerWorkloadScaling(n int, bw sim.BWSetting) (*Table, error) {
 	cfg := sim.MultiGPM(n, bw)
+	if err := h.prime(cfg, baselineCfg()); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Appendix: per-workload scaling at %s", cfg.Name()),
 		Header: []string{"Workload", "Cat", "Speedup", "Energy vs 1-GPM", "EDPSE (%)",

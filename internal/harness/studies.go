@@ -97,6 +97,9 @@ type AmortizationRow struct {
 func (h *Harness) AmortizationStudy() (AmortizationResult, error) {
 	var res AmortizationResult
 	cfg := sim.MultiGPM(32, sim.BW2x)
+	if err := h.prime(cfg, baselineCfg()); err != nil {
+		return res, err
+	}
 
 	type accum struct{ energy, edpse []float64 }
 	rates := []float64{0, 0.25, 0.5}
@@ -162,6 +165,9 @@ func (h *Harness) HeadlineStudy() (HeadlineResult, error) {
 
 	cfg4xOnBoard := sim.MultiGPM(32, sim.BW4x)
 	cfg4xOnBoard.Domain = sim.DomainOnBoard
+	if err := h.prime(baselineCfg(), sim.MultiGPM(32, sim.BW1x), sim.MultiGPM(32, sim.BW4x)); err != nil {
+		return res, err
+	}
 
 	var e1x, e4xBoard, e4xPkg, speedups, ratios []float64
 	for _, app := range h.apps {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/stats"
 	"gpujoule/internal/workloads"
@@ -90,39 +91,41 @@ func (h *Harness) WeakScalingStudy() ([]WeakScalingRow, error) {
 	if baseScale <= 0 {
 		baseScale = 1
 	}
-	// Weak scaling needs its own runs (different problem sizes), so it
-	// uses a private cache via fresh app builds at each size.
+	// Weak scaling sizes the problem with the machine, so each module
+	// count gets its own app builds; the per-point scale keys them
+	// apart in the engine's memo cache.
 	m := h.onPackage
-	out := make([]WeakScalingRow, 0, len(GPMSteps))
-
-	var t1, e1 float64
-	{
-		var ts, es []float64
-		for _, app := range workloads.Eval14(workloads.Params{Scale: baseScale / 4}) {
-			r, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
-			if err != nil {
-				return nil, err
-			}
-			ts = append(ts, r.Seconds())
-			es = append(es, m.EstimateEnergy(&r.Counts))
+	steps := append([]int{1}, GPMSteps...)
+	var pts []runner.Point
+	for _, n := range steps {
+		scale := baseScale / 4 * float64(n)
+		for _, app := range workloads.Eval14(workloads.Params{Scale: scale}) {
+			pts = append(pts, runner.Point{App: app, Scale: scale, Config: sim.MultiGPM(n, sim.BW2x)})
 		}
-		t1, e1 = stats.Mean(ts), stats.Mean(es)
+	}
+	results, err := h.engine.Run(h.ctx, pts)
+	if err != nil {
+		return nil, err
 	}
 
-	for _, n := range GPMSteps {
+	perStep := len(h.apps)
+	mean := func(step int) (t, e float64) {
 		var ts, es []float64
-		for _, app := range workloads.Eval14(workloads.Params{Scale: baseScale / 4 * float64(n)}) {
-			r, err := sim.Run(sim.MultiGPM(n, sim.BW2x), app)
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range results[step*perStep : (step+1)*perStep] {
 			ts = append(ts, r.Seconds())
 			es = append(es, m.EstimateEnergy(&r.Counts))
 		}
+		return stats.Mean(ts), stats.Mean(es)
+	}
+
+	t1, e1 := mean(0)
+	out := make([]WeakScalingRow, 0, len(GPMSteps))
+	for i, n := range GPMSteps {
+		tn, en := mean(i + 1)
 		out = append(out, WeakScalingRow{
 			N:             n,
-			TimeRatio:     stats.Mean(ts) / t1,
-			EnergyPerWork: stats.Mean(es) / (float64(n) * e1),
+			TimeRatio:     tn / t1,
+			EnergyPerWork: en / (float64(n) * e1),
 		})
 	}
 	return out, nil

@@ -1,0 +1,326 @@
+// Package runner is the shared concurrent execution engine for
+// simulation point grids. Every evaluation in the paper is a grid of
+// independent (workload × GPM count × bandwidth × topology) points;
+// this package runs such grids across a worker pool, deduplicates and
+// memoizes points by a canonical key (so Figs. 6/7/8, the ablations,
+// and the EDPSE tables all share one simulation of a shared point),
+// supports context cancellation, and returns results in deterministic
+// input order regardless of completion order.
+//
+// Each sim.GPU is built per point and never shared, and sim.Run is a
+// pure function of (Config, App), so parallel execution is
+// byte-identical to the old serial loops: the engine owns all shared
+// state (the cache and the progress counters), and the simulator
+// touches none.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+// Point is one simulation to execute: a workload at a sizing scale on
+// one machine configuration.
+type Point struct {
+	// App is the workload trace. The scale it was built at must be
+	// recorded in Scale, since the trace itself does not carry it.
+	App *trace.App
+	// Scale is the workload sizing factor the app was generated with;
+	// it is part of the memoization key.
+	Scale float64
+	// Config is the simulated machine.
+	Config sim.Config
+}
+
+// Key returns the canonical memoization key of the point. Two points
+// with equal keys produce identical simulation results: the config
+// part normalizes away fields the simulator never reads (integration
+// domain, and fabric parameters of single-module designs).
+func (p Point) Key() string {
+	return fmt.Sprintf("%s|%g|%s", p.App.Name, p.Scale, p.Config.SimKey())
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("%s on %s", p.App.Name, p.Config.Name())
+}
+
+// EventKind tags a progress event.
+type EventKind uint8
+
+// Progress event kinds.
+const (
+	// PointStarted fires when a worker begins simulating a point.
+	PointStarted EventKind = iota
+	// PointDone fires when a point resolves — simulated, served from
+	// cache, or failed.
+	PointDone
+)
+
+// Event is one progress notification. Callbacks are serialized by the
+// engine; they may be invoked from worker goroutines.
+type Event struct {
+	Kind  EventKind
+	Point Point
+	// CacheHit reports whether the point was served without simulating
+	// (only meaningful for PointDone).
+	CacheHit bool
+	// Err is the point's failure, if any (PointDone only).
+	Err error
+	// Completed and Total are the batch progress counters at the time
+	// of the event.
+	Completed, Total int
+	// Elapsed is the point's simulation wall time (PointDone after a
+	// real simulation; zero for cache hits).
+	Elapsed time.Duration
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent simulations; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// OnEvent, when non-nil, receives serialized progress events.
+	OnEvent func(Event)
+}
+
+// Stats is a snapshot of an engine's lifetime counters.
+type Stats struct {
+	// Simulated counts real simulator executions.
+	Simulated int
+	// CacheHits counts points served from the memo cache (including
+	// duplicates within one batch).
+	CacheHits int
+	// SimWall is the cumulative wall time spent inside sim.Run; with
+	// multiple workers it exceeds elapsed time.
+	SimWall time.Duration
+}
+
+// Engine executes simulation points across a worker pool with
+// memoization. The zero value is not usable; construct with New. An
+// Engine is safe for concurrent use.
+type Engine struct {
+	workers int
+	onEvent func(Event)
+
+	evMu sync.Mutex // serializes OnEvent callbacks
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	stats Stats
+}
+
+// entry is one memoized (or in-flight) point. done is closed exactly
+// once, after res/err are set; failed entries are evicted from the
+// cache so errors are never memoized.
+type entry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: w,
+		onEvent: opts.OnEvent,
+		cache:   make(map[string]*entry),
+	}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Distinct reports how many distinct simulations the cache holds.
+func (e *Engine) Distinct() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.onEvent == nil {
+		return
+	}
+	e.evMu.Lock()
+	defer e.evMu.Unlock()
+	e.onEvent(ev)
+}
+
+// job is one cache entry this batch claimed and must resolve.
+type job struct {
+	pt  Point
+	key string
+	ent *entry
+}
+
+// Run executes the given points and returns their results in input
+// order. Duplicate points (and points already memoized by earlier
+// calls) are simulated once. On failure the returned slice still holds
+// every result that resolved (nil for the rest) alongside a non-nil
+// error; a cancelled context returns promptly with an error wrapping
+// ctx.Err(). Workers always drain their claimed work — cancelled
+// entries fail fast and are evicted, never left pending.
+func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error) {
+	total := len(points)
+	entries := make([]*entry, total)
+	var jobs []job
+	var hits []Point
+
+	// Claim or reuse a cache entry per point. Holding the lock across
+	// the whole loop also dedupes within the batch: the second
+	// occurrence of a key finds the entry the first one claimed.
+	e.mu.Lock()
+	for i, p := range points {
+		k := p.Key()
+		if ent, ok := e.cache[k]; ok {
+			entries[i] = ent
+			hits = append(hits, p)
+			continue
+		}
+		ent := &entry{done: make(chan struct{})}
+		e.cache[k] = ent
+		entries[i] = ent
+		jobs = append(jobs, job{pt: p, key: k, ent: ent})
+	}
+	e.stats.CacheHits += len(hits)
+	e.mu.Unlock()
+
+	// Worker pool over the claimed jobs. The channel is pre-filled and
+	// closed, so workers exit as soon as it drains; on cancellation
+	// they fail the remaining claims instead of simulating them.
+	var completed int
+	var cmu sync.Mutex
+	tick := func() int {
+		cmu.Lock()
+		defer cmu.Unlock()
+		completed++
+		return completed
+	}
+
+	for _, p := range hits {
+		e.emit(Event{Kind: PointDone, Point: p, CacheHit: true, Completed: tick(), Total: total})
+	}
+
+	jobCh := make(chan job, len(jobs))
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+
+	nw := e.workers
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if err := ctx.Err(); err != nil {
+					e.resolve(j, nil, err, 0)
+					e.emit(Event{Kind: PointDone, Point: j.pt, Err: err, Completed: tick(), Total: total})
+					continue
+				}
+				e.emit(Event{Kind: PointStarted, Point: j.pt, Total: total})
+				start := time.Now()
+				res, err := sim.Run(j.pt.Config, j.pt.App)
+				if err != nil {
+					err = fmt.Errorf("runner: %s: %w", j.pt, err)
+				}
+				elapsed := time.Since(start)
+				e.resolve(j, res, err, elapsed)
+				e.emit(Event{Kind: PointDone, Point: j.pt, Err: err,
+					Completed: tick(), Total: total, Elapsed: elapsed})
+			}
+		}()
+	}
+
+	// Collect in input order. A point claimed by a concurrent Run call
+	// resolves when that call's worker finishes it; on cancellation we
+	// stop waiting rather than block on foreign in-flight work.
+	results := make([]*sim.Result, total)
+	var errs []error
+	gathered := 0
+	for i, ent := range entries {
+		select {
+		case <-ent.done:
+			if ent.err != nil {
+				errs = append(errs, ent.err)
+			} else {
+				results[i] = ent.res
+				gathered++
+			}
+		case <-ctx.Done():
+			wg.Wait() // our own workers fail fast once ctx is done
+			return results, fmt.Errorf("runner: cancelled after %d/%d points: %w",
+				gathered, total, context.Cause(ctx))
+		}
+	}
+	wg.Wait()
+
+	if len(errs) > 0 {
+		return results, errors.Join(errs...)
+	}
+	return results, nil
+}
+
+// resolve publishes a job's outcome and updates cache bookkeeping.
+// Failed entries are evicted so transient errors (cancellation above
+// all) are retried by later calls; waiters holding the entry pointer
+// still observe the error through it.
+func (e *Engine) resolve(j job, res *sim.Result, err error, elapsed time.Duration) {
+	j.ent.res, j.ent.err = res, err
+	e.mu.Lock()
+	if err != nil {
+		if e.cache[j.key] == j.ent {
+			delete(e.cache, j.key)
+		}
+	} else {
+		e.stats.Simulated++
+		e.stats.SimWall += elapsed
+	}
+	e.mu.Unlock()
+	close(j.ent.done)
+}
+
+// One executes a single point through the engine (memoized like any
+// batch point).
+func (e *Engine) One(ctx context.Context, p Point) (*sim.Result, error) {
+	rs, err := e.Run(ctx, []Point{p})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// Points builds the cross product of the given apps and configs at one
+// scale, apps innermost — the standard grid expansion order shared by
+// the harness and the CLIs.
+func Points(apps []*trace.App, scale float64, cfgs ...sim.Config) []Point {
+	pts := make([]Point, 0, len(apps)*len(cfgs))
+	for _, cfg := range cfgs {
+		for _, app := range apps {
+			pts = append(pts, Point{App: app, Scale: scale, Config: cfg})
+		}
+	}
+	return pts
+}

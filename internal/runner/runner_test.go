@@ -1,0 +1,273 @@
+package runner_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"gpujoule/internal/runner"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+	"gpujoule/internal/workloads"
+)
+
+const testScale = 0.05
+
+// testPoints builds a small but real (workload × config) grid,
+// including a duplicate point and two configs that collapse to one
+// canonical key (1-GPM at different bandwidth settings).
+func testPoints(t *testing.T) []runner.Point {
+	t.Helper()
+	var apps []*trace.App
+	for _, name := range []string{"Stream", "Kmeans"} {
+		app, err := workloads.ByName(name, workloads.Params{Scale: testScale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	cfgs := []sim.Config{
+		sim.MultiGPM(1, sim.BW2x),
+		sim.MultiGPM(1, sim.BW1x), // same physical design as above
+		sim.MultiGPM(2, sim.BW2x),
+		sim.MultiGPM(4, sim.BW1x),
+		sim.MultiGPM(4, sim.BW2x),
+	}
+	pts := runner.Points(apps, testScale, cfgs...)
+	return append(pts, pts[0]) // literal duplicate
+}
+
+// csvBytes renders results the way a data-export tool would, so the
+// determinism test can assert byte-identical output across worker
+// counts.
+func csvBytes(pts []runner.Point, results []*sim.Result) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "workload,config,cycles,stalls,l1_hit,l2_hit,remote_fills,dram_txn")
+	for i, r := range results {
+		fmt.Fprintf(&buf, "%s,%s,%d,%d,%.6f,%.6f,%d,%d\n",
+			pts[i].App.Name, pts[i].Config.Name(), r.Counts.Cycles, r.Counts.StallCycles,
+			r.L1HitRate(), r.L2HitRate(), r.RemoteLineFills, r.Counts.Txn[0])
+	}
+	return buf.Bytes()
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	pts := testPoints(t)
+
+	serialEng := runner.New(runner.Options{Workers: 1})
+	serial, err := serialEng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelEng := runner.New(runner.Options{Workers: 8})
+	parallel, err := parallelEng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(pts) || len(parallel) != len(pts) {
+		t.Fatalf("result lengths %d/%d, want %d", len(serial), len(parallel), len(pts))
+	}
+	for i := range pts {
+		if serial[i] == nil || parallel[i] == nil {
+			t.Fatalf("point %d (%s): nil result", i, pts[i])
+		}
+		if !reflect.DeepEqual(serial[i].Counts, parallel[i].Counts) {
+			t.Errorf("point %d (%s): isa.Counts differ between 1 and 8 workers", i, pts[i])
+		}
+		if !reflect.DeepEqual(serial[i].Launches, parallel[i].Launches) {
+			t.Errorf("point %d (%s): launch stats differ between 1 and 8 workers", i, pts[i])
+		}
+	}
+	if !bytes.Equal(csvBytes(pts, serial), csvBytes(pts, parallel)) {
+		t.Error("CSV bytes differ between 1 and 8 workers")
+	}
+}
+
+func TestMemoizationAndDedup(t *testing.T) {
+	pts := testPoints(t)
+	eng := runner.New(runner.Options{Workers: 4})
+
+	first, err := eng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	// The grid holds 12 points: the duplicate and the two fabric-less
+	// 1-GPM variants (per app) must collapse, leaving 8 distinct sims.
+	if want := 8; st.Simulated != want {
+		t.Errorf("Simulated = %d, want %d (dedup by canonical key)", st.Simulated, want)
+	}
+	if want := len(pts) - 8; st.CacheHits != want {
+		t.Errorf("CacheHits = %d, want %d", st.CacheHits, want)
+	}
+	if eng.Distinct() != 8 {
+		t.Errorf("Distinct = %d, want 8", eng.Distinct())
+	}
+	// The collapsed 1-GPM points must share one result object.
+	if first[0] != first[2] {
+		t.Error("1-GPM results at 2x and 1x bandwidth should be the same memoized run")
+	}
+
+	second, err := eng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Simulated; got != st.Simulated {
+		t.Errorf("re-running the grid simulated %d more points, want 0", got-st.Simulated)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("point %d: second run returned a different result object", i)
+		}
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	pts := testPoints(t)
+	var done, hits, started int
+	var lastCompleted int
+	eng := runner.New(runner.Options{Workers: 1, OnEvent: func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.PointStarted:
+			started++
+		case runner.PointDone:
+			done++
+			lastCompleted = ev.Completed
+			if ev.CacheHit {
+				hits++
+			}
+			if ev.Total != len(pts) {
+				t.Errorf("event Total = %d, want %d", ev.Total, len(pts))
+			}
+		}
+	}})
+	if _, err := eng.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if done != len(pts) {
+		t.Errorf("saw %d PointDone events, want %d", done, len(pts))
+	}
+	if lastCompleted != len(pts) {
+		t.Errorf("final Completed = %d, want %d", lastCompleted, len(pts))
+	}
+	if started != 8 {
+		t.Errorf("saw %d PointStarted events, want 8 (one per distinct sim)", started)
+	}
+	if hits != len(pts)-8 {
+		t.Errorf("saw %d cache-hit events, want %d", hits, len(pts)-8)
+	}
+}
+
+func TestCancellationMidGrid(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	app, err := workloads.ByName("Stream", workloads.Params{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough distinct points that cancellation lands mid-grid.
+	var cfgs []sim.Config
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		for _, bw := range []sim.BWSetting{sim.BW1x, sim.BW2x, sim.BW4x} {
+			cfgs = append(cfgs, sim.MultiGPM(n, bw))
+		}
+	}
+	pts := runner.Points([]*trace.App{app}, 0.2, cfgs...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := runner.New(runner.Options{Workers: 2, OnEvent: func(ev runner.Event) {
+		if ev.Kind == runner.PointDone && ev.Completed >= 2 {
+			cancel() // pull the plug after the first couple of points
+		}
+	}})
+
+	start := time.Now()
+	results, err := eng.Run(ctx, pts)
+	if err == nil {
+		t.Fatal("cancelled run must return an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v should wrap context.Canceled", err)
+	}
+	// Prompt return: at most the in-flight points finish, the queued
+	// remainder is abandoned without simulating.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancelled run took %v, want prompt return", elapsed)
+	}
+	if len(results) != len(pts) {
+		t.Errorf("partial results slice has %d slots, want %d", len(results), len(pts))
+	}
+	if eng.Stats().Simulated >= len(cfgs) {
+		t.Error("cancellation should have prevented most simulations")
+	}
+
+	// No goroutine leak: workers drain their queue and exit. Poll
+	// briefly to let in-flight sims finish.
+	deadline := time.Now().Add(30 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after cancellation", before, after)
+	}
+
+	// A fresh context must be able to re-run the abandoned points:
+	// failed claims are evicted, not memoized.
+	if _, err := eng.Run(context.Background(), pts[:2]); err != nil {
+		t.Errorf("re-run after cancellation failed: %v", err)
+	}
+}
+
+func TestErrorsAreNotMemoized(t *testing.T) {
+	bad := &trace.App{Name: "bad"} // no launches: fails validation
+	good, err := workloads.ByName("Stream", workloads.Params{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []runner.Point{
+		{App: bad, Scale: testScale, Config: sim.MultiGPM(2, sim.BW2x)},
+		{App: good, Scale: testScale, Config: sim.MultiGPM(2, sim.BW2x)},
+	}
+	eng := runner.New(runner.Options{Workers: 2})
+	results, err := eng.Run(context.Background(), pts)
+	if err == nil {
+		t.Fatal("invalid app must fail the batch")
+	}
+	if results[0] != nil {
+		t.Error("failed point should have a nil result")
+	}
+	if results[1] == nil {
+		t.Error("healthy point must still resolve alongside a failure")
+	}
+	if eng.Distinct() != 1 {
+		t.Errorf("Distinct = %d, want 1 (errors are evicted)", eng.Distinct())
+	}
+	if _, err := eng.Run(context.Background(), pts[:1]); err == nil {
+		t.Error("failed point must fail again on retry, not hit a memoized error")
+	}
+}
+
+func TestOne(t *testing.T) {
+	app, err := workloads.ByName("Stream", workloads.Params{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runner.New(runner.Options{})
+	r, err := eng.One(context.Background(), runner.Point{App: app, Scale: testScale, Config: sim.MultiGPM(2, sim.BW2x)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Counts.Cycles == 0 {
+		t.Fatal("One returned an empty result")
+	}
+	if eng.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default Workers = %d, want GOMAXPROCS", eng.Workers())
+	}
+}

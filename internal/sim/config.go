@@ -260,6 +260,27 @@ func (c Config) Name() string {
 // TotalSMs returns the total SM count.
 func (c Config) TotalSMs() int { return c.GPMs * c.SMsPerGPM }
 
+// SimKey returns a canonical encoding of the configuration fields that
+// determine simulation behaviour. Fields the simulator never reads are
+// normalized out: Domain prices energy only, and a design with a single
+// physical module (1 GPM, or monolithic of any capability) has no
+// inter-GPM fabric, so its bandwidth setting and topology are
+// irrelevant. Defaulted fields (MaxCTAsPerSM, EpochCycles) fold to
+// their effective values. Two configurations with equal SimKeys yield
+// identical Run results for the same application, which is what lets a
+// run engine memoize one simulation across experiments that price the
+// same physical run under different energy domains.
+func (c Config) SimKey() string {
+	bw, topo := c.InterGPM.String(), c.Topology.String()
+	if c.GPMs == 1 || c.Monolithic {
+		bw, topo = "-", "-"
+	}
+	return fmt.Sprintf("g%d/s%d/l1=%d/l2=%d/dram=%g/bw=%s/topo=%s/mono=%t/l2p=%s/cta=%s/striped=%t/ctas=%d/epoch=%g",
+		c.GPMs, c.SMsPerGPM, c.L1PerSMBytes, c.L2PerGPMBytes, c.DRAMBytesPerCycle,
+		bw, topo, c.Monolithic, c.L2, c.CTASchedule, c.ForceStripedPages,
+		c.maxCTAs(), c.epoch())
+}
+
 // InterGPMBytesPerCycle returns the per-GPM I/O bandwidth in
 // bytes/cycle for the configured setting.
 func (c Config) InterGPMBytesPerCycle() float64 {

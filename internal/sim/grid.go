@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpujoule/internal/interconnect"
+)
+
+// Grid enumerates a (module count × bandwidth × topology) design grid —
+// the point set behind cmd/sweep and the harness figures. Expansion
+// follows the structural rules every tool shares, so the grid semantics
+// live in one place instead of being re-derived per CLI.
+type Grid struct {
+	// GPMs are the module counts to cover.
+	GPMs []int
+	// BWs are the Table IV bandwidth settings to cover.
+	BWs []BWSetting
+	// Topologies are the fabrics to cover (ring only when empty).
+	Topologies []interconnect.Topology
+}
+
+// Configs expands the grid in deterministic nesting order: module count
+// outermost, then bandwidth, then topology. Two structural rules apply:
+// a 1-GPM design has no fabric, so it appears exactly once (under the
+// first listed bandwidth, ring topologies only), and switch topologies
+// force on-board integration (a switch chip does not fit on-package).
+func (g Grid) Configs() []Config {
+	topos := g.Topologies
+	if len(topos) == 0 {
+		topos = []interconnect.Topology{interconnect.TopologyRing}
+	}
+	var out []Config
+	for _, n := range g.GPMs {
+		for _, bw := range g.BWs {
+			for _, topo := range topos {
+				if n == 1 && topo != interconnect.TopologyRing {
+					continue
+				}
+				cfg := MultiGPM(n, bw)
+				cfg.Topology = topo
+				if topo == interconnect.TopologySwitch {
+					cfg.Domain = DomainOnBoard
+				}
+				out = append(out, cfg)
+			}
+			if n == 1 {
+				break // no fabric: one 1-GPM row suffices
+			}
+		}
+	}
+	return out
+}
+
+// ParseGrid builds a Grid from the comma-separated flag syntax shared
+// by the CLIs: module counts ("1,2,4"), bandwidth settings ("1x,2x"),
+// and topologies ("ring,switch").
+func ParseGrid(gpms, bws, topos string) (Grid, error) {
+	var g Grid
+	var err error
+	if g.GPMs, err = ParseGPMCounts(gpms); err != nil {
+		return Grid{}, err
+	}
+	if g.BWs, err = ParseBWSettings(bws); err != nil {
+		return Grid{}, err
+	}
+	if g.Topologies, err = ParseTopologies(topos); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// SplitList splits a comma-separated flag value, trimming blanks.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParseGPMCounts parses a comma-separated list of module counts.
+func ParseGPMCounts(s string) ([]int, error) {
+	var out []int
+	for _, p := range SplitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad module count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseBWSettings parses a comma-separated list of Table IV bandwidth
+// settings ("1x", "2x", "4x").
+func ParseBWSettings(s string) ([]BWSetting, error) {
+	var out []BWSetting
+	for _, p := range SplitList(s) {
+		switch p {
+		case "1x":
+			out = append(out, BW1x)
+		case "2x":
+			out = append(out, BW2x)
+		case "4x":
+			out = append(out, BW4x)
+		default:
+			return nil, fmt.Errorf("bad bandwidth setting %q (want 1x, 2x, 4x)", p)
+		}
+	}
+	return out, nil
+}
+
+// ParseTopologies parses a comma-separated list of fabric topologies
+// ("ring", "switch").
+func ParseTopologies(s string) ([]interconnect.Topology, error) {
+	var out []interconnect.Topology
+	for _, p := range SplitList(s) {
+		switch p {
+		case "ring":
+			out = append(out, interconnect.TopologyRing)
+		case "switch":
+			out = append(out, interconnect.TopologySwitch)
+		default:
+			return nil, fmt.Errorf("bad topology %q (want ring or switch)", p)
+		}
+	}
+	return out, nil
+}

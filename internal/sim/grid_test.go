@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"gpujoule/internal/interconnect"
+)
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitList = %v, want %v", got, want)
+	}
+	if SplitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}
+
+func TestParseGPMCounts(t *testing.T) {
+	got, err := ParseGPMCounts("1,2,32")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 32}) {
+		t.Errorf("ParseGPMCounts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "0", "-2"} {
+		if _, err := ParseGPMCounts(bad); err == nil {
+			t.Errorf("ParseGPMCounts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseBWSettings(t *testing.T) {
+	got, err := ParseBWSettings("1x,2x,4x")
+	if err != nil || !reflect.DeepEqual(got, []BWSetting{BW1x, BW2x, BW4x}) {
+		t.Errorf("ParseBWSettings = %v, %v", got, err)
+	}
+	if _, err := ParseBWSettings("8x"); err == nil {
+		t.Error("unknown setting should fail")
+	}
+}
+
+func TestParseTopologies(t *testing.T) {
+	got, err := ParseTopologies("ring,switch")
+	if err != nil || !reflect.DeepEqual(got, []interconnect.Topology{
+		interconnect.TopologyRing, interconnect.TopologySwitch}) {
+		t.Errorf("ParseTopologies = %v, %v", got, err)
+	}
+	if _, err := ParseTopologies("torus"); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("1,4", "2x", "ring,switch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := g.Configs()
+	// 1-GPM appears once (ring only); 4-GPM gets ring and switch.
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs, want 3: %v", len(cfgs), cfgs)
+	}
+	if cfgs[0].GPMs != 1 || cfgs[0].Topology != interconnect.TopologyRing {
+		t.Errorf("first config should be the single 1-GPM ring point, got %s", cfgs[0].Name())
+	}
+	if cfgs[2].Topology != interconnect.TopologySwitch || cfgs[2].Domain != DomainOnBoard {
+		t.Errorf("switch configs must be on-board, got %s", cfgs[2].Name())
+	}
+	if _, err := ParseGrid("0", "2x", "ring"); err == nil {
+		t.Error("bad grid should fail")
+	}
+}
+
+func TestGridDefaultsToRing(t *testing.T) {
+	cfgs := Grid{GPMs: []int{2}, BWs: []BWSetting{BW2x}}.Configs()
+	if len(cfgs) != 1 || cfgs[0].Topology != interconnect.TopologyRing {
+		t.Fatalf("empty topology list should default to ring, got %v", cfgs)
+	}
+}
+
+func TestSimKeyNormalization(t *testing.T) {
+	// Domain prices energy only; it must not split the memo key.
+	a := MultiGPM(8, BW2x)
+	b := a
+	b.Domain = DomainOnBoard
+	if a.SimKey() != b.SimKey() {
+		t.Error("domain must not affect SimKey")
+	}
+
+	// A 1-GPM design has no fabric: bandwidth and topology collapse.
+	one1x := MultiGPM(1, BW1x)
+	one2x := MultiGPM(1, BW2x)
+	oneSwitch := MultiGPM(1, BW2x)
+	oneSwitch.Topology = interconnect.TopologySwitch
+	if one1x.SimKey() != one2x.SimKey() || one2x.SimKey() != oneSwitch.SimKey() {
+		t.Error("1-GPM fabric parameters must not affect SimKey")
+	}
+
+	// Simulation-relevant fields must split the key.
+	c := MultiGPM(8, BW1x)
+	if c.SimKey() == a.SimKey() {
+		t.Error("bandwidth must affect a multi-module SimKey")
+	}
+	d := a
+	d.CTASchedule = ScheduleRoundRobin
+	if d.SimKey() == a.SimKey() {
+		t.Error("CTA schedule must affect SimKey")
+	}
+
+	// Defaulted limits fold to their effective values.
+	e := a
+	e.MaxCTAsPerSM = 8
+	e.EpochCycles = defaultEpochCycles
+	if e.SimKey() != a.SimKey() {
+		t.Error("explicit defaults must match implicit defaults")
+	}
+}
