@@ -8,6 +8,7 @@ package gpujoule_test
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"gpujoule/internal/core"
@@ -226,7 +227,25 @@ func BenchmarkSimulateStream8GPM(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(cfg, app); err != nil {
+		if _, err := sim.Simulate(context.Background(), cfg, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateStream8GPMCounters measures the same run with the
+// observability collector enabled, so the counter overhead (meant to be
+// a few percent) is visible next to the plain benchmark above.
+func BenchmarkSimulateStream8GPMCounters(b *testing.B) {
+	app, err := workloads.ByName("Stream", workloads.Params{Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.MultiGPM(8, sim.BW2x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,14 +6,19 @@
 //
 //	gpmsim -workload Stream -gpms 8 [-bw 2x] [-topology ring]
 //	       [-monolithic] [-scale f] [-baseline] [-json]
+//	       [-counters out.json] [-sample cycles]
 //
 // With -baseline, the 1-GPM run is also simulated and scaling metrics
 // (speedup, energy ratio, EDPSE, parallel efficiency) are reported.
+// With -counters, the run records per-GPM/per-link observability
+// counters (internal/obs) and writes them as JSON; -sample additionally
+// records a time series every given number of cycles.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ import (
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
+	"gpujoule/internal/obs"
 	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/workloads"
@@ -37,6 +43,8 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper scale)")
 	baseline := flag.Bool("baseline", false, "also run 1-GPM and report scaling metrics")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	countersOut := flag.String("counters", "", "write per-GPM/per-link counters JSON to this file")
+	sample := flag.Float64("sample", 0, "with -counters, record a time-series sample every n cycles")
 	list := flag.Bool("list", false, "list workload names and exit")
 	flag.Parse()
 
@@ -64,12 +72,31 @@ func main() {
 	if withBase {
 		points = append(points, runner.Point{App: app, Scale: *scale, Config: sim.MultiGPM(1, sim.BW2x)})
 	}
-	eng := runner.New(runner.Options{})
+	eng := runner.New(runner.Options{
+		Counters:       *countersOut != "",
+		SampleInterval: *sample,
+	})
 	results, err := eng.Run(context.Background(), points)
 	if err != nil {
 		fatal(err)
 	}
 	res := results[0]
+
+	if *countersOut != "" {
+		profile := eng.Profile()
+		rep := obs.Report{Profile: &profile}
+		for i, pt := range points {
+			rep.Points = append(rep.Points, obs.PointCounters{
+				Workload: pt.App.Name,
+				Config:   pt.Config.Name(),
+				SimKey:   pt.Key(),
+				Counters: results[i].Counters,
+			})
+		}
+		if err := rep.WriteFile(*countersOut); err != nil {
+			fatal(err)
+		}
+	}
 
 	var pt *metrics.ScalingPoint
 	if withBase {
@@ -199,7 +226,26 @@ func printRun(app string, cfg sim.Config, model *core.Model, res *sim.Result) {
 
 func mb(b uint64) float64 { return float64(b) / (1 << 20) }
 
+// usageHint maps the simulator's typed configuration errors to the flag
+// the user should fix.
+func usageHint(err error) string {
+	switch {
+	case errors.Is(err, sim.ErrBadGPMCount):
+		return "use -gpms with a positive module count (1, 2, 4, 8, 16, or 32)"
+	case errors.Is(err, sim.ErrBadSMCount):
+		return "the configuration needs at least one SM per module"
+	case errors.Is(err, sim.ErrBadCacheSize):
+		return "L1 and L2 capacities must be positive"
+	case errors.Is(err, sim.ErrBadBandwidth):
+		return "use -bw 1x, 2x, or 4x for a positive link bandwidth"
+	}
+	return ""
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gpmsim:", err)
+	if hint := usageHint(err); hint != "" {
+		fmt.Fprintln(os.Stderr, "gpmsim: hint:", hint)
+	}
 	os.Exit(1)
 }

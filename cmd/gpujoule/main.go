@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +43,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(sim.MultiGPM(*gpms, sim.BW2x), app)
+	res, err := sim.Simulate(context.Background(), sim.MultiGPM(*gpms, sim.BW2x), app)
 	if err != nil {
 		fatal(err)
 	}

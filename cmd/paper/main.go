@@ -53,6 +53,13 @@ func main() {
 		}
 	}
 	h := harness.NewWithOptions(opts)
+	// On every successful exit, -progress closes with the run engine's
+	// execution profile (worker occupancy, cache savings, slowest point).
+	defer func() {
+		if *progress {
+			fmt.Fprintf(os.Stderr, "paper: profile %s\n", h.Engine().Profile())
+		}
+	}()
 	out := os.Stdout
 
 	run := func(name string) error {

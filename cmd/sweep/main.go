@@ -11,7 +11,12 @@
 //
 //	sweep [-workloads Stream,Lulesh-150 | -all] [-gpms 1,2,4,8,16,32]
 //	      [-bw 1x,2x,4x] [-topologies ring,switch] [-scale f] [-o out.csv]
-//	      [-workers n] [-progress]
+//	      [-workers n] [-progress] [-counters out.json]
+//
+// With -counters, every point is simulated with per-GPM/per-link
+// observability counters (internal/obs) and the full snapshot set plus
+// the run engine's execution profile is written as JSON; the CSV is
+// unchanged. The JSON schema is documented in DESIGN.md §Observability.
 package main
 
 import (
@@ -21,10 +26,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"gpujoule/internal/core"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
+	"gpujoule/internal/obs"
 	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
@@ -48,6 +55,7 @@ func run() (err error) {
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	progress := flag.Bool("progress", false, "report point progress on stderr")
+	countersOut := flag.String("counters", "", "write per-GPM/per-link counters JSON to this file")
 	flag.Parse()
 
 	params := workloads.Params{Scale: *scale}
@@ -91,7 +99,11 @@ func run() (err error) {
 			}
 		}
 	}
-	eng := runner.New(runner.Options{Workers: *workers, OnEvent: onEvent})
+	eng := runner.New(runner.Options{
+		Workers:  *workers,
+		OnEvent:  onEvent,
+		Counters: *countersOut != "",
+	})
 	results, err := eng.Run(context.Background(), points)
 	if err != nil {
 		return err
@@ -100,6 +112,23 @@ func run() (err error) {
 		st := eng.Stats()
 		fmt.Fprintf(os.Stderr, "sweep: %d points, %d distinct simulations, %d cache hits, %.2fs sim wall\n",
 			len(points), st.Simulated, st.CacheHits, st.SimWall.Seconds())
+		fmt.Fprintf(os.Stderr, "sweep: profile %s\n", eng.Profile())
+	}
+
+	if *countersOut != "" {
+		profile := eng.Profile()
+		rep := obs.Report{Profile: &profile}
+		for i, pt := range points {
+			rep.Points = append(rep.Points, obs.PointCounters{
+				Workload: pt.App.Name,
+				Config:   pt.Config.Name(),
+				SimKey:   pt.Key(),
+				Counters: results[i].Counters,
+			})
+		}
+		if err := rep.WriteFile(*countersOut); err != nil {
+			return err
+		}
 	}
 
 	// Buffer the output and only keep -o files that were written in
@@ -121,9 +150,14 @@ func run() (err error) {
 	}
 	bw := bufio.NewWriter(w)
 
-	fmt.Fprintln(bw, "workload,category,gpms,bw,topology,domain,cycles,seconds,"+
-		"speedup,energy_j,energy_ratio,edpse_pct,avg_power_w,"+
-		"l1_hit,l2_hit,remote_fill_frac,dram_gb,intergpm_gb,stall_frac")
+	// The metric columns use the canonical sim.Field* schema names, so
+	// the CSV header, the counters JSON, and the harness reports agree.
+	fmt.Fprintln(bw, "workload,category,gpms,bw,topology,domain,"+strings.Join([]string{
+		sim.FieldCycles, sim.FieldSeconds,
+		sim.FieldSpeedup, sim.FieldEnergyJ, sim.FieldEnergyRatio, sim.FieldEDPSEPct, sim.FieldAvgPowerW,
+		sim.FieldL1Hit, sim.FieldL2Hit, sim.FieldRemoteFillFrac,
+		sim.FieldDRAMGB, sim.FieldInterGPMGB, sim.FieldStallFrac,
+	}, ","))
 
 	i := 0
 	for _, app := range apps {

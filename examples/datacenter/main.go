@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -59,11 +60,11 @@ func main() {
 	for i, d := range designs {
 		var powers, speedups []float64
 		for _, app := range apps {
-			base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+			base, err := sim.Simulate(context.Background(), sim.MultiGPM(1, sim.BW2x), app)
 			if err != nil {
 				log.Fatal(err)
 			}
-			r, err := sim.Run(d.cfg, app)
+			r, err := sim.Simulate(context.Background(), d.cfg, app)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 
 	baseline := make(map[string]metrics.Sample, len(apps))
 	for _, app := range apps {
-		r, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+		r, err := sim.Simulate(context.Background(), sim.MultiGPM(1, sim.BW2x), app)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func main() {
 		cfg.Domain = sim.DomainOnBoard
 		var sp, er, ed []float64
 		for _, app := range apps {
-			r, err := sim.Run(cfg, app)
+			r, err := sim.Simulate(context.Background(), cfg, app)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,11 +24,12 @@ func main() {
 
 	// 2. Simulate it on the 1-GPM baseline and on a 4-GPM on-package
 	//    design with 1:1 inter-GPM to DRAM bandwidth (Table IV, 2x-BW).
-	base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+	ctx := context.Background()
+	base, err := sim.Simulate(ctx, sim.MultiGPM(1, sim.BW2x), app)
 	if err != nil {
 		log.Fatal(err)
 	}
-	quad, err := sim.Run(sim.MultiGPM(4, sim.BW2x), app)
+	quad, err := sim.Simulate(ctx, sim.MultiGPM(4, sim.BW2x), app)
 	if err != nil {
 		log.Fatal(err)
 	}

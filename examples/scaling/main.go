@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 		s   metrics.Sample
 	}
 	run := func(app *trace.App, n int) point {
-		r, err := sim.Run(sim.MultiGPM(n, sim.BW2x), app)
+		r, err := sim.Simulate(context.Background(), sim.MultiGPM(n, sim.BW2x), app)
 		if err != nil {
 			log.Fatal(err)
 		}

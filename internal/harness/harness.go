@@ -34,6 +34,9 @@ type Options struct {
 	// OnEvent, when non-nil, receives the run engine's progress events
 	// (points started/completed, cache hits, wall time).
 	OnEvent func(runner.Event)
+	// Counters enables per-GPM/per-link observability counters on every
+	// simulation the harness runs (see internal/obs).
+	Counters bool
 	// Context cancels in-flight experiment grids when done; nil means
 	// context.Background().
 	Context context.Context
@@ -63,9 +66,13 @@ func NewWithOptions(opts Options) *Harness {
 		ctx = context.Background()
 	}
 	return &Harness{
-		params:    workloads.Params{Scale: opts.Scale},
-		apps:      workloads.Eval14(workloads.Params{Scale: opts.Scale}),
-		engine:    runner.New(runner.Options{Workers: opts.Workers, OnEvent: opts.OnEvent}),
+		params: workloads.Params{Scale: opts.Scale},
+		apps:   workloads.Eval14(workloads.Params{Scale: opts.Scale}),
+		engine: runner.New(runner.Options{
+			Workers:  opts.Workers,
+			OnEvent:  opts.OnEvent,
+			Counters: opts.Counters,
+		}),
 		ctx:       ctx,
 		onPackage: core.ProjectionModel(core.OnPackageLinks()),
 		onBoard:   core.ProjectionModel(core.OnBoardLinks()),

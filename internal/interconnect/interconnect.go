@@ -49,6 +49,23 @@ type Transfer struct {
 	Switched bool
 }
 
+// LinkStats is one unidirectional link's lifetime counters: the
+// observability view behind the paper's per-hop congestion argument
+// (ring links amplify NUMA traffic with module count, §V-B).
+type LinkStats struct {
+	// Name is the diagnostic link name (e.g. "ring-link[d0][3]").
+	Name string
+	// Bytes is the payload that traversed the link.
+	Bytes uint64
+	// BusyCycles is the service time implied by the bytes moved.
+	BusyCycles float64
+	// QueueCycles is the cumulative queueing delay transfers saw at
+	// this link.
+	QueueCycles float64
+	// BytesPerCycle is the link's configured bandwidth.
+	BytesPerCycle float64
+}
+
 // Fabric routes sector transfers between GPMs.
 type Fabric interface {
 	// Send routes bytes from GPM src to GPM dst starting at time now
@@ -64,6 +81,9 @@ type Fabric interface {
 	GPMs() int
 	// LinkUtilization returns per-link utilization over the horizon.
 	LinkUtilization(horizon float64) []float64
+	// LinkStats returns per-link lifetime counters, in the same link
+	// order as LinkUtilization.
+	LinkStats() []LinkStats
 	// Reset clears all reservations and statistics.
 	Reset()
 }
@@ -154,6 +174,17 @@ func (r *Ring) LinkUtilization(horizon float64) []float64 {
 	return out
 }
 
+// LinkStats implements Fabric.
+func (r *Ring) LinkStats() []LinkStats {
+	out := make([]LinkStats, 0, 2*r.n)
+	for d := 0; d < 2; d++ {
+		for _, l := range r.links[d] {
+			out = append(out, statsOf(l))
+		}
+	}
+	return out
+}
+
 // Reset implements Fabric.
 func (r *Ring) Reset() {
 	for d := 0; d < 2; d++ {
@@ -221,6 +252,29 @@ func (s *Switch) LinkUtilization(horizon float64) []float64 {
 		out = append(out, l.Utilization(horizon))
 	}
 	return out
+}
+
+// LinkStats implements Fabric.
+func (s *Switch) LinkStats() []LinkStats {
+	out := make([]LinkStats, 0, 2*s.n)
+	for _, l := range s.egress {
+		out = append(out, statsOf(l))
+	}
+	for _, l := range s.ingress {
+		out = append(out, statsOf(l))
+	}
+	return out
+}
+
+// statsOf snapshots one link's bandwidth-resource counters.
+func statsOf(l *memsys.BWResource) LinkStats {
+	return LinkStats{
+		Name:          l.Name(),
+		Bytes:         l.BytesServed,
+		BusyCycles:    l.BusyCycles(),
+		QueueCycles:   l.QueueCycles,
+		BytesPerCycle: l.BytesPerCycle(),
+	}
 }
 
 // Reset implements Fabric.

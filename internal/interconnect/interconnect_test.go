@@ -166,3 +166,65 @@ func TestSmallFabricPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestLinkStats(t *testing.T) {
+	r := NewRing(4, 64)
+	tr := r.Send(0, 0, 2, 128) // 2 hops clockwise: links d0[0], d0[1]
+	stats := r.LinkStats()
+	if len(stats) != 8 {
+		t.Fatalf("ring of 4 has %d link stats, want 8", len(stats))
+	}
+	var bytes uint64
+	var withTraffic int
+	for _, s := range stats {
+		if s.Name == "" || s.BytesPerCycle != 32 {
+			t.Errorf("link stats malformed: %+v", s)
+		}
+		bytes += s.Bytes
+		if s.Bytes > 0 {
+			withTraffic++
+		}
+	}
+	if want := uint64(tr.Hops) * 128; bytes != want {
+		t.Errorf("link bytes sum %d, want %d (128 B per traversed hop)", bytes, want)
+	}
+	if withTraffic != tr.Hops {
+		t.Errorf("%d links carried traffic, want %d", withTraffic, tr.Hops)
+	}
+
+	sw := NewSwitch(4, 64)
+	sw.Send(0, 1, 3, 128)
+	sstats := sw.LinkStats()
+	if len(sstats) != 8 {
+		t.Fatalf("switch of 4 has %d link stats, want 8", len(sstats))
+	}
+	var sbytes uint64
+	for _, s := range sstats {
+		sbytes += s.Bytes
+	}
+	if sbytes != 256 {
+		t.Errorf("switch link bytes sum %d, want 256 (egress + ingress)", sbytes)
+	}
+}
+
+func TestLinkStatsQueueCycles(t *testing.T) {
+	// Hammer one ring link far past its capacity; queueing delay must
+	// show up on exactly the congested links.
+	r := NewRing(2, 2)
+	for i := 0; i < 100; i++ {
+		r.Send(0, 0, 1, 128)
+	}
+	var queued float64
+	for _, s := range r.LinkStats() {
+		queued += s.QueueCycles
+	}
+	if queued <= 0 {
+		t.Error("congested ring accumulated no queueing delay")
+	}
+	r.Reset()
+	for _, s := range r.LinkStats() {
+		if s.Bytes != 0 || s.QueueCycles != 0 {
+			t.Errorf("Reset left residue on %s: %+v", s.Name, s)
+		}
+	}
+}

@@ -79,37 +79,39 @@ func (k TxnKind) Bytes() int {
 // SM lane-stall cycles, and execution time. The performance simulator
 // (and the reference silicon) produce a Counts; the energy model reads
 // it without any further knowledge of the machine.
+// The JSON field names are part of the simulator's stable result
+// schema (see internal/sim/result.go).
 type Counts struct {
 	// Inst[op] is the number of executed warp-level instructions of
 	// class op, multiplied by the number of active threads (the paper's
 	// EPIs are per thread-level instruction).
-	Inst [NumOps]uint64
+	Inst [NumOps]uint64 `json:"inst"`
 
 	// WarpInst[op] is the number of executed warp-level instructions of
 	// class op, regardless of how many threads were active. The
 	// difference between 32*WarpInst and Inst measures control
 	// divergence, which GPUJoule deliberately does not model (§IV-A)
 	// but the reference silicon charges for.
-	WarpInst [NumOps]uint64
+	WarpInst [NumOps]uint64 `json:"warp_inst"`
 
 	// Txn[kind] is the number of data-movement transactions of the
 	// given class.
-	Txn [NumTxnKinds]uint64
+	Txn [NumTxnKinds]uint64 `json:"txn"`
 
 	// StallCycles is the total number of SM cycles in which an SM had
 	// at least one resident warp but could issue nothing (a compute
 	// lane stall, §IV). Idle SMs with no work also accumulate here:
 	// the paper attributes GPM idle time waiting on remote memory to
 	// this term plus constant power exposure.
-	StallCycles uint64
+	StallCycles uint64 `json:"stall_cycles"`
 
 	// Cycles is the end-to-end execution time in GPU cycles.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 
 	// SMCount and GPMCount describe the machine that produced the
 	// counts; the energy model uses them to scale constant power.
-	SMCount  int
-	GPMCount int
+	SMCount  int `json:"sm_count"`
+	GPMCount int `json:"gpm_count"`
 }
 
 // Add accumulates o into c (element-wise; Cycles takes the max, since

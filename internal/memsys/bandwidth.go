@@ -25,6 +25,11 @@ type BWResource struct {
 
 	// BytesServed accumulates total payload moved.
 	BytesServed uint64
+	// QueueCycles accumulates the queueing delay requests experienced:
+	// the gap between each transfer's actual completion and its
+	// unloaded completion (arrival + bytes/bandwidth). Zero on an
+	// uncontended resource; growth measures saturation.
+	QueueCycles float64
 }
 
 const (
@@ -97,6 +102,7 @@ func (r *BWResource) Acquire(now float64, bytes int) float64 {
 	if min := now + float64(bytes)/r.rate; completion < min {
 		completion = min
 	}
+	r.QueueCycles += completion - (now + float64(bytes)/r.rate)
 	return completion
 }
 
@@ -143,4 +149,5 @@ func (r *BWResource) Reset() {
 	}
 	r.base = 0
 	r.BytesServed = 0
+	r.QueueCycles = 0
 }

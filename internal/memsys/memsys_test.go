@@ -322,3 +322,28 @@ func TestBWResourcePanicsOnZeroBandwidth(t *testing.T) {
 }
 
 var _ = isa.LineBytes // keep the import for geometry-derived constants
+
+func TestBWResourceQueueCycles(t *testing.T) {
+	// One small request on an idle resource sees no queueing at all
+	// (the bucket has headroom, so completion is exactly unloaded).
+	r := NewBWResource("dram", 256)
+	r.Acquire(0, 128)
+	if r.QueueCycles != 0 {
+		t.Errorf("idle resource accumulated %g queue cycles", r.QueueCycles)
+	}
+
+	// Saturating the resource must accumulate queueing delay: the last
+	// request completes roughly a full window after its unloaded time.
+	sat := NewBWResource("dram", 100)
+	for i := 0; i < 2000; i++ {
+		sat.Acquire(0, 100)
+	}
+	if sat.QueueCycles < 1000 {
+		t.Errorf("saturated resource queue cycles %g, want substantial delay", sat.QueueCycles)
+	}
+
+	sat.Reset()
+	if sat.QueueCycles != 0 {
+		t.Error("Reset must clear QueueCycles")
+	}
+}

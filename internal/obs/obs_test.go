@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCollectorSampling(t *testing.T) {
+	c := NewCollector(4, 1000)
+	if len(c.GPMs) != 4 || c.GPMs[3].GPM != 3 {
+		t.Fatalf("collector GPM slots wrong: %+v", c.GPMs)
+	}
+
+	c.GPMs[0].WarpInstructions = 10
+	c.MaybeSample(500, 7, 3) // before the first sampling point: no-op
+	if len(c.samples) != 0 {
+		t.Fatalf("sampled too early: %+v", c.samples)
+	}
+	c.MaybeSample(1200, 7, 3)
+	c.MaybeSample(1400, 9, 2) // same sampling window: no-op
+	c.GPMs[1].WarpInstructions = 5
+	c.MaybeSample(5000, 1, 0) // skips several windows, records once
+	if len(c.samples) != 2 {
+		t.Fatalf("got %d samples, want 2: %+v", len(c.samples), c.samples)
+	}
+	if c.samples[0].TimeCycles != 1200 || c.samples[0].ActiveWarps != 7 ||
+		c.samples[0].WarpInstructions != 10 {
+		t.Errorf("first sample wrong: %+v", c.samples[0])
+	}
+	if c.samples[1].TimeCycles != 5000 || c.samples[1].WarpInstructions != 15 {
+		t.Errorf("second sample wrong: %+v", c.samples[1])
+	}
+	// The next sampling point must be past the last recorded time.
+	if c.next <= 5000 {
+		t.Errorf("next sampling point %g not advanced past 5000", c.next)
+	}
+}
+
+func TestCollectorSamplingDisabled(t *testing.T) {
+	c := NewCollector(2, 0)
+	c.MaybeSample(1e9, 1, 1)
+	if len(c.samples) != 0 {
+		t.Error("interval 0 must disable sampling")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := NewCollector(2, 0)
+	c.GPMs[0].L1Accesses = 42
+	snap := c.Snapshot([]LinkCounters{{Link: "l0", Bytes: 128}})
+	c.GPMs[0].L1Accesses = 99
+	if snap.GPMs[0].L1Accesses != 42 {
+		t.Error("snapshot must copy GPM counters, not alias them")
+	}
+	if snap.SchemaVersion != SchemaVersion {
+		t.Errorf("snapshot schema version = %d", snap.SchemaVersion)
+	}
+	if snap.TotalLinkBytes() != 128 {
+		t.Errorf("TotalLinkBytes = %d", snap.TotalLinkBytes())
+	}
+	c.GPMs[1].WarpInstructions = 7
+	if got := c.Snapshot(nil).TotalWarpInstructions(); got != 7 {
+		t.Errorf("TotalWarpInstructions = %d", got)
+	}
+}
+
+func TestReportJSONSchema(t *testing.T) {
+	rep := &Report{
+		Profile: &RunnerProfile{Workers: 4, Points: 10, Simulated: 6, CacheHits: 4},
+		Points: []PointCounters{{
+			Workload: "Stream",
+			Config:   "4-GPM/2x-BW/ring/on-package",
+			SimKey:   "k",
+			Counters: &Counters{
+				SchemaVersion: SchemaVersion,
+				GPMs:          []GPMCounters{{GPM: 0, WarpInstructions: 1}},
+				Links:         []LinkCounters{{Link: "ring-link[d0][0]", Bytes: 256}},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Error("WriteJSON must stamp the schema version")
+	}
+
+	// The documented field names are the schema; pin the load-bearing ones.
+	for _, field := range []string{
+		`"schema_version"`, `"runner_profile"`, `"points"`,
+		`"workload"`, `"config"`, `"sim_key"`, `"counters"`,
+		`"gpms"`, `"gpm"`, `"warp_instructions"`, `"links"`, `"link"`, `"bytes"`,
+	} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("report JSON lacks documented field %s", field)
+		}
+	}
+
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || len(back.Points) != 1 ||
+		back.Points[0].Counters.GPMs[0].WarpInstructions != 1 {
+		t.Errorf("round trip mangled the report: %+v", back)
+	}
+}
+
+func TestReportWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "counters.json")
+	rep := &Report{Points: []PointCounters{}}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Error("written file is not valid JSON")
+	}
+
+	// Failure path: writing into a directory that does not exist fails
+	// without leaving a file behind.
+	bad := filepath.Join(dir, "missing", "counters.json")
+	if err := rep.WriteFile(bad); err == nil {
+		t.Error("WriteFile into a missing directory must fail")
+	}
+}
+
+func TestRunnerProfileString(t *testing.T) {
+	p := RunnerProfile{
+		Workers: 4, Points: 12, Simulated: 8, CacheHits: 4,
+		SimWallSeconds: 2.0, BatchWallSeconds: 1.0, Occupancy: 0.5,
+		Slowest: []PointProfile{{Point: "Stream on 32-GPM", Seconds: 1.5}},
+	}
+	s := p.String()
+	for _, want := range []string{"workers=4", "points=12", "simulated=8",
+		"cache_hits=4", "occupancy=50%", "Stream on 32-GPM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("profile summary %q lacks %q", s, want)
+		}
+	}
+}

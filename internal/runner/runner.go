@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"gpujoule/internal/obs"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
 )
@@ -88,6 +90,15 @@ type Options struct {
 	Workers int
 	// OnEvent, when non-nil, receives serialized progress events.
 	OnEvent func(Event)
+	// Counters enables the observability layer (sim.WithCounters) on
+	// every point the engine simulates: results carry per-GPM and
+	// per-link counter snapshots. Counters are deterministic across
+	// worker counts, and memoized results share one snapshot.
+	Counters bool
+	// SampleInterval, when positive, additionally records a coarse
+	// time series every interval cycles (sim.WithSampler; implies
+	// Counters).
+	SampleInterval float64
 }
 
 // Stats is a snapshot of an engine's lifetime counters.
@@ -108,12 +119,15 @@ type Stats struct {
 type Engine struct {
 	workers int
 	onEvent func(Event)
+	simOpts []sim.Option
 
 	evMu sync.Mutex // serializes OnEvent callbacks
 
-	mu    sync.Mutex
-	cache map[string]*entry
-	stats Stats
+	mu        sync.Mutex
+	cache     map[string]*entry
+	stats     Stats
+	batchWall time.Duration
+	timings   []obs.PointProfile // one entry per real simulation
 }
 
 // entry is one memoized (or in-flight) point. done is closed exactly
@@ -131,9 +145,17 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	var simOpts []sim.Option
+	if opts.Counters {
+		simOpts = append(simOpts, sim.WithCounters())
+	}
+	if opts.SampleInterval > 0 {
+		simOpts = append(simOpts, sim.WithSampler(opts.SampleInterval))
+	}
 	return &Engine{
 		workers: w,
 		onEvent: opts.OnEvent,
+		simOpts: simOpts,
 		cache:   make(map[string]*entry),
 	}
 }
@@ -179,6 +201,13 @@ type job struct {
 // ctx.Err(). Workers always drain their claimed work — cancelled
 // entries fail fast and are evicted, never left pending.
 func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error) {
+	batchStart := time.Now()
+	defer func() {
+		e.mu.Lock()
+		e.batchWall += time.Since(batchStart)
+		e.mu.Unlock()
+	}()
+
 	total := len(points)
 	entries := make([]*entry, total)
 	var jobs []job
@@ -242,7 +271,7 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error)
 				}
 				e.emit(Event{Kind: PointStarted, Point: j.pt, Total: total})
 				start := time.Now()
-				res, err := sim.Run(j.pt.Config, j.pt.App)
+				res, err := sim.Simulate(ctx, j.pt.Config, j.pt.App, e.simOpts...)
 				if err != nil {
 					err = fmt.Errorf("runner: %s: %w", j.pt, err)
 				}
@@ -297,9 +326,53 @@ func (e *Engine) resolve(j job, res *sim.Result, err error, elapsed time.Duratio
 	} else {
 		e.stats.Simulated++
 		e.stats.SimWall += elapsed
+		e.timings = append(e.timings, obs.PointProfile{
+			Point:   j.pt.String(),
+			Seconds: elapsed.Seconds(),
+		})
 	}
 	e.mu.Unlock()
 	close(j.ent.done)
+}
+
+// profileSlowest bounds the Slowest list of a runner profile.
+const profileSlowest = 10
+
+// Profile snapshots the engine's lifetime execution profile: point and
+// cache counters, cumulative simulation and batch wall time, worker
+// occupancy, and the slowest simulated points. Point order in Slowest
+// is deterministic (cost-descending, ties broken by name) even though
+// completion order is not.
+func (e *Engine) Profile() obs.RunnerProfile {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	slowest := append([]obs.PointProfile(nil), e.timings...)
+	sort.Slice(slowest, func(i, j int) bool {
+		if slowest[i].Seconds != slowest[j].Seconds {
+			return slowest[i].Seconds > slowest[j].Seconds
+		}
+		return slowest[i].Point < slowest[j].Point
+	})
+	if len(slowest) > profileSlowest {
+		slowest = slowest[:profileSlowest]
+	}
+	occupancy := 0.0
+	if e.batchWall > 0 && e.workers > 0 {
+		occupancy = e.stats.SimWall.Seconds() / (e.batchWall.Seconds() * float64(e.workers))
+		if occupancy > 1 {
+			occupancy = 1
+		}
+	}
+	return obs.RunnerProfile{
+		Workers:          e.workers,
+		Points:           e.stats.Simulated + e.stats.CacheHits,
+		Simulated:        e.stats.Simulated,
+		CacheHits:        e.stats.CacheHits,
+		SimWallSeconds:   e.stats.SimWall.Seconds(),
+		BatchWallSeconds: e.batchWall.Seconds(),
+		Occupancy:        occupancy,
+		Slowest:          slowest,
+	}
 }
 
 // One executes a single point through the engine (memoized like any

@@ -254,6 +254,84 @@ func TestErrorsAreNotMemoized(t *testing.T) {
 	}
 }
 
+func TestCountersDeterministicAcrossWorkerCounts(t *testing.T) {
+	pts := testPoints(t)
+	var snapshots [][]*sim.Result
+	for _, workers := range []int{1, 4, 8} {
+		eng := runner.New(runner.Options{Workers: workers, Counters: true})
+		results, err := eng.Run(context.Background(), pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Counters == nil {
+				t.Fatalf("workers=%d point %d (%s): Counters option produced no snapshot",
+					workers, i, pts[i])
+			}
+		}
+		snapshots = append(snapshots, results)
+	}
+	for w, results := range snapshots[1:] {
+		for i := range pts {
+			if !reflect.DeepEqual(snapshots[0][i].Counters, results[i].Counters) {
+				t.Errorf("point %d (%s): counters differ between 1 and %d workers",
+					i, pts[i], []int{4, 8}[w])
+			}
+		}
+	}
+
+	// Disabled counters leave results clean.
+	plain, err := runner.New(runner.Options{Workers: 4}).Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range plain {
+		if r.Counters != nil {
+			t.Errorf("point %d (%s): counters attached without the option", i, pts[i])
+		}
+	}
+}
+
+func TestProfile(t *testing.T) {
+	pts := testPoints(t)
+	eng := runner.New(runner.Options{Workers: 2})
+	if _, err := eng.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	p := eng.Profile()
+	if p.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", p.Workers)
+	}
+	if p.Points != len(pts) {
+		t.Errorf("Points = %d, want %d", p.Points, len(pts))
+	}
+	if p.Simulated != 8 || p.CacheHits != len(pts)-8 {
+		t.Errorf("Simulated/CacheHits = %d/%d, want 8/%d", p.Simulated, p.CacheHits, len(pts)-8)
+	}
+	if len(p.Slowest) != 8 {
+		t.Errorf("Slowest has %d entries, want 8 (one per distinct sim)", len(p.Slowest))
+	}
+	for i := 1; i < len(p.Slowest); i++ {
+		if p.Slowest[i].Seconds > p.Slowest[i-1].Seconds {
+			t.Fatalf("Slowest not sorted descending at %d", i)
+		}
+	}
+	if p.BatchWallSeconds <= 0 || p.SimWallSeconds <= 0 {
+		t.Errorf("wall times %.3f/%.3f must be positive", p.SimWallSeconds, p.BatchWallSeconds)
+	}
+	if p.Occupancy < 0 || p.Occupancy > 1 {
+		t.Errorf("Occupancy = %g, want within [0,1]", p.Occupancy)
+	}
+	if p.String() == "" {
+		t.Error("profile summary is empty")
+	}
+
+	// A fresh engine that has run nothing reports a zero profile.
+	if z := runner.New(runner.Options{}).Profile(); z.Points != 0 || z.Occupancy != 0 {
+		t.Errorf("idle engine profile = %+v, want zeros", z)
+	}
+}
+
 func TestOne(t *testing.T) {
 	app, err := workloads.ByName("Stream", workloads.Params{Scale: testScale})
 	if err != nil {

@@ -28,6 +28,7 @@
 package silicon
 
 import (
+	"context"
 	"math"
 
 	"gpujoule/internal/core"
@@ -140,7 +141,7 @@ type Measurement struct {
 // Run executes the application on the reference hardware and returns
 // its measurement.
 func (d *Device) Run(app *trace.App) (*Measurement, error) {
-	res, err := sim.Run(d.cfg, app)
+	res, err := sim.Simulate(context.Background(), d.cfg, app)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"gpujoule/internal/interconnect"
@@ -170,41 +171,43 @@ func (p L2Placement) String() string {
 
 // Config describes one simulated GPU (a row of Table III plus a column
 // of Table IV).
+// The JSON field names are part of the stable result schema (see
+// result.go and DESIGN.md §Observability).
 type Config struct {
 	// GPMs is the module count (1, 2, 4, 8, 16, or 32 in the paper).
-	GPMs int
+	GPMs int `json:"gpms"`
 	// SMsPerGPM is the SM count per module (16 in the basic GPM).
-	SMsPerGPM int
+	SMsPerGPM int `json:"sms_per_gpm"`
 	// L1PerSMBytes is the per-SM L1 size (32 KB).
-	L1PerSMBytes int
+	L1PerSMBytes int `json:"l1_per_sm_bytes"`
 	// L2PerGPMBytes is the per-GPM L2 size (2 MB, module-side for >1 GPM).
-	L2PerGPMBytes int
+	L2PerGPMBytes int `json:"l2_per_gpm_bytes"`
 	// DRAMBytesPerCycle is the per-GPM local HBM bandwidth (256 GB/s).
-	DRAMBytesPerCycle float64
+	DRAMBytesPerCycle float64 `json:"dram_bytes_per_cycle"`
 	// InterGPM is the Table IV inter-GPM bandwidth setting.
-	InterGPM BWSetting
+	InterGPM BWSetting `json:"inter_gpm_bw"`
 	// Topology selects the inter-GPM fabric (ring by default, §V-A1).
-	Topology interconnect.Topology
+	Topology interconnect.Topology `json:"topology"`
 	// Domain is the integration domain (affects energy only).
-	Domain Domain
+	Domain Domain `json:"domain"`
 	// Monolithic, if true, fuses all modules into one hypothetical
 	// monolithic die: GPMs*SMsPerGPM SMs sharing one GPMs*L2 cache and
 	// one GPMs*DRAM memory system with no inter-module fabric (used
 	// for the Fig. 7 monolithic-scaling comparison).
-	Monolithic bool
+	Monolithic bool `json:"monolithic"`
 	// L2 selects the L2 placement (module-side by default, §V-A1).
-	L2 L2Placement
+	L2 L2Placement `json:"l2_placement"`
 	// CTASchedule selects the CTA distribution policy (contiguous by
 	// default, §V-A1).
-	CTASchedule CTASchedule
+	CTASchedule CTASchedule `json:"cta_schedule"`
 	// ForceStripedPages disables first-touch placement, striping every
 	// page round-robin across modules (the NUMA-blind placement
 	// baseline of the ablation study).
-	ForceStripedPages bool
+	ForceStripedPages bool `json:"force_striped_pages"`
 	// MaxCTAsPerSM bounds concurrent CTAs per SM (default 8).
-	MaxCTAsPerSM int
+	MaxCTAsPerSM int `json:"max_ctas_per_sm"`
 	// EpochCycles bounds cross-SM event reordering (default 2000).
-	EpochCycles float64
+	EpochCycles float64 `json:"epoch_cycles"`
 }
 
 // BaseGPM returns the basic GPU module configuration of §V-A1
@@ -303,20 +306,36 @@ func (c Config) epoch() float64 {
 	return c.EpochCycles
 }
 
-// Validate checks the configuration for structural errors.
+// Typed validation errors. Validate wraps these with the offending
+// values, so callers can branch with errors.Is and print an actionable
+// usage message instead of parsing error text.
+var (
+	// ErrBadGPMCount reports a non-positive module count.
+	ErrBadGPMCount = errors.New("module count must be positive")
+	// ErrBadSMCount reports a non-positive per-module SM count.
+	ErrBadSMCount = errors.New("SMs per GPM must be positive")
+	// ErrBadCacheSize reports a non-positive L1 or L2 size.
+	ErrBadCacheSize = errors.New("cache sizes must be positive")
+	// ErrBadBandwidth reports a non-positive DRAM bandwidth.
+	ErrBadBandwidth = errors.New("DRAM bandwidth must be positive")
+)
+
+// Validate checks the configuration for structural errors. Every
+// failure wraps one of the typed Err* sentinels above.
 func (c Config) Validate() error {
 	if c.GPMs <= 0 {
-		return fmt.Errorf("sim: config needs positive GPM count, got %d", c.GPMs)
+		return fmt.Errorf("sim: config GPMs=%d: %w", c.GPMs, ErrBadGPMCount)
 	}
 	if c.SMsPerGPM <= 0 {
-		return fmt.Errorf("sim: config needs positive SMs per GPM, got %d", c.SMsPerGPM)
+		return fmt.Errorf("sim: config SMsPerGPM=%d: %w", c.SMsPerGPM, ErrBadSMCount)
 	}
 	if c.L1PerSMBytes <= 0 || c.L2PerGPMBytes <= 0 {
-		return fmt.Errorf("sim: config needs positive cache sizes, got L1=%d L2=%d",
-			c.L1PerSMBytes, c.L2PerGPMBytes)
+		return fmt.Errorf("sim: config L1=%d L2=%d: %w",
+			c.L1PerSMBytes, c.L2PerGPMBytes, ErrBadCacheSize)
 	}
 	if c.DRAMBytesPerCycle <= 0 {
-		return fmt.Errorf("sim: config needs positive DRAM bandwidth, got %g", c.DRAMBytesPerCycle)
+		return fmt.Errorf("sim: config DRAMBytesPerCycle=%g: %w",
+			c.DRAMBytesPerCycle, ErrBadBandwidth)
 	}
 	return nil
 }

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/memsys"
+	"gpujoule/internal/obs"
 	"gpujoule/internal/trace"
 )
 
@@ -28,6 +30,11 @@ type GPU struct {
 	time float64 // global clock in cycles, advances across launches
 
 	res *Result
+
+	// col is the opt-in observability collector; nil when counters are
+	// disabled, and every update below is guarded by that nil check so
+	// the disabled path is untouched.
+	col *obs.Collector
 }
 
 // gpmState is one GPU module: its SMs, module-side L2, local DRAM
@@ -63,10 +70,10 @@ func (g *gpmState) pending() int {
 	return (g.ctaEnd - g.ctaNext + g.ctaStride - 1) / g.ctaStride
 }
 
-// NewGPU builds a GPU for the given configuration and application. The
+// newGPU builds a GPU for the given configuration and application. The
 // application is validated; region layout and pre-placed (striped)
 // pages are established up front.
-func NewGPU(cfg Config, app *trace.App) (*GPU, error) {
+func newGPU(cfg Config, app *trace.App, o simOptions) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,24 +140,21 @@ func NewGPU(cfg Config, app *trace.App) (*GPU, error) {
 	}
 
 	g.res = &Result{App: app.Name, Config: cfg}
+	if o.counters {
+		g.col = obs.NewCollector(phys.GPMs, o.sampleInterval)
+	}
 	return g, nil
 }
 
-// Run simulates the whole application and returns the result. Run may
-// be called once per GPU.
-func Run(cfg Config, app *trace.App) (*Result, error) {
-	g, err := NewGPU(cfg, app)
-	if err != nil {
-		return nil, err
-	}
-	return g.RunAll()
-}
-
-// RunAll executes every launch of the application in order.
-func (g *GPU) RunAll() (*Result, error) {
+// runAll executes every launch of the application in order, checking
+// the context between launches.
+func (g *GPU) runAll(ctx context.Context) (*Result, error) {
 	for i := range g.app.Launches {
 		l := &g.app.Launches[i]
 		for rep := 0; rep < l.EffCount(); rep++ {
+			if ctx.Err() != nil {
+				return nil, cancelled(ctx)
+			}
 			if err := g.runLaunch(l.Kernel); err != nil {
 				return nil, err
 			}
@@ -159,6 +163,9 @@ func (g *GPU) RunAll() (*Result, error) {
 	g.res.Counts.Cycles = uint64(math.Ceil(g.time))
 	g.res.Counts.SMCount = g.totalSMs()
 	g.res.Counts.GPMCount = g.physicalGPMs()
+	if g.col != nil {
+		g.finishCounters()
+	}
 	return g.res, nil
 }
 
@@ -244,6 +251,9 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 				until = next - epoch
 			}
 		}
+		if g.col != nil {
+			g.col.MaybeSample(until, eng.activeWarps, g.pendingCTAs())
+		}
 	}
 
 	dur := eng.end - start
@@ -259,6 +269,25 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 	for _, gpm := range g.gpms {
 		for _, sm := range gpm.sms {
 			busy += sm.busy
+		}
+	}
+	if g.col != nil {
+		// Per-GPM attribution of the same accounting. Kept separate
+		// from the aggregate sum above so the aggregate's float
+		// summation order (and therefore the disabled-path output)
+		// is bit-identical with counters on or off.
+		for _, gpm := range g.gpms {
+			var busyGPM float64
+			for _, sm := range gpm.sms {
+				busyGPM += sm.busy
+			}
+			stallGPM := dur*float64(len(gpm.sms)) - busyGPM
+			if stallGPM < 0 {
+				stallGPM = 0
+			}
+			gc := &g.col.GPMs[gpm.id]
+			gc.BusyCycles += busyGPM
+			gc.StallCycles += stallGPM
 		}
 	}
 	totalSMCycles := dur * float64(g.totalSMs())
@@ -340,10 +369,16 @@ func (g *GPU) access(sm *smState, t float64, m *trace.MemAccess, w *warpState, i
 		g.res.L1Accesses++
 		eng := w.eng
 		eng.counts.Txn[isa.TxnL1ToRF]++
+		if g.col != nil {
+			g.col.GPMs[gpm.id].L1Accesses++
+		}
 		if sm.l1.Access(addr) {
 			lineDone = lineStart + latL1Hit
 		} else {
 			g.res.L1Misses++
+			if g.col != nil {
+				g.col.GPMs[gpm.id].L1Misses++
+			}
 			if g.cfg.L2 == L2MemorySide && len(g.gpms) > 1 {
 				lineDone = g.fillMemorySide(eng, gpm, lineStart, addr, isStore)
 			} else {
@@ -370,12 +405,18 @@ func (g *GPU) access(sm *smState, t float64, m *trace.MemAccess, w *warpState, i
 func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr uint64, isStore bool) float64 {
 	eng.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
 	g.res.L2Accesses++
+	if g.col != nil {
+		g.col.GPMs[gpm.id].L2Accesses++
+	}
 	t2 := gpm.l2bw.Acquire(t, isa.LineBytes)
 	if gpm.l2.Access(addr) {
 		return t2 + latL2Hit
 	}
 	g.res.L2Misses++
 	eng.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
+	if g.col != nil {
+		g.col.GPMs[gpm.id].L2Misses++
+	}
 
 	home := 0
 	if len(g.gpms) > 1 {
@@ -384,9 +425,15 @@ func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	homeDRAM := g.gpms[home].dram
 	if home == gpm.id {
 		g.res.LocalLineFills++
+		if g.col != nil {
+			g.col.GPMs[gpm.id].LocalFills++
+		}
 		return homeDRAM.Acquire(t2, isa.LineBytes) + latDRAM
 	}
 	g.res.RemoteLineFills++
+	if g.col != nil {
+		g.col.GPMs[gpm.id].RemoteFills++
+	}
 	if isStore {
 		// Store data travels requester -> home, then is written at the
 		// home DRAM.
@@ -424,6 +471,12 @@ func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	}
 
 	g.res.L2Accesses++
+	if g.col != nil {
+		// Memory-side L2s live with their DRAM stack, so L2 counters
+		// attribute to the home module; fills keep requester-relative
+		// local/remote attribution (the module's NUMA exposure).
+		g.col.GPMs[home].L2Accesses++
+	}
 	t2 := homeGPM.l2bw.Acquire(arrive, isa.LineBytes)
 	var ready float64
 	if homeGPM.l2.Access(addr) {
@@ -431,10 +484,19 @@ func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	} else {
 		g.res.L2Misses++
 		eng.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
+		if g.col != nil {
+			g.col.GPMs[home].L2Misses++
+		}
 		if home == gpm.id {
 			g.res.LocalLineFills++
+			if g.col != nil {
+				g.col.GPMs[gpm.id].LocalFills++
+			}
 		} else {
 			g.res.RemoteLineFills++
+			if g.col != nil {
+				g.col.GPMs[gpm.id].RemoteFills++
+			}
 		}
 		ready = homeGPM.dram.Acquire(t2, isa.LineBytes) + latDRAM
 	}

@@ -1,0 +1,269 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+	"gpujoule/internal/workloads"
+)
+
+func obsApp(t *testing.T, name string) *trace.App {
+	t.Helper()
+	app, err := workloads.ByName(name, workloads.Params{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// stripCounters clones a result without its Counters snapshot, for
+// comparing the simulated aggregates of counted and uncounted runs.
+func stripCounters(r *sim.Result) sim.Result {
+	c := *r
+	c.Counters = nil
+	return c
+}
+
+func TestSimulateDisabledMatchesRun(t *testing.T) {
+	app := obsApp(t, "Stream")
+	cfg := sim.MultiGPM(4, sim.BW2x)
+
+	plain, err := sim.Simulate(context.Background(), cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Counters != nil {
+		t.Fatal("counters must be nil without WithCounters")
+	}
+	legacy, err := sim.Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, legacy) {
+		t.Error("Simulate without options must match the deprecated Run wrapper")
+	}
+}
+
+func TestCountersDoNotPerturbSimulation(t *testing.T) {
+	// The headline invariant: enabling counters must not change a
+	// single simulated number.
+	for _, cfg := range []sim.Config{
+		sim.MultiGPM(1, sim.BW2x),
+		sim.MultiGPM(4, sim.BW1x),
+		func() sim.Config { c := sim.MultiGPM(4, sim.BW2x); c.L2 = sim.L2MemorySide; return c }(),
+		func() sim.Config { c := sim.MultiGPM(4, sim.BW2x); c.Monolithic = true; return c }(),
+	} {
+		app := obsApp(t, "Kmeans")
+		plain, err := sim.Simulate(context.Background(), cfg, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counted, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counted.Counters == nil {
+			t.Fatalf("%s: WithCounters produced no snapshot", cfg.Name())
+		}
+		if !reflect.DeepEqual(*plain, stripCounters(counted)) {
+			t.Errorf("%s: counters perturbed the simulated aggregates", cfg.Name())
+		}
+	}
+}
+
+func TestCountersReconcileWithAggregates(t *testing.T) {
+	app := obsApp(t, "Stream")
+	cfg := sim.MultiGPM(4, sim.BW2x)
+	res, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if len(c.GPMs) != 4 {
+		t.Fatalf("got %d GPM entries, want 4", len(c.GPMs))
+	}
+
+	var l1a, l1m, l2a, l2m, local, remote, warpInst, threadInst uint64
+	var stalls float64
+	for _, g := range c.GPMs {
+		l1a += g.L1Accesses
+		l1m += g.L1Misses
+		l2a += g.L2Accesses
+		l2m += g.L2Misses
+		local += g.LocalFills
+		remote += g.RemoteFills
+		warpInst += g.WarpInstructions
+		threadInst += g.ThreadInstructions
+		stalls += g.StallCycles
+	}
+	if l1a != res.L1Accesses || l1m != res.L1Misses {
+		t.Errorf("L1 sums %d/%d != aggregates %d/%d", l1a, l1m, res.L1Accesses, res.L1Misses)
+	}
+	if l2a != res.L2Accesses || l2m != res.L2Misses {
+		t.Errorf("L2 sums %d/%d != aggregates %d/%d", l2a, l2m, res.L2Accesses, res.L2Misses)
+	}
+	if local != res.LocalLineFills || remote != res.RemoteLineFills {
+		t.Errorf("fill sums %d/%d != aggregates %d/%d",
+			local, remote, res.LocalLineFills, res.RemoteLineFills)
+	}
+
+	var wantWarp, wantThread uint64
+	for op := 0; op < isa.NumOps; op++ {
+		wantWarp += res.Counts.WarpInst[op]
+		wantThread += res.Counts.Inst[op]
+	}
+	if warpInst != wantWarp || threadInst != wantThread {
+		t.Errorf("instruction sums %d/%d != aggregates %d/%d",
+			warpInst, threadInst, wantWarp, wantThread)
+	}
+
+	// The aggregate truncates stalls to whole cycles once per launch;
+	// the per-GPM split keeps fractions, so they reconcile within one
+	// cycle per launch.
+	tol := float64(len(res.Launches)) + 1
+	if diff := math.Abs(stalls - float64(res.Counts.StallCycles)); diff > tol {
+		t.Errorf("stall sum %.2f vs aggregate %d (diff %.2f > tol %.2f)",
+			stalls, res.Counts.StallCycles, diff, tol)
+	}
+
+	// Every fabric-crossing sector shows up on exactly one link, so
+	// link bytes reconcile with the inter-GPM transaction class.
+	if got, want := c.TotalLinkBytes(), res.Counts.TotalTransactionBytes(isa.TxnInterGPM); got != want {
+		t.Errorf("link bytes %d != inter-GPM transaction bytes %d", got, want)
+	}
+	if len(c.Links) != 8 { // 4-GPM bidirectional ring: 2 links per module
+		t.Errorf("got %d link entries, want 8", len(c.Links))
+	}
+	for _, l := range c.Links {
+		if l.Utilization < 0 || l.Utilization > 1 {
+			t.Errorf("link %s utilization %g out of range", l.Link, l.Utilization)
+		}
+	}
+
+	// DRAM bytes served per module must cover the DRAM->L2 traffic.
+	var dramBytes uint64
+	for _, g := range c.GPMs {
+		dramBytes += g.DRAMBytes
+	}
+	if want := res.Counts.TotalTransactionBytes(isa.TxnDRAMToL2); dramBytes != want {
+		t.Errorf("DRAM bytes %d != DRAM->L2 transaction bytes %d", dramBytes, want)
+	}
+}
+
+func TestCountersMemorySideL2Reconcile(t *testing.T) {
+	app := obsApp(t, "Stream")
+	cfg := sim.MultiGPM(4, sim.BW2x)
+	cfg.L2 = sim.L2MemorySide
+	res, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l2a, l2m, fills uint64
+	for _, g := range res.Counters.GPMs {
+		l2a += g.L2Accesses
+		l2m += g.L2Misses
+		fills += g.LocalFills + g.RemoteFills
+	}
+	if l2a != res.L2Accesses || l2m != res.L2Misses {
+		t.Errorf("memory-side L2 sums %d/%d != aggregates %d/%d",
+			l2a, l2m, res.L2Accesses, res.L2Misses)
+	}
+	if fills != res.LocalLineFills+res.RemoteLineFills {
+		t.Errorf("fill sum %d != aggregate %d", fills, res.LocalLineFills+res.RemoteLineFills)
+	}
+}
+
+func TestCountersDeterministic(t *testing.T) {
+	app := obsApp(t, "Kmeans")
+	cfg := sim.MultiGPM(4, sim.BW2x)
+	a, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters(), sim.WithSampler(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters(), sim.WithSampler(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Counters, b.Counters) {
+		t.Error("counters differ between two identical runs")
+	}
+}
+
+func TestSamplerRecordsTimeline(t *testing.T) {
+	app := obsApp(t, "Stream")
+	res, err := sim.Simulate(context.Background(), sim.MultiGPM(2, sim.BW2x), app,
+		sim.WithSampler(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters == nil {
+		t.Fatal("WithSampler must imply WithCounters")
+	}
+	samples := res.Counters.Samples
+	if len(samples) == 0 {
+		t.Fatal("sampler recorded nothing")
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TimeCycles <= samples[i-1].TimeCycles {
+			t.Fatalf("sample times not strictly increasing: %g then %g",
+				samples[i-1].TimeCycles, samples[i].TimeCycles)
+		}
+		if samples[i].WarpInstructions < samples[i-1].WarpInstructions {
+			t.Fatalf("cumulative instructions decreased at sample %d", i)
+		}
+	}
+
+	// Disabled sampler: no samples.
+	plain, err := sim.Simulate(context.Background(), sim.MultiGPM(2, sim.BW2x), app,
+		sim.WithCounters(), sim.WithSampler(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Counters.Samples) != 0 {
+		t.Error("non-positive interval must disable sampling")
+	}
+}
+
+func TestSimulateContextCancellation(t *testing.T) {
+	app := obsApp(t, "Stream")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.Simulate(ctx, sim.MultiGPM(2, sim.BW2x), app); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Simulate returned %v, want context.Canceled", err)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*sim.Config)
+		want   error
+	}{
+		{func(c *sim.Config) { c.GPMs = 0 }, sim.ErrBadGPMCount},
+		{func(c *sim.Config) { c.GPMs = -3 }, sim.ErrBadGPMCount},
+		{func(c *sim.Config) { c.SMsPerGPM = 0 }, sim.ErrBadSMCount},
+		{func(c *sim.Config) { c.L1PerSMBytes = 0 }, sim.ErrBadCacheSize},
+		{func(c *sim.Config) { c.L2PerGPMBytes = -1 }, sim.ErrBadCacheSize},
+		{func(c *sim.Config) { c.DRAMBytesPerCycle = 0 }, sim.ErrBadBandwidth},
+	}
+	for _, tc := range cases {
+		cfg := sim.BaseGPM()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("Validate() = %v, want errors.Is(..., %v)", err, tc.want)
+		}
+		// The typed error must also surface through Simulate.
+		if _, serr := sim.Simulate(context.Background(), cfg, obsApp(t, "Stream")); !errors.Is(serr, tc.want) {
+			t.Errorf("Simulate() = %v, want errors.Is(..., %v)", serr, tc.want)
+		}
+	}
+	if err := sim.BaseGPM().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -2,18 +2,28 @@ package sim
 
 import (
 	"gpujoule/internal/isa"
+	"gpujoule/internal/obs"
 )
+
+// This file defines the simulator's result schema. The JSON field
+// names below are stable and documented (see DESIGN.md §Observability):
+// they are shared by the -counters export of cmd/sweep and cmd/gpmsim,
+// the harness reports, and any direct marshalling of Result. Renaming a
+// field is a breaking schema change and must bump obs.SchemaVersion;
+// the sweep CSV uses the same names for the columns it derives from
+// Result (cycles, seconds, l1_hit, l2_hit, remote_fill_frac, ...).
 
 // LaunchStats records one kernel launch's contribution to a run.
 type LaunchStats struct {
 	// Kernel is the kernel name.
-	Kernel string
+	Kernel string `json:"kernel"`
 	// Start and End are the launch's global start and completion times
 	// in cycles (End excludes the host-side gap that follows).
-	Start, End float64
+	Start float64 `json:"start_cycles"`
+	End   float64 `json:"end_cycles"`
 	// Counts holds the launch's event counts; Counts.Cycles is the
 	// launch duration.
-	Counts isa.Counts
+	Counts isa.Counts `json:"counts"`
 }
 
 // Duration returns the launch duration in cycles.
@@ -23,22 +33,30 @@ func (l *LaunchStats) Duration() float64 { return l.End - l.Start }
 // configuration.
 type Result struct {
 	// App is the application name.
-	App string
+	App string `json:"workload"`
 	// Config is the simulated machine.
-	Config Config
+	Config Config `json:"config"`
 	// Launches records every kernel launch in order.
-	Launches []LaunchStats
+	Launches []LaunchStats `json:"launches"`
 	// Counts aggregates all launches; Counts.Cycles is the end-to-end
 	// execution time in cycles including host-side inter-launch gaps.
-	Counts isa.Counts
+	Counts isa.Counts `json:"counts"`
 
 	// Cache diagnostics (aggregated over the whole run).
-	L1Accesses, L1Misses uint64
-	L2Accesses, L2Misses uint64
+	L1Accesses uint64 `json:"l1_accesses"`
+	L1Misses   uint64 `json:"l1_misses"`
+	L2Accesses uint64 `json:"l2_accesses"`
+	L2Misses   uint64 `json:"l2_misses"`
 	// RemoteLineFills counts L2 miss fills served by a remote GPM's DRAM.
-	RemoteLineFills uint64
+	RemoteLineFills uint64 `json:"remote_line_fills"`
 	// LocalLineFills counts L2 miss fills served by the local DRAM.
-	LocalLineFills uint64
+	LocalLineFills uint64 `json:"local_line_fills"`
+
+	// Counters is the per-GPM/per-link observability snapshot, present
+	// only when the run was simulated with WithCounters. Per-GPM sums
+	// reconcile with the aggregates above (exactly for event counts,
+	// within one cycle per launch for stall cycles).
+	Counters *obs.Counters `json:"counters,omitempty"`
 }
 
 // Cycles returns the end-to-end execution time in cycles.
@@ -69,3 +87,22 @@ func hitRate(accesses, misses uint64) float64 {
 	}
 	return 1 - float64(misses)/float64(accesses)
 }
+
+// Canonical metric column names derived from Result, shared by the
+// sweep CSV header, the counters export, and the harness reports so
+// every surface speaks one schema.
+const (
+	FieldCycles         = "cycles"
+	FieldSeconds        = "seconds"
+	FieldL1Hit          = "l1_hit"
+	FieldL2Hit          = "l2_hit"
+	FieldRemoteFillFrac = "remote_fill_frac"
+	FieldDRAMGB         = "dram_gb"
+	FieldInterGPMGB     = "intergpm_gb"
+	FieldStallFrac      = "stall_frac"
+	FieldSpeedup        = "speedup"
+	FieldEnergyJ        = "energy_j"
+	FieldEnergyRatio    = "energy_ratio"
+	FieldEDPSEPct       = "edpse_pct"
+	FieldAvgPowerW      = "avg_power_w"
+)

@@ -375,7 +375,7 @@ func TestAddressGenerationInRegionProperty(t *testing.T) {
 				Name: "k", Grid: 4, WarpsPerCTA: 2,
 				Body: []trace.Inst{{Op: isa.OpIAdd32}},
 			}}}}
-		g, err := NewGPU(MultiGPM(2, BW2x), app)
+		g, err := newGPU(MultiGPM(2, BW2x), app, simOptions{})
 		if err != nil {
 			return false
 		}

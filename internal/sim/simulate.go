@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/trace"
+)
+
+// Option configures one Simulate call. Options are additive: the
+// zero-option call is the fast path and produces output identical to
+// the pre-options simulator.
+type Option func(*simOptions)
+
+// simOptions collects the resolved option set.
+type simOptions struct {
+	counters       bool
+	sampleInterval float64
+}
+
+// WithCounters enables the observability layer: the returned Result
+// carries a Counters snapshot with per-GPM instruction/stall/cache
+// counters, the local-vs-remote fill split, and per-link fabric bytes
+// and queueing delay. Collection is deterministic (the simulator is
+// single-threaded per run) and costs one predictable branch per event
+// when enabled; without this option Result.Counters is nil and the
+// simulation path is untouched.
+func WithCounters() Option {
+	return func(o *simOptions) { o.counters = true }
+}
+
+// WithSampler additionally records a coarse time series: one
+// obs.Sample (active warps, pending CTAs, cumulative instructions)
+// every interval cycles, quantized to the simulator's epoch length.
+// WithSampler implies WithCounters. A non-positive interval disables
+// sampling.
+func WithSampler(interval float64) Option {
+	return func(o *simOptions) {
+		if interval > 0 {
+			o.counters = true
+			o.sampleInterval = interval
+		}
+	}
+}
+
+// Simulate runs the whole application on the configured GPU and
+// returns the result. It is the single entry point of the simulator:
+// one call validates the configuration and the application, builds the
+// GPU, executes every kernel launch in order, and aggregates the
+// counts the energy model consumes. The context is checked between
+// kernel launches, so a cancelled grid abandons a long multi-launch
+// run promptly; a nil ctx means context.Background().
+//
+// Simulate is a pure function of (cfg, app, opts): two calls with
+// equal arguments return identical results, which is what lets the run
+// engine (internal/runner) memoize simulations by canonical key.
+func Simulate(ctx context.Context, cfg Config, app *trace.App, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var o simOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	g, err := newGPU(cfg, app, o)
+	if err != nil {
+		return nil, err
+	}
+	return g.runAll(ctx)
+}
+
+// Run simulates the whole application and returns the result.
+//
+// Deprecated: Run is the pre-options entry point, kept as a thin
+// wrapper for one release. Use Simulate, which adds context
+// cancellation and observability options.
+func Run(cfg Config, app *trace.App) (*Result, error) {
+	return Simulate(context.Background(), cfg, app)
+}
+
+// finishCounters freezes the collector into the result's Counters
+// snapshot: fabric link stats become obs.LinkCounters (utilization
+// normalized over the run's end-to-end cycles), and each module's
+// DRAM/L2 bandwidth-resource counters are folded into its GPMCounters.
+func (g *GPU) finishCounters() {
+	horizon := float64(g.res.Counts.Cycles)
+	for _, gpm := range g.gpms {
+		gc := &g.col.GPMs[gpm.id]
+		gc.DRAMBytes = gpm.dram.BytesServed
+		gc.DRAMQueueCycles = gpm.dram.QueueCycles
+		gc.L2Bytes = gpm.l2bw.BytesServed
+		gc.L2QueueCycles = gpm.l2bw.QueueCycles
+	}
+	var links []obs.LinkCounters
+	if g.fabric != nil {
+		for _, ls := range g.fabric.LinkStats() {
+			util := 0.0
+			if horizon > 0 {
+				util = ls.BusyCycles / horizon
+				if util > 1 {
+					util = 1
+				}
+			}
+			links = append(links, obs.LinkCounters{
+				Link:        ls.Name,
+				Bytes:       ls.Bytes,
+				BusyCycles:  ls.BusyCycles,
+				QueueCycles: ls.QueueCycles,
+				Utilization: util,
+			})
+		}
+	}
+	g.res.Counters = g.col.Snapshot(links)
+}
+
+// cancelled wraps a context error into the simulator's error space.
+func cancelled(ctx context.Context) error {
+	return fmt.Errorf("sim: cancelled: %w", context.Cause(ctx))
+}

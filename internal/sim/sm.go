@@ -146,6 +146,11 @@ func (sm *smState) issue(w *warpState, eng *launchEngine) {
 
 	eng.counts.WarpInst[op]++
 	eng.counts.Inst[op] += uint64(active)
+	if col := eng.gpu.col; col != nil {
+		gc := &col.GPMs[sm.gpm.id]
+		gc.WarpInstructions++
+		gc.ThreadInstructions += uint64(active)
+	}
 
 	occ := float64(op.IssueCycles())
 
