@@ -29,12 +29,14 @@ import (
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
 	"gpujoule/internal/obs"
+	"gpujoule/internal/profiling"
 	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/workloads"
 )
 
 func main() {
+	prof := profiling.AddFlags()
 	name := flag.String("workload", "Stream", "Table II workload name (see -list)")
 	gpms := flag.Int("gpms", 4, "number of GPU modules (1, 2, 4, 8, 16, 32)")
 	bw := flag.String("bw", "2x", "inter-GPM bandwidth setting: 1x, 2x, or 4x")
@@ -52,6 +54,12 @@ func main() {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
 		return
 	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	app, err := workloads.ByName(*name, workloads.Params{Scale: *scale})
 	if err != nil {

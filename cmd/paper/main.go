@@ -20,11 +20,13 @@ import (
 	"strings"
 
 	"gpujoule/internal/harness"
+	"gpujoule/internal/profiling"
 	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 )
 
 func main() {
+	prof := profiling.AddFlags()
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 	only := flag.String("only", "", "regenerate a single experiment (see -list)")
 	markdown := flag.Bool("markdown", false, "emit the EXPERIMENTS.md reproduction record instead of plain tables")
@@ -34,6 +36,13 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	progress := flag.Bool("progress", false, "report simulation progress on stderr")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	names := []string{"table3", "table4", "table1b", "fig2", "fig4", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "linkenergy", "amortization", "headline", "ablation", "metrics", "perworkload",

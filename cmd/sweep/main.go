@@ -32,6 +32,7 @@ import (
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
 	"gpujoule/internal/obs"
+	"gpujoule/internal/profiling"
 	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
@@ -46,6 +47,7 @@ func main() {
 }
 
 func run() (err error) {
+	prof := profiling.AddFlags()
 	names := flag.String("workloads", "Stream,Kmeans,Lulesh-150,MiniAMR", "comma-separated Table II workloads")
 	all := flag.Bool("all", false, "sweep the full 14-workload evaluation subset")
 	gpms := flag.String("gpms", "1,2,4,8,16,32", "comma-separated module counts")
@@ -57,6 +59,12 @@ func run() (err error) {
 	progress := flag.Bool("progress", false, "report point progress on stderr")
 	countersOut := flag.String("counters", "", "write per-GPM/per-link counters JSON to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	params := workloads.Params{Scale: *scale}
 	var apps []*trace.App

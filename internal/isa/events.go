@@ -114,6 +114,17 @@ type Counts struct {
 	GPMCount int `json:"gpm_count"`
 }
 
+// TotalWarpInstructions returns the number of warp-level instructions
+// executed across all classes — the natural denominator for
+// per-instruction cost metrics (simulator throughput, EPI).
+func (c *Counts) TotalWarpInstructions() uint64 {
+	var n uint64
+	for _, v := range c.WarpInst {
+		n += v
+	}
+	return n
+}
+
 // Add accumulates o into c (element-wise; Cycles takes the max, since
 // kernels on different GPMs overlap in time).
 func (c *Counts) Add(o *Counts) {

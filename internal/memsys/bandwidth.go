@@ -19,9 +19,23 @@ type BWResource struct {
 	rate float64 // bytes per cycle
 
 	bucketCycles float64
-	bucketCap    float64 // bytes per bucket
+	// invBucket is 1/bucketCycles, hoisting the bucket-index division
+	// out of Acquire. The bucket width is a power of two, so the
+	// reciprocal is exact and multiplying by it rounds identically to
+	// dividing.
+	invBucket float64
+	bucketCap float64 // bytes per bucket
 	used         []float64
+	mask         int64 // len(used)-1; the window length is a power of two
 	base         int64 // bucket index of the window start
+
+	// minFree is a skip hint: every bucket with index in [base, minFree)
+	// is known full, so a request arriving below it starts its walk at
+	// minFree instead of re-walking saturated buckets. Buckets only gain
+	// load (until Reset or window-slide reuse, which both touch indexes
+	// at or above minFree), so the hint never skips usable capacity and
+	// completion times are unchanged.
+	minFree int64
 
 	// BytesServed accumulates total payload moved.
 	BytesServed uint64
@@ -38,6 +52,8 @@ const (
 	// defaultWindowBuckets is the sliding-window length; the window
 	// must comfortably exceed the largest spread between concurrently
 	// outstanding request times (epoch length plus worst-case latency).
+	// Must be a power of two: bucket indexes wrap with a mask, not a
+	// division, on the per-line Acquire path.
 	defaultWindowBuckets = 4096
 )
 
@@ -51,8 +67,10 @@ func NewBWResource(name string, bytesPerCycle float64) *BWResource {
 		name:         name,
 		rate:         bytesPerCycle,
 		bucketCycles: defaultBucketCycles,
+		invBucket:    1.0 / defaultBucketCycles,
 		bucketCap:    bytesPerCycle * defaultBucketCycles,
 		used:         make([]float64, defaultWindowBuckets),
+		mask:         defaultWindowBuckets - 1,
 	}
 }
 
@@ -69,18 +87,29 @@ func (r *BWResource) Acquire(now float64, bytes int) float64 {
 	if now < 0 {
 		now = 0
 	}
-	idx := int64(now / r.bucketCycles)
+	idx := int64(now * r.invBucket)
 	if idx < r.base {
 		// Straggler older than the window: charge it at the window
 		// start (slightly pessimistic, bounded by the window span).
 		idx = r.base
 	}
+	if idx < r.minFree {
+		// Skip buckets the hint proves full; the walk below would pass
+		// over them without taking capacity anyway.
+		idx = r.minFree
+	}
+	start := idx
 	remaining := float64(bytes)
 	var lastIdx int64
 	var lastFill float64
+	n := int64(len(r.used))
 	for {
-		r.ensure(idx)
-		slot := &r.used[idx%int64(len(r.used))]
+		if idx >= r.base+n {
+			// Slow path hoisted out of ensure so the in-window check
+			// stays inline in the walk.
+			r.ensure(idx)
+		}
+		slot := &r.used[idx&r.mask]
 		if free := r.bucketCap - *slot; free > 0 {
 			take := free
 			if remaining < take {
@@ -96,13 +125,20 @@ func (r *BWResource) Acquire(now float64, bytes int) float64 {
 		}
 		idx++
 	}
+	// The walk filled every bucket in [start, lastIdx) to capacity; when
+	// it started at or below the hint, fullness is contiguous from the
+	// window start and the hint advances.
+	if start <= r.minFree && lastIdx > r.minFree {
+		r.minFree = lastIdx
+	}
 	r.BytesServed += uint64(bytes)
 
+	unloaded := now + float64(bytes)/r.rate
 	completion := float64(lastIdx)*r.bucketCycles + lastFill/r.rate
-	if min := now + float64(bytes)/r.rate; completion < min {
-		completion = min
+	if completion < unloaded {
+		completion = unloaded
 	}
-	r.QueueCycles += completion - (now + float64(bytes)/r.rate)
+	r.QueueCycles += completion - unloaded
 	return completion
 }
 
@@ -120,7 +156,7 @@ func (r *BWResource) ensure(idx int64) {
 		}
 	} else {
 		for i := r.base; i < newBase; i++ {
-			r.used[i%n] = 0
+			r.used[i&r.mask] = 0
 		}
 	}
 	r.base = newBase
@@ -148,6 +184,7 @@ func (r *BWResource) Reset() {
 		r.used[i] = 0
 	}
 	r.base = 0
+	r.minFree = 0
 	r.BytesServed = 0
 	r.QueueCycles = 0
 }

@@ -1,0 +1,76 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPageTableHome measures the lookup cost the simulator pays on
+// every L2 miss and every memory-side access, on a table shaped like
+// the simulator's: a contiguous reserved layout served by the dense
+// backing, with a stream of addresses that revisits assigned pages.
+func BenchmarkPageTableHome(b *testing.B) {
+	const base = uint64(16 * 1024 * 1024)
+	const bytes = uint64(256 * 1024 * 1024)
+
+	bench := func(b *testing.B, dense bool) {
+		pt := NewPageTable(8)
+		if dense {
+			pt.Reserve(base, bytes)
+		}
+		pages := bytes / PageBytes
+		rng := rand.New(rand.NewSource(1))
+		addrs := make([]uint64, 4096)
+		for i := range addrs {
+			addrs[i] = base + (rng.Uint64()%pages)*PageBytes
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pt.Home(addrs[i&(len(addrs)-1)], i&7)
+		}
+	}
+
+	// dense is the simulator's configuration (newGPU reserves the whole
+	// layout); map is the fallback for out-of-range addresses and the
+	// pre-rewrite cost for every lookup.
+	b.Run("dense", func(b *testing.B) { bench(b, true) })
+	b.Run("map", func(b *testing.B) { bench(b, false) })
+}
+
+// BenchmarkBWAcquire measures the per-line-fill reservation cost at two
+// operating points: uncontended (every request fits its arrival
+// bucket) and saturated (requests spill forward and the walk leans on
+// the first-non-full hint).
+func BenchmarkBWAcquire(b *testing.B) {
+	b.Run("uncontended", func(b *testing.B) {
+		r := NewBWResource("bench", 256)
+		for i := 0; i < b.N; i++ {
+			r.Acquire(float64(i)*4, 128)
+		}
+	})
+	b.Run("saturated", func(b *testing.B) {
+		// Offered load of 4x the service rate: the hint must keep the
+		// walk O(1) amortized instead of re-walking full buckets.
+		r := NewBWResource("bench", 32)
+		for i := 0; i < b.N; i++ {
+			r.Acquire(float64(i), 128)
+		}
+	})
+}
+
+// BenchmarkCacheAccess measures the tag-lookup cost of the simulator's
+// L1/L2 geometry on a mixed hit/miss stream (a working set ~2x the
+// cache), the per-line cost of every simulated memory access.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := MustNewCache(2*1024*1024, 16)
+	lines := uint64(c.Lines()) * 2
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = (rng.Uint64() % lines) * 128
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(len(addrs)-1)])
+	}
+}

@@ -10,18 +10,41 @@ const PageBytes = 64 * 1024
 // PageTable maps pages of the global address space to home GPMs. It
 // implements first-touch placement (the configuration of §V-A1) and
 // striped placement for pre-placed data.
+//
+// Lookups are served from a dense array when the caller reserves the
+// address range it will lay data out in (Reserve): the simulator's
+// region layout is contiguous from a fixed base, so Home — called on
+// every L2 miss and every memory-side access — becomes an array index
+// instead of a map probe. Addresses outside the reserved range fall
+// back to a map, so the table stays correct for arbitrary addresses.
 type PageTable struct {
-	gpms  int
+	gpms int
+
+	// densePage is the first page of the reserved range; dense[i] is the
+	// home of page densePage+i, or unassignedHome.
+	densePage uint64
+	dense     []int16
+
+	// homes backs pages outside the reserved range.
 	homes map[uint64]int
+
+	// assigned counts pages with homes across both backings.
+	assigned int
 
 	// FirstTouchAssignments counts pages homed by first touch.
 	FirstTouchAssignments uint64
 }
 
+// unassignedHome marks a dense slot with no home yet.
+const unassignedHome = int16(-1)
+
 // NewPageTable returns a page table for a GPU with the given GPM count.
 func NewPageTable(gpms int) *PageTable {
 	if gpms <= 0 {
 		panic(fmt.Sprintf("memsys: page table needs positive GPM count, got %d", gpms))
+	}
+	if gpms > 1<<15-1 {
+		panic(fmt.Sprintf("memsys: page table GPM count %d exceeds dense-home range", gpms))
 	}
 	return &PageTable{gpms: gpms, homes: make(map[uint64]int)}
 }
@@ -29,25 +52,69 @@ func NewPageTable(gpms int) *PageTable {
 // GPMs returns the number of modules the table distributes pages over.
 func (pt *PageTable) GPMs() int { return pt.gpms }
 
+// Reserve backs the pages of [base, base+bytes) with the dense array.
+// It must be called before any page is assigned (the simulator reserves
+// its whole region layout right after computing it); reserving twice or
+// after an assignment panics.
+func (pt *PageTable) Reserve(base, bytes uint64) {
+	if pt.dense != nil || pt.assigned > 0 {
+		panic("memsys: page table Reserve after use")
+	}
+	if bytes == 0 {
+		return
+	}
+	first := base / PageBytes
+	last := (base + bytes - 1) / PageBytes
+	pt.densePage = first
+	pt.dense = make([]int16, last-first+1)
+	for i := range pt.dense {
+		pt.dense[i] = unassignedHome
+	}
+}
+
 // Home returns the home GPM of the page containing addr, assigning it
 // to toucher (the GPM issuing the access) if the page is untouched.
 func (pt *PageTable) Home(addr uint64, toucher int) int {
 	page := addr / PageBytes
+	// Unsigned subtraction: pages below densePage wrap to huge values
+	// and fail the bound check, taking the map path.
+	if i := page - pt.densePage; i < uint64(len(pt.dense)) {
+		if home := pt.dense[i]; home != unassignedHome {
+			return int(home)
+		}
+		pt.checkToucher(toucher)
+		pt.dense[i] = int16(toucher)
+		pt.assigned++
+		pt.FirstTouchAssignments++
+		return toucher
+	}
 	if home, ok := pt.homes[page]; ok {
 		return home
 	}
+	pt.checkToucher(toucher)
+	pt.homes[page] = toucher
+	pt.assigned++
+	pt.FirstTouchAssignments++
+	return toucher
+}
+
+func (pt *PageTable) checkToucher(toucher int) {
 	if toucher < 0 || toucher >= pt.gpms {
 		panic(fmt.Sprintf("memsys: toucher GPM %d out of range [0,%d)", toucher, pt.gpms))
 	}
-	pt.homes[page] = toucher
-	pt.FirstTouchAssignments++
-	return toucher
 }
 
 // Lookup returns the home of the page containing addr without
 // assigning, and whether it was assigned.
 func (pt *PageTable) Lookup(addr uint64) (int, bool) {
-	home, ok := pt.homes[addr/PageBytes]
+	page := addr / PageBytes
+	if i := page - pt.densePage; i < uint64(len(pt.dense)) {
+		if home := pt.dense[i]; home != unassignedHome {
+			return int(home), true
+		}
+		return 0, false
+	}
+	home, ok := pt.homes[page]
 	return home, ok
 }
 
@@ -58,18 +125,32 @@ func (pt *PageTable) Stripe(base, bytes uint64) {
 	first := base / PageBytes
 	last := (base + bytes - 1) / PageBytes
 	for page := first; page <= last; page++ {
+		home := int(page % uint64(pt.gpms))
+		if i := page - pt.densePage; i < uint64(len(pt.dense)) {
+			if pt.dense[i] == unassignedHome {
+				pt.dense[i] = int16(home)
+				pt.assigned++
+			}
+			continue
+		}
 		if _, ok := pt.homes[page]; !ok {
-			pt.homes[page] = int(page % uint64(pt.gpms))
+			pt.homes[page] = home
+			pt.assigned++
 		}
 	}
 }
 
 // Pages returns the number of pages with assigned homes.
-func (pt *PageTable) Pages() int { return len(pt.homes) }
+func (pt *PageTable) Pages() int { return pt.assigned }
 
 // Distribution returns the number of pages homed on each GPM.
 func (pt *PageTable) Distribution() []int {
 	dist := make([]int, pt.gpms)
+	for _, home := range pt.dense {
+		if home != unassignedHome {
+			dist[home]++
+		}
+	}
 	for _, home := range pt.homes {
 		dist[home]++
 	}

@@ -201,6 +201,12 @@ type PointProfile struct {
 	Point string `json:"point"`
 	// Seconds is the point's simulation wall time.
 	Seconds float64 `json:"seconds"`
+	// NsPerInstruction is the simulator's cost per simulated warp
+	// instruction at this point — the normalized throughput number that
+	// makes points of different sizes comparable and hot-path
+	// regressions visible regardless of grid shape. Zero when the point
+	// issued no instructions.
+	NsPerInstruction float64 `json:"ns_per_instruction,omitempty"`
 }
 
 // RunnerProfile summarizes a run engine's execution: where the wall

@@ -1,0 +1,63 @@
+// Package profiling wires the standard pprof collectors into the
+// repo's CLIs with two flags, so any slow sweep can be profiled in
+// place (see the Profiling section of the README).
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations selected on a command line.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag
+// set and returns the destination holder. Call Start after flag.Parse.
+func AddFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The stop
+// function must run on the normal exit path (defer it in main); error
+// exits through os.Exit lose the profiles, as with net/http/pprof.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

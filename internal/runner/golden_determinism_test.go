@@ -1,0 +1,117 @@
+package runner_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/runner"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+// goldenApp is a small app that exercises every scheduler and memory
+// path the hot-path rewrite touched: two kernels (one barriered and
+// shared-memory heavy, one a strided global streamer with stores),
+// multiple launches, and enough CTAs to spread over several GPMs with
+// warps retiring at different times.
+func goldenApp() *trace.App {
+	compute := &trace.Kernel{
+		Name:        "golden-compute",
+		Grid:        24,
+		WarpsPerCTA: 8,
+		Iters:       6,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn, Lines: 2}},
+			{Op: isa.OpFFMA32, Times: 4},
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpBarrier},
+			{Op: isa.OpFAdd32, Times: 2},
+			{Op: isa.OpStoreShared},
+		},
+	}
+	stream := &trace.Kernel{
+		Name:        "golden-stream",
+		Grid:        17, // deliberately not a multiple of the GPM count
+		WarpsPerCTA: 4,
+		Iters:       9,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn, Lines: 4}},
+			{Op: isa.OpIAdd32},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn, Lines: 4}},
+		},
+	}
+	return &trace.App{
+		Name:     "golden-determinism",
+		Category: trace.CategoryMemory,
+		Regions: []trace.Region{
+			{Name: "a", Bytes: 8 << 20},
+			{Name: "b", Bytes: 16 << 20},
+		},
+		Launches: []trace.Launch{
+			{Kernel: compute, Count: 2},
+			{Kernel: stream, Count: 2},
+			{Kernel: compute},
+		},
+	}
+}
+
+// marshal renders a result the way the export tools do — the full JSON
+// Result including the counters snapshot — so "byte-identical" means
+// the serialized form users actually diff.
+func marshalResult(t *testing.T, res *sim.Result) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenDeterminism is the regression tripwire for the scheduler /
+// page-table / allocation-reuse rewrite: a multi-GPM, multi-kernel app
+// simulated twice on fresh GPUs, and once more through the run engine
+// at 4 workers, must produce byte-identical JSON results and counters.
+// Any hidden shared state, pool-reuse contamination, or
+// selection-order drift shows up here as a diff.
+func TestGoldenDeterminism(t *testing.T) {
+	app := goldenApp()
+	cfg := sim.MultiGPM(4, sim.BW2x)
+
+	first, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, sb := marshalResult(t, first), marshalResult(t, second)
+	if !bytes.Equal(fb, sb) {
+		t.Fatalf("two fresh simulations differ:\nfirst:\n%s\nsecond:\n%s", fb, sb)
+	}
+
+	// The same point through the engine at 4 workers, alongside sibling
+	// points that keep the other workers busy while it runs.
+	eng := runner.New(runner.Options{Workers: 4, Counters: true})
+	pts := []runner.Point{
+		{App: app, Scale: 1, Config: cfg},
+		{App: app, Scale: 1, Config: sim.MultiGPM(2, sim.BW2x)},
+		{App: app, Scale: 1, Config: sim.MultiGPM(1, sim.BW1x)},
+		{App: app, Scale: 1, Config: sim.MultiGPM(4, sim.BW1x)},
+	}
+	results, err := eng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := marshalResult(t, results[0])
+	if !bytes.Equal(fb, pb) {
+		t.Fatalf("engine result at 4 workers differs from fresh simulation:\nfresh:\n%s\nengine:\n%s", fb, pb)
+	}
+
+	if first.Counters == nil || results[0].Counters == nil {
+		t.Fatal("counters snapshot missing from a WithCounters run")
+	}
+}

@@ -326,10 +326,14 @@ func (e *Engine) resolve(j job, res *sim.Result, err error, elapsed time.Duratio
 	} else {
 		e.stats.Simulated++
 		e.stats.SimWall += elapsed
-		e.timings = append(e.timings, obs.PointProfile{
+		pp := obs.PointProfile{
 			Point:   j.pt.String(),
 			Seconds: elapsed.Seconds(),
-		})
+		}
+		if insts := res.Counts.TotalWarpInstructions(); insts > 0 {
+			pp.NsPerInstruction = float64(elapsed.Nanoseconds()) / float64(insts)
+		}
+		e.timings = append(e.timings, pp)
 	}
 	e.mu.Unlock()
 	close(j.ent.done)

@@ -29,6 +29,11 @@ type GPU struct {
 	app  *trace.App
 	time float64 // global clock in cycles, advances across launches
 
+	// progs memoizes the predigested body of each kernel, so repeated
+	// launches of the same kernel (the common case: Launch.Count > 1)
+	// build it once.
+	progs map[*trace.Kernel]*launchProg
+
 	res *Result
 
 	// col is the opt-in observability collector; nil when counters are
@@ -96,8 +101,18 @@ func newGPU(cfg Config, app *trace.App, o simOptions) (*GPU, error) {
 		app:   app,
 	}
 
-	// Region layout: page-aligned, disjoint, deterministic.
-	base := uint64(16 * 1024 * 1024)
+	// Region layout: page-aligned, disjoint, deterministic. The layout
+	// is contiguous from layoutBase, so the page table serves the whole
+	// range from its dense backing (Reserve) and Home lookups on the
+	// miss paths are array indexes rather than map probes.
+	const layoutBase = uint64(16 * 1024 * 1024)
+	var totalPages uint64
+	for _, r := range app.Regions {
+		totalPages += (r.Bytes + memsys.PageBytes - 1) / memsys.PageBytes
+	}
+	g.pages.Reserve(layoutBase, totalPages*memsys.PageBytes)
+
+	base := layoutBase
 	g.regionBase = make([]uint64, len(app.Regions))
 	g.regionLines = make([]uint64, len(app.Regions))
 	for i, r := range app.Regions {
@@ -219,9 +234,19 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 		}
 	}
 
+	prog := g.progs[k]
+	if prog == nil {
+		prog = buildProg(k)
+		if g.progs == nil {
+			g.progs = make(map[*trace.Kernel]*launchProg)
+		}
+		g.progs[k] = prog
+	}
+
 	eng := &launchEngine{
 		gpu:    g,
 		kernel: k,
+		prog:   prog,
 		start:  start,
 		end:    start,
 	}
@@ -237,7 +262,11 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 		progressed := false
 		for _, gpm := range g.gpms {
 			for _, sm := range gpm.sms {
-				if sm.advance(until, eng) {
+				p, err := sm.advance(until, eng)
+				if err != nil {
+					return err
+				}
+				if p {
 					progressed = true
 				}
 			}
@@ -247,6 +276,13 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 			// the epoch window forward to the earliest ready time to
 			// avoid spinning through empty epochs.
 			next := eng.earliestReady(g)
+			if math.IsInf(next, 1) {
+				// Every active warp on every SM is blocked at a
+				// barrier: a malformed kernel, not a slow one. Fail the
+				// run instead of fast-forwarding to infinity.
+				return fmt.Errorf("sim: kernel %q: %d active warps all blocked at barriers: %w",
+					k.Name, eng.activeWarps, ErrDeadlock)
+			}
 			if next > until {
 				until = next - epoch
 			}
@@ -329,20 +365,23 @@ func (g *GPU) pendingCTAs() int {
 type launchEngine struct {
 	gpu         *GPU
 	kernel      *trace.Kernel
+	prog        *launchProg
 	counts      isa.Counts
 	start, end  float64
 	activeWarps int
 }
 
-// earliestReady scans all resident warps for the minimum ready time,
-// used to fast-forward across long idle periods.
+// earliestReady returns the minimum ready time over all runnable
+// warps, used to fast-forward across long idle periods. Each SM's
+// ready-queue root is its per-SM minimum, so the global sweep is a min
+// over tree roots instead of over every resident warp.
 func (eng *launchEngine) earliestReady(g *GPU) float64 {
 	min := math.Inf(1)
 	for _, gpm := range g.gpms {
 		for _, sm := range gpm.sms {
-			for _, w := range sm.warps {
-				if !w.blocked && w.readyAt < min {
-					min = w.readyAt
+			if sm.rq.len() > 0 {
+				if r := sm.rq.rootReadyAt(); r < min {
+					min = r
 				}
 			}
 		}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/trace"
+)
+
+// schedApp builds a compute-dominated app whose cost is almost
+// entirely scheduler work: a mix of issue latencies so the ready queue
+// sees realistic key movement, and a tiny cached footprint so the
+// memory system stays out of the measurement.
+func schedApp(ctas, warpsPerCTA, iters int) *trace.App {
+	k := &trace.Kernel{
+		Name:        "sched",
+		Grid:        ctas,
+		WarpsPerCTA: warpsPerCTA,
+		Iters:       iters,
+		Body: []trace.Inst{
+			{Op: isa.OpFFMA32, Times: 4},
+			{Op: isa.OpFAdd32, Times: 2},
+			{Op: isa.OpIAdd32, Times: 2},
+			{Op: isa.OpFFMA64},
+		},
+	}
+	return &trace.App{
+		Name:     "sched-bench",
+		Category: trace.CategoryCompute,
+		Regions:  []trace.Region{{Name: "a", Bytes: 1 << 20}},
+		Launches: []trace.Launch{{Kernel: k}},
+	}
+}
+
+// BenchmarkSMAdvance measures per-instruction scheduler cost on one SM
+// as resident warps grow from 8 to 64 (1 to 8 CTAs of 8 warps). With
+// the indexed ready queue the reported ns/inst must grow sub-linearly
+// in the warp count — the heap sift is O(log W) where the replaced
+// linear scan was O(W).
+func BenchmarkSMAdvance(b *testing.B) {
+	for _, ctas := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("warps=%d", ctas*8), func(b *testing.B) {
+			cfg := MultiGPM(1, BW2x)
+			cfg.SMsPerGPM = 1
+			cfg.MaxCTAsPerSM = ctas
+			// Grid sized so the SM stays at full residency for almost
+			// the whole run regardless of the CTA limit.
+			app := schedApp(8*ctas, 8, 32)
+
+			res, err := Run(cfg, app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts := res.Counts.TotalWarpInstructions()
+			if insts == 0 {
+				b.Fatal("no instructions issued")
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, app); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(insts), "ns/inst")
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"gpujoule/internal/isa"
+	"gpujoule/internal/trace"
+)
+
+// instRec is one kernel-body instruction with everything the per-issue
+// hot path needs predigested: opcode tables (issue cycles, latency),
+// the active-thread count, and the op-class dispatch collapse into one
+// record load instead of a chain of method calls and int-to-float
+// conversions per issued instruction. Times-compressed repeats keep
+// their per-issue semantics — only the lookups are hoisted, so issue
+// order, clock arithmetic (including float addition order), and every
+// counter update are unchanged.
+type instRec struct {
+	// occ is the issue occupancy in cycles; for global-memory ops it
+	// already includes the lines-1 divergence serialization.
+	occ float64
+	// lat is the post-issue dependency latency added (separately, to
+	// keep the historical float addition order) to sm.clock + occ for
+	// the simple kinds; latStore for global stores; latShared for
+	// shared ops.
+	lat    float64
+	active uint64
+	repeat int32
+	kind   uint8
+	op     isa.Op
+	store  bool
+	mem    *trace.MemAccess
+}
+
+// Instruction kinds, collapsing the op-class predicates the issue path
+// used to evaluate per instruction.
+const (
+	recSimple uint8 = iota // compute, branch, nop: ready = clock + occ + lat
+	recGlobal              // global load/store through the memory system
+	recShared              // shared-memory access
+	recBarrier
+	recExit
+)
+
+// launchProg is the predigested body of one kernel plus its effective
+// iteration count.
+type launchProg struct {
+	body  []instRec
+	iters int
+}
+
+// buildProg predigests a kernel body. Called once per kernel per GPU
+// (memoized in GPU.progs), not per launch, so repeated launches of the
+// same kernel allocate nothing.
+func buildProg(k *trace.Kernel) *launchProg {
+	p := &launchProg{iters: k.EffIters(), body: make([]instRec, len(k.Body))}
+	for i := range k.Body {
+		inst := &k.Body[i]
+		op := inst.Op
+		rec := instRec{
+			occ:    float64(op.IssueCycles()),
+			active: uint64(inst.ActiveThreads()),
+			repeat: int32(inst.Repeat()),
+			op:     op,
+			mem:    inst.Mem,
+		}
+		switch {
+		case op.IsGlobalMemory():
+			rec.kind = recGlobal
+			lines := int(inst.Mem.Lines)
+			if lines <= 0 {
+				lines = 1
+			}
+			// A divergent access occupies the LSU for one cycle per
+			// distinct line. Integer-valued floats, so folding the sum
+			// into the record is exact.
+			rec.occ += float64(lines - 1)
+			rec.lat = latStore
+			rec.store = op == isa.OpStoreGlobal
+		case op.IsShared():
+			rec.kind = recShared
+			rec.lat = latShared
+		case op == isa.OpBarrier:
+			rec.kind = recBarrier
+		case op == isa.OpExit:
+			rec.kind = recExit
+		default:
+			rec.kind = recSimple
+			rec.lat = float64(op.Latency())
+		}
+		p.body[i] = rec
+	}
+	return p
+}

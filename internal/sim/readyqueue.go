@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// readyQueue indexes the schedulable (resident, unblocked) warps of one
+// SM for the scheduler's oldest-ready-first pick. It replaces the
+// original pick loop — a pointer-chasing walk over []*warpState that
+// loaded each warp struct to read readyAt and blocked — with a winner
+// (tournament) tree over one dense array of (readyAt, pos) pairs: the
+// pick is an O(1) read of the tree root and every update replays one
+// fixed leaf-to-root path of log2(W) two-child minima.
+//
+// Determinism: the scheduler must select the *first* warp in sm.warps
+// slice order among those with the minimum readyAt (strict `<`
+// comparison), and retire reorders that slice with a swap-remove. The
+// tree therefore orders entries by (readyAt, pos) — the warp's live
+// index in sm.warps, maintained through every append and swap-remove —
+// rather than by the kernel-global warp id, so the selection order
+// (and with it every counter and timestamp the simulator emits) is
+// bit-identical to the historical walk's. (readyAt, pos) is a total
+// order: positions are unique within an SM, so the minimum is unique
+// and the pick does not depend on the tree's evaluation order.
+//
+// Why a tournament tree and not a binary heap or a rescan: this
+// structure is exercised once per simulated instruction, and almost
+// every issue moves the just-issued warp's key past most of the others
+// (readyAt jumps by an instruction latency). A heap then pays a
+// near-full-depth sift-down whose memory addresses depend on each
+// level's compare (a serial chain of mispredict-prone dependent
+// loads), and a flat rescan pays O(W) per pick. The winner tree's
+// update path is fixed by the leaf position alone, so the loads for
+// all log2(W) levels issue independently of the compare outcomes, and
+// the root read needs no work at all.
+//
+// The ready times are compared as IEEE-754 bit patterns: simulation
+// times are always non-negative (clocks start at zero and latencies
+// are positive), and for non-negative doubles the unsigned bit
+// patterns order exactly as the values do. Off-queue leaves hold
+// offKey, which no real time can reach, so they lose every match
+// without a membership test.
+//
+// Membership protocol: a warp is queued exactly while it is resident
+// and not blocked at a barrier. Blocking removes it, barrier release
+// re-pushes it, retirement removes it for good; a retire's swap-remove
+// that moves a queued sibling to a lower pos re-keys it with repos.
+type readyQueue struct {
+	// t is the tree: 2*cap entries, with t[cap+pos] the leaf for
+	// sm.warps[pos] (offKey while off-queue or beyond len(sm.warps)),
+	// t[node] = min(t[2*node], t[2*node+1]) for internal nodes, and
+	// t[1] the overall winner. t[0] is unused.
+	t   []rqEntry
+	cap int // leaf count, a power of two >= len(sm.warps)
+	n   int // number of queued warps
+}
+
+// rqEntry is one tree slot: a warp's sort key. The warp is
+// sm.warps[pos]. The ready time is stored as its IEEE-754 bit pattern
+// so the (readyAt, pos) tuple order is exactly the 128-bit unsigned
+// order of key:pos.
+type rqEntry struct {
+	key uint64 // math.Float64bits(readyAt), or offKey
+	pos uint64 // index in sm.warps
+}
+
+// offKey marks an off-queue leaf. It is the all-ones pattern, strictly
+// above every real time's bit pattern (at most the +Inf pattern
+// 0x7FF0…), so off leaves lose every strict-< match.
+const offKey = ^uint64(0)
+
+func (e rqEntry) less(o rqEntry) bool {
+	return e.key < o.key || (e.key == o.key && e.pos < o.pos)
+}
+
+// reset empties the queue (start of a launch), keeping its capacity.
+func (q *readyQueue) reset() {
+	q.n = 0
+	for i := 1; i < q.cap; i++ {
+		q.t[i] = rqEntry{key: offKey}
+	}
+	for i := 0; i < q.cap; i++ {
+		q.t[q.cap+i] = rqEntry{key: offKey, pos: uint64(i)}
+	}
+}
+
+// len returns the number of queued warps.
+func (q *readyQueue) len() int { return q.n }
+
+// rootPos returns the sm.warps index of the scheduler's next pick —
+// the queued warp minimizing (readyAt, pos). Only valid when len() > 0.
+func (q *readyQueue) rootPos() int { return int(q.t[1].pos) }
+
+// rootReadyAt returns the pick's ready time. Only valid when len() > 0.
+func (q *readyQueue) rootReadyAt() float64 { return math.Float64frombits(q.t[1].key) }
+
+// queued reports whether the warp at slice position pos is in the
+// queue.
+func (q *readyQueue) queued(pos int) bool { return q.t[q.cap+pos].key != offKey }
+
+// push adds the warp at slice position pos with the given ready time,
+// growing the tree when refill appends past its capacity.
+func (q *readyQueue) push(pos int, readyAt float64) {
+	if pos >= q.cap {
+		q.grow(pos)
+	}
+	q.t[q.cap+pos].key = math.Float64bits(readyAt)
+	q.n++
+	q.replay(pos)
+}
+
+// remove takes the warp at slice position pos out of the queue
+// (barrier block or retirement).
+func (q *readyQueue) remove(pos int) {
+	q.t[q.cap+pos].key = offKey
+	q.n--
+	q.replay(pos)
+}
+
+// fix updates the ready time of the queued warp at slice position pos
+// (it grew after an issue).
+func (q *readyQueue) fix(pos int, readyAt float64) {
+	q.t[q.cap+pos].key = math.Float64bits(readyAt)
+	q.replay(pos)
+}
+
+// repos records that retire's swap-remove moved the warp at slice
+// position from (the last position) to position to. The moved warp
+// keeps its key — queued or off — at its new position.
+func (q *readyQueue) repos(from, to int) {
+	q.t[q.cap+to].key = q.t[q.cap+from].key
+	q.replay(to)
+	q.t[q.cap+from].key = offKey
+	q.replay(from)
+}
+
+// shrink drops the last slice position (retire removed the last warp,
+// nothing moved). The leaf is already off — remove ran first — so the
+// tree needs no work; capacity is sticky.
+func (q *readyQueue) shrink() {}
+
+// replay recomputes the internal minima on the path from leaf pos to
+// the root after that leaf's key changed. The running winner rides in
+// registers: at each level only the path node's sibling is loaded —
+// its address depends on pos alone, so all the loads issue
+// independently of the compares — and the parent store never feeds a
+// later load. The match itself is branchless: the (readyAt, pos) order
+// is the 128-bit unsigned order of key:pos, evaluated as a borrow
+// chain whose result selects the winner without a data-dependent
+// branch — match outcomes are close to random, so a branching select
+// would mispredict heavily.
+func (q *readyQueue) replay(pos int) {
+	t := q.t
+	i := q.cap + pos
+	cand := t[i]
+	for i > 1 {
+		sib := t[i^1]
+		_, borrow := bits.Sub64(sib.pos, cand.pos, 0)
+		_, borrow = bits.Sub64(sib.key, cand.key, borrow)
+		if borrow != 0 { // sib < cand as the 128-bit value key:pos
+			cand = sib
+		}
+		i >>= 1
+		t[i] = cand
+	}
+}
+
+// grow rebuilds the tree with capacity covering leaf pos, carrying the
+// existing leaves over.
+func (q *readyQueue) grow(pos int) {
+	ncap := q.cap
+	if ncap == 0 {
+		ncap = 2
+	}
+	for ncap <= pos {
+		ncap *= 2
+	}
+	old := q.t
+	oldCap := q.cap
+	q.cap = ncap
+	q.t = make([]rqEntry, 2*ncap)
+	for i := 0; i < ncap; i++ {
+		e := rqEntry{key: offKey, pos: uint64(i)}
+		if i < oldCap {
+			e.key = old[oldCap+i].key
+		}
+		q.t[ncap+i] = e
+	}
+	for node := ncap - 1; node >= 1; node-- {
+		l := 2 * node
+		m := l
+		if q.t[l+1].less(q.t[l]) {
+			m = l + 1
+		}
+		q.t[node] = q.t[m]
+	}
+}

@@ -2,11 +2,19 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"gpujoule/internal/obs"
 	"gpujoule/internal/trace"
 )
+
+// ErrDeadlock reports that a kernel blocked every runnable warp at CTA
+// barriers — a malformed kernel (a barrier under divergent retirement),
+// not a slow one. Simulate wraps it with the kernel's name; callers
+// running sweeps branch with errors.Is(err, ErrDeadlock) to fail the
+// one run instead of killing a whole sweep worker.
+var ErrDeadlock = errors.New("deadlock: all runnable warps blocked at barriers")
 
 // Option configures one Simulate call. Options are additive: the
 // zero-option call is the fast path and produces output identical to

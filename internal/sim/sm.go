@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"gpujoule/internal/isa"
 	"gpujoule/internal/memsys"
@@ -16,6 +15,13 @@ type warpState struct {
 
 	// id is the warp's kernel-global identity (cta*warpsPerCTA + lane).
 	id int
+
+	// pos is the warp's live index in sm.warps. It is the scheduler's
+	// tie-break key and the warp's identity in the SM's ready queue (see
+	// readyQueue), kept exact across the swap-removes retire performs.
+	pos int
+	// resident marks the warp as allocated to an SM and unretired.
+	resident bool
 
 	// readyAt is the earliest time the warp may issue its next
 	// instruction.
@@ -42,6 +48,12 @@ type ctaState struct {
 	warpsLeft int
 	arrived   int
 	warps     []*warpState
+
+	// arena is the single backing array for the CTA's per-warp
+	// streamOff counters; each warp's slice is a window into it. It is
+	// reused (and re-zeroed) across the CTA slot's lifetimes, so
+	// steady-state launches allocate nothing.
+	arena []uint32
 }
 
 // smState is one streaming multiprocessor.
@@ -54,6 +66,16 @@ type smState struct {
 
 	warps []*warpState
 	ctas  int // resident CTA count
+
+	// rq indexes the unblocked resident warps by (readyAt, pos) so the
+	// scheduler's oldest-ready-first pick is O(log W) per instruction.
+	rq readyQueue
+
+	// freeCTAs and freeWarps recycle launch state: a CTA whose last warp
+	// retires returns its ctaState and warpStates here, and refill draws
+	// from the pools before allocating.
+	freeCTAs  []*ctaState
+	freeWarps []*warpState
 }
 
 // beginLaunch resets per-launch SM state.
@@ -62,31 +84,61 @@ func (sm *smState) beginLaunch(start float64) {
 	sm.busy = 0
 	sm.warps = sm.warps[:0]
 	sm.ctas = 0
+	sm.rq.reset()
 }
 
 // refill pulls CTAs from the GPM queue until the residency limit is
 // reached or the queue empties. It reports whether any warps are now
-// resident.
+// resident. CTA and warp state comes from the SM's free lists and each
+// CTA's streamOff counters share one backing arena, so steady-state
+// launches allocate nothing.
 func (sm *smState) refill(eng *launchEngine) bool {
 	max := eng.gpu.cfg.maxCTAs()
 	k := eng.kernel
+	nRegions := len(eng.gpu.app.Regions)
 	for sm.ctas < max {
 		ctaID, ok := sm.gpm.takeCTA()
 		if !ok {
 			break
 		}
-		cta := &ctaState{id: ctaID, warpsLeft: k.WarpsPerCTA}
+		var cta *ctaState
+		if n := len(sm.freeCTAs); n > 0 {
+			cta = sm.freeCTAs[n-1]
+			sm.freeCTAs = sm.freeCTAs[:n-1]
+			cta.id = ctaID
+			cta.warpsLeft = k.WarpsPerCTA
+			cta.arrived = 0
+		} else {
+			cta = &ctaState{id: ctaID, warpsLeft: k.WarpsPerCTA}
+		}
+		need := k.WarpsPerCTA * nRegions
+		if cap(cta.arena) < need {
+			cta.arena = make([]uint32, need)
+		} else {
+			cta.arena = cta.arena[:need]
+			clear(cta.arena)
+		}
 		for wi := 0; wi < k.WarpsPerCTA; wi++ {
-			w := &warpState{
+			var w *warpState
+			if n := len(sm.freeWarps); n > 0 {
+				w = sm.freeWarps[n-1]
+				sm.freeWarps = sm.freeWarps[:n-1]
+			} else {
+				w = new(warpState)
+			}
+			*w = warpState{
 				eng:       eng,
 				cta:       cta,
 				id:        ctaID*k.WarpsPerCTA + wi,
+				pos:       len(sm.warps),
+				resident:  true,
 				readyAt:   sm.clock,
-				repLeft:   k.Body[0].Repeat(),
-				streamOff: make([]uint32, len(eng.gpu.app.Regions)),
+				repLeft:   int(eng.prog.body[0].repeat),
+				streamOff: cta.arena[wi*nRegions : (wi+1)*nRegions],
 			}
 			cta.warps = append(cta.warps, w)
 			sm.warps = append(sm.warps, w)
+			sm.rq.push(w.pos, w.readyAt)
 		}
 		sm.ctas++
 		eng.activeWarps += k.WarpsPerCTA
@@ -95,8 +147,11 @@ func (sm *smState) refill(eng *launchEngine) bool {
 }
 
 // advance runs the SM's event loop until its clock reaches `until` or
-// it runs out of work. It reports whether any instruction issued.
-func (sm *smState) advance(until float64, eng *launchEngine) bool {
+// it runs out of work. It reports whether any instruction issued. A
+// malformed kernel that blocks every resident warp at a barrier
+// (barrier under divergent retirement) returns an error wrapping
+// ErrDeadlock rather than hanging.
+func (sm *smState) advance(until float64, eng *launchEngine) (bool, error) {
 	progressed := false
 	for {
 		if len(sm.warps) == 0 {
@@ -104,93 +159,102 @@ func (sm *smState) advance(until float64, eng *launchEngine) bool {
 				if sm.clock < until {
 					sm.clock = until
 				}
-				return progressed
+				return progressed, nil
 			}
 		}
-		// Oldest-ready-first selection among unblocked warps.
-		var w *warpState
-		minReady := math.Inf(1)
-		for _, cand := range sm.warps {
-			if !cand.blocked && cand.readyAt < minReady {
-				minReady = cand.readyAt
-				w = cand
-			}
+		// Oldest-ready-first selection among unblocked warps: the queue
+		// root minimizes (readyAt, pos), exactly the warp the historical
+		// linear scan picked. The root's key is read from the tree root
+		// so the frequent nothing-ready-this-epoch exit touches no warp
+		// struct.
+		if sm.rq.len() == 0 {
+			return progressed, fmt.Errorf("sim: SM deadlock in kernel %q: all %d warps blocked at barrier: %w",
+				eng.kernel.Name, len(sm.warps), ErrDeadlock)
 		}
-		if w == nil {
-			// Every resident warp is blocked at a barrier. This can
-			// only happen on a malformed kernel (barrier under
-			// divergent retirement); fail loudly rather than hang.
-			panic(fmt.Sprintf("sim: SM deadlock in kernel %q: all %d warps blocked at barrier",
-				eng.kernel.Name, len(sm.warps)))
-		}
+		minReady := sm.rq.rootReadyAt()
 		if minReady >= until {
 			if sm.clock < until {
 				sm.clock = until
 			}
-			return progressed
+			return progressed, nil
 		}
+		w := sm.warps[sm.rq.rootPos()]
 		if sm.clock < minReady {
 			sm.clock = minReady
 		}
 		sm.issue(w, eng)
+		// Re-establish w's queue membership: a still-runnable warp
+		// re-keys in place with its grown readyAt; a barrier block
+		// leaves the queue and a retirement was already removed by
+		// retire. (When retire recycles w's CTA and a refill reuses
+		// this struct for a fresh warp, the fresh warp was pushed with
+		// its correct key, so the fix below is a no-op.)
+		if w.resident {
+			if w.blocked {
+				if sm.rq.queued(w.pos) {
+					sm.rq.remove(w.pos)
+				}
+			} else if sm.rq.queued(w.pos) {
+				sm.rq.fix(w.pos, w.readyAt)
+			}
+		}
 		progressed = true
 	}
 }
 
-// issue executes w's next instruction at sm.clock.
+// issue executes w's next instruction at sm.clock. The per-instruction
+// constants (issue cycles, latency, active threads, op class) come
+// from the launch's predigested program rather than per-issue table
+// lookups; the clock arithmetic matches the unhoisted code term for
+// term, float addition order included.
 func (sm *smState) issue(w *warpState, eng *launchEngine) {
-	k := eng.kernel
-	inst := &k.Body[w.bodyIdx]
-	op := inst.Op
-	active := inst.ActiveThreads()
+	prog := eng.prog
+	rec := &prog.body[w.bodyIdx]
 
-	eng.counts.WarpInst[op]++
-	eng.counts.Inst[op] += uint64(active)
+	eng.counts.WarpInst[rec.op]++
+	eng.counts.Inst[rec.op] += rec.active
 	if col := eng.gpu.col; col != nil {
 		gc := &col.GPMs[sm.gpm.id]
 		gc.WarpInstructions++
-		gc.ThreadInstructions += uint64(active)
+		gc.ThreadInstructions += rec.active
 	}
 
-	occ := float64(op.IssueCycles())
+	occ := rec.occ
 
-	switch {
-	case op.IsCompute():
-		w.readyAt = sm.clock + occ + float64(op.Latency())
+	switch rec.kind {
+	case recSimple:
+		w.readyAt = sm.clock + occ + rec.lat
 
-	case op.IsGlobalMemory():
-		lines := int(inst.Mem.Lines)
-		if lines <= 0 {
-			lines = 1
-		}
-		// A divergent access occupies the LSU for one cycle per
-		// distinct line.
-		occ += float64(lines - 1)
-		isStore := op == isa.OpStoreGlobal
-		done := eng.gpu.access(sm, sm.clock+occ, inst.Mem, w, isStore)
+	case recGlobal:
+		done := eng.gpu.access(sm, sm.clock+occ, rec.mem, w, rec.store)
 		w.accessSeq++
-		w.streamOff[inst.Mem.Region]++
-		if isStore {
+		w.streamOff[rec.mem.Region]++
+		if rec.store {
 			// Stores retire through a write buffer without blocking.
-			w.readyAt = sm.clock + occ + latStore
+			w.readyAt = sm.clock + occ + rec.lat
 		} else {
 			w.readyAt = done
 		}
 
-	case op.IsShared():
+	case recShared:
 		eng.counts.Txn[isa.TxnShmToRF]++
-		w.readyAt = sm.clock + occ + latShared
+		w.readyAt = sm.clock + occ + rec.lat
 
-	case op == isa.OpBarrier:
+	case recBarrier:
 		cta := w.cta
 		cta.arrived++
 		if cta.arrived >= cta.warpsLeft {
 			// Last arrival releases everyone at the current time.
 			cta.arrived = 0
 			for _, sib := range cta.warps {
-				if sib.blocked {
+				// A sibling that retired while blocked (barrier on its
+				// last instruction) is skipped: the historical scan
+				// could never select it because retire had already
+				// removed it from sm.warps.
+				if sib.blocked && sib.resident {
 					sib.blocked = false
 					sib.readyAt = sm.clock
+					sm.rq.push(sib.pos, sib.readyAt)
 				}
 			}
 			w.readyAt = sm.clock + occ
@@ -199,14 +263,11 @@ func (sm *smState) issue(w *warpState, eng *launchEngine) {
 			w.readyAt = sm.clock + occ
 		}
 
-	case op == isa.OpExit:
+	case recExit:
 		sm.busy += occ
 		sm.clock += occ
 		sm.retire(w, eng)
 		return
-
-	default: // OpBranch, OpNop
-		w.readyAt = sm.clock + occ + float64(op.Latency())
 	}
 
 	sm.busy += occ
@@ -218,15 +279,15 @@ func (sm *smState) issue(w *warpState, eng *launchEngine) {
 		return
 	}
 	w.bodyIdx++
-	if w.bodyIdx >= len(k.Body) {
+	if w.bodyIdx >= len(prog.body) {
 		w.bodyIdx = 0
 		w.iter++
-		if w.iter >= k.EffIters() {
+		if w.iter >= prog.iters {
 			sm.retire(w, eng)
 			return
 		}
 	}
-	w.repLeft = k.Body[w.bodyIdx].Repeat()
+	w.repLeft = int(prog.body[w.bodyIdx].repeat)
 }
 
 // retire removes a finished warp, releasing its CTA slot when the last
@@ -239,15 +300,33 @@ func (sm *smState) retire(w *warpState, eng *launchEngine) {
 	if end > eng.end {
 		eng.end = end
 	}
-	for i, cand := range sm.warps {
-		if cand == w {
-			sm.warps[i] = sm.warps[len(sm.warps)-1]
-			sm.warps = sm.warps[:len(sm.warps)-1]
-			break
-		}
+	if sm.rq.queued(w.pos) {
+		sm.rq.remove(w.pos)
+	}
+	w.resident = false
+	// Swap-remove from sm.warps (the historical order-mutating removal
+	// the scheduler's pos tie-break depends on), now O(1) via pos. The
+	// moved warp's pos shrinks, so its queue key must be re-established.
+	i := w.pos
+	last := len(sm.warps) - 1
+	moved := sm.warps[last]
+	sm.warps[i] = moved
+	sm.warps = sm.warps[:last]
+	if moved != w {
+		moved.pos = i
+		sm.rq.repos(last, i)
+	} else {
+		sm.rq.shrink()
 	}
 	w.cta.warpsLeft--
 	if w.cta.warpsLeft == 0 {
+		// Recycle the whole CTA: every sibling (including w) has retired
+		// and none is referenced by sm.warps or the ready queue anymore,
+		// so the structs go back to the free lists for the refill below.
+		cta := w.cta
+		sm.freeWarps = append(sm.freeWarps, cta.warps...)
+		cta.warps = cta.warps[:0]
+		sm.freeCTAs = append(sm.freeCTAs, cta)
 		sm.ctas--
 		sm.refill(eng)
 	}
