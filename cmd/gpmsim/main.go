@@ -6,13 +6,18 @@
 //
 //	gpmsim -workload Stream -gpms 8 [-bw 2x] [-topology ring]
 //	       [-monolithic] [-scale f] [-baseline] [-json]
-//	       [-counters out.json] [-sample cycles]
+//	       [-counters out.json] [-sample cycles] [-trace out.trace.json]
+//	       [-httpaddr :8080] [-version]
 //
 // With -baseline, the 1-GPM run is also simulated and scaling metrics
 // (speedup, energy ratio, EDPSE, parallel efficiency) are reported.
 // With -counters, the run records per-GPM/per-link observability
-// counters (internal/obs) and writes them as JSON; -sample additionally
-// records a time series every given number of cycles.
+// counters (internal/obs) plus the exact energy attribution and writes
+// them as JSON; -sample additionally records a time series every given
+// number of cycles. With -trace, the run's timeline is written as a
+// Chrome trace_event file (chrome://tracing / Perfetto). With
+// -httpaddr, the process serves live introspection (pprof, /progress,
+// /metrics) while it runs.
 package main
 
 import (
@@ -45,11 +50,18 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper scale)")
 	baseline := flag.Bool("baseline", false, "also run 1-GPM and report scaling metrics")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
-	countersOut := flag.String("counters", "", "write per-GPM/per-link counters JSON to this file")
+	countersOut := flag.String("counters", "", "write per-GPM/per-link counters + energy attribution JSON to this file")
 	sample := flag.Float64("sample", 0, "with -counters, record a time-series sample every n cycles")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the run to this file")
+	httpAddr := flag.String("httpaddr", "", "serve live introspection (pprof, /progress, /metrics) on this address")
+	version := flag.Bool("version", false, "print schema and module version, then exit")
 	list := flag.Bool("list", false, "list workload names and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(profiling.VersionString("gpmsim"))
+		return
+	}
 	if *list {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
 		return
@@ -80,9 +92,34 @@ func main() {
 	if withBase {
 		points = append(points, runner.Point{App: app, Scale: *scale, Config: sim.MultiGPM(1, sim.BW2x)})
 	}
-	eng := runner.New(runner.Options{
+	var srv *profiling.HTTPServer
+	var eng *runner.Engine
+	if *httpAddr != "" {
+		srv, err = profiling.ServeHTTP(*httpAddr, func() obs.RunnerProfile {
+			if eng == nil {
+				return obs.RunnerProfile{}
+			}
+			return eng.Profile()
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "gpmsim: live introspection on http://%s/\n", srv.Addr())
+	}
+	var onEvent func(runner.Event)
+	if srv != nil {
+		onEvent = func(ev runner.Event) {
+			if ev.Kind == runner.PointDone {
+				srv.SetProgress(ev.Completed, ev.Total)
+			}
+		}
+	}
+	eng = runner.New(runner.Options{
+		OnEvent:        onEvent,
 		Counters:       *countersOut != "",
 		SampleInterval: *sample,
+		Trace:          *traceOut != "",
 	})
 	results, err := eng.Run(context.Background(), points)
 	if err != nil {
@@ -94,14 +131,26 @@ func main() {
 		profile := eng.Profile()
 		rep := obs.Report{Profile: &profile}
 		for i, pt := range points {
+			m := core.ProjectionModel(linksFor(pt.Config))
+			energy, err := obs.AttributeEnergy(m, &results[i].Counts, results[i].Counters)
+			if err != nil {
+				fatal(err)
+			}
 			rep.Points = append(rep.Points, obs.PointCounters{
 				Workload: pt.App.Name,
 				Config:   pt.Config.Name(),
 				SimKey:   pt.Key(),
 				Counters: results[i].Counters,
+				Energy:   energy,
 			})
 		}
 		if err := rep.WriteFile(*countersOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		label := fmt.Sprintf("%s on %s", app.Name, cfg.Name())
+		if err := res.Trace.WriteChromeFile(*traceOut, label); err != nil {
 			fatal(err)
 		}
 	}

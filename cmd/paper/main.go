@@ -9,8 +9,8 @@
 //
 // With -only, a single experiment is regenerated; names are table1b,
 // fig2, fig4, fig6, fig7, fig8, fig9, fig10, table3, table4,
-// linkenergy, amortization, headline. The default runs everything
-// (tens of minutes at -scale 1).
+// linkenergy, amortization, headline, energyattr. The default runs
+// everything (tens of minutes at -scale 1).
 package main
 
 import (
@@ -35,7 +35,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	progress := flag.Bool("progress", false, "report simulation progress on stderr")
+	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(profiling.VersionString("paper"))
+		return
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -46,7 +52,7 @@ func main() {
 
 	names := []string{"table3", "table4", "table1b", "fig2", "fig4", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "linkenergy", "amortization", "headline", "ablation", "metrics", "perworkload",
-		"threshold", "weakscaling", "fidelity"}
+		"threshold", "weakscaling", "fidelity", "energyattr"}
 	if *list {
 		fmt.Println(strings.Join(names, "\n"))
 		return
@@ -172,6 +178,12 @@ func main() {
 				return err
 			}
 			return harness.WeakScalingTable(rows).Fprint(out)
+		case "energyattr":
+			t, err := h.EnergyAttributionStudy()
+			if err != nil {
+				return err
+			}
+			return t.Fprint(out)
 		case "perworkload":
 			t, err := h.PerWorkloadEDPSE()
 			if err != nil {

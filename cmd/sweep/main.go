@@ -11,12 +11,19 @@
 //
 //	sweep [-workloads Stream,Lulesh-150 | -all] [-gpms 1,2,4,8,16,32]
 //	      [-bw 1x,2x,4x] [-topologies ring,switch] [-scale f] [-o out.csv]
-//	      [-workers n] [-progress] [-counters out.json]
+//	      [-workers n] [-progress] [-counters out.json] [-trace out.trace.json]
+//	      [-httpaddr :8080] [-version]
 //
 // With -counters, every point is simulated with per-GPM/per-link
 // observability counters (internal/obs) and the full snapshot set plus
-// the run engine's execution profile is written as JSON; the CSV is
-// unchanged. The JSON schema is documented in DESIGN.md §Observability.
+// the run engine's execution profile and the exact per-GPM/per-term/
+// per-link energy attribution is written as JSON; the CSV is unchanged.
+// With -trace, every point additionally records a timeline and the
+// whole grid is written as one Chrome trace_event file (load it in
+// chrome://tracing or https://ui.perfetto.dev, one process per point).
+// With -httpaddr, the process serves live introspection while the
+// sweep runs: /progress, Prometheus /metrics, and /debug/pprof. The
+// JSON schemas are documented in DESIGN.md §Observability.
 package main
 
 import (
@@ -57,8 +64,16 @@ func run() (err error) {
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	progress := flag.Bool("progress", false, "report point progress on stderr")
-	countersOut := flag.String("counters", "", "write per-GPM/per-link counters JSON to this file")
+	countersOut := flag.String("counters", "", "write per-GPM/per-link counters + energy attribution JSON to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of every point to this file")
+	httpAddr := flag.String("httpaddr", "", "serve live introspection (pprof, /progress, /metrics) on this address")
+	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(profiling.VersionString("sweep"))
+		return nil
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -98,19 +113,45 @@ func run() (err error) {
 		}
 	}
 
+	// The introspection server and the engine reference each other (the
+	// server pulls the profile, the engine's events push progress), so
+	// both are captured by variable.
+	var srv *profiling.HTTPServer
+	var eng *runner.Engine
+	if *httpAddr != "" {
+		srv, err = profiling.ServeHTTP(*httpAddr, func() obs.RunnerProfile {
+			if eng == nil {
+				return obs.RunnerProfile{}
+			}
+			return eng.Profile()
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: live introspection on http://%s/\n", srv.Addr())
+	}
+
 	var onEvent func(runner.Event)
-	if *progress {
+	if *progress || srv != nil {
 		onEvent = func(ev runner.Event) {
-			if ev.Kind == runner.PointDone {
+			if ev.Kind != runner.PointDone {
+				return
+			}
+			if srv != nil {
+				srv.SetProgress(ev.Completed, ev.Total)
+			}
+			if *progress {
 				fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (%.2fs)\n",
 					ev.Completed, ev.Total, ev.Point, ev.Elapsed.Seconds())
 			}
 		}
 	}
-	eng := runner.New(runner.Options{
+	eng = runner.New(runner.Options{
 		Workers:  *workers,
 		OnEvent:  onEvent,
 		Counters: *countersOut != "",
+		Trace:    *traceOut != "",
 	})
 	results, err := eng.Run(context.Background(), points)
 	if err != nil {
@@ -127,14 +168,28 @@ func run() (err error) {
 		profile := eng.Profile()
 		rep := obs.Report{Profile: &profile}
 		for i, pt := range points {
+			energy, err := obs.AttributeEnergy(modelFor(pt.Config), &results[i].Counts, results[i].Counters)
+			if err != nil {
+				return fmt.Errorf("attributing %s: %w", pt, err)
+			}
 			rep.Points = append(rep.Points, obs.PointCounters{
 				Workload: pt.App.Name,
 				Config:   pt.Config.Name(),
 				SimKey:   pt.Key(),
 				Counters: results[i].Counters,
+				Energy:   energy,
 			})
 		}
 		if err := rep.WriteFile(*countersOut); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		traces := make([]obs.PointTrace, len(points))
+		for i, pt := range points {
+			traces[i] = obs.PointTrace{Name: pt.String(), Trace: results[i].Trace}
+		}
+		if err := obs.WriteChromeTracesFile(*traceOut, traces); err != nil {
 			return err
 		}
 	}

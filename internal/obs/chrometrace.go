@@ -1,0 +1,261 @@
+// Timeline tracing: the opt-in per-run timeline recorded by
+// sim.WithTrace and its Chrome trace_event rendering.
+//
+// The Trace itself stays in simulator units (cycles) so it is exact and
+// schema-versioned like every other obs section; WriteChrome converts
+// to the Chrome trace_event JSON format (ph "X" duration events, ph "C"
+// counter events, ph "M" metadata, timestamps in microseconds) that
+// chrome://tracing and Perfetto load directly. Track layout per traced
+// run: thread 0 carries the kernel-launch spans and the sampler's
+// counter series, threads 1..N carry each GPM's per-launch busy/stall
+// phases, and one thread per fabric link carries its saturation
+// episodes.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaturationUtilization is the per-sample-window utilization at or
+// above which a link counts as saturated in the trace timeline.
+const SaturationUtilization = 0.9
+
+// TraceGPMPhase is one module's activity within one launch window.
+type TraceGPMPhase struct {
+	// GPM is the module index.
+	GPM int `json:"gpm"`
+	// BusyCycles is the SM-cycles the module's SMs spent issuing during
+	// the launch; StallCycles is the complement within the window.
+	BusyCycles  float64 `json:"busy_cycles"`
+	StallCycles float64 `json:"stall_cycles"`
+}
+
+// TraceLaunch is one kernel launch's timeline record.
+type TraceLaunch struct {
+	// Kernel is the kernel name.
+	Kernel string `json:"kernel"`
+	// StartCycles/EndCycles bound the launch window on the global clock.
+	StartCycles float64 `json:"start_cycles"`
+	EndCycles   float64 `json:"end_cycles"`
+	// GPMs holds one phase per module, in module order.
+	GPMs []TraceGPMPhase `json:"gpms,omitempty"`
+}
+
+// LinkEpisode is one maximal span of sample windows during which a
+// fabric link stayed at or above SaturationUtilization.
+type LinkEpisode struct {
+	// Link is the diagnostic link name.
+	Link string `json:"link"`
+	// StartCycles/EndCycles bound the episode on the global clock.
+	StartCycles float64 `json:"start_cycles"`
+	EndCycles   float64 `json:"end_cycles"`
+	// Utilization is the episode-average utilization (busy cycles over
+	// elapsed cycles, clamped to 1).
+	Utilization float64 `json:"utilization"`
+}
+
+// Trace is one run's timeline, attached to sim.Result by sim.WithTrace.
+type Trace struct {
+	// SchemaVersion is the obs JSON schema version.
+	SchemaVersion int `json:"schema_version"`
+	// ClockHz converts the cycle timestamps to wall time.
+	ClockHz float64 `json:"clock_hz"`
+	// Launches holds one record per kernel launch, in launch order.
+	Launches []TraceLaunch `json:"launches"`
+	// Episodes lists link-saturation episodes, grouped by link.
+	Episodes []LinkEpisode `json:"episodes,omitempty"`
+	// Samples is the sampler time series the episodes were derived from.
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// TraceSnapshot freezes the collector's timeline into a Trace,
+// deriving link-saturation episodes from the sampled link-busy series.
+func (c *Collector) TraceSnapshot(clockHz float64) *Trace {
+	return &Trace{
+		SchemaVersion: SchemaVersion,
+		ClockHz:       clockHz,
+		Launches:      append([]TraceLaunch(nil), c.launches...),
+		Episodes:      deriveEpisodes(c.linkNames, c.samples, c.sampleLinkBusy),
+		Samples:       append([]Sample(nil), c.samples...),
+	}
+}
+
+// deriveEpisodes scans each link's cumulative-busy series and merges
+// consecutive sample windows with utilization ≥ SaturationUtilization
+// into maximal episodes. busy is parallel to samples, one cumulative
+// value per link per sample.
+func deriveEpisodes(names []string, samples []Sample, busy [][]float64) []LinkEpisode {
+	if len(names) == 0 || len(busy) != len(samples) || len(samples) == 0 {
+		return nil
+	}
+	var eps []LinkEpisode
+	for li, name := range names {
+		prevT, prevB := 0.0, 0.0
+		open := -1
+		var openBusy float64
+		for si := range samples {
+			t, b := samples[si].TimeCycles, busy[si][li]
+			dt := t - prevT
+			if dt > 0 {
+				util := (b - prevB) / dt
+				if util >= SaturationUtilization {
+					if open < 0 {
+						eps = append(eps, LinkEpisode{Link: name, StartCycles: prevT})
+						open = len(eps) - 1
+						openBusy = 0
+					}
+					e := &eps[open]
+					e.EndCycles = t
+					openBusy += b - prevB
+					e.Utilization = min(1, openBusy/(e.EndCycles-e.StartCycles))
+				} else {
+					open = -1
+				}
+			}
+			prevT, prevB = t, b
+		}
+	}
+	return eps
+}
+
+// chromeEvent is one entry of the Chrome trace_event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object Chrome/Perfetto load.
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// PointTrace pairs one grid point's identity with its trace, so a
+// sweep's traces can share one Chrome file (one process per point).
+type PointTrace struct {
+	// Name labels the point's process track ("<workload> on <config>").
+	Name string `json:"name"`
+	// Trace is the point's timeline.
+	Trace *Trace `json:"trace"`
+}
+
+// WriteChrome renders the trace as a Chrome trace_event JSON document
+// on w, labelling the single process track with label.
+func (t *Trace) WriteChrome(w io.Writer, label string) error {
+	return WriteChromeTraces(w, []PointTrace{{Name: label, Trace: t}})
+}
+
+// WriteChromeFile writes the Chrome rendering atomically to path.
+func (t *Trace) WriteChromeFile(path, label string) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return t.WriteChrome(w, label) })
+}
+
+// WriteChromeTraces renders several traced points into one Chrome
+// trace_event document, one process track per point.
+func WriteChromeTraces(w io.Writer, points []PointTrace) error {
+	file := chromeFile{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"generator":      "gpujoule",
+			"schema_version": SchemaVersion,
+		},
+	}
+	for i, pt := range points {
+		if pt.Trace == nil {
+			continue
+		}
+		file.TraceEvents = appendChromeEvents(file.TraceEvents, i+1, pt.Name, pt.Trace)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// WriteChromeTracesFile writes the multi-point rendering atomically.
+func WriteChromeTracesFile(path string, points []PointTrace) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return WriteChromeTraces(w, points) })
+}
+
+// appendChromeEvents emits one traced run as process pid. Thread 0 is
+// the kernel track, threads 1..N the GPM tracks, then one thread per
+// link that saturated.
+func appendChromeEvents(events []chromeEvent, pid int, label string, t *Trace) []chromeEvent {
+	us := 1e6 / t.ClockHz // cycles → microseconds
+	meta := func(name string, tid int, value string) chromeEvent {
+		return chromeEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": value}}
+	}
+	events = append(events, meta("process_name", 0, label), meta("thread_name", 0, "kernels"))
+
+	gpms := 0
+	for i := range t.Launches {
+		if n := len(t.Launches[i].GPMs); n > gpms {
+			gpms = n
+		}
+	}
+	for g := 0; g < gpms; g++ {
+		events = append(events, meta("thread_name", 1+g, fmt.Sprintf("GPM %d", g)))
+	}
+	linkTid := map[string]int{}
+	for i := range t.Episodes {
+		name := t.Episodes[i].Link
+		if _, ok := linkTid[name]; !ok {
+			tid := 1 + gpms + len(linkTid)
+			linkTid[name] = tid
+			events = append(events, meta("thread_name", tid, "link "+name))
+		}
+	}
+
+	for i := range t.Launches {
+		l := &t.Launches[i]
+		events = append(events, chromeEvent{
+			Name: l.Kernel, Ph: "X",
+			Ts: l.StartCycles * us, Dur: (l.EndCycles - l.StartCycles) * us,
+			Pid: pid, Tid: 0,
+			Args: map[string]any{"launch": i},
+		})
+		for _, p := range l.GPMs {
+			window := p.BusyCycles + p.StallCycles
+			frac := 0.0
+			if window > 0 {
+				frac = p.BusyCycles / window
+			}
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("%s busy %.0f%%", l.Kernel, frac*100), Ph: "X",
+				Ts: l.StartCycles * us, Dur: (l.EndCycles - l.StartCycles) * us,
+				Pid: pid, Tid: 1 + p.GPM,
+				Args: map[string]any{
+					"busy_cycles":  p.BusyCycles,
+					"stall_cycles": p.StallCycles,
+				},
+			})
+		}
+	}
+	for i := range t.Episodes {
+		e := &t.Episodes[i]
+		events = append(events, chromeEvent{
+			Name: "saturated", Ph: "X",
+			Ts: e.StartCycles * us, Dur: (e.EndCycles - e.StartCycles) * us,
+			Pid: pid, Tid: linkTid[e.Link],
+			Args: map[string]any{"utilization": e.Utilization},
+		})
+	}
+	for i := range t.Samples {
+		s := &t.Samples[i]
+		events = append(events,
+			chromeEvent{Name: "active_warps", Ph: "C", Ts: s.TimeCycles * us, Pid: pid, Tid: 0,
+				Args: map[string]any{"warps": s.ActiveWarps}},
+			chromeEvent{Name: "pending_ctas", Ph: "C", Ts: s.TimeCycles * us, Pid: pid, Tid: 0,
+				Args: map[string]any{"ctas": s.PendingCTAs}},
+		)
+	}
+	return events
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDeriveEpisodes feeds a synthetic cumulative-busy series and
+// checks the episode merge: consecutive saturated windows coalesce,
+// sub-threshold windows split, and utilization is the episode average.
+func TestDeriveEpisodes(t *testing.T) {
+	samples := []Sample{
+		{TimeCycles: 100}, {TimeCycles: 200}, {TimeCycles: 300},
+		{TimeCycles: 400}, {TimeCycles: 500},
+	}
+	// Per-window utilizations (each window is 100 cycles):
+	//   hot:  0.95, 1.0, 0.1, 0.9, 0.5  → episodes [0,200) and [300,400)
+	//   cold: 0.10, 0.1, 0.1, 0.1, 0.05 → never saturated
+	busy := [][]float64{
+		{95, 10},
+		{195, 20},
+		{205, 30},
+		{295, 40},
+		{345, 45},
+	}
+	eps := deriveEpisodes([]string{"hot", "cold"}, samples, busy)
+	if len(eps) != 2 {
+		t.Fatalf("got %d episodes, want 2: %+v", len(eps), eps)
+	}
+	first, second := eps[0], eps[1]
+	if first.Link != "hot" || first.StartCycles != 0 || first.EndCycles != 200 {
+		t.Errorf("first episode = %+v, want hot [0, 200)", first)
+	}
+	if want := 195.0 / 200.0; first.Utilization != want {
+		t.Errorf("first episode utilization = %g, want %g", first.Utilization, want)
+	}
+	if second.Link != "hot" || second.StartCycles != 300 || second.EndCycles != 400 {
+		t.Errorf("second episode = %+v, want hot [300, 400)", second)
+	}
+	if second.Utilization != 0.9 {
+		t.Errorf("second episode utilization = %g, want 0.9", second.Utilization)
+	}
+}
+
+// TestDeriveEpisodesClampsUtilization checks that an over-unity busy
+// delta (timing-wheel rounding can overshoot a window) clamps to 1.
+func TestDeriveEpisodesClampsUtilization(t *testing.T) {
+	samples := []Sample{{TimeCycles: 100}}
+	eps := deriveEpisodes([]string{"l"}, samples, [][]float64{{120}})
+	if len(eps) != 1 || eps[0].Utilization != 1 {
+		t.Fatalf("got %+v, want one episode at utilization 1", eps)
+	}
+}
+
+// TestDeriveEpisodesDegenerate checks the nil returns: no links, no
+// samples, or a busy series that is not parallel to the samples.
+func TestDeriveEpisodesDegenerate(t *testing.T) {
+	s := []Sample{{TimeCycles: 1}}
+	b := [][]float64{{1}}
+	if eps := deriveEpisodes(nil, s, b); eps != nil {
+		t.Errorf("no links: %+v", eps)
+	}
+	if eps := deriveEpisodes([]string{"l"}, nil, nil); eps != nil {
+		t.Errorf("no samples: %+v", eps)
+	}
+	if eps := deriveEpisodes([]string{"l"}, s, nil); eps != nil {
+		t.Errorf("mismatched busy series: %+v", eps)
+	}
+}
+
+// foldShares is the reference left-to-right fold exactShares targets.
+func foldShares(shares []float64) float64 {
+	var s float64
+	for _, v := range shares {
+		s += v
+	}
+	return s
+}
+
+// ulpsAway walks x n ulps toward (n > 0) or away from (n < 0) +Inf.
+func ulpsAway(x float64, n int) float64 {
+	dir := math.Inf(1)
+	if n < 0 {
+		dir, n = math.Inf(-1), -n
+	}
+	for ; n > 0; n-- {
+		x = math.Nextafter(x, dir)
+	}
+	return x
+}
+
+// TestExactShares exercises the bit-exact fold adjustment: for every
+// share vector and every few-ulp perturbation of its natural fold, the
+// adjusted fold must equal the target exactly while each share moves by
+// at most rounding noise.
+func TestExactShares(t *testing.T) {
+	cases := [][]float64{
+		{1, 2, 3, 4},
+		{1e-5, 2e-5, 3e-5},
+		{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7},
+		{1.8184320000000003e-05, 2.2556160000000003e-05, 1.8216000000000003e-05, 2.2556160000000003e-05},
+		{5, 7, 0, 0},
+		{42},
+	}
+	for i, base := range cases {
+		f := foldShares(base)
+		for _, d := range []int{0, 1, 3, -1, -2} {
+			total := ulpsAway(f, d)
+			shares := append([]float64(nil), base...)
+			if err := exactShares(shares, total); err != nil {
+				t.Errorf("case %d %+d ulps: %v", i, d, err)
+				continue
+			}
+			if got := foldShares(shares); got != total {
+				t.Errorf("case %d %+d ulps: fold = %v, want %v", i, d, got, total)
+			}
+			for j := range shares {
+				if diff := math.Abs(shares[j] - base[j]); diff > 1e-9*math.Abs(total) {
+					t.Errorf("case %d %+d ulps: share %d moved %v -> %v (adjustment should be ulp-scale)",
+						i, d, j, base[j], shares[j])
+				}
+			}
+		}
+	}
+
+	// The regression observed in the wild (a 4-GPM ShmToRF split): the
+	// naive full-residual feedback loop bounces between
+	// 8.151263999999999e-05 and 8.151264000000002e-05 without ever
+	// hitting this total.
+	osc := []float64{1.8184320000000003e-05, 2.2556160000000003e-05, 1.8216000000000003e-05, 2.2556160000000003e-05}
+	if err := exactShares(osc, 8.151264e-05); err != nil {
+		t.Errorf("oscillating split: %v", err)
+	} else if got := foldShares(osc); got != 8.151264e-05 {
+		t.Errorf("oscillating split folds to %v", got)
+	}
+
+	// Trailing zero shares stay untouched: the residual lands on the
+	// last NONZERO share so zero rows never acquire phantom energy.
+	zs := []float64{5, 7, 0, 0}
+	if err := exactShares(zs, ulpsAway(12, 1)); err != nil {
+		t.Errorf("trailing zeros: %v", err)
+	}
+	if zs[2] != 0 || zs[3] != 0 {
+		t.Errorf("trailing zero shares perturbed: %v", zs)
+	}
+
+	// Empty shares: only a zero total is attributable.
+	if err := exactShares(nil, 0); err != nil {
+		t.Errorf("zero total over zero shares: %v", err)
+	}
+	if err := exactShares(nil, 1); err == nil {
+		t.Error("nonzero total over zero shares must error")
+	}
+}

@@ -1,0 +1,360 @@
+// Energy attribution: the exact decomposition of one run's model
+// energy over modules, model terms, and fabric links.
+//
+// Because the GPUJoule model is linear (Eq. 4, core.Model.Estimate),
+// every joule is a coefficient times an event count, and the per-GPM
+// event counters recorded by the Collector partition the aggregate
+// counts exactly. Attribution therefore is not an estimate: each
+// per-term column reconciles with the aggregate Breakdown term
+// bit-exactly, and the terms fold to sim.Result's aggregate energy in
+// Breakdown.Total's summation order. Floating-point addition is not
+// associative, so a naive Σg coeff·count_g can differ from
+// coeff·Σg count_g by a few ulps; exactShares closes that gap by
+// folding the residual into the last nonzero share, which keeps every
+// share within rounding of its true value while making the
+// left-to-right sum exact. The integer event counts need no adjustment — uint64 sums are
+// associative — and a reconciliation pass errors out if the per-GPM
+// counters ever stop partitioning the aggregates.
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/isa"
+)
+
+// SwitchLinkName is the pseudo-link row under which switch-traversal
+// energy (EPT[Switch]) appears in the per-link attribution.
+const SwitchLinkName = "switch"
+
+// TermEnergy is one energy-model term vector in joules. Total folds the
+// fields in core.Breakdown.Total's order, so a TermEnergy built from a
+// Breakdown reproduces its total bit-exactly.
+type TermEnergy struct {
+	// ComputeJ is the SM-pipeline (busy) term: Σ EPI·IC.
+	ComputeJ float64 `json:"compute_j"`
+	// StallJ is the SM-pipeline (idle) term: EPStall·stalls.
+	StallJ float64 `json:"stall_j"`
+	// ConstantJ is the constant-power term: ConstPower·T (amortized).
+	ConstantJ float64 `json:"constant_j"`
+	// ShmToRFJ..DRAMToL2J are the intra-module data-movement terms.
+	ShmToRFJ  float64 `json:"shm_rf_j"`
+	L1ToRFJ   float64 `json:"l1_rf_j"`
+	L2ToL1J   float64 `json:"l2_l1_j"`
+	DRAMToL2J float64 `json:"dram_l2_j"`
+	// InterGPMJ is the fabric term (link hops plus switch traversals).
+	// Zero on per-GPM rows — fabric energy belongs to links.
+	InterGPMJ float64 `json:"intergpm_j"`
+}
+
+// Total folds the terms in core.Breakdown.Total's order.
+func (t TermEnergy) Total() float64 {
+	return t.ComputeJ + t.StallJ + t.ConstantJ +
+		t.ShmToRFJ + t.L1ToRFJ + t.L2ToL1J + t.DRAMToL2J + t.InterGPMJ
+}
+
+// ClassEnergy is one instruction class's contribution to a module's
+// compute term.
+type ClassEnergy struct {
+	// Class is the opcode-class name (isa.Op.String).
+	Class string `json:"class"`
+	// Count is the thread-level instruction count of the class.
+	Count uint64 `json:"count"`
+	// Joules is EPI[class]·Count (unadjusted product; the per-class rows
+	// are detail, the module's ComputeJ is the reconciled figure).
+	Joules float64 `json:"joules"`
+}
+
+// GPMEnergy is one module's attributed energy.
+type GPMEnergy struct {
+	// GPM is the module index.
+	GPM int `json:"gpm"`
+	// Terms is the module's share of each model term. InterGPMJ is
+	// always zero (see LinkEnergy). Summing any term over modules in
+	// row order reproduces the aggregate term bit-exactly.
+	Terms TermEnergy `json:"terms"`
+	// TotalJ is Terms.Total().
+	TotalJ float64 `json:"total_j"`
+	// Classes details ComputeJ by instruction class, in opcode order,
+	// restricted to classes with a nonzero count and coefficient.
+	Classes []ClassEnergy `json:"classes,omitempty"`
+}
+
+// LinkEnergy is one fabric link's attributed energy. The final row may
+// be the SwitchLinkName pseudo-link carrying switch-traversal energy.
+type LinkEnergy struct {
+	// Link is the diagnostic link name.
+	Link string `json:"link"`
+	// Bytes is the payload that traversed the link (zero on the switch
+	// pseudo-row, which is counted in traversals, not bytes).
+	Bytes uint64 `json:"bytes"`
+	// Joules is the link's share of the InterGPM term; summing over rows
+	// in order reproduces the aggregate InterGPMJ bit-exactly.
+	Joules float64 `json:"joules"`
+}
+
+// EnergyAttribution decomposes one run's total model energy. The
+// invariants, enforced at construction:
+//
+//	TotalJ                        == core.Model.Estimate(counts).Total()
+//	Terms.Total()                 == TotalJ
+//	Σg GPMs[g].Terms.<term>       == Terms.<term>   (every per-GPM term)
+//	Σl Links[l].Joules            == Terms.InterGPMJ
+//
+// with every sum a left-to-right float64 fold, bit-exact.
+type EnergyAttribution struct {
+	// SchemaVersion is the obs JSON schema version.
+	SchemaVersion int `json:"schema_version"`
+	// Model names the pricing model (core.Model.Name).
+	Model string `json:"model"`
+	// TotalJ is the aggregate model energy; Seconds the execution time
+	// the constant term was charged over.
+	TotalJ  float64 `json:"total_j"`
+	Seconds float64 `json:"seconds"`
+	// Terms is the aggregate per-term decomposition, taken verbatim from
+	// the model's Breakdown.
+	Terms TermEnergy `json:"terms"`
+	// GPMs holds one row per module, in module order.
+	GPMs []GPMEnergy `json:"gpms"`
+	// Links holds one row per fabric link (plus the switch pseudo-row),
+	// empty for fabric-less designs.
+	Links []LinkEnergy `json:"links,omitempty"`
+}
+
+// AttributeEnergy decomposes the aggregate energy m.Estimate(counts)
+// over the per-GPM and per-link counters in c. It errors if c is nil
+// (the run must have been simulated with sim.WithCounters) or if the
+// counters do not partition the aggregate counts — which would mean a
+// simulator charge site drifted out of sync with the collector.
+func AttributeEnergy(m *core.Model, counts *isa.Counts, c *Counters) (*EnergyAttribution, error) {
+	if c == nil {
+		return nil, errors.New("obs: energy attribution requires counters (run with sim.WithCounters)")
+	}
+	n := len(c.GPMs)
+	if n == 0 {
+		return nil, errors.New("obs: energy attribution requires per-GPM counters")
+	}
+	if err := reconcileCounts(counts, c); err != nil {
+		return nil, err
+	}
+
+	b := m.Estimate(counts)
+	a := &EnergyAttribution{
+		SchemaVersion: SchemaVersion,
+		Model:         m.Name,
+		TotalJ:        b.Total(),
+		Seconds:       b.Seconds,
+		Terms: TermEnergy{
+			ComputeJ:  b.Compute,
+			StallJ:    b.Stall,
+			ConstantJ: b.Constant,
+			ShmToRFJ:  b.ShmToRF,
+			L1ToRFJ:   b.L1ToRF,
+			L2ToL1J:   b.L2ToL1,
+			DRAMToL2J: b.DRAMToL2,
+			InterGPMJ: b.InterGPM,
+		},
+		GPMs: make([]GPMEnergy, n),
+	}
+
+	shares := make([]float64, n)
+	split := func(total float64, raw func(g *GPMCounters) float64, set func(e *GPMEnergy, v float64)) error {
+		for g := range shares {
+			shares[g] = raw(&c.GPMs[g])
+		}
+		if err := exactShares(shares, total); err != nil {
+			return err
+		}
+		for g := range shares {
+			set(&a.GPMs[g], shares[g])
+		}
+		return nil
+	}
+
+	// Compute mirrors Estimate's loop: every opcode in index order, so
+	// each module's raw share uses the same summation order as the
+	// aggregate.
+	err := split(b.Compute, func(gc *GPMCounters) float64 {
+		var e float64
+		for op := range gc.Inst {
+			e += m.EPI[op] * float64(gc.Inst[op])
+		}
+		return e
+	}, func(e *GPMEnergy, v float64) { e.Terms.ComputeJ = v })
+	if err == nil {
+		err = split(b.Stall,
+			func(gc *GPMCounters) float64 { return m.EPStall * gc.StallCycles },
+			func(e *GPMEnergy, v float64) { e.Terms.StallJ = v })
+	}
+	if err == nil {
+		// Constant power is a machine-wide overhead; split it evenly.
+		err = split(b.Constant,
+			func(gc *GPMCounters) float64 { return b.Constant / float64(n) },
+			func(e *GPMEnergy, v float64) { e.Terms.ConstantJ = v })
+	}
+	txnTerms := []struct {
+		kind  isa.TxnKind
+		total float64
+		set   func(e *GPMEnergy, v float64)
+	}{
+		{isa.TxnShmToRF, b.ShmToRF, func(e *GPMEnergy, v float64) { e.Terms.ShmToRFJ = v }},
+		{isa.TxnL1ToRF, b.L1ToRF, func(e *GPMEnergy, v float64) { e.Terms.L1ToRFJ = v }},
+		{isa.TxnL2ToL1, b.L2ToL1, func(e *GPMEnergy, v float64) { e.Terms.L2ToL1J = v }},
+		{isa.TxnDRAMToL2, b.DRAMToL2, func(e *GPMEnergy, v float64) { e.Terms.DRAMToL2J = v }},
+	}
+	for _, t := range txnTerms {
+		if err != nil {
+			break
+		}
+		t := t
+		err = split(t.total,
+			func(gc *GPMCounters) float64 { return m.EPT[t.kind] * float64(gc.Txn[t.kind]) },
+			t.set)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	for g := range a.GPMs {
+		e := &a.GPMs[g]
+		e.GPM = c.GPMs[g].GPM
+		e.TotalJ = e.Terms.Total()
+		for op := range c.GPMs[g].Inst {
+			cnt := c.GPMs[g].Inst[op]
+			if cnt == 0 || m.EPI[op] == 0 {
+				continue
+			}
+			e.Classes = append(e.Classes, ClassEnergy{
+				Class:  isa.Op(op).String(),
+				Count:  cnt,
+				Joules: m.EPI[op] * float64(cnt),
+			})
+		}
+	}
+
+	links, err := attributeLinks(m, counts, c, b.InterGPM)
+	if err != nil {
+		return nil, err
+	}
+	a.Links = links
+	return a, nil
+}
+
+// attributeLinks splits the InterGPM term over the fabric links (by
+// sectors moved) plus the switch pseudo-row (by traversals).
+func attributeLinks(m *core.Model, counts *isa.Counts, c *Counters, total float64) ([]LinkEnergy, error) {
+	rows := make([]LinkEnergy, 0, len(c.Links)+1)
+	raw := make([]float64, 0, len(c.Links)+1)
+	for i := range c.Links {
+		l := &c.Links[i]
+		rows = append(rows, LinkEnergy{Link: l.Link, Bytes: l.Bytes})
+		raw = append(raw, m.EPT[isa.TxnInterGPM]*float64(l.Bytes/isa.SectorBytes))
+	}
+	if counts.Txn[isa.TxnSwitch] > 0 {
+		rows = append(rows, LinkEnergy{Link: SwitchLinkName})
+		raw = append(raw, m.EPT[isa.TxnSwitch]*float64(counts.Txn[isa.TxnSwitch]))
+	}
+	if len(rows) == 0 {
+		if total != 0 {
+			return nil, fmt.Errorf("obs: inter-GPM energy %g J with no fabric links to attribute it to", total)
+		}
+		return nil, nil
+	}
+	if err := exactShares(raw, total); err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Joules = raw[i]
+	}
+	return rows, nil
+}
+
+// reconcileCounts verifies that the per-GPM (and per-link) counters
+// partition the aggregate event counts exactly. These are integer sums,
+// so any mismatch is a real bug, not rounding.
+func reconcileCounts(counts *isa.Counts, c *Counters) error {
+	var inst [isa.NumOps]uint64
+	var txn [isa.NumTxnKinds]uint64
+	for g := range c.GPMs {
+		for op := range inst {
+			inst[op] += c.GPMs[g].Inst[op]
+		}
+		for k := range txn {
+			txn[k] += c.GPMs[g].Txn[k]
+		}
+	}
+	for op := range inst {
+		if inst[op] != counts.Inst[op] {
+			return fmt.Errorf("obs: per-GPM %v instructions (%d) do not partition the aggregate (%d)",
+				isa.Op(op), inst[op], counts.Inst[op])
+		}
+	}
+	for _, k := range []isa.TxnKind{isa.TxnShmToRF, isa.TxnL1ToRF, isa.TxnL2ToL1, isa.TxnDRAMToL2} {
+		if txn[k] != counts.Txn[k] {
+			return fmt.Errorf("obs: per-GPM %v transactions (%d) do not partition the aggregate (%d)",
+				k, txn[k], counts.Txn[k])
+		}
+	}
+	var sectors uint64
+	for i := range c.Links {
+		sectors += c.Links[i].Bytes / isa.SectorBytes
+	}
+	if sectors != counts.Txn[isa.TxnInterGPM] {
+		return fmt.Errorf("obs: per-link sectors (%d) do not partition the inter-GPM transactions (%d)",
+			sectors, counts.Txn[isa.TxnInterGPM])
+	}
+	return nil
+}
+
+// exactShares adjusts shares in place so their left-to-right float64
+// fold equals total bit-exactly. Each raw share is already within
+// rounding of its true value (same coefficients, same summation order
+// as the aggregate), so the residual is a few ulps of total.
+//
+// The residual is absorbed by the last nonzero share, deliberately:
+// every fold position after it adds zero (an identity), so that share
+// enters the fold in its final effective, single-rounded addition and
+// its perturbation is never re-rounded by later terms. (Perturbing an
+// earlier share does not work — the additions after it re-round, and
+// the fold's step function can straddle total forever without hitting
+// it, which is exactly what naive residual feedback does.) The share
+// is rebuilt as total − prefix: when the prefix is at least half the
+// total that subtraction is exact (Sterbenz), so the fold lands on
+// total in one step. Otherwise the rebuilt share is within a couple
+// ulps and is walked onto total one ulp at a time — the rebuilt share
+// then dominates the sum, so its ulp is no coarser than total's and
+// single-ulp steps cannot skip a representable fold value. Errors only
+// if the walk refuses to converge within a generous bound, which a
+// finite input cannot cause.
+func exactShares(shares []float64, total float64) error {
+	if len(shares) == 0 {
+		if total != 0 {
+			return fmt.Errorf("obs: cannot attribute %g J over zero shares", total)
+		}
+		return nil
+	}
+	last := len(shares) - 1
+	for last > 0 && shares[last] == 0 {
+		last--
+	}
+	var prefix float64
+	for _, v := range shares[:last] {
+		prefix += v
+	}
+	shares[last] = total - prefix
+	for iter := 0; iter < 256; iter++ {
+		sum := prefix + shares[last]
+		if sum == total {
+			return nil
+		}
+		dir := math.Inf(1)
+		if sum > total {
+			dir = math.Inf(-1)
+		}
+		shares[last] = math.Nextafter(shares[last], dir)
+	}
+	return fmt.Errorf("obs: share adjustment did not converge on total %v", total)
+}

@@ -1,0 +1,242 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/interconnect"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/obs"
+	"gpujoule/internal/runner"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+// attrApp is a multi-kernel app with deliberate remote traffic
+// (shared-region reads and random stores), so the attribution exercises
+// every energy term including the fabric links.
+func attrApp() *trace.App {
+	compute := &trace.Kernel{
+		Name:        "attr-compute",
+		Grid:        24,
+		WarpsPerCTA: 8,
+		Iters:       5,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatShared, Lines: 2}},
+			{Op: isa.OpFFMA32, Times: 3},
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpBarrier},
+			{Op: isa.OpFAdd32},
+			{Op: isa.OpStoreShared},
+		},
+	}
+	scatter := &trace.Kernel{
+		Name:        "attr-scatter",
+		Grid:        18,
+		WarpsPerCTA: 4,
+		Iters:       7,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatOwn, Lines: 3}},
+			{Op: isa.OpIMad32, Times: 2},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatRandom, Lines: 2}},
+		},
+	}
+	return &trace.App{
+		Name:     "attr-app",
+		Category: trace.CategoryMemory,
+		Regions: []trace.Region{
+			{Name: "shared", Bytes: 4 << 20, Home: trace.HomeStriped},
+			{Name: "stream", Bytes: 16 << 20},
+		},
+		Launches: []trace.Launch{
+			{Kernel: compute, Count: 2},
+			{Kernel: scatter, Count: 2},
+			{Kernel: compute},
+		},
+	}
+}
+
+// attrConfigs are the machine shapes the reconciliation test sweeps:
+// multi-GPM ring, switch topology (switch pseudo-row), memory-side L2
+// (home-attributed L2 transactions), and a fabric-less single module.
+func attrConfigs() []sim.Config {
+	ring := sim.MultiGPM(4, sim.BW2x)
+	sw := sim.MultiGPM(4, sim.BW1x)
+	sw.Topology = interconnect.TopologySwitch
+	sw.Domain = sim.DomainOnBoard
+	memside := sim.MultiGPM(4, sim.BW2x)
+	memside.L2 = sim.L2MemorySide
+	single := sim.MultiGPM(1, sim.BW2x)
+	return []sim.Config{ring, sw, memside, single}
+}
+
+func modelFor(cfg sim.Config) *core.Model {
+	if cfg.Domain == sim.DomainOnPackage {
+		return core.ProjectionModel(core.OnPackageLinks())
+	}
+	return core.ProjectionModel(core.OnBoardLinks())
+}
+
+// checkExact verifies every reconciliation invariant of an attribution
+// against its run, all comparisons bit-exact.
+func checkExact(t *testing.T, m *core.Model, res *sim.Result, a *obs.EnergyAttribution) {
+	t.Helper()
+	total := m.Estimate(&res.Counts).Total()
+	if a.TotalJ != total {
+		t.Errorf("TotalJ = %v, aggregate energy = %v", a.TotalJ, total)
+	}
+	if got := a.Terms.Total(); got != a.TotalJ {
+		t.Errorf("Terms fold to %v, want TotalJ %v", got, a.TotalJ)
+	}
+
+	fold := func(pick func(obs.TermEnergy) float64) float64 {
+		var s float64
+		for i := range a.GPMs {
+			s += pick(a.GPMs[i].Terms)
+		}
+		return s
+	}
+	perGPM := []struct {
+		name string
+		pick func(obs.TermEnergy) float64
+		want float64
+	}{
+		{"compute", func(te obs.TermEnergy) float64 { return te.ComputeJ }, a.Terms.ComputeJ},
+		{"stall", func(te obs.TermEnergy) float64 { return te.StallJ }, a.Terms.StallJ},
+		{"constant", func(te obs.TermEnergy) float64 { return te.ConstantJ }, a.Terms.ConstantJ},
+		{"shm_rf", func(te obs.TermEnergy) float64 { return te.ShmToRFJ }, a.Terms.ShmToRFJ},
+		{"l1_rf", func(te obs.TermEnergy) float64 { return te.L1ToRFJ }, a.Terms.L1ToRFJ},
+		{"l2_l1", func(te obs.TermEnergy) float64 { return te.L2ToL1J }, a.Terms.L2ToL1J},
+		{"dram_l2", func(te obs.TermEnergy) float64 { return te.DRAMToL2J }, a.Terms.DRAMToL2J},
+	}
+	for _, c := range perGPM {
+		if got := fold(c.pick); got != c.want {
+			t.Errorf("per-GPM %s folds to %v, want aggregate %v", c.name, got, c.want)
+		}
+	}
+	var links float64
+	for i := range a.Links {
+		links += a.Links[i].Joules
+	}
+	if links != a.Terms.InterGPMJ {
+		t.Errorf("per-link energy folds to %v, want aggregate %v", links, a.Terms.InterGPMJ)
+	}
+	for i := range a.GPMs {
+		g := &a.GPMs[i]
+		if g.Terms.InterGPMJ != 0 {
+			t.Errorf("GPM %d carries inter-GPM energy %v (links own that term)", g.GPM, g.Terms.InterGPMJ)
+		}
+		if got := g.Terms.Total(); got != g.TotalJ {
+			t.Errorf("GPM %d terms fold to %v, want TotalJ %v", g.GPM, got, g.TotalJ)
+		}
+	}
+}
+
+// TestEnergyAttributionReconcilesExactly is the tentpole invariant: on
+// a multi-GPM, multi-kernel app, the per-GPM/per-term/per-link
+// decomposition reconciles bit-exactly with sim.Result's aggregate
+// model energy on every machine shape.
+func TestEnergyAttributionReconcilesExactly(t *testing.T) {
+	app := attrApp()
+	for _, cfg := range attrConfigs() {
+		res, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters())
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		m := modelFor(cfg)
+		a, err := obs.AttributeEnergy(m, &res.Counts, res.Counters)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		t.Run(cfg.Name(), func(t *testing.T) { checkExact(t, m, res, a) })
+	}
+}
+
+// TestEnergyAttributionCoversTerms sanity-checks that the test app
+// actually exercises the interesting rows: fabric links with nonzero
+// energy on the ring, a switch pseudo-row on the switch topology, and
+// per-class compute rows on every GPM.
+func TestEnergyAttributionCoversTerms(t *testing.T) {
+	app := attrApp()
+	cfgs := attrConfigs()
+
+	ringRes, err := sim.Simulate(context.Background(), cfgs[0], app, sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := obs.AttributeEnergy(modelFor(cfgs[0]), &ringRes.Counts, ringRes.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ring.Links) == 0 || ring.Terms.InterGPMJ <= 0 {
+		t.Fatalf("ring run has no attributed link energy: links=%d intergpm=%v", len(ring.Links), ring.Terms.InterGPMJ)
+	}
+	for i := range ring.GPMs {
+		if len(ring.GPMs[i].Classes) == 0 {
+			t.Errorf("GPM %d has no per-class compute rows", i)
+		}
+	}
+
+	swRes, err := sim.Simulate(context.Background(), cfgs[1], app, sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := obs.AttributeEnergy(modelFor(cfgs[1]), &swRes.Counts, swRes.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sw.Links); n == 0 || sw.Links[n-1].Link != obs.SwitchLinkName {
+		t.Fatalf("switch run lacks the %q pseudo-row: %+v", obs.SwitchLinkName, sw.Links)
+	}
+
+	if _, err := obs.AttributeEnergy(modelFor(cfgs[0]), &ringRes.Counts, nil); err == nil {
+		t.Fatal("AttributeEnergy accepted a nil counters snapshot")
+	}
+}
+
+// TestEnergyAttributionDeterministicAcrossWorkers runs the same grid at
+// workers=1 and workers=4 and requires byte-identical attribution JSON.
+func TestEnergyAttributionDeterministicAcrossWorkers(t *testing.T) {
+	app := attrApp()
+	cfgs := attrConfigs()
+	var points []runner.Point
+	for _, cfg := range cfgs {
+		points = append(points, runner.Point{App: app, Scale: 1, Config: cfg})
+	}
+
+	attribute := func(workers int) []byte {
+		t.Helper()
+		eng := runner.New(runner.Options{Workers: workers, Counters: true})
+		results, err := eng.Run(context.Background(), points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for i, res := range results {
+			a, err := obs.AttributeEnergy(modelFor(cfgs[i]), &res.Counts, res.Counters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+
+	serial := attribute(1)
+	parallel := attribute(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("attribution differs across worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", serial, parallel)
+	}
+	if !strings.Contains(string(serial), `"gpms"`) {
+		t.Fatal("attribution JSON carries no per-GPM section")
+	}
+}

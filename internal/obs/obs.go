@@ -25,12 +25,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+
+	"gpujoule/internal/isa"
 )
 
 // SchemaVersion identifies the JSON schema of Counters and Report.
 // Bump it when a field is renamed or its meaning changes; adding fields
 // is backward-compatible and does not bump the version.
-const SchemaVersion = 1
+//
+// v2: per-GPM instruction-class and transaction-class arrays on GPM
+// rows, the per-GPM/per-term/per-link energy attribution section
+// (EnergyAttribution), the timeline trace section (Trace), and the
+// runner-profile warp-instruction throughput fields.
+const SchemaVersion = 2
 
 // GPMCounters holds one GPU module's event counters for a whole run.
 type GPMCounters struct {
@@ -64,6 +72,19 @@ type GPMCounters struct {
 	// L2Bytes / L2QueueCycles are the same for the L2 bank group.
 	L2Bytes       uint64  `json:"l2_bytes"`
 	L2QueueCycles float64 `json:"l2_queue_cycles"`
+	// Inst splits ThreadInstructions by opcode class — the per-GPM view
+	// of isa.Counts.Inst, which is what lets the energy attribution
+	// price each module's compute exactly.
+	Inst [isa.NumOps]uint64 `json:"inst"`
+	// Txn splits the module's data-movement transactions by class (in
+	// isa.TxnKind order). ShmToRF and L1ToRF are charged to the
+	// requesting module; L2ToL1 follows the module whose L2 slice served
+	// the request (the requester under module-side caching, the home
+	// module under memory-side caching); DRAMToL2 follows the home
+	// module whose DRAM stack was read, matching DRAMBytes. InterGPM and
+	// Switch stay zero here: fabric traffic is attributed per link, not
+	// per module.
+	Txn [isa.NumTxnKinds]uint64 `json:"txn"`
 }
 
 // LinkCounters holds one unidirectional fabric link's counters.
@@ -140,6 +161,15 @@ type Collector struct {
 	samples  []Sample
 	interval float64
 	next     float64
+
+	// Trace state, populated only after EnableTrace: per-launch timeline
+	// records plus, per time-series sample, a snapshot of each fabric
+	// link's cumulative busy cycles (parallel to samples).
+	traceOn        bool
+	launches       []TraceLaunch
+	linkNames      []string
+	linkBusy       func() []float64
+	sampleLinkBusy [][]float64
 }
 
 // NewCollector builds a collector for a run over gpms physical modules.
@@ -171,9 +201,40 @@ func (c *Collector) MaybeSample(now float64, activeWarps, pendingCTAs int) {
 		PendingCTAs:      pendingCTAs,
 		WarpInstructions: c.totalWarpInstructions(),
 	})
+	if c.traceOn && c.linkBusy != nil {
+		c.sampleLinkBusy = append(c.sampleLinkBusy, c.linkBusy())
+	}
 	for c.next <= now {
 		c.next += c.interval
 	}
+}
+
+// EnableTrace switches the collector into trace mode: RecordLaunch
+// becomes active and every time-series sample additionally snapshots
+// the fabric links' cumulative busy cycles (linkBusy returns one value
+// per link, in linkNames order; both may be nil for fabric-less
+// designs).
+func (c *Collector) EnableTrace(linkNames []string, linkBusy func() []float64) {
+	c.traceOn = true
+	c.linkNames = linkNames
+	c.linkBusy = linkBusy
+}
+
+// TraceEnabled reports whether EnableTrace was called.
+func (c *Collector) TraceEnabled() bool { return c.traceOn }
+
+// RecordLaunch appends one kernel-launch window with its per-GPM
+// busy/stall phases. A no-op unless tracing is enabled.
+func (c *Collector) RecordLaunch(kernel string, startCycles, endCycles float64, gpms []TraceGPMPhase) {
+	if !c.traceOn {
+		return
+	}
+	c.launches = append(c.launches, TraceLaunch{
+		Kernel:      kernel,
+		StartCycles: startCycles,
+		EndCycles:   endCycles,
+		GPMs:        gpms,
+	})
 }
 
 func (c *Collector) totalWarpInstructions() uint64 {
@@ -228,6 +289,12 @@ type RunnerProfile struct {
 	// worker-seconds spent simulating. Low occupancy on a large grid
 	// means the pool starved (cache hits, skew, or too many workers).
 	Occupancy float64 `json:"occupancy"`
+	// WarpInstructions is the cumulative warp-instruction count over all
+	// simulated (non-memoized) points; NsPerInstruction is SimWallSeconds
+	// normalized by it — the engine-wide throughput number that the live
+	// /metrics endpoint exports. Zero when nothing was simulated.
+	WarpInstructions uint64  `json:"warp_instructions"`
+	NsPerInstruction float64 `json:"ns_per_instruction,omitempty"`
 	// Slowest lists the most expensive simulated points, costliest
 	// first (bounded; ties broken by name for determinism).
 	Slowest []PointProfile `json:"slowest,omitempty"`
@@ -256,6 +323,9 @@ type PointCounters struct {
 	SimKey string `json:"sim_key"`
 	// Counters is the run's observability snapshot.
 	Counters *Counters `json:"counters"`
+	// Energy is the exact per-GPM/per-term/per-link decomposition of the
+	// point's model energy, when the exporting CLI can price the point.
+	Energy *EnergyAttribution `json:"energy,omitempty"`
 }
 
 // Report is the top-level -counters JSON document.
@@ -279,21 +349,38 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteFile writes the report to path, removing the file on failure so
-// partial exports never survive.
+// WriteFile writes the report to path atomically: the JSON is written
+// to a temporary file in the same directory and renamed into place, so
+// a reader (or a crash) never observes a partial export and a failed
+// write leaves any previous file untouched.
 func (r *Report) WriteFile(path string) error {
-	f, err := os.Create(path)
+	return writeFileAtomic(path, r.WriteJSON)
+}
+
+// writeFileAtomic streams write into a temp file next to path and
+// renames it over path on success; on any failure the temp file is
+// removed and path is left as it was.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := r.WriteJSON(f); err != nil {
+	tmp := f.Name()
+	fail := func(stage string, err error) error {
 		f.Close()
-		os.Remove(path)
-		return fmt.Errorf("obs: writing %s: %w", path, err)
+		os.Remove(tmp)
+		return fmt.Errorf("obs: %s %s: %w", stage, path, err)
+	}
+	if err := write(f); err != nil {
+		return fail("writing", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
-		return fmt.Errorf("obs: closing %s: %w", path, err)
+		return fail("closing", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: committing %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/sim"
+)
+
+// collectJSONSchema walks the exported struct fields reachable from the
+// seed values and returns one sorted "pkg.Type.jsonname" line per
+// serialized field — the complete exported JSON surface.
+func collectJSONSchema(seeds ...any) []string {
+	seen := map[reflect.Type]bool{}
+	var lines []string
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		switch t.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array, reflect.Map:
+			walk(t.Elem())
+			return
+		case reflect.Struct:
+		default:
+			return
+		}
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+			if name == "-" {
+				continue
+			}
+			if name == "" {
+				name = f.Name
+			}
+			lines = append(lines, fmt.Sprintf("%s.%s", t.String(), name))
+			walk(f.Type)
+		}
+	}
+	for _, s := range seeds {
+		walk(reflect.TypeOf(s))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestSchemaStability is the tripwire for silent schema drift: the full
+// set of exported JSON field names reachable from the public result and
+// report types must match the golden file for the current
+// obs.SchemaVersion. Renaming or removing a serialized field without
+// bumping SchemaVersion fails here; after a deliberate change, bump
+// obs.SchemaVersion and regenerate the new version's golden with
+//
+//	UPDATE_OBS_SCHEMA=1 go test ./internal/obs/ -run TestSchemaStability
+func TestSchemaStability(t *testing.T) {
+	lines := collectJSONSchema(
+		sim.Result{},
+		obs.Report{},
+		obs.EnergyAttribution{},
+		obs.Trace{},
+		obs.RunnerProfile{},
+	)
+	got := strings.Join(lines, "\n") + "\n"
+	golden := filepath.Join("testdata", fmt.Sprintf("schema_v%d.golden", obs.SchemaVersion))
+
+	if os.Getenv("UPDATE_OBS_SCHEMA") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d fields)", golden, len(lines))
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("no golden schema for SchemaVersion %d (%v).\n"+
+			"If the exported JSON schema changed deliberately, bump obs.SchemaVersion and run\n"+
+			"  UPDATE_OBS_SCHEMA=1 go test ./internal/obs/ -run TestSchemaStability",
+			obs.SchemaVersion, err)
+	}
+	if got == string(want) {
+		return
+	}
+
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(string(want)), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range lines {
+		gotSet[l] = true
+	}
+	var added, removed []string
+	for l := range gotSet {
+		if !wantSet[l] {
+			added = append(added, l)
+		}
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			removed = append(removed, l)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	t.Errorf("exported JSON schema drifted from %s without a SchemaVersion bump.\n"+
+		"added: %v\nremoved: %v\n"+
+		"Consumers pin these names; if the change is deliberate, bump obs.SchemaVersion\n"+
+		"and regenerate with UPDATE_OBS_SCHEMA=1 go test ./internal/obs/ -run TestSchemaStability",
+		golden, added, removed)
+}

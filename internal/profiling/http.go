@@ -1,0 +1,139 @@
+// Live introspection for long sweeps: an optional HTTP server (the
+// -httpaddr flag of cmd/sweep and cmd/gpmsim) that exposes
+//
+//	/debug/pprof/   the standard net/http/pprof handlers
+//	/progress       a JSON snapshot of batch progress and the runner
+//	                profile (points done/total, memo hits, occupancy,
+//	                ns/instruction)
+//	/metrics        the same figures in Prometheus text exposition
+//	                format, hand-rendered so no dependency is pulled in
+//
+// so a multi-hour sweep is inspectable (and scrapeable) without
+// -progress log scraping. The server is strictly opt-in: without
+// -httpaddr no listener is opened and the CLI's output is untouched.
+package profiling
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"gpujoule/internal/obs"
+)
+
+// Progress is the live batch position published via SetProgress.
+type Progress struct {
+	// Done and Total are the resolved and total point counts of the
+	// current batch.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// HTTPServer is the live-introspection endpoint of one CLI process.
+type HTTPServer struct {
+	ln      net.Listener
+	srv     *http.Server
+	profile func() obs.RunnerProfile
+
+	mu   sync.Mutex
+	prog Progress
+}
+
+// ServeHTTP starts the introspection server on addr (host:port; an
+// empty host binds all interfaces, port 0 picks a free port). profile
+// supplies the current runner profile on demand and may be nil before
+// an engine exists. The server runs until Close.
+func ServeHTTP(addr string, profile func() obs.RunnerProfile) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: listening on %s: %w", addr, err)
+	}
+	s := &HTTPServer{ln: ln, profile: profile}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/", s.handleIndex)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving a :0 port).
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// SetProgress publishes the batch position; wire it to the run
+// engine's PointDone events.
+func (s *HTTPServer) SetProgress(done, total int) {
+	s.mu.Lock()
+	s.prog = Progress{Done: done, Total: total}
+	s.mu.Unlock()
+}
+
+// Close shuts the server down immediately.
+func (s *HTTPServer) Close() error { return s.srv.Close() }
+
+func (s *HTTPServer) snapshot() (Progress, obs.RunnerProfile) {
+	s.mu.Lock()
+	prog := s.prog
+	s.mu.Unlock()
+	var rp obs.RunnerProfile
+	if s.profile != nil {
+		rp = s.profile()
+	}
+	return prog, rp
+}
+
+func (s *HTTPServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "gpujoule live introspection\n\n"+
+		"  /progress      batch progress + runner profile (JSON)\n"+
+		"  /metrics       Prometheus text exposition\n"+
+		"  /debug/pprof/  net/http/pprof\n")
+}
+
+func (s *HTTPServer) handleProgress(w http.ResponseWriter, r *http.Request) {
+	prog, rp := s.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		SchemaVersion int               `json:"schema_version"`
+		Progress      Progress          `json:"progress"`
+		Profile       obs.RunnerProfile `json:"runner_profile"`
+	}{obs.SchemaVersion, prog, rp})
+}
+
+// handleMetrics renders the Prometheus text exposition format
+// (version 0.0.4) by hand — a handful of gauges does not justify a
+// client-library dependency.
+func (s *HTTPServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	prog, rp := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	gauge := func(name, help string, value float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
+	}
+	gauge("gpujoule_batch_points_done", "Points resolved in the current batch.", float64(prog.Done))
+	gauge("gpujoule_batch_points_total", "Points in the current batch.", float64(prog.Total))
+	gauge("gpujoule_runner_workers", "Worker-pool concurrency bound.", float64(rp.Workers))
+	gauge("gpujoule_runner_points", "Points resolved over the engine's lifetime.", float64(rp.Points))
+	gauge("gpujoule_runner_simulated", "Real simulator executions.", float64(rp.Simulated))
+	gauge("gpujoule_runner_cache_hits", "Points served from the memo cache.", float64(rp.CacheHits))
+	gauge("gpujoule_runner_sim_wall_seconds", "Cumulative wall time inside the simulator.", rp.SimWallSeconds)
+	gauge("gpujoule_runner_batch_wall_seconds", "Elapsed wall time across Run calls.", rp.BatchWallSeconds)
+	gauge("gpujoule_runner_occupancy", "Fraction of worker-seconds spent simulating.", rp.Occupancy)
+	gauge("gpujoule_runner_warp_instructions", "Cumulative simulated warp instructions.", float64(rp.WarpInstructions))
+	gauge("gpujoule_runner_ns_per_instruction", "Simulator cost per warp instruction.", rp.NsPerInstruction)
+}

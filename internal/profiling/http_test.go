@@ -1,0 +1,130 @@
+package profiling
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gpujoule/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeHTTP spins the introspection server up on an ephemeral port
+// and checks every endpoint family: /progress reflects SetProgress and
+// the wired profile callback, /metrics renders the Prometheus gauges,
+// and the pprof mux is mounted.
+func TestServeHTTP(t *testing.T) {
+	profile := func() obs.RunnerProfile {
+		return obs.RunnerProfile{Workers: 3, Points: 7, CacheHits: 2, WarpInstructions: 1000}
+	}
+	srv, err := ServeHTTP("127.0.0.1:0", profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	srv.SetProgress(5, 12)
+
+	code, body := get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress: status %d", code)
+	}
+	var prog struct {
+		SchemaVersion int               `json:"schema_version"`
+		Progress      Progress          `json:"progress"`
+		Profile       obs.RunnerProfile `json:"runner_profile"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress is not valid JSON: %v\n%s", err, body)
+	}
+	if prog.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", prog.SchemaVersion, obs.SchemaVersion)
+	}
+	if prog.Progress != (Progress{Done: 5, Total: 12}) {
+		t.Errorf("progress = %+v, want 5/12", prog.Progress)
+	}
+	if prog.Profile.Workers != 3 || prog.Profile.Points != 7 || prog.Profile.WarpInstructions != 1000 {
+		t.Errorf("runner_profile = %+v, want the wired callback's values", prog.Profile)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"gpujoule_batch_points_done 5\n",
+		"gpujoule_batch_points_total 12\n",
+		"gpujoule_runner_workers 3\n",
+		"gpujoule_runner_cache_hits 2\n",
+		"gpujoule_runner_warp_instructions 1000\n",
+		"# TYPE gpujoule_runner_occupancy gauge\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+	if code, body = get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/progress") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+	if code, _ = get(t, base+"/no-such-page"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}
+
+// TestServeHTTPNilProfile checks the pre-engine window: a nil profile
+// callback serves a zero runner profile instead of crashing.
+func TestServeHTTPNilProfile(t *testing.T) {
+	srv, err := ServeHTTP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress: status %d", code)
+	}
+	if !strings.Contains(body, `"runner_profile"`) {
+		t.Errorf("/progress lacks runner_profile section:\n%s", body)
+	}
+}
+
+// TestServeHTTPBadAddr checks that an unusable listen address surfaces
+// as an error instead of a background panic.
+func TestServeHTTPBadAddr(t *testing.T) {
+	if _, err := ServeHTTP("256.256.256.256:0", nil); err == nil {
+		t.Fatal("ServeHTTP accepted an unusable address")
+	}
+}
+
+// TestVersionString checks the -version line carries the binary name,
+// the obs schema version, and the Go runtime version.
+func TestVersionString(t *testing.T) {
+	v := VersionString("sweep")
+	if !strings.HasPrefix(v, "sweep ") {
+		t.Errorf("version %q lacks the binary name prefix", v)
+	}
+	for _, want := range []string{"obs schema v", "go1"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("version %q missing %q", v, want)
+		}
+	}
+}

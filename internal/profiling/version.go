@@ -1,0 +1,32 @@
+package profiling
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"gpujoule/internal/obs"
+)
+
+// VersionString renders the -version output of a CLI: the binary name,
+// the module version (with VCS revision when the build recorded one),
+// the obs JSON schema version, and the Go toolchain. Archived counter,
+// energy, and trace artifacts are traceable to a schema through it.
+func VersionString(binary string) string {
+	version := "(devel)"
+	revision := ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				revision = s.Value[:12]
+			}
+		}
+	}
+	if revision != "" {
+		version += "+" + revision
+	}
+	return fmt.Sprintf("%s %s (obs schema v%d, %s)", binary, version, obs.SchemaVersion, runtime.Version())
+}

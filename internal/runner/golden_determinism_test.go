@@ -114,4 +114,69 @@ func TestGoldenDeterminism(t *testing.T) {
 	if first.Counters == nil || results[0].Counters == nil {
 		t.Fatal("counters snapshot missing from a WithCounters run")
 	}
+
+	// Tracing is opt-in: a run without WithTrace must not carry (or
+	// serialize) a trace section, so counters-only output is
+	// byte-identical to the pre-trace schema.
+	if first.Trace != nil {
+		t.Fatal("Trace present on a run without WithTrace")
+	}
+	if bytes.Contains(fb, []byte(`"trace"`)) {
+		t.Fatalf("untraced result serializes a trace field:\n%s", fb)
+	}
+}
+
+// TestGoldenDeterminismTrace extends the golden tripwire to the traced
+// path: tracing must not perturb the simulation, and traced runs must
+// be byte-identical across fresh GPUs and engine worker counts.
+func TestGoldenDeterminismTrace(t *testing.T) {
+	app := goldenApp()
+	cfg := sim.MultiGPM(4, sim.BW2x)
+
+	plain, err := sim.Simulate(context.Background(), cfg, app, sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sim.Simulate(context.Background(), cfg, app, sim.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sim.Simulate(context.Background(), cfg, app, sim.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, sb := marshalResult(t, first), marshalResult(t, second)
+	if !bytes.Equal(fb, sb) {
+		t.Fatalf("two fresh traced simulations differ:\nfirst:\n%s\nsecond:\n%s", fb, sb)
+	}
+	if first.Trace == nil || len(first.Trace.Launches) == 0 {
+		t.Fatal("WithTrace run carries no timeline")
+	}
+
+	// Stripping the trace-only sections (the trace itself and the
+	// sampler series its default interval added) must recover the
+	// counters-only result exactly: tracing observed the same simulation.
+	stripped := *first
+	stripped.Trace = nil
+	cc := *first.Counters
+	cc.Samples = nil
+	stripped.Counters = &cc
+	if !bytes.Equal(marshalResult(t, &stripped), marshalResult(t, plain)) {
+		t.Fatal("tracing perturbed the simulated result")
+	}
+
+	eng := runner.New(runner.Options{Workers: 4, Trace: true})
+	pts := []runner.Point{
+		{App: app, Scale: 1, Config: cfg},
+		{App: app, Scale: 1, Config: sim.MultiGPM(2, sim.BW2x)},
+		{App: app, Scale: 1, Config: sim.MultiGPM(1, sim.BW1x)},
+		{App: app, Scale: 1, Config: sim.MultiGPM(4, sim.BW1x)},
+	}
+	results, err := eng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb := marshalResult(t, results[0]); !bytes.Equal(fb, pb) {
+		t.Fatalf("engine traced result at 4 workers differs from fresh simulation:\nfresh:\n%s\nengine:\n%s", fb, pb)
+	}
 }

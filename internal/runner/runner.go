@@ -99,6 +99,10 @@ type Options struct {
 	// time series every interval cycles (sim.WithSampler; implies
 	// Counters).
 	SampleInterval float64
+	// Trace enables timeline recording (sim.WithTrace; implies
+	// Counters): results carry a Result.Trace renderable as a Chrome
+	// trace_event file.
+	Trace bool
 }
 
 // Stats is a snapshot of an engine's lifetime counters.
@@ -111,6 +115,10 @@ type Stats struct {
 	// SimWall is the cumulative wall time spent inside sim.Run; with
 	// multiple workers it exceeds elapsed time.
 	SimWall time.Duration
+	// Instructions is the cumulative warp-instruction count over all
+	// real simulations — the denominator of the engine-wide
+	// ns/instruction throughput figure.
+	Instructions uint64
 }
 
 // Engine executes simulation points across a worker pool with
@@ -151,6 +159,9 @@ func New(opts Options) *Engine {
 	}
 	if opts.SampleInterval > 0 {
 		simOpts = append(simOpts, sim.WithSampler(opts.SampleInterval))
+	}
+	if opts.Trace {
+		simOpts = append(simOpts, sim.WithTrace())
 	}
 	return &Engine{
 		workers: w,
@@ -330,7 +341,9 @@ func (e *Engine) resolve(j job, res *sim.Result, err error, elapsed time.Duratio
 			Point:   j.pt.String(),
 			Seconds: elapsed.Seconds(),
 		}
-		if insts := res.Counts.TotalWarpInstructions(); insts > 0 {
+		insts := res.Counts.TotalWarpInstructions()
+		e.stats.Instructions += insts
+		if insts > 0 {
 			pp.NsPerInstruction = float64(elapsed.Nanoseconds()) / float64(insts)
 		}
 		e.timings = append(e.timings, pp)
@@ -367,6 +380,10 @@ func (e *Engine) Profile() obs.RunnerProfile {
 			occupancy = 1
 		}
 	}
+	nsPerInst := 0.0
+	if e.stats.Instructions > 0 {
+		nsPerInst = float64(e.stats.SimWall.Nanoseconds()) / float64(e.stats.Instructions)
+	}
 	return obs.RunnerProfile{
 		Workers:          e.workers,
 		Points:           e.stats.Simulated + e.stats.CacheHits,
@@ -375,6 +392,8 @@ func (e *Engine) Profile() obs.RunnerProfile {
 		SimWallSeconds:   e.stats.SimWall.Seconds(),
 		BatchWallSeconds: e.batchWall.Seconds(),
 		Occupancy:        occupancy,
+		WarpInstructions: e.stats.Instructions,
+		NsPerInstruction: nsPerInst,
 		Slowest:          slowest,
 	}
 }

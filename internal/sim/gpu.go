@@ -157,8 +157,32 @@ func newGPU(cfg Config, app *trace.App, o simOptions) (*GPU, error) {
 	g.res = &Result{App: app.Name, Config: cfg}
 	if o.counters {
 		g.col = obs.NewCollector(phys.GPMs, o.sampleInterval)
+		if o.trace {
+			g.enableTrace()
+		}
 	}
 	return g, nil
+}
+
+// enableTrace switches the collector into trace mode, wiring the
+// per-sample fabric link-busy snapshot (nil for fabric-less designs).
+func (g *GPU) enableTrace() {
+	var names []string
+	var busy func() []float64
+	if g.fabric != nil {
+		for _, ls := range g.fabric.LinkStats() {
+			names = append(names, ls.Name)
+		}
+		busy = func() []float64 {
+			stats := g.fabric.LinkStats()
+			out := make([]float64, len(stats))
+			for i := range stats {
+				out[i] = stats[i].BusyCycles
+			}
+			return out
+		}
+	}
+	g.col.EnableTrace(names, busy)
 }
 
 // runAll executes every launch of the application in order, checking
@@ -312,6 +336,10 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 		// from the aggregate sum above so the aggregate's float
 		// summation order (and therefore the disabled-path output)
 		// is bit-identical with counters on or off.
+		var phases []obs.TraceGPMPhase
+		if g.col.TraceEnabled() {
+			phases = make([]obs.TraceGPMPhase, 0, len(g.gpms))
+		}
 		for _, gpm := range g.gpms {
 			var busyGPM float64
 			for _, sm := range gpm.sms {
@@ -324,6 +352,16 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 			gc := &g.col.GPMs[gpm.id]
 			gc.BusyCycles += busyGPM
 			gc.StallCycles += stallGPM
+			if phases != nil {
+				phases = append(phases, obs.TraceGPMPhase{
+					GPM:         gpm.id,
+					BusyCycles:  busyGPM,
+					StallCycles: stallGPM,
+				})
+			}
+		}
+		if phases != nil {
+			g.col.RecordLaunch(k.Name, start, eng.end, phases)
 		}
 	}
 	totalSMCycles := dur * float64(g.totalSMs())
@@ -409,7 +447,9 @@ func (g *GPU) access(sm *smState, t float64, m *trace.MemAccess, w *warpState, i
 		eng := w.eng
 		eng.counts.Txn[isa.TxnL1ToRF]++
 		if g.col != nil {
-			g.col.GPMs[gpm.id].L1Accesses++
+			gc := &g.col.GPMs[gpm.id]
+			gc.L1Accesses++
+			gc.Txn[isa.TxnL1ToRF]++
 		}
 		if sm.l1.Access(addr) {
 			lineDone = lineStart + latL1Hit
@@ -445,7 +485,9 @@ func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	eng.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
 	g.res.L2Accesses++
 	if g.col != nil {
-		g.col.GPMs[gpm.id].L2Accesses++
+		gc := &g.col.GPMs[gpm.id]
+		gc.L2Accesses++
+		gc.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
 	}
 	t2 := gpm.l2bw.Acquire(t, isa.LineBytes)
 	if gpm.l2.Access(addr) {
@@ -460,6 +502,11 @@ func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	home := 0
 	if len(g.gpms) > 1 {
 		home = g.pages.Home(addr, gpm.id)
+	}
+	if g.col != nil {
+		// DRAM reads attribute to the home module whose stack served
+		// them, matching the DRAMBytes attribution.
+		g.col.GPMs[home].Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
 	}
 	homeDRAM := g.gpms[home].dram
 	if home == gpm.id {
@@ -514,7 +561,9 @@ func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr u
 		// Memory-side L2s live with their DRAM stack, so L2 counters
 		// attribute to the home module; fills keep requester-relative
 		// local/remote attribution (the module's NUMA exposure).
-		g.col.GPMs[home].L2Accesses++
+		gc := &g.col.GPMs[home]
+		gc.L2Accesses++
+		gc.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
 	}
 	t2 := homeGPM.l2bw.Acquire(arrive, isa.LineBytes)
 	var ready float64
@@ -524,7 +573,9 @@ func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr u
 		g.res.L2Misses++
 		eng.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
 		if g.col != nil {
-			g.col.GPMs[home].L2Misses++
+			gc := &g.col.GPMs[home]
+			gc.L2Misses++
+			gc.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
 		}
 		if home == gpm.id {
 			g.res.LocalLineFills++

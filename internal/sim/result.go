@@ -57,6 +57,9 @@ type Result struct {
 	// reconcile with the aggregates above (exactly for event counts,
 	// within one cycle per launch for stall cycles).
 	Counters *obs.Counters `json:"counters,omitempty"`
+	// Trace is the run's timeline, present only with WithTrace. It
+	// renders to the Chrome trace_event format via obs.Trace.WriteChrome.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // Cycles returns the end-to-end execution time in cycles.

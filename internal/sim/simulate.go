@@ -24,8 +24,16 @@ type Option func(*simOptions)
 // simOptions collects the resolved option set.
 type simOptions struct {
 	counters       bool
+	trace          bool
 	sampleInterval float64
 }
+
+// defaultTraceSampleCycles is the sampler interval WithTrace installs
+// when the caller did not pick one: fine enough to resolve link
+// saturation within a launch, coarse enough to stay a rounding error in
+// simulation cost. Fixed (not derived from run length) so traced runs
+// stay deterministic and memoizable.
+const defaultTraceSampleCycles = 5000
 
 // WithCounters enables the observability layer: the returned Result
 // carries a Counters snapshot with per-GPM instruction/stall/cache
@@ -52,6 +60,22 @@ func WithSampler(interval float64) Option {
 	}
 }
 
+// WithTrace additionally records a timeline: kernel-launch windows,
+// per-GPM busy/stall phases per launch, and link-saturation episodes
+// derived from the sampler's time series. The timeline is attached to
+// Result.Trace (cycle-exact, schema-versioned) and renders to the
+// Chrome trace_event format via obs.Trace.WriteChrome for
+// chrome://tracing / Perfetto. WithTrace implies WithCounters and, if
+// no WithSampler interval was chosen, installs a default sampling
+// interval. Without this option Result.Trace is nil and output is
+// byte-identical to an untraced run.
+func WithTrace() Option {
+	return func(o *simOptions) {
+		o.counters = true
+		o.trace = true
+	}
+}
+
 // Simulate runs the whole application on the configured GPU and
 // returns the result. It is the single entry point of the simulator:
 // one call validates the configuration and the application, builds the
@@ -70,6 +94,9 @@ func Simulate(ctx context.Context, cfg Config, app *trace.App, opts ...Option) (
 	var o simOptions
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.trace && o.sampleInterval <= 0 {
+		o.sampleInterval = defaultTraceSampleCycles
 	}
 	g, err := newGPU(cfg, app, o)
 	if err != nil {
@@ -120,6 +147,9 @@ func (g *GPU) finishCounters() {
 		}
 	}
 	g.res.Counters = g.col.Snapshot(links)
+	if g.col.TraceEnabled() {
+		g.res.Trace = g.col.TraceSnapshot(ClockHz)
+	}
 }
 
 // cancelled wraps a context error into the simulator's error space.

@@ -217,6 +217,7 @@ func (sm *smState) issue(w *warpState, eng *launchEngine) {
 		gc := &col.GPMs[sm.gpm.id]
 		gc.WarpInstructions++
 		gc.ThreadInstructions += rec.active
+		gc.Inst[rec.op] += rec.active
 	}
 
 	occ := rec.occ
@@ -238,6 +239,9 @@ func (sm *smState) issue(w *warpState, eng *launchEngine) {
 
 	case recShared:
 		eng.counts.Txn[isa.TxnShmToRF]++
+		if col := eng.gpu.col; col != nil {
+			col.GPMs[sm.gpm.id].Txn[isa.TxnShmToRF]++
+		}
 		w.readyAt = sm.clock + occ + rec.lat
 
 	case recBarrier:

@@ -1,0 +1,156 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/sim"
+)
+
+// TestTraceTimelineMatchesLaunches checks that the timeline recorded by
+// WithTrace agrees with the result's own launch records: same kernels,
+// same launch windows, one busy/stall phase per module.
+func TestTraceTimelineMatchesLaunches(t *testing.T) {
+	app := obsApp(t, "Stream")
+	cfg := sim.MultiGPM(4, sim.BW2x)
+
+	res, err := sim.Simulate(context.Background(), cfg, app, sim.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("WithTrace run carries no trace")
+	}
+	if tr.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("trace schema version = %d, want %d", tr.SchemaVersion, obs.SchemaVersion)
+	}
+	if tr.ClockHz != sim.ClockHz {
+		t.Errorf("trace clock = %g, want %g", tr.ClockHz, sim.ClockHz)
+	}
+	if len(tr.Launches) != len(res.Launches) {
+		t.Fatalf("trace has %d launches, result has %d", len(tr.Launches), len(res.Launches))
+	}
+	for i := range tr.Launches {
+		got, want := &tr.Launches[i], &res.Launches[i]
+		if got.Kernel != want.Kernel {
+			t.Errorf("launch %d: kernel %q, want %q", i, got.Kernel, want.Kernel)
+		}
+		if got.StartCycles != want.Start || got.EndCycles != want.End {
+			t.Errorf("launch %d: window [%g, %g], want [%g, %g]",
+				i, got.StartCycles, got.EndCycles, want.Start, want.End)
+		}
+		if len(got.GPMs) != cfg.GPMs {
+			t.Fatalf("launch %d: %d GPM phases, want %d", i, len(got.GPMs), cfg.GPMs)
+		}
+		for g, p := range got.GPMs {
+			if p.GPM != g {
+				t.Errorf("launch %d phase %d: GPM index %d", i, g, p.GPM)
+			}
+			if p.BusyCycles < 0 || p.StallCycles < 0 {
+				t.Errorf("launch %d GPM %d: negative phase (%g busy, %g stall)",
+					i, g, p.BusyCycles, p.StallCycles)
+			}
+			window := (want.End - want.Start) * float64(cfg.SMsPerGPM)
+			if sum := p.BusyCycles + p.StallCycles; sum > window*1.0000001 {
+				t.Errorf("launch %d GPM %d: busy+stall %g exceeds SM-cycle window %g",
+					i, g, sum, window)
+			}
+		}
+	}
+	if len(tr.Samples) == 0 {
+		t.Error("traced run recorded no sampler series (default trace interval not installed?)")
+	}
+}
+
+// chromeDoc mirrors the Chrome trace_event file shape for validation.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// TestTraceChromeExport checks that the Chrome rendering is a valid
+// trace_event document: parseable JSON, known phase codes, nonnegative
+// durations, and per-track monotonic timestamps.
+func TestTraceChromeExport(t *testing.T) {
+	app := obsApp(t, "Stream")
+	cfgs := []sim.Config{sim.MultiGPM(4, sim.BW1x), sim.MultiGPM(2, sim.BW2x)}
+
+	var points []obs.PointTrace
+	for _, cfg := range cfgs {
+		res, err := sim.Simulate(context.Background(), cfg, app, sim.WithTrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, obs.PointTrace{Name: app.Name + " on " + cfg.Name(), Trace: res.Trace})
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTraces(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["generator"] != "gpujoule" {
+		t.Errorf("otherData.generator = %v", doc.OtherData["generator"])
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome export has no events")
+	}
+
+	type track struct {
+		pid, tid int
+		ph       string
+	}
+	lastTs := map[track]float64{}
+	pids := map[int]bool{}
+	nX := 0
+	for i, ev := range doc.TraceEvents {
+		pids[ev.Pid] = true
+		switch ev.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "X", "C":
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %d (%s): negative ts %g / dur %g", i, ev.Name, ev.Ts, ev.Dur)
+		}
+		if ev.Ph == "X" {
+			nX++
+		}
+		k := track{ev.Pid, ev.Tid, ev.Ph}
+		if prev, ok := lastTs[k]; ok && ev.Ts < prev {
+			t.Errorf("event %d (%s): ts %g goes backwards on pid %d tid %d (%s track, prev %g)",
+				i, ev.Name, ev.Ts, ev.Pid, ev.Tid, ev.Ph, prev)
+		}
+		lastTs[k] = ev.Ts
+	}
+	if nX == 0 {
+		t.Error("Chrome export has no duration events")
+	}
+	// One process track per traced point.
+	for i := range points {
+		if !pids[i+1] {
+			t.Errorf("no events for point %d (pid %d)", i, i+1)
+		}
+	}
+}
