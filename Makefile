@@ -5,7 +5,7 @@
 # tests once.
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench ci smoke
 
 build:
 	$(GO) build ./...
@@ -24,5 +24,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# End-to-end gpujouled service smoke: daemon + persistent cache
+# round-trip + byte-identical -server sweep. Not part of tier-1 `ci`
+# (it builds binaries and binds a port); CI runs it as its own step.
+smoke:
+	scripts/service_smoke.sh
 
 ci: vet build race test

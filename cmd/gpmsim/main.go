@@ -92,35 +92,29 @@ func main() {
 	if withBase {
 		points = append(points, runner.Point{App: app, Scale: *scale, Config: sim.MultiGPM(1, sim.BW2x)})
 	}
+	// The engine must exist before the introspection server starts: the
+	// server's handlers pull the profile from listener goroutines, so a
+	// late-bound engine variable would race with them. Events only fire
+	// inside Run, which starts after srv is assigned.
 	var srv *profiling.HTTPServer
-	var eng *runner.Engine
-	if *httpAddr != "" {
-		srv, err = profiling.ServeHTTP(*httpAddr, func() obs.RunnerProfile {
-			if eng == nil {
-				return obs.RunnerProfile{}
+	eng := runner.New(runner.Options{
+		OnEvent: func(ev runner.Event) {
+			if srv != nil && ev.Kind == runner.PointDone {
+				srv.SetProgress(ev.Completed, ev.Total)
 			}
-			return eng.Profile()
-		})
+		},
+		Counters:       *countersOut != "",
+		SampleInterval: *sample,
+		Trace:          *traceOut != "",
+	})
+	if *httpAddr != "" {
+		srv, err = profiling.ServeHTTP(*httpAddr, eng.Profile)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "gpmsim: live introspection on http://%s/\n", srv.Addr())
 	}
-	var onEvent func(runner.Event)
-	if srv != nil {
-		onEvent = func(ev runner.Event) {
-			if ev.Kind == runner.PointDone {
-				srv.SetProgress(ev.Completed, ev.Total)
-			}
-		}
-	}
-	eng = runner.New(runner.Options{
-		OnEvent:        onEvent,
-		Counters:       *countersOut != "",
-		SampleInterval: *sample,
-		Trace:          *traceOut != "",
-	})
 	results, err := eng.Run(context.Background(), points)
 	if err != nil {
 		fatal(err)

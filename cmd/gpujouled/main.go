@@ -1,0 +1,124 @@
+// Command gpujouled is the resident simulation service: a long-running
+// daemon that accepts sweep jobs over HTTP, runs them on one shared
+// run engine, and answers from a persistent content-addressed result
+// cache — a warm point never simulates again, across requests and
+// across restarts.
+//
+// Usage:
+//
+//	gpujouled [-addr :8344] [-cache dir] [-workers n] [-counters]
+//	          [-queue n] [-executors n] [-drain-timeout 5m] [-version]
+//
+// The API (see DESIGN.md §The gpujouled service):
+//
+//	POST   /v1/jobs             submit a sweep job (JSON spec)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result deterministic result document
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/version          build + schema versions
+//
+// plus the shared introspection plane: /progress, /metrics (with
+// cache-hit/miss/coalesce and queue-depth series), and /debug/pprof.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: admission stops
+// (503), queued and running jobs complete, then the process exits. A
+// second signal — or the -drain-timeout deadline — aborts in-flight
+// work instead.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpujoule/internal/profiling"
+	"gpujoule/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpujouled:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8344", "listen address")
+	cacheDir := flag.String("cache", "gpujouled-cache", "result cache directory (empty disables persistence)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	counters := flag.Bool("counters", false, "simulate every point with per-GPM/per-link observability counters")
+	queueCap := flag.Int("queue", 16, "admission queue capacity (jobs beyond it get 429)")
+	executors := flag.Int("executors", 2, "concurrently running jobs")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "how long a graceful drain may take before aborting")
+	version := flag.Bool("version", false, "print schema and module version, then exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(profiling.VersionString("gpujouled"))
+		return nil
+	}
+
+	logger := log.New(os.Stderr, "gpujouled: ", log.LstdFlags)
+	srv, err := service.New(service.Options{
+		Workers:   *workers,
+		Counters:  *counters,
+		CacheDir:  *cacheDir,
+		QueueCap:  *queueCap,
+		Executors: *executors,
+		Logf:      logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	logger.Printf("listening on http://%s/ (cache %q, stamp %q)", ln.Addr(), *cacheDir, service.CacheStamp())
+	if c := srv.Cache(); c != nil {
+		if n, err := c.Len(); err == nil {
+			logger.Printf("result cache holds %d entries", n)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admission, let queued and running jobs
+	// finish. A second signal (stop() restored default handling would
+	// kill us anyway) or the timeout falls back to a hard close.
+	logger.Printf("draining (timeout %s)...", *drainTimeout)
+	stop()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Printf("%v; aborting in-flight jobs", err)
+		srv.Close()
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained, bye")
+	return nil
+}

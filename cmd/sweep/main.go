@@ -12,7 +12,7 @@
 //	sweep [-workloads Stream,Lulesh-150 | -all] [-gpms 1,2,4,8,16,32]
 //	      [-bw 1x,2x,4x] [-topologies ring,switch] [-scale f] [-o out.csv]
 //	      [-workers n] [-progress] [-counters out.json] [-trace out.trace.json]
-//	      [-httpaddr :8080] [-version]
+//	      [-httpaddr :8080] [-server url] [-version]
 //
 // With -counters, every point is simulated with per-GPM/per-link
 // observability counters (internal/obs) and the full snapshot set plus
@@ -24,11 +24,19 @@
 // With -httpaddr, the process serves live introspection while the
 // sweep runs: /progress, Prometheus /metrics, and /debug/pprof. The
 // JSON schemas are documented in DESIGN.md §Observability.
+//
+// With -server, the sweep runs on a resident gpujouled daemon instead
+// of simulating locally: the grid is submitted as one job, warm points
+// are answered from the daemon's persistent result cache, and the CSV
+// output is byte-identical to a local run of the same grid against the
+// same binary version. -counters and -trace require local simulation
+// and are rejected in server mode.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +49,7 @@ import (
 	"gpujoule/internal/obs"
 	"gpujoule/internal/profiling"
 	"gpujoule/internal/runner"
+	"gpujoule/internal/service"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
 	"gpujoule/internal/workloads"
@@ -51,6 +60,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// row is one workload's CSV identity. Local runs take it from the
+// built trace; server runs take it from the workload registry, so no
+// traces are generated client-side.
+type row struct {
+	name     string
+	category trace.Category
 }
 
 func run() (err error) {
@@ -67,6 +84,7 @@ func run() (err error) {
 	countersOut := flag.String("counters", "", "write per-GPM/per-link counters + energy attribution JSON to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of every point to this file")
 	httpAddr := flag.String("httpaddr", "", "serve live introspection (pprof, /progress, /metrics) on this address")
+	serverURL := flag.String("server", "", "run the sweep on a gpujouled daemon at this URL instead of simulating locally")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
 
@@ -81,117 +99,40 @@ func run() (err error) {
 	}
 	defer stopProf()
 
-	params := workloads.Params{Scale: *scale}
-	var apps []*trace.App
-	if *all {
-		apps = workloads.Eval14(params)
-	} else {
-		for _, name := range sim.SplitList(*names) {
-			app, err := workloads.ByName(name, params)
-			if err != nil {
-				return err
-			}
-			apps = append(apps, app)
-		}
-	}
-
 	grid, err := sim.ParseGrid(*gpms, *bws, *topos)
 	if err != nil {
 		return err
 	}
 	cfgs := grid.Configs()
 
-	// The row set is the (workload × design) cross product in grid
-	// order; each workload also needs its 1-GPM baseline for the
-	// scaling metrics. The engine dedupes the overlap.
-	baseCfg := sim.MultiGPM(1, sim.BW2x)
-	var points []runner.Point
-	for _, app := range apps {
-		points = append(points, runner.Point{App: app, Scale: *scale, Config: baseCfg})
-		for _, cfg := range cfgs {
-			points = append(points, runner.Point{App: app, Scale: *scale, Config: cfg})
+	// Both execution paths produce the same row set — the (workload ×
+	// design) cross product in grid order, with each workload's 1-GPM
+	// baseline prepended — and render it through the same emit loop, so
+	// a server sweep's CSV is byte-identical to a local one.
+	var rows []row
+	var results []*sim.Result
+	if *serverURL != "" {
+		if *countersOut != "" || *traceOut != "" {
+			return errors.New("-counters and -trace need local simulation; drop them or drop -server")
 		}
+		rows, results, err = runRemote(*serverURL, service.JobSpec{
+			Workloads:  *names,
+			All:        *all,
+			Scale:      *scale,
+			GPMs:       *gpms,
+			BWs:        *bws,
+			Topologies: *topos,
+			Baseline:   true,
+		}, *progress, len(cfgs))
+	} else {
+		rows, results, err = runLocal(localOptions{
+			names: *names, all: *all, scale: *scale,
+			workers: *workers, progress: *progress,
+			countersOut: *countersOut, traceOut: *traceOut, httpAddr: *httpAddr,
+		}, cfgs)
 	}
-
-	// The introspection server and the engine reference each other (the
-	// server pulls the profile, the engine's events push progress), so
-	// both are captured by variable.
-	var srv *profiling.HTTPServer
-	var eng *runner.Engine
-	if *httpAddr != "" {
-		srv, err = profiling.ServeHTTP(*httpAddr, func() obs.RunnerProfile {
-			if eng == nil {
-				return obs.RunnerProfile{}
-			}
-			return eng.Profile()
-		})
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "sweep: live introspection on http://%s/\n", srv.Addr())
-	}
-
-	var onEvent func(runner.Event)
-	if *progress || srv != nil {
-		onEvent = func(ev runner.Event) {
-			if ev.Kind != runner.PointDone {
-				return
-			}
-			if srv != nil {
-				srv.SetProgress(ev.Completed, ev.Total)
-			}
-			if *progress {
-				fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (%.2fs)\n",
-					ev.Completed, ev.Total, ev.Point, ev.Elapsed.Seconds())
-			}
-		}
-	}
-	eng = runner.New(runner.Options{
-		Workers:  *workers,
-		OnEvent:  onEvent,
-		Counters: *countersOut != "",
-		Trace:    *traceOut != "",
-	})
-	results, err := eng.Run(context.Background(), points)
 	if err != nil {
 		return err
-	}
-	if *progress {
-		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "sweep: %d points, %d distinct simulations, %d cache hits, %.2fs sim wall\n",
-			len(points), st.Simulated, st.CacheHits, st.SimWall.Seconds())
-		fmt.Fprintf(os.Stderr, "sweep: profile %s\n", eng.Profile())
-	}
-
-	if *countersOut != "" {
-		profile := eng.Profile()
-		rep := obs.Report{Profile: &profile}
-		for i, pt := range points {
-			energy, err := obs.AttributeEnergy(modelFor(pt.Config), &results[i].Counts, results[i].Counters)
-			if err != nil {
-				return fmt.Errorf("attributing %s: %w", pt, err)
-			}
-			rep.Points = append(rep.Points, obs.PointCounters{
-				Workload: pt.App.Name,
-				Config:   pt.Config.Name(),
-				SimKey:   pt.Key(),
-				Counters: results[i].Counters,
-				Energy:   energy,
-			})
-		}
-		if err := rep.WriteFile(*countersOut); err != nil {
-			return err
-		}
-	}
-	if *traceOut != "" {
-		traces := make([]obs.PointTrace, len(points))
-		for i, pt := range points {
-			traces[i] = obs.PointTrace{Name: pt.String(), Trace: results[i].Trace}
-		}
-		if err := obs.WriteChromeTracesFile(*traceOut, traces); err != nil {
-			return err
-		}
 	}
 
 	// Buffer the output and only keep -o files that were written in
@@ -223,11 +164,11 @@ func run() (err error) {
 	}, ","))
 
 	i := 0
-	for _, app := range apps {
+	for _, r := range rows {
 		base := results[i]
 		i++
 		for _, cfg := range cfgs {
-			emit(bw, app, cfg, modelFor(cfg), base, results[i])
+			emit(bw, r, cfg, modelFor(cfg), base, results[i])
 			i++
 		}
 	}
@@ -248,7 +189,155 @@ func run() (err error) {
 	return nil
 }
 
-func emit(w io.Writer, app *trace.App, cfg sim.Config, model *core.Model, base, res *sim.Result) {
+type localOptions struct {
+	names, countersOut, traceOut, httpAddr string
+	all, progress                          bool
+	scale                                  float64
+	workers                                int
+}
+
+func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
+	params := workloads.Params{Scale: o.scale}
+	var apps []*trace.App
+	if o.all {
+		apps = workloads.Eval14(params)
+	} else {
+		for _, name := range sim.SplitList(o.names) {
+			app, err := workloads.ByName(name, params)
+			if err != nil {
+				return nil, nil, err
+			}
+			apps = append(apps, app)
+		}
+	}
+	points := runner.GridPoints(apps, o.scale, true, cfgs...)
+
+	// The engine must exist before the introspection server starts:
+	// its handlers pull the profile from listener goroutines, so a
+	// late-bound engine variable would race with them.
+	var srv *profiling.HTTPServer
+	onEvent := func(ev runner.Event) {
+		if ev.Kind != runner.PointDone {
+			return
+		}
+		if srv != nil {
+			srv.SetProgress(ev.Completed, ev.Total)
+		}
+		if o.progress {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (%.2fs)\n",
+				ev.Completed, ev.Total, ev.Point, ev.Elapsed.Seconds())
+		}
+	}
+	eng := runner.New(runner.Options{
+		Workers:  o.workers,
+		OnEvent:  onEvent,
+		Counters: o.countersOut != "",
+		Trace:    o.traceOut != "",
+	})
+	if o.httpAddr != "" {
+		var err error
+		srv, err = profiling.ServeHTTP(o.httpAddr, eng.Profile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: live introspection on http://%s/\n", srv.Addr())
+	}
+	results, err := eng.Run(context.Background(), points)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.progress {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "sweep: %d points, %d distinct simulations, %d cache hits, %.2fs sim wall\n",
+			len(points), st.Simulated, st.CacheHits, st.SimWall.Seconds())
+		fmt.Fprintf(os.Stderr, "sweep: profile %s\n", eng.Profile())
+	}
+
+	if o.countersOut != "" {
+		profile := eng.Profile()
+		rep := obs.Report{Profile: &profile}
+		for i, pt := range points {
+			energy, err := obs.AttributeEnergy(modelFor(pt.Config), &results[i].Counts, results[i].Counters)
+			if err != nil {
+				return nil, nil, fmt.Errorf("attributing %s: %w", pt, err)
+			}
+			rep.Points = append(rep.Points, obs.PointCounters{
+				Workload: pt.App.Name,
+				Config:   pt.Config.Name(),
+				SimKey:   pt.Key(),
+				Counters: results[i].Counters,
+				Energy:   energy,
+			})
+		}
+		if err := rep.WriteFile(o.countersOut); err != nil {
+			return nil, nil, err
+		}
+	}
+	if o.traceOut != "" {
+		traces := make([]obs.PointTrace, len(points))
+		for i, pt := range points {
+			traces[i] = obs.PointTrace{Name: pt.String(), Trace: results[i].Trace}
+		}
+		if err := obs.WriteChromeTracesFile(o.traceOut, traces); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	rows := make([]row, len(apps))
+	for i, app := range apps {
+		rows[i] = row{name: app.Name, category: app.Category}
+	}
+	return rows, results, nil
+}
+
+// runRemote submits the grid as one gpujouled job and reassembles the
+// row set from the daemon's result document. Workload categories come
+// from the registry metadata — no traces are built client-side.
+func runRemote(url string, spec service.JobSpec, progress bool, perRow int) ([]row, []*sim.Result, error) {
+	categories := map[string]trace.Category{}
+	var eval14 []string
+	for _, g := range workloads.Generators() {
+		categories[g.Name] = g.Category
+		if g.InEval14 {
+			eval14 = append(eval14, g.Name)
+		}
+	}
+	sel := sim.SplitList(spec.Workloads)
+	if spec.All {
+		sel = eval14
+	}
+	var rows []row
+	for _, name := range sel {
+		cat, ok := categories[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown workload %q (have %v)", name, workloads.Names())
+		}
+		rows = append(rows, row{name: name, category: cat})
+	}
+
+	client := service.NewClient(url)
+	if progress {
+		fmt.Fprintf(os.Stderr, "sweep: submitting %d points to %s\n", len(rows)*(perRow+1), url)
+	}
+	doc, err := client.RunSweep(context.Background(), spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if want := len(rows) * (perRow + 1); len(doc.Points) != want {
+		return nil, nil, fmt.Errorf("daemon returned %d points, want %d; version skew?", len(doc.Points), want)
+	}
+	results := make([]*sim.Result, len(doc.Points))
+	for i, p := range doc.Points {
+		if p.Result == nil {
+			return nil, nil, fmt.Errorf("daemon returned no result for %s", p.SimKey)
+		}
+		results[i] = p.Result
+	}
+	return rows, results, nil
+}
+
+func emit(w io.Writer, r row, cfg sim.Config, model *core.Model, base, res *sim.Result) {
 	b := model.Estimate(&res.Counts)
 	bs := metrics.Sample{EnergyJoules: model.EstimateEnergy(&base.Counts), DelaySeconds: base.Seconds()}
 	ss := metrics.Sample{EnergyJoules: b.Total(), DelaySeconds: res.Seconds()}
@@ -256,7 +345,7 @@ func emit(w io.Writer, app *trace.App, cfg sim.Config, model *core.Model, base, 
 	stallFrac := float64(res.Counts.StallCycles) /
 		(float64(res.Counts.Cycles) * float64(res.Counts.SMCount))
 	fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%d,%.6g,%.4g,%.6g,%.4g,%.4g,%.4g,%.4f,%.4f,%.4f,%.4g,%.4g,%.4f\n",
-		app.Name, app.Category, cfg.GPMs, cfg.InterGPM, cfg.Topology, cfg.Domain,
+		r.name, r.category, cfg.GPMs, cfg.InterGPM, cfg.Topology, cfg.Domain,
 		res.Counts.Cycles, res.Seconds(),
 		pt.Speedup, ss.EnergyJoules, pt.EnergyRatio, pt.EDPSE, b.AveragePower(),
 		res.L1HitRate(), res.L2HitRate(), res.RemoteFillFraction(),

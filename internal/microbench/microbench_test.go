@@ -1,6 +1,8 @@
 package microbench
 
 import (
+	"context"
+
 	"testing"
 
 	"gpujoule/internal/isa"
@@ -25,7 +27,7 @@ func TestComputeSuiteCoversTableIb(t *testing.T) {
 
 func TestComputeBenchIsPureALU(t *testing.T) {
 	b := ComputeBench(isa.OpFFMA32)
-	r, err := sim.Run(sim.BaseGPM(), b.App)
+	r, err := sim.Simulate(context.Background(), sim.BaseGPM(), b.App)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestComputeBenchRejectsNonCompute(t *testing.T) {
 
 func TestStallBenchStallsHeavily(t *testing.T) {
 	b := StallBench()
-	r, err := sim.Run(sim.BaseGPM(), b.App)
+	r, err := sim.Simulate(context.Background(), sim.BaseGPM(), b.App)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestStallBenchStallsHeavily(t *testing.T) {
 
 func TestSharedBenchIsolation(t *testing.T) {
 	b := SharedBench()
-	r, err := sim.Run(sim.BaseGPM(), b.App)
+	r, err := sim.Simulate(context.Background(), sim.BaseGPM(), b.App)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestSharedBenchIsolation(t *testing.T) {
 
 func TestL1BenchHitsL1(t *testing.T) {
 	b := L1Bench()
-	r, err := sim.Run(sim.BaseGPM(), b.App)
+	r, err := sim.Simulate(context.Background(), sim.BaseGPM(), b.App)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestL1BenchHitsL1(t *testing.T) {
 
 func TestL2BenchHitsL2MissesL1(t *testing.T) {
 	b := L2Bench()
-	r, err := sim.Run(sim.BaseGPM(), b.App)
+	r, err := sim.Simulate(context.Background(), sim.BaseGPM(), b.App)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestL2BenchHitsL2MissesL1(t *testing.T) {
 
 func TestDRAMBenchMissesL2(t *testing.T) {
 	b := DRAMBench()
-	r, err := sim.Run(sim.BaseGPM(), b.App)
+	r, err := sim.Simulate(context.Background(), sim.BaseGPM(), b.App)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +169,7 @@ func TestMixedSuiteShape(t *testing.T) {
 			t.Errorf("%s: %v", b.Name, err)
 			continue
 		}
-		r, err := sim.Run(sim.BaseGPM(), b.App)
+		r, err := sim.Simulate(context.Background(), sim.BaseGPM(), b.App)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -155,7 +155,7 @@ func (t *Trace) WriteChrome(w io.Writer, label string) error {
 
 // WriteChromeFile writes the Chrome rendering atomically to path.
 func (t *Trace) WriteChromeFile(path, label string) error {
-	return writeFileAtomic(path, func(w io.Writer) error { return t.WriteChrome(w, label) })
+	return WriteFileAtomic(path, func(w io.Writer) error { return t.WriteChrome(w, label) })
 }
 
 // WriteChromeTraces renders several traced points into one Chrome
@@ -182,7 +182,7 @@ func WriteChromeTraces(w io.Writer, points []PointTrace) error {
 
 // WriteChromeTracesFile writes the multi-point rendering atomically.
 func WriteChromeTracesFile(path string, points []PointTrace) error {
-	return writeFileAtomic(path, func(w io.Writer) error { return WriteChromeTraces(w, points) })
+	return WriteFileAtomic(path, func(w io.Writer) error { return WriteChromeTraces(w, points) })
 }
 
 // appendChromeEvents emits one traced run as process pid. Thread 0 is

@@ -281,6 +281,10 @@ type RunnerProfile struct {
 	Points    int `json:"points"`
 	Simulated int `json:"simulated"`
 	CacheHits int `json:"cache_hits"`
+	// Coalesced is the subset of CacheHits that joined a simulation
+	// still in flight when claimed — one execution shared by concurrent
+	// requests rather than a read of a resolved memo entry.
+	Coalesced int `json:"coalesced,omitempty"`
 	// SimWallSeconds is cumulative wall time inside the simulator;
 	// BatchWallSeconds is elapsed time across Run calls.
 	SimWallSeconds   float64 `json:"sim_wall_seconds"`
@@ -354,13 +358,16 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // a reader (or a crash) never observes a partial export and a failed
 // write leaves any previous file untouched.
 func (r *Report) WriteFile(path string) error {
-	return writeFileAtomic(path, r.WriteJSON)
+	return WriteFileAtomic(path, r.WriteJSON)
 }
 
-// writeFileAtomic streams write into a temp file next to path and
+// WriteFileAtomic streams write into a temp file next to path and
 // renames it over path on success; on any failure the temp file is
-// removed and path is left as it was.
-func writeFileAtomic(path string, write func(io.Writer) error) error {
+// removed and path is left as it was. It is the shared commit
+// discipline of every artifact this repository persists — counter
+// reports, Chrome traces, and the gpujouled result cache — so a crash
+// or a concurrent reader never observes a torn file.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {

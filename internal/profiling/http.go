@@ -1,5 +1,5 @@
-// Live introspection for long sweeps: an optional HTTP server (the
-// -httpaddr flag of cmd/sweep and cmd/gpmsim) that exposes
+// Live introspection for long sweeps and the resident service: an
+// HTTP surface that exposes
 //
 //	/debug/pprof/   the standard net/http/pprof handlers
 //	/progress       a JSON snapshot of batch progress and the runner
@@ -9,8 +9,11 @@
 //	                format, hand-rendered so no dependency is pulled in
 //
 // so a multi-hour sweep is inspectable (and scrapeable) without
-// -progress log scraping. The server is strictly opt-in: without
-// -httpaddr no listener is opened and the CLI's output is untouched.
+// -progress log scraping. CLIs open it with ServeHTTP (the -httpaddr
+// flag of cmd/sweep and cmd/gpmsim, strictly opt-in); the gpujouled
+// daemon instead builds the surface with NewServer and mounts it on
+// its own mux with Register, extending /metrics with service gauges
+// via AddMetrics.
 package profiling
 
 import (
@@ -33,27 +36,30 @@ type Progress struct {
 	Total int `json:"total"`
 }
 
-// HTTPServer is the live-introspection endpoint of one CLI process.
+// HTTPServer is the live-introspection surface of one process. Built
+// with NewServer it is just a handler set to mount on an existing mux;
+// ServeHTTP additionally opens its own listener.
 type HTTPServer struct {
 	ln      net.Listener
 	srv     *http.Server
 	profile func() obs.RunnerProfile
 
-	mu   sync.Mutex
-	prog Progress
+	mu     sync.Mutex
+	prog   Progress
+	extras []func(io.Writer)
 }
 
-// ServeHTTP starts the introspection server on addr (host:port; an
-// empty host binds all interfaces, port 0 picks a free port). profile
-// supplies the current runner profile on demand and may be nil before
-// an engine exists. The server runs until Close.
-func ServeHTTP(addr string, profile func() obs.RunnerProfile) (*HTTPServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("profiling: listening on %s: %w", addr, err)
-	}
-	s := &HTTPServer{ln: ln, profile: profile}
-	mux := http.NewServeMux()
+// NewServer builds the introspection surface without opening a
+// listener. profile supplies the current runner profile on demand and
+// may be nil before an engine exists. Mount the endpoints with
+// Register.
+func NewServer(profile func() obs.RunnerProfile) *HTTPServer {
+	return &HTTPServer{profile: profile}
+}
+
+// Register mounts the introspection endpoints (/debug/pprof/,
+// /progress, /metrics) on the given mux.
+func (s *HTTPServer) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -61,6 +67,31 @@ func ServeHTTP(addr string, profile func() obs.RunnerProfile) (*HTTPServer, erro
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+}
+
+// AddMetrics appends an emitter to the /metrics endpoint: on every
+// scrape it is called after the built-in runner gauges and may write
+// additional families with WriteGauge and WriteCounter. The gpujouled
+// service uses this to export its cache, coalescing, and queue gauges
+// through the same scrape.
+func (s *HTTPServer) AddMetrics(emit func(w io.Writer)) {
+	s.mu.Lock()
+	s.extras = append(s.extras, emit)
+	s.mu.Unlock()
+}
+
+// ServeHTTP starts a standalone introspection server on addr
+// (host:port; an empty host binds all interfaces, port 0 picks a free
+// port). The server runs until Close.
+func ServeHTTP(addr string, profile func() obs.RunnerProfile) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: listening on %s: %w", addr, err)
+	}
+	s := NewServer(profile)
+	s.ln = ln
+	mux := http.NewServeMux()
+	s.Register(mux)
 	mux.HandleFunc("/", s.handleIndex)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
@@ -78,18 +109,25 @@ func (s *HTTPServer) SetProgress(done, total int) {
 	s.mu.Unlock()
 }
 
-// Close shuts the server down immediately.
-func (s *HTTPServer) Close() error { return s.srv.Close() }
+// Close shuts a standalone server down immediately; it is a no-op for
+// a surface built with NewServer.
+func (s *HTTPServer) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
 
-func (s *HTTPServer) snapshot() (Progress, obs.RunnerProfile) {
+func (s *HTTPServer) snapshot() (Progress, obs.RunnerProfile, []func(io.Writer)) {
 	s.mu.Lock()
 	prog := s.prog
+	extras := s.extras
 	s.mu.Unlock()
 	var rp obs.RunnerProfile
 	if s.profile != nil {
 		rp = s.profile()
 	}
-	return prog, rp
+	return prog, rp, extras
 }
 
 func (s *HTTPServer) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -105,7 +143,7 @@ func (s *HTTPServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPServer) handleProgress(w http.ResponseWriter, r *http.Request) {
-	prog, rp := s.snapshot()
+	prog, rp, _ := s.snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -116,24 +154,35 @@ func (s *HTTPServer) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}{obs.SchemaVersion, prog, rp})
 }
 
-// handleMetrics renders the Prometheus text exposition format
-// (version 0.0.4) by hand — a handful of gauges does not justify a
-// client-library dependency.
+// WriteGauge renders one Prometheus gauge family in text exposition
+// format (version 0.0.4) — hand-rolled, a handful of families does not
+// justify a client-library dependency.
+func WriteGauge(w io.Writer, name, help string, value float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
+}
+
+// WriteCounter renders one Prometheus counter family in text
+// exposition format.
+func WriteCounter(w io.Writer, name, help string, value float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, value)
+}
+
 func (s *HTTPServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	prog, rp := s.snapshot()
+	prog, rp, extras := s.snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	gauge := func(name, help string, value float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
+	WriteGauge(w, "gpujoule_batch_points_done", "Points resolved in the current batch.", float64(prog.Done))
+	WriteGauge(w, "gpujoule_batch_points_total", "Points in the current batch.", float64(prog.Total))
+	WriteGauge(w, "gpujoule_runner_workers", "Worker-pool concurrency bound.", float64(rp.Workers))
+	WriteGauge(w, "gpujoule_runner_points", "Points resolved over the engine's lifetime.", float64(rp.Points))
+	WriteGauge(w, "gpujoule_runner_simulated", "Real simulator executions.", float64(rp.Simulated))
+	WriteGauge(w, "gpujoule_runner_cache_hits", "Points served from the memo cache.", float64(rp.CacheHits))
+	WriteGauge(w, "gpujoule_runner_coalesced", "Points that joined an in-flight simulation.", float64(rp.Coalesced))
+	WriteGauge(w, "gpujoule_runner_sim_wall_seconds", "Cumulative wall time inside the simulator.", rp.SimWallSeconds)
+	WriteGauge(w, "gpujoule_runner_batch_wall_seconds", "Elapsed wall time across Run calls.", rp.BatchWallSeconds)
+	WriteGauge(w, "gpujoule_runner_occupancy", "Fraction of worker-seconds spent simulating.", rp.Occupancy)
+	WriteGauge(w, "gpujoule_runner_warp_instructions", "Cumulative simulated warp instructions.", float64(rp.WarpInstructions))
+	WriteGauge(w, "gpujoule_runner_ns_per_instruction", "Simulator cost per warp instruction.", rp.NsPerInstruction)
+	for _, emit := range extras {
+		emit(w)
 	}
-	gauge("gpujoule_batch_points_done", "Points resolved in the current batch.", float64(prog.Done))
-	gauge("gpujoule_batch_points_total", "Points in the current batch.", float64(prog.Total))
-	gauge("gpujoule_runner_workers", "Worker-pool concurrency bound.", float64(rp.Workers))
-	gauge("gpujoule_runner_points", "Points resolved over the engine's lifetime.", float64(rp.Points))
-	gauge("gpujoule_runner_simulated", "Real simulator executions.", float64(rp.Simulated))
-	gauge("gpujoule_runner_cache_hits", "Points served from the memo cache.", float64(rp.CacheHits))
-	gauge("gpujoule_runner_sim_wall_seconds", "Cumulative wall time inside the simulator.", rp.SimWallSeconds)
-	gauge("gpujoule_runner_batch_wall_seconds", "Elapsed wall time across Run calls.", rp.BatchWallSeconds)
-	gauge("gpujoule_runner_occupancy", "Fraction of worker-seconds spent simulating.", rp.Occupancy)
-	gauge("gpujoule_runner_warp_instructions", "Cumulative simulated warp instructions.", float64(rp.WarpInstructions))
-	gauge("gpujoule_runner_ns_per_instruction", "Simulator cost per warp instruction.", rp.NsPerInstruction)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -126,5 +127,60 @@ func TestVersionString(t *testing.T) {
 		if !strings.Contains(v, want) {
 			t.Errorf("version %q missing %q", v, want)
 		}
+	}
+}
+
+// TestRegisterAndAddMetrics exercises the embeddable surface the
+// gpujouled daemon uses: NewServer + Register on a caller-owned mux,
+// with an AddMetrics extension showing up in the same /metrics scrape
+// after the built-in runner gauges.
+func TestRegisterAndAddMetrics(t *testing.T) {
+	s := NewServer(func() obs.RunnerProfile {
+		return obs.RunnerProfile{Workers: 2, Coalesced: 3}
+	})
+	s.AddMetrics(func(w io.Writer) {
+		WriteCounter(w, "gpujoule_test_extra", "Extension metric.", 42)
+	})
+	mux := http.NewServeMux()
+	s.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"gpujoule_runner_workers 2\n",
+		"gpujoule_runner_coalesced 3\n",
+		"# TYPE gpujoule_test_extra counter\n",
+		"gpujoule_test_extra 42\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	idx := strings.Index(body, "gpujoule_runner_workers")
+	if ext := strings.Index(body, "gpujoule_test_extra"); ext < idx {
+		t.Error("extension metrics must follow the built-in gauges")
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+	// Close on a non-listening surface is a harmless no-op.
+	if err := s.Close(); err != nil {
+		t.Errorf("Close on NewServer surface: %v", err)
+	}
+}
+
+// TestBuildVersion checks the cache-stamp component is non-empty and
+// consistent with VersionString.
+func TestBuildVersion(t *testing.T) {
+	v := BuildVersion()
+	if v == "" {
+		t.Fatal("BuildVersion is empty")
+	}
+	if !strings.Contains(VersionString("x"), v) {
+		t.Errorf("VersionString does not embed BuildVersion %q", v)
 	}
 }

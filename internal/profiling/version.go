@@ -8,11 +8,12 @@ import (
 	"gpujoule/internal/obs"
 )
 
-// VersionString renders the -version output of a CLI: the binary name,
-// the module version (with VCS revision when the build recorded one),
-// the obs JSON schema version, and the Go toolchain. Archived counter,
-// energy, and trace artifacts are traceable to a schema through it.
-func VersionString(binary string) string {
+// BuildVersion returns the module version of the running binary, with
+// the VCS revision appended when the build recorded one ("(devel)"
+// otherwise). Besides -version output it is one component of the
+// gpujouled result-cache stamp: a cache entry written by one build is
+// never served by a binary whose recorded version differs.
+func BuildVersion() string {
 	version := "(devel)"
 	revision := ""
 	if bi, ok := debug.ReadBuildInfo(); ok {
@@ -28,5 +29,13 @@ func VersionString(binary string) string {
 	if revision != "" {
 		version += "+" + revision
 	}
-	return fmt.Sprintf("%s %s (obs schema v%d, %s)", binary, version, obs.SchemaVersion, runtime.Version())
+	return version
+}
+
+// VersionString renders the -version output of a CLI: the binary name,
+// the module version (with VCS revision when the build recorded one),
+// the obs JSON schema version, and the Go toolchain. Archived counter,
+// energy, and trace artifacts are traceable to a schema through it.
+func VersionString(binary string) string {
+	return fmt.Sprintf("%s %s (obs schema v%d, %s)", binary, BuildVersion(), obs.SchemaVersion, runtime.Version())
 }

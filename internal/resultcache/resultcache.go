@@ -1,0 +1,208 @@
+// Package resultcache is the disk-backed, content-addressed simulation
+// result store behind the gpujouled service. A cycle-level simulation
+// of one (workload, scale, config) point costs tens of seconds at paper
+// scale; the paper's methodology re-evaluates the same grid points
+// across figures, ablations, and user sweeps, so a warm point should
+// never simulate again — across requests and across daemon restarts.
+//
+// Addressing. An entry's address is SHA-256 over (stamp, key):
+//
+//   - the key is the point's canonical simulation identity — the
+//     runner's memoization key (workload name, scale, sim.Config.SimKey)
+//     plus the observability option signature, since a run with
+//     counters produces a different Result than one without;
+//   - the stamp binds the entry to its producer: obs.SchemaVersion and
+//     the binary's build version. A schema bump or a new binary changes
+//     every address, so stale entries are never *served*; they are
+//     simply unreachable and age out when the directory is cleaned.
+//
+// Because the address commits to the full identity, the cache never
+// needs invalidation logic: a lookup either finds the exact bytes a
+// byte-identical simulation would produce, or misses.
+//
+// Integrity. Entries are JSON envelopes carrying the stamp, the key,
+// and the SHA-256 of the embedded result document. Writes are atomic
+// (temp + rename, via obs.WriteFileAtomic) so a crash never leaves a
+// torn entry visible; reads verify the envelope and checksum and treat
+// any mismatch — truncation, corruption, a hash collision of the
+// address — as a miss, deleting the bad entry so the point falls back
+// to recomputation instead of failing the request.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/sim"
+)
+
+// Stats is a snapshot of a cache's lifetime counters.
+type Stats struct {
+	// Hits counts lookups served from disk.
+	Hits uint64
+	// Misses counts lookups that found no entry (including entries
+	// dropped as corrupt).
+	Misses uint64
+	// Puts counts entries written.
+	Puts uint64
+	// Corrupt counts entries that failed envelope or checksum
+	// verification and were deleted; each also counts as a miss.
+	Corrupt uint64
+}
+
+// Cache is a content-addressed result store rooted at one directory.
+// It is safe for concurrent use; distinct processes may share a
+// directory because entries are immutable once renamed into place.
+type Cache struct {
+	dir   string
+	stamp string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open roots a cache at dir (created if missing), binding all
+// addresses to the given producer stamp.
+func Open(dir, stamp string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir, stamp: stamp}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stamp returns the producer stamp all addresses are bound to.
+func (c *Cache) Stamp() string { return c.stamp }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path returns the entry file for a key: two-level fan-out by address
+// prefix so large caches do not degenerate into one huge directory.
+func (c *Cache) path(key string) string {
+	h := sha256.Sum256([]byte(c.stamp + "\x00" + key))
+	addr := hex.EncodeToString(h[:])
+	return filepath.Join(c.dir, addr[:2], addr+".json")
+}
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	// Stamp and Key restate the address preimage, so a (vanishingly
+	// unlikely) address collision or a hand-copied file is detected
+	// instead of served.
+	Stamp string `json:"stamp"`
+	Key   string `json:"key"`
+	// SHA256 is the hex checksum of the Result bytes.
+	SHA256 string `json:"result_sha256"`
+	// Result is the simulation result document.
+	Result json.RawMessage `json:"result"`
+}
+
+// Get looks the key up. It returns (result, true) on a verified hit
+// and (nil, false) otherwise; a corrupt entry (truncated write, bit
+// rot, checksum mismatch) is deleted and reported as a miss so the
+// caller recomputes the point.
+func (c *Cache) Get(key string) (*sim.Result, bool) {
+	path := c.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.count(func(s *Stats) { s.Misses++ })
+		return nil, false
+	}
+	res, err := decode(data, c.stamp, key)
+	if err != nil {
+		os.Remove(path)
+		c.count(func(s *Stats) { s.Misses++; s.Corrupt++ })
+		return nil, false
+	}
+	c.count(func(s *Stats) { s.Hits++ })
+	return res, true
+}
+
+// decode verifies an entry's envelope against the expected identity
+// and unmarshals the result.
+func decode(data []byte, stamp, key string) (*sim.Result, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("resultcache: bad envelope: %w", err)
+	}
+	if env.Stamp != stamp || env.Key != key {
+		return nil, fmt.Errorf("resultcache: entry identity mismatch (stamp %q key %q)", env.Stamp, env.Key)
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, errors.New("resultcache: result checksum mismatch")
+	}
+	var res sim.Result
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		return nil, fmt.Errorf("resultcache: bad result document: %w", err)
+	}
+	return &res, nil
+}
+
+// Put writes the key's entry atomically. Concurrent writers of the
+// same key are benign: both render identical bytes and rename over one
+// another.
+func (c *Cache) Put(key string, res *sim.Result) error {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("resultcache: encoding result: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	env := envelope{
+		Stamp:  c.stamp,
+		Key:    key,
+		SHA256: hex.EncodeToString(sum[:]),
+		Result: raw,
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := obs.WriteFileAtomic(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&env)
+	}); err != nil {
+		return err
+	}
+	c.count(func(s *Stats) { s.Puts++ })
+	return nil
+}
+
+// Len walks the cache directory and reports the number of entries on
+// disk — an O(entries) diagnostic for tests and the /metrics scrape of
+// a freshly started daemon (the lifetime counters start at zero on
+// every restart; the directory does not).
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

@@ -1,0 +1,188 @@
+package resultcache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gpujoule/internal/sim"
+	"gpujoule/internal/workloads"
+)
+
+func testResult(t *testing.T) *sim.Result {
+	t.Helper()
+	app, err := workloads.ByName("Stream", workloads.Params{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Simulate(context.Background(), sim.MultiGPM(2, sim.BW2x), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// entryFile returns the single entry file in the cache directory.
+func entryFile(t *testing.T, c *Cache) string {
+	t.Helper()
+	var found string
+	err := filepath.WalkDir(c.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			found = path
+		}
+		return nil
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no entry file found (err %v)", err)
+	}
+	return found
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), "stamp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResult(t)
+
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put("k1", res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok {
+		t.Fatal("warm key missed")
+	}
+	if !reflect.DeepEqual(got.Counts, res.Counts) || got.Counts.Cycles == 0 {
+		t.Error("round-tripped result differs from the original")
+	}
+	if !reflect.DeepEqual(got.Launches, res.Launches) {
+		t.Error("round-tripped launch stats differ")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d (%v), want 1", n, err)
+	}
+}
+
+func TestPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t)
+	c1, err := Open(dir, "stamp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("k1", res); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle on the same directory — a daemon restart — serves
+	// the entry; a handle with a different stamp (schema bump, new
+	// binary) does not.
+	c2, err := Open(dir, "stamp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("k1"); !ok {
+		t.Error("entry did not survive a reopen")
+	}
+	c3, err := Open(dir, "stamp-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get("k1"); ok {
+		t.Error("a different stamp must not see the old entry")
+	}
+	if st := c3.Stats(); st.Corrupt != 0 {
+		t.Errorf("stamp change counted as corruption: %+v", st)
+	}
+}
+
+func TestCorruptEntriesFallBackToMiss(t *testing.T) {
+	res := testResult(t)
+	for name, corrupt := range map[string]func(path string) error{
+		"truncated": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		},
+		"bit-flipped": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x41
+			return os.WriteFile(path, data, 0o644)
+		},
+		"emptied": func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c, err := Open(t.TempDir(), "stamp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put("k", res); err != nil {
+				t.Fatal(err)
+			}
+			path := entryFile(t, c)
+			if err := corrupt(path); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("k"); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			st := c.Stats()
+			if st.Corrupt != 1 || st.Misses != 1 {
+				t.Errorf("stats = %+v, want the corruption counted as a miss", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt entry was not deleted")
+			}
+			// The point recomputes and re-caches cleanly.
+			if err := c.Put("k", res); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("k"); !ok {
+				t.Error("re-put after corruption missed")
+			}
+		})
+	}
+}
+
+func TestKeyIsolation(t *testing.T) {
+	c, err := Open(t.TempDir(), "stamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResult(t)
+	if err := c.Put("point-a", res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("point-b"); ok {
+		t.Error("different key hit another key's entry")
+	}
+}
+
+func TestOpenBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(file, "sub"), "s"); err == nil {
+		t.Error("Open under a regular file must fail")
+	}
+}

@@ -7,7 +7,7 @@
 // supports context cancellation, and returns results in deterministic
 // input order regardless of completion order.
 //
-// Each sim.GPU is built per point and never shared, and sim.Run is a
+// Each sim.GPU is built per point and never shared, and sim.Simulate is a
 // pure function of (Config, App), so parallel execution is
 // byte-identical to the old serial loops: the engine owns all shared
 // state (the cache and the progress counters), and the simulator
@@ -71,8 +71,13 @@ type Event struct {
 	Kind  EventKind
 	Point Point
 	// CacheHit reports whether the point was served without simulating
-	// (only meaningful for PointDone).
+	// in this Run call (only meaningful for PointDone).
 	CacheHit bool
+	// Coalesced refines CacheHit: the point attached to a simulation
+	// that was still in flight when the point was claimed, rather than
+	// to an already-resolved memo entry. For such points the result is
+	// not available yet at event time.
+	Coalesced bool
 	// Err is the point's failure, if any (PointDone only).
 	Err error
 	// Completed and Total are the batch progress counters at the time
@@ -103,6 +108,14 @@ type Options struct {
 	// Counters): results carry a Result.Trace renderable as a Chrome
 	// trace_event file.
 	Trace bool
+	// Ephemeral disables cross-batch memoization: a resolved entry is
+	// evicted as soon as it is published, so the engine holds no result
+	// in memory once every claimant of the entry has been served.
+	// In-flight deduplication is unaffected — concurrent claims of one
+	// key still share a single simulation. Long-running services that
+	// keep their own (disk-backed) result cache use this to keep the
+	// engine's memory footprint bounded.
+	Ephemeral bool
 }
 
 // Stats is a snapshot of an engine's lifetime counters.
@@ -112,7 +125,12 @@ type Stats struct {
 	// CacheHits counts points served from the memo cache (including
 	// duplicates within one batch).
 	CacheHits int
-	// SimWall is the cumulative wall time spent inside sim.Run; with
+	// Coalesced counts the subset of CacheHits that attached to a
+	// simulation still in flight when claimed — the points that shared
+	// one execution with a concurrent claimant instead of reading a
+	// resolved memo entry.
+	Coalesced int
+	// SimWall is the cumulative wall time spent inside sim.Simulate; with
 	// multiple workers it exceeds elapsed time.
 	SimWall time.Duration
 	// Instructions is the cumulative warp-instruction count over all
@@ -125,16 +143,19 @@ type Stats struct {
 // memoization. The zero value is not usable; construct with New. An
 // Engine is safe for concurrent use.
 type Engine struct {
-	workers int
-	onEvent func(Event)
-	simOpts []sim.Option
+	workers   int
+	onEvent   func(Event)
+	simOpts   []sim.Option
+	ephemeral bool
 
 	evMu sync.Mutex // serializes OnEvent callbacks
 
 	mu        sync.Mutex
 	cache     map[string]*entry
 	stats     Stats
-	batchWall time.Duration
+	batchWall time.Duration      // completed batches only
+	active    map[int]time.Time  // start times of in-flight Run calls
+	batchSeq  int                // next active-batch id
 	timings   []obs.PointProfile // one entry per real simulation
 }
 
@@ -164,10 +185,12 @@ func New(opts Options) *Engine {
 		simOpts = append(simOpts, sim.WithTrace())
 	}
 	return &Engine{
-		workers: w,
-		onEvent: opts.OnEvent,
-		simOpts: simOpts,
-		cache:   make(map[string]*entry),
+		workers:   w,
+		onEvent:   opts.OnEvent,
+		simOpts:   simOpts,
+		ephemeral: opts.Ephemeral,
+		cache:     make(map[string]*entry),
+		active:    make(map[int]time.Time),
 	}
 }
 
@@ -212,17 +235,33 @@ type job struct {
 // ctx.Err(). Workers always drain their claimed work — cancelled
 // entries fail fast and are evicted, never left pending.
 func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error) {
-	batchStart := time.Now()
+	// Track the batch in the active set while it runs, so Profile can
+	// report a live wall clock (and a meaningful occupancy) to /metrics
+	// readers before the batch completes.
+	e.mu.Lock()
+	batchID := e.batchSeq
+	e.batchSeq++
+	e.active[batchID] = time.Now()
+	e.mu.Unlock()
 	defer func() {
 		e.mu.Lock()
-		e.batchWall += time.Since(batchStart)
+		e.batchWall += time.Since(e.active[batchID])
+		delete(e.active, batchID)
 		e.mu.Unlock()
 	}()
 
 	total := len(points)
 	entries := make([]*entry, total)
 	var jobs []job
-	var hits []Point
+
+	// hit is a point served without simulating in this call: either an
+	// already-resolved memo entry or a coalesced join onto an entry
+	// still in flight.
+	type hit struct {
+		pt        Point
+		coalesced bool
+	}
+	var hits []hit
 
 	// Claim or reuse a cache entry per point. Holding the lock across
 	// the whole loop also dedupes within the batch: the second
@@ -232,7 +271,14 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error)
 		k := p.Key()
 		if ent, ok := e.cache[k]; ok {
 			entries[i] = ent
-			hits = append(hits, p)
+			h := hit{pt: p}
+			select {
+			case <-ent.done:
+			default:
+				h.coalesced = true
+				e.stats.Coalesced++
+			}
+			hits = append(hits, h)
 			continue
 		}
 		ent := &entry{done: make(chan struct{})}
@@ -255,8 +301,9 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error)
 		return completed
 	}
 
-	for _, p := range hits {
-		e.emit(Event{Kind: PointDone, Point: p, CacheHit: true, Completed: tick(), Total: total})
+	for _, h := range hits {
+		e.emit(Event{Kind: PointDone, Point: h.pt, CacheHit: true, Coalesced: h.coalesced,
+			Completed: tick(), Total: total})
 	}
 
 	jobCh := make(chan job, len(jobs))
@@ -326,15 +373,18 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error)
 // resolve publishes a job's outcome and updates cache bookkeeping.
 // Failed entries are evicted so transient errors (cancellation above
 // all) are retried by later calls; waiters holding the entry pointer
-// still observe the error through it.
+// still observe the error through it. An ephemeral engine also evicts
+// successful entries: every claimant captured the entry pointer before
+// resolution, so eviction only forgets the result, never loses it.
 func (e *Engine) resolve(j job, res *sim.Result, err error, elapsed time.Duration) {
 	j.ent.res, j.ent.err = res, err
 	e.mu.Lock()
-	if err != nil {
+	if err != nil || e.ephemeral {
 		if e.cache[j.key] == j.ent {
 			delete(e.cache, j.key)
 		}
-	} else {
+	}
+	if err == nil {
 		e.stats.Simulated++
 		e.stats.SimWall += elapsed
 		pp := obs.PointProfile{
@@ -359,7 +409,10 @@ const profileSlowest = 10
 // cache counters, cumulative simulation and batch wall time, worker
 // occupancy, and the slowest simulated points. Point order in Slowest
 // is deterministic (cost-descending, ties broken by name) even though
-// completion order is not.
+// completion order is not. Profile is safe to call from any goroutine
+// while batches run — in-flight Run calls contribute their elapsed
+// time so live readers (/progress, /metrics) see a current wall clock
+// instead of the last completed batch's.
 func (e *Engine) Profile() obs.RunnerProfile {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -373,9 +426,13 @@ func (e *Engine) Profile() obs.RunnerProfile {
 	if len(slowest) > profileSlowest {
 		slowest = slowest[:profileSlowest]
 	}
+	batchWall := e.batchWall
+	for _, start := range e.active {
+		batchWall += time.Since(start)
+	}
 	occupancy := 0.0
-	if e.batchWall > 0 && e.workers > 0 {
-		occupancy = e.stats.SimWall.Seconds() / (e.batchWall.Seconds() * float64(e.workers))
+	if batchWall > 0 && e.workers > 0 {
+		occupancy = e.stats.SimWall.Seconds() / (batchWall.Seconds() * float64(e.workers))
 		if occupancy > 1 {
 			occupancy = 1
 		}
@@ -389,8 +446,9 @@ func (e *Engine) Profile() obs.RunnerProfile {
 		Points:           e.stats.Simulated + e.stats.CacheHits,
 		Simulated:        e.stats.Simulated,
 		CacheHits:        e.stats.CacheHits,
+		Coalesced:        e.stats.Coalesced,
 		SimWallSeconds:   e.stats.SimWall.Seconds(),
-		BatchWallSeconds: e.batchWall.Seconds(),
+		BatchWallSeconds: batchWall.Seconds(),
 		Occupancy:        occupancy,
 		WarpInstructions: e.stats.Instructions,
 		NsPerInstruction: nsPerInst,
@@ -415,6 +473,30 @@ func Points(apps []*trace.App, scale float64, cfgs ...sim.Config) []Point {
 	pts := make([]Point, 0, len(apps)*len(cfgs))
 	for _, cfg := range cfgs {
 		for _, app := range apps {
+			pts = append(pts, Point{App: app, Scale: scale, Config: cfg})
+		}
+	}
+	return pts
+}
+
+// GridPoints builds the sweep row layout: for each app in order, an
+// optional 1-GPM baseline point (the reference of the scaling metrics)
+// followed by every config in grid order. cmd/sweep and the gpujouled
+// service expand sweep jobs through this one function, so a job
+// submitted to the service resolves the exact point sequence a local
+// sweep would, row for row.
+func GridPoints(apps []*trace.App, scale float64, baseline bool, cfgs ...sim.Config) []Point {
+	per := len(cfgs)
+	if baseline {
+		per++
+	}
+	baseCfg := sim.MultiGPM(1, sim.BW2x)
+	pts := make([]Point, 0, len(apps)*per)
+	for _, app := range apps {
+		if baseline {
+			pts = append(pts, Point{App: app, Scale: scale, Config: baseCfg})
+		}
+		for _, cfg := range cfgs {
 			pts = append(pts, Point{App: app, Scale: scale, Config: cfg})
 		}
 	}

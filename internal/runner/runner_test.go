@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -347,5 +348,152 @@ func TestOne(t *testing.T) {
 	}
 	if eng.Workers() != runtime.GOMAXPROCS(0) {
 		t.Errorf("default Workers = %d, want GOMAXPROCS", eng.Workers())
+	}
+}
+
+func TestCoalescedCounter(t *testing.T) {
+	pts := testPoints(t)
+	eng := runner.New(runner.Options{Workers: 4})
+
+	var coalescedEvents int
+	eng2 := runner.New(runner.Options{Workers: 4, OnEvent: func(ev runner.Event) {
+		if ev.Kind == runner.PointDone && ev.Coalesced {
+			if !ev.CacheHit {
+				t.Error("a coalesced event must also be a cache hit")
+			}
+			coalescedEvents++
+		}
+	}})
+	if _, err := eng2.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	// Claims happen before any worker starts, so every within-batch
+	// duplicate joins an in-flight entry: all 4 first-batch hits (the
+	// literal duplicate plus the two collapsed 1-GPM variants) coalesce.
+	if want := len(pts) - 8; coalescedEvents != want {
+		t.Errorf("saw %d coalesced events, want %d", coalescedEvents, want)
+	}
+	if got := eng2.Stats().Coalesced; got != len(pts)-8 {
+		t.Errorf("Stats.Coalesced = %d, want %d", got, len(pts)-8)
+	}
+
+	// On a warmed engine the same points are resolved memo entries:
+	// hits, but no new coalescing.
+	if _, err := eng.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Stats().Coalesced
+	if _, err := eng.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Coalesced; got != first {
+		t.Errorf("re-running a warmed grid coalesced %d more points, want 0", got-first)
+	}
+}
+
+func TestEphemeralEviction(t *testing.T) {
+	app, err := workloads.ByName("Stream", workloads.Params{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := runner.Point{App: app, Scale: testScale, Config: sim.MultiGPM(2, sim.BW2x)}
+	pts := []runner.Point{pt, pt} // duplicate: must still dedupe in-flight
+
+	eng := runner.New(runner.Options{Workers: 2, Ephemeral: true})
+	first, err := eng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != first[1] {
+		t.Error("within-batch duplicate must share one simulation even when ephemeral")
+	}
+	st := eng.Stats()
+	if st.Simulated != 1 || st.CacheHits != 1 || st.Coalesced != 1 {
+		t.Errorf("Stats = %+v, want 1 simulated / 1 hit / 1 coalesced", st)
+	}
+	if eng.Distinct() != 0 {
+		t.Errorf("Distinct = %d, want 0 (ephemeral entries are evicted on resolve)", eng.Distinct())
+	}
+
+	// A second batch re-simulates: nothing was memoized.
+	if _, err := eng.Run(context.Background(), pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Simulated; got != 2 {
+		t.Errorf("Simulated = %d after re-run, want 2 (no cross-batch memo)", got)
+	}
+}
+
+// TestProfileConcurrentReaders hammers the engine's introspection
+// surface from reader goroutines while a batch runs — the exact access
+// pattern of the /metrics and /progress handlers of a live daemon. Run
+// under -race this is the regression test for profile-counter safety.
+func TestProfileConcurrentReaders(t *testing.T) {
+	pts := testPoints(t)
+	eng := runner.New(runner.Options{Workers: 4})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := eng.Profile()
+				if p.BatchWallSeconds < 0 || p.Occupancy < 0 || p.Occupancy > 1 {
+					t.Errorf("live profile out of range: %+v", p)
+					return
+				}
+				_ = eng.Stats()
+				_ = eng.Distinct()
+			}
+		}()
+	}
+	if _, err := eng.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	// While the batch was live, BatchWallSeconds must have been ticking.
+	mid := eng.Profile().BatchWallSeconds
+	close(stop)
+	wg.Wait()
+	if mid <= 0 {
+		t.Errorf("BatchWallSeconds = %g after a real batch, want > 0", mid)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	var apps []*trace.App
+	for _, name := range []string{"Stream", "Kmeans"} {
+		app, err := workloads.ByName(name, workloads.Params{Scale: testScale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	cfgs := []sim.Config{sim.MultiGPM(2, sim.BW2x), sim.MultiGPM(4, sim.BW1x)}
+
+	pts := runner.GridPoints(apps, testScale, true, cfgs...)
+	if len(pts) != 6 {
+		t.Fatalf("len = %d, want 6 (2 apps × (baseline + 2 cfgs))", len(pts))
+	}
+	base := sim.MultiGPM(1, sim.BW2x)
+	want := []runner.Point{
+		{App: apps[0], Scale: testScale, Config: base},
+		{App: apps[0], Scale: testScale, Config: cfgs[0]},
+		{App: apps[0], Scale: testScale, Config: cfgs[1]},
+		{App: apps[1], Scale: testScale, Config: base},
+		{App: apps[1], Scale: testScale, Config: cfgs[0]},
+		{App: apps[1], Scale: testScale, Config: cfgs[1]},
+	}
+	if !reflect.DeepEqual(pts, want) {
+		t.Error("GridPoints layout differs from the sweep row order")
+	}
+	if n := len(runner.GridPoints(apps, testScale, false, cfgs...)); n != 4 {
+		t.Errorf("without baseline len = %d, want 4", n)
 	}
 }

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the thin HTTP client for a gpujouled daemon, used by
+// cmd/sweep -server and the service tests. It speaks only the /v1 API;
+// all simulation, caching, and coalescing stay server-side.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at base (e.g. "http://127.0.0.1:8344").
+// A bare host:port is promoted to http.
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError decodes the server's {"error": ...} body into a Go error,
+// preserving queue-full and draining as their sentinel values so
+// callers can implement retry policy.
+func apiError(code int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	switch code {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w (%s)", ErrQueueFull, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%s)", ErrDraining, msg)
+	}
+	return fmt.Errorf("service: HTTP %d: %s", code, msg)
+}
+
+// do runs one request and decodes the JSON response into out (when
+// non-nil). Non-2xx responses become errors.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp.StatusCode, raw)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Submit enqueues a job and returns its queued status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches a job's current snapshot.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a done job's result document.
+func (c *Client) Result(ctx context.Context, id string) (*ResultDoc, error) {
+	var doc ResultDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Version fetches the daemon's version string.
+func (c *Client) Version(ctx context.Context) (string, error) {
+	var v struct {
+		Version string `json:"version"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/version", nil, &v)
+	return v.Version, err
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// RunSweep submits a spec, waits it out, and returns the result
+// document — one sweep round-trip. Submission retries on queue-full
+// backpressure, honouring the server's Retry-After hint.
+func (c *Client) RunSweep(ctx context.Context, spec JobSpec) (*ResultDoc, error) {
+	var st JobStatus
+	for {
+		var err error
+		st, err = c.Submit(ctx, spec)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return nil, err
+		}
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fin, err := c.Wait(ctx, st.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	if fin.State != StateDone {
+		return nil, fmt.Errorf("service: job %s %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	return c.Result(ctx, fin.ID)
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/sim"
+)
+
+// ResultDoc is the deterministic result document served by
+// GET /v1/jobs/{id}/result. It contains no timestamps or
+// server-specific state, so the same job spec against the same binary
+// renders byte-identical documents — the property the persistent cache
+// and the smoke test's byte-compare both rely on.
+type ResultDoc struct {
+	SchemaVersion int           `json:"schema_version"`
+	Points        []PointResult `json:"points"`
+}
+
+// PointResult pairs one expanded grid point with its result.
+type PointResult struct {
+	// Workload and Config are human-readable labels; SimKey is the
+	// point's canonical simulation identity (the runner memo key).
+	Workload string      `json:"workload"`
+	Config   string      `json:"config"`
+	SimKey   string      `json:"sim_key"`
+	Result   *sim.Result `json:"result"`
+}
+
+// Handler returns the daemon's full HTTP surface: the /v1 job API plus
+// the shared introspection plane (pprof, /progress, /metrics with the
+// service extensions).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.prof.Register(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case err == ErrQueueFull:
+		// Backpressure: the queue is bounded by design; clients retry
+		// after the hinted delay instead of the daemon buffering
+		// unboundedly.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	case err == ErrDraining:
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if !st.State.Terminal() {
+		writeErr(w, http.StatusConflict, "job %s is %s; result not ready", id, st.State)
+		return
+	}
+	pts, results, ok := s.Result(id)
+	if !ok {
+		writeErr(w, http.StatusConflict, "job %s %s: %s", id, st.State, st.Error)
+		return
+	}
+	doc := ResultDoc{SchemaVersion: obs.SchemaVersion, Points: make([]PointResult, len(pts))}
+	for i, pt := range pts {
+		doc.Points[i] = PointResult{
+			Workload: pt.App.Name,
+			Config:   pt.Config.Name(),
+			SimKey:   pt.Key(),
+			Result:   results[i],
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"version":     s.opts.Version,
+		"cache_stamp": CacheStamp(),
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, `gpujouled — resident multi-module GPU simulation service
+
+  POST   /v1/jobs             submit a sweep job (JSON spec)
+  GET    /v1/jobs             list jobs
+  GET    /v1/jobs/{id}        job status
+  GET    /v1/jobs/{id}/result result document (done jobs)
+  DELETE /v1/jobs/{id}        cancel a job
+  GET    /v1/version          build + schema versions
+  GET    /progress            live batch progress
+  GET    /metrics             Prometheus metrics
+  GET    /debug/pprof/        Go profiling
+`)
+}

@@ -1,0 +1,840 @@
+// Package service implements gpujouled, the resident simulation
+// service: a long-running daemon that accepts simulation and sweep
+// jobs over HTTP, runs them on one shared run engine, and answers from
+// a persistent content-addressed result cache so a warm point never
+// simulates again — across requests and across restarts.
+//
+// The layering, outermost first:
+//
+//   - a bounded admission queue with backpressure: jobs are accepted
+//     until the queue fills, then rejected with 429 + Retry-After so a
+//     sweep storm degrades into client retries instead of memory
+//     growth. Accepted jobs run under per-job deadlines and can be
+//     cancelled mid-flight.
+//   - singleflight coalescing per simulation point: the first job to
+//     need a point claims a flight; concurrent jobs needing the same
+//     point wait on that flight instead of re-simulating. Two users
+//     sweeping overlapping grids cost one simulation per shared point.
+//   - the disk cache (internal/resultcache): flight owners consult it
+//     before simulating and publish into it after, so the next daemon
+//     — not just the next request — starts warm. Entries are addressed
+//     by simulation identity, obs schema, and binary version, which is
+//     the whole invalidation story: a new schema or binary changes
+//     every address, and stale entries simply become unreachable.
+//   - one shared runner.Engine in ephemeral mode executes what is left:
+//     the worker pool bounds concurrent simulations, in-batch
+//     duplicates dedupe, and nothing is memoized in RAM (the disk
+//     cache is the system of record), so the daemon's footprint stays
+//     bounded over weeks of traffic.
+//
+// Graceful drain: BeginDrain stops admission (503), in-flight and
+// already-queued jobs run to completion, then the executors exit —
+// wired to SIGTERM by cmd/gpujouled.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sync"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/profiling"
+	"gpujoule/internal/resultcache"
+	"gpujoule/internal/runner"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+	"gpujoule/internal/workloads"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Terminal states are StateDone, StateFailed, and
+// StateCancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec describes one sweep job, using the same comma-separated list
+// syntax as the CLI flags so a curl body reads like a sweep invocation.
+type JobSpec struct {
+	// Workloads is the comma-separated Table II workload list
+	// (ignored when All is set).
+	Workloads string `json:"workloads,omitempty"`
+	// All selects the full 14-workload evaluation subset.
+	All bool `json:"all,omitempty"`
+	// Scale is the workload scale factor (default 0.5).
+	Scale float64 `json:"scale,omitempty"`
+	// GPMs, BWs, and Topologies define the design grid (defaults
+	// "1,2,4,8,16,32", "1x,2x,4x", "ring" — the cmd/sweep defaults).
+	GPMs       string `json:"gpms,omitempty"`
+	BWs        string `json:"bw,omitempty"`
+	Topologies string `json:"topologies,omitempty"`
+	// Baseline prepends each workload's 1-GPM reference point, the
+	// sweep row layout required by the scaling metrics.
+	Baseline bool `json:"baseline,omitempty"`
+	// TimeoutSeconds bounds the job's execution once it starts running
+	// (0 = no deadline).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+func (sp JobSpec) scale() float64 {
+	if sp.Scale <= 0 {
+		return 0.5
+	}
+	return sp.Scale
+}
+
+func (sp JobSpec) gridFields() (gpms, bws, topos string) {
+	gpms, bws, topos = sp.GPMs, sp.BWs, sp.Topologies
+	if gpms == "" {
+		gpms = "1,2,4,8,16,32"
+	}
+	if bws == "" {
+		bws = "1x,2x,4x"
+	}
+	if topos == "" {
+		topos = "ring"
+	}
+	return
+}
+
+// names returns the workload list the spec resolves to, in the order
+// points will be expanded.
+func (sp JobSpec) names() []string {
+	if sp.All {
+		var out []string
+		for _, g := range workloads.Generators() {
+			if g.InEval14 {
+				out = append(out, g.Name)
+			}
+		}
+		return out
+	}
+	return sim.SplitList(sp.Workloads)
+}
+
+// Validate checks the spec without building any traces: the grid must
+// parse and every workload name must exist.
+func (sp JobSpec) Validate() error {
+	if _, err := sp.configs(); err != nil {
+		return err
+	}
+	names := sp.names()
+	if len(names) == 0 {
+		return errors.New("service: job selects no workloads")
+	}
+	known := map[string]bool{}
+	for _, n := range workloads.Names() {
+		known[n] = true
+	}
+	for _, n := range names {
+		if !known[n] {
+			return fmt.Errorf("service: unknown workload %q (have %v)", n, workloads.Names())
+		}
+	}
+	return nil
+}
+
+// configs expands the spec's design grid.
+func (sp JobSpec) configs() ([]sim.Config, error) {
+	gpms, bws, topos := sp.gridFields()
+	grid, err := sim.ParseGrid(gpms, bws, topos)
+	if err != nil {
+		return nil, err
+	}
+	return grid.Configs(), nil
+}
+
+// numPoints is the point count of the expanded job.
+func (sp JobSpec) numPoints() int {
+	cfgs, err := sp.configs()
+	if err != nil {
+		return 0
+	}
+	per := len(cfgs)
+	if sp.Baseline {
+		per++
+	}
+	return len(sp.names()) * per
+}
+
+// JobStatus is the introspectable snapshot of one job, served by
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Created, Started, and Finished timestamp the lifecycle (zero
+	// until the state is reached).
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Points is the job's expanded point count. CacheHits counts points
+	// served from the disk cache, Coalesced points that joined another
+	// job's in-flight simulation, and Submitted points handed to the
+	// simulation engine for this job. A fully warm job reports
+	// CacheHits == Points and Submitted == 0.
+	Points    int `json:"points"`
+	CacheHits int `json:"cache_hits"`
+	Coalesced int `json:"coalesced"`
+	Submitted int `json:"submitted"`
+	// Spec is the job's submitted specification.
+	Spec JobSpec `json:"spec"`
+}
+
+// Job is one accepted sweep job. All fields are guarded by the
+// server's registry lock; handlers only ever see Status snapshots.
+type Job struct {
+	status JobStatus
+
+	cancel          context.CancelFunc
+	cancelRequested bool
+	done            chan struct{} // closed on terminal state
+
+	points  []runner.Point
+	results []*sim.Result
+}
+
+// flight is one in-flight point resolution: claimed by the first job
+// that needs the point, awaited by every other.
+type flight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent simulations of the shared engine
+	// (<= 0 selects one per CPU).
+	Workers int
+	// Counters runs every simulation with the observability layer, so
+	// cached results carry per-GPM/per-link counters. Part of the cache
+	// key: counted and plain results never alias.
+	Counters bool
+	// CacheDir roots the persistent result cache; empty disables
+	// persistence (coalescing still applies).
+	CacheDir string
+	// QueueCap bounds the admission queue (default 16).
+	QueueCap int
+	// Executors bounds concurrently running jobs (default 2). Each
+	// running job feeds the one shared engine, whose Workers bound
+	// still governs simulation parallelism.
+	Executors int
+	// KeepJobs bounds retained terminal job records (default 64):
+	// beyond it, the oldest finished jobs (and their results) are
+	// dropped from the registry.
+	KeepJobs int
+	// Version is the string served by GET /v1/version (default
+	// profiling.VersionString("gpujouled")).
+	Version string
+	// Logf, when non-nil, receives operational log lines (cache write
+	// failures, drain progress).
+	Logf func(format string, args ...any)
+}
+
+// Server is the resident simulation service.
+type Server struct {
+	opts    Options
+	eng     *runner.Engine
+	cache   *resultcache.Cache
+	prof    *profiling.HTTPServer
+	optsSig string
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	// runBatch executes a batch of points; defaults to the shared
+	// engine. A test seam for lifecycle tests that need slow or gated
+	// executions.
+	runBatch func(ctx context.Context, pts []runner.Point) ([]*sim.Result, error)
+
+	mu        sync.Mutex // guards jobs, order, draining, drained, coalesced
+	jobs      map[string]*Job
+	order     []string
+	draining  bool
+	drained   bool
+	coalesced int
+
+	flmu    sync.Mutex
+	flights map[string]*flight
+}
+
+// CacheStamp composes the producer stamp the service binds cache
+// entries to: binary build version plus obs schema version. Either
+// changing re-addresses every entry.
+func CacheStamp() string {
+	return fmt.Sprintf("%s|obs-schema=v%d", profiling.BuildVersion(), obs.SchemaVersion)
+}
+
+// New builds and starts a server: the executor pool is live on return
+// and the handler (Handler) can be mounted immediately. Callers must
+// Close (or Drain) it.
+func New(opts Options) (*Server, error) {
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 16
+	}
+	if opts.Executors <= 0 {
+		opts.Executors = 2
+	}
+	if opts.KeepJobs <= 0 {
+		opts.KeepJobs = 64
+	}
+	if opts.Version == "" {
+		opts.Version = profiling.VersionString("gpujouled")
+	}
+	optsSig := "plain"
+	if opts.Counters {
+		optsSig = "counters"
+	}
+	s := &Server{
+		opts:    opts,
+		optsSig: optsSig,
+		queue:   make(chan *Job, opts.QueueCap),
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*flight),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.eng = runner.New(runner.Options{
+		Workers:   opts.Workers,
+		Counters:  opts.Counters,
+		Ephemeral: true, // the disk cache is the system of record
+		OnEvent: func(ev runner.Event) {
+			if ev.Kind == runner.PointDone {
+				s.prof.SetProgress(ev.Completed, ev.Total)
+			}
+		},
+	})
+	s.runBatch = s.eng.Run
+	if opts.CacheDir != "" {
+		cache, err := resultcache.Open(opts.CacheDir, CacheStamp())
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
+	s.prof = profiling.NewServer(s.eng.Profile)
+	s.prof.AddMetrics(s.writeServiceMetrics)
+	for i := 0; i < opts.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s, nil
+}
+
+// Engine exposes the shared run engine (for introspection and tests).
+func (s *Server) Engine() *runner.Engine { return s.eng }
+
+// Cache exposes the result cache (nil when persistence is disabled).
+func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
+// Coalesced reports the lifetime count of points that joined another
+// job's in-flight simulation.
+func (s *Server) Coalesced() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coalesced
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Errors returned by Submit, mirrored onto HTTP statuses by the
+// handler (429 and 503 respectively).
+var (
+	// ErrQueueFull reports that the admission queue is at capacity.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining reports that the server is shutting down and no
+	// longer accepts jobs.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// Submit validates and enqueues a job, returning its queued status.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	id, err := newID()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j := &Job{
+		status: JobStatus{
+			ID:      id,
+			State:   StateQueued,
+			Created: time.Now(),
+			Points:  spec.numPoints(),
+			Spec:    spec,
+		},
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j.status, nil
+}
+
+// Status returns a job's snapshot.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status, true
+}
+
+// Jobs lists all retained jobs in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.status)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job is finished immediately,
+// a running job has its context cancelled (the engine abandons its
+// unstarted points promptly). Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	if j.status.State.Terminal() {
+		return j.status, true
+	}
+	j.cancelRequested = true
+	if j.cancel != nil {
+		j.cancel()
+	} else if j.status.State == StateQueued {
+		// Not yet picked up: resolve it here; the executor skips
+		// cancelled jobs when it dequeues them.
+		s.finishJobLocked(j, nil, errors.New("cancelled while queued"))
+	}
+	return j.status, true
+}
+
+// Wait blocks until the job reaches a terminal state or the context
+// expires.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: no such job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	st, _ := s.Status(id)
+	return st, nil
+}
+
+// Result returns a done job's point results in expansion order.
+func (s *Server) Result(id string) ([]runner.Point, []*sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.status.State != StateDone {
+		return nil, nil, false
+	}
+	return j.points, j.results, true
+}
+
+// BeginDrain stops admission: subsequent Submit calls fail with
+// ErrDraining, queued and running jobs complete, and the executors
+// exit once the queue empties. Idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.queue)
+}
+
+// Drain gracefully shuts the job plane down: admission stops and the
+// call blocks until every accepted job has completed or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.drained = true
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close shuts down immediately: running jobs are cancelled, then the
+// executors are awaited. For a graceful stop call Drain first.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.status.State.Terminal() { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if t := j.status.Spec.TimeoutSeconds; t > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(t*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.cancel = cancel
+	j.status.State = StateRunning
+	j.status.Started = time.Now()
+	s.mu.Unlock()
+	defer cancel()
+
+	pts, err := expand(j.status.Spec)
+	var results []*sim.Result
+	if err == nil {
+		s.mu.Lock()
+		j.status.Points = len(pts)
+		s.mu.Unlock()
+		results, err = s.resolve(ctx, j, pts)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.points = pts
+	s.finishJobLocked(j, results, err)
+}
+
+// finishJobLocked moves a job to its terminal state and prunes old
+// terminal records beyond the retention bound. Caller holds s.mu.
+func (s *Server) finishJobLocked(j *Job, results []*sim.Result, err error) {
+	j.status.Finished = time.Now()
+	switch {
+	case err == nil:
+		j.status.State = StateDone
+		j.results = results
+	case j.cancelRequested || errors.Is(err, context.Canceled):
+		j.status.State = StateCancelled
+		j.status.Error = err.Error()
+	default:
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+	}
+	close(j.done)
+
+	// Retention: drop the oldest terminal jobs beyond KeepJobs.
+	terminal := 0
+	for _, id := range s.order {
+		if jj, ok := s.jobs[id]; ok && jj.status.State.Terminal() {
+			terminal++
+		}
+	}
+	for i := 0; terminal > s.opts.KeepJobs && i < len(s.order); i++ {
+		id := s.order[i]
+		jj, ok := s.jobs[id]
+		if !ok || !jj.status.State.Terminal() {
+			continue
+		}
+		delete(s.jobs, id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		i--
+		terminal--
+	}
+}
+
+// expand builds the job's point sequence: the sweep row layout over
+// the spec's workloads and design grid (shared with cmd/sweep through
+// runner.GridPoints, so service and local execution resolve identical
+// point sequences).
+func expand(spec JobSpec) ([]runner.Point, error) {
+	cfgs, err := spec.configs()
+	if err != nil {
+		return nil, err
+	}
+	params := workloads.Params{Scale: spec.scale()}
+	var apps []*trace.App
+	for _, name := range spec.names() {
+		app, err := workloads.ByName(name, params)
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, app)
+	}
+	return runner.GridPoints(apps, spec.scale(), spec.Baseline, cfgs...), nil
+}
+
+// cacheKey is a point's full cache identity: the runner's canonical
+// memoization key plus the engine's observability option signature
+// (counted and plain results are different documents).
+func (s *Server) cacheKey(pt runner.Point) string {
+	return pt.Key() + "|obs=" + s.optsSig
+}
+
+// maxResolveAttempts bounds the coalescing retry loop. A waiter only
+// retries when the flight it joined was cancelled by its owner while
+// the waiter itself is still live, so attempts are consumed by
+// distinct foreign cancellations — runaway looping indicates a bug,
+// not load.
+const maxResolveAttempts = 8
+
+// resolve produces a result per point: disk cache first, then one
+// shared engine batch for the misses, with per-point singleflight so
+// concurrent jobs never simulate the same point twice.
+func (s *Server) resolve(ctx context.Context, j *Job, pts []runner.Point) ([]*sim.Result, error) {
+	// Fold the job's points into unique-key slots (a sweep repeats
+	// 1-GPM rows across bandwidth settings).
+	type slot struct {
+		key  string
+		pt   runner.Point
+		idxs []int
+		res  *sim.Result
+		err  error
+	}
+	results := make([]*sim.Result, len(pts))
+	var slots []*slot
+	byKey := map[string]*slot{}
+	for i, pt := range pts {
+		k := s.cacheKey(pt)
+		sl := byKey[k]
+		if sl == nil {
+			sl = &slot{key: k, pt: pt}
+			byKey[k] = sl
+			slots = append(slots, sl)
+		}
+		sl.idxs = append(sl.idxs, i)
+	}
+
+	pending := slots
+	for attempt := 0; len(pending) > 0; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt >= maxResolveAttempts {
+			return nil, fmt.Errorf("service: point resolution retried %d times without converging", attempt)
+		}
+
+		// Claim a flight per slot, or join the one already in the air.
+		var owned []*slot
+		type wait struct {
+			sl *slot
+			fl *flight
+		}
+		var waits []wait
+		s.flmu.Lock()
+		for _, sl := range pending {
+			if fl := s.flights[sl.key]; fl != nil {
+				waits = append(waits, wait{sl, fl})
+				continue
+			}
+			s.flights[sl.key] = &flight{done: make(chan struct{})}
+			owned = append(owned, sl)
+		}
+		s.flmu.Unlock()
+		if len(waits) > 0 && attempt == 0 {
+			s.mu.Lock()
+			for _, w := range waits {
+				j.status.Coalesced += len(w.sl.idxs)
+				s.coalesced += len(w.sl.idxs)
+			}
+			s.mu.Unlock()
+		}
+
+		// Owned slots: the disk cache first, then one engine batch for
+		// the misses. Every owned flight is resolved on every path.
+		var misses []*slot
+		for _, sl := range owned {
+			if s.cache != nil {
+				if res, ok := s.cache.Get(sl.key); ok {
+					sl.res = res
+					s.mu.Lock()
+					j.status.CacheHits += len(sl.idxs)
+					s.mu.Unlock()
+					s.finishFlight(sl.key, res, nil)
+					continue
+				}
+			}
+			misses = append(misses, sl)
+		}
+		if len(misses) > 0 {
+			batch := make([]runner.Point, len(misses))
+			submitted := 0
+			for i, sl := range misses {
+				batch[i] = sl.pt
+				submitted += len(sl.idxs)
+			}
+			s.mu.Lock()
+			j.status.Submitted += submitted
+			s.mu.Unlock()
+			rs, err := s.runBatch(ctx, batch)
+			for i, sl := range misses {
+				var res *sim.Result
+				if i < len(rs) {
+					res = rs[i]
+				}
+				if res != nil {
+					sl.res = res
+					if s.cache != nil {
+						if perr := s.cache.Put(sl.key, res); perr != nil {
+							s.logf("service: caching %s: %v", sl.pt, perr)
+						}
+					}
+					s.finishFlight(sl.key, res, nil)
+					continue
+				}
+				ferr := err
+				if ferr == nil {
+					ferr = fmt.Errorf("service: %s: no result", sl.pt)
+				}
+				sl.err = ferr
+				s.finishFlight(sl.key, nil, ferr)
+			}
+		}
+
+		// Joined slots: wait the foreign flight out. If its owner was
+		// cancelled while we are still live, reclaim the point on the
+		// next pass instead of inheriting the foreign cancellation.
+		var next []*slot
+		for _, w := range waits {
+			select {
+			case <-w.fl.done:
+				switch {
+				case w.fl.err == nil:
+					w.sl.res = w.fl.res
+				case errors.Is(w.fl.err, context.Canceled) || errors.Is(w.fl.err, context.DeadlineExceeded):
+					if ctx.Err() == nil {
+						next = append(next, w.sl)
+					} else {
+						w.sl.err = ctx.Err()
+					}
+				default:
+					w.sl.err = w.fl.err
+				}
+			case <-ctx.Done():
+				w.sl.err = ctx.Err()
+			}
+		}
+		pending = next
+	}
+
+	var errs []error
+	for _, sl := range slots {
+		if sl.err != nil {
+			errs = append(errs, sl.err)
+			continue
+		}
+		for _, i := range sl.idxs {
+			results[i] = sl.res
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return results, nil
+}
+
+// finishFlight publishes a flight's outcome and retires it. Waiters
+// hold the flight pointer, so removal from the map only stops new
+// joins; existing waiters observe res/err through the closed channel.
+func (s *Server) finishFlight(key string, res *sim.Result, err error) {
+	s.flmu.Lock()
+	fl := s.flights[key]
+	delete(s.flights, key)
+	s.flmu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
+}
+
+// writeServiceMetrics extends the /metrics scrape with the service
+// plane: result-cache counters, coalescing, queue pressure, and job
+// states.
+func (s *Server) writeServiceMetrics(w io.Writer) {
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		profiling.WriteCounter(w, "gpujoule_result_cache_hits", "Disk result-cache hits.", float64(cs.Hits))
+		profiling.WriteCounter(w, "gpujoule_result_cache_misses", "Disk result-cache misses.", float64(cs.Misses))
+		profiling.WriteCounter(w, "gpujoule_result_cache_puts", "Disk result-cache entries written.", float64(cs.Puts))
+		profiling.WriteCounter(w, "gpujoule_result_cache_corrupt", "Corrupt result-cache entries dropped.", float64(cs.Corrupt))
+	}
+	s.mu.Lock()
+	coalesced := s.coalesced
+	depth := len(s.queue)
+	states := map[State]int{}
+	for _, jj := range s.jobs {
+		states[jj.status.State]++
+	}
+	s.mu.Unlock()
+	profiling.WriteCounter(w, "gpujoule_service_coalesced_points", "Points that joined another job's in-flight simulation.", float64(coalesced))
+	profiling.WriteGauge(w, "gpujoule_queue_depth", "Jobs waiting in the admission queue.", float64(depth))
+	profiling.WriteGauge(w, "gpujoule_queue_capacity", "Admission queue capacity.", float64(cap(s.queue)))
+	fmt.Fprintf(w, "# HELP gpujoule_jobs Jobs in the registry by state.\n# TYPE gpujoule_jobs gauge\n")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "gpujoule_jobs{state=%q} %d\n", st, states[st])
+	}
+}
+
+// newID mints a random job id.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: minting job id: %w", err)
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}

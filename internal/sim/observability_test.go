@@ -30,7 +30,7 @@ func stripCounters(r *sim.Result) sim.Result {
 	return c
 }
 
-func TestSimulateDisabledMatchesRun(t *testing.T) {
+func TestSimulateDefaultsAreDeterministic(t *testing.T) {
 	app := obsApp(t, "Stream")
 	cfg := sim.MultiGPM(4, sim.BW2x)
 
@@ -41,12 +41,15 @@ func TestSimulateDisabledMatchesRun(t *testing.T) {
 	if plain.Counters != nil {
 		t.Fatal("counters must be nil without WithCounters")
 	}
-	legacy, err := sim.Run(cfg, app)
+	// Option-free Simulate is the canonical entry point (the old Run
+	// wrapper is gone): two invocations must agree exactly — the
+	// property the gpujouled result cache's byte-identity rests on.
+	again, err := sim.Simulate(context.Background(), cfg, app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(plain, legacy) {
-		t.Error("Simulate without options must match the deprecated Run wrapper")
+	if !reflect.DeepEqual(plain, again) {
+		t.Error("repeated Simulate runs of the same point disagree")
 	}
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -48,7 +50,7 @@ func BenchmarkSMAdvance(b *testing.B) {
 			// the whole run regardless of the CTA limit.
 			app := schedApp(8*ctas, 8, 32)
 
-			res, err := Run(cfg, app)
+			res, err := Simulate(context.Background(), cfg, app)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -59,7 +61,7 @@ func BenchmarkSMAdvance(b *testing.B) {
 
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := Run(cfg, app); err != nil {
+				if _, err := Simulate(context.Background(), cfg, app); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -93,7 +95,7 @@ func TestEngineSurvivesRandomKernels(t *testing.T) {
 			return false
 		}
 		cfg := configs[int(uint64(seed)%uint64(len(configs)))]
-		r, err := Run(cfg, app)
+		r, err := Simulate(context.Background(), cfg, app)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -10,7 +12,7 @@ import (
 
 func mustRun(t *testing.T, cfg Config, app *trace.App) *Result {
 	t.Helper()
-	r, err := Run(cfg, app)
+	r, err := Simulate(context.Background(), cfg, app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +346,7 @@ func TestBandwidthSettingOrdering(t *testing.T) {
 
 func TestInvalidAppRejected(t *testing.T) {
 	app := &trace.App{Name: "bad"}
-	if _, err := Run(BaseGPM(), app); err == nil {
+	if _, err := Simulate(context.Background(), BaseGPM(), app); err == nil {
 		t.Error("empty app must be rejected")
 	}
 }

@@ -105,15 +105,6 @@ func Simulate(ctx context.Context, cfg Config, app *trace.App, opts ...Option) (
 	return g.runAll(ctx)
 }
 
-// Run simulates the whole application and returns the result.
-//
-// Deprecated: Run is the pre-options entry point, kept as a thin
-// wrapper for one release. Use Simulate, which adds context
-// cancellation and observability options.
-func Run(cfg Config, app *trace.App) (*Result, error) {
-	return Simulate(context.Background(), cfg, app)
-}
-
 // finishCounters freezes the collector into the result's Counters
 // snapshot: fabric link stats become obs.LinkCounters (utilization
 // normalized over the run's end-to-end cycles), and each module's

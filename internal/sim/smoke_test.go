@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"gpujoule/internal/isa"
@@ -57,11 +59,11 @@ func computeApp(ctas, warpsPerCTA, iters int) *trace.App {
 func TestSmokeStreamScalesWithDRAM(t *testing.T) {
 	app := streamApp(256, 4, 16, 64<<20)
 
-	r1, err := Run(MultiGPM(1, BW2x), app)
+	r1, err := Simulate(context.Background(), MultiGPM(1, BW2x), app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4, err := Run(MultiGPM(4, BW2x), app)
+	r4, err := Simulate(context.Background(), MultiGPM(4, BW2x), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +99,7 @@ func TestSmokeRandomTrafficIsRemote(t *testing.T) {
 		Regions:  []trace.Region{{Name: "graph", Bytes: 256 << 20}},
 		Launches: []trace.Launch{{Kernel: k}},
 	}
-	r4, err := Run(MultiGPM(4, BW2x), app)
+	r4, err := Simulate(context.Background(), MultiGPM(4, BW2x), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +115,11 @@ func TestSmokeRandomTrafficIsRemote(t *testing.T) {
 
 func TestSmokeComputeScalesNearLinearly(t *testing.T) {
 	app := computeApp(512, 4, 24)
-	r1, err := Run(MultiGPM(1, BW2x), app)
+	r1, err := Simulate(context.Background(), MultiGPM(1, BW2x), app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4, err := Run(MultiGPM(4, BW2x), app)
+	r4, err := Simulate(context.Background(), MultiGPM(4, BW2x), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestSmokeMonolithicHasNoRemote(t *testing.T) {
 	app := streamApp(256, 4, 8, 64<<20)
 	cfg := MultiGPM(4, BW2x)
 	cfg.Monolithic = true
-	r, err := Run(cfg, app)
+	r, err := Simulate(context.Background(), cfg, app)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"testing"
 
 	"gpujoule/internal/isa"
@@ -25,7 +27,7 @@ func profile(t *testing.T, name string) mixProfile {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := sim.Run(sim.BaseGPM(), app)
+	r, err := sim.Simulate(context.Background(), sim.BaseGPM(), app)
 	if err != nil {
 		t.Fatal(err)
 	}

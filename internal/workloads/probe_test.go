@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"os"
 	"testing"
 
@@ -19,7 +21,7 @@ func TestProbeScaling(t *testing.T) {
 	p := Params{Scale: 1.0}
 	model := core.ProjectionModel(core.OnPackageLinks())
 	for _, app := range Eval14(p) {
-		base, err := sim.Run(sim.MultiGPM(1, sim.BW2x), app)
+		base, err := sim.Simulate(context.Background(), sim.MultiGPM(1, sim.BW2x), app)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -30,7 +32,7 @@ func TestProbeScaling(t *testing.T) {
 			base.L1HitRate(), base.L2HitRate(),
 			float64(base.Counts.StallCycles)/float64(base.Counts.Cycles*uint64(base.Counts.SMCount)))
 		for _, n := range []int{2, 4, 8, 16, 32} {
-			r, err := sim.Run(sim.MultiGPM(n, sim.BW2x), app)
+			r, err := sim.Simulate(context.Background(), sim.MultiGPM(n, sim.BW2x), app)
 			if err != nil {
 				t.Fatal(err)
 			}

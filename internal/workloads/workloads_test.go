@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -138,7 +140,7 @@ func TestCategoryBehaviourDiverges(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := sim.Run(sim.BaseGPM(), app)
+		r, err := sim.Simulate(context.Background(), sim.BaseGPM(), app)
 		if err != nil {
 			t.Fatal(err)
 		}

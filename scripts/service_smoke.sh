@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Smoke-test the gpujouled service end to end:
+#   1. build and start the daemon with a fresh cache directory;
+#   2. submit a tiny sweep, wait it out, fetch the result document;
+#   3. submit the identical sweep again and assert the second pass is
+#      answered 100% from the cache (zero simulations submitted) with a
+#      byte-identical result document;
+#   4. run cmd/sweep both locally and through -server and assert the
+#      CSVs are byte-identical;
+#   5. scrape /metrics into an artifact for upload.
+#
+# Usage: scripts/service_smoke.sh [workdir]   (default: a fresh mktemp dir)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+ADDR="127.0.0.1:18344"
+SPEC='{"workloads":"Stream,Kmeans","scale":0.05,"gpms":"1,2","bw":"1x,2x"}'
+
+go build -o "$WORK/gpujouled" ./cmd/gpujouled
+go build -o "$WORK/sweep" ./cmd/sweep
+"$WORK/gpujouled" -version
+
+"$WORK/gpujouled" -addr "$ADDR" -cache "$WORK/cache" >"$WORK/daemon.log" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+for _ in $(seq 50); do
+    curl -sf "http://$ADDR/v1/version" >/dev/null && break
+    sleep 0.2
+done
+curl -sf "http://$ADDR/v1/version"; echo
+
+submit_and_wait() {
+    local id
+    id=$(curl -sf "http://$ADDR/v1/jobs" -d "$SPEC" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+    for _ in $(seq 300); do
+        state=$(curl -sf "http://$ADDR/v1/jobs/$id" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+        [ "$state" = done ] && { echo "$id"; return 0; }
+        case "$state" in failed|cancelled) echo "job $id $state" >&2; return 1 ;; esac
+        sleep 0.2
+    done
+    echo "job $id never finished" >&2
+    return 1
+}
+
+COLD=$(submit_and_wait)
+WARM=$(submit_and_wait)
+curl -sf "http://$ADDR/v1/jobs/$COLD/result" >"$WORK/cold.json"
+curl -sf "http://$ADDR/v1/jobs/$WARM/result" >"$WORK/warm.json"
+cmp "$WORK/cold.json" "$WORK/warm.json"
+echo "result documents byte-identical across cold/warm passes"
+
+# The warm pass must be 100% cache hits: nothing submitted to the engine.
+curl -sf "http://$ADDR/v1/jobs/$WARM" | python3 -c '
+import json, sys
+j = json.load(sys.stdin)
+assert j["points"] > 0, j
+assert j["cache_hits"] == j["points"], f"warm pass not fully cached: {j}"
+assert j["submitted"] == 0, f"warm pass re-simulated: {j}"
+print("warm pass: %d/%d cache hits, 0 submitted" % (j["cache_hits"], j["points"]))
+'
+
+# A local sweep and a -server sweep of the same grid render identical CSVs.
+"$WORK/sweep" -workloads Stream,Kmeans -scale 0.05 -gpms 1,2 -bw 1x,2x -o "$WORK/local.csv"
+"$WORK/sweep" -workloads Stream,Kmeans -scale 0.05 -gpms 1,2 -bw 1x,2x -server "$ADDR" -o "$WORK/remote.csv"
+cmp "$WORK/local.csv" "$WORK/remote.csv"
+echo "local and -server CSVs byte-identical"
+
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics.txt"
+grep -q "gpujoule_result_cache_hits" "$WORK/metrics.txt"
+grep -q "gpujoule_queue_depth" "$WORK/metrics.txt"
+
+# Graceful drain: SIGTERM must stop the daemon cleanly.
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+trap - EXIT
+echo "service smoke OK (artifacts in $WORK)"
