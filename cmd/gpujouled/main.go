@@ -7,18 +7,27 @@
 // Usage:
 //
 //	gpujouled [-addr :8344] [-cache dir] [-workers n] [-counters]
-//	          [-queue n] [-executors n] [-drain-timeout 5m] [-version]
+//	          [-queue n] [-executors n] [-tenants alice=3,bob=1]
+//	          [-drain-timeout 5m] [-version]
+//
+// Jobs are decomposed into grid points and scheduled point-by-point:
+// weighted-fair across tenants (the X-Tenant request header; -tenants
+// configures weights as name=weight[:maxinflight], unlisted tenants
+// get weight 1), with job priorities preempting losslessly at point
+// boundaries.
 //
 // The API (see DESIGN.md §The gpujouled service):
 //
-//	POST   /v1/jobs             submit a sweep job (JSON spec)
+//	POST   /v1/jobs             submit a sweep job (JSON spec; X-Tenant header)
 //	GET    /v1/jobs/{id}        job status
-//	GET    /v1/jobs/{id}/result deterministic result document
+//	GET    /v1/jobs/{id}/result deterministic result document (?partial=1 while running)
+//	GET    /v1/jobs/{id}/events live SSE event stream
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/version          build + schema versions
 //
 // plus the shared introspection plane: /progress, /metrics (with
-// cache-hit/miss/coalesce and queue-depth series), and /debug/pprof.
+// cache-hit/miss/coalesce, queue-depth, per-tenant scheduler, and
+// preemption series), and /debug/pprof.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: admission stops
 // (503), queued and running jobs complete, then the process exits. A
@@ -36,6 +45,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,13 +61,46 @@ func main() {
 	}
 }
 
+// parseTenants parses the -tenants flag: a comma-separated list of
+// name=weight or name=weight:maxinflight entries.
+func parseTenants(s string) (map[string]service.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]service.TenantConfig{}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants: %q is not name=weight[:maxinflight]", entry)
+		}
+		wstr, istr, hasCap := strings.Cut(val, ":")
+		cfg := service.TenantConfig{}
+		var err error
+		if cfg.Weight, err = strconv.Atoi(wstr); err != nil || cfg.Weight < 1 {
+			return nil, fmt.Errorf("-tenants: %q: weight must be a positive integer", entry)
+		}
+		if hasCap {
+			if cfg.MaxInflight, err = strconv.Atoi(istr); err != nil || cfg.MaxInflight < 0 {
+				return nil, fmt.Errorf("-tenants: %q: maxinflight must be a non-negative integer", entry)
+			}
+		}
+		out[name] = cfg
+	}
+	return out, nil
+}
+
 func run() error {
 	addr := flag.String("addr", ":8344", "listen address")
 	cacheDir := flag.String("cache", "gpujouled-cache", "result cache directory (empty disables persistence)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	counters := flag.Bool("counters", false, "simulate every point with per-GPM/per-link observability counters")
 	queueCap := flag.Int("queue", 16, "admission queue capacity (jobs beyond it get 429)")
-	executors := flag.Int("executors", 2, "concurrently running jobs")
+	executors := flag.Int("executors", 2, "concurrently executing points")
+	tenants := flag.String("tenants", "", "per-tenant scheduler config: name=weight[:maxinflight],... (unlisted tenants get weight 1)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "how long a graceful drain may take before aborting")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
@@ -66,6 +110,11 @@ func run() error {
 		return nil
 	}
 
+	tcfg, err := parseTenants(*tenants)
+	if err != nil {
+		return err
+	}
+
 	logger := log.New(os.Stderr, "gpujouled: ", log.LstdFlags)
 	srv, err := service.New(service.Options{
 		Workers:   *workers,
@@ -73,6 +122,7 @@ func run() error {
 		CacheDir:  *cacheDir,
 		QueueCap:  *queueCap,
 		Executors: *executors,
+		Tenants:   tcfg,
 		Logf:      logger.Printf,
 	})
 	if err != nil {

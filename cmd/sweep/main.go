@@ -30,7 +30,12 @@
 // are answered from the daemon's persistent result cache, and the CSV
 // output is byte-identical to a local run of the same grid against the
 // same binary version. -counters and -trace require local simulation
-// and are rejected in server mode.
+// and are rejected in server mode. Server mode additionally takes
+// -tenant (the scheduling account the job is billed to), -priority
+// (higher preempts lower-priority work at the next point boundary),
+// and -stream: follow the job's live event feed and emit CSV rows as
+// their points resolve — the rows appear incrementally, in grid order,
+// and the completed file is still byte-identical to a local run.
 package main
 
 import (
@@ -85,6 +90,9 @@ func run() (err error) {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of every point to this file")
 	httpAddr := flag.String("httpaddr", "", "serve live introspection (pprof, /progress, /metrics) on this address")
 	serverURL := flag.String("server", "", "run the sweep on a gpujouled daemon at this URL instead of simulating locally")
+	tenant := flag.String("tenant", "", "scheduling tenant to bill the job to (server mode)")
+	priority := flag.Int("priority", 0, "job priority; higher preempts lower at point boundaries (server mode)")
+	stream := flag.Bool("stream", false, "follow the job's event stream and emit CSV rows as points resolve (server mode)")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
 
@@ -105,6 +113,33 @@ func run() (err error) {
 	}
 	cfgs := grid.Configs()
 
+	if *serverURL == "" {
+		if *tenant != "" || *priority != 0 || *stream {
+			return errors.New("-tenant, -priority, and -stream need -server")
+		}
+	} else if *countersOut != "" || *traceOut != "" {
+		return errors.New("-counters and -trace need local simulation; drop them or drop -server")
+	}
+
+	spec := service.JobSpec{
+		Workloads:  *names,
+		All:        *all,
+		Scale:      *scale,
+		GPMs:       *gpms,
+		BWs:        *bws,
+		Topologies: *topos,
+		Baseline:   true,
+		Priority:   *priority,
+	}
+
+	// Streaming server mode renders rows into the output as their
+	// points resolve instead of collecting everything first.
+	if *serverURL != "" && *stream {
+		return withOutput(*out, func(bw *bufio.Writer) error {
+			return streamRemote(bw, *serverURL, *tenant, spec, *progress, cfgs)
+		})
+	}
+
 	// Both execution paths produce the same row set — the (workload ×
 	// design) cross product in grid order, with each workload's 1-GPM
 	// baseline prepended — and render it through the same emit loop, so
@@ -112,18 +147,7 @@ func run() (err error) {
 	var rows []row
 	var results []*sim.Result
 	if *serverURL != "" {
-		if *countersOut != "" || *traceOut != "" {
-			return errors.New("-counters and -trace need local simulation; drop them or drop -server")
-		}
-		rows, results, err = runRemote(*serverURL, service.JobSpec{
-			Workloads:  *names,
-			All:        *all,
-			Scale:      *scale,
-			GPMs:       *gpms,
-			BWs:        *bws,
-			Topologies: *topos,
-			Baseline:   true,
-		}, *progress, len(cfgs))
+		rows, results, err = runRemote(*serverURL, *tenant, spec, *progress, len(cfgs))
 	} else {
 		rows, results, err = runLocal(localOptions{
 			names: *names, all: *all, scale: *scale,
@@ -135,12 +159,30 @@ func run() (err error) {
 		return err
 	}
 
-	// Buffer the output and only keep -o files that were written in
-	// full: any failure past this point removes the partial file.
+	return withOutput(*out, func(bw *bufio.Writer) error {
+		writeHeader(bw)
+		i := 0
+		for _, r := range rows {
+			base := results[i]
+			i++
+			for _, cfg := range cfgs {
+				emit(bw, r, cfg, modelFor(cfg), base, results[i])
+				i++
+			}
+		}
+		return nil
+	})
+}
+
+// withOutput buffers writes to path (stdout when empty) and only keeps
+// -o files that were written in full: any failure removes the partial
+// file.
+func withOutput(path string, fn func(*bufio.Writer) error) error {
 	var w io.Writer = os.Stdout
 	var f *os.File
-	if *out != "" {
-		if f, err = os.Create(*out); err != nil {
+	if path != "" {
+		var err error
+		if f, err = os.Create(path); err != nil {
 			return err
 		}
 		defer func() {
@@ -148,31 +190,14 @@ func run() (err error) {
 				return // already closed on the success path
 			}
 			f.Close()
-			os.Remove(*out)
+			os.Remove(path)
 		}()
 		w = f
 	}
 	bw := bufio.NewWriter(w)
-
-	// The metric columns use the canonical sim.Field* schema names, so
-	// the CSV header, the counters JSON, and the harness reports agree.
-	fmt.Fprintln(bw, "workload,category,gpms,bw,topology,domain,"+strings.Join([]string{
-		sim.FieldCycles, sim.FieldSeconds,
-		sim.FieldSpeedup, sim.FieldEnergyJ, sim.FieldEnergyRatio, sim.FieldEDPSEPct, sim.FieldAvgPowerW,
-		sim.FieldL1Hit, sim.FieldL2Hit, sim.FieldRemoteFillFrac,
-		sim.FieldDRAMGB, sim.FieldInterGPMGB, sim.FieldStallFrac,
-	}, ","))
-
-	i := 0
-	for _, r := range rows {
-		base := results[i]
-		i++
-		for _, cfg := range cfgs {
-			emit(bw, r, cfg, modelFor(cfg), base, results[i])
-			i++
-		}
+	if err := fn(bw); err != nil {
+		return err
 	}
-
 	// bufio holds the first write error; surface it rather than
 	// silently dropping rows.
 	if err := bw.Flush(); err != nil {
@@ -180,13 +205,25 @@ func run() (err error) {
 	}
 	if f != nil {
 		if err := f.Close(); err != nil {
-			os.Remove(*out)
+			os.Remove(path)
 			f = nil
-			return fmt.Errorf("closing %s: %w", *out, err)
+			return fmt.Errorf("closing %s: %w", path, err)
 		}
 		f = nil
 	}
 	return nil
+}
+
+// writeHeader emits the CSV header. The metric columns use the
+// canonical sim.Field* schema names, so the CSV header, the counters
+// JSON, and the harness reports agree.
+func writeHeader(w io.Writer) {
+	fmt.Fprintln(w, "workload,category,gpms,bw,topology,domain,"+strings.Join([]string{
+		sim.FieldCycles, sim.FieldSeconds,
+		sim.FieldSpeedup, sim.FieldEnergyJ, sim.FieldEnergyRatio, sim.FieldEDPSEPct, sim.FieldAvgPowerW,
+		sim.FieldL1Hit, sim.FieldL2Hit, sim.FieldRemoteFillFrac,
+		sim.FieldDRAMGB, sim.FieldInterGPMGB, sim.FieldStallFrac,
+	}, ","))
 }
 
 type localOptions struct {
@@ -291,10 +328,10 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 	return rows, results, nil
 }
 
-// runRemote submits the grid as one gpujouled job and reassembles the
-// row set from the daemon's result document. Workload categories come
-// from the registry metadata — no traces are built client-side.
-func runRemote(url string, spec service.JobSpec, progress bool, perRow int) ([]row, []*sim.Result, error) {
+// rowSet resolves the spec's workload selection to CSV row identities.
+// Workload categories come from the registry metadata — no traces are
+// built client-side.
+func rowSet(spec service.JobSpec) ([]row, error) {
 	categories := map[string]trace.Category{}
 	var eval14 []string
 	for _, g := range workloads.Generators() {
@@ -311,12 +348,22 @@ func runRemote(url string, spec service.JobSpec, progress bool, perRow int) ([]r
 	for _, name := range sel {
 		cat, ok := categories[name]
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown workload %q (have %v)", name, workloads.Names())
+			return nil, fmt.Errorf("unknown workload %q (have %v)", name, workloads.Names())
 		}
 		rows = append(rows, row{name: name, category: cat})
 	}
+	return rows, nil
+}
 
+// runRemote submits the grid as one gpujouled job and reassembles the
+// row set from the daemon's result document.
+func runRemote(url, tenant string, spec service.JobSpec, progress bool, perRow int) ([]row, []*sim.Result, error) {
+	rows, err := rowSet(spec)
+	if err != nil {
+		return nil, nil, err
+	}
 	client := service.NewClient(url)
+	client.Tenant = tenant
 	if progress {
 		fmt.Fprintf(os.Stderr, "sweep: submitting %d points to %s\n", len(rows)*(perRow+1), url)
 	}
@@ -335,6 +382,92 @@ func runRemote(url string, spec service.JobSpec, progress bool, perRow int) ([]r
 		results[i] = p.Result
 	}
 	return rows, results, nil
+}
+
+// streamRemote submits the grid as one gpujouled job, follows its SSE
+// event feed, and emits CSV rows incrementally: a row is written the
+// moment its full point span (1-GPM baseline plus every grid config)
+// has resolved, always in grid order — so the file grows live yet
+// finishes byte-identical to a batch run, no matter how the scheduler
+// interleaved this job with other tenants' work.
+func streamRemote(bw *bufio.Writer, url, tenant string, spec service.JobSpec, progress bool, cfgs []sim.Config) error {
+	rows, err := rowSet(spec)
+	if err != nil {
+		return err
+	}
+	client := service.NewClient(url)
+	client.Tenant = tenant
+
+	writeHeader(bw)
+	span := len(cfgs) + 1 // baseline + one point per config
+	total := len(rows) * span
+	results := make([]*sim.Result, total)
+	next := 0 // first result index not yet rendered
+
+	// flush renders every complete prefix row: row r spans result
+	// indices [r*span, (r+1)*span).
+	flush := func() error {
+		for next < total {
+			r := next / span
+			end := (r + 1) * span
+			complete := true
+			for i := r * span; i < end; i++ {
+				if results[i] == nil {
+					complete = false
+					break
+				}
+			}
+			if !complete {
+				return nil
+			}
+			base := results[r*span]
+			for ci, cfg := range cfgs {
+				emit(bw, rows[r], cfg, modelFor(cfg), base, results[r*span+1+ci])
+			}
+			next = end
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("writing output: %w", err)
+			}
+		}
+		return nil
+	}
+
+	if progress {
+		fmt.Fprintf(os.Stderr, "sweep: streaming %d points from %s\n", total, url)
+	}
+	var flushErr error
+	doc, err := client.RunSweepStream(context.Background(), spec, func(ev service.JobEvent) {
+		if flushErr != nil || ev.Kind != service.EventPoint || ev.Point == nil {
+			return
+		}
+		if ev.Index >= 0 && ev.Index < total {
+			results[ev.Index] = ev.Point.Result
+		}
+		if progress {
+			fmt.Fprintf(os.Stderr, "sweep: point %d/%d (%s) %s\n", ev.Index+1, total, ev.Source, ev.Point.SimKey)
+		}
+		flushErr = flush()
+	})
+	if err != nil {
+		return err
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	if len(doc.Points) != total {
+		return fmt.Errorf("daemon streamed %d points, want %d; version skew?", len(doc.Points), total)
+	}
+	// Anything the stream missed (it shouldn't — the log replays from
+	// the start) is backfilled from the verified document.
+	for i, p := range doc.Points {
+		if results[i] == nil {
+			if p.Result == nil {
+				return fmt.Errorf("daemon returned no result for %s", p.SimKey)
+			}
+			results[i] = p.Result
+		}
+	}
+	return flush()
 }
 
 func emit(w io.Writer, r row, cfg sim.Config, model *core.Model, base, res *sim.Result) {

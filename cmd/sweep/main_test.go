@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"net/http/httptest"
 	"testing"
 
 	"gpujoule/internal/interconnect"
+	"gpujoule/internal/service"
 	"gpujoule/internal/sim"
 )
 
@@ -51,5 +55,63 @@ func TestModelFor(t *testing.T) {
 	onBoard := modelFor(sim.MultiGPM(4, sim.BW1x))
 	if onPkg.Amortization == 0 || onBoard.Amortization != 0 {
 		t.Error("model selection by domain wrong")
+	}
+}
+
+// TestStreamedCSVMatchesBatch is the golden byte-identity check for
+// streaming mode: one sweep rendered incrementally from the SSE feed
+// must produce the exact bytes of the batch (submit, wait, poll) path
+// — and a second streamed pass over a warm cache (points resolving in
+// a burst, all from disk) must too.
+func TestStreamedCSVMatchesBatch(t *testing.T) {
+	s, err := service.New(service.Options{CacheDir: t.TempDir(), Executors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	grid, err := sim.ParseGrid("1,2", "1x,2x", "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := grid.Configs()
+	spec := service.JobSpec{
+		Workloads: "Stream,Kmeans", Scale: 0.05,
+		GPMs: "1,2", BWs: "1x,2x", Topologies: "ring",
+		Baseline: true,
+	}
+
+	// The batch path renders through the same emit loop run() uses.
+	rows, results, err := runRemote(ts.URL, "", spec, false, len(cfgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch bytes.Buffer
+	bw := bufio.NewWriter(&batch)
+	writeHeader(bw)
+	i := 0
+	for _, r := range rows {
+		base := results[i]
+		i++
+		for _, cfg := range cfgs {
+			emit(bw, r, cfg, modelFor(cfg), base, results[i])
+			i++
+		}
+	}
+	bw.Flush()
+
+	for pass, tenant := range []string{"cold", "warm"} {
+		var streamed bytes.Buffer
+		sw := bufio.NewWriter(&streamed)
+		if err := streamRemote(sw, ts.URL, tenant, spec, false, cfgs); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		sw.Flush()
+		if !bytes.Equal(streamed.Bytes(), batch.Bytes()) {
+			t.Errorf("pass %d: streamed CSV differs from batch CSV:\nstreamed:\n%s\nbatch:\n%s",
+				pass, streamed.Bytes(), batch.Bytes())
+		}
 	}
 }

@@ -65,8 +65,9 @@ const (
 	PointDone
 )
 
-// Event is one progress notification. Callbacks are serialized by the
-// engine; they may be invoked from worker goroutines.
+// Event is one progress notification. Callbacks (the Options.OnEvent
+// hook and every Subscribe subscriber) are serialized by the engine;
+// they may be invoked from worker goroutines.
 type Event struct {
 	Kind  EventKind
 	Point Point
@@ -148,7 +149,9 @@ type Engine struct {
 	simOpts   []sim.Option
 	ephemeral bool
 
-	evMu sync.Mutex // serializes OnEvent callbacks
+	evMu   sync.Mutex // serializes event delivery, guards subs
+	subs   map[int]func(Event)
+	subSeq int
 
 	mu        sync.Mutex
 	cache     map[string]*entry
@@ -211,13 +214,49 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-func (e *Engine) emit(ev Event) {
-	if e.onEvent == nil {
-		return
-	}
+// Subscribe registers an additional progress-event listener and
+// returns its cancel function. Subscribers receive the same serialized
+// event stream as Options.OnEvent (every listener observes events in
+// one global order), so several independent consumers — a progress
+// display, a throughput estimator, a per-job streaming fan-out — can
+// follow one engine without coordinating. Cancel is idempotent and
+// safe to call while events are being delivered; it returns only after
+// any in-progress delivery to the subscriber has completed.
+func (e *Engine) Subscribe(fn func(Event)) (cancel func()) {
 	e.evMu.Lock()
 	defer e.evMu.Unlock()
-	e.onEvent(ev)
+	if e.subs == nil {
+		e.subs = make(map[int]func(Event))
+	}
+	id := e.subSeq
+	e.subSeq++
+	e.subs[id] = fn
+	return func() {
+		e.evMu.Lock()
+		delete(e.subs, id)
+		e.evMu.Unlock()
+	}
+}
+
+func (e *Engine) emit(ev Event) {
+	e.evMu.Lock()
+	defer e.evMu.Unlock()
+	if e.onEvent != nil {
+		e.onEvent(ev)
+	}
+	if len(e.subs) == 0 {
+		return
+	}
+	// Deliver in subscription order so the stream every listener sees
+	// is deterministic given a deterministic event order.
+	ids := make([]int, 0, len(e.subs))
+	for id := range e.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e.subs[id](ev)
+	}
 }
 
 // job is one cache entry this batch claimed and must resolve.

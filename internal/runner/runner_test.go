@@ -497,3 +497,48 @@ func TestGridPoints(t *testing.T) {
 		t.Errorf("without baseline len = %d, want 4", n)
 	}
 }
+
+// TestSubscribe checks the engine's event fan-out: every subscriber
+// observes the same serialized event stream as Options.OnEvent, and a
+// cancelled subscription stops receiving immediately.
+func TestSubscribe(t *testing.T) {
+	pts := testPoints(t)
+	var onEvent []runner.EventKind
+	eng := runner.New(runner.Options{Workers: 2, OnEvent: func(ev runner.Event) {
+		onEvent = append(onEvent, ev.Kind)
+	}})
+	var a, b []runner.EventKind
+	cancelA := eng.Subscribe(func(ev runner.Event) { a = append(a, ev.Kind) })
+	eng.Subscribe(func(ev runner.Event) { b = append(b, ev.Kind) })
+
+	if _, err := eng.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	// Delivery is serialized: OnEvent and every subscriber see the
+	// identical sequence.
+	if !reflect.DeepEqual(a, onEvent) || !reflect.DeepEqual(b, onEvent) {
+		t.Errorf("subscriber streams diverge from OnEvent:\nonEvent: %v\na: %v\nb: %v", onEvent, a, b)
+	}
+	done := 0
+	for _, k := range a {
+		if k == runner.PointDone {
+			done++
+		}
+	}
+	if done != len(pts) {
+		t.Errorf("subscriber saw %d PointDone events, want %d", done, len(pts))
+	}
+
+	// After cancellation only the live subscriber grows.
+	cancelA()
+	alen := len(a)
+	if _, err := eng.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != alen {
+		t.Errorf("cancelled subscriber still received %d events", len(a)-alen)
+	}
+	if len(b) <= alen {
+		t.Error("live subscriber stopped receiving after another subscription was cancelled")
+	}
+}

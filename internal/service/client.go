@@ -1,23 +1,34 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"gpujoule/internal/obs"
 )
 
 // Client is the thin HTTP client for a gpujouled daemon, used by
 // cmd/sweep -server and the service tests. It speaks only the /v1 API;
-// all simulation, caching, and coalescing stay server-side.
+// all simulation, caching, coalescing, and scheduling stay
+// server-side.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Tenant, when non-empty, is sent as the X-Tenant header on every
+	// request, billing submitted jobs to that scheduling tenant.
+	Tenant string
 }
 
 // NewClient targets a daemon at base (e.g. "http://127.0.0.1:8344").
@@ -29,10 +40,25 @@ func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
 
+// QueueFullError is the typed form of a 429 rejection: it unwraps to
+// ErrQueueFull and carries the server's adaptive Retry-After hint.
+type QueueFullError struct {
+	// RetryAfter is the server's suggested backoff (zero when the
+	// response carried no usable hint).
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *QueueFullError) Error() string { return e.msg }
+
+// Unwrap lets errors.Is(err, ErrQueueFull) keep working on the typed
+// error.
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
 // apiError decodes the server's {"error": ...} body into a Go error,
-// preserving queue-full and draining as their sentinel values so
-// callers can implement retry policy.
-func apiError(code int, body []byte) error {
+// preserving queue-full (with its Retry-After hint) and draining as
+// matchable sentinel values so callers can implement retry policy.
+func apiError(resp *http.Response, body []byte) error {
 	var e struct {
 		Error string `json:"error"`
 	}
@@ -40,13 +66,17 @@ func apiError(code int, body []byte) error {
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
 		msg = e.Error
 	}
-	switch code {
+	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
-		return fmt.Errorf("%w (%s)", ErrQueueFull, msg)
+		var retry time.Duration
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			retry = time.Duration(sec) * time.Second
+		}
+		return &QueueFullError{RetryAfter: retry, msg: fmt.Sprintf("%v (%s)", ErrQueueFull, msg)}
 	case http.StatusServiceUnavailable:
 		return fmt.Errorf("%w (%s)", ErrDraining, msg)
 	}
-	return fmt.Errorf("service: HTTP %d: %s", code, msg)
+	return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, msg)
 }
 
 // do runs one request and decodes the JSON response into out (when
@@ -67,6 +97,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -77,7 +110,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return apiError(resp.StatusCode, raw)
+		return apiError(resp, raw)
 	}
 	if out != nil {
 		return json.Unmarshal(raw, out)
@@ -90,6 +123,30 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
 	return st, err
+}
+
+// submitRetry submits with backoff on queue-full rejections, honouring
+// the server's adaptive Retry-After hint.
+func (c *Client) submitRetry(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	for {
+		st, err := c.Submit(ctx, spec)
+		if err == nil {
+			return st, nil
+		}
+		var qf *QueueFullError
+		if !errors.As(err, &qf) {
+			return st, err
+		}
+		backoff := qf.RetryAfter
+		if backoff <= 0 {
+			backoff = time.Second
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
 }
 
 // Status fetches a job's current snapshot.
@@ -110,6 +167,16 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 func (c *Client) Result(ctx context.Context, id string) (*ResultDoc, error) {
 	var doc ResultDoc
 	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Partial fetches a running job's partial result document: the final
+// document's shape with null results for unresolved points.
+func (c *Client) Partial(ctx context.Context, id string) (*ResultDoc, error) {
+	var doc ResultDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result?partial=1", nil, &doc); err != nil {
 		return nil, err
 	}
 	return &doc, nil
@@ -147,32 +214,111 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 	}
 }
 
+// Stream subscribes to a job's SSE event feed from sequence number
+// `from`, invoking fn for every event in order (history replays
+// first, so from=0 observes the complete log). It returns the
+// terminal event once the stream ends with one. A non-nil error from
+// fn aborts the stream.
+func (c *Client) Stream(ctx context.Context, id string, from int, fn func(JobEvent) error) (JobEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", c.base, id, from), nil)
+	if err != nil {
+		return JobEvent{}, err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobEvent{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return JobEvent{}, apiError(resp, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		case line == "" && len(data) > 0:
+			var ev JobEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return JobEvent{}, fmt.Errorf("service: decoding stream event: %w", err)
+			}
+			data = nil
+			if fn != nil {
+				if err := fn(ev); err != nil {
+					return JobEvent{}, err
+				}
+			}
+			if ev.Kind == EventDone {
+				return ev, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobEvent{}, err
+	}
+	return JobEvent{}, errors.New("service: event stream ended without a terminal event")
+}
+
 // RunSweep submits a spec, waits it out, and returns the result
 // document — one sweep round-trip. Submission retries on queue-full
-// backpressure, honouring the server's Retry-After hint.
+// backpressure, honouring the server's adaptive Retry-After hint.
 func (c *Client) RunSweep(ctx context.Context, spec JobSpec) (*ResultDoc, error) {
-	var st JobStatus
-	for {
-		var err error
-		st, err = c.Submit(ctx, spec)
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, ErrQueueFull) {
-			return nil, err
-		}
-		select {
-		case <-time.After(time.Second):
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+	st, err := c.submitRetry(ctx, spec)
+	if err != nil {
+		return nil, err
 	}
 	fin, err := c.Wait(ctx, st.ID, 0)
 	if err != nil {
 		return nil, err
 	}
-	if fin.State != StateDone {
-		return nil, fmt.Errorf("service: job %s %s: %s", fin.ID, fin.State, fin.Error)
+	if ferr := fin.Err(); ferr != nil {
+		return nil, ferr
 	}
 	return c.Result(ctx, fin.ID)
+}
+
+// RunSweepStream is RunSweep's streaming form: it submits the spec,
+// follows the job's SSE feed (invoking onEvent, when non-nil, for
+// every event — point events carry the resolved PointResult), and
+// reassembles the result document client-side in expansion order. The
+// reassembly is verified against the digest in the terminal event —
+// the sha256 of the document the server would serve — and falls back
+// to fetching /result on any mismatch, so the returned document is
+// always byte-equivalent to the polled path.
+func (c *Client) RunSweepStream(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*ResultDoc, error) {
+	st, err := c.submitRetry(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	doc := &ResultDoc{SchemaVersion: obs.SchemaVersion, Points: make([]PointResult, st.Points)}
+	fin, err := c.Stream(ctx, st.ID, 0, func(ev JobEvent) error {
+		if ev.Kind == EventPoint && ev.Point != nil && ev.Index >= 0 && ev.Index < len(doc.Points) {
+			doc.Points[ev.Index] = *ev.Point
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if fin.State != StateDone {
+		return nil, JobStatus{ID: st.ID, State: fin.State, Error: fin.Error}.Err()
+	}
+	sum := sha256.Sum256(renderResultDoc(*doc))
+	if fin.Digest != "" && hex.EncodeToString(sum[:]) == fin.Digest {
+		return doc, nil
+	}
+	// Digest mismatch (or a server too old to stamp one): the stream
+	// is advisory, /result is authoritative.
+	return c.Result(ctx, st.ID)
 }

@@ -4,22 +4,30 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
-	"gpujoule/internal/obs"
 	"gpujoule/internal/sim"
 )
+
+// TenantHeader names the request header that selects the scheduling
+// tenant for job submission (absent or empty → DefaultTenant).
+const TenantHeader = "X-Tenant"
 
 // ResultDoc is the deterministic result document served by
 // GET /v1/jobs/{id}/result. It contains no timestamps or
 // server-specific state, so the same job spec against the same binary
-// renders byte-identical documents — the property the persistent cache
-// and the smoke test's byte-compare both rely on.
+// renders byte-identical documents — regardless of how the scheduler
+// interleaved the job's points with other tenants' work. The smoke
+// test's byte-compare, the persistent cache, and the SSE digest all
+// rely on this.
 type ResultDoc struct {
 	SchemaVersion int           `json:"schema_version"`
 	Points        []PointResult `json:"points"`
 }
 
-// PointResult pairs one expanded grid point with its result.
+// PointResult pairs one expanded grid point with its result. In a
+// partial document (running job) Result is null for points that have
+// not resolved yet.
 type PointResult struct {
 	// Workload and Config are human-readable labels; SimKey is the
 	// point's canonical simulation identity (the runner memo key).
@@ -38,6 +46,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -63,15 +72,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	st, err := s.Submit(spec)
+	st, err := s.SubmitTenant(r.Header.Get(TenantHeader), spec)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
 	case err == ErrQueueFull:
 		// Backpressure: the queue is bounded by design; clients retry
 		// after the hinted delay instead of the daemon buffering
-		// unboundedly.
-		w.Header().Set("Retry-After", "1")
+		// unboundedly. The hint is adaptive — estimated drain time of
+		// the current point backlog at recently observed throughput.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 	case err == ErrDraining:
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -101,6 +111,23 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !st.State.Terminal() {
+		// Partial retrieval: a running job serves its current view —
+		// same document shape, null results for unresolved points —
+		// when asked explicitly. Without ?partial the pre-streaming
+		// contract holds: 409 until terminal.
+		if r.URL.Query().Get("partial") != "" {
+			pts, results, pst, okp := s.Partial(id)
+			if !okp {
+				writeErr(w, http.StatusNotFound, "no such job %q", id)
+				return
+			}
+			w.Header().Set("X-Points-Done", strconv.Itoa(pst.PointsDone))
+			w.Header().Set("X-Points-Total", strconv.Itoa(pst.Points))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(renderResultDoc(resultDoc(pts, results)))
+			return
+		}
 		writeErr(w, http.StatusConflict, "job %s is %s; result not ready", id, st.State)
 		return
 	}
@@ -109,16 +136,68 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "job %s %s: %s", id, st.State, st.Error)
 		return
 	}
-	doc := ResultDoc{SchemaVersion: obs.SchemaVersion, Points: make([]PointResult, len(pts))}
-	for i, pt := range pts {
-		doc.Points[i] = PointResult{
-			Workload: pt.App.Name,
-			Config:   pt.Config.Name(),
-			SimKey:   pt.Key(),
-			Result:   results[i],
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(renderResultDoc(resultDoc(pts, results)))
+}
+
+// handleEvents streams a job's event log as server-sent events: the
+// full history replays first (late subscribers lose nothing), then
+// live events as points resolve, ending with the terminal "done"
+// event whose data carries the result-document digest. Reconnecting
+// clients resume with ?from=N or the standard Last-Event-ID header.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		from, _ = strconv.Atoi(v)
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			from = n + 1
 		}
 	}
-	writeJSON(w, http.StatusOK, doc)
+	if _, _, ok := s.Events(id, 0); !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, more, ok := s.Events(id, from)
+		if !ok {
+			return // job pruned from retention mid-stream
+		}
+		for _, ev := range evs {
+			if ev.Kind == EventPoint {
+				if pr, okp := s.pointResult(id, ev.Index); okp {
+					ev.Point = &pr
+				}
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+			from = ev.Seq + 1
+			if ev.Kind == EventDone {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -141,10 +220,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, `gpujouled — resident multi-module GPU simulation service
 
-  POST   /v1/jobs             submit a sweep job (JSON spec)
+  POST   /v1/jobs             submit a sweep job (JSON spec; X-Tenant selects the tenant)
   GET    /v1/jobs             list jobs
   GET    /v1/jobs/{id}        job status
-  GET    /v1/jobs/{id}/result result document (done jobs)
+  GET    /v1/jobs/{id}/result result document (?partial=1 for running jobs)
+  GET    /v1/jobs/{id}/events live SSE event stream (points, states, final digest)
   DELETE /v1/jobs/{id}        cancel a job
   GET    /v1/version          build + schema versions
   GET    /progress            live batch progress

@@ -6,15 +6,23 @@
 //
 // The layering, outermost first:
 //
-//   - a bounded admission queue with backpressure: jobs are accepted
-//     until the queue fills, then rejected with 429 + Retry-After so a
-//     sweep storm degrades into client retries instead of memory
-//     growth. Accepted jobs run under per-job deadlines and can be
-//     cancelled mid-flight.
-//   - singleflight coalescing per simulation point: the first job to
-//     need a point claims a flight; concurrent jobs needing the same
-//     point wait on that flight instead of re-simulating. Two users
-//     sweeping overlapping grids cost one simulation per shared point.
+//   - bounded admission with backpressure: jobs are accepted until
+//     the registry holds QueueCap waiting jobs beyond the executor
+//     pool, then rejected with 429 + an adaptive Retry-After (queued
+//     points ÷ recent point throughput) so a sweep storm degrades
+//     into client retries instead of memory growth. Accepted jobs run
+//     under per-job deadlines and can be cancelled mid-flight.
+//   - the point scheduler (scheduler.go): every job is decomposed
+//     into its grid points at admission, and the dispatcher hands
+//     points — not jobs — to the executor pool: priorities preempt at
+//     point boundaries (losslessly — completed points are cached),
+//     weighted-fair queuing shares the engine across tenants, and
+//     per-point events feed SSE streams and partial-result reads.
+//   - singleflight coalescing per simulation point: the first point
+//     to need a key claims a flight; points of concurrent jobs
+//     needing the same key join that flight instead of re-simulating.
+//     Two tenants sweeping overlapping grids cost one simulation per
+//     shared point.
 //   - the disk cache (internal/resultcache): flight owners consult it
 //     before simulating and publish into it after, so the next daemon
 //     — not just the next request — starts warm. Entries are addressed
@@ -22,14 +30,13 @@
 //     the whole invalidation story: a new schema or binary changes
 //     every address, and stale entries simply become unreachable.
 //   - one shared runner.Engine in ephemeral mode executes what is left:
-//     the worker pool bounds concurrent simulations, in-batch
-//     duplicates dedupe, and nothing is memoized in RAM (the disk
-//     cache is the system of record), so the daemon's footprint stays
-//     bounded over weeks of traffic.
+//     the worker pool bounds concurrent simulations and nothing is
+//     memoized in RAM (the disk cache is the system of record), so the
+//     daemon's footprint stays bounded over weeks of traffic.
 //
 // Graceful drain: BeginDrain stops admission (503), in-flight and
-// already-queued jobs run to completion, then the executors exit —
-// wired to SIGTERM by cmd/gpujouled.
+// already-queued jobs run to completion, then the dispatcher and
+// executors exit — wired to SIGTERM by cmd/gpujouled.
 package service
 
 import (
@@ -88,6 +95,10 @@ type JobSpec struct {
 	// Baseline prepends each workload's 1-GPM reference point, the
 	// sweep row layout required by the scaling metrics.
 	Baseline bool `json:"baseline,omitempty"`
+	// Priority orders jobs in the scheduler: a higher-priority job
+	// preempts lower-priority work at the next point boundary
+	// (default 0; negative priorities yield to the default).
+	Priority int `json:"priority,omitempty"`
 	// TimeoutSeconds bounds the job's execution once it starts running
 	// (0 = no deadline).
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
@@ -161,62 +172,88 @@ func (sp JobSpec) configs() ([]sim.Config, error) {
 	return grid.Configs(), nil
 }
 
-// numPoints is the point count of the expanded job.
-func (sp JobSpec) numPoints() int {
-	cfgs, err := sp.configs()
-	if err != nil {
-		return 0
-	}
-	per := len(cfgs)
-	if sp.Baseline {
-		per++
-	}
-	return len(sp.names()) * per
-}
-
 // JobStatus is the introspectable snapshot of one job, served by
 // GET /v1/jobs/{id}.
 type JobStatus struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
 	Error string `json:"error,omitempty"`
+	// Tenant is the scheduling account the job is billed to.
+	Tenant string `json:"tenant"`
 	// Created, Started, and Finished timestamp the lifecycle (zero
 	// until the state is reached).
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
-	// Points is the job's expanded point count. CacheHits counts points
-	// served from the disk cache, Coalesced points that joined another
-	// job's in-flight simulation, and Submitted points handed to the
-	// simulation engine for this job. A fully warm job reports
-	// CacheHits == Points and Submitted == 0.
-	Points    int `json:"points"`
+	// Points is the job's expanded point count; PointsDone of them
+	// have resolved so far (equal to Points on a done job).
+	Points     int `json:"points"`
+	PointsDone int `json:"points_done"`
+	// CacheHits counts points served from the disk cache, Coalesced
+	// points that joined another in-flight simulation, and Submitted
+	// points handed to the simulation engine for this job. A fully
+	// warm job reports CacheHits == Points and Submitted == 0.
 	CacheHits int `json:"cache_hits"`
 	Coalesced int `json:"coalesced"`
 	Submitted int `json:"submitted"`
+	// Preemptions counts higher-priority arrivals that displaced this
+	// job's pending points while it was running.
+	Preemptions int `json:"preemptions,omitempty"`
 	// Spec is the job's submitted specification.
 	Spec JobSpec `json:"spec"`
+}
+
+// Err converts a terminal status into the error a caller should
+// surface: nil for done, ErrCancelled (wrapped with the job id) for
+// cancelled, and a descriptive failure otherwise. The one place the
+// typed cancellation sentinel is minted client- and server-side.
+func (st JobStatus) Err() error {
+	switch st.State {
+	case StateCancelled:
+		return fmt.Errorf("%w (job %s)", ErrCancelled, st.ID)
+	case StateFailed:
+		return fmt.Errorf("service: job %s failed: %s", st.ID, st.Error)
+	}
+	return nil
 }
 
 // Job is one accepted sweep job. All fields are guarded by the
 // server's registry lock; handlers only ever see Status snapshots.
 type Job struct {
 	status JobStatus
+	tenant *tenantState
 
-	cancel          context.CancelFunc
+	// ctx is the job's admission-scoped context (cancelled by Cancel
+	// and server Close); runCtx additionally carries the per-job
+	// deadline and exists once the job starts running.
+	ctx       context.Context
+	cancel    context.CancelFunc
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
 	cancelRequested bool
 	done            chan struct{} // closed on terminal state
 
-	points  []runner.Point
-	results []*sim.Result
+	points   []runner.Point
+	results  []*sim.Result
+	pending  []int   // point indices awaiting dispatch, FIFO
+	attempts []uint8 // per-point re-dispatch counts
+	owned    int     // points executing in executor slots
+	joined   int     // points waiting on foreign flights
+	resolved int
+
+	events []JobEvent
+	notify chan struct{} // closed and replaced on every event append
+	digest string        // sha256 of the result document (done jobs)
 }
 
-// flight is one in-flight point resolution: claimed by the first job
-// that needs the point, awaited by every other.
-type flight struct {
-	done chan struct{}
-	res  *sim.Result
-	err  error
+// liveCtx is the context the job's points run under: the deadline-
+// carrying run context once running, the admission context before.
+func (j *Job) liveCtx() context.Context {
+	if j.runCtx != nil {
+		return j.runCtx
+	}
+	return j.ctx
 }
 
 // Options configures a Server.
@@ -231,12 +268,19 @@ type Options struct {
 	// CacheDir roots the persistent result cache; empty disables
 	// persistence (coalescing still applies).
 	CacheDir string
-	// QueueCap bounds the admission queue (default 16).
+	// QueueCap bounds admission (default 16): a submit is rejected
+	// with 429 once QueueCap + Executors jobs are admitted and not yet
+	// terminal.
 	QueueCap int
-	// Executors bounds concurrently running jobs (default 2). Each
-	// running job feeds the one shared engine, whose Workers bound
-	// still governs simulation parallelism.
+	// Executors bounds concurrently executing points (default 2).
+	// Each executing point feeds the one shared engine, whose Workers
+	// bound still governs simulation parallelism; coalesced points
+	// join in-flight work without consuming an executor.
 	Executors int
+	// Tenants configures per-tenant weights and in-flight quotas for
+	// the weighted-fair scheduler. Tenants absent from the map get
+	// weight 1 and no quota.
+	Tenants map[string]TenantConfig
 	// KeepJobs bounds retained terminal job records (default 64):
 	// beyond it, the oldest finished jobs (and their results) are
 	// dropped from the registry.
@@ -256,26 +300,30 @@ type Server struct {
 	cache   *resultcache.Cache
 	prof    *profiling.HTTPServer
 	optsSig string
+	est     *throughputEstimator
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	queue      chan *Job
-	wg         sync.WaitGroup
+	execCh     chan pointTask
+	wg         sync.WaitGroup // dispatcher + executors
 
 	// runBatch executes a batch of points; defaults to the shared
 	// engine. A test seam for lifecycle tests that need slow or gated
 	// executions.
 	runBatch func(ctx context.Context, pts []runner.Point) ([]*sim.Result, error)
 
-	mu        sync.Mutex // guards jobs, order, draining, drained, coalesced
-	jobs      map[string]*Job
-	order     []string
-	draining  bool
-	drained   bool
-	coalesced int
-
-	flmu    sync.Mutex
-	flights map[string]*flight
+	mu          sync.Mutex // guards everything below plus all Job/tenantState fields
+	cond        *sync.Cond // broadcast on any scheduling-relevant change
+	jobs        map[string]*Job
+	order       []string
+	tenants     map[string]*tenantState
+	vclock      float64 // weighted-fair virtual clock
+	execFree    int     // free executor slots
+	flights     map[string]*flight
+	draining    bool
+	drained     bool
+	coalesced   int
+	preemptions uint64
 }
 
 // CacheStamp composes the producer stamp the service binds cache
@@ -285,9 +333,9 @@ func CacheStamp() string {
 	return fmt.Sprintf("%s|obs-schema=v%d", profiling.BuildVersion(), obs.SchemaVersion)
 }
 
-// New builds and starts a server: the executor pool is live on return
-// and the handler (Handler) can be mounted immediately. Callers must
-// Close (or Drain) it.
+// New builds and starts a server: the dispatcher and executor pool
+// are live on return and the handler (Handler) can be mounted
+// immediately. Callers must Close (or Drain) it.
 func New(opts Options) (*Server, error) {
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 16
@@ -306,12 +354,16 @@ func New(opts Options) (*Server, error) {
 		optsSig = "counters"
 	}
 	s := &Server{
-		opts:    opts,
-		optsSig: optsSig,
-		queue:   make(chan *Job, opts.QueueCap),
-		jobs:    make(map[string]*Job),
-		flights: make(map[string]*flight),
+		opts:     opts,
+		optsSig:  optsSig,
+		est:      &throughputEstimator{},
+		execCh:   make(chan pointTask, opts.Executors),
+		execFree: opts.Executors,
+		jobs:     make(map[string]*Job),
+		tenants:  make(map[string]*tenantState),
+		flights:  make(map[string]*flight),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.eng = runner.New(runner.Options{
 		Workers:   opts.Workers,
@@ -323,6 +375,14 @@ func New(opts Options) (*Server, error) {
 			}
 		},
 	})
+	// The Retry-After estimator rides the engine's event fan-out: one
+	// more subscriber on the same serialized stream the progress
+	// gauge uses.
+	s.eng.Subscribe(func(ev runner.Event) {
+		if ev.Kind == runner.PointDone && ev.Err == nil && ev.Elapsed > 0 {
+			s.est.observe(ev.Elapsed)
+		}
+	})
 	s.runBatch = s.eng.Run
 	if opts.CacheDir != "" {
 		cache, err := resultcache.Open(opts.CacheDir, CacheStamp())
@@ -333,6 +393,8 @@ func New(opts Options) (*Server, error) {
 	}
 	s.prof = profiling.NewServer(s.eng.Profile)
 	s.prof.AddMetrics(s.writeServiceMetrics)
+	s.wg.Add(1)
+	go s.dispatcher()
 	for i := 0; i < opts.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -347,7 +409,7 @@ func (s *Server) Engine() *runner.Engine { return s.eng }
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
 
 // Coalesced reports the lifetime count of points that joined another
-// job's in-flight simulation.
+// in-flight simulation.
 func (s *Server) Coalesced() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -360,47 +422,104 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Errors returned by Submit, mirrored onto HTTP statuses by the
-// handler (429 and 503 respectively).
+// Errors returned by Submit and surfaced through job statuses,
+// mirrored onto HTTP statuses by the handler (429, 503) and preserved
+// as sentinels by the client.
 var (
-	// ErrQueueFull reports that the admission queue is at capacity.
+	// ErrQueueFull reports that admission is at capacity.
 	ErrQueueFull = errors.New("service: admission queue full")
 	// ErrDraining reports that the server is shutting down and no
 	// longer accepts jobs.
 	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrCancelled reports that a job was cancelled — while queued or
+	// mid-flight — rather than failing. JobStatus.Err returns it
+	// (wrapped) for cancelled jobs on both the server and the client.
+	ErrCancelled = errors.New("service: job cancelled")
 )
 
-// Submit validates and enqueues a job, returning its queued status.
+// Submit validates and enqueues a job for the default tenant,
+// returning its queued status.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitTenant("", spec)
+}
+
+// SubmitTenant validates and enqueues a job billed to the given
+// tenant (empty selects DefaultTenant). The job's points are expanded
+// here, so the returned status carries the exact point count and the
+// scheduler can dispatch at point granularity.
+func (s *Server) SubmitTenant(tenant string, spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	pts, err := expand(spec)
+	if err != nil {
 		return JobStatus{}, err
 	}
 	id, err := newID()
 	if err != nil {
 		return JobStatus{}, err
 	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	pending := make([]int, len(pts))
+	for i := range pending {
+		pending[i] = i
+	}
 	j := &Job{
 		status: JobStatus{
 			ID:      id,
 			State:   StateQueued,
+			Tenant:  tenant,
 			Created: time.Now(),
-			Points:  spec.numPoints(),
+			Points:  len(pts),
 			Spec:    spec,
 		},
-		done: make(chan struct{}),
+		points:   pts,
+		results:  make([]*sim.Result, len(pts)),
+		pending:  pending,
+		attempts: make([]uint8, len(pts)),
+		done:     make(chan struct{}),
+		notify:   make(chan struct{}),
 	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return JobStatus{}, ErrDraining
 	}
-	select {
-	case s.queue <- j:
-	default:
+	admitted := 0
+	for _, jj := range s.jobs {
+		if !jj.status.State.Terminal() {
+			admitted++
+		}
+	}
+	if admitted >= s.opts.QueueCap+s.opts.Executors {
 		return JobStatus{}, ErrQueueFull
 	}
+	t := s.tenantLocked(tenant)
+	if t.queuedPoints() == 0 {
+		// Re-entering the backlog: forfeit banked idle time.
+		if t.vtime < s.vclock {
+			t.vtime = s.vclock
+		}
+	}
+	j.tenant = t
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	t.jobs = append(t.jobs, j)
+	// Preemption accounting: this arrival displaces the pending
+	// points of every running lower-priority job.
+	for _, jj := range s.jobs {
+		if jj != j && jj.status.State == StateRunning &&
+			jj.status.Spec.Priority < spec.Priority && len(jj.pending) > 0 {
+			jj.status.Preemptions++
+			s.preemptions++
+		}
+	}
+	s.appendEventLocked(j, JobEvent{Kind: EventState, State: StateQueued})
+	s.cond.Broadcast()
 	return j.status, nil
 }
 
@@ -428,9 +547,13 @@ func (s *Server) Jobs() []JobStatus {
 	return out
 }
 
-// Cancel requests cancellation: a queued job is finished immediately,
-// a running job has its context cancelled (the engine abandons its
-// unstarted points promptly). Cancelling a terminal job is a no-op.
+// Cancel requests cancellation: a job with no owned in-flight points
+// is finished immediately with ErrCancelled; one with points
+// executing has its context cancelled, and the last point completion
+// finalizes it (the engine abandons unstarted points promptly).
+// Either way the job's completed points are already in the result
+// cache, so a re-submission resumes from pure cache hits. Cancelling
+// a terminal job is a no-op.
 func (s *Server) Cancel(id string) (JobStatus, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -442,13 +565,11 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 		return j.status, true
 	}
 	j.cancelRequested = true
-	if j.cancel != nil {
-		j.cancel()
-	} else if j.status.State == StateQueued {
-		// Not yet picked up: resolve it here; the executor skips
-		// cancelled jobs when it dequeues them.
-		s.finishJobLocked(j, nil, errors.New("cancelled while queued"))
+	j.cancel()
+	if j.owned == 0 {
+		s.finalizeLocked(j, ErrCancelled)
 	}
+	s.cond.Broadcast()
 	return j.status, true
 }
 
@@ -482,8 +603,8 @@ func (s *Server) Result(id string) ([]runner.Point, []*sim.Result, bool) {
 }
 
 // BeginDrain stops admission: subsequent Submit calls fail with
-// ErrDraining, queued and running jobs complete, and the executors
-// exit once the queue empties. Idempotent.
+// ErrDraining, queued and running jobs complete, and the dispatcher
+// and executors exit once every job is terminal. Idempotent.
 func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -491,7 +612,7 @@ func (s *Server) BeginDrain() {
 		return
 	}
 	s.draining = true
-	close(s.queue)
+	s.cond.Broadcast()
 }
 
 // Drain gracefully shuts the job plane down: admission stops and the
@@ -515,70 +636,49 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close shuts down immediately: running jobs are cancelled, then the
-// executors are awaited. For a graceful stop call Drain first.
+// scheduler goroutines are awaited. For a graceful stop call Drain
+// first.
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.baseCancel()
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 	s.wg.Wait()
 }
 
-func (s *Server) executor() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
-	}
-}
-
-func (s *Server) runJob(j *Job) {
-	s.mu.Lock()
-	if j.status.State.Terminal() { // cancelled while queued
-		s.mu.Unlock()
+// finalizeLocked moves a job to its terminal state, releases its
+// contexts and pending work, and prunes old terminal records beyond
+// the retention bound. Caller holds s.mu.
+func (s *Server) finalizeLocked(j *Job, err error) {
+	if j.status.State.Terminal() {
 		return
 	}
-	ctx := s.baseCtx
-	var cancel context.CancelFunc
-	if t := j.status.Spec.TimeoutSeconds; t > 0 {
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(t*float64(time.Second)))
-	} else {
-		ctx, cancel = context.WithCancel(ctx)
-	}
-	j.cancel = cancel
-	j.status.State = StateRunning
-	j.status.Started = time.Now()
-	s.mu.Unlock()
-	defer cancel()
-
-	pts, err := expand(j.status.Spec)
-	var results []*sim.Result
-	if err == nil {
-		s.mu.Lock()
-		j.status.Points = len(pts)
-		s.mu.Unlock()
-		results, err = s.resolve(ctx, j, pts)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j.points = pts
-	s.finishJobLocked(j, results, err)
-}
-
-// finishJobLocked moves a job to its terminal state and prunes old
-// terminal records beyond the retention bound. Caller holds s.mu.
-func (s *Server) finishJobLocked(j *Job, results []*sim.Result, err error) {
 	j.status.Finished = time.Now()
+	j.pending = nil
 	switch {
 	case err == nil:
 		j.status.State = StateDone
-		j.results = results
-	case j.cancelRequested || errors.Is(err, context.Canceled):
+		j.digest = resultDigest(resultDoc(j.points, j.results))
+	case j.cancelRequested || errors.Is(err, ErrCancelled) || errors.Is(err, context.Canceled):
 		j.status.State = StateCancelled
-		j.status.Error = err.Error()
+		j.status.Error = ErrCancelled.Error()
 	default:
 		j.status.State = StateFailed
 		j.status.Error = err.Error()
 	}
+	if j.runCancel != nil {
+		j.runCancel()
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if j.tenant != nil {
+		j.tenant.removeJob(j)
+	}
+	s.appendEventLocked(j, JobEvent{Kind: EventDone, State: j.status.State})
 	close(j.done)
+	s.cond.Broadcast()
 
 	// Retention: drop the oldest terminal jobs beyond KeepJobs.
 	terminal := 0
@@ -628,183 +728,9 @@ func (s *Server) cacheKey(pt runner.Point) string {
 	return pt.Key() + "|obs=" + s.optsSig
 }
 
-// maxResolveAttempts bounds the coalescing retry loop. A waiter only
-// retries when the flight it joined was cancelled by its owner while
-// the waiter itself is still live, so attempts are consumed by
-// distinct foreign cancellations — runaway looping indicates a bug,
-// not load.
-const maxResolveAttempts = 8
-
-// resolve produces a result per point: disk cache first, then one
-// shared engine batch for the misses, with per-point singleflight so
-// concurrent jobs never simulate the same point twice.
-func (s *Server) resolve(ctx context.Context, j *Job, pts []runner.Point) ([]*sim.Result, error) {
-	// Fold the job's points into unique-key slots (a sweep repeats
-	// 1-GPM rows across bandwidth settings).
-	type slot struct {
-		key  string
-		pt   runner.Point
-		idxs []int
-		res  *sim.Result
-		err  error
-	}
-	results := make([]*sim.Result, len(pts))
-	var slots []*slot
-	byKey := map[string]*slot{}
-	for i, pt := range pts {
-		k := s.cacheKey(pt)
-		sl := byKey[k]
-		if sl == nil {
-			sl = &slot{key: k, pt: pt}
-			byKey[k] = sl
-			slots = append(slots, sl)
-		}
-		sl.idxs = append(sl.idxs, i)
-	}
-
-	pending := slots
-	for attempt := 0; len(pending) > 0; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if attempt >= maxResolveAttempts {
-			return nil, fmt.Errorf("service: point resolution retried %d times without converging", attempt)
-		}
-
-		// Claim a flight per slot, or join the one already in the air.
-		var owned []*slot
-		type wait struct {
-			sl *slot
-			fl *flight
-		}
-		var waits []wait
-		s.flmu.Lock()
-		for _, sl := range pending {
-			if fl := s.flights[sl.key]; fl != nil {
-				waits = append(waits, wait{sl, fl})
-				continue
-			}
-			s.flights[sl.key] = &flight{done: make(chan struct{})}
-			owned = append(owned, sl)
-		}
-		s.flmu.Unlock()
-		if len(waits) > 0 && attempt == 0 {
-			s.mu.Lock()
-			for _, w := range waits {
-				j.status.Coalesced += len(w.sl.idxs)
-				s.coalesced += len(w.sl.idxs)
-			}
-			s.mu.Unlock()
-		}
-
-		// Owned slots: the disk cache first, then one engine batch for
-		// the misses. Every owned flight is resolved on every path.
-		var misses []*slot
-		for _, sl := range owned {
-			if s.cache != nil {
-				if res, ok := s.cache.Get(sl.key); ok {
-					sl.res = res
-					s.mu.Lock()
-					j.status.CacheHits += len(sl.idxs)
-					s.mu.Unlock()
-					s.finishFlight(sl.key, res, nil)
-					continue
-				}
-			}
-			misses = append(misses, sl)
-		}
-		if len(misses) > 0 {
-			batch := make([]runner.Point, len(misses))
-			submitted := 0
-			for i, sl := range misses {
-				batch[i] = sl.pt
-				submitted += len(sl.idxs)
-			}
-			s.mu.Lock()
-			j.status.Submitted += submitted
-			s.mu.Unlock()
-			rs, err := s.runBatch(ctx, batch)
-			for i, sl := range misses {
-				var res *sim.Result
-				if i < len(rs) {
-					res = rs[i]
-				}
-				if res != nil {
-					sl.res = res
-					if s.cache != nil {
-						if perr := s.cache.Put(sl.key, res); perr != nil {
-							s.logf("service: caching %s: %v", sl.pt, perr)
-						}
-					}
-					s.finishFlight(sl.key, res, nil)
-					continue
-				}
-				ferr := err
-				if ferr == nil {
-					ferr = fmt.Errorf("service: %s: no result", sl.pt)
-				}
-				sl.err = ferr
-				s.finishFlight(sl.key, nil, ferr)
-			}
-		}
-
-		// Joined slots: wait the foreign flight out. If its owner was
-		// cancelled while we are still live, reclaim the point on the
-		// next pass instead of inheriting the foreign cancellation.
-		var next []*slot
-		for _, w := range waits {
-			select {
-			case <-w.fl.done:
-				switch {
-				case w.fl.err == nil:
-					w.sl.res = w.fl.res
-				case errors.Is(w.fl.err, context.Canceled) || errors.Is(w.fl.err, context.DeadlineExceeded):
-					if ctx.Err() == nil {
-						next = append(next, w.sl)
-					} else {
-						w.sl.err = ctx.Err()
-					}
-				default:
-					w.sl.err = w.fl.err
-				}
-			case <-ctx.Done():
-				w.sl.err = ctx.Err()
-			}
-		}
-		pending = next
-	}
-
-	var errs []error
-	for _, sl := range slots {
-		if sl.err != nil {
-			errs = append(errs, sl.err)
-			continue
-		}
-		for _, i := range sl.idxs {
-			results[i] = sl.res
-		}
-	}
-	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
-	}
-	return results, nil
-}
-
-// finishFlight publishes a flight's outcome and retires it. Waiters
-// hold the flight pointer, so removal from the map only stops new
-// joins; existing waiters observe res/err through the closed channel.
-func (s *Server) finishFlight(key string, res *sim.Result, err error) {
-	s.flmu.Lock()
-	fl := s.flights[key]
-	delete(s.flights, key)
-	s.flmu.Unlock()
-	fl.res, fl.err = res, err
-	close(fl.done)
-}
-
 // writeServiceMetrics extends the /metrics scrape with the service
-// plane: result-cache counters, coalescing, queue pressure, and job
-// states.
+// plane: result-cache counters, coalescing, scheduler and per-tenant
+// gauges, preemptions, the adaptive retry hint, and job states.
 func (s *Server) writeServiceMetrics(w io.Writer) {
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -813,17 +739,67 @@ func (s *Server) writeServiceMetrics(w io.Writer) {
 		profiling.WriteCounter(w, "gpujoule_result_cache_puts", "Disk result-cache entries written.", float64(cs.Puts))
 		profiling.WriteCounter(w, "gpujoule_result_cache_corrupt", "Corrupt result-cache entries dropped.", float64(cs.Corrupt))
 	}
+	retryAfter := s.RetryAfterSeconds()
 	s.mu.Lock()
 	coalesced := s.coalesced
-	depth := len(s.queue)
+	preemptions := s.preemptions
+	queuedJobs, queuedPoints, inflightPoints := 0, 0, 0
 	states := map[State]int{}
 	for _, jj := range s.jobs {
 		states[jj.status.State]++
+		if jj.status.State == StateQueued {
+			queuedJobs++
+		}
+		if !jj.status.State.Terminal() {
+			queuedPoints += len(jj.pending)
+			inflightPoints += jj.owned
+		}
+	}
+	type tenantRow struct {
+		name                string
+		weight, queued, inf int
+		dispatched, coal    uint64
+	}
+	var rows []tenantRow
+	for name, t := range s.tenants {
+		rows = append(rows, tenantRow{name, t.weight, t.queuedPoints(), t.inflight, t.dispatched, t.coalesced})
 	}
 	s.mu.Unlock()
+	sortTenantRows := func() {
+		for i := 1; i < len(rows); i++ {
+			for k := i; k > 0 && rows[k].name < rows[k-1].name; k-- {
+				rows[k], rows[k-1] = rows[k-1], rows[k]
+			}
+		}
+	}
+	sortTenantRows()
+
 	profiling.WriteCounter(w, "gpujoule_service_coalesced_points", "Points that joined another job's in-flight simulation.", float64(coalesced))
-	profiling.WriteGauge(w, "gpujoule_queue_depth", "Jobs waiting in the admission queue.", float64(depth))
-	profiling.WriteGauge(w, "gpujoule_queue_capacity", "Admission queue capacity.", float64(cap(s.queue)))
+	profiling.WriteCounter(w, "gpujoule_sched_preemptions_total", "Higher-priority arrivals that displaced running lower-priority jobs.", float64(preemptions))
+	profiling.WriteGauge(w, "gpujoule_queue_depth", "Jobs admitted and not yet running.", float64(queuedJobs))
+	profiling.WriteGauge(w, "gpujoule_queue_capacity", "Admission capacity beyond the executor pool.", float64(s.opts.QueueCap))
+	profiling.WriteGauge(w, "gpujoule_sched_queued_points", "Points admitted and not yet dispatched.", float64(queuedPoints))
+	profiling.WriteGauge(w, "gpujoule_sched_inflight_points", "Points executing in executor slots.", float64(inflightPoints))
+	profiling.WriteGauge(w, "gpujoule_retry_after_hint_seconds", "Current adaptive 429 Retry-After hint.", float64(retryAfter))
+
+	writeTenantFamily := func(name, help, typ string, value func(tenantRow) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, r.name, value(r))
+		}
+	}
+	if len(rows) > 0 {
+		writeTenantFamily("gpujoule_tenant_weight", "Configured weighted-fair share.", "gauge",
+			func(r tenantRow) float64 { return float64(r.weight) })
+		writeTenantFamily("gpujoule_tenant_queued_points", "Points admitted and not yet dispatched, per tenant.", "gauge",
+			func(r tenantRow) float64 { return float64(r.queued) })
+		writeTenantFamily("gpujoule_tenant_inflight_points", "Points executing in executor slots, per tenant.", "gauge",
+			func(r tenantRow) float64 { return float64(r.inf) })
+		writeTenantFamily("gpujoule_tenant_dispatched_points_total", "Lifetime dispatched points, per tenant.", "counter",
+			func(r tenantRow) float64 { return float64(r.dispatched) })
+		writeTenantFamily("gpujoule_tenant_coalesced_points_total", "Lifetime coalesced joins, per tenant.", "counter",
+			func(r tenantRow) float64 { return float64(r.coal) })
+	}
 	fmt.Fprintf(w, "# HELP gpujoule_jobs Jobs in the registry by state.\n# TYPE gpujoule_jobs gauge\n")
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "gpujoule_jobs{state=%q} %d\n", st, states[st])

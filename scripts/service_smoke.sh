@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Smoke-test the gpujouled service end to end:
-#   1. build and start the daemon with a fresh cache directory;
+#   1. build and start the daemon (two weighted tenants configured)
+#      with a fresh cache directory;
 #   2. submit a tiny sweep, wait it out, fetch the result document;
 #   3. submit the identical sweep again and assert the second pass is
 #      answered 100% from the cache (zero simulations submitted) with a
 #      byte-identical result document;
 #   4. run cmd/sweep both locally and through -server and assert the
 #      CSVs are byte-identical;
-#   5. scrape /metrics into an artifact for upload.
+#   5. run two concurrent tenants with different weights plus one SSE
+#      streaming client, assert the stream terminates with the same
+#      digest as the polled result, and that a -stream sweep racing a
+#      higher-priority tenant still renders a byte-identical CSV;
+#   6. scrape /metrics (and the per-tenant series) into artifacts.
 #
 # Usage: scripts/service_smoke.sh [workdir]   (default: a fresh mktemp dir)
 set -euo pipefail
@@ -22,7 +27,7 @@ go build -o "$WORK/gpujouled" ./cmd/gpujouled
 go build -o "$WORK/sweep" ./cmd/sweep
 "$WORK/gpujouled" -version
 
-"$WORK/gpujouled" -addr "$ADDR" -cache "$WORK/cache" >"$WORK/daemon.log" 2>&1 &
+"$WORK/gpujouled" -addr "$ADDR" -cache "$WORK/cache" -tenants alice=3,bob=1 >"$WORK/daemon.log" 2>&1 &
 DAEMON=$!
 trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
 
@@ -68,9 +73,69 @@ print("warm pass: %d/%d cache hits, 0 submitted" % (j["cache_hits"], j["points"]
 cmp "$WORK/local.csv" "$WORK/remote.csv"
 echo "local and -server CSVs byte-identical"
 
+# --- Multi-tenant scheduling + streaming -------------------------------
+# Two tenants with different weights submit concurrently (distinct
+# grids, so both backlogs are real work), while an SSE client streams
+# one of the jobs: the stream must terminate with a "done" event whose
+# digest equals the sha256 of the polled result document.
+ALICE_SPEC='{"workloads":"Stream","scale":0.06,"gpms":"1,2,4","bw":"1x"}'
+BOB_SPEC='{"workloads":"Kmeans","scale":0.06,"gpms":"1,2,4","bw":"1x"}'
+AID=$(curl -sf "http://$ADDR/v1/jobs" -H 'X-Tenant: alice' -d "$ALICE_SPEC" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+BID=$(curl -sf "http://$ADDR/v1/jobs" -H 'X-Tenant: bob' -d "$BOB_SPEC" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+
+# The SSE stream blocks until the terminal event, then the handler
+# closes it — so this curl doubles as the wait.
+curl -sfN --max-time 120 "http://$ADDR/v1/jobs/$AID/events" >"$WORK/alice_events.txt"
+STREAM_DIGEST=$(python3 -c '
+import json, sys
+digest = None
+for line in open(sys.argv[1]):
+    if line.startswith("data: "):
+        ev = json.loads(line[len("data: "):])
+        if ev["kind"] == "done":
+            assert ev["state"] == "done", ev
+            digest = ev["digest"]
+assert digest, "stream ended without a done digest"
+print(digest)
+' "$WORK/alice_events.txt")
+curl -sf "http://$ADDR/v1/jobs/$AID/result" >"$WORK/alice_result.json"
+POLLED_DIGEST=$(python3 -c 'import hashlib,sys; print(hashlib.sha256(open(sys.argv[1],"rb").read()).hexdigest())' "$WORK/alice_result.json")
+[ "$STREAM_DIGEST" = "$POLLED_DIGEST" ] || { echo "SSE digest $STREAM_DIGEST != polled $POLLED_DIGEST" >&2; exit 1; }
+echo "SSE stream digest matches polled result"
+
+for _ in $(seq 300); do
+    state=$(curl -sf "http://$ADDR/v1/jobs/$BID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+    [ "$state" = done ] && break
+    sleep 0.2
+done
+[ "$state" = done ] || { echo "bob job never finished ($state)" >&2; exit 1; }
+
+# A streamed sweep racing a higher-priority tenant still renders a CSV
+# byte-identical to local execution: preemption reorders scheduling,
+# never bytes.
+"$WORK/sweep" -workloads Stream,Kmeans -scale 0.07 -gpms 1,2 -bw 1x,2x -o "$WORK/local_stream.csv"
+"$WORK/sweep" -workloads Stream,Kmeans -scale 0.07 -gpms 1,2 -bw 1x,2x \
+    -server "$ADDR" -stream -tenant bob -o "$WORK/remote_stream.csv" &
+STREAMER=$!
+sleep 0.3
+curl -sf "http://$ADDR/v1/jobs" -H 'X-Tenant: alice' \
+    -d '{"workloads":"MiniAMR","scale":0.06,"gpms":"1,2","bw":"1x","priority":10}' >/dev/null
+wait "$STREAMER"
+cmp "$WORK/local_stream.csv" "$WORK/remote_stream.csv"
+echo "streamed CSV byte-identical to local run under priority contention"
+
 curl -sf "http://$ADDR/metrics" >"$WORK/metrics.txt"
 grep -q "gpujoule_result_cache_hits" "$WORK/metrics.txt"
 grep -q "gpujoule_queue_depth" "$WORK/metrics.txt"
+grep -q "gpujoule_sched_preemptions_total" "$WORK/metrics.txt"
+
+# Per-tenant scheduler series go to their own artifact: both tenants
+# present, with the configured weights.
+grep "^gpujoule_tenant_\|^# .*gpujoule_tenant_" "$WORK/metrics.txt" >"$WORK/tenant_metrics.txt"
+grep -q 'gpujoule_tenant_weight{tenant="alice"} 3' "$WORK/tenant_metrics.txt"
+grep -q 'gpujoule_tenant_weight{tenant="bob"} 1' "$WORK/tenant_metrics.txt"
+grep -q 'gpujoule_tenant_dispatched_points_total{tenant="alice"}' "$WORK/tenant_metrics.txt"
+echo "per-tenant metrics captured"
 
 # Graceful drain: SIGTERM must stop the daemon cleanly.
 kill -TERM "$DAEMON"
