@@ -5,7 +5,7 @@
 # tests once.
 GO ?= go
 
-.PHONY: build test race vet bench ci smoke
+.PHONY: build test race vet bench ci smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -30,5 +30,11 @@ bench:
 # (it builds binaries and binds a port); CI runs it as its own step.
 smoke:
 	scripts/service_smoke.sh
+
+# End-to-end cluster smoke: 3 nodes + gateway, byte-identical
+# distributed sweeps (including a mid-sweep node kill), then a
+# loadgen storm writing BENCH_cluster.json. Same caveats as `smoke`.
+cluster-smoke:
+	scripts/cluster_smoke.sh
 
 ci: vet build race test

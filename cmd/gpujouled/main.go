@@ -7,8 +7,24 @@
 // Usage:
 //
 //	gpujouled [-addr :8344] [-cache dir] [-workers n] [-counters]
-//	          [-queue n] [-executors n] [-tenants alice=3,bob=1]
+//	          [-queue n] [-keep-jobs n] [-executors n] [-tenants alice=3,bob=1]
+//	          [-peers url1,url2,... -self url | -gateway]
+//	          [-vnodes 64] [-peer-timeout 5s] [-no-replicate]
 //	          [-drain-timeout 5m] [-version]
+//
+// Cluster mode. With -peers (a comma-separated list of every node's
+// base URL) and -self (this node's own URL from that list), the daemon
+// joins a consistent-hash cluster: simulation keys are owned by ring
+// position, a local cache miss consults the key's owner and replica
+// before recomputing (joining in-flight computations, so a hot key
+// computes once cluster-wide), fresh results replicate to the ring
+// successor, and submissions wholly owned by another healthy node are
+// answered with a 307 to it. With -gateway (plus -peers), the daemon
+// instead fronts the cluster: incoming sweeps are split into per-owner
+// point batches, fanned out, streamed as one merged SSE feed, and
+// reassembled into the byte-identical result document a single node
+// would produce; points are computed locally when no healthy owner
+// remains. Without -peers everything behaves exactly as a single node.
 //
 // Jobs are decomposed into grid points and scheduled point-by-point:
 // weighted-fair across tenants (the X-Tenant request header; -tenants
@@ -50,8 +66,10 @@ import (
 	"syscall"
 	"time"
 
+	"gpujoule/internal/cluster"
 	"gpujoule/internal/profiling"
 	"gpujoule/internal/service"
+	"gpujoule/internal/sim"
 )
 
 func main() {
@@ -99,9 +117,17 @@ func run() error {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	counters := flag.Bool("counters", false, "simulate every point with per-GPM/per-link observability counters")
 	queueCap := flag.Int("queue", 16, "admission queue capacity (jobs beyond it get 429)")
+	keepJobs := flag.Int("keep-jobs", 0, "retained terminal job records (0 = max(64, -queue); raise it when a gateway fans thousands of sub-jobs through this node)")
 	executors := flag.Int("executors", 2, "concurrently executing points")
 	tenants := flag.String("tenants", "", "per-tenant scheduler config: name=weight[:maxinflight],... (unlisted tenants get weight 1)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "how long a graceful drain may take before aborting")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster node (empty = single-node)")
+	self := flag.String("self", "", "this node's own base URL as it appears in -peers (required with -peers unless -gateway)")
+	gateway := flag.Bool("gateway", false, "front the -peers cluster: split sweeps by ring owner, fan out, merge streams")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per physical node on the hash ring")
+	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "per-peer cache request timeout (includes in-flight waits)")
+	noReplicate := flag.Bool("no-replicate", false, "disable pushing fresh results to the key's ring owner and successor")
+	gatewayQueue := flag.Int("gateway-queue", 512, "concurrently admitted parent jobs in gateway mode")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
 
@@ -116,24 +142,88 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "gpujouled: ", log.LstdFlags)
-	srv, err := service.New(service.Options{
+
+	nodeList := sim.SplitList(*peers)
+	if *gateway && len(nodeList) == 0 {
+		return errors.New("-gateway needs -peers")
+	}
+	if len(nodeList) > 0 && !*gateway && *self == "" {
+		return errors.New("-peers needs -self (this node's URL from the list) unless -gateway is set")
+	}
+
+	// The fabric exists before the server so its hooks can be wired
+	// into service.Options; a gateway is not a ring member (Self "").
+	var fab *cluster.Fabric
+	if len(nodeList) > 0 {
+		fself := *self
+		if *gateway {
+			fself = ""
+		}
+		var ferr error
+		fab, ferr = cluster.NewFabric(cluster.Options{
+			Self:        fself,
+			Nodes:       nodeList,
+			VNodes:      *vnodes,
+			PeerTimeout: *peerTimeout,
+			NoReplicate: *noReplicate,
+			Logf:        logger.Printf,
+		})
+		if ferr != nil {
+			return ferr
+		}
+		defer fab.Close()
+	}
+
+	// Terminal-job retention must outlast the admission queue: a
+	// gateway reads a sub-job's events after it finishes, so a node
+	// that admits N concurrent jobs but remembers only 64 would prune
+	// results before they are collected.
+	kj := *keepJobs
+	if kj <= 0 {
+		kj = *queueCap
+		if kj < 64 {
+			kj = 64
+		}
+	}
+
+	sopts := service.Options{
 		Workers:   *workers,
 		Counters:  *counters,
 		CacheDir:  *cacheDir,
 		QueueCap:  *queueCap,
 		Executors: *executors,
 		Tenants:   tcfg,
+		KeepJobs:  kj,
 		Logf:      logger.Printf,
-	})
+	}
+	if fab != nil && !*gateway {
+		sopts.Cluster = fab.Hooks()
+	}
+	srv, err := service.New(sopts)
 	if err != nil {
 		return err
+	}
+
+	handler := srv.Handler()
+	if fab != nil && !*gateway {
+		srv.AddMetrics(fab.WriteMetrics)
+		logger.Printf("cluster node %s in ring %v", *self, fab.Ring().Nodes())
+	}
+	if *gateway {
+		gw := cluster.NewGateway(srv, fab, cluster.GatewayOptions{
+			MaxJobs:  *gatewayQueue,
+			KeepJobs: *gatewayQueue,
+			Logf:     logger.Printf,
+		})
+		handler = gw.Handler()
+		logger.Printf("gateway fronting ring %v", fab.Ring().Nodes())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

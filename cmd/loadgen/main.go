@@ -1,0 +1,346 @@
+// Command loadgen drives a gpujouled node, cluster node, or gateway
+// with many concurrent overlapping sweeps and reports a machine-
+// readable load/correctness summary. It is the proof harness for the
+// cluster: thousands of sweeps drawn deterministically from small
+// workload/grid pools overlap heavily, so a healthy cluster serves
+// most points from its caches (memo, disk, or a peer) and the report's
+// cluster_hit_rate approaches 1. Every streamed sweep is checked for
+// dropped and duplicated points; any of either fails the run.
+//
+// Usage:
+//
+//	loadgen [-server http://localhost:8344] [-sweeps 1200]
+//	        [-concurrency 64] [-workloads Stream,Kmeans,BFS,Srad-v2]
+//	        [-gpms 1,2] [-bw 1x,2x] [-scale 0.25] [-tenant load]
+//	        [-min-hit-rate 0.5] [-o BENCH_cluster.json] [-progress]
+//
+// The exit status is nonzero when any sweep errored, dropped or
+// duplicated a point, or the cluster-wide hit rate came in under
+// -min-hit-rate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gpujoule/internal/service"
+	"gpujoule/internal/sim"
+)
+
+// report is the JSON document written by -o (and always printed as a
+// one-line summary).
+type report struct {
+	Server      string  `json:"server"`
+	Sweeps      int     `json:"sweeps"`
+	Concurrency int     `json:"concurrency"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SweepsPerS  float64 `json:"sweeps_per_second"`
+	Points      int     `json:"points"`
+	PointsPerS  float64 `json:"points_per_second"`
+
+	Latency latencyStats `json:"latency_seconds"`
+
+	// Sources splits resolved points by how the service satisfied
+	// them; ClusterHitRate is the non-simulated fraction.
+	Sources        map[string]int `json:"sources"`
+	ClusterHitRate float64        `json:"cluster_hit_rate"`
+
+	Retries429       int      `json:"retries_429"`
+	DigestMismatches int      `json:"digest_mismatches"`
+	DroppedPoints    int      `json:"dropped_points"`
+	DuplicatePoints  int      `json:"duplicate_points"`
+	Errors           int      `json:"errors"`
+	ErrorSamples     []string `json:"error_samples,omitempty"`
+}
+
+type latencyStats struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// sweepOutcome is one worker's account of one finished sweep.
+type sweepOutcome struct {
+	seconds  float64
+	points   int
+	sources  map[string]int
+	dropped  int
+	dups     int
+	mismatch int
+	err      error
+}
+
+// specFor derives sweep i's job spec deterministically from the pools:
+// a rotating one- or two-workload slice over the full GPM grid, with
+// the bandwidth list alternating between one element and the whole
+// pool. Consecutive indices overlap heavily — the point universe is
+// |workloads|×|gpms|×|bws| while the sweep stream is unbounded — which
+// is exactly the hot-cache regime the cluster is built for.
+func specFor(i int, wls, gpms, bws []string, scale float64) service.JobSpec {
+	w := []string{wls[i%len(wls)]}
+	if i%3 != 0 {
+		w = append(w, wls[(i+1)%len(wls)])
+	}
+	bw := bws
+	if i%2 == 1 {
+		bw = bws[i/2%len(bws) : i/2%len(bws)+1]
+	}
+	return service.JobSpec{
+		Workloads: strings.Join(w, ","),
+		Scale:     scale,
+		GPMs:      strings.Join(gpms, ","),
+		BWs:       strings.Join(bw, ","),
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "http://localhost:8344", "gpujouled (or gateway) base URL")
+	sweeps := flag.Int("sweeps", 1200, "total sweeps to submit")
+	concurrency := flag.Int("concurrency", 64, "concurrent in-flight sweeps")
+	workloadsFlag := flag.String("workloads", "Stream,Kmeans,BFS,Srad-v2", "workload pool sweeps draw from")
+	gpmsFlag := flag.String("gpms", "1,2", "GPM-count pool")
+	bwFlag := flag.String("bw", "1x,2x", "bandwidth-scale pool")
+	scale := flag.Float64("scale", 0.25, "workload scale factor (shared by every sweep)")
+	tenant := flag.String("tenant", "load", "tenant header for submitted jobs")
+	minHitRate := flag.Float64("min-hit-rate", 0, "fail when the cluster-wide hit rate ends below this fraction")
+	out := flag.String("o", "", "write the JSON report here (empty = stdout only)")
+	progress := flag.Bool("progress", false, "print live progress to stderr")
+	flag.Parse()
+
+	wls := sim.SplitList(*workloadsFlag)
+	gpms := sim.SplitList(*gpmsFlag)
+	bws := sim.SplitList(*bwFlag)
+	if len(wls) == 0 || len(gpms) == 0 || len(bws) == 0 {
+		return fmt.Errorf("-workloads, -gpms, and -bw must each be non-empty")
+	}
+	if *sweeps <= 0 {
+		return fmt.Errorf("-sweeps must be positive")
+	}
+	if *concurrency <= 0 {
+		*concurrency = 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One transport shared by every worker, sized so concurrency is
+	// bounded by the flag rather than the connection pool.
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+
+	var retries429 atomic.Int64
+	newClient := func() (*service.Client, error) {
+		return service.Dial(
+			service.WithBaseURL(*server),
+			service.WithTenant(*tenant),
+			service.WithHTTPClient(hc),
+			service.WithRetry(service.RetryPolicy{
+				BaseDelay: 50 * time.Millisecond,
+				MaxDelay:  2 * time.Second,
+				Notify: func(err error, delay time.Duration) {
+					retries429.Add(1)
+				},
+			}),
+		)
+	}
+
+	idxCh := make(chan int)
+	outCh := make(chan sweepOutcome, *concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := newClient()
+			if err != nil {
+				outCh <- sweepOutcome{err: err}
+				return
+			}
+			for i := range idxCh {
+				outCh <- runSweep(ctx, cl, specFor(i, wls, gpms, bws, *scale))
+			}
+		}()
+	}
+	go func() {
+		defer close(idxCh)
+		for i := 0; i < *sweeps; i++ {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(outCh) }()
+
+	rep := report{
+		Server:      *server,
+		Concurrency: *concurrency,
+		Sources:     map[string]int{},
+	}
+	var latencies []float64
+	start := time.Now()
+	for oc := range outCh {
+		rep.Sweeps++
+		if oc.err != nil {
+			rep.Errors++
+			if len(rep.ErrorSamples) < 5 {
+				rep.ErrorSamples = append(rep.ErrorSamples, oc.err.Error())
+			}
+			continue
+		}
+		rep.Points += oc.points
+		rep.DroppedPoints += oc.dropped
+		rep.DuplicatePoints += oc.dups
+		rep.DigestMismatches += oc.mismatch
+		for src, n := range oc.sources {
+			rep.Sources[src] += n
+		}
+		latencies = append(latencies, oc.seconds)
+		if *progress && rep.Sweeps%100 == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %d/%d sweeps, %d points, hit rate %.0f%%\n",
+				rep.Sweeps, *sweeps, rep.Points, 100*hitRate(rep.Sources))
+		}
+	}
+	wall := time.Since(start)
+
+	rep.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		rep.SweepsPerS = float64(rep.Sweeps) / wall.Seconds()
+		rep.PointsPerS = float64(rep.Points) / wall.Seconds()
+	}
+	rep.Latency = summarize(latencies)
+	rep.ClusterHitRate = hitRate(rep.Sources)
+	rep.Retries429 = int(retries429.Load())
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	os.Stdout.Write(blob)
+
+	switch {
+	case ctx.Err() != nil:
+		return fmt.Errorf("interrupted after %d sweeps", rep.Sweeps)
+	case rep.Errors > 0:
+		return fmt.Errorf("%d of %d sweeps failed (first: %s)", rep.Errors, rep.Sweeps, rep.ErrorSamples[0])
+	case rep.DroppedPoints > 0 || rep.DuplicatePoints > 0:
+		return fmt.Errorf("stream integrity: %d dropped, %d duplicated points", rep.DroppedPoints, rep.DuplicatePoints)
+	case rep.ClusterHitRate < *minHitRate:
+		return fmt.Errorf("cluster hit rate %.1f%% below the -min-hit-rate floor %.1f%%",
+			100*rep.ClusterHitRate, 100**minHitRate)
+	}
+	return nil
+}
+
+// runSweep streams one sweep and audits it: every point index must be
+// announced exactly once, and the final document must resolve every
+// point. Sources are tallied from the event stream (the gateway's
+// merged stream carries per-node sources the final status would hide).
+func runSweep(ctx context.Context, cl *service.Client, spec service.JobSpec) sweepOutcome {
+	oc := sweepOutcome{sources: map[string]int{}}
+	seen := map[int]bool{}
+	start := time.Now()
+	doc, err := cl.RunSweepStream(ctx, spec, func(ev service.JobEvent) {
+		switch ev.Kind {
+		case service.EventPoint:
+			if seen[ev.Index] {
+				oc.dups++
+			}
+			seen[ev.Index] = true
+			oc.sources[ev.Source]++
+		case service.EventDigestMismatch:
+			oc.mismatch++
+		}
+	})
+	oc.seconds = time.Since(start).Seconds()
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	oc.points = len(doc.Points)
+	for i, pr := range doc.Points {
+		if pr.Result == nil {
+			oc.dropped++
+			continue
+		}
+		if !seen[i] {
+			// The stream omitted the point but the document has it —
+			// count the stream drop, the document is still whole.
+			oc.dropped++
+		}
+	}
+	return oc
+}
+
+// hitRate is the fraction of points the cluster did not have to
+// simulate for this job: cache, coalesced, and peer sources combined.
+func hitRate(sources map[string]int) float64 {
+	total := 0
+	for _, n := range sources {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(total-sources["simulated"]) / float64(total)
+}
+
+// summarize computes the latency percentiles over a copy.
+func summarize(lat []float64) latencyStats {
+	if len(lat) == 0 {
+		return latencyStats{}
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return latencyStats{
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"gpujoule/internal/core"
 	"gpujoule/internal/isa"
@@ -328,6 +329,31 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 	return rows, results, nil
 }
 
+// dialService builds the v2 service client: tenant billing, automatic
+// 307 ownership-redirect following (a cluster node that does not own
+// the sweep's points rebases the client onto the node that does), and
+// Retry-After-honouring backpressure retry. With -progress, redirects
+// and retry waits are narrated on stderr.
+func dialService(url, tenant string, progress bool) (*service.Client, error) {
+	opts := []service.ClientOption{
+		service.WithBaseURL(url),
+		service.WithTenant(tenant),
+		service.WithRetry(service.RetryPolicy{
+			Notify: func(err error, delay time.Duration) {
+				if progress {
+					fmt.Fprintf(os.Stderr, "sweep: backpressure (%v); retrying in %s\n", err, delay)
+				}
+			},
+		}),
+	}
+	if progress {
+		opts = append(opts, service.WithLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		}))
+	}
+	return service.Dial(opts...)
+}
+
 // rowSet resolves the spec's workload selection to CSV row identities.
 // Workload categories come from the registry metadata — no traces are
 // built client-side.
@@ -362,8 +388,10 @@ func runRemote(url, tenant string, spec service.JobSpec, progress bool, perRow i
 	if err != nil {
 		return nil, nil, err
 	}
-	client := service.NewClient(url)
-	client.Tenant = tenant
+	client, err := dialService(url, tenant, progress)
+	if err != nil {
+		return nil, nil, err
+	}
 	if progress {
 		fmt.Fprintf(os.Stderr, "sweep: submitting %d points to %s\n", len(rows)*(perRow+1), url)
 	}
@@ -395,8 +423,10 @@ func streamRemote(bw *bufio.Writer, url, tenant string, spec service.JobSpec, pr
 	if err != nil {
 		return err
 	}
-	client := service.NewClient(url)
-	client.Tenant = tenant
+	client, err := dialService(url, tenant, progress)
+	if err != nil {
+		return err
+	}
 
 	writeHeader(bw)
 	span := len(cfgs) + 1 // baseline + one point per config

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gpujoule/internal/service"
+)
+
+// swapHandler lets an httptest server start (fixing its URL) before
+// the handler that needs that URL exists.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// testNode is one cluster member under test.
+type testNode struct {
+	url string
+	ts  *httptest.Server
+	srv *service.Server
+	fab *Fabric
+}
+
+// startNodes brings up an n-node loopback cluster with per-node disk
+// caches under t.TempDir(). Node URLs are the httptest URLs, so the
+// ring layout differs run to run — which is the point: determinism
+// must not depend on placement.
+func startNodes(t *testing.T, n int, fopts func(*Options)) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		sh := &swapHandler{}
+		ts := httptest.NewServer(sh)
+		t.Cleanup(ts.Close)
+		nodes[i] = &testNode{url: ts.URL, ts: ts}
+		urls[i] = ts.URL
+	}
+	for i, nd := range nodes {
+		opts := Options{Self: nd.url, Nodes: urls, PeerTimeout: 5 * time.Second}
+		if fopts != nil {
+			fopts(&opts)
+		}
+		fab, err := NewFabric(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(fab.Close)
+		srv, err := service.New(service.Options{
+			CacheDir:  filepath.Join(t.TempDir(), fmt.Sprintf("node%d", i)),
+			Executors: 4,
+			QueueCap:  64,
+			Cluster:   fab.Hooks(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		nd.fab, nd.srv = fab, srv
+		sh := nd.ts.Config.Handler.(*swapHandler)
+		sh.set(srv.Handler())
+	}
+	return nodes
+}
+
+// startGateway fronts the node set with a gateway on its own httptest
+// server and returns a client dialed at it.
+func startGateway(t *testing.T, nodes []*testNode) (*Gateway, *service.Client) {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, nd := range nodes {
+		urls[i] = nd.url
+	}
+	fab, err := NewFabric(Options{Nodes: urls, PeerTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fab.Close)
+	local, err := service.New(service.Options{
+		CacheDir:  filepath.Join(t.TempDir(), "gateway"),
+		Executors: 4,
+		QueueCap:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(local.Close)
+	gw := NewGateway(local, fab, GatewayOptions{})
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	cl, err := service.Dial(service.WithBaseURL(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gw, cl
+}
+
+// testSpec is the shared sweep for the determinism tests: small enough
+// to simulate quickly, wide enough (8 points, 2 workloads) to shard
+// across a 3-node ring.
+func testSpec() service.JobSpec {
+	return service.JobSpec{Workloads: "Stream,Kmeans", Scale: 0.05, GPMs: "1,2", BWs: "1x,2x"}
+}
+
+// TestClusterDeterminism is the tentpole invariant: the rendered
+// result document (and hence its sha256) is byte-identical whether a
+// sweep runs on a single node, through a 3-node gateway, or through
+// the same gateway after a node has been killed.
+func TestClusterDeterminism(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec()
+
+	// Reference: one plain single-node service.
+	single, err := service.New(service.Options{Executors: 4, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+	scl, err := service.Dial(service.WithBaseURL(sts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDoc, err := scl.RunSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := service.ResultDocDigest(*refDoc)
+
+	// Distributed: 3 nodes behind a gateway, streamed.
+	nodes := startNodes(t, 3, nil)
+	_, gcl := startGateway(t, nodes)
+	var mismatches int
+	gotDoc, err := gcl.RunSweepStream(ctx, spec, func(ev service.JobEvent) {
+		if ev.Kind == service.EventDigestMismatch {
+			mismatches++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := service.ResultDocDigest(*gotDoc); got != ref {
+		t.Errorf("gateway digest %s != single-node digest %s", got, ref)
+	}
+	if mismatches != 0 {
+		t.Errorf("streamed reassembly hit %d digest mismatches", mismatches)
+	}
+
+	// Degraded: kill one node hard (drop live connections too) and
+	// sweep again through the same gateway. Its points reroute to the
+	// successor or compute on the gateway; bytes must not change.
+	nodes[1].ts.CloseClientConnections()
+	nodes[1].ts.Close()
+	killedDoc, err := gcl.RunSweepStream(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := service.ResultDocDigest(*killedDoc); got != ref {
+		t.Errorf("post-kill gateway digest %s != single-node digest %s", got, ref)
+	}
+}
+
+// TestPeerCacheHit: a key computed on one node is served to another
+// node from the peer cache — no recomputation, counted as PeerHits.
+// Replication is disabled so the hit must come from peering, not from
+// a replica that landed on the second node's own disk.
+func TestPeerCacheHit(t *testing.T) {
+	nodes := startNodes(t, 2, func(o *Options) { o.NoReplicate = true })
+	ctx := context.Background()
+	spec := testSpec()
+
+	cla, err := service.Dial(service.WithBaseURL(nodes[0].url), service.WithNoRedirect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cla.RunSweep(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// With 2 nodes, Successors(key, 2) always includes node A, so
+	// every one of B's local misses must resolve via peering.
+	clb, err := service.Dial(service.WithBaseURL(nodes[1].url), service.WithNoRedirect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := clb.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := clb.Wait(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr := fin.Err(); ferr != nil {
+		t.Fatal(ferr)
+	}
+	if fin.PeerHits != fin.Points || fin.Submitted != 0 {
+		t.Errorf("status = peer_hits %d, submitted %d over %d points; want all peer hits, nothing simulated",
+			fin.PeerHits, fin.Submitted, fin.Points)
+	}
+	if hits := nodes[1].fab.peerHits.Load(); hits == 0 {
+		t.Errorf("fabric counted %d peer hits", hits)
+	}
+}
+
+// TestRouteReroutesUnhealthy: routing walks the successor chain past
+// an unhealthy owner and counts the detour; with every remote down it
+// degrades to local compute ("").
+func TestRouteReroutesUnhealthy(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	fab, err := NewFabric(Options{Self: "http://a:1", Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+
+	// Find a key owned by b with c as next successor, so the detour
+	// lands on a remote node rather than self.
+	var key string
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("sim-key-%d", i)
+		succ := fab.Ring().Successors(k, 2)
+		if succ[0] == "http://b:1" && succ[1] == "http://c:1" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key with the wanted b->c successor chain in 10000 tries")
+	}
+
+	if got := fab.Route(key); got != "http://b:1" {
+		t.Fatalf("healthy route = %q; want the owner b", got)
+	}
+	fab.MarkFailed("http://b:1")
+	if got := fab.Route(key); got != "http://c:1" {
+		t.Fatalf("route past unhealthy owner = %q; want the successor c", got)
+	}
+	if n := fab.rerouted.Load(); n != 1 {
+		t.Errorf("rerouted counter = %d; want 1", n)
+	}
+	fab.MarkFailed("http://c:1")
+	if got := fab.Route(key); got != "" {
+		t.Errorf("route with all remotes down = %q; want \"\" (local compute)", got)
+	}
+}

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpujoule/internal/profiling"
+	"gpujoule/internal/service"
+	"gpujoule/internal/sim"
+)
+
+// Options configures a node's Fabric.
+type Options struct {
+	// Self is this node's own base URL exactly as it appears in Nodes
+	// (empty for a gateway-only fabric that is not itself a ring
+	// member).
+	Self string
+	// Nodes is the full cluster membership, including Self.
+	Nodes []string
+	// VNodes is the virtual-node count per physical node (<= 0 selects
+	// DefaultVNodes).
+	VNodes int
+	// PeerTimeout bounds every peer cache request, including the
+	// singleflight wait for a key the peer is computing right now
+	// (default 5s). A wait that times out is a miss — the point
+	// computes locally — never a health failure.
+	PeerTimeout time.Duration
+	// ReplicaQueue bounds the async replication queue (default 1024);
+	// pushes beyond it are dropped and counted, never blocked on.
+	ReplicaQueue int
+	// NoReplicate disables pushing fresh results to the key's ring
+	// owner and successor.
+	NoReplicate bool
+	// HTTPClient is the shared transport for peer requests (default: a
+	// fresh client; pass one with a large pool for big clusters).
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Fabric is one node's view of the cluster: the ring, per-peer
+// health, cache peering, and the replication queue. Wire it into a
+// service.Server via Hooks().
+type Fabric struct {
+	self    string
+	ring    *Ring
+	health  *healthTracker
+	clients map[string]*service.Client
+	timeout time.Duration
+	logfFn  func(format string, args ...any)
+
+	repCh   chan repTask
+	repWG   sync.WaitGroup
+	repOff  bool
+	closing atomic.Bool
+
+	peerHits    atomic.Uint64 // results served from a peer cache
+	peerMisses  atomic.Uint64 // peer consultations that found nothing
+	peerErrors  atomic.Uint64 // peer requests that failed (transport/protocol)
+	stampSkips  atomic.Uint64 // peers skipped for a cache-stamp mismatch
+	rerouted    atomic.Uint64 // keys routed past an unhealthy owner
+	repSent     atomic.Uint64 // replica entries delivered
+	repDropped  atomic.Uint64 // replica pushes dropped on a full queue
+	repErrors   atomic.Uint64 // replica deliveries that failed
+	repEnqueued atomic.Uint64 // replica deliveries accepted into the queue
+}
+
+// repTask is one queued replica delivery.
+type repTask struct {
+	node     string
+	cacheKey string
+	raw      []byte
+}
+
+// replicationWorkers is the concurrency of the replication drain: low
+// on purpose — replication is a background optimization and must not
+// compete with serving traffic for connections.
+const replicationWorkers = 2
+
+// NewFabric builds a node fabric. Callers must Close it.
+func NewFabric(opts Options) (*Fabric, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if opts.PeerTimeout <= 0 {
+		opts.PeerTimeout = 5 * time.Second
+	}
+	if opts.ReplicaQueue <= 0 {
+		opts.ReplicaQueue = 1024
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	f := &Fabric{
+		self:    opts.Self,
+		ring:    NewRing(opts.Nodes, opts.VNodes),
+		health:  newHealthTracker(),
+		clients: map[string]*service.Client{},
+		timeout: opts.PeerTimeout,
+		logfFn:  opts.Logf,
+		repCh:   make(chan repTask, opts.ReplicaQueue),
+		repOff:  opts.NoReplicate,
+	}
+	if opts.Self != "" && f.ring.Owner(opts.Self) == "" {
+		return nil, errors.New("cluster: empty ring")
+	}
+	if opts.Self != "" {
+		found := false
+		for _, n := range f.ring.Nodes() {
+			if n == opts.Self {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: self %q is not in the node list %v", opts.Self, f.ring.Nodes())
+		}
+	}
+	for _, n := range f.ring.Nodes() {
+		c, err := service.Dial(service.WithBaseURL(n), service.WithHTTPClient(hc), service.WithNoRedirect())
+		if err != nil {
+			return nil, err
+		}
+		f.clients[n] = c
+	}
+	for i := 0; i < replicationWorkers; i++ {
+		f.repWG.Add(1)
+		go f.replicator()
+	}
+	return f, nil
+}
+
+// Close stops the replication workers, dropping whatever is still
+// queued (replication is best-effort by contract).
+func (f *Fabric) Close() {
+	if f.closing.Swap(true) {
+		return
+	}
+	close(f.repCh)
+	f.repWG.Wait()
+}
+
+// Ring exposes the fabric's hash ring.
+func (f *Fabric) Ring() *Ring { return f.ring }
+
+func (f *Fabric) logf(format string, args ...any) {
+	if f.logfFn != nil {
+		f.logfFn(format, args...)
+	}
+}
+
+// MarkFailed records an out-of-band failure of a node (a gateway batch
+// that died mid-stream), entering it into health backoff so routing
+// steers around it.
+func (f *Fabric) MarkFailed(node string) { f.health.MarkFail(node) }
+
+// MarkOK records an out-of-band success.
+func (f *Fabric) MarkOK(node string) { f.health.MarkOK(node) }
+
+// Available reports whether the node is currently routable.
+func (f *Fabric) Available(node string) bool { return f.health.Available(node) }
+
+// Route returns the node that should handle simKey right now: the
+// ring owner if healthy, else its first healthy successor ("degrading"
+// clockwise), else "" — meaning compute locally. Self is reported as
+// "" too (the caller is the right node already). Keys that route past
+// an unhealthy owner are counted as rerouted.
+func (f *Fabric) Route(simKey string) string {
+	succ := f.ring.Successors(simKey, f.ring.Len())
+	for i, node := range succ {
+		if node == f.self {
+			return ""
+		}
+		if f.health.Available(node) {
+			if i > 0 {
+				f.rerouted.Add(1)
+			}
+			return node
+		}
+	}
+	return ""
+}
+
+// PeerGet consults the key's owner and first replica for a cached
+// result, joining an in-flight computation on the serving node
+// (wait=1) so a hot key computes once cluster-wide. It validates the
+// peer's cache stamp and the entry's decodability before trusting it.
+// Implements service.ClusterHooks.PeerGet.
+func (f *Fabric) PeerGet(ctx context.Context, simKey, cacheKey string) (*sim.Result, bool) {
+	stamp := service.CacheStamp()
+	consulted := false
+	for _, node := range f.ring.Successors(simKey, 2) {
+		if node == f.self || !f.health.Available(node) {
+			continue
+		}
+		consulted = true
+		pctx, cancel := context.WithTimeout(ctx, f.timeout)
+		raw, peerStamp, ok, err := f.clients[node].CacheGetRaw(pctx, cacheKey, true)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The peer is alive but slow (or still computing the
+				// key): a miss, not a failure.
+				continue
+			}
+			if ctx.Err() != nil {
+				return nil, false // our own job died; don't blame the peer
+			}
+			f.peerErrors.Add(1)
+			f.health.MarkFail(node)
+			f.logf("cluster: peer %s cache get: %v", node, err)
+			continue
+		}
+		f.health.MarkOK(node)
+		if !ok {
+			continue
+		}
+		if peerStamp != stamp {
+			f.stampSkips.Add(1)
+			f.logf("cluster: peer %s cache stamp %q != ours %q; skipping", node, peerStamp, stamp)
+			continue
+		}
+		var res sim.Result
+		if err := json.Unmarshal(raw, &res); err != nil {
+			f.peerErrors.Add(1)
+			f.logf("cluster: peer %s returned undecodable entry for %s: %v", node, cacheKey, err)
+			continue
+		}
+		f.peerHits.Add(1)
+		return &res, true
+	}
+	if consulted {
+		f.peerMisses.Add(1)
+	}
+	return nil, false
+}
+
+// Replicate enqueues a freshly computed result for delivery to the
+// key's ring owner and first successor (skipping self). Non-blocking:
+// a full queue drops the push and counts it. Implements
+// service.ClusterHooks.Replicate.
+func (f *Fabric) Replicate(simKey, cacheKey string, res *sim.Result) {
+	if f.repOff || f.closing.Load() {
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return // a sim.Result always marshals; defensive only
+	}
+	for _, node := range f.ring.Successors(simKey, 2) {
+		if node == f.self || !f.health.Available(node) {
+			continue
+		}
+		select {
+		case f.repCh <- repTask{node: node, cacheKey: cacheKey, raw: raw}:
+			f.repEnqueued.Add(1)
+		default:
+			f.repDropped.Add(1)
+		}
+	}
+}
+
+// replicator drains the replication queue.
+func (f *Fabric) replicator() {
+	defer f.repWG.Done()
+	stamp := service.CacheStamp()
+	for task := range f.repCh {
+		ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+		err := f.clients[task.node].CachePutRaw(ctx, task.cacheKey, task.raw, stamp)
+		cancel()
+		if err != nil {
+			f.repErrors.Add(1)
+			f.health.MarkFail(task.node)
+			f.logf("cluster: replicating to %s: %v", task.node, err)
+			continue
+		}
+		f.repSent.Add(1)
+		f.health.MarkOK(task.node)
+	}
+}
+
+// Hooks bundles the fabric into the service's cluster seam.
+func (f *Fabric) Hooks() *service.ClusterHooks {
+	h := &service.ClusterHooks{
+		PeerGet:    f.PeerGet,
+		RouteOwner: f.Route,
+	}
+	if !f.repOff {
+		h.Replicate = f.Replicate
+	}
+	return h
+}
+
+// WriteMetrics emits the fabric's Prometheus families; register it on
+// the node's /metrics via service.Server.AddMetrics.
+func (f *Fabric) WriteMetrics(w io.Writer) {
+	profiling.WriteCounter(w, "gpujoule_cluster_peer_hits", "Results served from a peer node's cache.", float64(f.peerHits.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_peer_misses", "Peer cache consultations that found nothing.", float64(f.peerMisses.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_peer_errors", "Peer cache requests that failed.", float64(f.peerErrors.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_stamp_skips", "Peer entries skipped for a cache-stamp mismatch.", float64(f.stampSkips.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_rerouted_keys", "Keys routed past an unhealthy owner to a successor.", float64(f.rerouted.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_replica_enqueued", "Replica deliveries accepted into the queue.", float64(f.repEnqueued.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_replica_sent", "Replica entries delivered to peers.", float64(f.repSent.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_replica_dropped", "Replica pushes dropped on a full queue.", float64(f.repDropped.Load()))
+	profiling.WriteCounter(w, "gpujoule_cluster_replica_errors", "Replica deliveries that failed.", float64(f.repErrors.Load()))
+	// Replication lag: deliveries accepted but not yet applied.
+	pending := f.repEnqueued.Load() - f.repSent.Load() - f.repErrors.Load()
+	profiling.WriteGauge(w, "gpujoule_cluster_replica_pending", "Replica deliveries queued and not yet delivered (replication lag).", float64(pending))
+	profiling.WriteGauge(w, "gpujoule_cluster_peers_unhealthy", "Peers currently in health backoff.", float64(len(f.health.Unhealthy())))
+	profiling.WriteGauge(w, "gpujoule_cluster_ring_nodes", "Physical nodes in the hash ring.", float64(f.ring.Len()))
+}

@@ -1,0 +1,815 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpujoule/internal/profiling"
+	"gpujoule/internal/runner"
+	"gpujoule/internal/service"
+	"gpujoule/internal/sim"
+)
+
+// Gateway is the cluster's sweep-splitting front door. It expands an
+// incoming job exactly like a node would, partitions the points by
+// ring owner, fans the batches out as explicit-point sub-jobs, merges
+// the sub-streams into one parent SSE feed, and reassembles the result
+// document from its own expansion order — which is why the document is
+// byte-identical (same sha256) to a single-node run: rendering is the
+// one shared service.MakeResultDoc path over the same point sequence,
+// and every point's result is content-addressed, so it does not matter
+// which node produced it.
+//
+// Failure handling: a batch whose node dies mid-run fails over to the
+// key's next ring successor (tried nodes are skipped), degrading to
+// the gateway's local server last — a node kill slows a sweep down, it
+// never changes its bytes. Only points the dead node had not already
+// resolved are resubmitted, and those that did resolve were already
+// recorded (and are in the cluster's caches), so the retried batch
+// largely re-resolves from cache.
+type Gateway struct {
+	local *service.Server
+	fab   *Fabric
+	opts  GatewayOptions
+
+	mu    sync.Mutex
+	jobs  map[string]*gwJob
+	order []string
+
+	fanned    atomic.Uint64 // parent jobs fanned out
+	subJobs   atomic.Uint64 // sub-jobs submitted (incl. failover resubmits)
+	failovers atomic.Uint64 // batches rerouted after a node failure
+	mismatch  atomic.Uint64 // sub-job digest mismatches
+
+	latMu sync.Mutex
+	lats  []time.Duration // fan-out latency ring buffer
+	latN  int
+}
+
+// GatewayOptions configures a Gateway.
+type GatewayOptions struct {
+	// MaxJobs bounds concurrently admitted parent jobs (default 512);
+	// beyond it submissions are rejected with service.ErrQueueFull.
+	MaxJobs int
+	// KeepJobs bounds retained terminal parent jobs (default 256).
+	KeepJobs int
+	// SubRetry is the retry policy for sub-job submissions (zero value:
+	// unlimited queue-full retries honouring Retry-After, which is the
+	// backpressure contract — the gateway waits, the caller streams).
+	SubRetry service.RetryPolicy
+	// HTTPClient is the shared transport for sub-job traffic.
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// latWindow is the fan-out latency ring-buffer size (quantiles are
+// computed over the last latWindow parent jobs).
+const latWindow = 256
+
+// gwJob is one parent job's state. Guarded by the gateway's lock.
+type gwJob struct {
+	status  service.JobStatus
+	points  []runner.Point
+	results []*sim.Result
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+	notify   chan struct{}
+	events   []service.JobEvent
+	digest   string
+	resolved int
+	started  time.Time
+}
+
+// NewGateway fronts the cluster behind fab, degrading to local for
+// points no healthy node owns. The local server also provides the
+// introspection plane the gateway's handler delegates to.
+func NewGateway(local *service.Server, fab *Fabric, opts GatewayOptions) *Gateway {
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 512
+	}
+	if opts.KeepJobs <= 0 {
+		opts.KeepJobs = 256
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{}
+	}
+	g := &Gateway{local: local, fab: fab, opts: opts, jobs: map[string]*gwJob{}}
+	local.AddMetrics(g.WriteMetrics)
+	local.AddMetrics(fab.WriteMetrics)
+	return g
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.opts.Logf != nil {
+		g.opts.Logf(format, args...)
+	}
+}
+
+// Submit validates, expands, and fans a job out. The returned status
+// snapshot is the parent job's.
+func (g *Gateway) Submit(tenant string, spec service.JobSpec) (service.JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return service.JobStatus{}, err
+	}
+	pts, err := service.ExpandPoints(spec)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	var idb [8]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return service.JobStatus{}, fmt.Errorf("cluster: minting job id: %w", err)
+	}
+	id := "g" + hex.EncodeToString(idb[:])
+	if tenant == "" {
+		tenant = service.DefaultTenant
+	}
+	j := &gwJob{
+		status: service.JobStatus{
+			ID:      id,
+			State:   service.StateQueued,
+			Tenant:  tenant,
+			Created: time.Now(),
+			Points:  len(pts),
+			Spec:    spec,
+		},
+		points:  pts,
+		results: make([]*sim.Result, len(pts)),
+		done:    make(chan struct{}),
+		notify:  make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+
+	g.mu.Lock()
+	admitted := 0
+	for _, jj := range g.jobs {
+		if !jj.status.State.Terminal() {
+			admitted++
+		}
+	}
+	if admitted >= g.opts.MaxJobs {
+		g.mu.Unlock()
+		j.cancel()
+		return service.JobStatus{}, service.ErrQueueFull
+	}
+	g.jobs[id] = j
+	g.order = append(g.order, id)
+	g.appendEventLocked(j, service.JobEvent{Kind: service.EventState, State: service.StateQueued})
+	st := j.status
+	g.mu.Unlock()
+
+	go g.run(j, tenant, spec)
+	return st, nil
+}
+
+// run fans one parent job out and reassembles it.
+func (g *Gateway) run(j *gwJob, tenant string, spec service.JobSpec) {
+	g.fanned.Add(1)
+	start := time.Now()
+	g.mu.Lock()
+	j.status.State = service.StateRunning
+	j.status.Started = start
+	j.started = start
+	g.appendEventLocked(j, service.JobEvent{Kind: service.EventState, State: service.StateRunning})
+	g.mu.Unlock()
+
+	// Partition by current routing: owner if healthy, successor past a
+	// dead owner, "" for the local server.
+	batches := map[string][]int{}
+	for i, pt := range j.points {
+		node := g.fab.Route(pt.Key())
+		batches[node] = append(batches[node], i)
+	}
+	nodes := make([]string, 0, len(batches))
+	for node := range batches {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(nodes))
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node string, idxs []int) {
+			defer wg.Done()
+			if err := g.runBatch(j, tenant, spec, node, idxs, nil); err != nil {
+				errCh <- err
+			}
+		}(node, batches[node])
+	}
+	wg.Wait()
+	close(errCh)
+	err := <-errCh // first batch error, if any (nil when channel empty)
+
+	g.latObserve(time.Since(start))
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if j.status.State.Terminal() {
+		return // cancelled concurrently
+	}
+	if err == nil && j.ctx.Err() != nil {
+		err = service.ErrCancelled
+	}
+	if err == nil {
+		for i, r := range j.results {
+			if r == nil {
+				err = fmt.Errorf("cluster: point %d (%s) never resolved", i, j.points[i])
+				break
+			}
+		}
+	}
+	g.finalizeLocked(j, err)
+}
+
+// runBatch runs one per-node batch of parent point indices, recording
+// each resolved point. tried accumulates nodes that already failed for
+// this batch so failover never loops.
+func (g *Gateway) runBatch(j *gwJob, tenant string, spec service.JobSpec, node string, idxs []int, tried map[string]bool) error {
+	if tried == nil {
+		tried = map[string]bool{}
+	}
+	for {
+		// Drop the indices a previous attempt already resolved.
+		g.mu.Lock()
+		remaining := idxs[:0]
+		for _, i := range idxs {
+			if j.results[i] == nil {
+				remaining = append(remaining, i)
+			}
+		}
+		idxs = remaining
+		g.mu.Unlock()
+		if len(idxs) == 0 {
+			return nil
+		}
+
+		var err error
+		if node == "" {
+			err = g.runBatchLocal(j, tenant, spec, idxs)
+		} else {
+			err = g.runBatchRemote(j, tenant, spec, node, idxs)
+		}
+		if err == nil || j.ctx.Err() != nil {
+			return err
+		}
+
+		// The node failed mid-batch: put it in backoff, count the
+		// failover, and pick the next candidate — the first healthy
+		// untried successor of the batch's first key, degrading to
+		// local when the chain is exhausted.
+		if node != "" {
+			tried[node] = true
+			g.fab.MarkFailed(node)
+		}
+		g.failovers.Add(1)
+		prev := node
+		node = ""
+		for _, cand := range g.fab.Ring().Successors(j.points[idxs[0]].Key(), g.fab.Ring().Len()) {
+			if cand == g.fab.self || tried[cand] || !g.fab.Available(cand) {
+				continue
+			}
+			node = cand
+			break
+		}
+		g.logf("cluster: batch of %d points on %s failed (%v); retrying on %s", len(idxs), prev, err, orLocal(node))
+	}
+}
+
+func orLocal(node string) string {
+	if node == "" {
+		return "local"
+	}
+	return node
+}
+
+// recordPoint applies one resolved point to the parent job and emits
+// its event. Late duplicates (a failover re-resolving a point that
+// arrived after all) are ignored.
+func (g *Gateway) recordPoint(j *gwJob, idx int, res *sim.Result, source, node string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if j.status.State.Terminal() || j.results[idx] != nil || res == nil {
+		return
+	}
+	j.results[idx] = res
+	j.resolved++
+	j.status.PointsDone = j.resolved
+	switch source {
+	case "cache":
+		j.status.CacheHits++
+	case "coalesced":
+		j.status.Coalesced++
+	case "peer":
+		j.status.PeerHits++
+	case "simulated":
+		j.status.Submitted++
+	}
+	g.appendEventLocked(j, service.JobEvent{Kind: service.EventPoint, Index: idx, Source: source, Node: node})
+}
+
+// runBatchRemote runs a batch as an explicit-point sub-job on one
+// node, streaming its events and verifying its digest.
+func (g *Gateway) runBatchRemote(j *gwJob, tenant string, spec service.JobSpec, node string, idxs []int) error {
+	pts := make([]runner.Point, len(idxs))
+	for bi, i := range idxs {
+		pts[bi] = j.points[i]
+	}
+	sub := service.SpecFor(spec, pts)
+	client, err := service.Dial(
+		service.WithBaseURL(node),
+		service.WithTenant(tenant),
+		service.WithNoRedirect(),
+		service.WithHTTPClient(g.opts.HTTPClient),
+		service.WithRetry(g.opts.SubRetry),
+		service.WithLogf(g.opts.Logf),
+	)
+	if err != nil {
+		return err
+	}
+	g.subJobs.Add(1)
+	subResults := make([]*sim.Result, len(idxs))
+	doc, err := client.RunSweepStream(j.ctx, sub, func(ev service.JobEvent) {
+		if ev.Kind == service.EventDigestMismatch {
+			g.mismatch.Add(1)
+			g.logf("cluster: sub-job digest mismatch on %s: %s", node, ev.Error)
+			return
+		}
+		if ev.Kind != service.EventPoint || ev.Point == nil || ev.Index < 0 || ev.Index >= len(idxs) {
+			return
+		}
+		subResults[ev.Index] = ev.Point.Result
+		g.recordPoint(j, idxs[ev.Index], ev.Point.Result, ev.Source, node)
+	})
+	if err != nil {
+		return err
+	}
+	// RunSweepStream already verified (or refetched past) the sub
+	// stream's digest; the returned document is authoritative. Backfill
+	// anything the stream view missed.
+	if len(doc.Points) != len(idxs) {
+		return fmt.Errorf("cluster: node %s returned %d points for a %d-point batch", node, len(doc.Points), len(idxs))
+	}
+	for bi, p := range doc.Points {
+		if p.Result == nil {
+			return fmt.Errorf("cluster: node %s returned no result for %s", node, p.SimKey)
+		}
+		if subResults[bi] == nil {
+			g.recordPoint(j, idxs[bi], p.Result, "cache", node)
+		}
+	}
+	return nil
+}
+
+// runBatchLocal runs a batch on the gateway's own server.
+func (g *Gateway) runBatchLocal(j *gwJob, tenant string, spec service.JobSpec, idxs []int) error {
+	pts := make([]runner.Point, len(idxs))
+	for bi, i := range idxs {
+		pts[bi] = j.points[i]
+	}
+	sub := service.SpecFor(spec, pts)
+	g.subJobs.Add(1)
+	st, err := g.submitLocalRetry(j.ctx, tenant, sub)
+	if err != nil {
+		return err
+	}
+	// Follow the local job's event log directly (no HTTP hop).
+	from := 0
+	for {
+		evs, more, ok := g.local.Events(st.ID, from)
+		if !ok {
+			return fmt.Errorf("cluster: local sub-job %s vanished", st.ID)
+		}
+		for _, ev := range evs {
+			from = ev.Seq + 1
+			switch ev.Kind {
+			case service.EventPoint:
+				if ev.Index < 0 || ev.Index >= len(idxs) {
+					continue
+				}
+				pr, okp := g.local.PointResult(st.ID, ev.Index)
+				if !okp {
+					// The sub-job was pruned from retention between the
+					// event fetch and the result read: its results are
+					// gone. Fail the batch so the retry re-resolves the
+					// missing points (the cache makes that cheap).
+					return fmt.Errorf("cluster: local sub-job %s pruned mid-read", st.ID)
+				}
+				g.recordPoint(j, idxs[ev.Index], pr.Result, ev.Source, "")
+			case service.EventDone:
+				if ev.State != service.StateDone {
+					if fin, oks := g.local.Status(st.ID); oks {
+						return fin.Err()
+					}
+					return fmt.Errorf("cluster: local sub-job %s %s: %s", st.ID, ev.State, ev.Error)
+				}
+				return nil
+			}
+		}
+		select {
+		case <-more:
+		case <-j.ctx.Done():
+			g.local.Cancel(st.ID)
+			return j.ctx.Err()
+		}
+	}
+}
+
+// submitLocalRetry mirrors the client's queue-full retry for the
+// in-process server.
+func (g *Gateway) submitLocalRetry(ctx context.Context, tenant string, spec service.JobSpec) (service.JobStatus, error) {
+	for {
+		st, err := g.local.SubmitTenant(tenant, spec)
+		if err == nil || err != service.ErrQueueFull {
+			return st, err
+		}
+		delay := time.Duration(g.local.RetryAfterSeconds()) * time.Second
+		if delay <= 0 {
+			delay = time.Second
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// appendEventLocked mirrors the service's event-log append: stamp the
+// sequence, wake subscribers. Caller holds g.mu.
+func (g *Gateway) appendEventLocked(j *gwJob, ev service.JobEvent) {
+	ev.Seq = len(j.events)
+	if ev.Kind == service.EventDone {
+		ev.Digest = j.digest
+		ev.Error = j.status.Error
+	}
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// finalizeLocked moves a parent job to its terminal state. Caller
+// holds g.mu.
+func (g *Gateway) finalizeLocked(j *gwJob, err error) {
+	if j.status.State.Terminal() {
+		return
+	}
+	j.status.Finished = time.Now()
+	switch {
+	case err == nil:
+		j.status.State = service.StateDone
+		j.digest = service.ResultDocDigest(service.MakeResultDoc(j.points, j.results))
+	case err == service.ErrCancelled || j.ctx.Err() != nil && err == j.ctx.Err():
+		j.status.State = service.StateCancelled
+		j.status.Error = service.ErrCancelled.Error()
+	default:
+		j.status.State = service.StateFailed
+		j.status.Error = err.Error()
+	}
+	j.cancel()
+	g.appendEventLocked(j, service.JobEvent{Kind: service.EventDone, State: j.status.State})
+	close(j.done)
+
+	// Retention: drop the oldest terminal jobs beyond KeepJobs.
+	terminal := 0
+	for _, id := range g.order {
+		if jj, ok := g.jobs[id]; ok && jj.status.State.Terminal() {
+			terminal++
+		}
+	}
+	for i := 0; terminal > g.opts.KeepJobs && i < len(g.order); i++ {
+		id := g.order[i]
+		jj, ok := g.jobs[id]
+		if !ok || !jj.status.State.Terminal() {
+			continue
+		}
+		delete(g.jobs, id)
+		g.order = append(g.order[:i], g.order[i+1:]...)
+		i--
+		terminal--
+	}
+}
+
+// Status returns a parent job's snapshot.
+func (g *Gateway) Status(id string) (service.JobStatus, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok {
+		return service.JobStatus{}, false
+	}
+	return j.status, true
+}
+
+// Jobs lists retained parent jobs in submission order.
+func (g *Gateway) Jobs() []service.JobStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]service.JobStatus, 0, len(g.order))
+	for _, id := range g.order {
+		if j, ok := g.jobs[id]; ok {
+			out = append(out, j.status)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a parent job (propagated to its
+// in-flight sub-jobs through their contexts).
+func (g *Gateway) Cancel(id string) (service.JobStatus, bool) {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	if !ok {
+		g.mu.Unlock()
+		return service.JobStatus{}, false
+	}
+	if j.status.State.Terminal() {
+		st := j.status
+		g.mu.Unlock()
+		return st, true
+	}
+	g.finalizeLocked(j, service.ErrCancelled)
+	st := j.status
+	g.mu.Unlock()
+	j.cancel()
+	return st, true
+}
+
+// Events returns the parent job's events from `from` onward plus the
+// grow-notification channel (the service's wait primitive).
+func (g *Gateway) Events(id string, from int) ([]service.JobEvent, <-chan struct{}, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	return j.events[from:], j.notify, true
+}
+
+// Result returns a done parent job's points and results.
+func (g *Gateway) Result(id string) ([]runner.Point, []*sim.Result, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok || j.status.State != service.StateDone {
+		return nil, nil, false
+	}
+	return j.points, j.results, true
+}
+
+// Partial returns the parent job's current view (null results for
+// unresolved points) plus its status.
+func (g *Gateway) Partial(id string) ([]runner.Point, []*sim.Result, service.JobStatus, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok {
+		return nil, nil, service.JobStatus{}, false
+	}
+	results := make([]*sim.Result, len(j.results))
+	copy(results, j.results)
+	return j.points, results, j.status, true
+}
+
+// PointResult snapshots one resolved point for SSE enrichment.
+func (g *Gateway) PointResult(id string, idx int) (service.PointResult, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok || idx < 0 || idx >= len(j.points) || j.results[idx] == nil {
+		return service.PointResult{}, false
+	}
+	pt := j.points[idx]
+	return service.PointResult{
+		Workload: pt.App.Name,
+		Config:   pt.Config.Name(),
+		SimKey:   pt.Key(),
+		Result:   j.results[idx],
+	}, true
+}
+
+// latObserve records one parent-job fan-out latency.
+func (g *Gateway) latObserve(d time.Duration) {
+	g.latMu.Lock()
+	defer g.latMu.Unlock()
+	if len(g.lats) < latWindow {
+		g.lats = append(g.lats, d)
+	} else {
+		g.lats[g.latN%latWindow] = d
+	}
+	g.latN++
+}
+
+// latQuantiles returns (p50, p99) over the latency window.
+func (g *Gateway) latQuantiles() (p50, p99 time.Duration) {
+	g.latMu.Lock()
+	buf := make([]time.Duration, len(g.lats))
+	copy(buf, g.lats)
+	g.latMu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(buf)-1))
+		return buf[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// WriteMetrics emits the gateway's Prometheus families.
+func (g *Gateway) WriteMetrics(w io.Writer) {
+	g.mu.Lock()
+	active := 0
+	for _, j := range g.jobs {
+		if !j.status.State.Terminal() {
+			active++
+		}
+	}
+	g.mu.Unlock()
+	p50, p99 := g.latQuantiles()
+	profiling.WriteCounter(w, "gpujoule_gateway_jobs_fanned", "Parent jobs fanned out across the cluster.", float64(g.fanned.Load()))
+	profiling.WriteCounter(w, "gpujoule_gateway_subjobs", "Sub-jobs submitted to cluster nodes (including failover resubmits).", float64(g.subJobs.Load()))
+	profiling.WriteCounter(w, "gpujoule_gateway_failovers", "Batches rerouted after a node failure.", float64(g.failovers.Load()))
+	profiling.WriteCounter(w, "gpujoule_gateway_subjob_digest_mismatches", "Sub-job streams whose digest verification failed.", float64(g.mismatch.Load()))
+	profiling.WriteGauge(w, "gpujoule_gateway_active_jobs", "Parent jobs admitted and not yet terminal.", float64(active))
+	profiling.WriteGauge(w, "gpujoule_gateway_fanout_latency_p50_seconds", "Median parent-job fan-out latency over the recent window.", p50.Seconds())
+	profiling.WriteGauge(w, "gpujoule_gateway_fanout_latency_p99_seconds", "99th-percentile parent-job fan-out latency over the recent window.", p99.Seconds())
+}
+
+// Handler returns the gateway's HTTP surface: the same /v1 job API a
+// node serves (so sweep -server and the v2 client work unchanged
+// against a gateway), backed by fan-out, with everything else —
+// /metrics, /progress, /debug/pprof, /v1/cache, /v1/version —
+// delegated to the local server's handler.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		gwWriteJSON(w, http.StatusOK, map[string]any{"jobs": g.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := g.Status(r.PathValue("id"))
+		if !ok {
+			gwWriteErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+			return
+		}
+		gwWriteJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := g.Cancel(r.PathValue("id"))
+		if !ok {
+			gwWriteErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+			return
+		}
+		gwWriteJSON(w, http.StatusOK, st)
+	})
+	mux.Handle("/", g.local.Handler())
+	return mux
+}
+
+func gwWriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func gwWriteErr(w http.ResponseWriter, code int, format string, args ...any) {
+	gwWriteJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		gwWriteErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	st, err := g.Submit(r.Header.Get(service.TenantHeader), spec)
+	switch {
+	case err == nil:
+		gwWriteJSON(w, http.StatusAccepted, st)
+	case err == service.ErrQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(g.local.RetryAfterSeconds()))
+		gwWriteErr(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		gwWriteErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.Header.Get(service.DigestMismatchHeader) != "" {
+		g.mismatch.Add(1)
+		g.logf("cluster: client reported stream digest mismatch for job %s", id)
+	}
+	st, ok := g.Status(id)
+	if !ok {
+		gwWriteErr(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if !st.State.Terminal() {
+		if r.URL.Query().Get("partial") != "" {
+			pts, results, pst, okp := g.Partial(id)
+			if !okp {
+				gwWriteErr(w, http.StatusNotFound, "no such job %q", id)
+				return
+			}
+			w.Header().Set("X-Points-Done", strconv.Itoa(pst.PointsDone))
+			w.Header().Set("X-Points-Total", strconv.Itoa(pst.Points))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(service.RenderResultDoc(service.MakeResultDoc(pts, results)))
+			return
+		}
+		gwWriteErr(w, http.StatusConflict, "job %s is %s; result not ready", id, st.State)
+		return
+	}
+	pts, results, ok := g.Result(id)
+	if !ok {
+		gwWriteErr(w, http.StatusConflict, "job %s %s: %s", id, st.State, st.Error)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(service.RenderResultDoc(service.MakeResultDoc(pts, results)))
+}
+
+// handleEvents streams the parent job's merged SSE feed — the same
+// protocol a node serves, so streaming clients cannot tell a gateway
+// from a node (beyond the per-event Node annotation).
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		from, _ = strconv.Atoi(v)
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			from = n + 1
+		}
+	}
+	if _, _, ok := g.Events(id, 0); !ok {
+		gwWriteErr(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		gwWriteErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, more, ok := g.Events(id, from)
+		if !ok {
+			return
+		}
+		for _, ev := range evs {
+			if ev.Kind == service.EventPoint {
+				if pr, okp := g.PointResult(id, ev.Index); okp {
+					ev.Point = &pr
+				}
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+			from = ev.Seq + 1
+			if ev.Kind == service.EventDone {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

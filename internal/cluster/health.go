@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// healthTracker is passive per-peer health: requests report their
+// outcomes (MarkOK / MarkFail), and Available answers whether a peer
+// should be tried right now. There is no prober goroutine — a peer in
+// backoff becomes available again "half-open": once its backoff
+// window expires, exactly one caller is allowed through as the probe,
+// and its outcome re-opens or re-closes the peer. Real traffic is the
+// health check, which is the only signal that matters for a fabric
+// whose requests *are* cheap GETs.
+type healthTracker struct {
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+	// now is a test seam (defaults to time.Now).
+	now func() time.Time
+}
+
+type peerHealth struct {
+	failures int       // consecutive failures
+	until    time.Time // in backoff until this instant
+	probing  bool      // one half-open probe is in flight
+}
+
+// Backoff bounds: 500ms doubling per consecutive failure, capped at
+// 30s — a dead node costs at most one probe every 30s, while a blip
+// recovers within a second.
+const (
+	backoffBase = 500 * time.Millisecond
+	backoffMax  = 30 * time.Second
+)
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{peers: map[string]*peerHealth{}, now: time.Now}
+}
+
+// Available reports whether the peer should be tried now. During a
+// backoff window it answers false; at the window's expiry it admits a
+// single caller as the half-open probe (concurrent callers keep
+// getting false until that probe reports).
+func (h *healthTracker) Available(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peers[peer]
+	if p == nil || p.failures == 0 {
+		return true
+	}
+	if h.now().Before(p.until) {
+		return false
+	}
+	if p.probing {
+		return false
+	}
+	p.probing = true
+	return true
+}
+
+// MarkOK records a successful request to the peer, clearing any
+// backoff.
+func (h *healthTracker) MarkOK(peer string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.peers, peer)
+}
+
+// MarkFail records a failed request to the peer, entering (or
+// extending) exponential backoff.
+func (h *healthTracker) MarkFail(peer string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peers[peer]
+	if p == nil {
+		p = &peerHealth{}
+		h.peers[peer] = p
+	}
+	p.probing = false
+	p.failures++
+	d := backoffBase << (p.failures - 1)
+	if d > backoffMax || d <= 0 {
+		d = backoffMax
+	}
+	p.until = h.now().Add(d)
+}
+
+// Unhealthy returns the peers currently considered down (in a backoff
+// window), for metrics.
+func (h *healthTracker) Unhealthy() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	now := h.now()
+	for peer, p := range h.peers {
+		if p.failures > 0 && now.Before(p.until) {
+			out = append(out, peer)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRingDeterminism: ownership is a pure function of the membership
+// set — independent of input order and stable across constructions.
+func TestRingDeterminism(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := NewRing(nodes, 0)
+	r2 := NewRing([]string{nodes[2], nodes[0], nodes[1], nodes[0]}, 0)
+	if r1.Len() != 3 || r2.Len() != 3 {
+		t.Fatalf("ring lengths = %d, %d; want 3 (dedup + order-independence)", r1.Len(), r2.Len())
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("sim-key-%d", i)
+		if o1, o2 := r1.Owner(key), r2.Owner(key); o1 != o2 {
+			t.Fatalf("key %q: owner %q vs %q across equal rings", key, o1, o2)
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, no node owns a grossly
+// disproportionate share of a uniform key population.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("sim-key-%d", i))]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < want/3 || c > want*3 {
+			t.Errorf("node %s owns %d of %d keys; want within 3x of the fair share %d", n, c, keys, want)
+		}
+	}
+}
+
+// TestRingRebalance: adding one node to an N-node ring must move at
+// most ~1/(N+1) of the keys (consistent hashing's defining property);
+// the test allows 2x slack for virtual-node variance.
+func TestRingRebalance(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	before := NewRing(nodes, 0)
+	after := NewRing(append(append([]string{}, nodes...), "http://d:1"), 0)
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("sim-key-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			moved++
+			if oa != "http://d:1" {
+				t.Fatalf("key %q moved %q -> %q: keys may only move to the new node", key, ob, oa)
+			}
+		}
+	}
+	ceiling := 2 * keys / (len(nodes) + 1)
+	if moved > ceiling {
+		t.Errorf("join moved %d of %d keys; consistent-hash ceiling (with 2x slack) is %d", moved, keys, ceiling)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys; the new node owns nothing")
+	}
+}
+
+// TestRingSuccessors: the successor chain is distinct, starts at the
+// owner, and covers the whole ring when asked for every node.
+func TestRingSuccessors(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(nodes, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("sim-key-%d", i)
+		succ := r.Successors(key, len(nodes))
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors(%q, %d) = %v", key, len(nodes), succ)
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("successor chain %v does not start at the owner %q", succ, r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("successor chain %v repeats %q", succ, n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors("k", 10); len(got) != len(nodes) {
+		t.Errorf("Successors over-asked = %v; want every node once", got)
+	}
+}
+
+// TestHealthBackoff: a failing peer backs off exponentially, admits a
+// single half-open probe at window expiry, and fully recovers on one
+// success.
+func TestHealthBackoff(t *testing.T) {
+	h := newHealthTracker()
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	h.now = clock.now
+
+	const peer = "http://a:1"
+	if !h.Available(peer) {
+		t.Fatal("fresh peer unavailable")
+	}
+	h.MarkFail(peer)
+	if h.Available(peer) {
+		t.Fatal("peer available immediately after a failure")
+	}
+	clock.advance(backoffBase)
+	if !h.Available(peer) {
+		t.Fatal("peer not admitted as half-open probe after backoff expiry")
+	}
+	if h.Available(peer) {
+		t.Fatal("second caller admitted while the half-open probe is outstanding")
+	}
+	h.MarkFail(peer) // probe failed: window doubles
+	clock.advance(backoffBase)
+	if h.Available(peer) {
+		t.Fatal("peer available before the doubled backoff elapsed")
+	}
+	clock.advance(backoffBase)
+	if !h.Available(peer) {
+		t.Fatal("peer not re-admitted after the doubled window")
+	}
+	h.MarkOK(peer)
+	if !h.Available(peer) || len(h.Unhealthy()) != 0 {
+		t.Fatal("success did not clear the backoff state")
+	}
+}
+
+// fakeClock is a manual test clock for the health tracker's now seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }

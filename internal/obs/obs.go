@@ -285,6 +285,9 @@ type RunnerProfile struct {
 	// still in flight when claimed — one execution shared by concurrent
 	// requests rather than a read of a resolved memo entry.
 	Coalesced int `json:"coalesced,omitempty"`
+	// Failed counts executions that resolved with an error (never
+	// memoized, so retries that succeed also count under Simulated).
+	Failed int `json:"failed,omitempty"`
 	// SimWallSeconds is cumulative wall time inside the simulator;
 	// BatchWallSeconds is elapsed time across Run calls.
 	SimWallSeconds   float64 `json:"sim_wall_seconds"`

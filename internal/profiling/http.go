@@ -177,6 +177,7 @@ func (s *HTTPServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	WriteGauge(w, "gpujoule_runner_simulated", "Real simulator executions.", float64(rp.Simulated))
 	WriteGauge(w, "gpujoule_runner_cache_hits", "Points served from the memo cache.", float64(rp.CacheHits))
 	WriteGauge(w, "gpujoule_runner_coalesced", "Points that joined an in-flight simulation.", float64(rp.Coalesced))
+	WriteGauge(w, "gpujoule_runner_failed", "Simulator executions that resolved with an error.", float64(rp.Failed))
 	WriteGauge(w, "gpujoule_runner_sim_wall_seconds", "Cumulative wall time inside the simulator.", rp.SimWallSeconds)
 	WriteGauge(w, "gpujoule_runner_batch_wall_seconds", "Elapsed wall time across Run calls.", rp.BatchWallSeconds)
 	WriteGauge(w, "gpujoule_runner_occupancy", "Fraction of worker-seconds spent simulating.", rp.Occupancy)

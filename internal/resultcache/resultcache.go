@@ -134,6 +134,29 @@ func (c *Cache) Get(key string) (*sim.Result, bool) {
 	return res, true
 }
 
+// GetRaw looks the key up and returns the verified raw result bytes —
+// the exact Result JSON Put stored — without unmarshalling. This is
+// the cluster peering read path: an entry crosses the wire as the
+// bytes on disk, and the receiving node re-verifies before storing, so
+// replication can never amplify corruption. Counting and corrupt-entry
+// handling match Get.
+func (c *Cache) GetRaw(key string) ([]byte, bool) {
+	path := c.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.count(func(s *Stats) { s.Misses++ })
+		return nil, false
+	}
+	raw, err := decodeRaw(data, c.stamp, key)
+	if err != nil {
+		os.Remove(path)
+		c.count(func(s *Stats) { s.Misses++; s.Corrupt++ })
+		return nil, false
+	}
+	c.count(func(s *Stats) { s.Hits++ })
+	return raw, true
+}
+
 // decode verifies an entry's envelope against the expected identity
 // and unmarshals the result.
 func decode(data []byte, stamp, key string) (*sim.Result, error) {
@@ -155,6 +178,23 @@ func decode(data []byte, stamp, key string) (*sim.Result, error) {
 	return &res, nil
 }
 
+// decodeRaw verifies an entry's envelope and checksum and returns the
+// raw result bytes.
+func decodeRaw(data []byte, stamp, key string) ([]byte, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("resultcache: bad envelope: %w", err)
+	}
+	if env.Stamp != stamp || env.Key != key {
+		return nil, fmt.Errorf("resultcache: entry identity mismatch (stamp %q key %q)", env.Stamp, env.Key)
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, errors.New("resultcache: result checksum mismatch")
+	}
+	return env.Result, nil
+}
+
 // Put writes the key's entry atomically. Concurrent writers of the
 // same key are benign: both render identical bytes and rename over one
 // another.
@@ -169,6 +209,33 @@ func (c *Cache) Put(key string, res *sim.Result) error {
 		Key:    key,
 		SHA256: hex.EncodeToString(sum[:]),
 		Result: raw,
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := obs.WriteFileAtomic(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&env)
+	}); err != nil {
+		return err
+	}
+	c.count(func(s *Stats) { s.Puts++ })
+	return nil
+}
+
+// PutRaw writes the key's entry from raw result bytes already rendered
+// by a peer's Put (cluster replication). The checksum is computed over
+// the bytes as received, so a replica read back by GetRaw returns the
+// identical bytes the origin stored. Callers are responsible for
+// validating the bytes decode as a result document (the HTTP handler
+// does) — PutRaw itself only seals them into a verified envelope.
+func (c *Cache) PutRaw(key string, raw []byte) error {
+	sum := sha256.Sum256(raw)
+	env := envelope{
+		Stamp:  c.stamp,
+		Key:    key,
+		SHA256: hex.EncodeToString(sum[:]),
+		Result: json.RawMessage(raw),
 	}
 	path := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -131,6 +131,10 @@ type Stats struct {
 	// one execution with a concurrent claimant instead of reading a
 	// resolved memo entry.
 	Coalesced int
+	// Failed counts simulator executions that resolved with an error
+	// (including cancellation). Failed entries are never memoized, so a
+	// retried point that later succeeds counts under both.
+	Failed int
 	// SimWall is the cumulative wall time spent inside sim.Simulate; with
 	// multiple workers it exceeds elapsed time.
 	SimWall time.Duration
@@ -423,6 +427,9 @@ func (e *Engine) resolve(j job, res *sim.Result, err error, elapsed time.Duratio
 			delete(e.cache, j.key)
 		}
 	}
+	if err != nil {
+		e.stats.Failed++
+	}
 	if err == nil {
 		e.stats.Simulated++
 		e.stats.SimWall += elapsed
@@ -486,6 +493,7 @@ func (e *Engine) Profile() obs.RunnerProfile {
 		Simulated:        e.stats.Simulated,
 		CacheHits:        e.stats.CacheHits,
 		Coalesced:        e.stats.Coalesced,
+		Failed:           e.stats.Failed,
 		SimWallSeconds:   e.stats.SimWall.Seconds(),
 		BatchWallSeconds: batchWall.Seconds(),
 		Occupancy:        occupancy,

@@ -1,0 +1,267 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/sim"
+)
+
+// clientSpec is a one-point sweep, cheap enough for client round-trip
+// tests.
+func clientSpec() JobSpec {
+	return JobSpec{Workloads: "Stream", Scale: 0.05, GPMs: "1", BWs: "1x"}
+}
+
+// TestClientFollowsOwnershipRedirect: a 307 from a non-owning node
+// rebases the client onto the owner and the request is retried there
+// transparently; subsequent calls go straight to the owner.
+func TestClientFollowsOwnershipRedirect(t *testing.T) {
+	s := newTestServer(t, Options{Executors: 2, QueueCap: 8})
+	owner := httptest.NewServer(s.Handler())
+	defer owner.Close()
+
+	var redirects atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		redirects.Add(1)
+		w.Header().Set("Location", owner.URL+r.URL.Path)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c, err := Dial(WithBaseURL(front.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	doc, err := c.RunSweep(ctx, clientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Points) == 0 || doc.Points[0].Result == nil {
+		t.Fatalf("redirected sweep returned an empty document: %+v", doc)
+	}
+	if got := c.Base(); got != owner.URL {
+		t.Errorf("client base after redirect = %q; want the owner %q", got, owner.URL)
+	}
+	if n := redirects.Load(); n != 1 {
+		t.Errorf("front node saw %d requests; the client should rebase after the first 307", n)
+	}
+}
+
+// TestClientNoRedirectSurfacesOwner: with WithNoRedirect, the same 307
+// surfaces as the typed ErrNotOwner carrying the owner's base URL.
+func TestClientNoRedirectSurfacesOwner(t *testing.T) {
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "http://owner.example:8344/v1/jobs")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c, err := Dial(WithBaseURL(front.URL), WithNoRedirect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(context.Background(), clientSpec())
+	if !errors.Is(err, ErrNotOwner{}) {
+		t.Fatalf("Submit error = %v; want an ErrNotOwner", err)
+	}
+	var eno ErrNotOwner
+	if !errors.As(err, &eno) || eno.Owner != "http://owner.example:8344" {
+		t.Errorf("ErrNotOwner.Owner = %q; want the Location host", eno.Owner)
+	}
+	if got := c.Base(); got != front.URL {
+		t.Errorf("client base = %q; a surfaced redirect must not rebase", got)
+	}
+}
+
+// TestClientRetryPolicy: queue-full rejections back off and retry
+// under the configured policy, with each rejection reported through
+// Notify.
+func TestClientRetryPolicy(t *testing.T) {
+	s := newTestServer(t, Options{Executors: 2, QueueCap: 8})
+	real := s.Handler()
+	var rejected atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && rejected.Load() < 2 {
+			rejected.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer front.Close()
+
+	var notified atomic.Int64
+	c, err := Dial(WithBaseURL(front.URL), WithRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		Notify: func(err error, delay time.Duration) {
+			if !errors.Is(err, ErrQueueFull) {
+				t.Errorf("Notify error = %v; want queue-full", err)
+			}
+			notified.Add(1)
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.RunSweep(context.Background(), clientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Points) == 0 {
+		t.Fatal("empty document after retries")
+	}
+	if n := notified.Load(); n != 2 {
+		t.Errorf("Notify fired %d times; want one per rejection (2)", n)
+	}
+
+	// A bounded policy gives up with the rejection still matchable.
+	rejected.Store(-1000) // reject everything from here on
+	c2, _ := Dial(WithBaseURL(front.URL), WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}))
+	if _, err := c2.RunSweep(context.Background(), clientSpec()); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("exhausted retries = %v; want a queue-full error", err)
+	}
+}
+
+// TestStreamDigestMismatchSurfaced: a terminal digest that does not
+// match the streamed reassembly must be surfaced (synthetic event) and
+// reported on the authoritative refetch — never silently absorbed.
+func TestStreamDigestMismatchSurfaced(t *testing.T) {
+	doc := ResultDoc{SchemaVersion: obs.SchemaVersion, Points: []PointResult{{
+		Workload: "Stream", Config: "cfg", SimKey: "k", Result: &sim.Result{},
+	}}}
+	rendered := RenderResultDoc(doc)
+
+	var reported atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateQueued, Points: 1})
+	})
+	mux.HandleFunc("GET /v1/jobs/j1/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		point, _ := json.Marshal(JobEvent{Seq: 0, Kind: EventPoint, Index: 0, Source: "cache", Point: &doc.Points[0]})
+		done, _ := json.Marshal(JobEvent{Seq: 1, Kind: EventDone, State: StateDone, Digest: "not-the-right-digest"})
+		fmt.Fprintf(w, "id: 0\nevent: point\ndata: %s\n\nid: 1\nevent: done\ndata: %s\n\n", point, done)
+	})
+	mux.HandleFunc("GET /v1/jobs/j1/result", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(DigestMismatchHeader) != "" {
+			reported.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rendered)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var mismatches, logged atomic.Int64
+	c, err := Dial(WithBaseURL(ts.URL), WithLogf(func(format string, args ...any) {
+		logged.Add(1)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RunSweepStream(context.Background(), clientSpec(), func(ev JobEvent) {
+		if ev.Kind == EventDigestMismatch {
+			mismatches.Add(1)
+			if ev.Error == "" {
+				t.Error("digest-mismatch event carries no detail")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(RenderResultDoc(*got)) != string(rendered) {
+		t.Error("mismatch fallback did not return the authoritative document")
+	}
+	if mismatches.Load() != 1 {
+		t.Errorf("saw %d digest-mismatch events; want exactly 1", mismatches.Load())
+	}
+	if reported.Load() != 1 {
+		t.Errorf("server saw %d mismatch-reported refetches; want 1", reported.Load())
+	}
+	if logged.Load() == 0 {
+		t.Error("mismatch was not logged")
+	}
+}
+
+// TestCacheRawRoundTrip: the peering endpoints round-trip an entry
+// byte-identically under the correct stamp and reject foreign stamps
+// and undecodable bodies.
+func TestCacheRawRoundTrip(t *testing.T) {
+	s := newTestServer(t, Options{Executors: 1, QueueCap: 4, CacheDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c, err := Dial(WithBaseURL(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res := &sim.Result{}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := c.CacheGetRaw(ctx, "k1", false); err != nil || ok {
+		t.Fatalf("get before put = ok %v, err %v; want a clean miss", ok, err)
+	}
+	if err := c.CachePutRaw(ctx, "k1", raw, CacheStamp()); err != nil {
+		t.Fatal(err)
+	}
+	back, stamp, ok, err := c.CacheGetRaw(ctx, "k1", false)
+	if err != nil || !ok {
+		t.Fatalf("get after put = ok %v, err %v", ok, err)
+	}
+	if string(back) != string(raw) {
+		t.Errorf("round-trip changed the entry bytes:\n put %s\n got %s", raw, back)
+	}
+	if stamp != CacheStamp() {
+		t.Errorf("served stamp %q != %q", stamp, CacheStamp())
+	}
+	if err := c.CachePutRaw(ctx, "k2", raw, "some-other-binary v9"); err == nil {
+		t.Error("foreign-stamp put accepted; want a 409 rejection")
+	}
+	if err := c.CachePutRaw(ctx, "k3", []byte("not json"), CacheStamp()); err == nil {
+		t.Error("undecodable put accepted; want a 400 rejection")
+	}
+}
+
+// TestExplicitPointExpansion: SpecFor and ExpandPoints invert each
+// other — the explicit-point wire form a gateway ships re-expands to
+// exactly the grid points it was built from.
+func TestExplicitPointExpansion(t *testing.T) {
+	parent := JobSpec{Workloads: "Stream,Kmeans", Scale: 0.05, GPMs: "1,2", BWs: "1x,2x"}
+	pts, err := ExpandPoints(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := SpecFor(parent, pts)
+	if len(sub.Points) != len(pts) {
+		t.Fatalf("SpecFor kept %d of %d points", len(sub.Points), len(pts))
+	}
+	back, err := ExpandPoints(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("re-expansion produced %d of %d points", len(back), len(pts))
+	}
+	for i := range pts {
+		if pts[i].Key() != back[i].Key() {
+			t.Errorf("point %d: key %q re-expanded to %q", i, pts[i].Key(), back[i].Key())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The typed error taxonomy of the cluster path. Every cross-node
+// failure mode a caller might branch on is a matchable value here —
+// errors.Is on the sentinels, errors.Is/errors.As on ErrNotOwner —
+// instead of an ad-hoc fmt.Errorf string. internal/cluster wraps these
+// (never re-mints parallel strings), so retry policy written against
+// the service package keeps working behind a gateway.
+var (
+	// ErrPeerUnavailable reports that a cluster peer could not be
+	// reached (connection failure, timeout, or health-check backoff).
+	// The fabric reroutes around it; callers that see this error
+	// surfaced have exhausted the reroute chain.
+	ErrPeerUnavailable = errors.New("cluster: peer unavailable")
+
+	// ErrDigestMismatch reports that a streamed result reassembly did
+	// not hash to the digest stamped in the terminal event. The
+	// document fetched from /result remains authoritative; the
+	// mismatch is logged and counted, never silently absorbed.
+	ErrDigestMismatch = errors.New("service: result digest mismatch")
+)
+
+// ErrNotOwner reports that the receiving node does not own the
+// submitted points under the cluster's hash ring; Owner is the base
+// URL of the node that does. The HTTP surface maps it to a 307 with a
+// Location header, which the v2 client follows automatically; callers
+// that disabled redirect-following receive the typed value itself.
+//
+// Matchable both ways:
+//
+//	errors.Is(err, ErrNotOwner{})          // any owner
+//	var eno ErrNotOwner; errors.As(err, &eno); eno.Owner
+type ErrNotOwner struct {
+	// Owner is the base URL of the owning node.
+	Owner string
+}
+
+func (e ErrNotOwner) Error() string {
+	return fmt.Sprintf("service: not the owning node (owner %s)", e.Owner)
+}
+
+// Is matches any ErrNotOwner regardless of owner, so
+// errors.Is(err, ErrNotOwner{}) works as a class test.
+func (e ErrNotOwner) Is(target error) bool {
+	_, ok := target.(ErrNotOwner)
+	return ok
+}

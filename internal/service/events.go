@@ -22,6 +22,12 @@ const (
 	// same bytes GET /v1/jobs/{id}/result serves, so a streaming
 	// client can verify its reassembled view without a second fetch.
 	EventDone = "done"
+	// EventDigestMismatch is synthesized by the client (never stored in
+	// a server-side log) when a streamed reassembly fails digest
+	// verification and the client falls back to fetching /result. It
+	// surfaces the mismatch to event consumers instead of hiding the
+	// refetch; Error carries the expected/actual digests.
+	EventDigestMismatch = "digest_mismatch"
 )
 
 // JobEvent is one entry in a job's append-only event log, replayed in
@@ -35,6 +41,9 @@ type JobEvent struct {
 	Source string `json:"source,omitempty"`
 	Digest string `json:"digest,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Node names the cluster node that resolved the point, on events
+	// merged by a gateway (empty on single-node streams).
+	Node string `json:"node,omitempty"`
 	// Point carries the resolved point's data on streamed EventPoint
 	// events. It is attached at stream-serialization time, not stored
 	// in the log, so the log stays light while the SSE stream is
@@ -95,10 +104,11 @@ func (s *Server) Partial(id string) ([]runner.Point, []*sim.Result, JobStatus, b
 	return j.points, results, j.status, true
 }
 
-// pointResult snapshots one resolved point of a job for stream
+// PointResult snapshots one resolved point of a job for stream
 // enrichment (ok is false for unknown jobs, out-of-range indices, or
-// points not yet resolved).
-func (s *Server) pointResult(id string, idx int) (PointResult, bool) {
+// points not yet resolved). Exported for the cluster gateway, which
+// enriches merged SSE streams served from an in-process node.
+func (s *Server) PointResult(id string, idx int) (PointResult, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -114,12 +124,12 @@ func (s *Server) pointResult(id string, idx int) (PointResult, bool) {
 	}, true
 }
 
-// resultDoc assembles the deterministic result document for a point
-// sequence: the single rendering path shared by the HTTP result
-// handler, the server-side digest, and client-side verification, so
-// "byte-identical" is enforced by construction rather than by
-// parallel implementations.
-func resultDoc(pts []runner.Point, results []*sim.Result) ResultDoc {
+// MakeResultDoc assembles the deterministic result document for a
+// point sequence: the single rendering path shared by the HTTP result
+// handler, the server-side digest, client-side verification, and the
+// cluster gateway's distributed reassembly, so "byte-identical" is
+// enforced by construction rather than by parallel implementations.
+func MakeResultDoc(pts []runner.Point, results []*sim.Result) ResultDoc {
 	doc := ResultDoc{SchemaVersion: obs.SchemaVersion, Points: make([]PointResult, len(pts))}
 	for i, pt := range pts {
 		doc.Points[i] = PointResult{
@@ -132,10 +142,10 @@ func resultDoc(pts []runner.Point, results []*sim.Result) ResultDoc {
 	return doc
 }
 
-// renderResultDoc renders the document to the exact bytes the HTTP
+// RenderResultDoc renders the document to the exact bytes the HTTP
 // handler serves (indented JSON plus trailing newline — the encoding
 // of writeJSON).
-func renderResultDoc(doc ResultDoc) []byte {
+func RenderResultDoc(doc ResultDoc) []byte {
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		// A ResultDoc is plain data; marshalling cannot fail.
@@ -144,9 +154,9 @@ func renderResultDoc(doc ResultDoc) []byte {
 	return append(b, '\n')
 }
 
-// resultDigest is the sha256 of the rendered result document, carried
-// by the terminal SSE event.
-func resultDigest(doc ResultDoc) string {
-	sum := sha256.Sum256(renderResultDoc(doc))
+// ResultDocDigest is the sha256 of the rendered result document,
+// carried by the terminal SSE event.
+func ResultDocDigest(doc ResultDoc) string {
+	sum := sha256.Sum256(RenderResultDoc(doc))
 	return hex.EncodeToString(sum[:])
 }

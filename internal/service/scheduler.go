@@ -110,6 +110,11 @@ func (t *tenantState) removeJob(j *Job) {
 // settled when the flight completes.
 type flight struct {
 	waiters []pointClaim
+	// done is closed when the flight settles (result cached or failed).
+	// The /v1/cache?wait=1 handler blocks on it so a peer asking for an
+	// in-flight key joins the cluster-wide singleflight instead of
+	// triggering a duplicate computation on its own node.
+	done chan struct{}
 }
 
 // pointClaim addresses one point slot of one job.
@@ -139,6 +144,7 @@ const (
 	srcSimulated = "simulated"
 	srcCache     = "cache"
 	srcCoalesced = "coalesced"
+	srcPeer      = "peer"
 )
 
 // tenantLocked returns (creating on first use) the tenant's state.
@@ -297,7 +303,7 @@ func (s *Server) dispatchHeadLocked(j *Job) {
 		return
 	}
 
-	s.flights[key] = &flight{}
+	s.flights[key] = &flight{done: make(chan struct{})}
 	j.owned++
 	t.inflight++
 	t.vtime = math.Max(t.vtime, s.vclock) + 1/float64(t.weight)
@@ -343,8 +349,9 @@ func (s *Server) executor() {
 }
 
 // executePoint resolves one owned point: the disk cache first, then
-// one single-point engine batch, publishing fresh results back to the
-// cache.
+// the cluster's peer caches (when a fabric is wired in), then one
+// single-point engine batch, publishing fresh results back to the
+// cache and replicating them toward the key's ring owner.
 func (s *Server) executePoint(task pointTask) (*sim.Result, string, error) {
 	if s.cache != nil {
 		if res, ok := s.cache.Get(task.key); ok {
@@ -352,8 +359,20 @@ func (s *Server) executePoint(task pointTask) (*sim.Result, string, error) {
 		}
 	}
 	s.mu.Lock()
-	task.j.status.Submitted++
 	ctx := task.j.liveCtx()
+	s.mu.Unlock()
+	if cl := s.opts.Cluster; cl != nil && cl.PeerGet != nil {
+		if res, ok := cl.PeerGet(ctx, task.pt.Key(), task.key); ok {
+			if s.cache != nil {
+				if perr := s.cache.Put(task.key, res); perr != nil {
+					s.logf("service: caching peer result %s: %v", task.pt, perr)
+				}
+			}
+			return res, srcPeer, nil
+		}
+	}
+	s.mu.Lock()
+	task.j.status.Submitted++
 	s.mu.Unlock()
 	rs, err := s.runBatch(ctx, []runner.Point{task.pt})
 	var res *sim.Result
@@ -371,6 +390,9 @@ func (s *Server) executePoint(task pointTask) (*sim.Result, string, error) {
 			s.logf("service: caching %s: %v", task.pt, perr)
 		}
 	}
+	if cl := s.opts.Cluster; cl != nil && cl.Replicate != nil {
+		cl.Replicate(task.pt.Key(), task.key, res)
+	}
 	return res, srcSimulated, nil
 }
 
@@ -383,6 +405,9 @@ func (s *Server) completeFlight(task pointTask, res *sim.Result, src string, err
 	defer s.mu.Unlock()
 	fl := s.flights[task.key]
 	delete(s.flights, task.key)
+	if fl != nil {
+		close(fl.done)
+	}
 	task.j.owned--
 	task.j.tenant.inflight--
 	s.execFree++
@@ -414,6 +439,10 @@ func (s *Server) recordPointLocked(j *Job, idx int, res *sim.Result, src string,
 		j.results[idx] = res
 		if src == srcCache {
 			j.status.CacheHits++
+		}
+		if src == srcPeer {
+			j.status.PeerHits++
+			s.peerHits++
 		}
 		s.appendEventLocked(j, JobEvent{Kind: EventPoint, Index: idx, Source: src})
 		if j.resolved == len(j.points) {

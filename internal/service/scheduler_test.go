@@ -280,7 +280,7 @@ func TestStreamedMatchesPolled(t *testing.T) {
 		t.Fatalf("polled result: status %d, err %v", resp.StatusCode, err)
 	}
 
-	if streamed := renderResultDoc(*doc); !bytes.Equal(streamed, polled) {
+	if streamed := RenderResultDoc(*doc); !bytes.Equal(streamed, polled) {
 		t.Errorf("streamed document differs from polled:\nstreamed: %s\npolled: %s", streamed, polled)
 	}
 

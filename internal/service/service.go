@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"gpujoule/internal/obs"
 	"gpujoule/internal/profiling"
@@ -102,6 +103,29 @@ type JobSpec struct {
 	// TimeoutSeconds bounds the job's execution once it starts running
 	// (0 = no deadline).
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Points, when non-empty, bypasses the grid syntax entirely: the
+	// job is exactly this point list, in order, with no baseline
+	// injection. This is the wire form a cluster gateway uses to hand
+	// a node its owned slice of a sweep — the sim.Config rides along
+	// verbatim (its JSON field names are part of the stable result
+	// schema), so the point's simulation identity survives the hop
+	// bit-for-bit. Workloads/All/GPMs/BWs/Topologies/Baseline are
+	// ignored when set.
+	Points []PointSpec `json:"points,omitempty"`
+}
+
+// PointSpec pins one explicit simulation point: a workload at a scale
+// on a fully specified machine configuration. Unlike the grid fields
+// it round-trips through JSON without re-deriving anything, which is
+// what makes gateway-split sweeps resolve byte-identical results.
+type PointSpec struct {
+	// Workload is the Table II workload name.
+	Workload string `json:"workload"`
+	// Scale is the workload sizing factor (<= 0 inherits the job's
+	// Scale, defaulting like the grid path).
+	Scale float64 `json:"scale,omitempty"`
+	// Config is the simulated machine, carried verbatim.
+	Config sim.Config `json:"config"`
 }
 
 func (sp JobSpec) scale() float64 {
@@ -128,6 +152,17 @@ func (sp JobSpec) gridFields() (gpms, bws, topos string) {
 // names returns the workload list the spec resolves to, in the order
 // points will be expanded.
 func (sp JobSpec) names() []string {
+	if len(sp.Points) > 0 {
+		var out []string
+		seen := map[string]bool{}
+		for _, p := range sp.Points {
+			if !seen[p.Workload] {
+				seen[p.Workload] = true
+				out = append(out, p.Workload)
+			}
+		}
+		return out
+	}
 	if sp.All {
 		var out []string
 		for _, g := range workloads.Generators() {
@@ -140,10 +175,17 @@ func (sp JobSpec) names() []string {
 	return sim.SplitList(sp.Workloads)
 }
 
-// Validate checks the spec without building any traces: the grid must
-// parse and every workload name must exist.
+// Validate checks the spec without building any traces: the grid (or
+// every explicit point config) must validate and every workload name
+// must exist.
 func (sp JobSpec) Validate() error {
-	if _, err := sp.configs(); err != nil {
+	if len(sp.Points) > 0 {
+		for i, p := range sp.Points {
+			if err := p.Config.Validate(); err != nil {
+				return fmt.Errorf("service: point %d: %w", i, err)
+			}
+		}
+	} else if _, err := sp.configs(); err != nil {
 		return err
 	}
 	names := sp.names()
@@ -196,6 +238,9 @@ type JobStatus struct {
 	CacheHits int `json:"cache_hits"`
 	Coalesced int `json:"coalesced"`
 	Submitted int `json:"submitted"`
+	// PeerHits counts points served from a cluster peer's cache
+	// instead of recomputing (zero on single-node daemons).
+	PeerHits int `json:"peer_hits,omitempty"`
 	// Preemptions counts higher-priority arrivals that displaced this
 	// job's pending points while it was running.
 	Preemptions int `json:"preemptions,omitempty"`
@@ -291,6 +336,33 @@ type Options struct {
 	// Logf, when non-nil, receives operational log lines (cache write
 	// failures, drain progress).
 	Logf func(format string, args ...any)
+	// Cluster wires the node into a multi-node fabric
+	// (internal/cluster). Nil for a single-node daemon — every hook is
+	// optional and the zero behaviour is exactly the pre-cluster one.
+	Cluster *ClusterHooks
+}
+
+// ClusterHooks are the seams a cluster fabric plugs into the service:
+// the service stays ignorant of rings, peers, and HTTP — it only knows
+// that a missing key may be answerable remotely, that fresh results
+// may be worth replicating, and that some submissions belong
+// elsewhere. internal/cluster provides the implementations.
+type ClusterHooks struct {
+	// PeerGet consults peer caches for a point missing locally,
+	// keyed by the point's canonical sim key (ring routing) and full
+	// cache key (entry identity). It returns (result, true) on a
+	// verified remote hit. Called with the point's live context; the
+	// implementation bounds its own per-peer timeouts.
+	PeerGet func(ctx context.Context, simKey, cacheKey string) (*sim.Result, bool)
+	// Replicate pushes a freshly computed result toward the key's
+	// ring owner and successor, best-effort and asynchronous.
+	Replicate func(simKey, cacheKey string, res *sim.Result)
+	// RouteOwner reports the base URL of the healthy node that owns
+	// simKey, or "" when this node should handle it itself (it is the
+	// owner, or the reroute chain degraded to local compute). The
+	// HTTP handler uses it to answer single-owner submissions with a
+	// 307 to the owning node.
+	RouteOwner func(simKey string) string
 }
 
 // Server is the resident simulation service.
@@ -312,6 +384,11 @@ type Server struct {
 	// executions.
 	runBatch func(ctx context.Context, pts []runner.Point) ([]*sim.Result, error)
 
+	// digestMismatches counts streaming clients that reported a digest
+	// mismatch on their reassembled document (via the
+	// X-GPUJoule-Digest-Mismatch header on the authoritative refetch).
+	digestMismatches atomic.Uint64
+
 	mu          sync.Mutex // guards everything below plus all Job/tenantState fields
 	cond        *sync.Cond // broadcast on any scheduling-relevant change
 	jobs        map[string]*Job
@@ -324,6 +401,7 @@ type Server struct {
 	drained     bool
 	coalesced   int
 	preemptions uint64
+	peerHits    uint64 // points served from a cluster peer's cache
 }
 
 // CacheStamp composes the producer stamp the service binds cache
@@ -405,6 +483,11 @@ func New(opts Options) (*Server, error) {
 // Engine exposes the shared run engine (for introspection and tests).
 func (s *Server) Engine() *runner.Engine { return s.eng }
 
+// AddMetrics registers an extra emitter on the node's /metrics scrape
+// — the seam the cluster fabric and gateway use to publish their
+// families alongside the service plane's.
+func (s *Server) AddMetrics(emit func(io.Writer)) { s.prof.AddMetrics(emit) }
+
 // Cache exposes the result cache (nil when persistence is disabled).
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
 
@@ -451,7 +534,7 @@ func (s *Server) SubmitTenant(tenant string, spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
-	pts, err := expand(spec)
+	pts, err := ExpandPoints(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -659,7 +742,7 @@ func (s *Server) finalizeLocked(j *Job, err error) {
 	switch {
 	case err == nil:
 		j.status.State = StateDone
-		j.digest = resultDigest(resultDoc(j.points, j.results))
+		j.digest = ResultDocDigest(MakeResultDoc(j.points, j.results))
 	case j.cancelRequested || errors.Is(err, ErrCancelled) || errors.Is(err, context.Canceled):
 		j.status.State = StateCancelled
 		j.status.Error = ErrCancelled.Error()
@@ -700,11 +783,17 @@ func (s *Server) finalizeLocked(j *Job, err error) {
 	}
 }
 
-// expand builds the job's point sequence: the sweep row layout over
-// the spec's workloads and design grid (shared with cmd/sweep through
-// runner.GridPoints, so service and local execution resolve identical
-// point sequences).
-func expand(spec JobSpec) ([]runner.Point, error) {
+// ExpandPoints builds the job's point sequence. Grid specs expand to
+// the sweep row layout over the spec's workloads and design grid
+// (shared with cmd/sweep through runner.GridPoints, so service and
+// local execution resolve identical point sequences); explicit
+// Points specs expand to exactly the listed points, in order. The
+// cluster gateway calls this on the same spec a node would, which is
+// why a split sweep reassembles the byte-identical document.
+func ExpandPoints(spec JobSpec) ([]runner.Point, error) {
+	if len(spec.Points) > 0 {
+		return expandExplicit(spec)
+	}
 	cfgs, err := spec.configs()
 	if err != nil {
 		return nil, err
@@ -719,6 +808,52 @@ func expand(spec JobSpec) ([]runner.Point, error) {
 		apps = append(apps, app)
 	}
 	return runner.GridPoints(apps, spec.scale(), spec.Baseline, cfgs...), nil
+}
+
+// expandExplicit resolves an explicit point list. Workload traces are
+// built once per (name, scale) and shared across points, mirroring the
+// app reuse of the grid path.
+func expandExplicit(spec JobSpec) ([]runner.Point, error) {
+	type appKey struct {
+		name  string
+		scale float64
+	}
+	apps := map[appKey]*trace.App{}
+	pts := make([]runner.Point, 0, len(spec.Points))
+	for _, p := range spec.Points {
+		scale := p.Scale
+		if scale <= 0 {
+			scale = spec.scale()
+		}
+		k := appKey{p.Workload, scale}
+		app, ok := apps[k]
+		if !ok {
+			var err error
+			app, err = workloads.ByName(p.Workload, workloads.Params{Scale: scale})
+			if err != nil {
+				return nil, err
+			}
+			apps[k] = app
+		}
+		pts = append(pts, runner.Point{App: app, Scale: scale, Config: p.Config})
+	}
+	return pts, nil
+}
+
+// SpecFor inverts ExpandPoints for a point subset: the explicit-point
+// JobSpec that resolves exactly pts, carrying priority and deadline
+// from the parent spec. The gateway uses it to hand each node its
+// owned batch.
+func SpecFor(parent JobSpec, pts []runner.Point) JobSpec {
+	sub := JobSpec{
+		Priority:       parent.Priority,
+		TimeoutSeconds: parent.TimeoutSeconds,
+		Points:         make([]PointSpec, len(pts)),
+	}
+	for i, pt := range pts {
+		sub.Points[i] = PointSpec{Workload: pt.App.Name, Scale: pt.Scale, Config: pt.Config}
+	}
+	return sub
 }
 
 // cacheKey is a point's full cache identity: the runner's canonical
@@ -743,6 +878,7 @@ func (s *Server) writeServiceMetrics(w io.Writer) {
 	s.mu.Lock()
 	coalesced := s.coalesced
 	preemptions := s.preemptions
+	peerHits := s.peerHits
 	queuedJobs, queuedPoints, inflightPoints := 0, 0, 0
 	states := map[State]int{}
 	for _, jj := range s.jobs {
@@ -776,6 +912,8 @@ func (s *Server) writeServiceMetrics(w io.Writer) {
 
 	profiling.WriteCounter(w, "gpujoule_service_coalesced_points", "Points that joined another job's in-flight simulation.", float64(coalesced))
 	profiling.WriteCounter(w, "gpujoule_sched_preemptions_total", "Higher-priority arrivals that displaced running lower-priority jobs.", float64(preemptions))
+	profiling.WriteCounter(w, "gpujoule_service_peer_hit_points", "Points served from a cluster peer's cache instead of recomputing.", float64(peerHits))
+	profiling.WriteCounter(w, "gpujoule_stream_digest_mismatch_total", "Streaming clients that reported a digest mismatch on their reassembled document.", float64(s.digestMismatches.Load()))
 	profiling.WriteGauge(w, "gpujoule_queue_depth", "Jobs admitted and not yet running.", float64(queuedJobs))
 	profiling.WriteGauge(w, "gpujoule_queue_capacity", "Admission capacity beyond the executor pool.", float64(s.opts.QueueCap))
 	profiling.WriteGauge(w, "gpujoule_sched_queued_points", "Points admitted and not yet dispatched.", float64(queuedPoints))
