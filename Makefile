@@ -5,7 +5,7 @@
 # tests once.
 GO ?= go
 
-.PHONY: build test race vet bench ci smoke cluster-smoke
+.PHONY: build test race vet bench bench-sim bench-regress ci smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Rerun the single-simulation benchmark protocol (interleaved A/B reps
+# of cmd/paper against a base rev, byte-compare every run) and rewrite
+# BENCH_sim.json. Run with a dirty tree to measure tree-vs-HEAD;
+# `scripts/bench_sim.sh <rev> <reps>` for other comparisons.
+bench-sim:
+	scripts/bench_sim.sh
+
+# Warn-only hot-path microbenchmark check against the checked-in
+# baseline (scripts/bench_baseline.txt). Never fails the build;
+# regenerate the baseline with `scripts/bench_regress.sh -update`
+# after an intentional perf change.
+bench-regress:
+	scripts/bench_regress.sh
 
 # End-to-end gpujouled service smoke: daemon + persistent cache
 # round-trip + byte-identical -server sweep. Not part of tier-1 `ci`

@@ -119,6 +119,7 @@ func run() error {
 	queueCap := flag.Int("queue", 16, "admission queue capacity (jobs beyond it get 429)")
 	keepJobs := flag.Int("keep-jobs", 0, "retained terminal job records (0 = max(64, -queue); raise it when a gateway fans thousands of sub-jobs through this node)")
 	executors := flag.Int("executors", 2, "concurrently executing points")
+	gpmParallel := flag.Int("gpm-parallel", 1, "per-simulation GPM lanes, clamped so lanes*executors <= GOMAXPROCS (results are byte-identical at any value)")
 	tenants := flag.String("tenants", "", "per-tenant scheduler config: name=weight[:maxinflight],... (unlisted tenants get weight 1)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "how long a graceful drain may take before aborting")
 	peers := flag.String("peers", "", "comma-separated base URLs of every cluster node (empty = single-node)")
@@ -187,14 +188,15 @@ func run() error {
 	}
 
 	sopts := service.Options{
-		Workers:   *workers,
-		Counters:  *counters,
-		CacheDir:  *cacheDir,
-		QueueCap:  *queueCap,
-		Executors: *executors,
-		Tenants:   tcfg,
-		KeepJobs:  kj,
-		Logf:      logger.Printf,
+		Workers:     *workers,
+		Counters:    *counters,
+		CacheDir:    *cacheDir,
+		QueueCap:    *queueCap,
+		Executors:   *executors,
+		GPMParallel: *gpmParallel,
+		Tenants:     tcfg,
+		KeepJobs:    kj,
+		Logf:        logger.Printf,
 	}
 	if fab != nil && !*gateway {
 		sopts.Cluster = fab.Hooks()

@@ -34,6 +34,7 @@ func main() {
 	csvDir := flag.String("csvdir", "", "with -markdown: also write each experiment's data as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	gpmParallel := flag.Int("gpm-parallel", 1, "per-simulation GPM lanes (>1 parallelizes inside each run; output is byte-identical at any value)")
 	progress := flag.Bool("progress", false, "report simulation progress on stderr")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
@@ -58,7 +59,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Scale: *scale, Workers: *workers}
+	opts := harness.Options{Scale: *scale, Workers: *workers, GPMParallel: *gpmParallel}
 	if *progress {
 		opts.OnEvent = func(ev runner.Event) {
 			if ev.Kind == runner.PointDone && ev.Err == nil && !ev.CacheHit {

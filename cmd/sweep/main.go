@@ -86,6 +86,7 @@ func run() (err error) {
 	scale := flag.Float64("scale", 0.5, "workload scale factor")
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	gpmParallel := flag.Int("gpm-parallel", 1, "per-simulation GPM lanes (>1 parallelizes inside each run; output is byte-identical at any value)")
 	progress := flag.Bool("progress", false, "report point progress on stderr")
 	countersOut := flag.String("counters", "", "write per-GPM/per-link counters + energy attribution JSON to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of every point to this file")
@@ -152,7 +153,7 @@ func run() (err error) {
 	} else {
 		rows, results, err = runLocal(localOptions{
 			names: *names, all: *all, scale: *scale,
-			workers: *workers, progress: *progress,
+			workers: *workers, gpmParallel: *gpmParallel, progress: *progress,
 			countersOut: *countersOut, traceOut: *traceOut, httpAddr: *httpAddr,
 		}, cfgs)
 	}
@@ -232,6 +233,7 @@ type localOptions struct {
 	all, progress                          bool
 	scale                                  float64
 	workers                                int
+	gpmParallel                            int
 }
 
 func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
@@ -267,10 +269,11 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 		}
 	}
 	eng := runner.New(runner.Options{
-		Workers:  o.workers,
-		OnEvent:  onEvent,
-		Counters: o.countersOut != "",
-		Trace:    o.traceOut != "",
+		Workers:     o.workers,
+		GPMParallel: o.gpmParallel,
+		OnEvent:     onEvent,
+		Counters:    o.countersOut != "",
+		Trace:       o.traceOut != "",
 	})
 	if o.httpAddr != "" {
 		var err error

@@ -30,7 +30,11 @@ func (h *Harness) EnergyAttributionStudy() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := runner.New(runner.Options{Workers: h.engine.Workers(), Counters: true})
+	eng := runner.New(runner.Options{
+		Workers:     h.engine.Workers(),
+		Counters:    true,
+		GPMParallel: h.engine.GPMParallel(),
+	})
 
 	var points []runner.Point
 	for _, n := range energyAttrSteps {

@@ -37,6 +37,10 @@ type Options struct {
 	// Counters enables per-GPM/per-link observability counters on every
 	// simulation the harness runs (see internal/obs).
 	Counters bool
+	// GPMParallel, when > 1, runs each simulation's GPMs on up to this
+	// many parallel lanes (runner.Options.GPMParallel); results and
+	// every rendered table stay byte-identical at any lane count.
+	GPMParallel int
 	// Context cancels in-flight experiment grids when done; nil means
 	// context.Background().
 	Context context.Context
@@ -69,9 +73,10 @@ func NewWithOptions(opts Options) *Harness {
 		params: workloads.Params{Scale: opts.Scale},
 		apps:   workloads.Eval14(workloads.Params{Scale: opts.Scale}),
 		engine: runner.New(runner.Options{
-			Workers:  opts.Workers,
-			OnEvent:  opts.OnEvent,
-			Counters: opts.Counters,
+			Workers:     opts.Workers,
+			OnEvent:     opts.OnEvent,
+			Counters:    opts.Counters,
+			GPMParallel: opts.GPMParallel,
 		}),
 		ctx:       ctx,
 		onPackage: core.ProjectionModel(core.OnPackageLinks()),

@@ -1,6 +1,10 @@
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpujoule/internal/isa"
+)
 
 // BWResource models a shared throughput-limited component (a DRAM
 // stack, an interconnect link, an L2 bank group) on a continuous time
@@ -24,6 +28,12 @@ type BWResource struct {
 	// reciprocal is exact and multiplying by it rounds identically to
 	// dividing.
 	invBucket float64
+	// lineCycles is isa.LineBytes/rate, precomputed because nearly
+	// every Acquire in the simulator moves exactly one cache line: the
+	// unloaded-completion division then becomes a constant load. It is
+	// the identical IEEE-754 quotient, just computed once, so results
+	// are bit-identical.
+	lineCycles float64
 	bucketCap float64 // bytes per bucket
 	used         []float64
 	mask         int64 // len(used)-1; the window length is a power of two
@@ -36,6 +46,16 @@ type BWResource struct {
 	// at or above minFree), so the hint never skips usable capacity and
 	// completion times are unchanged.
 	minFree int64
+
+	// skipFrom/skipTo is an amortized cursor over the most recent
+	// contiguous run of full buckets observed by a walk that started
+	// above minFree (a saturated stretch behind an idle gap, which the
+	// window-start hint cannot cover). A walk starting inside
+	// [skipFrom, skipTo) jumps to skipTo. Buckets only gain load and
+	// the cursor tracks absolute bucket indexes, so a recorded run
+	// stays full for the lifetime of the window and the jump never
+	// skips usable capacity.
+	skipFrom, skipTo int64
 
 	// BytesServed accumulates total payload moved.
 	BytesServed uint64
@@ -68,6 +88,7 @@ func NewBWResource(name string, bytesPerCycle float64) *BWResource {
 		rate:         bytesPerCycle,
 		bucketCycles: defaultBucketCycles,
 		invBucket:    1.0 / defaultBucketCycles,
+		lineCycles:   float64(isa.LineBytes) / bytesPerCycle,
 		bucketCap:    bytesPerCycle * defaultBucketCycles,
 		used:         make([]float64, defaultWindowBuckets),
 		mask:         defaultWindowBuckets - 1,
@@ -98,7 +119,11 @@ func (r *BWResource) Acquire(now float64, bytes int) float64 {
 		// over them without taking capacity anyway.
 		idx = r.minFree
 	}
-	start := idx
+	hintStart := idx
+	if idx >= r.skipFrom && idx < r.skipTo {
+		// The cursor proves [idx, skipTo) full; jump the walk past it.
+		idx = r.skipTo
+	}
 	remaining := float64(bytes)
 	var lastIdx int64
 	var lastFill float64
@@ -126,14 +151,36 @@ func (r *BWResource) Acquire(now float64, bytes int) float64 {
 		idx++
 	}
 	// The walk filled every bucket in [start, lastIdx) to capacity; when
-	// it started at or below the hint, fullness is contiguous from the
-	// window start and the hint advances.
-	if start <= r.minFree && lastIdx > r.minFree {
+	// it started at or below the hint (before any cursor jump, which is
+	// itself contiguous), fullness is contiguous from the window start
+	// and the hint advances.
+	if hintStart <= r.minFree && lastIdx > r.minFree {
 		r.minFree = lastIdx
+	}
+	// Fold [hintStart, lastIdx) — full after this walk — into the run
+	// cursor: extend an overlapping or adjacent run, otherwise keep the
+	// longer of the two.
+	if lastIdx > hintStart {
+		switch {
+		case hintStart <= r.skipTo && r.skipFrom <= lastIdx:
+			if hintStart < r.skipFrom {
+				r.skipFrom = hintStart
+			}
+			if lastIdx > r.skipTo {
+				r.skipTo = lastIdx
+			}
+		case lastIdx-hintStart > r.skipTo-r.skipFrom:
+			r.skipFrom, r.skipTo = hintStart, lastIdx
+		}
 	}
 	r.BytesServed += uint64(bytes)
 
-	unloaded := now + float64(bytes)/r.rate
+	var unloaded float64
+	if bytes == isa.LineBytes {
+		unloaded = now + r.lineCycles
+	} else {
+		unloaded = now + float64(bytes)/r.rate
+	}
 	completion := float64(lastIdx)*r.bucketCycles + lastFill/r.rate
 	if completion < unloaded {
 		completion = unloaded
@@ -185,6 +232,7 @@ func (r *BWResource) Reset() {
 	}
 	r.base = 0
 	r.minFree = 0
+	r.skipFrom, r.skipTo = 0, 0
 	r.BytesServed = 0
 	r.QueueCycles = 0
 }

@@ -58,6 +58,50 @@ func BenchmarkBWAcquire(b *testing.B) {
 	})
 }
 
+// BenchmarkCacheAccessSoA isolates the three control paths of the flat
+// SoA tag store at the simulator's L1 geometry: the one-compare
+// hit-at-MRU exit (the streaming common case), a hit deep in the set
+// (the copy-rotate path), and a guaranteed miss (the evict-insert
+// path). Together with the mixed-stream BenchmarkCacheAccess these are
+// the per-line costs the memory-system fast path is built around.
+func BenchmarkCacheAccessSoA(b *testing.B) {
+	b.Run("hit-mru", func(b *testing.B) {
+		c := MustNewCache(16*1024, 4)
+		c.Access(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(0)
+		}
+	})
+	b.Run("hit-mid-set", func(b *testing.B) {
+		c := MustNewCache(16*1024, 4)
+		// Two resident lines of one set, alternated: every access hits
+		// at way 1 and rotates it to MRU.
+		sets := uint64(c.Lines() / c.Ways())
+		a0, a1 := uint64(0), sets*128
+		c.Access(a0)
+		c.Access(a1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i&1 == 0 {
+				c.Access(a0)
+			} else {
+				c.Access(a1)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := MustNewCache(16*1024, 4)
+		// A line walk over 8x the capacity: by the time a set is
+		// revisited its ways have turned over, so every access evicts.
+		lines := uint64(c.Lines()) * 8
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access((uint64(i) % lines) * 128)
+		}
+	})
+}
+
 // BenchmarkCacheAccess measures the tag-lookup cost of the simulator's
 // L1/L2 geometry on a mixed hit/miss stream (a working set ~2x the
 // cache), the per-line cost of every simulated memory access.

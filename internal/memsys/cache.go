@@ -14,20 +14,33 @@ import (
 // Cache is a set-associative, LRU, write-allocate cache with 128-byte
 // lines. It tracks tags only (no data), which is all a performance and
 // energy study needs.
+//
+// The tag store is a single flat array in struct-of-arrays layout: set
+// s occupies tags[s*ways : (s+1)*ways], most-recently-used first. The
+// flat layout removes the per-set slice header load the previous
+// []cacheSet representation paid on every access, and lets the
+// hit-at-MRU common case resolve with one compare against the set's
+// first word before any loop is entered.
+//
+// Tags are stored as 32-bit words: a tag is the line index plus one,
+// and line indexes stay below 2^32 for any address under 2^32 line
+// sizes (~549 GB with 128-byte lines), far beyond any simulated
+// footprint — Access checks the bound and panics rather than alias two
+// distinct lines. Halving the tag word halves the resident tag-store
+// footprint (a module's multi-megabyte L2 walks a tag array bigger
+// than the host's L1d; the simulator's own cache misses on that array
+// are a measured cost), with identical hit/miss verdicts.
 type Cache struct {
-	sets    []cacheSet
+	// tags holds all sets contiguously, MRU first within each set. Tag
+	// 0 is reserved as invalid; stored tags are the line index offset
+	// by 1 to allow address 0.
+	tags    []uint32
 	setMask uint64
 	ways    int
 
 	// Statistics.
 	Accesses uint64
 	Misses   uint64
-}
-
-type cacheSet struct {
-	// ways, most-recently-used first. Tag 0 is reserved as invalid; the
-	// cache offsets stored tags by 1 to allow address 0.
-	tags []uint64
 }
 
 // NewCache builds a cache of the given total size and associativity.
@@ -48,16 +61,11 @@ func NewCache(sizeBytes, ways int) (*Cache, error) {
 	if nsets&(nsets-1) != 0 {
 		return nil, fmt.Errorf("memsys: set count %d is not a power of two", nsets)
 	}
-	c := &Cache{
-		sets:    make([]cacheSet, nsets),
+	return &Cache{
+		tags:    make([]uint32, nsets*ways),
 		setMask: uint64(nsets - 1),
 		ways:    ways,
-	}
-	backing := make([]uint64, nsets*ways)
-	for i := range c.sets {
-		c.sets[i].tags = backing[i*ways : (i+1)*ways : (i+1)*ways]
-	}
-	return c, nil
+	}, nil
 }
 
 // MustNewCache is NewCache that panics on configuration error; for use
@@ -71,27 +79,38 @@ func MustNewCache(sizeBytes, ways int) *Cache {
 }
 
 // Lines returns the total line capacity of the cache.
-func (c *Cache) Lines() int { return len(c.sets) * c.ways }
+func (c *Cache) Lines() int { return len(c.tags) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
 
 // Access looks up the line containing addr, allocating it on a miss
 // (evicting LRU). It returns true on hit.
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	line := addr / isa.LineBytes
-	tag := line + 1 // reserve 0 as the invalid tag
-	set := &c.sets[line&c.setMask]
-	for i, t := range set.tags {
-		if t == tag {
+	if line >= 1<<32-1 {
+		panic(fmt.Sprintf("memsys: address %#x beyond the 32-bit tag range", addr))
+	}
+	tag := uint32(line + 1) // reserve 0 as the invalid tag
+	base := int(line&c.setMask) * c.ways
+	set := c.tags[base : base+c.ways : base+c.ways]
+	if set[0] == tag {
+		// Hit at MRU: replacement state is already correct, no rotation.
+		return true
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i] == tag {
 			// Move to MRU position.
-			copy(set.tags[1:i+1], set.tags[:i])
-			set.tags[0] = tag
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
 			return true
 		}
 	}
 	c.Misses++
 	// Evict LRU (last slot), insert at MRU.
-	copy(set.tags[1:], set.tags[:len(set.tags)-1])
-	set.tags[0] = tag
+	copy(set[1:], set[:len(set)-1])
+	set[0] = tag
 	return false
 }
 
@@ -99,9 +118,13 @@ func (c *Cache) Access(addr uint64) bool {
 // updating replacement state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	line := addr / isa.LineBytes
-	tag := line + 1
-	set := &c.sets[line&c.setMask]
-	for _, t := range set.tags {
+	if line >= 1<<32-1 {
+		panic(fmt.Sprintf("memsys: address %#x beyond the 32-bit tag range", addr))
+	}
+	tag := uint32(line + 1)
+	base := int(line&c.setMask) * c.ways
+	set := c.tags[base : base+c.ways]
+	for _, t := range set {
 		if t == tag {
 			return true
 		}
@@ -113,33 +136,29 @@ func (c *Cache) Probe(addr uint64) bool {
 // kernel boundaries to model software-based coherence of private
 // caches (§V-A).
 func (c *Cache) Invalidate() {
-	for i := range c.sets {
-		tags := c.sets[i].tags
-		for j := range tags {
-			tags[j] = 0
-		}
-	}
+	clear(c.tags)
 }
 
 // InvalidateIf evicts every line whose address satisfies pred. Used for
 // selective invalidation of remote lines in module-side L2 caches at
-// kernel boundaries.
+// kernel boundaries. Survivors compact toward the MRU end of their set,
+// preserving recency order; vacated ways zero.
 func (c *Cache) InvalidateIf(pred func(addr uint64) bool) {
-	for i := range c.sets {
-		tags := c.sets[i].tags
+	for base := 0; base < len(c.tags); base += c.ways {
+		set := c.tags[base : base+c.ways]
 		w := 0
-		for _, t := range tags {
+		for _, t := range set {
 			if t == 0 {
 				continue
 			}
-			addr := (t - 1) * isa.LineBytes
+			addr := (uint64(t) - 1) * isa.LineBytes
 			if !pred(addr) {
-				tags[w] = t
+				set[w] = t
 				w++
 			}
 		}
-		for ; w < len(tags); w++ {
-			tags[w] = 0
+		for ; w < len(set); w++ {
+			set[w] = 0
 		}
 	}
 }

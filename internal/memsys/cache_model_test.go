@@ -1,0 +1,160 @@
+package memsys
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"gpujoule/internal/isa"
+)
+
+// refCache is an executable specification of Cache: per-set slices of
+// tags in MRU-first order, manipulated with the obvious list
+// operations. The flat SoA Cache must match it access for access —
+// hit/miss verdicts, Probe answers, and the full replacement state.
+type refCache struct {
+	sets [][]uint64
+	ways int
+}
+
+func newRefCache(nsets, ways int) *refCache {
+	return &refCache{sets: make([][]uint64, nsets), ways: ways}
+}
+
+func (r *refCache) set(addr uint64) int {
+	return int((addr / isa.LineBytes) % uint64(len(r.sets)))
+}
+
+func (r *refCache) access(addr uint64) bool {
+	tag := addr/isa.LineBytes + 1
+	s := r.sets[r.set(addr)]
+	if i := slices.Index(s, tag); i >= 0 {
+		r.sets[r.set(addr)] = append([]uint64{tag}, append(slices.Clone(s[:i]), s[i+1:]...)...)
+		return true
+	}
+	s = append([]uint64{tag}, s...)
+	if len(s) > r.ways {
+		s = s[:r.ways]
+	}
+	r.sets[r.set(addr)] = s
+	return false
+}
+
+func (r *refCache) probe(addr uint64) bool {
+	return slices.Contains(r.sets[r.set(addr)], addr/isa.LineBytes+1)
+}
+
+func (r *refCache) invalidateIf(pred func(addr uint64) bool) {
+	for i, s := range r.sets {
+		var keep []uint64
+		for _, tag := range s {
+			if !pred((tag - 1) * isa.LineBytes) {
+				keep = append(keep, tag)
+			}
+		}
+		r.sets[i] = keep
+	}
+}
+
+// tagsOf renders the SoA cache's set s as a MRU-first tag list with
+// trailing invalid slots dropped, for comparison against the model.
+func tagsOf(c *Cache, s int) []uint64 {
+	set := c.tags[s*c.ways : (s+1)*c.ways]
+	var out []uint64
+	for _, t := range set {
+		if t != 0 {
+			out = append(out, uint64(t))
+		}
+	}
+	return out
+}
+
+func sameState(t *testing.T, step int, c *Cache, r *refCache) {
+	t.Helper()
+	for s := range r.sets {
+		if !slices.Equal(tagsOf(c, s), r.sets[s]) {
+			t.Fatalf("step %d set %d: SoA %v != model %v", step, s, tagsOf(c, s), r.sets[s])
+		}
+	}
+}
+
+// TestCacheMatchesReferenceModel drives the flat SoA cache and the
+// list-based reference model with the same randomized operation stream
+// (accesses with skewed locality, probes, selective invalidations) and
+// requires bit-identical verdicts and replacement state throughout.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nsets, ways := 8, 4
+		c := MustNewCache(nsets*ways*isa.LineBytes, ways)
+		ref := newRefCache(nsets, ways)
+
+		// A small address pool concentrates reuse so hits, MRU moves,
+		// and evictions all occur often.
+		pool := make([]uint64, 64)
+		for i := range pool {
+			pool[i] = uint64(rng.Intn(1<<12)) * isa.LineBytes
+		}
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 7:
+				addr := pool[rng.Intn(len(pool))]
+				if got, want := c.Access(addr), ref.access(addr); got != want {
+					t.Fatalf("seed %d step %d: Access(%#x) = %v, model says %v", seed, step, addr, got, want)
+				}
+			case op < 9:
+				addr := pool[rng.Intn(len(pool))]
+				if got, want := c.Probe(addr), ref.probe(addr); got != want {
+					t.Fatalf("seed %d step %d: Probe(%#x) = %v, model says %v", seed, step, addr, got, want)
+				}
+			default:
+				k := uint64(1 + rng.Intn(7))
+				pred := func(addr uint64) bool { return (addr/isa.LineBytes)%8 == k }
+				c.InvalidateIf(pred)
+				ref.invalidateIf(pred)
+			}
+			sameState(t, step, c, ref)
+		}
+	}
+}
+
+// TestCacheInvalidateIfCompactsRecencyOrder pins the documented
+// compaction contract directly: survivors pack toward the MRU end in
+// their original recency order and vacated ways zero.
+func TestCacheInvalidateIfCompactsRecencyOrder(t *testing.T) {
+	c := MustNewCache(4*isa.LineBytes, 4) // one set, four ways
+	// Touch lines 0..3 of the set's residence class; MRU order is 3,2,1,0.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * isa.LineBytes)
+	}
+	// Drop the middle of the recency order (lines 2 and 1).
+	c.InvalidateIf(func(addr uint64) bool {
+		l := addr / isa.LineBytes
+		return l == 1 || l == 2
+	})
+	want := []uint64{4, 1} // tags are line+1; survivors 3 then 0, MRU first
+	if got := tagsOf(c, 0); !slices.Equal(got, want) {
+		t.Fatalf("survivors = %v, want %v", got, want)
+	}
+	if c.tags[2] != 0 || c.tags[3] != 0 {
+		t.Fatalf("vacated ways not zeroed: %v", c.tags)
+	}
+}
+
+// TestCacheInvalidateIfNoOpIsIdentity is the property the simulator's
+// remote-line invalidation skip rests on (internal/sim gates the
+// launch-boundary InvalidateIf behind an l2HasRemote flag): when no
+// line satisfies pred, the sweep must leave the tag store byte-for-
+// byte unchanged, so skipping it entirely is unobservable.
+func TestCacheInvalidateIfNoOpIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := MustNewCache(16*4*isa.LineBytes, 4)
+	for i := 0; i < 500; i++ {
+		c.Access(uint64(rng.Intn(1<<10)) * isa.LineBytes)
+	}
+	before := slices.Clone(c.tags)
+	c.InvalidateIf(func(uint64) bool { return false })
+	if !slices.Equal(c.tags, before) {
+		t.Fatal("no-op InvalidateIf changed the tag store")
+	}
+}

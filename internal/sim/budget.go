@@ -1,0 +1,84 @@
+package sim
+
+import "sync"
+
+// Budget is a counting semaphore shared by every layer that can spend
+// parallelism — the runner's across-point workers, the service's point
+// executors, and the per-GPM lanes inside one simulation — so enabling
+// intra-run parallelism composes with (rather than multiplies against)
+// the existing pools. The convention: a caller's own goroutine is its
+// base token and is never charged; only *extra* lanes draw from the
+// budget, via TryAcquire, and are returned when the launch ends. Extra
+// lanes are strictly optional — a TryAcquire that comes up empty just
+// means the simulation runs sequentially — so sizing the budget at
+// GOMAXPROCS minus the base pool caps total runnable goroutines at the
+// hardware parallelism without ever blocking a worker.
+//
+// Lane allocation is deliberately racy across concurrent simulations
+// (first come, first served): output is bit-identical at every lane
+// count, so the nondeterministic grant order is unobservable in
+// results. This also gives tail adaptivity for free — as a sweep
+// drains and workers go idle, their share of the budget flows to the
+// simulations still running.
+type Budget struct {
+	mu   sync.Mutex
+	free int
+	cap  int
+}
+
+// NewBudget builds a budget of n extra-parallelism tokens. n < 0 is
+// treated as 0 (no extra lanes ever granted).
+func NewBudget(n int) *Budget {
+	if n < 0 {
+		n = 0
+	}
+	return &Budget{free: n, cap: n}
+}
+
+// Cap returns the budget's total token count.
+func (b *Budget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return b.cap
+}
+
+// Free returns a snapshot of the currently available tokens (for
+// metrics; the value may be stale by the time the caller reads it).
+func (b *Budget) Free() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.free
+}
+
+// TryAcquire takes up to max tokens without blocking and returns how
+// many it got (possibly zero).
+func (b *Budget) TryAcquire(max int) int {
+	if b == nil || max <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := max
+	if n > b.free {
+		n = b.free
+	}
+	b.free -= n
+	return n
+}
+
+// Release returns n tokens to the budget.
+func (b *Budget) Release(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.free += n
+	if b.free > b.cap {
+		panic("sim: Budget.Release: more tokens returned than acquired")
+	}
+}

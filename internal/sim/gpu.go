@@ -40,6 +40,34 @@ type GPU struct {
 	// disabled, and every update below is guarded by that nil check so
 	// the disabled path is untouched.
 	col *obs.Collector
+
+	// memSideFill is the hoisted L1-miss routing predicate
+	// (cfg.L2 == L2MemorySide && len(gpms) > 1), evaluated once instead
+	// of per miss.
+	memSideFill bool
+
+	// par is the requested per-GPM lane count (WithGPMParallel); budget
+	// is the optional shared parallelism budget extra lanes draw from.
+	par    int
+	budget *Budget
+}
+
+// gpmShard is one GPM's slice of the launch-wide counters. Every
+// counter a GPM touches on its own behalf accumulates here and is
+// merged into the launch engine and Result in ascending GPM order at
+// launch end. All fields merge exactly commutatively (integer adds and
+// a float max), so the merged totals are bit-identical whether the
+// GPMs ran sequentially or on parallel lanes.
+type gpmShard struct {
+	counts      isa.Counts // Inst/WarpInst/Txn only; time fields stay zero
+	l1Accesses  uint64
+	l1Misses    uint64
+	l2Accesses  uint64
+	l2Misses    uint64
+	localFills  uint64
+	remoteFills uint64
+	end         float64 // max retire time seen by this GPM's SMs
+	activeWarps int
 }
 
 // gpmState is one GPU module: its SMs, module-side L2, local DRAM
@@ -54,6 +82,48 @@ type gpmState struct {
 	// CTA queue for the current launch: ids ctaNext, ctaNext+ctaStride,
 	// ... strictly below ctaEnd.
 	ctaNext, ctaEnd, ctaStride int
+
+	// shard accumulates this GPM's counter updates for the current
+	// launch (see gpmShard).
+	shard gpmShard
+
+	// issueCnt[i] counts issues of body instruction i during the current
+	// launch, across the GPM's SMs. The per-op instruction counters,
+	// thread-instruction counters, and the per-execution-constant
+	// transaction counters (TxnL1ToRF, TxnShmToRF, L1 accesses) are all
+	// exact functions of these counts, so the issue path pays one
+	// increment into this small array and runLaunch folds the per-op
+	// totals into the shard once per launch. Lives outside gpmShard so
+	// the backing array survives the per-launch shard reset. Only the
+	// Collector's counters (sampled mid-launch by MaybeSample) must stay
+	// incrementally updated; they are, behind the col != nil branch.
+	issueCnt []uint64
+
+	// gate is non-nil while the GPM runs on a parallel lane and has not
+	// yet taken its shared-state turn in the current epoch; nil in
+	// sequential mode, so the hot-path check is one predictable branch.
+	gate *turnstile
+
+	// l2HasRemote records whether the module-side L2 filled a
+	// remotely-homed line since the last boundary invalidation. Remote
+	// lines enter this L2 only on the remote-fill path (the L2 allocates
+	// on every miss, and the home decides local vs remote right there),
+	// so while the flag is false the boundary InvalidateIf would find
+	// nothing to drop and is skipped — a pure no-op elision, since an
+	// InvalidateIf that invalidates nothing rewrites every set
+	// unchanged.
+	l2HasRemote bool
+}
+
+// ensureTurn blocks until every lower-numbered GPM has finished the
+// current epoch, establishing the sequential GPM-major order for the
+// shared-state operation the caller is about to perform. No-op in
+// sequential mode and after the first shared op of the epoch.
+func (g *gpmState) ensureTurn() {
+	if ts := g.gate; ts != nil {
+		ts.waitBelow(g.id)
+		g.gate = nil
+	}
 }
 
 // takeCTA pops the next CTA id from the module's queue, or returns
@@ -149,10 +219,14 @@ func newGPU(cfg Config, app *trace.App, o simOptions) (*GPU, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sim: building L1 for GPM %d SM %d: %w", i, s, err)
 			}
-			gpm.sms = append(gpm.sms, &smState{gpm: gpm, l1: l1})
+			gpm.sms = append(gpm.sms, &smState{gpm: gpm, shard: &gpm.shard, l1: l1})
 		}
 		g.gpms = append(g.gpms, gpm)
 	}
+
+	g.memSideFill = cfg.L2 == L2MemorySide && len(g.gpms) > 1
+	g.par = o.gpmParallel
+	g.budget = o.budget
 
 	g.res = &Result{App: app.Name, Config: cfg}
 	if o.counters {
@@ -232,13 +306,15 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 		}
 		// Memory-side L2s hold the only cached copy of their home's
 		// data and need no boundary invalidation; module-side L2s drop
-		// remotely-homed lines.
-		if len(g.gpms) > 1 && g.cfg.L2 == L2ModuleSide {
+		// remotely-homed lines — skipped when no remote line was filled
+		// since the last invalidation (see gpmState.l2HasRemote).
+		if len(g.gpms) > 1 && g.cfg.L2 == L2ModuleSide && gpm.l2HasRemote {
 			id := gpm.id
 			gpm.l2.InvalidateIf(func(addr uint64) bool {
 				home, ok := g.pages.Lookup(addr)
 				return ok && home != id
 			})
+			gpm.l2HasRemote = false
 		}
 	}
 
@@ -260,7 +336,7 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 
 	prog := g.progs[k]
 	if prog == nil {
-		prog = buildProg(k)
+		prog = g.buildProg(k)
 		if g.progs == nil {
 			g.progs = make(map[*trace.Kernel]*launchProg)
 		}
@@ -275,45 +351,60 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 		end:    start,
 	}
 	for _, gpm := range g.gpms {
+		gpm.shard = gpmShard{}
+		if cap(gpm.issueCnt) < len(prog.body) {
+			gpm.issueCnt = make([]uint64, len(prog.body))
+		} else {
+			gpm.issueCnt = gpm.issueCnt[:len(prog.body)]
+			clear(gpm.issueCnt)
+		}
 		for _, sm := range gpm.sms {
+			sm.issueCnt = gpm.issueCnt
+			sm.prog = prog
+			sm.col = g.col
 			sm.beginLaunch(start)
 			sm.refill(eng)
 		}
 	}
 
-	epoch := g.cfg.epoch()
-	for until := start + epoch; eng.activeWarps > 0 || g.pendingCTAs() > 0; until += epoch {
-		progressed := false
-		for _, gpm := range g.gpms {
-			for _, sm := range gpm.sms {
-				p, err := sm.advance(until, eng)
-				if err != nil {
-					return err
-				}
-				if p {
-					progressed = true
-				}
+	if err := g.runEpochs(eng, k, start); err != nil {
+		return err
+	}
+
+	// Merge the per-GPM shards in ascending GPM order. Every field is
+	// an integer add or a float max, so the totals are bit-identical to
+	// the unsharded accumulation regardless of lane count. The per-op
+	// counters are first folded in from the per-body-index issue counts
+	// (see gpmState.issueCnt) — exact integer arithmetic, so the totals
+	// equal the historical per-issue accumulation.
+	for _, gpm := range g.gpms {
+		sh := &gpm.shard
+		for i, cnt := range gpm.issueCnt {
+			if cnt == 0 {
+				continue
+			}
+			rec := &prog.body[i]
+			sh.counts.WarpInst[rec.op] += cnt
+			sh.counts.Inst[rec.op] += cnt * rec.active
+			switch rec.kind {
+			case recGlobal:
+				lines := cnt * uint64(rec.mem.lines)
+				sh.counts.Txn[isa.TxnL1ToRF] += lines
+				sh.l1Accesses += lines
+			case recShared:
+				sh.counts.Txn[isa.TxnShmToRF] += cnt
 			}
 		}
-		if !progressed && eng.activeWarps > 0 {
-			// All remaining warps are waiting beyond this epoch; jump
-			// the epoch window forward to the earliest ready time to
-			// avoid spinning through empty epochs.
-			next := eng.earliestReady(g)
-			if math.IsInf(next, 1) {
-				// Every active warp on every SM is blocked at a
-				// barrier: a malformed kernel, not a slow one. Fail the
-				// run instead of fast-forwarding to infinity.
-				return fmt.Errorf("sim: kernel %q: %d active warps all blocked at barriers: %w",
-					k.Name, eng.activeWarps, ErrDeadlock)
-			}
-			if next > until {
-				until = next - epoch
-			}
+		eng.counts.Add(&sh.counts)
+		if sh.end > eng.end {
+			eng.end = sh.end
 		}
-		if g.col != nil {
-			g.col.MaybeSample(until, eng.activeWarps, g.pendingCTAs())
-		}
+		g.res.L1Accesses += sh.l1Accesses
+		g.res.L1Misses += sh.l1Misses
+		g.res.L2Accesses += sh.l2Accesses
+		g.res.L2Misses += sh.l2Misses
+		g.res.LocalLineFills += sh.localFills
+		g.res.RemoteLineFills += sh.remoteFills
 	}
 
 	dur := eng.end - start
@@ -391,6 +482,82 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 	return nil
 }
 
+// runEpochs drives the launch's epoch loop. With more than one lane
+// granted (requested via WithGPMParallel, clamped to the GPM count and
+// the shared budget) the per-GPM work of each epoch runs on parallel
+// lanes with shared-state order preserved by a turnstile; otherwise the
+// historical sequential loop runs with zero added synchronization. Both
+// paths produce bit-identical results (see DESIGN.md "Performance
+// engineering").
+func (g *GPU) runEpochs(eng *launchEngine, k *trace.Kernel, start float64) error {
+	lanes := 1
+	if g.par > 1 && len(g.gpms) > 1 {
+		lanes = g.par
+		if lanes > len(g.gpms) {
+			lanes = len(g.gpms)
+		}
+		if g.budget != nil {
+			// One lane is the caller's own token; extra lanes draw from
+			// the shared budget and are returned at launch end.
+			extra := g.budget.TryAcquire(lanes - 1)
+			defer g.budget.Release(extra)
+			lanes = 1 + extra
+		}
+	}
+	if lanes > 1 {
+		return g.runEpochsParallel(eng, k, start, lanes)
+	}
+
+	epoch := g.cfg.epoch()
+	for until := start + epoch; g.liveWarps() > 0 || g.pendingCTAs() > 0; until += epoch {
+		progressed := false
+		for _, gpm := range g.gpms {
+			for _, sm := range gpm.sms {
+				p, err := sm.advance(until, eng)
+				if err != nil {
+					return err
+				}
+				if p {
+					progressed = true
+				}
+			}
+		}
+		var err error
+		until, err = g.epochBarrier(eng, k, until, epoch, progressed)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// epochBarrier is the end-of-epoch bookkeeping shared by the
+// sequential and parallel drivers: fast-forward across empty epochs
+// (or fail a fully-deadlocked kernel) and feed the sampler. It returns
+// the possibly fast-forwarded epoch end.
+func (g *GPU) epochBarrier(eng *launchEngine, k *trace.Kernel, until, epoch float64, progressed bool) (float64, error) {
+	if !progressed && g.liveWarps() > 0 {
+		// All remaining warps are waiting beyond this epoch; jump
+		// the epoch window forward to the earliest ready time to
+		// avoid spinning through empty epochs.
+		next := eng.earliestReady(g)
+		if math.IsInf(next, 1) {
+			// Every active warp on every SM is blocked at a
+			// barrier: a malformed kernel, not a slow one. Fail the
+			// run instead of fast-forwarding to infinity.
+			return until, fmt.Errorf("sim: kernel %q: %d active warps all blocked at barriers: %w",
+				k.Name, g.liveWarps(), ErrDeadlock)
+		}
+		if next > until {
+			until = next - epoch
+		}
+	}
+	if g.col != nil {
+		g.col.MaybeSample(until, g.liveWarps(), g.pendingCTAs())
+	}
+	return until, nil
+}
+
 func (g *GPU) pendingCTAs() int {
 	n := 0
 	for _, gpm := range g.gpms {
@@ -399,14 +566,23 @@ func (g *GPU) pendingCTAs() int {
 	return n
 }
 
+// liveWarps sums the per-GPM resident-warp counts. Called only at
+// epoch boundaries, where every lane has quiesced.
+func (g *GPU) liveWarps() int {
+	n := 0
+	for _, gpm := range g.gpms {
+		n += gpm.shard.activeWarps
+	}
+	return n
+}
+
 // launchEngine carries per-launch mutable state shared by the SMs.
 type launchEngine struct {
-	gpu         *GPU
-	kernel      *trace.Kernel
-	prog        *launchProg
-	counts      isa.Counts
-	start, end  float64
-	activeWarps int
+	gpu        *GPU
+	kernel     *trace.Kernel
+	prog       *launchProg
+	counts     isa.Counts
+	start, end float64
 }
 
 // earliestReady returns the minimum ready time over all runnable
@@ -431,44 +607,48 @@ func (eng *launchEngine) earliestReady(g *GPU) float64 {
 // starting at time t and touching the access descriptor's distinct
 // cache lines. It returns the completion time (max over lines;
 // serialized line-to-line when the access is a pointer chase).
-func (g *GPU) access(sm *smState, t float64, m *trace.MemAccess, w *warpState, isStore bool) float64 {
+//
+// The per-line counter increments of the historical loop are hoisted
+// to one add of mr.lines up front (integer adds, so the launch-end
+// totals are unchanged), and the address-generation state that does
+// not depend on the line index is derived once via mr.seed.
+func (g *GPU) access(sm *smState, t float64, mr *memRec, w *warpState, isStore bool) float64 {
 	gpm := sm.gpm
-	lines := int(m.Lines)
-	if lines <= 0 {
-		lines = 1
+	lines := int(mr.lines)
+	// L1 accesses and TxnL1ToRF are lines-per-issue constants, recovered
+	// from the per-body-index issue counts at launch end (see
+	// gpmState.issueCnt); only the misses below are data-dependent.
+	sh := sm.shard
+	if g.col != nil {
+		gc := &g.col.GPMs[gpm.id]
+		gc.L1Accesses += uint64(lines)
+		gc.Txn[isa.TxnL1ToRF] += uint64(lines)
 	}
+
+	seed := mr.seed(w)
 	done := t
 	lineStart := t
 	for l := 0; l < lines; l++ {
-		addr := g.address(m, w, l)
+		addr := mr.lineAddr(seed, l)
 		var lineDone float64
-
-		g.res.L1Accesses++
-		eng := w.eng
-		eng.counts.Txn[isa.TxnL1ToRF]++
-		if g.col != nil {
-			gc := &g.col.GPMs[gpm.id]
-			gc.L1Accesses++
-			gc.Txn[isa.TxnL1ToRF]++
-		}
 		if sm.l1.Access(addr) {
 			lineDone = lineStart + latL1Hit
 		} else {
-			g.res.L1Misses++
+			sh.l1Misses++
 			if g.col != nil {
 				g.col.GPMs[gpm.id].L1Misses++
 			}
-			if g.cfg.L2 == L2MemorySide && len(g.gpms) > 1 {
-				lineDone = g.fillMemorySide(eng, gpm, lineStart, addr, isStore)
+			if g.memSideFill {
+				lineDone = g.fillMemorySide(gpm, lineStart, addr, isStore)
 			} else {
-				lineDone = g.fillModuleSide(eng, gpm, lineStart, addr, isStore)
+				lineDone = g.fillModuleSide(gpm, lineStart, addr, isStore)
 			}
 		}
 
 		if lineDone > done {
 			done = lineDone
 		}
-		if m.Chase {
+		if mr.chase {
 			// Dependent pointer chase: the next line's address depends
 			// on this line's data.
 			lineStart = lineDone
@@ -481,9 +661,15 @@ func (g *GPU) access(sm *smState, t float64, m *trace.MemAccess, w *warpState, i
 // L2 (the paper's multi-module organization, §V-A1): the L2 caches
 // local and remote data alike, so only L2 misses to remote homes cross
 // the fabric.
-func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr uint64, isStore bool) float64 {
-	eng.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
-	g.res.L2Accesses++
+//
+// The module's own L2 (l2, l2bw) is private to its lane; the first
+// genuinely shared touch — the page table's first-touch Home and the
+// (possibly remote) DRAM stack — sits behind ensureTurn, so an L2 hit
+// never synchronizes.
+func (g *GPU) fillModuleSide(gpm *gpmState, t float64, addr uint64, isStore bool) float64 {
+	sh := &gpm.shard
+	sh.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
+	sh.l2Accesses++
 	if g.col != nil {
 		gc := &g.col.GPMs[gpm.id]
 		gc.L2Accesses++
@@ -493,12 +679,13 @@ func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	if gpm.l2.Access(addr) {
 		return t2 + latL2Hit
 	}
-	g.res.L2Misses++
-	eng.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
+	sh.l2Misses++
+	sh.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
 	if g.col != nil {
 		g.col.GPMs[gpm.id].L2Misses++
 	}
 
+	gpm.ensureTurn()
 	home := 0
 	if len(g.gpms) > 1 {
 		home = g.pages.Home(addr, gpm.id)
@@ -510,13 +697,14 @@ func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	}
 	homeDRAM := g.gpms[home].dram
 	if home == gpm.id {
-		g.res.LocalLineFills++
+		sh.localFills++
 		if g.col != nil {
 			g.col.GPMs[gpm.id].LocalFills++
 		}
 		return homeDRAM.Acquire(t2, isa.LineBytes) + latDRAM
 	}
-	g.res.RemoteLineFills++
+	sh.remoteFills++
+	gpm.l2HasRemote = true
 	if g.col != nil {
 		g.col.GPMs[gpm.id].RemoteFills++
 	}
@@ -524,7 +712,7 @@ func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr u
 		// Store data travels requester -> home, then is written at the
 		// home DRAM.
 		tr := g.fabric.Send(t2, gpm.id, home, isa.LineBytes)
-		g.chargeFabric(eng, tr)
+		g.chargeFabric(sh, tr)
 		return homeDRAM.Acquire(tr.Done, isa.LineBytes) + latDRAM
 	}
 	// The request header rides to the home module (latency only), the
@@ -533,15 +721,19 @@ func (g *GPU) fillModuleSide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	reqLat := float64(g.fabric.Hops(gpm.id, home)) * interconnect.HopLatency
 	dramDone := homeDRAM.Acquire(t2+reqLat, isa.LineBytes) + latDRAM
 	tr := g.fabric.Send(dramDone, home, gpm.id, isa.LineBytes)
-	g.chargeFabric(eng, tr)
+	g.chargeFabric(sh, tr)
 	return tr.Done
 }
 
 // fillMemorySide serves an L1 miss with memory-side L2s: the lookup
 // happens at the page's home module, so every remote L1 miss crosses
-// the fabric regardless of whether the home L2 hits.
-func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr uint64, isStore bool) float64 {
-	eng.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
+// the fabric regardless of whether the home L2 hits. Everything it
+// touches (home L2/L2 bandwidth, DRAM stacks, fabric) is shared across
+// modules, so the whole path sits behind ensureTurn.
+func (g *GPU) fillMemorySide(gpm *gpmState, t float64, addr uint64, isStore bool) float64 {
+	gpm.ensureTurn()
+	sh := &gpm.shard
+	sh.counts.Txn[isa.TxnL2ToL1] += isa.SectorsPerLine
 	home := g.pages.Home(addr, gpm.id)
 	homeGPM := g.gpms[home]
 
@@ -549,14 +741,14 @@ func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	if home != gpm.id && isStore {
 		// Store data travels to the home module first.
 		tr := g.fabric.Send(t, gpm.id, home, isa.LineBytes)
-		g.chargeFabric(eng, tr)
+		g.chargeFabric(sh, tr)
 		arrive = tr.Done
 	} else if home != gpm.id {
 		// Request header crosses the fabric (latency only).
 		arrive = t + float64(g.fabric.Hops(gpm.id, home))*interconnect.HopLatency
 	}
 
-	g.res.L2Accesses++
+	sh.l2Accesses++
 	if g.col != nil {
 		// Memory-side L2s live with their DRAM stack, so L2 counters
 		// attribute to the home module; fills keep requester-relative
@@ -570,20 +762,20 @@ func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	if homeGPM.l2.Access(addr) {
 		ready = t2 + latL2Hit
 	} else {
-		g.res.L2Misses++
-		eng.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
+		sh.l2Misses++
+		sh.counts.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
 		if g.col != nil {
 			gc := &g.col.GPMs[home]
 			gc.L2Misses++
 			gc.Txn[isa.TxnDRAMToL2] += isa.SectorsPerLine
 		}
 		if home == gpm.id {
-			g.res.LocalLineFills++
+			sh.localFills++
 			if g.col != nil {
 				g.col.GPMs[gpm.id].LocalFills++
 			}
 		} else {
-			g.res.RemoteLineFills++
+			sh.remoteFills++
 			if g.col != nil {
 				g.col.GPMs[gpm.id].RemoteFills++
 			}
@@ -595,15 +787,15 @@ func (g *GPU) fillMemorySide(eng *launchEngine, gpm *gpmState, t float64, addr u
 	}
 	// Load data returns to the requester over the fabric.
 	tr := g.fabric.Send(ready, home, gpm.id, isa.LineBytes)
-	g.chargeFabric(eng, tr)
+	g.chargeFabric(sh, tr)
 	return tr.Done
 }
 
 // chargeFabric records the energy-relevant transaction counts of one
-// fabric transfer.
-func (g *GPU) chargeFabric(eng *launchEngine, tr interconnect.Transfer) {
-	eng.counts.Txn[isa.TxnInterGPM] += uint64(tr.Hops) * isa.SectorsPerLine
+// fabric transfer against the requesting module's shard.
+func (g *GPU) chargeFabric(sh *gpmShard, tr interconnect.Transfer) {
+	sh.counts.Txn[isa.TxnInterGPM] += uint64(tr.Hops) * isa.SectorsPerLine
 	if tr.Switched {
-		eng.counts.Txn[isa.TxnSwitch] += isa.SectorsPerLine
+		sh.counts.Txn[isa.TxnSwitch] += isa.SectorsPerLine
 	}
 }

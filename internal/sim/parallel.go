@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"sync"
+
+	"gpujoule/internal/trace"
+)
+
+// This file implements deterministic intra-run parallelism: the GPMs
+// of one simulation advance on parallel lanes within each epoch window
+// while producing output bit-identical to the sequential engine.
+//
+// The scheme exploits the engine's structure. The sequential epoch
+// loop processes GPMs in ascending order, so every operation on shared
+// mutable state (the page table's first-touch Home, any module's DRAM
+// BWResource, the fabric links) executes in GPM-major order within an
+// epoch. Work that touches only a GPM's private state (its SMs' warp
+// scheduling, L1s, module-side L2, counter shard) cannot observe other
+// GPMs mid-epoch at all. A lane therefore runs its GPM's private work
+// freely, but blocks before the GPM's *first* shared-state operation
+// of the epoch until every lower-numbered GPM has finished the epoch
+// (gpmState.ensureTurn). From that point the lane holds the turn to
+// the end of the GPM's epoch pass. By induction over GPM order, every
+// shared-state operation executes with exactly the machine state the
+// sequential engine would have produced, in exactly the sequential
+// order — including the order-sensitive BWResource bucket walks and
+// the QueueCycles float folds. Counters accumulate in per-GPM shards
+// merged in ascending GPM order at launch end; every shard field is an
+// integer add or a float max, both exactly commutative, so the merged
+// totals match the unsharded fold bit for bit. See DESIGN.md
+// "Performance engineering".
+
+// turnstile tracks which GPMs have completed the current epoch, so a
+// lane about to touch shared state can wait for all lower-numbered
+// GPMs (the sequential predecessors of its shared-state operations).
+type turnstile struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	done []bool
+}
+
+func newTurnstile(n int) *turnstile {
+	ts := &turnstile{done: make([]bool, n)}
+	ts.cond.L = &ts.mu
+	return ts
+}
+
+// reset re-arms the turnstile for a new epoch. Called by the driver
+// between epochs, when every lane is quiescent.
+func (ts *turnstile) reset() {
+	ts.mu.Lock()
+	for i := range ts.done {
+		ts.done[i] = false
+	}
+	ts.mu.Unlock()
+}
+
+// markDone records that GPM k has finished its epoch pass and wakes
+// any lane waiting on it.
+func (ts *turnstile) markDone(k int) {
+	ts.mu.Lock()
+	ts.done[k] = true
+	ts.mu.Unlock()
+	ts.cond.Broadcast()
+}
+
+// waitBelow blocks until every GPM with an index below k is done with
+// the current epoch.
+func (ts *turnstile) waitBelow(k int) {
+	ts.mu.Lock()
+	for !ts.allBelow(k) {
+		ts.cond.Wait()
+	}
+	ts.mu.Unlock()
+}
+
+func (ts *turnstile) allBelow(k int) bool {
+	for i := 0; i < k; i++ {
+		if !ts.done[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// laneReport is one lane's result for one epoch.
+type laneReport struct {
+	progressed bool
+	err        error
+	errGPM     int
+}
+
+// runEpochsParallel drives the launch's epoch loop with the per-GPM
+// work of each epoch spread over `lanes` goroutines. Lane L handles
+// GPMs L, L+lanes, L+2·lanes, … in ascending order, mirroring the
+// sequential sweep; the turnstile (via gpmState.ensureTurn) delays
+// each GPM's shared-state operations until its sequential predecessors
+// have finished the epoch. Epoch bookkeeping — the loop condition,
+// empty-epoch fast-forward, and sampling — happens on the caller's
+// goroutine between epochs, exactly as in the sequential driver.
+func (g *GPU) runEpochsParallel(eng *launchEngine, k *trace.Kernel, start float64, lanes int) error {
+	n := len(g.gpms)
+	ts := newTurnstile(n)
+	startCh := make(chan float64)
+	resCh := make(chan laneReport)
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for until := range startCh {
+				rep := laneReport{errGPM: n}
+				for gi := lane; gi < n; gi += lanes {
+					gpm := g.gpms[gi]
+					if rep.err == nil {
+						for _, sm := range gpm.sms {
+							p, err := sm.advance(until, eng)
+							if p {
+								rep.progressed = true
+							}
+							if err != nil {
+								// Keep draining the lane's remaining GPMs
+								// through markDone so no other lane blocks
+								// forever; their (divergent) state is
+								// discarded with the failed run.
+								rep.err, rep.errGPM = err, gi
+								break
+							}
+						}
+					}
+					ts.markDone(gi)
+				}
+				resCh <- rep
+			}
+		}(l)
+	}
+	defer func() {
+		close(startCh)
+		wg.Wait()
+		for _, gpm := range g.gpms {
+			gpm.gate = nil
+		}
+	}()
+
+	epoch := g.cfg.epoch()
+	for until := start + epoch; g.liveWarps() > 0 || g.pendingCTAs() > 0; until += epoch {
+		ts.reset()
+		for _, gpm := range g.gpms {
+			gpm.gate = ts
+		}
+		for i := 0; i < lanes; i++ {
+			startCh <- until
+		}
+		progressed := false
+		var firstErr error
+		errGPM := n
+		for i := 0; i < lanes; i++ {
+			rep := <-resCh
+			progressed = progressed || rep.progressed
+			if rep.err != nil && rep.errGPM < errGPM {
+				firstErr, errGPM = rep.err, rep.errGPM
+			}
+		}
+		if firstErr != nil {
+			// The lowest-GPM error is the one the sequential sweep
+			// would have surfaced.
+			return firstErr
+		}
+		var err error
+		until, err = g.epochBarrier(eng, k, until, epoch, progressed)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -69,3 +69,53 @@ func BenchmarkSMAdvance(b *testing.B) {
 		})
 	}
 }
+
+// memApp builds a memory-heavy app whose GPMs do real per-epoch work
+// (partitioned global streams with some divergence), so the parallel
+// epoch driver's turnstile and lane hand-off costs are measured
+// against representative epochs rather than empty ones.
+func memApp(ctas, warpsPerCTA, iters int) *trace.App {
+	k := &trace.Kernel{
+		Name:        "mem",
+		Grid:        ctas,
+		WarpsPerCTA: warpsPerCTA,
+		Iters:       iters,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn, Lines: 2}},
+			{Op: isa.OpFFMA32, Times: 4},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn, Lines: 2}},
+			{Op: isa.OpIAdd32, Times: 2},
+		},
+	}
+	return &trace.App{
+		Name:     "mem-bench",
+		Category: trace.CategoryMemory,
+		Regions:  []trace.Region{{Name: "a", Bytes: 64 << 20}},
+		Launches: []trace.Launch{{Kernel: k}},
+	}
+}
+
+// BenchmarkGPMParallelEpoch measures one full 8-GPM simulation at lane
+// counts 1, 2, 4, and 8 (nil budget: lanes run unthrottled). On a
+// multi-core host wall time should fall with lanes until the epoch
+// barrier dominates; on a single-core host the turnstile's overhead
+// over the sequential sweep is what's being measured. Results are
+// byte-identical at every lane count (TestGoldenDeterminismGPMParallel),
+// so this benchmark is purely about wall clock.
+func BenchmarkGPMParallelEpoch(b *testing.B) {
+	cfg := MultiGPM(8, BW1x)
+	app := memApp(64, 4, 24)
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			opts := []Option{}
+			if lanes > 1 {
+				opts = append(opts, WithGPMParallel(lanes))
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(context.Background(), cfg, app, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"gpujoule/internal/isa"
 	"gpujoule/internal/trace"
 )
@@ -13,6 +15,13 @@ import (
 // their per-issue semantics — only the lookups are hoisted, so issue
 // order, clock arithmetic (including float addition order), and every
 // counter update are unchanged.
+//
+// The record is kept to 40 bytes — the issue loop walks the body array
+// once per instruction, so record size is directly body-walk cache
+// footprint. The bulkier address-generation constants of global-memory
+// instructions live behind the mem pointer (one memRec per
+// global-memory body entry, hot in cache because kernels have few
+// distinct memory instructions).
 type instRec struct {
 	// occ is the issue occupancy in cycles; for global-memory ops it
 	// already includes the lines-1 divergence serialization.
@@ -23,11 +32,34 @@ type instRec struct {
 	// shared ops.
 	lat    float64
 	active uint64
+	// mem holds the predigested address-generation constants; non-nil
+	// exactly for kind == recGlobal.
+	mem    *memRec
 	repeat int32
 	kind   uint8
 	op     isa.Op
 	store  bool
-	mem    *trace.MemAccess
+}
+
+// memRec predigests one global-memory instruction's address
+// generation: the region layout (base byte address, size in lines),
+// the PatShared stream stride, and the PatOwn/PatNeighbor partition
+// geometry. The per-access path computes addresses from these plain
+// fields instead of re-deriving region layout and warp-partition math
+// per line; the generated addresses are bit-identical to the reference
+// derivation in (*GPU).address (kept, and cross-checked by test).
+type memRec struct {
+	base        uint64
+	regionLines uint64
+	strideMax   uint64 // PatShared: lines advanced per access
+	partLines   uint64 // PatOwn/PatNeighbor: partition size in lines
+	totalWarps  uint64
+	wpc         uint64 // warps per CTA (PatNeighbor redirect distance)
+	neighborPct uint64 // 0 for PatOwn
+	lines       int32  // effective distinct lines per execution, >= 1
+	region      int32  // region index, for the warp's streamOff counter
+	gen         uint8  // address-derivation flavor (genShared/genRandom/genPart)
+	chase       bool
 }
 
 // Instruction kinds, collapsing the op-class predicates the issue path
@@ -40,6 +72,15 @@ const (
 	recExit
 )
 
+// Address-generation flavors, collapsing trace.Pattern for the access
+// path: PatOwn and PatNeighbor share the partitioned derivation
+// (neighborPct 0 makes the redirect dead).
+const (
+	genShared uint8 = iota
+	genRandom
+	genPart
+)
+
 // launchProg is the predigested body of one kernel plus its effective
 // iteration count.
 type launchProg struct {
@@ -49,8 +90,10 @@ type launchProg struct {
 
 // buildProg predigests a kernel body. Called once per kernel per GPU
 // (memoized in GPU.progs), not per launch, so repeated launches of the
-// same kernel allocate nothing.
-func buildProg(k *trace.Kernel) *launchProg {
+// same kernel allocate nothing. It is a GPU method because the
+// predigested records bake in the app's region layout; the memoization
+// stays valid because a GPU is built per application run.
+func (g *GPU) buildProg(k *trace.Kernel) *launchProg {
 	p := &launchProg{iters: k.EffIters(), body: make([]instRec, len(k.Body))}
 	for i := range k.Body {
 		inst := &k.Body[i]
@@ -60,21 +103,17 @@ func buildProg(k *trace.Kernel) *launchProg {
 			active: uint64(inst.ActiveThreads()),
 			repeat: int32(inst.Repeat()),
 			op:     op,
-			mem:    inst.Mem,
 		}
 		switch {
 		case op.IsGlobalMemory():
 			rec.kind = recGlobal
-			lines := int(inst.Mem.Lines)
-			if lines <= 0 {
-				lines = 1
-			}
+			rec.lat = latStore
+			rec.store = op == isa.OpStoreGlobal
+			rec.mem = g.buildMemRec(k, inst.Mem)
 			// A divergent access occupies the LSU for one cycle per
 			// distinct line. Integer-valued floats, so folding the sum
 			// into the record is exact.
-			rec.occ += float64(lines - 1)
-			rec.lat = latStore
-			rec.store = op == isa.OpStoreGlobal
+			rec.occ += float64(rec.mem.lines - 1)
 		case op.IsShared():
 			rec.kind = recShared
 			rec.lat = latShared
@@ -89,4 +128,110 @@ func buildProg(k *trace.Kernel) *launchProg {
 		p.body[i] = rec
 	}
 	return p
+}
+
+// buildMemRec predigests one access descriptor against the GPU's
+// region layout and the kernel's warp geometry.
+func (g *GPU) buildMemRec(k *trace.Kernel, m *trace.MemAccess) *memRec {
+	lines := int(m.Lines)
+	if lines <= 0 {
+		lines = 1
+	}
+	mr := &memRec{
+		base:        g.regionBase[m.Region],
+		regionLines: g.regionLines[m.Region],
+		lines:       int32(lines),
+		region:      int32(m.Region),
+		chase:       m.Chase,
+	}
+	switch m.Pattern {
+	case trace.PatShared:
+		mr.gen = genShared
+		mr.strideMax = uint64(maxInt(int(m.Lines), 1))
+	case trace.PatRandom:
+		mr.gen = genRandom
+	case trace.PatOwn, trace.PatNeighbor:
+		mr.gen = genPart
+		totalWarps := uint64(k.Warps())
+		partLines := mr.regionLines / totalWarps
+		if partLines == 0 {
+			partLines = 1
+		}
+		mr.partLines = partLines
+		mr.totalWarps = totalWarps
+		mr.wpc = uint64(k.WarpsPerCTA)
+		if m.Pattern == trace.PatNeighbor {
+			mr.neighborPct = uint64(m.NeighborPct)
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown access pattern %v", m.Pattern))
+	}
+	return mr
+}
+
+// accessSeed is the per-access address-generation state hoisted out of
+// the line loop: the pattern's stream/partition line base and hash
+// seed, which depend on the warp's position but not on the line index.
+type accessSeed struct {
+	lineBase uint64
+	seedHi   uint64
+}
+
+// seed derives the per-access generation state for warp w. For
+// PatNeighbor this resolves the per-access partition-redirect roll; for
+// PatShared it folds the stream offset; the values feed lineAddr for
+// each of mr.lines line indexes.
+func (mr *memRec) seed(w *warpState) (s accessSeed) {
+	switch mr.gen {
+	case genShared:
+		s.lineBase = uint64(w.streamOff[mr.region]) * mr.strideMax
+	case genRandom:
+		s.seedHi = uint64(w.id)<<40 ^ uint64(w.accessSeq)<<8
+	default: // genPart
+		owner := uint64(w.id)
+		if mr.neighborPct > 0 {
+			h := trace.Hash64(uint64(w.id)<<32 ^ uint64(w.accessSeq)<<4 ^ 0xA5)
+			if h%100 < mr.neighborPct {
+				// Redirect into the partition of the corresponding
+				// warp of an adjacent CTA.
+				wpc := mr.wpc
+				if h&1 == 0 && owner+wpc < mr.totalWarps {
+					owner += wpc
+				} else if owner >= wpc {
+					owner -= wpc
+				} else if owner+wpc < mr.totalWarps {
+					owner += wpc
+				}
+			}
+		}
+		partBase := (owner * mr.partLines) % mr.regionLines
+		if mr.lines <= 1 {
+			// Coalesced streaming through the partition.
+			s.lineBase = partBase + uint64(w.streamOff[mr.region])%mr.partLines
+		} else {
+			// Divergent access: lines scatter within the partition.
+			s.lineBase = partBase
+			s.seedHi = uint64(w.id)<<24 ^ uint64(w.accessSeq)<<6
+		}
+	}
+	return s
+}
+
+// lineAddr returns the byte address of line index l of the access,
+// bit-identical to the reference derivation in (*GPU).address.
+func (mr *memRec) lineAddr(s accessSeed, l int) uint64 {
+	var line uint64
+	switch mr.gen {
+	case genShared:
+		line = (s.lineBase + uint64(l)) % mr.regionLines
+	case genRandom:
+		line = trace.Hash64(s.seedHi^uint64(l)) % mr.regionLines
+	default: // genPart
+		if mr.lines <= 1 {
+			line = s.lineBase % mr.regionLines
+		} else {
+			line = (s.lineBase + trace.Hash64(s.seedHi^uint64(l))%mr.partLines) % mr.regionLines
+		}
+	}
+	return mr.base + line*isa.LineBytes
 }

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHoistedAddressGenEquivalence pins the predigested address
+// generation (memRec.seed + memRec.lineAddr, the hot path) to the
+// reference derivation (*GPU).address, bit for bit, across randomized
+// apps covering every pattern (shared, random, own, neighbor), region
+// layout, warp geometry, and line count. The hot path hoists the
+// region layout and partition math out of the per-line loop; any
+// divergence here silently changes simulated cache behaviour, so this
+// is the contract that keeps the fast path honest.
+func TestHoistedAddressGenEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		app := randomApp(seed)
+		g, err := newGPU(MultiGPM(4, BW2x), app, simOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed ^ 0x9E3779B9))
+		for _, l := range app.Launches {
+			k := l.Kernel
+			prog := g.buildProg(k)
+			eng := &launchEngine{gpu: g, kernel: k, prog: prog}
+			for bi := range prog.body {
+				rec := &prog.body[bi]
+				if rec.kind != recGlobal {
+					continue
+				}
+				m := k.Body[bi].Mem
+				for trial := 0; trial < 32; trial++ {
+					w := &warpState{
+						eng:       eng,
+						id:        r.Intn(k.Warps()),
+						accessSeq: uint32(r.Intn(1 << 20)),
+						streamOff: make([]uint32, len(app.Regions)),
+					}
+					for i := range w.streamOff {
+						w.streamOff[i] = uint32(r.Intn(1 << 16))
+					}
+					s := rec.mem.seed(w)
+					for line := 0; line < int(rec.mem.lines); line++ {
+						want := g.address(m, w, line)
+						got := rec.mem.lineAddr(s, line)
+						if got != want {
+							t.Fatalf("seed %d kernel %q body[%d] %v warp %d seq %d line %d: hoisted %#x != reference %#x",
+								seed, k.Name, bi, m.Pattern, w.id, w.accessSeq, line, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -95,6 +95,12 @@ func (q *readyQueue) rootPos() int { return int(q.t[1].pos) }
 // rootReadyAt returns the pick's ready time. Only valid when len() > 0.
 func (q *readyQueue) rootReadyAt() float64 { return math.Float64frombits(q.t[1].key) }
 
+// rootKey returns the pick's ready time as its IEEE-754 bit pattern.
+// Simulation times are non-negative, so these bits compare exactly as
+// the times do; the scheduler's epoch-exit test uses this to avoid the
+// float round trip on its hottest read. Only valid when len() > 0.
+func (q *readyQueue) rootKey() uint64 { return q.t[1].key }
+
 // queued reports whether the warp at slice position pos is in the
 // queue.
 func (q *readyQueue) queued(pos int) bool { return q.t[q.cap+pos].key != offKey }
@@ -163,6 +169,65 @@ func (q *readyQueue) replay(pos int) {
 		}
 		i >>= 1
 		t[i] = cand
+	}
+}
+
+// fixIfQueued is the scheduler's post-issue re-key: it updates the
+// warp's ready time when the leaf is queued and does nothing when it is
+// not (the warp's CTA slot was recycled and a refill already pushed the
+// fresh warp with its correct key). Merging the membership test into
+// the update loads the leaf once instead of twice (queued() then fix()
+// both touch it) on the hottest queue path in the simulator.
+//
+// The replay walk is open-coded rather than delegated to replay():
+// this is the queue's hottest entry point by an order of magnitude,
+// and keeping the slice header, position, and running winner in locals
+// lets the whole walk run out of registers — calling replay() after
+// the leaf store forces the compiler to reload q.t and q.cap, since it
+// cannot prove the store did not alias them. The leaf's new entry is
+// also built from the arguments (its pos field is its own position by
+// construction) instead of being read back from memory.
+//
+// The walk addresses each level through its aligned node pair
+// (t[i&^1], t[i^1]): the parent store targets the same pair the next
+// iteration's sibling load reads, so carrying one *[2]rqEntry across
+// iterations needs a single bounds check per level where indexing t
+// directly paid two (the sibling load and the parent store; the 1-bit
+// in-pair index is check-free).
+//
+// The match drops the pos half of the 128-bit compare: every leaf of a
+// node's left subtree has a smaller pos than every leaf of its right
+// subtree (leaves are laid out in pos order), so the (key, pos) min of
+// two subtree winners is the smaller key with ties going to the LEFT
+// child. That is one 64-bit compare against cand.key + (i&1) — when
+// cand sits in the right slot (i odd) its left sibling also wins key
+// ties — instead of the two-word borrow chain, shortening the
+// level-to-level dependency. The +1 cannot overflow: cand starts as a
+// real time (below offKey, at most the +Inf pattern) and minima only
+// shrink. The stored entries are bit-identical to the 128-bit
+// compare's: the tie rule selects exactly the smaller-pos entry.
+//
+// (An unrolled parallel prefix-minimum over the path — exact, since
+// the ancestors are minima and regrouping selections over a total
+// order cannot change them — was measured slower here: the shortened
+// compare chain did not pay for the extra µops on the target cores.)
+func (q *readyQueue) fixIfQueued(pos int, readyAt float64) {
+	t := q.t
+	i := q.cap + pos
+	if t[i].key == offKey {
+		return
+	}
+	cand := rqEntry{key: math.Float64bits(readyAt), pos: uint64(pos)}
+	pair := (*[2]rqEntry)(t[i&^1:])
+	pair[i&1] = cand
+	for i > 1 {
+		sib := pair[(i&1)^1]
+		if sib.key < cand.key+uint64(i&1) { // left sibling wins key ties
+			cand = sib
+		}
+		i >>= 1
+		pair = (*[2]rqEntry)(t[i&^1:])
+		pair[i&1] = cand
 	}
 }
 

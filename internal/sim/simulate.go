@@ -26,6 +26,8 @@ type simOptions struct {
 	counters       bool
 	trace          bool
 	sampleInterval float64
+	gpmParallel    int
+	budget         *Budget
 }
 
 // defaultTraceSampleCycles is the sampler interval WithTrace installs
@@ -74,6 +76,32 @@ func WithTrace() Option {
 		o.counters = true
 		o.trace = true
 	}
+}
+
+// WithGPMParallel runs each launch's GPMs on up to n parallel lanes
+// within every epoch window, letting one simulation use more than one
+// core. Results are bit-identical to the sequential engine at every
+// lane count (the per-GPM lanes synchronize so that shared-resource
+// operations keep their sequential order; see DESIGN.md "Performance
+// engineering"), so the option does not participate in Config.SimKey
+// and memoized results remain valid across lane counts. The lane count
+// is clamped to the GPM count per launch; n <= 1 selects the plain
+// sequential engine. Speedup is workload-dependent: lanes overlap each
+// GPM's private work (warp scheduling, L1/module-side-L2 traffic) and
+// serialize at shared resources (page homing, DRAM stacks, fabric).
+func WithGPMParallel(n int) Option {
+	return func(o *simOptions) { o.gpmParallel = n }
+}
+
+// WithParallelBudget makes extra per-GPM lanes draw from a shared
+// Budget instead of being granted unconditionally: each launch takes
+// up to lanes-1 tokens (non-blocking) and returns them when the launch
+// ends. Callers running many simulations concurrently (the runner, the
+// service) share one budget sized against GOMAXPROCS so intra-run
+// parallelism composes with the worker pool instead of oversubscribing
+// it. A nil budget means unbudgeted. No effect without WithGPMParallel.
+func WithParallelBudget(b *Budget) Option {
+	return func(o *simOptions) { o.budget = b }
 }
 
 // Simulate runs the whole application on the configured GPU and

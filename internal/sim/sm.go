@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"gpujoule/internal/isa"
 	"gpujoule/internal/memsys"
+	"gpujoule/internal/obs"
 	"gpujoule/internal/trace"
 )
 
@@ -57,19 +59,44 @@ type ctaState struct {
 }
 
 // smState is one streaming multiprocessor.
+//
+// Field order is deliberate: the per-issue hot set — clock, busy, the
+// cached prog/col pointers, the issueCnt and warps headers, and the
+// ready-queue header — sits first so the scheduler's inner loop works
+// out of the struct's first two cache lines; refill/retire-only state
+// (free lists, CTA count) trails. The struct's spread across three
+// lines was a measured per-issue load cost before the reorder.
 type smState struct {
-	gpm *gpmState
-	l1  *memsys.Cache
-
 	clock float64
 	busy  float64 // issue-occupied cycles within the current launch
 
+	// prog and col cache eng.prog and eng.gpu.col for the current launch
+	// (set by runLaunch): the issue path reads both every instruction,
+	// and the cached copies replace two dependent loads through the
+	// engine and GPU structs with single loads from this already-hot
+	// struct.
+	prog *launchProg
+	col  *obs.Collector
+
+	// issueCnt aliases the GPM's per-body-index issue counters for the
+	// current launch (see gpmState.issueCnt), cached here so the
+	// per-issue increment needs one load, not two dependent ones.
+	issueCnt []uint64
+
 	warps []*warpState
-	ctas  int // resident CTA count
 
 	// rq indexes the unblocked resident warps by (readyAt, pos) so the
 	// scheduler's oldest-ready-first pick is O(log W) per instruction.
 	rq readyQueue
+
+	// shard is gpm's counter shard (&gpm.shard), cached here so the
+	// per-issue counter writes need one load, not two dependent ones.
+	shard *gpmShard
+
+	gpm *gpmState
+	l1  *memsys.Cache
+
+	ctas int // resident CTA count
 
 	// freeCTAs and freeWarps recycle launch state: a CTA whose last warp
 	// retires returns its ctaState and warpStates here, and refill draws
@@ -141,7 +168,7 @@ func (sm *smState) refill(eng *launchEngine) bool {
 			sm.rq.push(w.pos, w.readyAt)
 		}
 		sm.ctas++
-		eng.activeWarps += k.WarpsPerCTA
+		sm.shard.activeWarps += k.WarpsPerCTA
 	}
 	return len(sm.warps) > 0
 }
@@ -153,6 +180,10 @@ func (sm *smState) refill(eng *launchEngine) bool {
 // ErrDeadlock rather than hanging.
 func (sm *smState) advance(until float64, eng *launchEngine) (bool, error) {
 	progressed := false
+	// Epoch-exit compares run in the bit domain: non-negative times
+	// order exactly as their IEEE-754 bit patterns (see readyQueue), so
+	// the per-pick test needs no float reconstruction.
+	untilKey := math.Float64bits(until)
 	for {
 		if len(sm.warps) == 0 {
 			if !sm.refill(eng) {
@@ -171,18 +202,19 @@ func (sm *smState) advance(until float64, eng *launchEngine) (bool, error) {
 			return progressed, fmt.Errorf("sim: SM deadlock in kernel %q: all %d warps blocked at barrier: %w",
 				eng.kernel.Name, len(sm.warps), ErrDeadlock)
 		}
-		minReady := sm.rq.rootReadyAt()
-		if minReady >= until {
+		rootKey := sm.rq.rootKey()
+		if rootKey >= untilKey {
 			if sm.clock < until {
 				sm.clock = until
 			}
 			return progressed, nil
 		}
 		w := sm.warps[sm.rq.rootPos()]
-		if sm.clock < minReady {
+		if minReady := math.Float64frombits(rootKey); sm.clock < minReady {
 			sm.clock = minReady
 		}
 		sm.issue(w, eng)
+		progressed = true
 		// Re-establish w's queue membership: a still-runnable warp
 		// re-keys in place with its grown readyAt; a barrier block
 		// leaves the queue and a retirement was already removed by
@@ -194,11 +226,10 @@ func (sm *smState) advance(until float64, eng *launchEngine) (bool, error) {
 				if sm.rq.queued(w.pos) {
 					sm.rq.remove(w.pos)
 				}
-			} else if sm.rq.queued(w.pos) {
-				sm.rq.fix(w.pos, w.readyAt)
+			} else {
+				sm.rq.fixIfQueued(w.pos, w.readyAt)
 			}
 		}
-		progressed = true
 	}
 }
 
@@ -208,12 +239,16 @@ func (sm *smState) advance(until float64, eng *launchEngine) (bool, error) {
 // lookups; the clock arithmetic matches the unhoisted code term for
 // term, float addition order included.
 func (sm *smState) issue(w *warpState, eng *launchEngine) {
-	prog := eng.prog
+	prog := sm.prog
 	rec := &prog.body[w.bodyIdx]
 
-	eng.counts.WarpInst[rec.op]++
-	eng.counts.Inst[rec.op] += rec.active
-	if col := eng.gpu.col; col != nil {
+	// One increment covers every per-op counter: the op, thread count,
+	// and fixed transaction counts of a body entry are launch constants,
+	// so runLaunch recovers WarpInst/Inst/Txn/L1-access totals from these
+	// per-entry issue counts exactly. Only the Collector below needs
+	// incremental updates (its counters are sampled mid-launch).
+	sm.issueCnt[w.bodyIdx]++
+	if col := sm.col; col != nil {
 		gc := &col.GPMs[sm.gpm.id]
 		gc.WarpInstructions++
 		gc.ThreadInstructions += rec.active
@@ -229,7 +264,7 @@ func (sm *smState) issue(w *warpState, eng *launchEngine) {
 	case recGlobal:
 		done := eng.gpu.access(sm, sm.clock+occ, rec.mem, w, rec.store)
 		w.accessSeq++
-		w.streamOff[rec.mem.Region]++
+		w.streamOff[rec.mem.region]++
 		if rec.store {
 			// Stores retire through a write buffer without blocking.
 			w.readyAt = sm.clock + occ + rec.lat
@@ -238,8 +273,7 @@ func (sm *smState) issue(w *warpState, eng *launchEngine) {
 		}
 
 	case recShared:
-		eng.counts.Txn[isa.TxnShmToRF]++
-		if col := eng.gpu.col; col != nil {
+		if col := sm.col; col != nil {
 			col.GPMs[sm.gpm.id].Txn[isa.TxnShmToRF]++
 		}
 		w.readyAt = sm.clock + occ + rec.lat
@@ -301,8 +335,8 @@ func (sm *smState) retire(w *warpState, eng *launchEngine) {
 	if sm.clock > end {
 		end = sm.clock
 	}
-	if end > eng.end {
-		eng.end = end
+	if end > sm.shard.end {
+		sm.shard.end = end
 	}
 	if sm.rq.queued(w.pos) {
 		sm.rq.remove(w.pos)
@@ -334,11 +368,16 @@ func (sm *smState) retire(w *warpState, eng *launchEngine) {
 		sm.ctas--
 		sm.refill(eng)
 	}
-	eng.activeWarps--
+	sm.shard.activeWarps--
 }
 
 // address derives the byte address of line index l of warp w's current
 // access, per the access pattern rules of package trace.
+//
+// This is the reference derivation. The hot path uses the predigested
+// equivalent (instRec.seed + instRec.lineAddr, see program.go), which
+// hoists the region layout and partition math out of the per-line
+// loop; TestHoistedAddressGenEquivalence pins the two bit-identical.
 func (g *GPU) address(m *trace.MemAccess, w *warpState, l int) uint64 {
 	base := g.regionBase[m.Region]
 	regionLines := g.regionLines[m.Region]

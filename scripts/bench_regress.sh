@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# bench_regress.sh — warn-only microbenchmark regression check.
+#
+# Runs the hot-path microbenchmarks (BenchmarkSMAdvance,
+# BenchmarkGPMParallelEpoch, BenchmarkCacheAccess*, BenchmarkBWAcquire,
+# BenchmarkPageTableHome) with -count 3 and compares the per-benchmark
+# minimum ns/op against the checked-in baseline
+# scripts/bench_baseline.txt, benchstat-style (min-of-counts is robust
+# to scheduler noise spikes; a true regression shifts the minimum).
+#
+# Usage:
+#   scripts/bench_regress.sh            # run benchmarks, then compare
+#   scripts/bench_regress.sh FILE       # compare an existing go-bench output file
+#
+# Exit status is 0 even when regressions are found (warn-only by
+# design — shared CI runners are too noisy to block on; the CI step
+# additionally appends `|| true`). Regressions print as "WARN" lines
+# with the ratio so a human can eyeball the trend across PRs.
+#
+# Update the baseline after an intentional perf change:
+#   scripts/bench_regress.sh -update
+set -u
+
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/bench_baseline.txt
+# Ratio above which a benchmark is flagged. Generous because baseline
+# and CI run on different hardware; the check catches order-of-magnitude
+# slips (an accidental O(W) rescan, a lost free list), not 10% drift.
+THRESHOLD=${BENCH_REGRESS_THRESHOLD:-1.5}
+
+run_benches() {
+  # Fast memsys ops need many iterations to stabilize; the sim epoch
+  # benchmarks are ~ms/op so 100 iterations suffice.
+  go test -run '^$' -count 3 -benchtime 100x \
+    -bench 'BenchmarkSMAdvance|BenchmarkGPMParallelEpoch' ./internal/sim/
+  go test -run '^$' -count 3 -benchtime 100000x \
+    -bench 'BenchmarkPageTableHome|BenchmarkBWAcquire|BenchmarkCacheAccess' ./internal/memsys/
+}
+
+# Reduce go-bench output to "name min_ns_op" (GOMAXPROCS suffix
+# stripped so baselines transfer across -cpu values).
+summarize() {
+  awk '
+    $1 ~ /^Benchmark/ && / ns\/op/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      for (i = 2; i <= NF; i++) if ($(i) == "ns/op") { v = $(i-1); break }
+      if (!(name in min) || v + 0 < min[name] + 0) min[name] = v
+    }
+    END { for (n in min) printf "%s %s\n", n, min[n] }
+  ' "$1" | sort
+}
+
+if [ "${1:-}" = "-update" ]; then
+  tmp=$(mktemp)
+  run_benches > "$tmp"
+  {
+    echo "# Hot-path microbenchmark baseline: min ns/op over -count 3."
+    echo "# Regenerate with scripts/bench_regress.sh -update after an"
+    echo "# intentional perf change. Host: $(go env GOOS)/$(go env GOARCH), $(nproc) cores."
+    summarize "$tmp"
+  } > "$BASELINE"
+  rm -f "$tmp"
+  echo "baseline rewritten: $BASELINE"
+  exit 0
+fi
+
+if [ $# -ge 1 ]; then
+  CURRENT_RAW=$1
+else
+  CURRENT_RAW=$(mktemp)
+  trap 'rm -f "$CURRENT_RAW"' EXIT
+  run_benches > "$CURRENT_RAW" || true
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_regress: no baseline at $BASELINE (run scripts/bench_regress.sh -update)" >&2
+  exit 0
+fi
+
+cur=$(mktemp)
+summarize "$CURRENT_RAW" > "$cur"
+
+warns=0
+while read -r name base; do
+  case "$name" in \#*|"") continue ;; esac
+  now=$(awk -v n="$name" '$1 == n { print $2 }' "$cur")
+  if [ -z "$now" ]; then
+    echo "SKIP  $name: not present in current run"
+    continue
+  fi
+  verdict=$(awk -v b="$base" -v n="$now" -v t="$THRESHOLD" \
+    'BEGIN { r = n / b; printf "%.2f %s", r, (r > t ? "WARN" : "ok") }')
+  ratio=${verdict% *}
+  state=${verdict#* }
+  printf '%-5s %s: %s ns/op vs baseline %s (%sx)\n' "$state" "$name" "$now" "$base" "$ratio"
+  [ "$state" = WARN ] && warns=$((warns + 1))
+done < "$BASELINE"
+rm -f "$cur"
+
+if [ "$warns" -gt 0 ]; then
+  echo "bench_regress: $warns benchmark(s) above ${THRESHOLD}x baseline (warn-only, not blocking)"
+fi
+exit 0

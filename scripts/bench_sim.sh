@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# bench_sim.sh — rerun the PR 3 single-simulation benchmark protocol
+# and rewrite BENCH_sim.json mechanically.
+#
+# Protocol (same as the hand-run PR 3 measurement):
+#   1. Build a baseline cmd/paper from a base git rev (default HEAD —
+#      run this with a dirty working tree to measure tree-vs-HEAD, or
+#      pass an explicit rev to measure HEAD-vs-ancestor).
+#   2. Build cmd/paper from the current working tree.
+#   3. Alternate base/current runs of `paper -markdown -scale 0.05`
+#      (REPS each, interleaved A/B so slow-box noise hits both sides),
+#      timing with date +%s%N. Speedup is reported min/min — on a noisy
+#      shared box the minimum is the least-contended observation.
+#   4. Byte-compare every output against the baseline's (the invariant
+#      from DESIGN.md "Performance engineering").
+#   5. If the box has >1 core (or BENCH_GPM_PARALLEL forces it), time
+#      the current binary again with -gpm-parallel <cores> to record
+#      the intra-run parallelism win separately from the fast path.
+#   6. Run the hot-path microbenchmarks and fold the ns/op table in.
+#   7. Rewrite BENCH_sim.json (host info, before/after wall seconds,
+#      speedups, microbench table).
+#
+# Usage:
+#   make bench-sim                  # tree vs HEAD, 5 reps each
+#   scripts/bench_sim.sh v1.2 3     # tree vs rev v1.2, 3 reps each
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE_REV=${1:-HEAD}
+REPS=${2:-5}
+SCALE=${BENCH_SCALE:-0.05}
+GP=${BENCH_GPM_PARALLEL:-$(nproc)}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"; git worktree remove --force "$work/base" >/dev/null 2>&1 || true' EXIT
+
+echo "== building baseline from $(git rev-parse --short "$BASE_REV") and current tree"
+git worktree add --detach "$work/base" "$BASE_REV" >/dev/null 2>&1
+(cd "$work/base" && go build -o "$work/paper_base" ./cmd/paper)
+go build -o "$work/paper_cur" ./cmd/paper
+
+run_timed() { # binary out extra_flags... -> seconds (printed)
+  local bin=$1 out=$2; shift 2
+  local t0 t1
+  t0=$(date +%s%N)
+  "$bin" -markdown -scale "$SCALE" "$@" > "$out"
+  t1=$(date +%s%N)
+  awk -v d=$((t1 - t0)) 'BEGIN { printf "%.2f", d / 1e9 }'
+}
+
+base_secs=() cur_secs=()
+"$work/paper_base" -markdown -scale "$SCALE" > "$work/golden.md" # warm-up + golden
+for i in $(seq "$REPS"); do
+  b=$(run_timed "$work/paper_base" "$work/out_base.md")
+  c=$(run_timed "$work/paper_cur" "$work/out_cur.md")
+  cmp -s "$work/golden.md" "$work/out_base.md" || { echo "FATAL: baseline output unstable" >&2; exit 1; }
+  cmp -s "$work/golden.md" "$work/out_cur.md" || { echo "FATAL: current output differs from baseline" >&2; exit 1; }
+  echo "  rep $i: base ${b}s  current ${c}s (byte-identical)"
+  base_secs+=("$b"); cur_secs+=("$c")
+done
+
+par_secs=()
+if [ "$GP" -gt 1 ]; then
+  echo "== -gpm-parallel $GP runs (intra-run parallelism)"
+  for i in $(seq "$REPS"); do
+    p=$(run_timed "$work/paper_cur" "$work/out_par.md" -gpm-parallel "$GP")
+    cmp -s "$work/golden.md" "$work/out_par.md" || { echo "FATAL: -gpm-parallel output differs" >&2; exit 1; }
+    echo "  rep $i: ${p}s (byte-identical)"
+    par_secs+=("$p")
+  done
+fi
+
+echo "== microbenchmarks"
+go test -run '^$' -count 3 -benchtime 100x \
+  -bench 'BenchmarkSMAdvance|BenchmarkGPMParallelEpoch' ./internal/sim/ > "$work/micro.txt"
+go test -run '^$' -count 3 -benchtime 100000x \
+  -bench 'BenchmarkPageTableHome|BenchmarkBWAcquire|BenchmarkCacheAccess' ./internal/memsys/ >> "$work/micro.txt"
+
+BASE_DESC=$(git log -1 --format='commit %h: %s' "$BASE_REV")
+export BASE_DESC GP SCALE BENCH_NOTES="${BENCH_NOTES:-}"
+python3 - "$work/micro.txt" "${base_secs[*]}" "${cur_secs[*]}" "${par_secs[*]:-}" <<'PY' > BENCH_sim.json
+import json, os, re, subprocess, sys, datetime
+
+micro_path, base_s, cur_s, par_s = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]
+base = [float(x) for x in base_s.split()]
+cur = [float(x) for x in cur_s.split()]
+par = [float(x) for x in par_s.split()] if par_s.strip() else []
+
+micro = {}
+for line in open(micro_path):
+    m = re.match(r'(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op', line)
+    if m:
+        micro.setdefault(m.group(1), []).append(float(m.group(2)))
+micro_min = {k: min(v) for k, v in sorted(micro.items())}
+
+go_ver = subprocess.run(['go', 'version'], capture_output=True, text=True).stdout.split('version ')[1].strip()
+cores = int(subprocess.run(['nproc'], capture_output=True, text=True).stdout)
+gp = int(os.environ['GP'])
+
+doc = {
+    'benchmark': f"cmd/paper -markdown -scale {os.environ['SCALE']} (full BuildReport, all experiments)",
+    'protocol': 'scripts/bench_sim.sh: interleaved A/B reps, min-of-reps speedup, byte-compare every run',
+    'date': datetime.date.today().isoformat(),
+    'host': {'cpu_cores': cores, 'gomaxprocs': cores, 'go': go_ver},
+    'before': {'description': os.environ['BASE_DESC'], 'wall_seconds': base},
+    'after': {
+        'description': 'working tree (sequential, -gpm-parallel 1)',
+        'wall_seconds': cur,
+        'speedup': round(min(base) / min(cur), 2),
+    },
+    'output': 'byte-identical to the base-rev binary on every rep (cmp on the full -markdown report)',
+    'microbenchmarks_ns_per_op_min': micro_min,
+}
+if par:
+    doc['after_gpm_parallel'] = {
+        'description': f'working tree, -gpm-parallel {gp}',
+        'wall_seconds': par,
+        'speedup_vs_before': round(min(base) / min(par), 2),
+    }
+if os.environ.get('BENCH_NOTES'):
+    doc['notes'] = os.environ['BENCH_NOTES']
+json.dump(doc, sys.stdout, indent=2)
+sys.stdout.write('\n')
+PY
+
+echo "== BENCH_sim.json rewritten"
+python3 -c "import json; d = json.load(open('BENCH_sim.json')); print('fast-path speedup:', d['after']['speedup']); print('parallel speedup:', d.get('after_gpm_parallel', {}).get('speedup_vs_before', 'n/a'))"
