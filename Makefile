@@ -5,7 +5,7 @@
 # tests once.
 GO ?= go
 
-.PHONY: build test race vet bench bench-sim bench-regress ci smoke cluster-smoke
+.PHONY: build test race vet bench bench-sim bench-regress trace-regress ci smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,14 @@ bench-sim:
 # after an intentional perf change.
 bench-regress:
 	scripts/bench_regress.sh
+
+# Exact trace-signature regression check: run the fig2 slice with
+# -trace, reduce it with `tracelens sig`, and diff against the
+# checked-in scripts/trace_baseline.sig. The simulator is
+# deterministic, so any diff is a real behavior change; regenerate the
+# baseline with `scripts/trace_regress.sh -update` when intentional.
+trace-regress:
+	scripts/trace_regress.sh
 
 # End-to-end gpujouled service smoke: daemon + persistent cache
 # round-trip + byte-identical -server sweep. Not part of tier-1 `ci`

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	paper [-scale f] [-only name] [-list] [-workers n] [-progress]
+//	      [-trace out.trace.json[.gz]]
 //
 // With -only, a single experiment is regenerated; names are table1b,
 // fig2, fig4, fig6, fig7, fig8, fig9, fig10, table3, table4,
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"gpujoule/internal/harness"
+	"gpujoule/internal/obs"
 	"gpujoule/internal/profiling"
 	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
@@ -35,6 +37,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	gpmParallel := flag.Int("gpm-parallel", 1, "per-simulation GPM lanes (>1 parallelizes inside each run; output is byte-identical at any value)")
+	traceOut := flag.String("trace", "", "write a multi-point Chrome trace_event timeline of every distinct simulation to this file (.gz compresses)")
 	progress := flag.Bool("progress", false, "report simulation progress on stderr")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
@@ -59,7 +62,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Scale: *scale, Workers: *workers, GPMParallel: *gpmParallel}
+	opts := harness.Options{Scale: *scale, Workers: *workers, GPMParallel: *gpmParallel, Trace: *traceOut != ""}
 	if *progress {
 		opts.OnEvent = func(ev runner.Event) {
 			if ev.Kind == runner.PointDone && ev.Err == nil && !ev.CacheHit {
@@ -69,6 +72,24 @@ func main() {
 		}
 	}
 	h := harness.NewWithOptions(opts)
+	// writeTrace renders every traced point on the successful exit
+	// paths; -trace without traced points (all errors) is itself an
+	// error.
+	writeTrace := func() {
+		if *traceOut == "" {
+			return
+		}
+		pts := h.Engine().Traces()
+		if len(pts) == 0 {
+			fmt.Fprintln(os.Stderr, "paper: no traced points to write")
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTracesFile(*traceOut, pts); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paper: wrote %d traced points to %s\n", len(pts), *traceOut)
+	}
 	// On every successful exit, -progress closes with the run engine's
 	// execution profile (worker occupancy, cache savings, slowest point).
 	defer func() {
@@ -219,12 +240,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, "paper:", err)
 				os.Exit(1)
 			}
-			defer f.Close()
 			if err := rep.WriteTables(f); err != nil {
+				f.Close()
 				fmt.Fprintln(os.Stderr, "paper:", err)
 				os.Exit(1)
 			}
 			fmt.Fprintf(f, "(%d distinct simulations at scale %g)\n", h.Runs(), *scale)
+			f.Close()
 		}
 		if *csvDir != "" {
 			if err := rep.WriteCSVDir(*csvDir); err != nil {
@@ -232,6 +254,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		writeTrace()
 		return
 	}
 	if *only != "" {
@@ -239,6 +262,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}
+		writeTrace()
 		return
 	}
 	if err := h.RunAll(out); err != nil {
@@ -246,4 +270,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(out, "(%d distinct simulations at scale %g)\n", h.Runs(), *scale)
+	writeTrace()
 }

@@ -1,0 +1,336 @@
+// Command tracelens analyzes the simulator's timeline traces: it
+// detects repeating kernel cycles, separates compute-bound from
+// memory-bound phases (optionally costed in joules against a -counters
+// export), and diffs a baseline trace against an optimized one with
+// regression thresholds a CI gate can act on.
+//
+// Usage:
+//
+//	tracelens analyze  trace.json[.gz] [-counters report.json] [-csv phases.csv] [-o report.md]
+//	tracelens compare  base.json[.gz] opt.json[.gz] [-threshold 5] [-csv deltas.csv] [-o report.md]
+//	tracelens sig      trace.json[.gz]... [-o trace.sig]
+//
+// Input files may be exact cycles-domain obs.Trace JSON (as embedded
+// in sim.Result exports) or rendered Chrome trace_event documents
+// (single- or multi-point, as written by the -trace flags of gpmsim,
+// sweep, and paper); gzip is detected by magic bytes, never the file
+// name. Output paths ending in .gz are gzip-compressed; "-" or an
+// empty -o means stdout.
+//
+// compare exits 2 when any per-kernel regression exceeds -threshold
+// percent, which is what makes it a CI gate (see make trace-regress).
+// All output is deterministic: the same inputs render byte-identical
+// reports on every invocation and every machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpujoule/internal/obs"
+	"gpujoule/internal/traceanalyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "sig":
+		err = cmdSig(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tracelens: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if err == errBreach {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "tracelens:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  tracelens analyze  trace.json[.gz] [-counters report.json] [-csv phases.csv] [-o report.md]
+  tracelens compare  base.json[.gz] opt.json[.gz] [-threshold pct] [-csv deltas.csv] [-o report.md]
+  tracelens sig      trace.json[.gz]... [-o trace.sig]
+`)
+}
+
+// analysisFlags are the knobs shared by the subcommands.
+type analysisFlags struct {
+	minIters      int
+	busyThreshold float64
+	satThreshold  float64
+}
+
+func addAnalysisFlags(fs *flag.FlagSet) *analysisFlags {
+	af := &analysisFlags{}
+	fs.IntVar(&af.minIters, "min-iters", 2, "fewest repetitions that count as a kernel cycle")
+	fs.Float64Var(&af.busyThreshold, "busy-threshold", 0.5, "busy fraction below which a launch is memory-bound")
+	fs.Float64Var(&af.satThreshold, "sat-threshold", 0.5, "link-saturation residency at or above which a launch is memory-bound")
+	return af
+}
+
+func (af *analysisFlags) cycleOpts() traceanalyze.CycleOptions {
+	return traceanalyze.CycleOptions{MinIterations: af.minIters}
+}
+
+func (af *analysisFlags) phaseOpts() traceanalyze.PhaseOptions {
+	return traceanalyze.PhaseOptions{BusyThreshold: af.busyThreshold, SatThreshold: af.satThreshold}
+}
+
+// parseMixed parses argv allowing flags and positional arguments to
+// interleave (stdlib flag stops at the first positional), returning
+// the positionals in order.
+func parseMixed(fs *flag.FlagSet, argv []string) []string {
+	var pos []string
+	fs.Parse(argv)
+	for fs.NArg() > 0 {
+		pos = append(pos, fs.Arg(0))
+		rest := append([]string(nil), fs.Args()[1:]...)
+		fs.Parse(rest)
+	}
+	return pos
+}
+
+// stem labels runs loaded from bare obs.Trace files.
+func stem(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, ".gz")
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// emit writes render either to stdout (path empty or "-") or
+// atomically to path, gzip-compressing *.gz.
+func emit(path string, render func(io.Writer) error) error {
+	if path == "" || path == "-" {
+		return render(os.Stdout)
+	}
+	return obs.WriteFileAtomic(path, render)
+}
+
+// loadTerms reads a -counters export (obs.Report JSON) and indexes the
+// per-point energy terms by the "<workload> on <config>" run name.
+func loadTerms(path string) (map[string]obs.TermEnergy, error) {
+	rc, err := obs.OpenAuto(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	var rep obs.Report
+	if err := json.NewDecoder(rc).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	terms := map[string]obs.TermEnergy{}
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		if p.Energy == nil {
+			continue
+		}
+		terms[p.Workload+" on "+p.Config] = p.Energy.Terms
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("%s carries no energy attribution (export with -counters from a pricing CLI)", path)
+	}
+	return terms, nil
+}
+
+func cmdAnalyze(argv []string) error {
+	fs := flag.NewFlagSet("tracelens analyze", flag.ExitOnError)
+	af := addAnalysisFlags(fs)
+	countersPath := fs.String("counters", "", "obs.Report JSON with energy attribution; phases matching a point by name are costed in joules")
+	csvPath := fs.String("csv", "", "also write the phase table as CSV to this file")
+	out := fs.String("o", "", "write the markdown report here instead of stdout")
+	pos := parseMixed(fs, argv)
+	if len(pos) != 1 {
+		return fmt.Errorf("analyze wants exactly one trace file, got %d", len(pos))
+	}
+	path := pos[0]
+	runs, err := traceanalyze.LoadFile(path, stem(path))
+	if err != nil {
+		return err
+	}
+	var terms map[string]obs.TermEnergy
+	if *countersPath != "" {
+		if terms, err = loadTerms(*countersPath); err != nil {
+			return err
+		}
+	}
+
+	analyses := make([]*traceanalyze.Analysis, len(runs))
+	for i, r := range runs {
+		a := traceanalyze.Analyze(r, af.cycleOpts(), af.phaseOpts())
+		if t, ok := terms[r.Name]; ok {
+			a.Cost(t)
+		} else if terms != nil {
+			fmt.Fprintf(os.Stderr, "tracelens: no energy attribution for %q in %s; phases stay uncosted\n", r.Name, *countersPath)
+		}
+		analyses[i] = a
+	}
+
+	if err := emit(*out, func(w io.Writer) error {
+		for i, a := range analyses {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			if err := a.WriteMarkdown(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		return emit(*csvPath, func(w io.Writer) error {
+			for _, a := range analyses {
+				if err := a.WritePhasesCSV(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return nil
+}
+
+// errBreach signals a threshold breach; main maps it to exit code 2.
+var errBreach = fmt.Errorf("regression threshold breached")
+
+func cmdCompare(argv []string) error {
+	fs := flag.NewFlagSet("tracelens compare", flag.ExitOnError)
+	af := addAnalysisFlags(fs)
+	threshold := fs.Float64("threshold", 5, "fail (exit 2) when any per-kernel slowdown exceeds this percent")
+	csvPath := fs.String("csv", "", "also write the per-kernel delta table as CSV to this file")
+	out := fs.String("o", "", "write the markdown report here instead of stdout")
+	pos := parseMixed(fs, argv)
+	if len(pos) != 2 {
+		return fmt.Errorf("compare wants a baseline and an optimized trace, got %d args", len(pos))
+	}
+	basePath, optPath := pos[0], pos[1]
+	baseRuns, err := traceanalyze.LoadFile(basePath, stem(basePath))
+	if err != nil {
+		return err
+	}
+	optRuns, err := traceanalyze.LoadFile(optPath, stem(optPath))
+	if err != nil {
+		return err
+	}
+
+	// Pair runs by name when both sides are multi-point; positionally
+	// otherwise (two single-run traces compare regardless of labels).
+	type pair struct{ base, opt *traceanalyze.Run }
+	var pairs []pair
+	if len(baseRuns) == 1 && len(optRuns) == 1 {
+		pairs = []pair{{baseRuns[0], optRuns[0]}}
+	} else {
+		byName := map[string]*traceanalyze.Run{}
+		for _, r := range optRuns {
+			byName[r.Name] = r
+		}
+		for _, b := range baseRuns {
+			if o, ok := byName[b.Name]; ok {
+				pairs = append(pairs, pair{b, o})
+			} else {
+				fmt.Fprintf(os.Stderr, "tracelens: point %q only in baseline; skipped\n", b.Name)
+			}
+		}
+		if len(pairs) == 0 {
+			return fmt.Errorf("no common points between %s and %s", basePath, optPath)
+		}
+	}
+
+	comparisons := make([]*traceanalyze.Comparison, len(pairs))
+	breached := false
+	for i, p := range pairs {
+		c := traceanalyze.Compare(p.base, p.opt, af.phaseOpts())
+		comparisons[i] = c
+		for _, d := range c.Breaches(*threshold) {
+			breached = true
+			fmt.Fprintf(os.Stderr, "tracelens: REGRESSION %s / %s: %s cycles %s -> %s (+%s%% > %g%%)\n",
+				p.base.Name, d.Kernel, kindOf(&d), fmtF(d.BaseCycles), fmtF(d.OptCycles), fmtF(d.DeltaPct()), *threshold)
+		}
+	}
+
+	if err := emit(*out, func(w io.Writer) error {
+		for i, c := range comparisons {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			if err := c.WriteMarkdown(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		if err := emit(*csvPath, func(w io.Writer) error {
+			for _, c := range comparisons {
+				if err := c.WriteCSV(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if breached {
+		return errBreach
+	}
+	return nil
+}
+
+func kindOf(d *traceanalyze.KernelDelta) string {
+	if d.BaseLaunches == 0 {
+		return "new kernel"
+	}
+	return "kernel"
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%g", v) }
+
+func cmdSig(argv []string) error {
+	fs := flag.NewFlagSet("tracelens sig", flag.ExitOnError)
+	af := addAnalysisFlags(fs)
+	out := fs.String("o", "", "write the signature here instead of stdout")
+	pos := parseMixed(fs, argv)
+	if len(pos) == 0 {
+		return fmt.Errorf("sig wants at least one trace file")
+	}
+	var runs []*traceanalyze.Run
+	for _, path := range pos {
+		rs, err := traceanalyze.LoadFile(path, stem(path))
+		if err != nil {
+			return err
+		}
+		runs = append(runs, rs...)
+	}
+	return emit(*out, func(w io.Writer) error {
+		return traceanalyze.WriteSignature(w, runs, af.cycleOpts(), af.phaseOpts())
+	})
+}

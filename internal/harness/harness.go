@@ -41,6 +41,10 @@ type Options struct {
 	// many parallel lanes (runner.Options.GPMParallel); results and
 	// every rendered table stay byte-identical at any lane count.
 	GPMParallel int
+	// Trace records a timeline trace on every simulation the harness
+	// runs (runner.Options.Trace, implies counters); collect the traces
+	// with Engine().Traces().
+	Trace bool
 	// Context cancels in-flight experiment grids when done; nil means
 	// context.Background().
 	Context context.Context
@@ -77,6 +81,7 @@ func NewWithOptions(opts Options) *Harness {
 			OnEvent:     opts.OnEvent,
 			Counters:    opts.Counters,
 			GPMParallel: opts.GPMParallel,
+			Trace:       opts.Trace,
 		}),
 		ctx:       ctx,
 		onPackage: core.ProjectionModel(core.OnPackageLinks()),

@@ -16,7 +16,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
+
+// Trace production counters, exported on the Prometheus /metrics
+// surface (internal/profiling) so traced runs are visible wherever the
+// introspection endpoints are mounted — the sweep/gpmsim -httpaddr
+// servers and the gpujouled service alike. Process-wide atomics: traced
+// runs may snapshot concurrently under runner workers.
+var (
+	traceRuns  atomic.Uint64
+	traceBytes atomic.Uint64
+)
+
+// TraceRunsTotal reports how many traced runs this process snapshotted.
+func TraceRunsTotal() uint64 { return traceRuns.Load() }
+
+// TraceBytesWrittenTotal reports the cumulative size of the Chrome
+// trace_event documents this process rendered (pre-compression bytes:
+// what the encoder produced, regardless of any ".gz" path compression).
+func TraceBytesWrittenTotal() uint64 { return traceBytes.Load() }
 
 // SaturationUtilization is the per-sample-window utilization at or
 // above which a link counts as saturated in the trace timeline.
@@ -73,6 +92,7 @@ type Trace struct {
 // TraceSnapshot freezes the collector's timeline into a Trace,
 // deriving link-saturation episodes from the sampled link-busy series.
 func (c *Collector) TraceSnapshot(clockHz float64) *Trace {
+	traceRuns.Add(1)
 	return &Trace{
 		SchemaVersion: SchemaVersion,
 		ClockHz:       clockHz,
@@ -159,7 +179,10 @@ func (t *Trace) WriteChromeFile(path, label string) error {
 }
 
 // WriteChromeTraces renders several traced points into one Chrome
-// trace_event document, one process track per point.
+// trace_event document, one process track per point. The document's
+// otherData records the cycles→microseconds clock (clock_hz), which is
+// what lets internal/traceanalyze convert a rendered file back into the
+// exact cycles domain.
 func WriteChromeTraces(w io.Writer, points []PointTrace) error {
 	file := chromeFile{
 		TraceEvents:     []chromeEvent{},
@@ -173,11 +196,30 @@ func WriteChromeTraces(w io.Writer, points []PointTrace) error {
 		if pt.Trace == nil {
 			continue
 		}
+		if _, ok := file.OtherData["clock_hz"]; !ok {
+			file.OtherData["clock_hz"] = pt.Trace.ClockHz
+		}
 		file.TraceEvents = appendChromeEvents(file.TraceEvents, i+1, pt.Name, pt.Trace)
 	}
-	enc := json.NewEncoder(w)
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
 	enc.SetIndent("", " ")
-	return enc.Encode(file)
+	err := enc.Encode(file)
+	traceBytes.Add(cw.n)
+	return err
+}
+
+// countingWriter counts the bytes the Chrome encoder produces, feeding
+// the trace-bytes-written metric.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
 }
 
 // WriteChromeTracesFile writes the multi-point rendering atomically.
@@ -228,11 +270,16 @@ func appendChromeEvents(events []chromeEvent, pid int, label string, t *Trace) [
 			if window > 0 {
 				frac = p.BusyCycles / window
 			}
+			// The launch index is the stable launch ID shared with the
+			// tid-0 kernel span: it is what lets a reader reattach a GPM
+			// phase to its launch exactly, instead of matching windows by
+			// timestamp (which collide for zero-duration launches).
 			events = append(events, chromeEvent{
 				Name: fmt.Sprintf("%s busy %.0f%%", l.Kernel, frac*100), Ph: "X",
 				Ts: l.StartCycles * us, Dur: (l.EndCycles - l.StartCycles) * us,
 				Pid: pid, Tid: 1 + p.GPM,
 				Args: map[string]any{
+					"launch":       i,
 					"busy_cycles":  p.BusyCycles,
 					"stall_cycles": p.StallCycles,
 				},

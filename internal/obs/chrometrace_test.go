@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -65,6 +68,182 @@ func TestDeriveEpisodesDegenerate(t *testing.T) {
 	}
 	if eps := deriveEpisodes([]string{"l"}, s, nil); eps != nil {
 		t.Errorf("mismatched busy series: %+v", eps)
+	}
+}
+
+// TestDeriveEpisodesRunsToEnd checks an episode still open at the end
+// of the trace: a link saturated through the final sample closes at the
+// last sample time with the correct episode-average utilization.
+func TestDeriveEpisodesRunsToEnd(t *testing.T) {
+	samples := []Sample{
+		{TimeCycles: 100}, {TimeCycles: 200}, {TimeCycles: 300},
+	}
+	// Windows: 0.2, 0.95, 1.0 — saturation starts at 100 and never ends.
+	busy := [][]float64{{20}, {115}, {215}}
+	eps := deriveEpisodes([]string{"l"}, samples, busy)
+	if len(eps) != 1 {
+		t.Fatalf("got %d episodes, want 1: %+v", len(eps), eps)
+	}
+	e := eps[0]
+	if e.StartCycles != 100 || e.EndCycles != 300 {
+		t.Errorf("episode window [%g, %g), want [100, 300)", e.StartCycles, e.EndCycles)
+	}
+	if want := 195.0 / 200.0; e.Utilization != want {
+		t.Errorf("utilization = %g, want %g", e.Utilization, want)
+	}
+}
+
+// renderChrome renders one trace and decodes the document back.
+func renderChrome(t *testing.T, tr *Trace) chromeFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestChromeExportEmptySamplerSeries checks the rendering of a trace
+// with no sampler series: no link-saturation threads, no counter
+// events, and the kernel/GPM tracks still render.
+func TestChromeExportEmptySamplerSeries(t *testing.T) {
+	tr := &Trace{
+		SchemaVersion: SchemaVersion,
+		ClockHz:       1e9,
+		Launches: []TraceLaunch{{
+			Kernel: "k", StartCycles: 0, EndCycles: 100,
+			GPMs: []TraceGPMPhase{{GPM: 0, BusyCycles: 60, StallCycles: 40}},
+		}},
+	}
+	doc := renderChrome(t, tr)
+	var spans, counters, linkThreads int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "C":
+			counters++
+		case "X":
+			spans++
+		case "M":
+			if name, _ := ev.Args["name"].(string); strings.HasPrefix(name, "link ") {
+				linkThreads++
+			}
+		}
+	}
+	if counters != 0 {
+		t.Errorf("sampler-less trace rendered %d counter events", counters)
+	}
+	if linkThreads != 0 {
+		t.Errorf("sampler-less trace rendered %d link threads", linkThreads)
+	}
+	if spans != 2 { // one kernel span + one GPM phase span
+		t.Errorf("rendered %d duration events, want 2", spans)
+	}
+}
+
+// TestChromeExportZeroDurationLaunch checks a launch whose window is
+// empty (Start == End): the spans render with zero duration, the busy
+// percentage degrades to 0 instead of NaN, and the stable launch ID is
+// carried on both the kernel and the GPM span.
+func TestChromeExportZeroDurationLaunch(t *testing.T) {
+	tr := &Trace{
+		SchemaVersion: SchemaVersion,
+		ClockHz:       1e9,
+		Launches: []TraceLaunch{
+			{Kernel: "warmup", StartCycles: 500, EndCycles: 500,
+				GPMs: []TraceGPMPhase{{GPM: 0}}},
+			{Kernel: "real", StartCycles: 500, EndCycles: 700,
+				GPMs: []TraceGPMPhase{{GPM: 0, BusyCycles: 100, StallCycles: 100}}},
+		},
+	}
+	doc := renderChrome(t, tr)
+	var sawZero bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if math.IsNaN(ev.Ts) || math.IsNaN(ev.Dur) {
+			t.Fatalf("event %q has NaN ts/dur", ev.Name)
+		}
+		if strings.Contains(ev.Name, "NaN") {
+			t.Fatalf("event name %q carries NaN busy fraction", ev.Name)
+		}
+		if ev.Tid != 0 { // GPM phase span: must carry the launch ID
+			if _, ok := ev.Args["launch"]; !ok {
+				t.Errorf("GPM span %q carries no launch ID", ev.Name)
+			}
+		}
+		if ev.Dur == 0 && strings.HasPrefix(ev.Name, "warmup") {
+			sawZero = true
+			if !strings.Contains(ev.Name, "busy 0%") && ev.Tid != 0 {
+				t.Errorf("zero-window GPM span named %q, want busy 0%%", ev.Name)
+			}
+		}
+	}
+	if !sawZero {
+		t.Error("zero-duration launch rendered no zero-duration span")
+	}
+}
+
+// TestChromeExportSaturationToEndOfTrace checks the full pipeline for a
+// saturation episode that runs to end-of-trace: the collector's
+// snapshot derives it and the rendering closes the span at the last
+// sample rather than dropping or extending it.
+func TestChromeExportSaturationToEndOfTrace(t *testing.T) {
+	c := NewCollector(1, 100)
+	busy := 0.0
+	c.EnableTrace([]string{"ring[0]"}, func() []float64 { return []float64{busy} })
+	c.RecordLaunch("k", 0, 300, []TraceGPMPhase{{GPM: 0, BusyCycles: 300}})
+	for _, s := range []struct{ now, b float64 }{{100, 20}, {200, 115}, {300, 215}} {
+		busy = s.b
+		c.MaybeSample(s.now, 1, 0)
+	}
+	tr := c.TraceSnapshot(1e9)
+	if len(tr.Episodes) != 1 {
+		t.Fatalf("snapshot derived %d episodes, want 1: %+v", len(tr.Episodes), tr.Episodes)
+	}
+	if e := tr.Episodes[0]; e.EndCycles != 300 {
+		t.Errorf("open episode closes at %g, want end-of-trace 300", e.EndCycles)
+	}
+	doc := renderChrome(t, tr)
+	var satSpans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "saturated" {
+			satSpans++
+			want := 300 * 1e6 / tr.ClockHz
+			if gotEnd := ev.Ts + ev.Dur; math.Abs(gotEnd-want) > 1e-12 {
+				t.Errorf("saturation span ends at %g µs, want %g", gotEnd, want)
+			}
+		}
+	}
+	if satSpans != 1 {
+		t.Errorf("rendered %d saturation spans, want 1", satSpans)
+	}
+}
+
+// TestTraceProductionCounters checks the process-wide production
+// metrics: TraceSnapshot counts a run, and rendering counts exactly
+// the bytes the Chrome encoder produced (pre-compression).
+func TestTraceProductionCounters(t *testing.T) {
+	c := NewCollector(1, 100)
+	c.RecordLaunch("k", 0, 100, []TraceGPMPhase{{GPM: 0, BusyCycles: 60, StallCycles: 40}})
+
+	runs0 := TraceRunsTotal()
+	tr := c.TraceSnapshot(1e9)
+	if got := TraceRunsTotal() - runs0; got != 1 {
+		t.Errorf("TraceSnapshot advanced the run counter by %d, want 1", got)
+	}
+
+	bytes0 := TraceBytesWrittenTotal()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := TraceBytesWrittenTotal()-bytes0, uint64(buf.Len()); got != want {
+		t.Errorf("byte counter advanced by %d, want the %d rendered bytes", got, want)
 	}
 }
 

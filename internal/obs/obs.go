@@ -21,11 +21,13 @@
 package obs
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"gpujoule/internal/isa"
 )
@@ -370,6 +372,13 @@ func (r *Report) WriteFile(path string) error {
 // discipline of every artifact this repository persists — counter
 // reports, Chrome traces, and the gpujouled result cache — so a crash
 // or a concurrent reader never observes a torn file.
+//
+// A path ending in ".gz" is gzip-compressed transparently: write
+// receives the compression writer, and the commit happens only after
+// the gzip stream is flushed and closed, so a ".gz" artifact on disk is
+// always a complete, valid stream. Every reader in this repository
+// sniffs the gzip magic bytes rather than trusting the extension (see
+// OpenAuto), so compressed and plain artifacts are interchangeable.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -382,7 +391,15 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return fmt.Errorf("obs: %s %s: %w", stage, path, err)
 	}
-	if err := write(f); err != nil {
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := write(gz); err != nil {
+			return fail("writing", err)
+		}
+		if err := gz.Close(); err != nil {
+			return fail("compressing", err)
+		}
+	} else if err := write(f); err != nil {
 		return fail("writing", err)
 	}
 	if err := f.Close(); err != nil {

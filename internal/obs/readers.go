@@ -1,0 +1,110 @@
+// Shared trace-schema readers: the file-opening discipline every
+// consumer of persisted observability artifacts uses. Artifacts may be
+// stored plain or gzip-compressed (WriteFileAtomic compresses ".gz"
+// paths); readers never trust the extension — they sniff the two gzip
+// magic bytes, so a renamed or piped file still opens correctly.
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// gzipMagic is the two-byte header every gzip stream starts with
+// (RFC 1952 §2.3.1).
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// MaybeGzip wraps r with transparent gzip decompression when the
+// stream starts with the gzip magic bytes, and returns it unchanged
+// (buffered) otherwise. The decision reads nothing from the logical
+// stream: the sniffed bytes are unread for the next consumer.
+func MaybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return gz, nil
+	}
+	return br, nil
+}
+
+// OpenAuto opens path for reading with transparent gzip decompression
+// (sniffed, not extension-based). Closing the returned ReadCloser
+// closes the underlying file.
+func OpenAuto(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := MaybeGzip(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: opening %s: %w", path, err)
+	}
+	return &autoReadCloser{r: r, f: f}, nil
+}
+
+// autoReadCloser pairs the (possibly decompressing) reader with the
+// file it draws from.
+type autoReadCloser struct {
+	r io.Reader
+	f *os.File
+}
+
+func (a *autoReadCloser) Read(p []byte) (int, error) { return a.r.Read(p) }
+
+func (a *autoReadCloser) Close() error {
+	if gz, ok := a.r.(*gzip.Reader); ok {
+		// Surface a truncated stream on Close even if the consumer
+		// stopped reading early; the file close still runs.
+		if err := gz.Close(); err != nil {
+			a.f.Close()
+			return err
+		}
+	}
+	return a.f.Close()
+}
+
+// ReadTraceFile reads one exact cycles-domain Trace from a JSON file
+// (plain or gzipped): the schema-versioned form attached to sim.Result
+// by sim.WithTrace, as opposed to the rendered Chrome trace_event
+// document. Files holding a full sim.Result JSON also load — the
+// embedded "trace" section is extracted.
+func ReadTraceFile(path string) (*Trace, error) {
+	rc, err := OpenAuto(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading %s: %w", path, err)
+	}
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+	}
+	if len(t.Launches) == 0 {
+		// Maybe a document embedding the trace (a sim.Result export).
+		var wrapper struct {
+			Trace *Trace `json:"trace"`
+		}
+		if err := json.Unmarshal(data, &wrapper); err == nil && wrapper.Trace != nil {
+			return wrapper.Trace, nil
+		}
+	}
+	if t.ClockHz == 0 && len(t.Launches) == 0 {
+		return nil, fmt.Errorf("obs: %s holds no trace (want an obs.Trace JSON document)", path)
+	}
+	return &t, nil
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleTrace is a minimal but non-trivial trace for round-trips.
+func sampleTrace() *Trace {
+	return &Trace{
+		SchemaVersion: SchemaVersion,
+		ClockHz:       1e9,
+		Launches: []TraceLaunch{
+			{Kernel: "a", StartCycles: 0, EndCycles: 100,
+				GPMs: []TraceGPMPhase{{GPM: 0, BusyCycles: 80, StallCycles: 20}}},
+			{Kernel: "b", StartCycles: 150, EndCycles: 400,
+				GPMs: []TraceGPMPhase{{GPM: 0, BusyCycles: 50, StallCycles: 200}}},
+		},
+		Episodes: []LinkEpisode{{Link: "ring[0]", StartCycles: 200, EndCycles: 300, Utilization: 0.95}},
+		Samples:  []Sample{{TimeCycles: 100, ActiveWarps: 4}},
+	}
+}
+
+// TestWriteFileAtomicGzip checks the ".gz" path of the atomic writer:
+// the committed file is a complete gzip stream whose payload matches a
+// plain write, and OpenAuto reads it back transparently.
+func TestWriteFileAtomicGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "out.json")
+	zipped := filepath.Join(dir, "out.json.gz")
+	write := func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"hello":"world"}`)
+		return err
+	}
+	if err := WriteFileAtomic(plain, write); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(zipped, write); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf(".gz file does not start with the gzip magic: % x", raw[:2])
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := os.ReadFile(plain)
+	if !bytes.Equal(payload, want) {
+		t.Errorf("gzip payload = %q, want %q", payload, want)
+	}
+
+	for _, path := range []string{plain, zipped} {
+		rc, err := OpenAuto(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("OpenAuto(%s) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestMaybeGzipSniffsNotExtension checks the magic-byte sniff: a ".gz"
+// name holding plain bytes reads as plain, short streams don't error.
+func TestMaybeGzipSniffsNotExtension(t *testing.T) {
+	r, err := MaybeGzip(strings.NewReader("plain text"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	if string(got) != "plain text" {
+		t.Errorf("plain stream read as %q", got)
+	}
+	for _, short := range []string{"", "x"} {
+		r, err := MaybeGzip(strings.NewReader(short))
+		if err != nil {
+			t.Fatalf("short stream %q: %v", short, err)
+		}
+		got, _ := io.ReadAll(r)
+		if string(got) != short {
+			t.Errorf("short stream %q read as %q", short, got)
+		}
+	}
+}
+
+// TestReadTraceFile checks the exact-trace reader over plain, gzipped,
+// and sim.Result-embedded documents.
+func TestReadTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	tr := sampleTrace()
+
+	writeJSON := func(path string, v any) {
+		t.Helper()
+		if err := WriteFileAtomic(path, func(w io.Writer) error {
+			return json.NewEncoder(w).Encode(v)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plain := filepath.Join(dir, "trace.json")
+	zipped := filepath.Join(dir, "trace.json.gz")
+	embedded := filepath.Join(dir, "result.json")
+	writeJSON(plain, tr)
+	writeJSON(zipped, tr)
+	writeJSON(embedded, map[string]any{"cycles": 400, "trace": tr})
+
+	for _, path := range []string{plain, zipped, embedded} {
+		got, err := ReadTraceFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got.ClockHz != tr.ClockHz || len(got.Launches) != len(tr.Launches) {
+			t.Errorf("%s: read %d launches at %g Hz, want %d at %g",
+				path, len(got.Launches), got.ClockHz, len(tr.Launches), tr.ClockHz)
+		}
+		if got.Launches[1].Kernel != "b" || got.Launches[1].EndCycles != 400 {
+			t.Errorf("%s: launch 1 = %+v", path, got.Launches[1])
+		}
+	}
+
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte(`{"nope":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceFile(junk); err == nil {
+		t.Error("trace-less document read without error")
+	}
+}

@@ -183,6 +183,8 @@ func (s *HTTPServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	WriteGauge(w, "gpujoule_runner_occupancy", "Fraction of worker-seconds spent simulating.", rp.Occupancy)
 	WriteGauge(w, "gpujoule_runner_warp_instructions", "Cumulative simulated warp instructions.", float64(rp.WarpInstructions))
 	WriteGauge(w, "gpujoule_runner_ns_per_instruction", "Simulator cost per warp instruction.", rp.NsPerInstruction)
+	WriteCounter(w, "gpujoule_trace_runs_total", "Simulation runs that recorded a timeline trace.", float64(obs.TraceRunsTotal()))
+	WriteCounter(w, "gpujoule_trace_bytes_written_total", "Bytes of Chrome trace_event output rendered (pre-compression).", float64(obs.TraceBytesWrittenTotal()))
 	for _, emit := range extras {
 		emit(w)
 	}

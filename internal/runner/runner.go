@@ -180,9 +180,12 @@ type Engine struct {
 
 // entry is one memoized (or in-flight) point. done is closed exactly
 // once, after res/err are set; failed entries are evicted from the
-// cache so errors are never memoized.
+// cache so errors are never memoized. name is the claiming point's
+// human label, fixed at claim time so Traces can attribute memoized
+// results without re-deriving point identity.
 type entry struct {
 	done chan struct{}
+	name string
 	res  *sim.Result
 	err  error
 }
@@ -243,6 +246,33 @@ func (e *Engine) Distinct() int {
 }
 
 // Stats returns a snapshot of the engine's counters.
+// Traces returns the timeline trace of every resolved point in the
+// memo cache, one obs.PointTrace per distinct simulation, sorted by
+// point name so the rendered Chrome file is deterministic regardless
+// of resolution order. Empty unless the engine was built with
+// Options.Trace; in-flight and failed points are skipped.
+func (e *Engine) Traces() []obs.PointTrace {
+	e.mu.Lock()
+	entries := make([]*entry, 0, len(e.cache))
+	for _, ent := range e.cache {
+		entries = append(entries, ent)
+	}
+	e.mu.Unlock()
+	var out []obs.PointTrace
+	for _, ent := range entries {
+		select {
+		case <-ent.done:
+		default:
+			continue // still in flight
+		}
+		if ent.err == nil && ent.res != nil && ent.res.Trace != nil {
+			out = append(out, obs.PointTrace{Name: ent.name, Trace: ent.res.Trace})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -355,7 +385,7 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]*sim.Result, error)
 			hits = append(hits, h)
 			continue
 		}
-		ent := &entry{done: make(chan struct{})}
+		ent := &entry{done: make(chan struct{}), name: p.String()}
 		e.cache[k] = ent
 		entries[i] = ent
 		jobs = append(jobs, job{pt: p, key: k, ent: ent})

@@ -1,0 +1,295 @@
+package traceanalyze
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"gpujoule/internal/obs"
+)
+
+// mkRun builds a synthetic run: each kernel occupies a 100-cycle
+// window back to back; busyFrac sets its busy/stall split over 1000
+// SM-cycles.
+func mkRun(kernels []string, busyFrac []float64) *Run {
+	r := &Run{Name: "synthetic", ClockHz: 1e9}
+	for i, k := range kernels {
+		bf := 0.9
+		if busyFrac != nil {
+			bf = busyFrac[i]
+		}
+		start := float64(i * 100)
+		r.Launches = append(r.Launches, Launch{
+			Seq: i, Kernel: k, Start: start, End: start + 100,
+			Busy: 1000 * bf, Stall: 1000 * (1 - bf),
+			GPMs: []GPMPhase{{GPM: 0, Busy: 1000 * bf, Stall: 1000 * (1 - bf)}},
+		})
+	}
+	return r
+}
+
+func TestSeqSignatureSeparatesBoundaries(t *testing.T) {
+	if SeqSignature([]string{"ab", "c"}) == SeqSignature([]string{"a", "bc"}) {
+		t.Error(`"ab","c" and "a","bc" collide — separator not folded in`)
+	}
+	if SeqSignature([]string{"a", "b"}) != SeqSignature([]string{"a", "b"}) {
+		t.Error("equal sequences hash differently")
+	}
+	if SeqSignature(nil) != SeqSignature([]string{}) {
+		t.Error("nil and empty sequences hash differently")
+	}
+}
+
+func TestCanonicalCycleRotationInvariant(t *testing.T) {
+	base, _, sigBase := CanonicalCycle([]string{"a", "b", "c"})
+	for rot, members := range [][]string{
+		{"a", "b", "c"}, {"b", "c", "a"}, {"c", "a", "b"},
+	} {
+		canon, rotation, sig := CanonicalCycle(members)
+		if !reflect.DeepEqual(canon, base) {
+			t.Errorf("rotation %d canonicalized to %v, want %v", rot, canon, base)
+		}
+		if sig != sigBase {
+			t.Errorf("rotation %d signature %x, want %x", rot, sig, sigBase)
+		}
+		if want := (3 - rot) % 3; rotation != want {
+			t.Errorf("rotation %d reported offset %d, want %d", rot, rotation, want)
+		}
+	}
+	// Duplicate symbols: minimal rotation of b,a,b,a is a,b,a,b.
+	canon, _, _ := CanonicalCycle([]string{"b", "a", "b", "a"})
+	if !reflect.DeepEqual(canon, []string{"a", "b", "a", "b"}) {
+		t.Errorf("canonical(b,a,b,a) = %v", canon)
+	}
+}
+
+func TestDetectCycle(t *testing.T) {
+	r := mkRun([]string{"init", "a", "b", "a", "b", "a", "b", "fin"}, nil)
+	c := DetectCycle(r, CycleOptions{})
+	if c == nil {
+		t.Fatal("no cycle detected")
+	}
+	if c.Period != 2 || c.Iterations != 3 || c.Start != 1 {
+		t.Fatalf("cycle = period %d, iters %d, start %d; want 2, 3, 1", c.Period, c.Iterations, c.Start)
+	}
+	if !reflect.DeepEqual(c.Members, []string{"a", "b"}) {
+		t.Errorf("members = %v", c.Members)
+	}
+	if len(c.Iters) != 3 {
+		t.Fatalf("got %d iteration stats", len(c.Iters))
+	}
+	it := c.Iters[1]
+	if it.FirstSeq != 3 || it.LastSeq != 4 || it.Cycles != 200 {
+		t.Errorf("iter 1 = %+v", it)
+	}
+	if math.Abs(it.Busy-1800) > 1e-9 || math.Abs(it.Stall-200) > 1e-9 {
+		t.Errorf("iter 1 busy/stall = %g/%g, want 1800/200", it.Busy, it.Stall)
+	}
+	if len(c.MemberStats) != 2 || c.MemberStats[0].Kernel != "a" || c.MemberStats[0].Count != 3 {
+		t.Errorf("member stats = %+v", c.MemberStats)
+	}
+	if got := c.MemberStats[0].MeanCycles(); got != 100 {
+		t.Errorf("member a mean cycles = %g", got)
+	}
+}
+
+func TestDetectCyclePrefersPrimitivePeriod(t *testing.T) {
+	r := mkRun([]string{"a", "a", "a", "a"}, nil)
+	c := DetectCycle(r, CycleOptions{})
+	if c == nil || c.Period != 1 || c.Iterations != 4 {
+		t.Fatalf("cycle = %+v, want period 1 with 4 iterations", c)
+	}
+}
+
+func TestDetectCycleRotatedEntryMatchesSignature(t *testing.T) {
+	// Two runs entering the same loop at different offsets must agree
+	// on the canonical cycle signature.
+	r1 := mkRun([]string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}, nil)
+	r2 := mkRun([]string{"b", "c", "a", "b", "c", "a", "b", "c"}, nil)
+	c1 := DetectCycle(r1, CycleOptions{})
+	c2 := DetectCycle(r2, CycleOptions{})
+	if c1 == nil || c2 == nil {
+		t.Fatal("cycle not detected")
+	}
+	if c1.Signature != c2.Signature {
+		t.Errorf("signatures differ: %x vs %x", c1.Signature, c2.Signature)
+	}
+	if !reflect.DeepEqual(c1.Members, c2.Members) {
+		t.Errorf("canonical members differ: %v vs %v", c1.Members, c2.Members)
+	}
+}
+
+func TestDetectCycleNone(t *testing.T) {
+	r := mkRun([]string{"a", "b", "c", "d"}, nil)
+	if c := DetectCycle(r, CycleOptions{}); c != nil {
+		t.Errorf("detected a cycle in a non-repeating sequence: %+v", c)
+	}
+	if c := DetectCycle(&Run{}, CycleOptions{}); c != nil {
+		t.Errorf("detected a cycle in an empty run: %+v", c)
+	}
+}
+
+func TestSeparatePhases(t *testing.T) {
+	r := mkRun(
+		[]string{"c1", "c2", "m1", "m2", "m3", "c3"},
+		[]float64{0.9, 0.8, 0.2, 0.1, 0.3, 0.95},
+	)
+	phases := Separate(r, PhaseOptions{})
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3: %+v", len(phases), phases)
+	}
+	wantClass := []PhaseClass{ComputeBound, MemoryBound, ComputeBound}
+	wantLaunches := []int{2, 3, 1}
+	for i, p := range phases {
+		if p.Class != wantClass[i] || p.Launches != wantLaunches[i] {
+			t.Errorf("phase %d = %s with %d launches, want %s with %d",
+				i, p.Class, p.Launches, wantClass[i], wantLaunches[i])
+		}
+	}
+	if phases[1].FirstSeq != 2 || phases[1].LastSeq != 4 {
+		t.Errorf("memory phase spans seq %d..%d, want 2..4", phases[1].FirstSeq, phases[1].LastSeq)
+	}
+	if !reflect.DeepEqual(phases[1].Kernels, []string{"m1", "m2", "m3"}) {
+		t.Errorf("memory phase kernels = %v", phases[1].Kernels)
+	}
+}
+
+func TestSeparateSaturationOverride(t *testing.T) {
+	// A busy launch whose window sits inside a saturation episode is
+	// memory-bound regardless of its busy split.
+	r := mkRun([]string{"a", "b"}, []float64{0.9, 0.9})
+	r.Episodes = []Episode{{Link: "ring[0]", Start: 100, End: 200, Utilization: 0.95}}
+	phases := Separate(r, PhaseOptions{})
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2: %+v", len(phases), phases)
+	}
+	if phases[0].Class != ComputeBound || phases[1].Class != MemoryBound {
+		t.Errorf("classes = %s, %s", phases[0].Class, phases[1].Class)
+	}
+	if phases[1].SatCycles != 100 {
+		t.Errorf("saturated cycles = %g, want 100", phases[1].SatCycles)
+	}
+}
+
+func TestCostPhasesConservesEnergy(t *testing.T) {
+	r := mkRun([]string{"c", "m"}, []float64{0.9, 0.1})
+	phases := Separate(r, PhaseOptions{})
+	terms := obs.TermEnergy{
+		ComputeJ: 10, StallJ: 4, ConstantJ: 6,
+		ShmToRFJ: 1, L1ToRFJ: 2, L2ToL1J: 3, DRAMToL2J: 5, InterGPMJ: 8,
+	}
+	costs := CostPhases(phases, terms)
+	var total float64
+	for i := range costs {
+		total += costs[i].TotalJ()
+	}
+	if math.Abs(total-terms.Total()) > 1e-9 {
+		t.Errorf("apportioned %g J, want %g", total, terms.Total())
+	}
+	// Compute energy follows busy cycles: phase 0 carries 900 of 1000.
+	if got, want := costs[0].Terms.ComputeJ, 9.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("phase 0 compute = %g, want %g", got, want)
+	}
+	// No saturation anywhere: InterGPMJ falls back to the elapsed
+	// share (equal 100-cycle windows → 4 J each).
+	if got := costs[0].Terms.InterGPMJ; math.Abs(got-4) > 1e-9 {
+		t.Errorf("phase 0 intergpm = %g, want 4", got)
+	}
+}
+
+func TestCompareIdenticalRunsZeroDeltas(t *testing.T) {
+	a := mkRun([]string{"x", "y", "x", "y"}, nil)
+	b := mkRun([]string{"x", "y", "x", "y"}, nil)
+	c := Compare(a, b, PhaseOptions{})
+	if c.Matched != 4 || len(c.Inserted) != 0 || len(c.Removed) != 0 {
+		t.Errorf("alignment = %d matched, +%v -%v", c.Matched, c.Inserted, c.Removed)
+	}
+	for _, d := range c.Kernels {
+		if d.DeltaPct() != 0 {
+			t.Errorf("kernel %s delta = %g", d.Kernel, d.DeltaPct())
+		}
+	}
+	if c.TotalDeltaPct() != 0 {
+		t.Errorf("total delta = %g", c.TotalDeltaPct())
+	}
+	if br := c.Breaches(0.1); len(br) != 0 {
+		t.Errorf("breaches on identical runs: %+v", br)
+	}
+	// Byte-identical rendering across invocations.
+	var r1, r2 bytes.Buffer
+	if err := c.WriteMarkdown(&r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteMarkdown(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.Bytes(), r2.Bytes()) {
+		t.Error("markdown rendering not byte-identical across invocations")
+	}
+}
+
+func TestCompareInsertedAndRegressed(t *testing.T) {
+	base := mkRun([]string{"x", "y", "x", "y"}, nil)
+	opt := mkRun([]string{"x", "pad", "y", "x", "y"}, nil)
+	// Slow one x launch down 50%.
+	opt.Launches[3].End += 50
+	for i := 4; i < len(opt.Launches); i++ {
+		opt.Launches[i].Start += 50
+		opt.Launches[i].End += 50
+	}
+	c := Compare(base, opt, PhaseOptions{})
+	if c.Matched != 4 {
+		t.Errorf("matched %d launches, want 4", c.Matched)
+	}
+	if !reflect.DeepEqual(c.Inserted, []SeqChange{{Kernel: "pad", Count: 1}}) {
+		t.Errorf("inserted = %+v", c.Inserted)
+	}
+	if len(c.Removed) != 0 {
+		t.Errorf("removed = %+v", c.Removed)
+	}
+	br := c.Breaches(10)
+	names := map[string]bool{}
+	for _, d := range br {
+		names[d.Kernel] = true
+	}
+	// x regressed 25% (one of two launches 50% longer); pad is new
+	// (+Inf). y is unchanged.
+	if !names["x"] || !names["pad"] || names["y"] {
+		t.Errorf("breaches = %+v", br)
+	}
+}
+
+func TestAnalyzeMarkdownDeterministic(t *testing.T) {
+	r := mkRun([]string{"init", "a", "b", "a", "b", "fin"}, []float64{0.9, 0.2, 0.9, 0.2, 0.9, 0.9})
+	r.Episodes = []Episode{{Link: "ring[1]", Start: 150, End: 350, Utilization: 0.92}}
+	a := Analyze(r, CycleOptions{}, PhaseOptions{})
+	a.Cost(obs.TermEnergy{ComputeJ: 5, StallJ: 3, ConstantJ: 2, InterGPMJ: 1})
+	var r1, r2 bytes.Buffer
+	if err := a.WriteMarkdown(&r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteMarkdown(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.Bytes(), r2.Bytes()) {
+		t.Error("analysis markdown not byte-identical across invocations")
+	}
+	var csv bytes.Buffer
+	if err := a.WritePhasesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.Len() == 0 {
+		t.Error("empty phases CSV")
+	}
+	var sig1, sig2 bytes.Buffer
+	if err := WriteSignature(&sig1, []*Run{r}, CycleOptions{}, PhaseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSignature(&sig2, []*Run{r}, CycleOptions{}, PhaseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sig1.Bytes(), sig2.Bytes()) {
+		t.Error("signature rendering not byte-identical across invocations")
+	}
+}

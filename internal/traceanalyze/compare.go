@@ -1,0 +1,260 @@
+// Baseline-vs-optimized comparison. Two traced runs of the same
+// workload rarely differ only in numbers: an optimization can fuse,
+// split, insert, or remove launches, so naive index-by-index diffing
+// misattributes every downstream launch. Compare therefore works at
+// two levels: per-kernel aggregates matched by name (robust to
+// reordering), and a longest-common-subsequence alignment over the
+// launch sequences that isolates exactly which launches were inserted
+// or removed. Breaches applies a regression threshold to the deltas so
+// a CI gate can fail the build on a slowdown.
+package traceanalyze
+
+import (
+	"math"
+	"sort"
+)
+
+// KernelDelta compares one kernel's aggregate cost across two runs.
+type KernelDelta struct {
+	// Kernel is the kernel name.
+	Kernel string
+	// BaseLaunches and OptLaunches count the kernel's launches per run
+	// (zero when the kernel only appears on one side).
+	BaseLaunches, OptLaunches int
+	// BaseCycles and OptCycles are launch-window cycles summed per run.
+	BaseCycles, OptCycles float64
+	// BaseBusy, BaseStall, OptBusy, OptStall are the SM-cycle splits.
+	BaseBusy, BaseStall, OptBusy, OptStall float64
+}
+
+// DeltaPct returns the relative cycle change in percent, positive when
+// the optimized run is slower. A kernel new in the optimized run is
+// +Inf (pure regression); one removed is -100.
+func (d *KernelDelta) DeltaPct() float64 {
+	if d.BaseCycles > 0 {
+		return (d.OptCycles - d.BaseCycles) / d.BaseCycles * 100
+	}
+	if d.OptCycles > 0 {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// PhaseDelta compares phase i of the two runs' phase separations.
+type PhaseDelta struct {
+	// Index is the phase position; negative Base/Opt cycles never
+	// occur — a phase missing on one side has Launches == 0 there.
+	Index int
+	// BaseClass and OptClass are the regimes ("" when that side has
+	// fewer phases).
+	BaseClass, OptClass PhaseClass
+	// BaseLaunches, OptLaunches, BaseCycles, OptCycles are the phase
+	// sizes per side.
+	BaseLaunches, OptLaunches int
+	BaseCycles, OptCycles     float64
+}
+
+// DeltaPct returns the relative phase-cycle change in percent.
+func (d *PhaseDelta) DeltaPct() float64 {
+	if d.BaseCycles > 0 {
+		return (d.OptCycles - d.BaseCycles) / d.BaseCycles * 100
+	}
+	if d.OptCycles > 0 {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// SeqChange is one kernel's inserted/removed launch count from the
+// sequence alignment.
+type SeqChange struct {
+	Kernel string
+	Count  int
+}
+
+// Comparison is the full baseline-vs-optimized diff of two runs.
+type Comparison struct {
+	// Base and Opt are the compared runs.
+	Base, Opt *Run
+	// Kernels holds the per-kernel deltas: first the base run's kernels
+	// in first-appearance order, then opt-only kernels in theirs.
+	Kernels []KernelDelta
+	// Matched counts launches the LCS alignment paired up; Inserted and
+	// Removed aggregate the unpaired launches per kernel name, sorted
+	// by name.
+	Matched  int
+	Inserted []SeqChange
+	Removed  []SeqChange
+	// Phases compares the two runs' phase separations position by
+	// position.
+	Phases []PhaseDelta
+}
+
+// BaseTotal and OptTotal return the end-to-end cycle spans.
+func (c *Comparison) BaseTotal() float64 { return c.Base.TotalCycles() }
+func (c *Comparison) OptTotal() float64  { return c.Opt.TotalCycles() }
+
+// TotalDeltaPct returns the end-to-end relative change in percent,
+// positive when the optimized run is slower.
+func (c *Comparison) TotalDeltaPct() float64 {
+	if b := c.BaseTotal(); b > 0 {
+		return (c.OptTotal() - b) / b * 100
+	}
+	if c.OptTotal() > 0 {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Breaches returns the kernel deltas whose regression exceeds
+// thresholdPct (only slowdowns count — improvements never breach). A
+// positive-infinite delta (kernel new in the optimized run) always
+// breaches.
+func (c *Comparison) Breaches(thresholdPct float64) []KernelDelta {
+	var out []KernelDelta
+	for _, d := range c.Kernels {
+		if d.DeltaPct() > thresholdPct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs two runs: per-kernel aggregates, LCS launch alignment,
+// and position-wise phase deltas (classified with popts).
+func Compare(base, opt *Run, popts PhaseOptions) *Comparison {
+	c := &Comparison{Base: base, Opt: opt}
+
+	// Per-kernel aggregates, keyed by name, ordered by first
+	// appearance (base first, then opt-only kernels).
+	index := map[string]int{}
+	at := func(kernel string) *KernelDelta {
+		i, ok := index[kernel]
+		if !ok {
+			i = len(c.Kernels)
+			index[kernel] = i
+			c.Kernels = append(c.Kernels, KernelDelta{Kernel: kernel})
+		}
+		return &c.Kernels[i]
+	}
+	for i := range base.Launches {
+		l := &base.Launches[i]
+		d := at(l.Kernel)
+		d.BaseLaunches++
+		d.BaseCycles += l.Cycles()
+		d.BaseBusy += l.Busy
+		d.BaseStall += l.Stall
+	}
+	for i := range opt.Launches {
+		l := &opt.Launches[i]
+		d := at(l.Kernel)
+		d.OptLaunches++
+		d.OptCycles += l.Cycles()
+		d.OptBusy += l.Busy
+		d.OptStall += l.Stall
+	}
+
+	// LCS alignment over the kernel-name sequences.
+	a := make([]string, len(base.Launches))
+	for i := range base.Launches {
+		a[i] = base.Launches[i].Kernel
+	}
+	b := make([]string, len(opt.Launches))
+	for i := range opt.Launches {
+		b[i] = opt.Launches[i].Kernel
+	}
+	matchedA, matchedB := lcsAlign(a, b)
+	c.Matched = len(matchedA)
+	c.Removed = unmatchedCounts(a, matchedA)
+	c.Inserted = unmatchedCounts(b, matchedB)
+
+	// Position-wise phase deltas.
+	bp := Separate(base, popts)
+	op := Separate(opt, popts)
+	n := len(bp)
+	if len(op) > n {
+		n = len(op)
+	}
+	for i := 0; i < n; i++ {
+		d := PhaseDelta{Index: i}
+		if i < len(bp) {
+			d.BaseClass = bp[i].Class
+			d.BaseLaunches = bp[i].Launches
+			d.BaseCycles = bp[i].Cycles()
+		}
+		if i < len(op) {
+			d.OptClass = op[i].Class
+			d.OptLaunches = op[i].Launches
+			d.OptCycles = op[i].Cycles()
+		}
+		c.Phases = append(c.Phases, d)
+	}
+	return c
+}
+
+// lcsAlign computes a longest common subsequence of a and b and
+// returns the matched index sets (sorted ascending). Standard dynamic
+// program; launch sequences are short enough that O(len(a)·len(b))
+// table space is immaterial.
+func lcsAlign(a, b []string) (matchedA, matchedB map[int]bool) {
+	n, m := len(a), len(b)
+	matchedA, matchedB = map[int]bool{}, map[int]bool{}
+	if n == 0 || m == 0 {
+		return matchedA, matchedB
+	}
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	// Greedy earliest-match traceback: deterministic and stable under
+	// equal-length alternatives.
+	for i, j := 0, 0; i < n && j < m; {
+		switch {
+		case a[i] == b[j] && dp[i][j] == dp[i+1][j+1]+1:
+			matchedA[i] = true
+			matchedB[j] = true
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return matchedA, matchedB
+}
+
+// unmatchedCounts aggregates the launches the alignment left unpaired,
+// per kernel name, sorted by name.
+func unmatchedCounts(seq []string, matched map[int]bool) []SeqChange {
+	counts := map[string]int{}
+	for i, k := range seq {
+		if !matched[i] {
+			counts[k]++
+		}
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]SeqChange, len(names))
+	for i, k := range names {
+		out[i] = SeqChange{Kernel: k, Count: counts[k]}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+// Repeating-kernel-cycle detection. Iterative workloads (training
+// steps, decode loops, solver sweeps) launch the same kernel sequence
+// over and over; the period of that repetition is the natural unit for
+// per-iteration cost accounting. DetectCycle recovers it from the
+// launch sequence alone — no annotations — by searching every
+// candidate period for the longest self-matching stretch and keeping
+// the one that explains the most launches.
+package traceanalyze
+
+// CycleOptions tunes detection. The zero value is ready to use.
+type CycleOptions struct {
+	// MinIterations is the fewest repetitions that count as a cycle
+	// (default 2 — a sequence seen once is not repeating).
+	MinIterations int
+}
+
+// IterStats is the cost of one iteration of a detected cycle.
+type IterStats struct {
+	// Index is the iteration number, 0-based.
+	Index int
+	// FirstSeq and LastSeq are the launch IDs bounding the iteration.
+	FirstSeq, LastSeq int
+	// StartCycles and EndCycles bound the iteration on the global clock.
+	StartCycles, EndCycles float64
+	// Cycles is the iteration's wall span (EndCycles - StartCycles).
+	Cycles float64
+	// Busy and Stall are SM-cycles summed over the iteration's launches.
+	Busy, Stall float64
+	// SatCycles is how much of the iteration's wall span overlapped a
+	// link-saturation episode (any link).
+	SatCycles float64
+}
+
+// BusyFraction returns busy/(busy+stall) for the iteration.
+func (it *IterStats) BusyFraction() float64 {
+	if tot := it.Busy + it.Stall; tot > 0 {
+		return it.Busy / tot
+	}
+	return 1
+}
+
+// SatFraction returns the share of the iteration's wall span spent
+// with at least one link saturated.
+func (it *IterStats) SatFraction() float64 {
+	if it.Cycles > 0 {
+		return it.SatCycles / it.Cycles
+	}
+	return 0
+}
+
+// MemberStat aggregates one member kernel of a cycle across all
+// iterations, listed in canonical (minimal-rotation) order.
+type MemberStat struct {
+	// Kernel is the member's name.
+	Kernel string
+	// Count is how many launches aggregated here (== Iterations).
+	Count int
+	// Cycles, Busy, Stall are totals across those launches.
+	Cycles, Busy, Stall float64
+}
+
+// MeanCycles returns the member's average launch-window length.
+func (m *MemberStat) MeanCycles() float64 {
+	if m.Count > 0 {
+		return m.Cycles / float64(m.Count)
+	}
+	return 0
+}
+
+// Cycle is a detected repeating launch pattern.
+type Cycle struct {
+	// Period is the number of launches per iteration.
+	Period int
+	// Start is the launch index where the first full iteration begins.
+	Start int
+	// Iterations is how many complete repetitions were found.
+	Iterations int
+	// Members is the member kernel sequence in canonical
+	// (minimal-rotation) order; Rotation is the offset of that origin
+	// within the detected sequence, so the launch realizing Members[j]
+	// in iteration k is Start + k*Period + (Rotation+j)%Period.
+	Members  []string
+	Rotation int
+	// Signature hashes the canonical member sequence — equal across
+	// runs that repeat the same kernels in the same cyclic order, even
+	// when detection locked on at different offsets.
+	Signature uint64
+	// Iters holds per-iteration cost stats in iteration order.
+	Iters []IterStats
+	// MemberStats aggregates each member across iterations, in
+	// canonical order.
+	MemberStats []MemberStat
+}
+
+// Coverage returns how many launches the cycle explains.
+func (c *Cycle) Coverage() int { return c.Period * c.Iterations }
+
+// DetectCycle finds the dominant repeating kernel cycle in the run's
+// launch sequence, or nil when nothing repeats at least MinIterations
+// times. The search considers every period p and every maximal stretch
+// where the sequence equals itself shifted by p, and keeps the
+// candidate covering the most launches; ties prefer the smaller period
+// (the primitive cycle over its own multiples), then the earlier
+// start.
+func DetectCycle(r *Run, opts CycleOptions) *Cycle {
+	minIter := opts.MinIterations
+	if minIter < 2 {
+		minIter = 2
+	}
+	n := len(r.Launches)
+	if n < 2 {
+		return nil
+	}
+	seq := make([]string, n)
+	for i := range r.Launches {
+		seq[i] = r.Launches[i].Kernel
+	}
+
+	best := struct {
+		coverage, period, start, iters int
+	}{}
+	for p := 1; p <= n/minIter; p++ {
+		// Walk the self-match predicate seq[i] == seq[i-p]; each maximal
+		// run of matches [a, b] witnesses the region [a-p, b] repeating
+		// with period p.
+		runStart := -1
+		flush := func(end int) { // end = last matching index
+			if runStart < 0 {
+				return
+			}
+			region := end - (runStart - p) + 1
+			iters := region / p
+			if iters >= minIter {
+				cov := iters * p
+				start := runStart - p
+				if cov > best.coverage ||
+					(cov == best.coverage && best.coverage > 0 &&
+						(p < best.period || (p == best.period && start < best.start))) {
+					best.coverage, best.period, best.start, best.iters = cov, p, start, iters
+				}
+			}
+			runStart = -1
+		}
+		for i := p; i < n; i++ {
+			if seq[i] == seq[i-p] {
+				if runStart < 0 {
+					runStart = i
+				}
+			} else {
+				flush(i - 1)
+			}
+		}
+		flush(n - 1)
+	}
+	if best.coverage == 0 {
+		return nil
+	}
+
+	detected := seq[best.start : best.start+best.period]
+	canonical, rotation, sig := CanonicalCycle(detected)
+	c := &Cycle{
+		Period:     best.period,
+		Start:      best.start,
+		Iterations: best.iters,
+		Members:    canonical,
+		Rotation:   rotation,
+		Signature:  sig,
+	}
+
+	sat := r.satSpans()
+	c.Iters = make([]IterStats, best.iters)
+	for k := 0; k < best.iters; k++ {
+		first := best.start + k*best.period
+		last := first + best.period - 1
+		it := IterStats{
+			Index:       k,
+			FirstSeq:    r.Launches[first].Seq,
+			LastSeq:     r.Launches[last].Seq,
+			StartCycles: r.Launches[first].Start,
+			EndCycles:   r.Launches[last].End,
+		}
+		it.Cycles = it.EndCycles - it.StartCycles
+		for i := first; i <= last; i++ {
+			it.Busy += r.Launches[i].Busy
+			it.Stall += r.Launches[i].Stall
+		}
+		it.SatCycles = overlapCycles(sat, it.StartCycles, it.EndCycles)
+		c.Iters[k] = it
+	}
+
+	c.MemberStats = make([]MemberStat, best.period)
+	for j := 0; j < best.period; j++ {
+		off := (rotation + j) % best.period
+		m := MemberStat{Kernel: canonical[j]}
+		for k := 0; k < best.iters; k++ {
+			l := &r.Launches[best.start+k*best.period+off]
+			m.Count++
+			m.Cycles += l.Cycles()
+			m.Busy += l.Busy
+			m.Stall += l.Stall
+		}
+		c.MemberStats[j] = m
+	}
+	return c
+}

@@ -1,0 +1,164 @@
+package traceanalyze
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+// goldenApp is a synthetic workload with a known launch structure: a
+// compute-bound prefill (two FFMA-heavy launches), then six iterations
+// of a memory-bound (attn, mlp) pair built from dependent random
+// loads. The analytics must recover exactly this shape from a traced
+// simulation.
+func goldenApp() *trace.App {
+	regions := []trace.Region{
+		{Name: "kv", Bytes: 8 << 20},
+		{Name: "weights", Bytes: 8 << 20},
+	}
+	prefill := &trace.Kernel{
+		Name: "prefill", Grid: 256, WarpsPerCTA: 8, Iters: 2,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpFFMA32, Times: 40},
+			{Op: isa.OpStoreShared},
+			{Op: isa.OpBarrier},
+		},
+	}
+	attn := &trace.Kernel{
+		Name: "attn", Grid: 256, WarpsPerCTA: 8, Iters: 2,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatRandom, Lines: 16, Chase: true}, Times: 4},
+			{Op: isa.OpFFMA32, Times: 2},
+		},
+	}
+	mlp := &trace.Kernel{
+		Name: "mlp", Grid: 256, WarpsPerCTA: 8, Iters: 2,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 1, Pattern: trace.PatRandom, Lines: 16, Chase: true}, Times: 4},
+			{Op: isa.OpFMul32, Times: 2},
+		},
+	}
+	launches := []trace.Launch{{Kernel: prefill, Count: 2}}
+	for i := 0; i < 6; i++ {
+		launches = append(launches, trace.Launch{Kernel: attn}, trace.Launch{Kernel: mlp})
+	}
+	return &trace.App{Name: "golden", Category: trace.CategoryMemory, Regions: regions, Launches: launches}
+}
+
+func simulateGolden(t *testing.T) *Run {
+	t.Helper()
+	res, err := sim.Simulate(context.Background(), sim.MultiGPM(4, sim.BW2x), goldenApp(), sim.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("simulation carried no trace despite sim.WithTrace")
+	}
+	return FromTrace("golden on R4", res.Trace)
+}
+
+// TestGoldenRoundTrip is the acceptance test of the analytics engine:
+// a traced simulation with a known repeating launch structure must
+// yield the correct cycle (period and member kernels), a phase
+// separation that labels the memory-bound segment, and a
+// zero-delta, byte-identical comparison between two independent runs
+// of the same configuration.
+func TestGoldenRoundTrip(t *testing.T) {
+	run := simulateGolden(t)
+	if len(run.Launches) != 14 {
+		t.Fatalf("traced %d launches, want 14 (2 prefill + 6x(attn,mlp))", len(run.Launches))
+	}
+
+	// Cycle detection: the dominant repetition is the (attn, mlp) pair
+	// starting after the prefill launches.
+	c := DetectCycle(run, CycleOptions{})
+	if c == nil {
+		t.Fatal("no cycle detected")
+	}
+	if c.Period != 2 || c.Iterations != 6 || c.Start != 2 {
+		t.Fatalf("cycle = period %d, %d iterations from launch %d; want period 2, 6 iterations from launch 2",
+			c.Period, c.Iterations, c.Start)
+	}
+	if !reflect.DeepEqual(c.Members, []string{"attn", "mlp"}) {
+		t.Fatalf("cycle members = %v, want [attn mlp]", c.Members)
+	}
+	for i := range c.Iters {
+		if c.Iters[i].Cycles <= 0 {
+			t.Errorf("iteration %d has non-positive span %g", i, c.Iters[i].Cycles)
+		}
+	}
+
+	// Phase separation: the prefill segment is compute-bound, the
+	// attn/mlp segment memory-bound.
+	phases := Separate(run, PhaseOptions{})
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2: %+v", len(phases), phases)
+	}
+	if phases[0].Class != ComputeBound || phases[0].FirstSeq != 0 || phases[0].LastSeq != 1 {
+		t.Errorf("phase 0 = %s over seq %d..%d, want compute-bound over 0..1",
+			phases[0].Class, phases[0].FirstSeq, phases[0].LastSeq)
+	}
+	if phases[1].Class != MemoryBound || phases[1].FirstSeq != 2 || phases[1].LastSeq != 13 {
+		t.Errorf("phase 1 = %s over seq %d..%d, want memory-bound over 2..13",
+			phases[1].Class, phases[1].FirstSeq, phases[1].LastSeq)
+	}
+
+	// Independent re-simulation: exact zero deltas, no alignment noise.
+	run2 := simulateGolden(t)
+	cmp := Compare(run, run2, PhaseOptions{})
+	if cmp.Matched != 14 || len(cmp.Inserted) != 0 || len(cmp.Removed) != 0 {
+		t.Fatalf("alignment = %d matched, +%v -%v; want 14 clean matches",
+			cmp.Matched, cmp.Inserted, cmp.Removed)
+	}
+	if cmp.TotalDeltaPct() != 0 {
+		t.Errorf("total delta = %g%%, want exactly 0", cmp.TotalDeltaPct())
+	}
+	for _, d := range cmp.Kernels {
+		if d.DeltaPct() != 0 || d.BaseCycles != d.OptCycles {
+			t.Errorf("kernel %s: base %g vs opt %g cycles", d.Kernel, d.BaseCycles, d.OptCycles)
+		}
+	}
+	if br := cmp.Breaches(0.0001); len(br) != 0 {
+		t.Errorf("breaches at 0.0001%% threshold on identical configs: %+v", br)
+	}
+
+	// Repeated rendering is byte-identical — markdown, CSV, and
+	// signature alike.
+	render := func() (md, csv, sig []byte) {
+		var m, c2, s bytes.Buffer
+		if err := cmp.WriteMarkdown(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmp.WriteCSV(&c2); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSignature(&s, []*Run{run, run2}, CycleOptions{}, PhaseOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Bytes(), c2.Bytes(), s.Bytes()
+	}
+	md1, csv1, sig1 := render()
+	md2, csv2, sig2 := render()
+	if !bytes.Equal(md1, md2) || !bytes.Equal(csv1, csv2) || !bytes.Equal(sig1, sig2) {
+		t.Error("repeated rendering is not byte-identical")
+	}
+
+	// The two runs' signature blocks must agree line for line apart
+	// from nothing — same config, same simulator, same bytes.
+	var s1, s2 bytes.Buffer
+	if err := WriteSignature(&s1, []*Run{run}, CycleOptions{}, PhaseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSignature(&s2, []*Run{run2}, CycleOptions{}, PhaseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Errorf("independent runs sign differently:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+}

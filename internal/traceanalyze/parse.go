@@ -1,0 +1,434 @@
+// Package traceanalyze turns the simulator's timeline traces into a
+// machine-checkable analysis: automatic repeating-kernel-cycle
+// detection, compute-vs-memory phase separation, and deterministic
+// baseline-vs-optimized comparison. It is the regression-hunting
+// instrument over the obs v2 trace schema — what a human would
+// otherwise eyeball in Perfetto, reduced to tables a CI gate can diff.
+//
+// The package reads both persisted trace forms: the exact cycles-domain
+// obs.Trace JSON (schema-versioned, attached to sim.Result by
+// sim.WithTrace) and the rendered Chrome trace_event documents the
+// -trace CLI flags write (single- or multi-point, plain or gzipped —
+// readers sniff the gzip magic, never the extension). Both load into
+// one analysis model, Run, so every downstream pass is agnostic to
+// which file it came from.
+//
+// Every report this package emits is deterministic: launch and kernel
+// orders are first-appearance orders, never map iteration; floats
+// render through fixed formats. Two invocations over the same inputs
+// produce byte-identical bytes, which is what makes the reports
+// diffable regression baselines (see scripts/trace_regress.sh).
+package traceanalyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gpujoule/internal/obs"
+)
+
+// Run is one traced simulation in analysis form: the launch timeline
+// with per-launch busy/stall aggregates and the link-saturation
+// episodes, all on the exact cycles clock.
+type Run struct {
+	// Name labels the run ("<workload> on <config>" for CLI-written
+	// traces; the file stem for bare obs.Trace documents).
+	Name string
+	// ClockHz converts cycles to wall time (sim.ClockHz for traces this
+	// repository writes).
+	ClockHz float64
+	// Launches is the launch sequence in launch order.
+	Launches []Launch
+	// Episodes lists link-saturation episodes in file order.
+	Episodes []Episode
+}
+
+// Launch is one kernel launch with its module-aggregated activity.
+type Launch struct {
+	// Seq is the stable launch ID: the launch's index in the run.
+	Seq int
+	// Kernel is the kernel name — the launch's signature symbol.
+	Kernel string
+	// Start and End bound the launch window on the global clock.
+	Start, End float64
+	// Busy and Stall are SM-cycles summed over all modules' phases.
+	Busy, Stall float64
+	// GPMs holds the per-module split when the source carried it.
+	GPMs []GPMPhase
+}
+
+// Cycles returns the launch's window length.
+func (l *Launch) Cycles() float64 { return l.End - l.Start }
+
+// BusyFraction returns busy/(busy+stall), or 1 when the launch
+// recorded no SM activity (an empty window stalls nothing).
+func (l *Launch) BusyFraction() float64 {
+	if tot := l.Busy + l.Stall; tot > 0 {
+		return l.Busy / tot
+	}
+	return 1
+}
+
+// GPMPhase is one module's busy/stall split within a launch.
+type GPMPhase struct {
+	GPM         int
+	Busy, Stall float64
+}
+
+// Episode is one link-saturation episode.
+type Episode struct {
+	Link        string
+	Start, End  float64
+	Utilization float64
+}
+
+// StartCycles returns the first launch's start (0 for an empty run).
+func (r *Run) StartCycles() float64 {
+	if len(r.Launches) == 0 {
+		return 0
+	}
+	return r.Launches[0].Start
+}
+
+// EndCycles returns the latest launch end (0 for an empty run).
+func (r *Run) EndCycles() float64 {
+	end := 0.0
+	for i := range r.Launches {
+		if r.Launches[i].End > end {
+			end = r.Launches[i].End
+		}
+	}
+	return end
+}
+
+// TotalCycles returns the end-to-end launch-window span of the run.
+func (r *Run) TotalCycles() float64 { return r.EndCycles() - r.StartCycles() }
+
+// span is a half-open cycle interval.
+type span struct{ start, end float64 }
+
+// satSpans merges the run's episodes (across all links) into a sorted,
+// disjoint union — the cycle ranges during which at least one fabric
+// link was saturated.
+func (r *Run) satSpans() []span {
+	if len(r.Episodes) == 0 {
+		return nil
+	}
+	spans := make([]span, 0, len(r.Episodes))
+	for i := range r.Episodes {
+		e := &r.Episodes[i]
+		if e.End > e.Start {
+			spans = append(spans, span{e.Start, e.End})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].end < spans[j].end
+	})
+	merged := spans[:0]
+	for _, s := range spans {
+		if n := len(merged); n > 0 && s.start <= merged[n-1].end {
+			if s.end > merged[n-1].end {
+				merged[n-1].end = s.end
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// overlapCycles returns how many cycles of [start, end) are covered by
+// the sorted, disjoint spans.
+func overlapCycles(spans []span, start, end float64) float64 {
+	total := 0.0
+	for _, s := range spans {
+		if s.end <= start {
+			continue
+		}
+		if s.start >= end {
+			break
+		}
+		lo, hi := s.start, s.end
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		total += hi - lo
+	}
+	return total
+}
+
+// FromTrace converts one exact cycles-domain trace into a Run.
+func FromTrace(name string, t *obs.Trace) *Run {
+	r := &Run{Name: name, ClockHz: t.ClockHz}
+	r.Launches = make([]Launch, len(t.Launches))
+	for i := range t.Launches {
+		tl := &t.Launches[i]
+		l := Launch{Seq: i, Kernel: tl.Kernel, Start: tl.StartCycles, End: tl.EndCycles}
+		for _, p := range tl.GPMs {
+			l.Busy += p.BusyCycles
+			l.Stall += p.StallCycles
+			l.GPMs = append(l.GPMs, GPMPhase{GPM: p.GPM, Busy: p.BusyCycles, Stall: p.StallCycles})
+		}
+		r.Launches[i] = l
+	}
+	for i := range t.Episodes {
+		e := &t.Episodes[i]
+		r.Episodes = append(r.Episodes, Episode{
+			Link: e.Link, Start: e.StartCycles, End: e.EndCycles, Utilization: e.Utilization,
+		})
+	}
+	return r
+}
+
+// LoadFile reads a trace file — exact obs.Trace JSON or a rendered
+// Chrome trace_event document, plain or gzipped — and returns its runs
+// in file order (one per traced point for multi-point Chrome files).
+// name labels single-run exact traces; pass the file stem.
+func LoadFile(path, name string) ([]*Run, error) {
+	rc, err := obs.OpenAuto(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, fmt.Errorf("traceanalyze: reading %s: %w", path, err)
+	}
+
+	// Format detection on the top-level keys: Chrome documents carry
+	// traceEvents; exact traces carry launches (possibly nested under
+	// "trace" for a full sim.Result export).
+	var probe struct {
+		TraceEvents json.RawMessage `json:"traceEvents"`
+		Launches    json.RawMessage `json:"launches"`
+		Trace       json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("traceanalyze: parsing %s: %w", path, err)
+	}
+	if probe.TraceEvents != nil {
+		runs, err := parseChrome(data)
+		if err != nil {
+			return nil, fmt.Errorf("traceanalyze: parsing %s: %w", path, err)
+		}
+		return runs, nil
+	}
+
+	var t obs.Trace
+	raw := data
+	if probe.Launches == nil && probe.Trace != nil {
+		raw = probe.Trace
+	}
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("traceanalyze: parsing %s: %w", path, err)
+	}
+	if len(t.Launches) == 0 {
+		return nil, fmt.Errorf("traceanalyze: %s holds no launches (want an obs.Trace or Chrome trace_event document)", path)
+	}
+	return []*Run{FromTrace(name, &t)}, nil
+}
+
+// chromeEvent mirrors the subset of the trace_event schema the parser
+// consumes.
+type chromeEvent struct {
+	Name string                     `json:"name"`
+	Ph   string                     `json:"ph"`
+	Ts   float64                    `json:"ts"`
+	Dur  float64                    `json:"dur"`
+	Pid  int                        `json:"pid"`
+	Tid  int                        `json:"tid"`
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+// argString decodes a string arg, empty when absent or mistyped.
+func (e *chromeEvent) argString(key string) string {
+	var s string
+	if raw, ok := e.Args[key]; ok {
+		json.Unmarshal(raw, &s)
+	}
+	return s
+}
+
+// argFloat decodes a numeric arg; ok reports presence and validity.
+func (e *chromeEvent) argFloat(key string) (float64, bool) {
+	raw, ok := e.Args[key]
+	if !ok {
+		return 0, false
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseChrome reconstructs runs from a rendered Chrome trace_event
+// document: one run per process track, converting microsecond
+// timestamps back to cycles via the clock recorded in otherData (older
+// files without it parse with timestamps left in microseconds,
+// ClockHz = 1e6 — internally consistent, so every derived ratio and
+// comparison still holds).
+func parseChrome(data []byte) ([]*Run, error) {
+	var doc struct {
+		TraceEvents []chromeEvent  `json:"traceEvents"`
+		OtherData   map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	clockHz := 1e6 // 1 cycle == 1 µs when the file carries no clock
+	if v, ok := doc.OtherData["clock_hz"].(float64); ok && v > 0 {
+		clockHz = v
+	}
+	cyclesPerUs := clockHz / 1e6
+
+	type builder struct {
+		run     *Run
+		gpmTid  map[int]int    // tid → GPM index
+		linkTid map[int]string // tid → link name
+	}
+	builders := map[int]*builder{}
+	var pids []int
+	get := func(pid int) *builder {
+		b, ok := builders[pid]
+		if !ok {
+			b = &builder{
+				run:     &Run{Name: fmt.Sprintf("point %d", pid), ClockHz: clockHz},
+				gpmTid:  map[int]int{},
+				linkTid: map[int]string{},
+			}
+			builders[pid] = b
+			pids = append(pids, pid)
+		}
+		return b
+	}
+
+	// First pass: metadata names the tracks.
+	for i := range doc.TraceEvents {
+		ev := &doc.TraceEvents[i]
+		if ev.Ph != "M" {
+			continue
+		}
+		b := get(ev.Pid)
+		label := ev.argString("name")
+		switch ev.Name {
+		case "process_name":
+			b.run.Name = label
+		case "thread_name":
+			switch {
+			case strings.HasPrefix(label, "GPM "):
+				var g int
+				if _, err := fmt.Sscanf(label, "GPM %d", &g); err == nil {
+					b.gpmTid[ev.Tid] = g
+				}
+			case strings.HasPrefix(label, "link "):
+				b.linkTid[ev.Tid] = strings.TrimPrefix(label, "link ")
+			}
+		}
+	}
+
+	// Second pass: duration events become launches, GPM phases, and
+	// saturation episodes. GPM phases attach by the stable launch ID
+	// when present, by window match otherwise (pre-launch-ID files).
+	type pendingPhase struct {
+		ev     *chromeEvent
+		gpm    int
+		launch int // -1 when the file carries no launch ID
+	}
+	pendingByPid := map[int][]pendingPhase{}
+	for i := range doc.TraceEvents {
+		ev := &doc.TraceEvents[i]
+		if ev.Ph != "X" {
+			continue
+		}
+		b := get(ev.Pid)
+		switch {
+		case ev.Tid == 0:
+			l := Launch{
+				Seq:    len(b.run.Launches),
+				Kernel: ev.Name,
+				Start:  ev.Ts * cyclesPerUs,
+				End:    (ev.Ts + ev.Dur) * cyclesPerUs,
+			}
+			if v, ok := ev.argFloat("launch"); ok {
+				l.Seq = int(v)
+			}
+			b.run.Launches = append(b.run.Launches, l)
+		case b.linkTid[ev.Tid] != "":
+			util, _ := ev.argFloat("utilization")
+			b.run.Episodes = append(b.run.Episodes, Episode{
+				Link:        b.linkTid[ev.Tid],
+				Start:       ev.Ts * cyclesPerUs,
+				End:         (ev.Ts + ev.Dur) * cyclesPerUs,
+				Utilization: util,
+			})
+		default:
+			if g, ok := b.gpmTid[ev.Tid]; ok {
+				p := pendingPhase{ev: ev, gpm: g, launch: -1}
+				if v, ok := ev.argFloat("launch"); ok {
+					p.launch = int(v)
+				}
+				pendingByPid[ev.Pid] = append(pendingByPid[ev.Pid], p)
+			}
+		}
+	}
+
+	var runs []*Run
+	sort.Ints(pids)
+	for _, pid := range pids {
+		b := builders[pid]
+		run := b.run
+		sort.SliceStable(run.Launches, func(i, j int) bool { return run.Launches[i].Seq < run.Launches[j].Seq })
+		// Re-sequence in case the file's launch IDs were sparse.
+		bySeq := map[int]int{}
+		for i := range run.Launches {
+			bySeq[run.Launches[i].Seq] = i
+			run.Launches[i].Seq = i
+		}
+		for _, p := range pendingByPid[pid] {
+			idx := -1
+			if p.launch >= 0 {
+				if i, ok := bySeq[p.launch]; ok {
+					idx = i
+				}
+			} else {
+				start := p.ev.Ts * cyclesPerUs
+				for i := range run.Launches {
+					if run.Launches[i].Start == start && run.Launches[i].End == (p.ev.Ts+p.ev.Dur)*cyclesPerUs {
+						idx = i
+						break
+					}
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			busy, _ := p.ev.argFloat("busy_cycles")
+			stall, _ := p.ev.argFloat("stall_cycles")
+			l := &run.Launches[idx]
+			l.Busy += busy
+			l.Stall += stall
+			l.GPMs = append(l.GPMs, GPMPhase{GPM: p.gpm, Busy: busy, Stall: stall})
+		}
+		for i := range run.Launches {
+			l := &run.Launches[i]
+			sort.Slice(l.GPMs, func(a, b int) bool { return l.GPMs[a].GPM < l.GPMs[b].GPM })
+		}
+		if len(run.Launches) > 0 {
+			runs = append(runs, run)
+		}
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("no traced points found")
+	}
+	return runs, nil
+}

@@ -1,0 +1,199 @@
+package traceanalyze
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpujoule/internal/obs"
+)
+
+// testTrace is an exact cycles-domain trace with a repeating launch
+// pair, two GPMs, and one saturation episode.
+func testTrace() *obs.Trace {
+	launch := func(kernel string, start, end, busy0, stall0, busy1, stall1 float64) obs.TraceLaunch {
+		return obs.TraceLaunch{
+			Kernel: kernel, StartCycles: start, EndCycles: end,
+			GPMs: []obs.TraceGPMPhase{
+				{GPM: 0, BusyCycles: busy0, StallCycles: stall0},
+				{GPM: 1, BusyCycles: busy1, StallCycles: stall1},
+			},
+		}
+	}
+	return &obs.Trace{
+		SchemaVersion: obs.SchemaVersion,
+		ClockHz:       1e9,
+		Launches: []obs.TraceLaunch{
+			launch("warm", 0, 1000, 900, 100, 850, 150),
+			launch("a", 1000, 2000, 200, 800, 250, 750),
+			launch("b", 2000, 2500, 450, 50, 400, 100),
+			launch("a", 2500, 3500, 210, 790, 240, 760),
+			launch("b", 3500, 4000, 440, 60, 410, 90),
+		},
+		Episodes: []obs.LinkEpisode{
+			{Link: "ring[0]", StartCycles: 1200, EndCycles: 1800, Utilization: 0.93},
+		},
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	r := FromTrace("pt", testTrace())
+	if len(r.Launches) != 5 || r.ClockHz != 1e9 {
+		t.Fatalf("run = %d launches at %g Hz", len(r.Launches), r.ClockHz)
+	}
+	l := r.Launches[1]
+	if l.Kernel != "a" || l.Busy != 450 || l.Stall != 1550 || len(l.GPMs) != 2 {
+		t.Errorf("launch 1 = %+v", l)
+	}
+	if r.TotalCycles() != 4000 {
+		t.Errorf("total cycles = %g", r.TotalCycles())
+	}
+	if len(r.Episodes) != 1 || r.Episodes[0].Link != "ring[0]" {
+		t.Errorf("episodes = %+v", r.Episodes)
+	}
+}
+
+// TestChromeRoundTrip renders an exact trace to the Chrome form and
+// parses it back: the reconstructed run must match the direct
+// conversion launch for launch, on the exact cycles clock.
+func TestChromeRoundTrip(t *testing.T) {
+	tr := testTrace()
+	want := FromTrace("stream on R4", tr)
+
+	dir := t.TempDir()
+	for _, name := range []string{"trace.json", "trace.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := tr.WriteChromeFile(path, "stream on R4"); err != nil {
+			t.Fatal(err)
+		}
+		runs, err := LoadFile(path, "ignored")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(runs) != 1 {
+			t.Fatalf("%s: got %d runs", name, len(runs))
+		}
+		got := runs[0]
+		if got.Name != want.Name {
+			t.Errorf("%s: name = %q, want %q", name, got.Name, want.Name)
+		}
+		if got.ClockHz != want.ClockHz {
+			t.Errorf("%s: clock = %g, want %g", name, got.ClockHz, want.ClockHz)
+		}
+		if len(got.Launches) != len(want.Launches) {
+			t.Fatalf("%s: %d launches, want %d", name, len(got.Launches), len(want.Launches))
+		}
+		for i := range want.Launches {
+			w, g := want.Launches[i], got.Launches[i]
+			if g.Kernel != w.Kernel || g.Seq != w.Seq {
+				t.Errorf("%s: launch %d = %s/%d, want %s/%d", name, i, g.Kernel, g.Seq, w.Kernel, w.Seq)
+			}
+			for label, pair := range map[string][2]float64{
+				"start": {g.Start, w.Start}, "end": {g.End, w.End},
+				"busy": {g.Busy, w.Busy}, "stall": {g.Stall, w.Stall},
+			} {
+				if math.Abs(pair[0]-pair[1]) > 1e-6 {
+					t.Errorf("%s: launch %d %s = %g, want %g", name, i, label, pair[0], pair[1])
+				}
+			}
+			if len(g.GPMs) != len(w.GPMs) {
+				t.Errorf("%s: launch %d has %d GPM phases, want %d", name, i, len(g.GPMs), len(w.GPMs))
+			}
+		}
+		if len(got.Episodes) != 1 || got.Episodes[0].Link != "ring[0]" {
+			t.Fatalf("%s: episodes = %+v", name, got.Episodes)
+		}
+		if math.Abs(got.Episodes[0].Start-1200) > 1e-6 || math.Abs(got.Episodes[0].End-1800) > 1e-6 {
+			t.Errorf("%s: episode span = [%g, %g), want [1200, 1800)", name, got.Episodes[0].Start, got.Episodes[0].End)
+		}
+		if got.Episodes[0].Utilization != 0.93 {
+			t.Errorf("%s: episode utilization = %g", name, got.Episodes[0].Utilization)
+		}
+	}
+}
+
+// TestChromeMultiPoint checks that a multi-point Chrome file yields
+// one run per traced point, in pid order.
+func TestChromeMultiPoint(t *testing.T) {
+	tr := testTrace()
+	path := filepath.Join(t.TempDir(), "sweep.json.gz")
+	err := obs.WriteChromeTracesFile(path, []obs.PointTrace{
+		{Name: "stream on R1", Trace: tr},
+		{Name: "stream on R4", Trace: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := LoadFile(path, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	if runs[0].Name != "stream on R1" || runs[1].Name != "stream on R4" {
+		t.Errorf("run names = %q, %q", runs[0].Name, runs[1].Name)
+	}
+}
+
+// TestLoadFileExactTrace checks exact obs.Trace documents load, plain
+// and gzipped, including sim.Result-embedded form.
+func TestLoadFileExactTrace(t *testing.T) {
+	tr := testTrace()
+	dir := t.TempDir()
+	writeJSON := func(name string, v any) string {
+		path := filepath.Join(dir, name)
+		if err := obs.WriteFileAtomic(path, func(w io.Writer) error {
+			return json.NewEncoder(w).Encode(v)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	for _, path := range []string{
+		writeJSON("exact.json", tr),
+		writeJSON("exact.json.gz", tr),
+		writeJSON("result.json", map[string]any{"cycles": 4000, "trace": tr}),
+	} {
+		runs, err := LoadFile(path, "mylabel")
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(runs) != 1 || runs[0].Name != "mylabel" || len(runs[0].Launches) != 5 {
+			t.Errorf("%s: runs = %+v", path, runs)
+		}
+	}
+
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte(`{"points":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(junk, "x"); err == nil {
+		t.Error("trace-less document loaded without error")
+	}
+}
+
+// TestAnalyzeOverChromeFile runs the full analytics over a rendered
+// file: cycle detection and phase separation must survive the Chrome
+// round trip.
+func TestAnalyzeOverChromeFile(t *testing.T) {
+	tr := testTrace()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteChromeFile(path, "pt"); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := LoadFile(path, "pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(runs[0], CycleOptions{}, PhaseOptions{})
+	if a.Cycle == nil || a.Cycle.Period != 2 || a.Cycle.Iterations != 2 {
+		t.Fatalf("cycle = %+v", a.Cycle)
+	}
+	if len(a.Phases) < 2 || a.Phases[0].Class != ComputeBound {
+		t.Fatalf("phases = %+v", a.Phases)
+	}
+}

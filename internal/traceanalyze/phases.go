@@ -1,0 +1,214 @@
+// Compute-vs-memory phase separation. The paper's energy story hinges
+// on which regime the GPU is in: compute-bound stretches are dominated
+// by SM datapath energy, memory-bound stretches by stall time and
+// data-movement energy, and inter-module traffic shows up as link
+// saturation. Separate classifies each launch from its busy/stall
+// split and link-saturation residency and merges adjacent launches of
+// the same regime into phases; CostPhases then apportions a run's
+// energy-attribution terms onto those phases, so each phase carries a
+// joule figure driven by the term's own physical driver (busy cycles
+// for datapath terms, stall cycles for memory terms, saturated cycles
+// for the inter-GPM term, elapsed time for the constant term).
+package traceanalyze
+
+import "gpujoule/internal/obs"
+
+// PhaseClass labels a phase's bound regime.
+type PhaseClass string
+
+const (
+	// ComputeBound phases keep the SMs mostly busy.
+	ComputeBound PhaseClass = "compute-bound"
+	// MemoryBound phases are dominated by stalls or link saturation.
+	MemoryBound PhaseClass = "memory-bound"
+)
+
+// PhaseOptions tunes classification. The zero value applies the
+// defaults.
+type PhaseOptions struct {
+	// BusyThreshold: a launch whose busy fraction falls below it is
+	// memory-bound (default 0.5).
+	BusyThreshold float64
+	// SatThreshold: a launch whose window overlaps link-saturation
+	// episodes for at least this fraction is memory-bound regardless of
+	// its busy split — the stall is on the fabric (default 0.5).
+	SatThreshold float64
+}
+
+func (o PhaseOptions) withDefaults() PhaseOptions {
+	if o.BusyThreshold <= 0 {
+		o.BusyThreshold = 0.5
+	}
+	if o.SatThreshold <= 0 {
+		o.SatThreshold = 0.5
+	}
+	return o
+}
+
+// Phase is a maximal stretch of same-regime launches.
+type Phase struct {
+	// Class is the phase's bound regime.
+	Class PhaseClass
+	// FirstSeq and LastSeq are the launch IDs bounding the phase.
+	FirstSeq, LastSeq int
+	// StartCycles and EndCycles bound the phase on the global clock.
+	StartCycles, EndCycles float64
+	// Launches counts the launches merged into the phase.
+	Launches int
+	// Busy and Stall are SM-cycles summed over those launches.
+	Busy, Stall float64
+	// SatCycles is the phase's wall-span overlap with link-saturation
+	// episodes.
+	SatCycles float64
+	// Kernels lists the distinct member kernels in first-appearance
+	// order.
+	Kernels []string
+}
+
+// Cycles returns the phase's wall span.
+func (p *Phase) Cycles() float64 { return p.EndCycles - p.StartCycles }
+
+// BusyFraction returns busy/(busy+stall) over the phase.
+func (p *Phase) BusyFraction() float64 {
+	if tot := p.Busy + p.Stall; tot > 0 {
+		return p.Busy / tot
+	}
+	return 1
+}
+
+// SatFraction returns the share of the phase spent with a saturated
+// link.
+func (p *Phase) SatFraction() float64 {
+	if c := p.Cycles(); c > 0 {
+		return p.SatCycles / c
+	}
+	return 0
+}
+
+// Separate classifies every launch and merges adjacent launches of the
+// same regime into phases, in timeline order. An empty run yields nil.
+func Separate(r *Run, opts PhaseOptions) []Phase {
+	opts = opts.withDefaults()
+	if len(r.Launches) == 0 {
+		return nil
+	}
+	sat := r.satSpans()
+	classify := func(l *Launch) PhaseClass {
+		satFrac := 0.0
+		if c := l.Cycles(); c > 0 {
+			satFrac = overlapCycles(sat, l.Start, l.End) / c
+		}
+		if l.BusyFraction() < opts.BusyThreshold || satFrac >= opts.SatThreshold {
+			return MemoryBound
+		}
+		return ComputeBound
+	}
+
+	var phases []Phase
+	for i := range r.Launches {
+		l := &r.Launches[i]
+		class := classify(l)
+		if n := len(phases); n > 0 && phases[n-1].Class == class {
+			p := &phases[n-1]
+			p.LastSeq = l.Seq
+			if l.End > p.EndCycles {
+				p.EndCycles = l.End
+			}
+			p.Launches++
+			p.Busy += l.Busy
+			p.Stall += l.Stall
+			seen := false
+			for _, k := range p.Kernels {
+				if k == l.Kernel {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				p.Kernels = append(p.Kernels, l.Kernel)
+			}
+			continue
+		}
+		phases = append(phases, Phase{
+			Class:       class,
+			FirstSeq:    l.Seq,
+			LastSeq:     l.Seq,
+			StartCycles: l.Start,
+			EndCycles:   l.End,
+			Launches:    1,
+			Busy:        l.Busy,
+			Stall:       l.Stall,
+			Kernels:     []string{l.Kernel},
+		})
+	}
+	for i := range phases {
+		p := &phases[i]
+		p.SatCycles = overlapCycles(sat, p.StartCycles, p.EndCycles)
+	}
+	return phases
+}
+
+// PhaseCost is one phase's share of a run's energy attribution.
+type PhaseCost struct {
+	// Phase indexes into the slice passed to CostPhases.
+	Phase int
+	// Terms is the phase's apportioned share of each attribution term.
+	Terms obs.TermEnergy
+}
+
+// TotalJ returns the phase's total apportioned energy.
+func (c *PhaseCost) TotalJ() float64 { return c.Terms.Total() }
+
+// CostPhases apportions a run's energy-attribution terms onto its
+// phases, keyed to each term's driver:
+//
+//	ComputeJ, ShmToRFJ, L1ToRFJ  ∝ the phase's busy SM-cycles
+//	StallJ, L2ToL1J, DRAMToL2J   ∝ the phase's stall SM-cycles
+//	InterGPMJ                    ∝ the phase's saturated cycles
+//	ConstantJ                    ∝ the phase's elapsed cycles
+//
+// When a driver never occurs in the run (e.g. no saturation episodes),
+// its terms fall back to the elapsed-cycles share so no energy is
+// dropped. The shares sum to the input terms exactly up to float
+// rounding.
+func CostPhases(phases []Phase, terms obs.TermEnergy) []PhaseCost {
+	var busyTot, stallTot, satTot, cycTot float64
+	for i := range phases {
+		busyTot += phases[i].Busy
+		stallTot += phases[i].Stall
+		satTot += phases[i].SatCycles
+		cycTot += phases[i].Cycles()
+	}
+	share := func(part, total float64, i int) float64 {
+		if total > 0 {
+			return part / total
+		}
+		if cycTot > 0 {
+			return phases[i].Cycles() / cycTot
+		}
+		return 1 / float64(len(phases)) // degenerate run: split evenly
+	}
+
+	costs := make([]PhaseCost, len(phases))
+	for i := range phases {
+		p := &phases[i]
+		busy := share(p.Busy, busyTot, i)
+		stall := share(p.Stall, stallTot, i)
+		sat := share(p.SatCycles, satTot, i)
+		elapsed := share(p.Cycles(), cycTot, i)
+		costs[i] = PhaseCost{
+			Phase: i,
+			Terms: obs.TermEnergy{
+				ComputeJ:  terms.ComputeJ * busy,
+				ShmToRFJ:  terms.ShmToRFJ * busy,
+				L1ToRFJ:   terms.L1ToRFJ * busy,
+				StallJ:    terms.StallJ * stall,
+				L2ToL1J:   terms.L2ToL1J * stall,
+				DRAMToL2J: terms.DRAMToL2J * stall,
+				InterGPMJ: terms.InterGPMJ * sat,
+				ConstantJ: terms.ConstantJ * elapsed,
+			},
+		}
+	}
+	return costs
+}

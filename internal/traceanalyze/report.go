@@ -1,0 +1,264 @@
+// Deterministic report rendering. Every renderer here promises
+// byte-identical output for equal inputs: rows follow slice order
+// (never map iteration), floats go through fixed formats
+// (strconv.FormatFloat 'g' for machine columns, fixed-precision
+// percentages for human ones), and no timestamps or environment leak
+// in. That promise is what lets scripts/trace_regress.sh diff a
+// freshly rendered signature against a checked-in baseline.
+package traceanalyze
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"gpujoule/internal/obs"
+)
+
+// Analysis bundles every analytics pass over one run.
+type Analysis struct {
+	// Run is the analyzed run.
+	Run *Run
+	// Cycle is the detected repeating kernel cycle, nil when nothing
+	// repeats.
+	Cycle *Cycle
+	// Phases is the compute/memory phase separation.
+	Phases []Phase
+	// Costs carries the per-phase joule apportionment after Cost is
+	// called; nil until then.
+	Costs []PhaseCost
+}
+
+// Analyze runs cycle detection and phase separation over r.
+func Analyze(r *Run, copts CycleOptions, popts PhaseOptions) *Analysis {
+	return &Analysis{
+		Run:    r,
+		Cycle:  DetectCycle(r, copts),
+		Phases: Separate(r, popts),
+	}
+}
+
+// Cost apportions the given energy-attribution terms onto the phases
+// (see CostPhases) so the rendered phase table carries joules.
+func (a *Analysis) Cost(terms obs.TermEnergy) {
+	a.Costs = CostPhases(a.Phases, terms)
+}
+
+// fmtG renders a float exactly and minimally — the machine-column
+// format shared by signature files and CSV.
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// fmtPct renders a delta percentage, mapping +Inf to "new".
+func fmtPct(v float64) string {
+	if math.IsInf(v, 1) {
+		return "new"
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// writef is fmt.Fprintf with sticky error collection.
+type writef struct {
+	w   io.Writer
+	err error
+}
+
+func (p *writef) f(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// WriteMarkdown renders the analysis as a human-readable report.
+func (a *Analysis) WriteMarkdown(w io.Writer) error {
+	p := &writef{w: w}
+	r := a.Run
+	p.f("# Trace analysis: %s\n\n", r.Name)
+	var busy, stall float64
+	for i := range r.Launches {
+		busy += r.Launches[i].Busy
+		stall += r.Launches[i].Stall
+	}
+	busyFrac := 1.0
+	if busy+stall > 0 {
+		busyFrac = busy / (busy + stall)
+	}
+	span := r.TotalCycles()
+	satCycles := overlapCycles(r.satSpans(), r.StartCycles(), r.EndCycles())
+	p.f("- launches: %d over %s cycles (%.3f ms at %s Hz)\n",
+		len(r.Launches), fmtG(span), span/r.ClockHz*1e3, fmtG(r.ClockHz))
+	p.f("- SM busy fraction: %.1f%% (busy %s / stall %s SM-cycles)\n",
+		busyFrac*100, fmtG(busy), fmtG(stall))
+	p.f("- link saturation: %d episode(s) covering %.1f%% of the span\n",
+		len(r.Episodes), satShare(satCycles, span)*100)
+	p.f("- launch-sequence signature: %016x\n", SeqSignature(kernelSeq(r)))
+
+	p.f("\n## Repeating kernel cycle\n\n")
+	if a.Cycle == nil {
+		p.f("none detected (no kernel sequence repeats at least twice).\n")
+	} else {
+		c := a.Cycle
+		p.f("period %d, %d iterations covering launches %d..%d, signature %016x\n",
+			c.Period, c.Iterations, c.Start, c.Start+c.Coverage()-1, c.Signature)
+		p.f("members (canonical order): %s\n\n", strings.Join(c.Members, " -> "))
+		p.f("| iter | launches | cycles | busy %% | saturated %% |\n")
+		p.f("|-----:|---------:|-------:|-------:|------------:|\n")
+		for i := range c.Iters {
+			it := &c.Iters[i]
+			p.f("| %d | %d..%d | %s | %.1f | %.1f |\n",
+				it.Index, it.FirstSeq, it.LastSeq, fmtG(it.Cycles),
+				it.BusyFraction()*100, it.SatFraction()*100)
+		}
+		p.f("\n| member | launches | mean cycles | busy %% |\n")
+		p.f("|--------|---------:|------------:|-------:|\n")
+		for i := range c.MemberStats {
+			m := &c.MemberStats[i]
+			mb := 1.0
+			if tot := m.Busy + m.Stall; tot > 0 {
+				mb = m.Busy / tot
+			}
+			p.f("| %s | %d | %s | %.1f |\n", m.Kernel, m.Count, fmtG(m.MeanCycles()), mb*100)
+		}
+	}
+
+	p.f("\n## Phases\n\n")
+	if len(a.Phases) == 0 {
+		p.f("empty run.\n")
+		return p.err
+	}
+	if a.Costs != nil {
+		p.f("| # | class | launches | cycles | busy %% | saturated %% | energy J | kernels |\n")
+		p.f("|--:|-------|---------:|-------:|-------:|------------:|---------:|---------|\n")
+	} else {
+		p.f("| # | class | launches | cycles | busy %% | saturated %% | kernels |\n")
+		p.f("|--:|-------|---------:|-------:|-------:|------------:|---------|\n")
+	}
+	for i := range a.Phases {
+		ph := &a.Phases[i]
+		if a.Costs != nil {
+			p.f("| %d | %s | %d | %s | %.1f | %.1f | %s | %s |\n",
+				i, ph.Class, ph.Launches, fmtG(ph.Cycles()),
+				ph.BusyFraction()*100, ph.SatFraction()*100,
+				fmtG(a.Costs[i].TotalJ()), strings.Join(ph.Kernels, ", "))
+		} else {
+			p.f("| %d | %s | %d | %s | %.1f | %.1f | %s |\n",
+				i, ph.Class, ph.Launches, fmtG(ph.Cycles()),
+				ph.BusyFraction()*100, ph.SatFraction()*100,
+				strings.Join(ph.Kernels, ", "))
+		}
+	}
+	return p.err
+}
+
+// WritePhasesCSV renders the phase table as machine-readable CSV.
+func (a *Analysis) WritePhasesCSV(w io.Writer) error {
+	p := &writef{w: w}
+	p.f("phase,class,first_seq,last_seq,launches,cycles,busy_cycles,stall_cycles,sat_cycles,energy_j\n")
+	for i := range a.Phases {
+		ph := &a.Phases[i]
+		energy := ""
+		if a.Costs != nil {
+			energy = fmtG(a.Costs[i].TotalJ())
+		}
+		p.f("%d,%s,%d,%d,%d,%s,%s,%s,%s,%s\n",
+			i, ph.Class, ph.FirstSeq, ph.LastSeq, ph.Launches,
+			fmtG(ph.Cycles()), fmtG(ph.Busy), fmtG(ph.Stall), fmtG(ph.SatCycles), energy)
+	}
+	return p.err
+}
+
+// WriteMarkdown renders the comparison as a human-readable report.
+func (c *Comparison) WriteMarkdown(w io.Writer) error {
+	p := &writef{w: w}
+	p.f("# Trace comparison\n\n")
+	p.f("- baseline:  %s (%d launches, %s cycles)\n", c.Base.Name, len(c.Base.Launches), fmtG(c.BaseTotal()))
+	p.f("- optimized: %s (%d launches, %s cycles)\n", c.Opt.Name, len(c.Opt.Launches), fmtG(c.OptTotal()))
+	p.f("- end-to-end delta: %s%%\n", fmtPct(c.TotalDeltaPct()))
+	p.f("- alignment: %d launches matched", c.Matched)
+	for _, ch := range c.Inserted {
+		p.f(", +%d %s", ch.Count, ch.Kernel)
+	}
+	for _, ch := range c.Removed {
+		p.f(", -%d %s", ch.Count, ch.Kernel)
+	}
+	p.f("\n\n## Per-kernel deltas\n\n")
+	p.f("| kernel | base launches | opt launches | base cycles | opt cycles | delta %% |\n")
+	p.f("|--------|--------------:|-------------:|------------:|-----------:|--------:|\n")
+	for i := range c.Kernels {
+		d := &c.Kernels[i]
+		p.f("| %s | %d | %d | %s | %s | %s |\n",
+			d.Kernel, d.BaseLaunches, d.OptLaunches,
+			fmtG(d.BaseCycles), fmtG(d.OptCycles), fmtPct(d.DeltaPct()))
+	}
+	p.f("\n## Per-phase deltas\n\n")
+	p.f("| # | base class | opt class | base cycles | opt cycles | delta %% |\n")
+	p.f("|--:|-----------|-----------|------------:|-----------:|--------:|\n")
+	for i := range c.Phases {
+		d := &c.Phases[i]
+		p.f("| %d | %s | %s | %s | %s | %s |\n",
+			d.Index, orDash(string(d.BaseClass)), orDash(string(d.OptClass)),
+			fmtG(d.BaseCycles), fmtG(d.OptCycles), fmtPct(d.DeltaPct()))
+	}
+	return p.err
+}
+
+// WriteCSV renders the per-kernel delta table as machine-readable CSV.
+func (c *Comparison) WriteCSV(w io.Writer) error {
+	p := &writef{w: w}
+	p.f("kernel,base_launches,opt_launches,base_cycles,opt_cycles,base_busy,base_stall,opt_busy,opt_stall,delta_pct\n")
+	for i := range c.Kernels {
+		d := &c.Kernels[i]
+		p.f("%s,%d,%d,%s,%s,%s,%s,%s,%s,%s\n",
+			d.Kernel, d.BaseLaunches, d.OptLaunches,
+			fmtG(d.BaseCycles), fmtG(d.OptCycles),
+			fmtG(d.BaseBusy), fmtG(d.BaseStall), fmtG(d.OptBusy), fmtG(d.OptStall),
+			fmtPct(d.DeltaPct()))
+	}
+	return p.err
+}
+
+// WriteSignature renders the compact regression-baseline form of runs:
+// one "run" line per run (name, launch count, sequence signature,
+// exact total cycles), a "cycle" line when one was detected, and one
+// "phase" line per phase. Tab-separated; floats in exact 'g' format.
+// Byte-stable across invocations and machines — the simulator itself
+// is deterministic, so these lines only change when behavior does.
+func WriteSignature(w io.Writer, runs []*Run, copts CycleOptions, popts PhaseOptions) error {
+	p := &writef{w: w}
+	p.f("# gpujoule trace signature v1\n")
+	for _, r := range runs {
+		p.f("run\t%s\t%d\t%016x\t%s\n",
+			r.Name, len(r.Launches), SeqSignature(kernelSeq(r)), fmtG(r.TotalCycles()))
+		if c := DetectCycle(r, copts); c != nil {
+			p.f("cycle\t%d\t%d\t%016x\t%s\n",
+				c.Period, c.Iterations, c.Signature, strings.Join(c.Members, "|"))
+		}
+		for i, ph := range Separate(r, popts) {
+			p.f("phase\t%d\t%s\t%d\t%s\n", i, ph.Class, ph.Launches, fmtG(ph.Cycles()))
+		}
+	}
+	return p.err
+}
+
+func kernelSeq(r *Run) []string {
+	seq := make([]string, len(r.Launches))
+	for i := range r.Launches {
+		seq[i] = r.Launches[i].Kernel
+	}
+	return seq
+}
+
+func satShare(sat, span float64) float64 {
+	if span > 0 {
+		return sat / span
+	}
+	return 0
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+// Launch-sequence signatures: the hashes that make kernel cycles and
+// whole traces comparable as values. A signature is an FNV-1a fold
+// over the kernel-name sequence with a separator byte, so "ab","c" and
+// "a","bc" hash apart; cycle signatures are taken over the minimal
+// rotation of the member sequence, so two traces whose repeating unit
+// was detected at different offsets (one trace entered the loop one
+// kernel later) still produce equal cycle signatures.
+package traceanalyze
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashString folds one string plus a separator into h (FNV-1a).
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0xff // separator: never appears in UTF-8 kernel names
+	h *= fnvPrime64
+	return h
+}
+
+// SeqSignature hashes a kernel-name sequence.
+func SeqSignature(kernels []string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, k := range kernels {
+		h = hashString(h, k)
+	}
+	return h
+}
+
+// minRotationIndex returns the start index of the lexicographically
+// minimal rotation of seq (Booth's algorithm over the doubled
+// sequence). It is the canonical phase origin of a detected cycle:
+// rotation-invariant, so equal cycles detected at different offsets
+// canonicalize identically.
+func minRotationIndex(seq []string) int {
+	n := len(seq)
+	if n <= 1 {
+		return 0
+	}
+	at := func(i int) string { return seq[i%n] }
+	// Failure-function formulation of Booth's algorithm, adapted to an
+	// arbitrary comparable alphabet.
+	f := make([]int, 2*n)
+	for i := range f {
+		f[i] = -1
+	}
+	k := 0
+	for j := 1; j < 2*n; j++ {
+		i := f[j-k-1]
+		for i != -1 && at(j) != at(k+i+1) {
+			if at(j) < at(k+i+1) {
+				k = j - i - 1
+			}
+			i = f[i]
+		}
+		if i == -1 && at(j) != at(k+i+1) {
+			if at(j) < at(k+i+1) {
+				k = j
+			}
+			f[j-k] = -1
+		} else {
+			f[j-k] = i + 1
+		}
+	}
+	return k
+}
+
+// rotate returns seq rotated so that position start comes first.
+func rotate(seq []string, start int) []string {
+	n := len(seq)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = seq[(start+i)%n]
+	}
+	return out
+}
+
+// CanonicalCycle canonicalizes a cycle's member sequence: the minimal
+// rotation, its start offset within members, and the signature over
+// the rotated sequence.
+func CanonicalCycle(members []string) (canonical []string, rotation int, sig uint64) {
+	rotation = minRotationIndex(members)
+	canonical = rotate(members, rotation)
+	return canonical, rotation, SeqSignature(canonical)
+}

@@ -1,0 +1,247 @@
+# Trace-signature baseline: tracelens sig over the fig2 slice
+# at -scale 0.05. Regenerate with scripts/trace_regress.sh
+# -update after an intentional behavior change.
+# gpujoule trace signature v1
+run	BPROP on 1-GPM	6	d9faa3eae2c8498b	175586
+cycle	2	3	5ff37710fe84e7d7	bprop-backward|bprop-forward
+phase	0	compute-bound	6	175586
+run	BPROP on 16-GPM/1x-BW/ring/on-board	6	d9faa3eae2c8498b	63692
+cycle	2	3	5ff37710fe84e7d7	bprop-backward|bprop-forward
+phase	0	memory-bound	6	63692
+run	BPROP on 2-GPM/1x-BW/ring/on-board	6	d9faa3eae2c8498b	101522.75
+cycle	2	3	5ff37710fe84e7d7	bprop-backward|bprop-forward
+phase	0	compute-bound	6	101522.75
+run	BPROP on 32-GPM/1x-BW/ring/on-board	6	d9faa3eae2c8498b	62948
+cycle	2	3	5ff37710fe84e7d7	bprop-backward|bprop-forward
+phase	0	memory-bound	6	62948
+run	BPROP on 4-GPM/1x-BW/ring/on-board	6	d9faa3eae2c8498b	67987
+cycle	2	3	5ff37710fe84e7d7	bprop-backward|bprop-forward
+phase	0	compute-bound	6	67987
+run	BPROP on 8-GPM/1x-BW/ring/on-board	6	d9faa3eae2c8498b	64775.99999999999
+cycle	2	3	5ff37710fe84e7d7	bprop-backward|bprop-forward
+phase	0	memory-bound	6	64775.99999999999
+run	BTREE on 1-GPM	1	b876f88a4ee3ddb1	45503
+phase	0	compute-bound	1	45503
+run	BTREE on 16-GPM/1x-BW/ring/on-board	1	b876f88a4ee3ddb1	20365.25
+phase	0	memory-bound	1	20365.25
+run	BTREE on 2-GPM/1x-BW/ring/on-board	1	b876f88a4ee3ddb1	28516.5
+phase	0	memory-bound	1	28516.5
+run	BTREE on 32-GPM/1x-BW/ring/on-board	1	b876f88a4ee3ddb1	24743.5
+phase	0	memory-bound	1	24743.5
+run	BTREE on 4-GPM/1x-BW/ring/on-board	1	b876f88a4ee3ddb1	21216.25
+phase	0	memory-bound	1	21216.25
+run	BTREE on 8-GPM/1x-BW/ring/on-board	1	b876f88a4ee3ddb1	20090.5
+phase	0	memory-bound	1	20090.5
+run	CoMD on 1-GPM	2	11a3e0fef120c2e5	281488
+cycle	1	2	6d64a53bd05bf805	comd-force
+phase	0	compute-bound	2	281488
+run	CoMD on 16-GPM/1x-BW/ring/on-board	2	11a3e0fef120c2e5	74370
+cycle	1	2	6d64a53bd05bf805	comd-force
+phase	0	memory-bound	2	74370
+run	CoMD on 2-GPM/1x-BW/ring/on-board	2	11a3e0fef120c2e5	143294
+cycle	1	2	6d64a53bd05bf805	comd-force
+phase	0	compute-bound	2	143294
+run	CoMD on 32-GPM/1x-BW/ring/on-board	2	11a3e0fef120c2e5	74560
+cycle	1	2	6d64a53bd05bf805	comd-force
+phase	0	memory-bound	2	74560
+run	CoMD on 4-GPM/1x-BW/ring/on-board	2	11a3e0fef120c2e5	74226
+cycle	1	2	6d64a53bd05bf805	comd-force
+phase	0	compute-bound	2	74226
+run	CoMD on 8-GPM/1x-BW/ring/on-board	2	11a3e0fef120c2e5	74236
+cycle	1	2	6d64a53bd05bf805	comd-force
+phase	0	memory-bound	2	74236
+run	Hotspot on 1-GPM	2	12fa98b80ba80cdf	50166.75
+cycle	1	2	fd552088b242c2fa	hotspot-step
+phase	0	compute-bound	2	50166.75
+run	Hotspot on 16-GPM/1x-BW/ring/on-board	2	12fa98b80ba80cdf	17451.25
+cycle	1	2	fd552088b242c2fa	hotspot-step
+phase	0	memory-bound	2	17451.25
+run	Hotspot on 2-GPM/1x-BW/ring/on-board	2	12fa98b80ba80cdf	31082.749999999996
+cycle	1	2	fd552088b242c2fa	hotspot-step
+phase	0	compute-bound	2	31082.749999999996
+run	Hotspot on 32-GPM/1x-BW/ring/on-board	2	12fa98b80ba80cdf	17516.75
+cycle	1	2	fd552088b242c2fa	hotspot-step
+phase	0	memory-bound	2	17516.75
+run	Hotspot on 4-GPM/1x-BW/ring/on-board	2	12fa98b80ba80cdf	18648.5
+cycle	1	2	fd552088b242c2fa	hotspot-step
+phase	0	compute-bound	2	18648.5
+run	Hotspot on 8-GPM/1x-BW/ring/on-board	2	12fa98b80ba80cdf	17737.5
+cycle	1	2	fd552088b242c2fa	hotspot-step
+phase	0	memory-bound	2	17737.5
+run	Kmeans on 1-GPM	2	dafac03076e23eb1	46990.5
+cycle	1	2	19a61d92ef72d50f	kmeans-assign
+phase	0	compute-bound	2	46990.5
+run	Kmeans on 16-GPM/1x-BW/ring/on-board	2	dafac03076e23eb1	15216.750000000002
+cycle	1	2	19a61d92ef72d50f	kmeans-assign
+phase	0	memory-bound	2	15216.750000000002
+run	Kmeans on 2-GPM/1x-BW/ring/on-board	2	dafac03076e23eb1	25052.500000000004
+cycle	1	2	19a61d92ef72d50f	kmeans-assign
+phase	0	compute-bound	2	25052.500000000004
+run	Kmeans on 32-GPM/1x-BW/ring/on-board	2	dafac03076e23eb1	15433.75
+cycle	1	2	19a61d92ef72d50f	kmeans-assign
+phase	0	memory-bound	2	15433.75
+run	Kmeans on 4-GPM/1x-BW/ring/on-board	2	dafac03076e23eb1	17955.750000000004
+cycle	1	2	19a61d92ef72d50f	kmeans-assign
+phase	0	memory-bound	2	17955.750000000004
+run	Kmeans on 8-GPM/1x-BW/ring/on-board	2	dafac03076e23eb1	16480.75
+cycle	1	2	19a61d92ef72d50f	kmeans-assign
+phase	0	memory-bound	2	16480.75
+run	Lulesh-150 on 1-GPM	2	b120b72860fc1f85	97855.25000000001
+cycle	1	2	01274c7b6c93ce1e	Lulesh-150-calc
+phase	0	compute-bound	2	97855.25000000001
+run	Lulesh-150 on 16-GPM/1x-BW/ring/on-board	2	b120b72860fc1f85	41793.00000000001
+cycle	1	2	01274c7b6c93ce1e	Lulesh-150-calc
+phase	0	memory-bound	2	41793.00000000001
+run	Lulesh-150 on 2-GPM/1x-BW/ring/on-board	2	b120b72860fc1f85	61972.75000000001
+cycle	1	2	01274c7b6c93ce1e	Lulesh-150-calc
+phase	0	compute-bound	2	61972.75000000001
+run	Lulesh-150 on 32-GPM/1x-BW/ring/on-board	2	b120b72860fc1f85	47446.25
+cycle	1	2	01274c7b6c93ce1e	Lulesh-150-calc
+phase	0	memory-bound	2	47446.25
+run	Lulesh-150 on 4-GPM/1x-BW/ring/on-board	2	b120b72860fc1f85	43043.00000000001
+cycle	1	2	01274c7b6c93ce1e	Lulesh-150-calc
+phase	0	memory-bound	2	43043.00000000001
+run	Lulesh-150 on 8-GPM/1x-BW/ring/on-board	2	b120b72860fc1f85	40656.5
+cycle	1	2	01274c7b6c93ce1e	Lulesh-150-calc
+phase	0	memory-bound	2	40656.5
+run	Lulesh-190 on 1-GPM	2	4d5aee1d10e5b87d	149217.50000000003
+cycle	1	2	6322392821e8884a	Lulesh-190-calc
+phase	0	compute-bound	2	149217.50000000003
+run	Lulesh-190 on 16-GPM/1x-BW/ring/on-board	2	4d5aee1d10e5b87d	56513.5
+cycle	1	2	6322392821e8884a	Lulesh-190-calc
+phase	0	memory-bound	2	56513.5
+run	Lulesh-190 on 2-GPM/1x-BW/ring/on-board	2	4d5aee1d10e5b87d	93443.00000000001
+cycle	1	2	6322392821e8884a	Lulesh-190-calc
+phase	0	memory-bound	1	43904
+phase	1	compute-bound	1	44539.000000000015
+run	Lulesh-190 on 32-GPM/1x-BW/ring/on-board	2	4d5aee1d10e5b87d	59326
+cycle	1	2	6322392821e8884a	Lulesh-190-calc
+phase	0	memory-bound	2	59326
+run	Lulesh-190 on 4-GPM/1x-BW/ring/on-board	2	4d5aee1d10e5b87d	70835.74999999999
+cycle	1	2	6322392821e8884a	Lulesh-190-calc
+phase	0	memory-bound	2	70835.74999999999
+run	Lulesh-190 on 8-GPM/1x-BW/ring/on-board	2	4d5aee1d10e5b87d	54756.75
+cycle	1	2	6322392821e8884a	Lulesh-190-calc
+phase	0	memory-bound	2	54756.75
+run	MiniAMR on 1-GPM	8	d2deeb8e01252555	79295
+cycle	1	8	8380ab59560c75fc	miniamr-sweep
+phase	0	memory-bound	1	7273.000000000001
+phase	1	compute-bound	7	67022
+run	MiniAMR on 16-GPM/1x-BW/ring/on-board	8	d2deeb8e01252555	62324
+cycle	1	8	8380ab59560c75fc	miniamr-sweep
+phase	0	memory-bound	8	62324
+run	MiniAMR on 2-GPM/1x-BW/ring/on-board	8	d2deeb8e01252555	69733.5
+cycle	1	8	8380ab59560c75fc	miniamr-sweep
+phase	0	memory-bound	8	69733.5
+run	MiniAMR on 32-GPM/1x-BW/ring/on-board	8	d2deeb8e01252555	68958.5
+cycle	1	8	8380ab59560c75fc	miniamr-sweep
+phase	0	memory-bound	8	68958.5
+run	MiniAMR on 4-GPM/1x-BW/ring/on-board	8	d2deeb8e01252555	63425.99999999999
+cycle	1	8	8380ab59560c75fc	miniamr-sweep
+phase	0	memory-bound	8	63425.99999999999
+run	MiniAMR on 8-GPM/1x-BW/ring/on-board	8	d2deeb8e01252555	62716
+cycle	1	8	8380ab59560c75fc	miniamr-sweep
+phase	0	memory-bound	8	62716
+run	Nekbone-12 on 1-GPM	2	6f345b4107493ea5	89653.25
+cycle	1	2	1f04054f7710cd42	Nekbone-12-ax
+phase	0	compute-bound	2	89653.25
+run	Nekbone-12 on 16-GPM/1x-BW/ring/on-board	2	6f345b4107493ea5	32030
+cycle	1	2	1f04054f7710cd42	Nekbone-12-ax
+phase	0	memory-bound	2	32030
+run	Nekbone-12 on 2-GPM/1x-BW/ring/on-board	2	6f345b4107493ea5	53291
+cycle	1	2	1f04054f7710cd42	Nekbone-12-ax
+phase	0	compute-bound	2	53291
+run	Nekbone-12 on 32-GPM/1x-BW/ring/on-board	2	6f345b4107493ea5	34225
+cycle	1	2	1f04054f7710cd42	Nekbone-12-ax
+phase	0	memory-bound	2	34225
+run	Nekbone-12 on 4-GPM/1x-BW/ring/on-board	2	6f345b4107493ea5	30536
+cycle	1	2	1f04054f7710cd42	Nekbone-12-ax
+phase	0	compute-bound	2	30536
+run	Nekbone-12 on 8-GPM/1x-BW/ring/on-board	2	6f345b4107493ea5	30775.000000000004
+cycle	1	2	1f04054f7710cd42	Nekbone-12-ax
+phase	0	memory-bound	2	30775.000000000004
+run	Nekbone-18 on 1-GPM	2	0d387291ac9aa2b1	90200.25000000001
+cycle	1	2	edb3cc4aba5f5eb0	Nekbone-18-ax
+phase	0	compute-bound	2	90200.25000000001
+run	Nekbone-18 on 16-GPM/1x-BW/ring/on-board	2	0d387291ac9aa2b1	32155
+cycle	1	2	edb3cc4aba5f5eb0	Nekbone-18-ax
+phase	0	memory-bound	2	32155
+run	Nekbone-18 on 2-GPM/1x-BW/ring/on-board	2	0d387291ac9aa2b1	53383
+cycle	1	2	edb3cc4aba5f5eb0	Nekbone-18-ax
+phase	0	compute-bound	2	53383
+run	Nekbone-18 on 32-GPM/1x-BW/ring/on-board	2	0d387291ac9aa2b1	34258
+cycle	1	2	edb3cc4aba5f5eb0	Nekbone-18-ax
+phase	0	memory-bound	2	34258
+run	Nekbone-18 on 4-GPM/1x-BW/ring/on-board	2	0d387291ac9aa2b1	30555
+cycle	1	2	edb3cc4aba5f5eb0	Nekbone-18-ax
+phase	0	compute-bound	2	30555
+run	Nekbone-18 on 8-GPM/1x-BW/ring/on-board	2	0d387291ac9aa2b1	30837
+cycle	1	2	edb3cc4aba5f5eb0	Nekbone-18-ax
+phase	0	memory-bound	2	30837
+run	PathF on 1-GPM	3	67aa6716eab853ae	26778.25
+cycle	1	3	8ead86ef87f9d15e	pathf-row
+phase	0	compute-bound	3	26778.25
+run	PathF on 16-GPM/1x-BW/ring/on-board	3	67aa6716eab853ae	18759.75
+cycle	1	3	8ead86ef87f9d15e	pathf-row
+phase	0	memory-bound	3	18759.75
+run	PathF on 2-GPM/1x-BW/ring/on-board	3	67aa6716eab853ae	19315.25
+cycle	1	3	8ead86ef87f9d15e	pathf-row
+phase	0	memory-bound	1	3445.25
+phase	1	compute-bound	2	10870
+run	PathF on 32-GPM/1x-BW/ring/on-board	3	67aa6716eab853ae	19541.5
+cycle	1	3	8ead86ef87f9d15e	pathf-row
+phase	0	memory-bound	3	19541.5
+run	PathF on 4-GPM/1x-BW/ring/on-board	3	67aa6716eab853ae	18981.25
+cycle	1	3	8ead86ef87f9d15e	pathf-row
+phase	0	memory-bound	3	18981.25
+run	PathF on 8-GPM/1x-BW/ring/on-board	3	67aa6716eab853ae	18804.25
+cycle	1	3	8ead86ef87f9d15e	pathf-row
+phase	0	memory-bound	3	18804.25
+run	RSBench on 1-GPM	1	923af45d35f39f82	151556
+phase	0	compute-bound	1	151556
+run	RSBench on 16-GPM/1x-BW/ring/on-board	1	923af45d35f39f82	38004
+phase	0	memory-bound	1	38004
+run	RSBench on 2-GPM/1x-BW/ring/on-board	1	923af45d35f39f82	75780
+phase	0	compute-bound	1	75780
+run	RSBench on 32-GPM/1x-BW/ring/on-board	1	923af45d35f39f82	38063
+phase	0	memory-bound	1	38063
+run	RSBench on 4-GPM/1x-BW/ring/on-board	1	923af45d35f39f82	37926
+phase	0	compute-bound	1	37926
+run	RSBench on 8-GPM/1x-BW/ring/on-board	1	923af45d35f39f82	37928
+phase	0	memory-bound	1	37928
+run	Srad-v2 on 1-GPM	2	4f6f9ce145339c5d	41945.75000000001
+cycle	1	2	2802151d2ebead57	sradv2-diffuse
+phase	0	memory-bound	2	41945.75000000001
+run	Srad-v2 on 16-GPM/1x-BW/ring/on-board	2	4f6f9ce145339c5d	15769.5
+cycle	1	2	2802151d2ebead57	sradv2-diffuse
+phase	0	memory-bound	2	15769.5
+run	Srad-v2 on 2-GPM/1x-BW/ring/on-board	2	4f6f9ce145339c5d	30595.5
+cycle	1	2	2802151d2ebead57	sradv2-diffuse
+phase	0	memory-bound	2	30595.5
+run	Srad-v2 on 32-GPM/1x-BW/ring/on-board	2	4f6f9ce145339c5d	19239
+cycle	1	2	2802151d2ebead57	sradv2-diffuse
+phase	0	memory-bound	2	19239
+run	Srad-v2 on 4-GPM/1x-BW/ring/on-board	2	4f6f9ce145339c5d	18001.25
+cycle	1	2	2802151d2ebead57	sradv2-diffuse
+phase	0	memory-bound	2	18001.25
+run	Srad-v2 on 8-GPM/1x-BW/ring/on-board	2	4f6f9ce145339c5d	15965.75
+cycle	1	2	2802151d2ebead57	sradv2-diffuse
+phase	0	memory-bound	2	15965.75
+run	Stream on 1-GPM	2	0cc3350df8371e5d	123888.25
+cycle	1	2	afbddd349f735019	stream-triad
+phase	0	memory-bound	2	123888.25
+run	Stream on 16-GPM/1x-BW/ring/on-board	2	0cc3350df8371e5d	16954.25
+cycle	1	2	afbddd349f735019	stream-triad
+phase	0	memory-bound	2	16954.25
+run	Stream on 2-GPM/1x-BW/ring/on-board	2	0cc3350df8371e5d	65759
+cycle	1	2	afbddd349f735019	stream-triad
+phase	0	memory-bound	2	65759
+run	Stream on 32-GPM/1x-BW/ring/on-board	2	0cc3350df8371e5d	16300.249999999998
+cycle	1	2	afbddd349f735019	stream-triad
+phase	0	memory-bound	2	16300.249999999998
+run	Stream on 4-GPM/1x-BW/ring/on-board	2	0cc3350df8371e5d	37878.25
+cycle	1	2	afbddd349f735019	stream-triad
+phase	0	memory-bound	2	37878.25
+run	Stream on 8-GPM/1x-BW/ring/on-board	2	0cc3350df8371e5d	21247.500000000004
+cycle	1	2	afbddd349f735019	stream-triad
+phase	0	memory-bound	2	21247.500000000004

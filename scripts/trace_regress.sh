@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# trace_regress.sh — trace-signature regression check.
+#
+# Runs a small paper-report slice (fig2 at -scale 0.05, 84 traced
+# points, a few seconds) with -trace, reduces the trace to its
+# structural signature with `tracelens sig` (launch counts, sequence
+# hashes, detected kernel cycles, phase separation, exact cycle
+# totals), and diffs it against the checked-in baseline
+# scripts/trace_baseline.sig.
+#
+# The simulator is deterministic down to the byte across machines and
+# worker counts, so this diff is exact: ANY divergence means simulated
+# behavior changed — a launch was added or dropped, a kernel got
+# faster or slower, a phase flipped regime. That is the point: perf
+# work is invisible to unit tests but never invisible here.
+#
+# Usage:
+#   scripts/trace_regress.sh            # run the slice, diff the signature
+#   scripts/trace_regress.sh -update    # rewrite the baseline (after an
+#                                       # intentional behavior change)
+#
+# Exit status: 0 on match, 1 on divergence (CI wires it warn-only with
+# `|| true` alongside bench_regress.sh; locally it is a hard check).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/trace_baseline.sig
+SLICE=${TRACE_REGRESS_SLICE:-fig2}
+SCALE=${TRACE_REGRESS_SCALE:-0.05}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir" ./cmd/paper ./cmd/tracelens
+
+"$workdir/paper" -only "$SLICE" -scale "$SCALE" \
+  -trace "$workdir/slice.trace.json.gz" > /dev/null
+"$workdir/tracelens" sig "$workdir/slice.trace.json.gz" -o "$workdir/slice.sig"
+
+if [ "${1:-}" = "-update" ]; then
+  {
+    echo "# Trace-signature baseline: tracelens sig over the $SLICE slice"
+    echo "# at -scale $SCALE. Regenerate with scripts/trace_regress.sh"
+    echo "# -update after an intentional behavior change."
+    cat "$workdir/slice.sig"
+  } > "$BASELINE"
+  echo "baseline rewritten: $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "trace_regress: no baseline at $BASELINE (run scripts/trace_regress.sh -update)" >&2
+  exit 1
+fi
+
+# Strip baseline comment lines before diffing; the signature itself
+# never contains '#' beyond its own header line, which both sides have.
+if diff -u <(grep -v '^#' "$BASELINE") <(grep -v '^#' "$workdir/slice.sig"); then
+  echo "trace_regress: signature matches baseline ($SLICE at scale $SCALE)"
+else
+  echo "trace_regress: TRACE SIGNATURE DIVERGED from $BASELINE" >&2
+  echo "trace_regress: if the change is intentional, rerun with -update" >&2
+  exit 1
+fi
