@@ -5,7 +5,7 @@
 # tests once.
 GO ?= go
 
-.PHONY: build test race vet bench bench-sim bench-regress trace-regress ci smoke cluster-smoke
+.PHONY: build test race vet bench bench-sim bench-regress trace-regress ci smoke cluster-smoke dvfs-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,13 @@ trace-regress:
 # (it builds binaries and binds a port); CI runs it as its own step.
 smoke:
 	scripts/service_smoke.sh
+
+# Scaled-down DVFS smoke: sweet-spot + energy-roofline studies, a
+# fixed-frequency sweep with frequency columns, and the nominal-point
+# byte-identity check (no DVFS flags vs -freq 1000). Artifacts land
+# in the workdir for CI upload.
+dvfs-smoke:
+	scripts/dvfs_smoke.sh
 
 # End-to-end cluster smoke: 3 nodes + gateway, byte-identical
 # distributed sweeps (including a mid-sweep node kill), then a

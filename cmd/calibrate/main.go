@@ -4,9 +4,16 @@
 // real-application validation (Fig. 4b). It prints the recovered
 // Table Ib alongside the published values.
 //
+// With -freq, the workflow calibrates the silicon reclocked to that
+// K40 V/f-curve operating point instead of the nominal 1 GHz: the
+// recovered per-event energies and idle power then absorb the hidden
+// voltage/frequency effects the top-down V² rule alone cannot see.
+// With -curve, every curve point is calibrated in ascending frequency
+// order and a per-point summary table is printed.
+//
 // Usage:
 //
-//	calibrate [-scale f] [-apps=false]
+//	calibrate [-scale f] [-apps=false] [-freq mhz] [-curve]
 package main
 
 import (
@@ -14,13 +21,31 @@ import (
 	"fmt"
 	"os"
 
+	"gpujoule/internal/calib"
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/harness"
+	"gpujoule/internal/silicon"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "application scale for Fig. 4b validation")
 	apps := flag.Bool("apps", true, "run the 18-application Fig. 4b validation")
+	freqMHz := flag.Float64("freq", 0, "calibrate at this K40 V/f-curve frequency in MHz (0 = nominal 1000)")
+	curve := flag.Bool("curve", false, "calibrate every V/f-curve point and print the per-point summary")
 	flag.Parse()
+
+	if *curve {
+		if err := calibrateCurve(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *freqMHz != 0 {
+		if err := calibrateAt(*freqMHz); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	h := harness.New(*scale)
 	v, err := h.Validate()
@@ -46,6 +71,43 @@ func main() {
 		fmt.Printf("Fig. 4b mean absolute error: %.1f%% over %d applications (paper: 9.4%%)\n",
 			v.Fig4bMAEPct(), len(v.Fig4b))
 	}
+}
+
+// calibrateAt recalibrates the reference silicon at one operating
+// point and prints the recovered model against the nominal one.
+func calibrateAt(freqMHz float64) error {
+	p, err := dvfs.K40Curve().AtMHz(freqMHz)
+	if err != nil {
+		return err
+	}
+	dev := silicon.NewK40()
+	res, err := calib.CalibrateAt(dev, p, calib.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated at %s in %d iteration(s)\n", p, res.Iterations)
+	fmt.Printf("idle (constant) power: %.1f W, EPStall: %.3f nJ\n",
+		res.IdleWatts, res.Model.EPStall*1e9)
+	fmt.Printf("mixed-benchmark MAE: %.1f%%\n", res.MixedMAEPct())
+	return nil
+}
+
+// calibrateCurve calibrates every curve point and prints the
+// per-point idle power and stall energy — the measured shape the
+// analytical V² rule is validated against.
+func calibrateCurve() error {
+	dev := silicon.NewK40()
+	results, err := calib.CalibrateCurve(dev, calib.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("point          idle W   EPStall nJ   mixed MAE   iters")
+	for _, cr := range results {
+		fmt.Printf("%-14s %6.1f %12.3f %10.1f%% %7d\n",
+			cr.Point.String(), cr.Result.IdleWatts, cr.Result.Model.EPStall*1e9,
+			cr.Result.MixedMAEPct(), cr.Result.Iterations)
+	}
+	return nil
 }
 
 func fatal(err error) {

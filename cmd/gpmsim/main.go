@@ -6,8 +6,18 @@
 //
 //	gpmsim -workload Stream -gpms 8 [-bw 2x] [-topology ring]
 //	       [-monolithic] [-scale f] [-baseline] [-json]
-//	       [-counters out.json] [-sample cycles] [-trace out.trace.json]
-//	       [-httpaddr :8080] [-version]
+//	       [-freq mhz] [-governor fixed|sweetspot|racetoidle|pacetofinish]
+//	       [-deadline s] [-counters out.json] [-sample cycles]
+//	       [-trace out.trace.json] [-httpaddr :8080] [-version]
+//
+// With -freq, the run executes at the given K40 V/f-curve operating
+// point (internal/dvfs): timing re-derives under the scaled clock and
+// energy is priced by the rescaled model. -governor lets a DVFS policy
+// pick the point instead: sweetspot minimizes EDP over the curve,
+// racetoidle chooses between racing at the curve maximum (then deep-
+// idling the slack) and pacing at the minimum, and pacetofinish picks
+// the slowest point that still meets -deadline. The 1-GPM baseline of
+// -baseline runs at the same chosen point.
 //
 // With -baseline, the 1-GPM run is also simulated and scaling metrics
 // (speedup, energy ratio, EDPSE, parallel efficiency) are reported.
@@ -30,6 +40,7 @@ import (
 	"strings"
 
 	"gpujoule/internal/core"
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
@@ -37,6 +48,7 @@ import (
 	"gpujoule/internal/profiling"
 	"gpujoule/internal/runner"
 	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
 	"gpujoule/internal/workloads"
 )
 
@@ -55,6 +67,9 @@ func main() {
 	gpmParallel := flag.Int("gpm-parallel", 1, "per-simulation GPM lanes (>1 parallelizes inside the run; output is byte-identical at any value)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the run to this file")
 	httpAddr := flag.String("httpaddr", "", "serve live introspection (pprof, /progress, /metrics) on this address")
+	freqMHz := flag.Float64("freq", 0, "run at this K40 V/f-curve frequency in MHz (0 = nominal 1000)")
+	governor := flag.String("governor", "fixed", "operating-point policy: fixed, sweetspot, racetoidle, or pacetofinish")
+	deadline := flag.Float64("deadline", 0, "with -governor pacetofinish: the wall-clock deadline in seconds (0 = slowest curve point)")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	list := flag.Bool("list", false, "list workload names and exit")
 	flag.Parse()
@@ -83,16 +98,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	model := core.ProjectionModel(linksFor(cfg))
-
-	// Both points (the run and, with -baseline, its 1-GPM reference)
-	// go through the shared run engine: they execute concurrently and
-	// identical points collapse to one simulation.
-	points := []runner.Point{{App: app, Scale: *scale, Config: cfg}}
-	withBase := *baseline && !*mono && *gpms > 1
-	if withBase {
-		points = append(points, runner.Point{App: app, Scale: *scale, Config: sim.MultiGPM(1, sim.BW2x)})
-	}
 	// The engine must exist before the introspection server starts: the
 	// server's handlers pull the profile from listener goroutines, so a
 	// late-bound engine variable would race with them. Events only fire
@@ -117,6 +122,29 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "gpmsim: live introspection on http://%s/\n", srv.Addr())
 	}
+
+	// The operating point comes from -freq, or from the chosen
+	// governor's sweep of the V/f curve (every candidate runs through
+	// the same engine, so the final point is a memo hit).
+	op, decision, err := pickPoint(eng, app, *scale, cfg, *governor, *freqMHz, *deadline)
+	if err != nil {
+		fatal(err)
+	}
+	if decision != nil {
+		fmt.Fprintf(os.Stderr, "gpmsim: governor %s chose %s (%s)\n",
+			decision.Policy, decision.Point, decision.Reason)
+	}
+	cfg = dvfs.Apply(cfg, op)
+	model := dvfs.ScaleForConfig(core.ProjectionModel(linksFor(cfg)), cfg)
+
+	// Both points (the run and, with -baseline, its 1-GPM reference)
+	// go through the shared run engine: they execute concurrently and
+	// identical points collapse to one simulation.
+	points := []runner.Point{{App: app, Scale: *scale, Config: cfg}}
+	withBase := *baseline && !*mono && *gpms > 1
+	if withBase {
+		points = append(points, runner.Point{App: app, Scale: *scale, Config: dvfs.Apply(sim.MultiGPM(1, sim.BW2x), op)})
+	}
 	results, err := eng.Run(context.Background(), points)
 	if err != nil {
 		fatal(err)
@@ -127,18 +155,26 @@ func main() {
 		profile := eng.Profile()
 		rep := obs.Report{Profile: &profile}
 		for i, pt := range points {
-			m := core.ProjectionModel(linksFor(pt.Config))
+			m := dvfs.ScaleForConfig(core.ProjectionModel(linksFor(pt.Config)), pt.Config)
 			energy, err := obs.AttributeEnergy(m, &results[i].Counts, results[i].Counters)
 			if err != nil {
 				fatal(err)
 			}
-			rep.Points = append(rep.Points, obs.PointCounters{
+			pc := obs.PointCounters{
 				Workload: pt.App.Name,
 				Config:   pt.Config.Name(),
 				SimKey:   pt.Key(),
 				Counters: results[i].Counters,
 				Energy:   energy,
-			})
+			}
+			if !op.IsNominal() {
+				pc.OperatingPoint = &obs.OperatingPointInfo{FreqMHz: op.MHz(), VoltageV: op.Voltage}
+				if decision != nil {
+					pc.OperatingPoint.Governor = decision.Policy
+					pc.OperatingPoint.Reason = decision.Reason
+				}
+			}
+			rep.Points = append(rep.Points, pc)
 		}
 		if err := rep.WriteFile(*countersOut); err != nil {
 			fatal(err)
@@ -188,6 +224,10 @@ type summary struct {
 	Breakdown   map[string]float64    `json:"energy_breakdown_joules"`
 	Txns        map[string]uint64     `json:"transactions"`
 	Scaling     *metrics.ScalingPoint `json:"scaling_vs_1gpm,omitempty"`
+	// FreqMHz/VoltageV record a non-nominal DVFS operating point
+	// (absent at the nominal 1000 MHz, keeping the legacy schema).
+	FreqMHz  float64 `json:"freq_mhz,omitempty"`
+	VoltageV float64 `json:"voltage_v,omitempty"`
 }
 
 func writeJSON(w *os.File, app string, cfg sim.Config, model *core.Model, res *sim.Result, pt *metrics.ScalingPoint) error {
@@ -217,6 +257,10 @@ func writeJSON(w *os.File, app string, cfg sim.Config, model *core.Model, res *s
 		Txns:    make(map[string]uint64, isa.NumTxnKinds),
 		Scaling: pt,
 	}
+	if cfg.ClockHz != 0 || cfg.VoltageV != 0 {
+		p := dvfs.PointOf(cfg)
+		out.FreqMHz, out.VoltageV = p.MHz(), p.Voltage
+	}
 	for k := 0; k < isa.NumTxnKinds; k++ {
 		kind := isa.TxnKind(k)
 		if n := res.Counts.Txn[kind]; n > 0 {
@@ -226,6 +270,49 @@ func writeJSON(w *os.File, app string, cfg sim.Config, model *core.Model, res *s
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// pickPoint resolves the run's operating point: -freq under the fixed
+// policy, or the governor's choice after evaluating every curve point
+// through the engine.
+func pickPoint(eng *runner.Engine, app *trace.App, scale float64, cfg sim.Config,
+	governor string, freqMHz, deadline float64) (dvfs.OperatingPoint, *dvfs.Decision, error) {
+	curve := dvfs.K40Curve()
+	if governor == "fixed" {
+		if freqMHz == 0 {
+			return dvfs.Nominal(), nil, nil
+		}
+		p, err := curve.AtMHz(freqMHz)
+		return p, nil, err
+	}
+	if freqMHz != 0 {
+		return dvfs.Nominal(), nil, fmt.Errorf("-governor %s picks its own frequency; drop -freq", governor)
+	}
+	var gov dvfs.Governor
+	switch governor {
+	case "sweetspot":
+		gov = dvfs.SweetSpot{}
+	case "racetoidle":
+		m := core.ProjectionModel(linksFor(cfg))
+		gov = dvfs.RaceToIdle{IdleWatts: dvfs.DeepIdleFraction * m.ConstantPowerTotal(cfg.GPMs)}
+	case "pacetofinish":
+		gov = dvfs.PaceToFinish{DeadlineSeconds: deadline}
+	default:
+		return dvfs.Nominal(), nil, fmt.Errorf("unknown -governor %q (fixed, sweetspot, racetoidle, pacetofinish)", governor)
+	}
+	d, err := gov.Decide(curve, func(p dvfs.OperatingPoint) (dvfs.Metrics, error) {
+		c := dvfs.Apply(cfg, p)
+		r, err := eng.One(context.Background(), runner.Point{App: app, Scale: scale, Config: c})
+		if err != nil {
+			return dvfs.Metrics{}, err
+		}
+		m := dvfs.ScaleForConfig(core.ProjectionModel(linksFor(c)), c)
+		return dvfs.Metrics{Point: p, Energy: m.EstimateEnergy(&r.Counts), Seconds: r.Seconds()}, nil
+	})
+	if err != nil {
+		return dvfs.Nominal(), nil, err
+	}
+	return d.Point, &d, nil
 }
 
 func buildConfig(gpms int, bw, topo string, mono bool) (sim.Config, error) {
@@ -291,6 +378,12 @@ func usageHint(err error) string {
 		return "L1 and L2 capacities must be positive"
 	case errors.Is(err, sim.ErrBadBandwidth):
 		return "use -bw 1x, 2x, or 4x for a positive link bandwidth"
+	case errors.Is(err, sim.ErrBadFrequency):
+		return "the clock must be a positive, finite frequency in Hz"
+	case errors.Is(err, sim.ErrBadVoltage):
+		return "the supply voltage must be a positive, finite value in volts"
+	case errors.Is(err, dvfs.ErrOffCurve):
+		return "pick -freq from the K40 V/f curve (600, 700, 800, 900, 1000, 1100, or 1200 MHz)"
 	}
 	return ""
 }

@@ -129,6 +129,7 @@ func run() error {
 	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "per-peer cache request timeout (includes in-flight waits)")
 	noReplicate := flag.Bool("no-replicate", false, "disable pushing fresh results to the key's ring owner and successor")
 	gatewayQueue := flag.Int("gateway-queue", 512, "concurrently admitted parent jobs in gateway mode")
+	freqMHz := flag.Float64("freq", 0, "default K40 V/f-curve operating point in MHz for grid jobs that did not pick one (0 = nominal 1000)")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
 
@@ -188,15 +189,16 @@ func run() error {
 	}
 
 	sopts := service.Options{
-		Workers:     *workers,
-		Counters:    *counters,
-		CacheDir:    *cacheDir,
-		QueueCap:    *queueCap,
-		Executors:   *executors,
-		GPMParallel: *gpmParallel,
-		Tenants:     tcfg,
-		KeepJobs:    kj,
-		Logf:        logger.Printf,
+		Workers:        *workers,
+		Counters:       *counters,
+		CacheDir:       *cacheDir,
+		QueueCap:       *queueCap,
+		Executors:      *executors,
+		GPMParallel:    *gpmParallel,
+		Tenants:        tcfg,
+		KeepJobs:       kj,
+		Logf:           logger.Printf,
+		DefaultFreqMHz: *freqMHz,
 	}
 	if fab != nil && !*gateway {
 		sopts.Cluster = fab.Hooks()

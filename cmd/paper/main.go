@@ -12,6 +12,12 @@
 // fig2, fig4, fig6, fig7, fig8, fig9, fig10, table3, table4,
 // linkenergy, amortization, headline, energyattr. The default runs
 // everything (tens of minutes at -scale 1).
+//
+// The DVFS studies (-only sweetspot, racetoidle, roofline) are not part
+// of the default report, so the nominal -markdown record stays
+// byte-stable. -freq pins the whole evaluation to a K40-curve operating
+// point (see internal/dvfs); -governor fixed is the only whole-report
+// policy — the adaptive policies are per-workload studies.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/harness"
 	"gpujoule/internal/obs"
 	"gpujoule/internal/profiling"
@@ -38,6 +45,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	gpmParallel := flag.Int("gpm-parallel", 1, "per-simulation GPM lanes (>1 parallelizes inside each run; output is byte-identical at any value)")
 	traceOut := flag.String("trace", "", "write a multi-point Chrome trace_event timeline of every distinct simulation to this file (.gz compresses)")
+	freqMHz := flag.Float64("freq", 0, "run the whole evaluation at this K40 V/f-curve frequency in MHz (0 = nominal 1000)")
+	governor := flag.String("governor", "fixed", `operating-point policy for the whole report; only "fixed" applies here (for adaptive policies see -only sweetspot / racetoidle)`)
 	progress := flag.Bool("progress", false, "report simulation progress on stderr")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
@@ -56,13 +65,26 @@ func main() {
 
 	names := []string{"table3", "table4", "table1b", "fig2", "fig4", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "linkenergy", "amortization", "headline", "ablation", "metrics", "perworkload",
-		"threshold", "weakscaling", "fidelity", "energyattr"}
+		"threshold", "weakscaling", "fidelity", "energyattr", "sweetspot", "racetoidle", "roofline"}
 	if *list {
 		fmt.Println(strings.Join(names, "\n"))
 		return
 	}
 
+	if *governor != "fixed" {
+		fmt.Fprintf(os.Stderr, "paper: unknown -governor %q (only \"fixed\" applies to the whole report; "+
+			"run the adaptive policies with -only sweetspot or -only racetoidle)\n", *governor)
+		os.Exit(1)
+	}
 	opts := harness.Options{Scale: *scale, Workers: *workers, GPMParallel: *gpmParallel, Trace: *traceOut != ""}
+	if *freqMHz != 0 {
+		p, err := dvfs.K40Curve().AtMHz(*freqMHz)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		opts.OperatingPoint = p
+	}
 	if *progress {
 		opts.OnEvent = func(ev runner.Event) {
 			if ev.Kind == runner.PointDone && ev.Err == nil && !ev.CacheHit {
@@ -206,6 +228,24 @@ func main() {
 				return err
 			}
 			return t.Fprint(out)
+		case "sweetspot":
+			r, err := h.SweetSpotStudy(1, nil, "")
+			if err != nil {
+				return err
+			}
+			return r.Table().Fprint(out)
+		case "racetoidle":
+			r, err := h.RaceToIdleStudy()
+			if err != nil {
+				return err
+			}
+			return r.Table().Fprint(out)
+		case "roofline":
+			r, err := h.EnergyRooflineStudy(nil)
+			if err != nil {
+				return err
+			}
+			return r.Table().Fprint(out)
 		case "perworkload":
 			t, err := h.PerWorkloadEDPSE()
 			if err != nil {

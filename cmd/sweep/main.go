@@ -25,6 +25,17 @@
 // sweep runs: /progress, Prometheus /metrics, and /debug/pprof. The
 // JSON schemas are documented in DESIGN.md §Observability.
 //
+// With -freq, every grid point (baselines included) runs at the given
+// K40 V/f-curve operating point: the configs are stamped with the
+// matching (clock, voltage) pair, timing re-derives under the scaled
+// clock, and energy is priced by the per-point rescaled model. The
+// default 0 is the nominal 1000 MHz and changes nothing. -governor
+// sweetspot instead picks each workload's EDP-minimizing point on its
+// 1-GPM baseline and runs that workload's whole row there (local
+// simulation only). -freq-cols appends freq_mhz,voltage_v columns to
+// the CSV; it is off by default so the legacy column set stays
+// byte-stable.
+//
 // With -server, the sweep runs on a resident gpujouled daemon instead
 // of simulating locally: the grid is submitted as one job, warm points
 // are answered from the daemon's persistent result cache, and the CSV
@@ -50,6 +61,7 @@ import (
 	"time"
 
 	"gpujoule/internal/core"
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/metrics"
 	"gpujoule/internal/obs"
@@ -95,6 +107,9 @@ func run() (err error) {
 	tenant := flag.String("tenant", "", "scheduling tenant to bill the job to (server mode)")
 	priority := flag.Int("priority", 0, "job priority; higher preempts lower at point boundaries (server mode)")
 	stream := flag.Bool("stream", false, "follow the job's event stream and emit CSV rows as points resolve (server mode)")
+	freqMHz := flag.Float64("freq", 0, "run every point at this K40 V/f-curve frequency in MHz (0 = nominal 1000)")
+	governor := flag.String("governor", "fixed", `operating-point policy: "fixed" runs at -freq; "sweetspot" picks each workload's EDP-minimizing point on its 1-GPM baseline (local mode only)`)
+	freqCols := flag.Bool("freq-cols", false, "append freq_mhz,voltage_v columns to the CSV (off keeps the legacy column set)")
 	version := flag.Bool("version", false, "print schema and module version, then exit")
 	flag.Parse()
 
@@ -123,6 +138,25 @@ func run() (err error) {
 		return errors.New("-counters and -trace need local simulation; drop them or drop -server")
 	}
 
+	var op dvfs.OperatingPoint
+	if *freqMHz != 0 {
+		if op, err = dvfs.K40Curve().AtMHz(*freqMHz); err != nil {
+			return err
+		}
+	}
+	switch *governor {
+	case "fixed":
+	case "sweetspot":
+		if *serverURL != "" {
+			return errors.New("-governor sweetspot needs local simulation; drop it or drop -server")
+		}
+		if *freqMHz != 0 {
+			return errors.New("-governor sweetspot picks its own frequencies; drop -freq")
+		}
+	default:
+		return fmt.Errorf("unknown -governor %q (fixed, sweetspot)", *governor)
+	}
+
 	spec := service.JobSpec{
 		Workloads:  *names,
 		All:        *all,
@@ -132,13 +166,14 @@ func run() (err error) {
 		Topologies: *topos,
 		Baseline:   true,
 		Priority:   *priority,
+		FreqMHz:    *freqMHz,
 	}
 
 	// Streaming server mode renders rows into the output as their
 	// points resolve instead of collecting everything first.
 	if *serverURL != "" && *stream {
 		return withOutput(*out, func(bw *bufio.Writer) error {
-			return streamRemote(bw, *serverURL, *tenant, spec, *progress, cfgs)
+			return streamRemote(bw, *serverURL, *tenant, spec, *progress, cfgs, op, *freqCols)
 		})
 	}
 
@@ -148,13 +183,19 @@ func run() (err error) {
 	// a server sweep's CSV is byte-identical to a local one.
 	var rows []row
 	var results []*sim.Result
+	var ops []dvfs.OperatingPoint // per-row operating point
 	if *serverURL != "" {
 		rows, results, err = runRemote(*serverURL, *tenant, spec, *progress, len(cfgs))
+		ops = make([]dvfs.OperatingPoint, len(rows))
+		for i := range ops {
+			ops[i] = op
+		}
 	} else {
-		rows, results, err = runLocal(localOptions{
+		rows, results, ops, err = runLocal(localOptions{
 			names: *names, all: *all, scale: *scale,
 			workers: *workers, gpmParallel: *gpmParallel, progress: *progress,
 			countersOut: *countersOut, traceOut: *traceOut, httpAddr: *httpAddr,
+			op: op, governor: *governor,
 		}, cfgs)
 	}
 	if err != nil {
@@ -162,13 +203,14 @@ func run() (err error) {
 	}
 
 	return withOutput(*out, func(bw *bufio.Writer) error {
-		writeHeader(bw)
+		writeHeader(bw, *freqCols)
 		i := 0
-		for _, r := range rows {
+		for ri, r := range rows {
 			base := results[i]
 			i++
 			for _, cfg := range cfgs {
-				emit(bw, r, cfg, modelFor(cfg), base, results[i])
+				scfg := dvfs.Apply(cfg, ops[ri])
+				emit(bw, r, scfg, modelFor(scfg), base, results[i], *freqCols)
 				i++
 			}
 		}
@@ -219,13 +261,17 @@ func withOutput(path string, fn func(*bufio.Writer) error) error {
 // writeHeader emits the CSV header. The metric columns use the
 // canonical sim.Field* schema names, so the CSV header, the counters
 // JSON, and the harness reports agree.
-func writeHeader(w io.Writer) {
-	fmt.Fprintln(w, "workload,category,gpms,bw,topology,domain,"+strings.Join([]string{
+func writeHeader(w io.Writer, freqCols bool) {
+	fmt.Fprint(w, "workload,category,gpms,bw,topology,domain,"+strings.Join([]string{
 		sim.FieldCycles, sim.FieldSeconds,
 		sim.FieldSpeedup, sim.FieldEnergyJ, sim.FieldEnergyRatio, sim.FieldEDPSEPct, sim.FieldAvgPowerW,
 		sim.FieldL1Hit, sim.FieldL2Hit, sim.FieldRemoteFillFrac,
 		sim.FieldDRAMGB, sim.FieldInterGPMGB, sim.FieldStallFrac,
 	}, ","))
+	if freqCols {
+		fmt.Fprint(w, ",freq_mhz,voltage_v")
+	}
+	fmt.Fprintln(w)
 }
 
 type localOptions struct {
@@ -234,9 +280,11 @@ type localOptions struct {
 	scale                                  float64
 	workers                                int
 	gpmParallel                            int
+	op                                     dvfs.OperatingPoint
+	governor                               string
 }
 
-func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
+func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, []dvfs.OperatingPoint, error) {
 	params := workloads.Params{Scale: o.scale}
 	var apps []*trace.App
 	if o.all {
@@ -245,12 +293,11 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 		for _, name := range sim.SplitList(o.names) {
 			app, err := workloads.ByName(name, params)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			apps = append(apps, app)
 		}
 	}
-	points := runner.GridPoints(apps, o.scale, true, cfgs...)
 
 	// The engine must exist before the introspection server starts:
 	// its handlers pull the profile from listener goroutines, so a
@@ -279,14 +326,62 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 		var err error
 		srv, err = profiling.ServeHTTP(o.httpAddr, eng.Profile)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "sweep: live introspection on http://%s/\n", srv.Addr())
 	}
+
+	// Per-row operating points: every row runs at the fixed -freq point
+	// unless the sweet-spot governor picks a per-workload one on its
+	// 1-GPM baseline. At the nominal point the stamps are the identity
+	// and the point set is exactly the legacy grid.
+	ops := make([]dvfs.OperatingPoint, len(apps))
+	for i := range ops {
+		ops[i] = o.op
+	}
+	baseCfg := sim.MultiGPM(1, sim.BW2x)
+	if o.governor == "sweetspot" {
+		curve := dvfs.K40Curve()
+		var cal []runner.Point
+		for _, app := range apps {
+			for _, p := range curve.Points() {
+				cal = append(cal, runner.Point{App: app, Scale: o.scale, Config: dvfs.Apply(baseCfg, p)})
+			}
+		}
+		if _, err := eng.Run(context.Background(), cal); err != nil {
+			return nil, nil, nil, err
+		}
+		gov := dvfs.SweetSpot{}
+		for i, app := range apps {
+			app := app
+			d, err := gov.Decide(curve, func(p dvfs.OperatingPoint) (dvfs.Metrics, error) {
+				cfg := dvfs.Apply(baseCfg, p)
+				r, err := eng.One(context.Background(), runner.Point{App: app, Scale: o.scale, Config: cfg})
+				if err != nil {
+					return dvfs.Metrics{}, err
+				}
+				return dvfs.Metrics{Point: p, Energy: modelFor(cfg).EstimateEnergy(&r.Counts), Seconds: r.Seconds()}, nil
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ops[i] = d.Point
+			if o.progress {
+				fmt.Fprintf(os.Stderr, "sweep: %s sweet spot %s\n", app.Name, d.Point)
+			}
+		}
+	}
+	points := make([]runner.Point, 0, len(apps)*(len(cfgs)+1))
+	for i, app := range apps {
+		points = append(points, runner.Point{App: app, Scale: o.scale, Config: dvfs.Apply(baseCfg, ops[i])})
+		for _, cfg := range cfgs {
+			points = append(points, runner.Point{App: app, Scale: o.scale, Config: dvfs.Apply(cfg, ops[i])})
+		}
+	}
 	results, err := eng.Run(context.Background(), points)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if o.progress {
 		st := eng.Stats()
@@ -298,21 +393,30 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 	if o.countersOut != "" {
 		profile := eng.Profile()
 		rep := obs.Report{Profile: &profile}
+		gov := ""
+		if o.governor != "fixed" {
+			gov = o.governor
+		}
 		for i, pt := range points {
 			energy, err := obs.AttributeEnergy(modelFor(pt.Config), &results[i].Counts, results[i].Counters)
 			if err != nil {
-				return nil, nil, fmt.Errorf("attributing %s: %w", pt, err)
+				return nil, nil, nil, fmt.Errorf("attributing %s: %w", pt, err)
 			}
-			rep.Points = append(rep.Points, obs.PointCounters{
+			pc := obs.PointCounters{
 				Workload: pt.App.Name,
 				Config:   pt.Config.Name(),
 				SimKey:   pt.Key(),
 				Counters: results[i].Counters,
 				Energy:   energy,
-			})
+			}
+			if pt.Config.ClockHz != 0 || pt.Config.VoltageV != 0 {
+				p := dvfs.PointOf(pt.Config)
+				pc.OperatingPoint = &obs.OperatingPointInfo{FreqMHz: p.MHz(), VoltageV: p.Voltage, Governor: gov}
+			}
+			rep.Points = append(rep.Points, pc)
 		}
 		if err := rep.WriteFile(o.countersOut); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	if o.traceOut != "" {
@@ -321,7 +425,7 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 			traces[i] = obs.PointTrace{Name: pt.String(), Trace: results[i].Trace}
 		}
 		if err := obs.WriteChromeTracesFile(o.traceOut, traces); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 
@@ -329,7 +433,7 @@ func runLocal(o localOptions, cfgs []sim.Config) ([]row, []*sim.Result, error) {
 	for i, app := range apps {
 		rows[i] = row{name: app.Name, category: app.Category}
 	}
-	return rows, results, nil
+	return rows, results, ops, nil
 }
 
 // dialService builds the v2 service client: tenant billing, automatic
@@ -421,7 +525,7 @@ func runRemote(url, tenant string, spec service.JobSpec, progress bool, perRow i
 // has resolved, always in grid order — so the file grows live yet
 // finishes byte-identical to a batch run, no matter how the scheduler
 // interleaved this job with other tenants' work.
-func streamRemote(bw *bufio.Writer, url, tenant string, spec service.JobSpec, progress bool, cfgs []sim.Config) error {
+func streamRemote(bw *bufio.Writer, url, tenant string, spec service.JobSpec, progress bool, cfgs []sim.Config, op dvfs.OperatingPoint, freqCols bool) error {
 	rows, err := rowSet(spec)
 	if err != nil {
 		return err
@@ -431,7 +535,7 @@ func streamRemote(bw *bufio.Writer, url, tenant string, spec service.JobSpec, pr
 		return err
 	}
 
-	writeHeader(bw)
+	writeHeader(bw, freqCols)
 	span := len(cfgs) + 1 // baseline + one point per config
 	total := len(rows) * span
 	results := make([]*sim.Result, total)
@@ -455,7 +559,8 @@ func streamRemote(bw *bufio.Writer, url, tenant string, spec service.JobSpec, pr
 			}
 			base := results[r*span]
 			for ci, cfg := range cfgs {
-				emit(bw, rows[r], cfg, modelFor(cfg), base, results[r*span+1+ci])
+				scfg := dvfs.Apply(cfg, op)
+				emit(bw, rows[r], scfg, modelFor(scfg), base, results[r*span+1+ci], freqCols)
 			}
 			next = end
 			if err := bw.Flush(); err != nil {
@@ -503,14 +608,14 @@ func streamRemote(bw *bufio.Writer, url, tenant string, spec service.JobSpec, pr
 	return flush()
 }
 
-func emit(w io.Writer, r row, cfg sim.Config, model *core.Model, base, res *sim.Result) {
+func emit(w io.Writer, r row, cfg sim.Config, model *core.Model, base, res *sim.Result, freqCols bool) {
 	b := model.Estimate(&res.Counts)
 	bs := metrics.Sample{EnergyJoules: model.EstimateEnergy(&base.Counts), DelaySeconds: base.Seconds()}
 	ss := metrics.Sample{EnergyJoules: b.Total(), DelaySeconds: res.Seconds()}
 	pt := metrics.Derive(bs, cfg.GPMs, ss)
 	stallFrac := float64(res.Counts.StallCycles) /
 		(float64(res.Counts.Cycles) * float64(res.Counts.SMCount))
-	fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%d,%.6g,%.4g,%.6g,%.4g,%.4g,%.4g,%.4f,%.4f,%.4f,%.4g,%.4g,%.4f\n",
+	fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%d,%.6g,%.4g,%.6g,%.4g,%.4g,%.4g,%.4f,%.4f,%.4f,%.4g,%.4g,%.4f",
 		r.name, r.category, cfg.GPMs, cfg.InterGPM, cfg.Topology, cfg.Domain,
 		res.Counts.Cycles, res.Seconds(),
 		pt.Speedup, ss.EnergyJoules, pt.EnergyRatio, pt.EDPSE, b.AveragePower(),
@@ -518,13 +623,22 @@ func emit(w io.Writer, r row, cfg sim.Config, model *core.Model, base, res *sim.
 		gb(res.Counts.TotalTransactionBytes(isa.TxnDRAMToL2)),
 		gb(res.Counts.TotalTransactionBytes(isa.TxnInterGPM)),
 		stallFrac)
+	if freqCols {
+		p := dvfs.PointOf(cfg)
+		fmt.Fprintf(w, ",%g,%.2f", p.MHz(), p.Voltage)
+	}
+	fmt.Fprintln(w)
 }
 
+// modelFor prices a config's energy: the projection model of its
+// integration domain, rescaled to any operating point stamped on it
+// (the nominal path returns the unscaled model).
 func modelFor(cfg sim.Config) *core.Model {
+	m := core.ProjectionModel(core.OnBoardLinks())
 	if cfg.Domain == sim.DomainOnPackage {
-		return core.ProjectionModel(core.OnPackageLinks())
+		m = core.ProjectionModel(core.OnPackageLinks())
 	}
-	return core.ProjectionModel(core.OnBoardLinks())
+	return dvfs.ScaleForConfig(m, cfg)
 }
 
 func gb(b uint64) float64 { return float64(b) / (1 << 30) }

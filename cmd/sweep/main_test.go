@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/service"
 	"gpujoule/internal/sim"
@@ -90,13 +91,13 @@ func TestStreamedCSVMatchesBatch(t *testing.T) {
 	}
 	var batch bytes.Buffer
 	bw := bufio.NewWriter(&batch)
-	writeHeader(bw)
+	writeHeader(bw, false)
 	i := 0
 	for _, r := range rows {
 		base := results[i]
 		i++
 		for _, cfg := range cfgs {
-			emit(bw, r, cfg, modelFor(cfg), base, results[i])
+			emit(bw, r, cfg, modelFor(cfg), base, results[i], false)
 			i++
 		}
 	}
@@ -105,7 +106,7 @@ func TestStreamedCSVMatchesBatch(t *testing.T) {
 	for pass, tenant := range []string{"cold", "warm"} {
 		var streamed bytes.Buffer
 		sw := bufio.NewWriter(&streamed)
-		if err := streamRemote(sw, ts.URL, tenant, spec, false, cfgs); err != nil {
+		if err := streamRemote(sw, ts.URL, tenant, spec, false, cfgs, dvfs.OperatingPoint{}, false); err != nil {
 			t.Fatalf("pass %d: %v", pass, err)
 		}
 		sw.Flush()

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"gpujoule/internal/core"
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/microbench"
 	"gpujoule/internal/silicon"
@@ -106,6 +107,46 @@ func Calibrate(dev *silicon.Device, opts Options) (*Result, error) {
 		}
 	}
 	return last, nil
+}
+
+// CalibrateAt reclocks the device to an operating point on its V/f
+// curve and runs the full Fig. 3 workflow there. The whole
+// microbenchmark suite re-executes on the reclocked silicon, so the
+// calibrated EPI/EPT/ConstPower values absorb the frequency-dependent
+// effects (leakage, clock tree, short-circuit slope) that the top-down
+// V² scaling rule cannot predict. The nominal point is identical to
+// Calibrate.
+func CalibrateAt(dev *silicon.Device, p dvfs.OperatingPoint, opts Options) (*Result, error) {
+	rd, err := dev.AtOperatingPoint(p)
+	if err != nil {
+		return nil, err
+	}
+	return Calibrate(rd, opts)
+}
+
+// CurveResult is one operating point's calibration outcome.
+type CurveResult struct {
+	Point  dvfs.OperatingPoint
+	Result *Result
+}
+
+// CalibrateCurve calibrates the device at every point of its V/f curve,
+// ascending in frequency — the per-operating-point model family the
+// DVFS studies consume.
+func CalibrateCurve(dev *silicon.Device, opts Options) ([]CurveResult, error) {
+	curve := dev.Curve()
+	if curve == nil {
+		return nil, fmt.Errorf("calib: device has no V/f curve: %w", dvfs.ErrOffCurve)
+	}
+	out := make([]CurveResult, 0, len(curve.Points()))
+	for _, p := range curve.Points() {
+		r, err := CalibrateAt(dev, p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("calib: at %v: %w", p, err)
+		}
+		out = append(out, CurveResult{Point: p, Result: r})
+	}
+	return out, nil
 }
 
 // calibrateOnce performs steps 1-2 of Fig. 3.

@@ -1,11 +1,13 @@
 package calib
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/silicon"
 	"gpujoule/internal/workloads"
@@ -203,5 +205,39 @@ func TestFig4bStructure(t *testing.T) {
 		if math.Abs(byName[name]) > 12 {
 			t.Errorf("%s error %+.1f%%, want within ±12%%", name, byName[name])
 		}
+	}
+}
+
+// TestCalibrateAtRecoversReclockedSilicon runs the full Fig. 3 workflow
+// on silicon reclocked to 800 MHz / 0.90 V. The recalibrated model must
+// meet the same accuracy gate as at nominal and absorb the reclocked
+// physics: cheaper per-instruction dynamic energy and lower constant
+// power than the nominal calibration.
+func TestCalibrateAtRecoversReclockedSilicon(t *testing.T) {
+	dev := silicon.NewK40()
+	nom, err := Calibrate(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := CalibrateAt(dev, dvfs.OperatingPoint{FreqHz: 800e6, Voltage: 0.90}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := low.MixedMAEPct(); mae > 10 {
+		t.Errorf("mixed MAE %.2f%% at 800 MHz, want <= 10%%", mae)
+	}
+	if low.Model.ClockHz != 800e6 {
+		t.Errorf("recalibrated clock %g, want 800e6", low.Model.ClockHz)
+	}
+	if low.Model.EPI[isa.OpFFMA32] >= nom.Model.EPI[isa.OpFFMA32] {
+		t.Errorf("EPI[FFMA32] %g at 0.90 V, want below nominal %g",
+			low.Model.EPI[isa.OpFFMA32], nom.Model.EPI[isa.OpFFMA32])
+	}
+	if low.IdleWatts >= nom.IdleWatts {
+		t.Errorf("idle %g W at 800 MHz, want below nominal %g W", low.IdleWatts, nom.IdleWatts)
+	}
+	// Off-curve requests surface the typed sentinel.
+	if _, err := CalibrateAt(dev, dvfs.OperatingPoint{FreqHz: 850e6}, Options{}); !errors.Is(err, dvfs.ErrOffCurve) {
+		t.Errorf("850 MHz error = %v, want ErrOffCurve", err)
 	}
 }

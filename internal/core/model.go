@@ -190,3 +190,26 @@ func (m *Model) WithAmortization(rate float64) *Model {
 	cp.Name = fmt.Sprintf("%s(amort=%g)", m.Name, rate)
 	return cp
 }
+
+// WithOperatingPoint returns a copy rescaled to an operating point at
+// freqHz with supply voltage voltageRatio times nominal. Dynamic
+// switching energy is CV² per event, so every per-event term (EPI, EPT,
+// EPStall) scales with the voltage ratio squared; ConstPower is a
+// per-unit-time term and is left untouched — its *energy* share grows
+// as frequency drops because runs take longer. ClockHz becomes freqHz
+// so the Eq. 4 time term uses the new clock. A nominal point
+// (voltageRatio 1, freqHz == ClockHz) returns an identical copy.
+func (m *Model) WithOperatingPoint(freqHz, voltageRatio float64) *Model {
+	cp := m.Clone()
+	v2 := voltageRatio * voltageRatio
+	for op := range cp.EPI {
+		cp.EPI[op] *= v2
+	}
+	for k := range cp.EPT {
+		cp.EPT[k] *= v2
+	}
+	cp.EPStall *= v2
+	cp.ClockHz = freqHz
+	cp.Name = fmt.Sprintf("%s@%gMHz", m.Name, freqHz/1e6)
+	return cp
+}

@@ -1,0 +1,233 @@
+// Package dvfs makes the clock a first-class simulated quantity:
+// operating points on a per-architecture V/f curve, the energy-scaling
+// rule that maps an operating point onto the Eq. 4 model, and governors
+// that choose a point for a workload.
+//
+// The scaling rule is the classic CMOS decomposition. Dynamic switching
+// energy is CV² per event, so every per-event term of the model (EPI,
+// EPT, EPStall) scales with the voltage ratio squared; constant/leakage
+// power is per-unit-time, so its share of total *energy* grows as the
+// frequency drops and runs stretch out. That asymmetry is what creates
+// a per-workload sweet spot in the middle of the curve.
+//
+// Determinism contract: the nominal operating point (1 GHz, 1.00 V) is
+// the identity everywhere. Apply normalizes it to the zero Config
+// fields, Scale and ScaleForConfig return the model pointer unchanged,
+// and the simulator's clock conversions all multiply by exactly 1.0 —
+// so every pre-DVFS output stays byte-identical.
+package dvfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/sim"
+)
+
+// ErrOffCurve reports a requested frequency that is not an operating
+// point of the architecture's V/f curve.
+var ErrOffCurve = errors.New("frequency is not on the V/f curve")
+
+// OperatingPoint is one (frequency, supply voltage) pair on a V/f
+// curve.
+type OperatingPoint struct {
+	// FreqHz is the core clock in Hz.
+	FreqHz float64
+	// Voltage is the supply voltage in volts (the model only ever uses
+	// the ratio to the nominal 1.00 V).
+	Voltage float64
+}
+
+// Nominal returns the identity operating point: the clock and voltage
+// every pre-DVFS simulation ran at.
+func Nominal() OperatingPoint {
+	return OperatingPoint{FreqHz: sim.NominalClockHz, Voltage: sim.NominalVoltage}
+}
+
+// IsNominal reports whether p is the identity operating point (zero
+// fields count as nominal, matching sim.Config's zero-value defaults).
+func (p OperatingPoint) IsNominal() bool {
+	return (p.FreqHz == 0 || p.FreqHz == sim.NominalClockHz) &&
+		(p.Voltage == 0 || p.Voltage == sim.NominalVoltage)
+}
+
+// MHz returns the frequency in MHz (1000 for the nominal point).
+func (p OperatingPoint) MHz() float64 {
+	if p.FreqHz == 0 {
+		return sim.NominalClockHz / 1e6
+	}
+	return p.FreqHz / 1e6
+}
+
+func (p OperatingPoint) String() string {
+	return fmt.Sprintf("%gMHz@%.2fV", p.MHz(), p.voltage())
+}
+
+func (p OperatingPoint) voltage() float64 {
+	if p.Voltage == 0 {
+		return sim.NominalVoltage
+	}
+	return p.Voltage
+}
+
+// VoltageRatio is the supply voltage relative to nominal; dynamic
+// energy scales with its square.
+func (p OperatingPoint) VoltageRatio() float64 {
+	return p.voltage() / sim.NominalVoltage
+}
+
+// FreqRatio is the clock relative to nominal.
+func (p OperatingPoint) FreqRatio() float64 {
+	if p.FreqHz == 0 {
+		return 1
+	}
+	return p.FreqHz / sim.NominalClockHz
+}
+
+// Curve is an architecture's discrete V/f curve: the operating points
+// the silicon can actually run at, ascending in frequency.
+type Curve struct {
+	name   string
+	points []OperatingPoint
+}
+
+// NewCurve builds a curve from operating points. Points must have
+// positive frequency and voltage and strictly ascend in both.
+func NewCurve(name string, points ...OperatingPoint) (*Curve, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("dvfs: curve %q has no operating points", name)
+	}
+	pts := make([]OperatingPoint, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].FreqHz < pts[j].FreqHz })
+	for i, p := range pts {
+		if p.FreqHz <= 0 {
+			return nil, fmt.Errorf("dvfs: curve %q point %d: frequency %g must be positive: %w",
+				name, i, p.FreqHz, sim.ErrBadFrequency)
+		}
+		if p.Voltage <= 0 {
+			return nil, fmt.Errorf("dvfs: curve %q point %d: voltage %g must be positive: %w",
+				name, i, p.Voltage, sim.ErrBadVoltage)
+		}
+		if i > 0 && (p.FreqHz == pts[i-1].FreqHz || p.Voltage < pts[i-1].Voltage) {
+			return nil, fmt.Errorf("dvfs: curve %q: points must strictly ascend in frequency and monotonically in voltage (point %d: %v after %v)",
+				name, i, p, pts[i-1])
+		}
+	}
+	return &Curve{name: name, points: pts}, nil
+}
+
+// K40Curve is the reference V/f curve used throughout: seven operating
+// points around the nominal 1 GHz / 1.00 V, with the near-quadratic
+// voltage climb above nominal that makes high frequencies expensive.
+func K40Curve() *Curve {
+	c, err := NewCurve("K40",
+		OperatingPoint{FreqHz: 600e6, Voltage: 0.80},
+		OperatingPoint{FreqHz: 700e6, Voltage: 0.85},
+		OperatingPoint{FreqHz: 800e6, Voltage: 0.90},
+		OperatingPoint{FreqHz: 900e6, Voltage: 0.95},
+		OperatingPoint{FreqHz: 1000e6, Voltage: 1.00},
+		OperatingPoint{FreqHz: 1100e6, Voltage: 1.08},
+		OperatingPoint{FreqHz: 1200e6, Voltage: 1.17},
+	)
+	if err != nil {
+		panic(err) // static table; unreachable
+	}
+	return c
+}
+
+// Name reports the curve's architecture name.
+func (c *Curve) Name() string { return c.name }
+
+// Points returns the operating points ascending in frequency. The
+// slice is a copy; callers may mutate it.
+func (c *Curve) Points() []OperatingPoint {
+	out := make([]OperatingPoint, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
+// Min returns the slowest operating point on the curve.
+func (c *Curve) Min() OperatingPoint { return c.points[0] }
+
+// Max returns the fastest operating point on the curve.
+func (c *Curve) Max() OperatingPoint { return c.points[len(c.points)-1] }
+
+// At returns the curve's operating point at exactly freqHz, or a hint
+// listing the valid frequencies wrapped around ErrOffCurve. A zero
+// freqHz selects the nominal point if the curve has one.
+func (c *Curve) At(freqHz float64) (OperatingPoint, error) {
+	if freqHz == 0 {
+		freqHz = sim.NominalClockHz
+	}
+	for _, p := range c.points {
+		if p.FreqHz == freqHz {
+			return p, nil
+		}
+	}
+	return OperatingPoint{}, fmt.Errorf("dvfs: %g MHz on curve %q: %w (valid: %s MHz)",
+		freqHz/1e6, c.name, ErrOffCurve, c.mhzList())
+}
+
+// AtMHz is At with the frequency given in MHz (the CLI unit).
+func (c *Curve) AtMHz(mhz float64) (OperatingPoint, error) {
+	return c.At(mhz * 1e6)
+}
+
+// mhzList renders the valid frequencies for hint text.
+func (c *Curve) mhzList() string {
+	var b strings.Builder
+	for i, p := range c.points {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g", p.FreqHz/1e6)
+	}
+	return b.String()
+}
+
+// Apply stamps an operating point onto a simulator configuration. The
+// exact nominal point normalizes to the zero fields so nominal configs
+// keep their legacy SimKey, JSON serialization, and cache entries.
+func Apply(cfg sim.Config, p OperatingPoint) sim.Config {
+	if p.FreqHz == 0 || p.FreqHz == sim.NominalClockHz {
+		cfg.ClockHz = 0
+	} else {
+		cfg.ClockHz = p.FreqHz
+	}
+	if p.Voltage == 0 || p.Voltage == sim.NominalVoltage {
+		cfg.VoltageV = 0
+	} else {
+		cfg.VoltageV = p.Voltage
+	}
+	return cfg
+}
+
+// PointOf recovers the operating point a configuration runs at.
+func PointOf(cfg sim.Config) OperatingPoint {
+	return OperatingPoint{FreqHz: cfg.Clock(), Voltage: cfg.Voltage()}
+}
+
+// Scale rescales an Eq. 4 model to an operating point: per-event terms
+// by the voltage ratio squared, clock to the point's frequency,
+// constant power untouched (it is per-unit-time). The nominal point
+// returns m itself, unchanged — callers comparing pointers get the
+// identity guarantee for free.
+func Scale(m *core.Model, p OperatingPoint) *core.Model {
+	if p.IsNominal() {
+		return m
+	}
+	return m.WithOperatingPoint(p.FreqHz, p.VoltageRatio())
+}
+
+// ScaleForConfig rescales a model to the operating point stamped on a
+// configuration; a nominal configuration returns m itself.
+func ScaleForConfig(m *core.Model, cfg sim.Config) *core.Model {
+	if cfg.ClockHz == 0 && cfg.VoltageV == 0 {
+		return m
+	}
+	return Scale(m, PointOf(cfg))
+}

@@ -1,0 +1,284 @@
+package dvfs
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpujoule/internal/core"
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+)
+
+func TestK40CurveShape(t *testing.T) {
+	c := K40Curve()
+	pts := c.Points()
+	if len(pts) != 7 {
+		t.Fatalf("K40 curve has %d points, want 7", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FreqHz <= pts[i-1].FreqHz || pts[i].Voltage < pts[i-1].Voltage {
+			t.Errorf("curve not monotonic at %d: %v after %v", i, pts[i], pts[i-1])
+		}
+	}
+	nom, err := c.At(0)
+	if err != nil {
+		t.Fatalf("At(0): %v", err)
+	}
+	if !nom.IsNominal() || nom.FreqHz != sim.NominalClockHz || nom.Voltage != sim.NominalVoltage {
+		t.Errorf("At(0) = %v, want nominal 1 GHz / 1.00 V", nom)
+	}
+	if c.Min().FreqHz != 600e6 || c.Max().FreqHz != 1200e6 {
+		t.Errorf("extremes = %v / %v, want 600/1200 MHz", c.Min(), c.Max())
+	}
+}
+
+func TestCurveOffCurve(t *testing.T) {
+	c := K40Curve()
+	_, err := c.AtMHz(850)
+	if !errors.Is(err, ErrOffCurve) {
+		t.Fatalf("AtMHz(850) error = %v, want ErrOffCurve", err)
+	}
+	if got := err.Error(); got == "" || !contains(got, "600") || !contains(got, "1200") {
+		t.Errorf("off-curve hint %q should list valid frequencies", got)
+	}
+	if _, err := c.AtMHz(900); err != nil {
+		t.Errorf("AtMHz(900): %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		})())
+}
+
+func TestNewCurveRejectsBadPoints(t *testing.T) {
+	if _, err := NewCurve("empty"); err == nil {
+		t.Error("empty curve accepted")
+	}
+	_, err := NewCurve("negf", OperatingPoint{FreqHz: -1, Voltage: 1})
+	if !errors.Is(err, sim.ErrBadFrequency) {
+		t.Errorf("negative frequency error = %v, want ErrBadFrequency", err)
+	}
+	_, err = NewCurve("negv", OperatingPoint{FreqHz: 1e9, Voltage: 0})
+	if !errors.Is(err, sim.ErrBadVoltage) {
+		t.Errorf("zero voltage error = %v, want ErrBadVoltage", err)
+	}
+	_, err = NewCurve("dup",
+		OperatingPoint{FreqHz: 1e9, Voltage: 1},
+		OperatingPoint{FreqHz: 1e9, Voltage: 1.1})
+	if err == nil {
+		t.Error("duplicate frequency accepted")
+	}
+}
+
+func TestApplyNormalizesNominal(t *testing.T) {
+	cfg := sim.MultiGPM(4, sim.BW2x)
+	stamped := Apply(cfg, Nominal())
+	if stamped.ClockHz != 0 || stamped.VoltageV != 0 {
+		t.Errorf("nominal Apply left ClockHz=%g VoltageV=%g, want zero fields", stamped.ClockHz, stamped.VoltageV)
+	}
+	if stamped.SimKey() != cfg.SimKey() {
+		t.Errorf("nominal Apply changed SimKey %q -> %q", cfg.SimKey(), stamped.SimKey())
+	}
+
+	p := OperatingPoint{FreqHz: 800e6, Voltage: 0.90}
+	stamped = Apply(cfg, p)
+	if stamped.ClockHz != 800e6 || stamped.VoltageV != 0.90 {
+		t.Errorf("Apply(800MHz) = ClockHz %g VoltageV %g", stamped.ClockHz, stamped.VoltageV)
+	}
+	if stamped.SimKey() == cfg.SimKey() {
+		t.Error("non-nominal operating point must change SimKey")
+	}
+	if got := PointOf(stamped); got != p {
+		t.Errorf("PointOf = %v, want %v", got, p)
+	}
+}
+
+func testModel() *core.Model {
+	m := &core.Model{
+		Name:       "test",
+		EPStall:    2e-10,
+		ConstPower: 50,
+		ClockHz:    sim.NominalClockHz,
+	}
+	for op := range m.EPI {
+		m.EPI[op] = 1e-10
+	}
+	for k := range m.EPT {
+		m.EPT[k] = 3e-10
+	}
+	return m
+}
+
+func TestScaleIdentityAtNominal(t *testing.T) {
+	m := testModel()
+	if got := Scale(m, Nominal()); got != m {
+		t.Error("Scale at nominal must return the same model pointer")
+	}
+	if got := Scale(m, OperatingPoint{}); got != m {
+		t.Error("Scale at zero point must return the same model pointer")
+	}
+	cfg := sim.MultiGPM(2, sim.BW2x)
+	if got := ScaleForConfig(m, cfg); got != m {
+		t.Error("ScaleForConfig on a zero-field config must return the same model pointer")
+	}
+}
+
+func TestScaleAppliesVSquared(t *testing.T) {
+	m := testModel()
+	p := OperatingPoint{FreqHz: 600e6, Voltage: 0.80}
+	s := Scale(m, p)
+	if s == m {
+		t.Fatal("non-nominal Scale returned the original pointer")
+	}
+	v2 := p.VoltageRatio() * p.VoltageRatio()
+	if got, want := s.EPI[isa.OpFAdd32], m.EPI[isa.OpFAdd32]*v2; got != want {
+		t.Errorf("EPI scaled to %g, want %g", got, want)
+	}
+	if got, want := s.EPT[isa.TxnDRAMToL2], m.EPT[isa.TxnDRAMToL2]*v2; got != want {
+		t.Errorf("EPT scaled to %g, want %g", got, want)
+	}
+	if got, want := s.EPStall, m.EPStall*v2; got != want {
+		t.Errorf("EPStall scaled to %g, want %g", got, want)
+	}
+	if s.ConstPower != m.ConstPower {
+		t.Errorf("ConstPower changed %g -> %g; it is per-unit-time", m.ConstPower, s.ConstPower)
+	}
+	if s.ClockHz != 600e6 {
+		t.Errorf("ClockHz = %g, want 600e6", s.ClockHz)
+	}
+}
+
+// TestEnergyDirection pins the scaling rule's predicted directions on a
+// synthetic count set: lowering frequency+voltage cuts the dynamic
+// terms by V² while the constant term grows with the stretched runtime.
+func TestEnergyDirection(t *testing.T) {
+	m := testModel()
+	var c isa.Counts
+	c.Inst[isa.OpFAdd32] = 1e6
+	c.Txn[isa.TxnDRAMToL2] = 1e5
+	c.StallCycles = 1e5
+	c.Cycles = 2e6
+	c.GPMCount = 1
+
+	nom := m.Estimate(&c)
+	low := Scale(m, OperatingPoint{FreqHz: 600e6, Voltage: 0.80}).Estimate(&c)
+
+	if low.Compute >= nom.Compute {
+		t.Errorf("dynamic compute energy must fall at lower voltage: %g -> %g", nom.Compute, low.Compute)
+	}
+	if low.Constant <= nom.Constant {
+		t.Errorf("constant energy must grow as runtime stretches: %g -> %g", nom.Constant, low.Constant)
+	}
+	if low.Seconds <= nom.Seconds {
+		t.Errorf("runtime must stretch at lower clock: %g -> %g", nom.Seconds, low.Seconds)
+	}
+	wantConst := nom.Constant * (1000.0 / 600.0)
+	if math.Abs(low.Constant-wantConst)/wantConst > 1e-12 {
+		t.Errorf("constant energy %g, want %g (inverse frequency)", low.Constant, wantConst)
+	}
+}
+
+// syntheticEval models a workload with dynamic energy D·v² and runtime
+// W/f plus constant power P — enough structure for a mid-curve sweet
+// spot.
+func syntheticEval(dynJ, workCycles, constW float64) Evaluator {
+	return func(p OperatingPoint) (Metrics, error) {
+		v := p.VoltageRatio()
+		secs := workCycles / p.FreqHz
+		return Metrics{
+			Point:   p,
+			Energy:  dynJ*v*v + constW*secs,
+			Seconds: secs,
+		}, nil
+	}
+}
+
+func TestFixedGovernor(t *testing.T) {
+	g := Fixed{Point: OperatingPoint{FreqHz: 900e6}}
+	d, err := g.Decide(K40Curve(), syntheticEval(10, 1e9, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Point.FreqHz != 900e6 || d.Point.Voltage != 0.95 {
+		t.Errorf("fixed decision = %v, want curve's 900 MHz point", d.Point)
+	}
+	if len(d.Candidates) != 1 {
+		t.Errorf("fixed governor made %d evaluations, want 1", len(d.Candidates))
+	}
+
+	if _, err := (Fixed{Point: OperatingPoint{FreqHz: 850e6}}).Decide(K40Curve(), syntheticEval(10, 1e9, 50)); !errors.Is(err, ErrOffCurve) {
+		t.Errorf("off-curve fixed point error = %v, want ErrOffCurve", err)
+	}
+}
+
+func TestSweetSpotGovernor(t *testing.T) {
+	// Heavy constant power pushes the energy-optimal point above the
+	// curve minimum; heavy dynamic energy pulls it below the maximum.
+	g := SweetSpot{Objective: MinEnergy, ObjectiveName: "energy"}
+	d, err := g.Decide(K40Curve(), syntheticEval(20, 1e9, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Candidates) != 7 {
+		t.Fatalf("sweet-spot evaluated %d points, want 7", len(d.Candidates))
+	}
+	if d.Point == K40Curve().Min() || d.Point == K40Curve().Max() {
+		t.Errorf("sweet spot %v landed on a curve extreme; synthetic workload has an interior optimum", d.Point)
+	}
+	for _, c := range d.Candidates {
+		if c.Energy < d.Chosen.Energy {
+			t.Errorf("candidate %v (%.4g J) beats chosen %v (%.4g J)", c.Point, c.Energy, d.Point, d.Chosen.Energy)
+		}
+	}
+}
+
+func TestRaceToIdleGovernor(t *testing.T) {
+	// With free idle, racing always wins: full-voltage dynamic cost is
+	// outweighed by the constant power saved during the bought slack.
+	d, err := RaceToIdle{IdleWatts: 0}.Decide(K40Curve(), syntheticEval(1, 1e9, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Point != K40Curve().Max() {
+		t.Errorf("free-idle race chose %v, want curve max", d.Point)
+	}
+	// With idle as expensive as running, pacing wins: racing pays the
+	// same constant power plus the V² dynamic premium.
+	d, err = RaceToIdle{IdleWatts: 100}.Decide(K40Curve(), syntheticEval(1, 1e9, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Point != K40Curve().Min() {
+		t.Errorf("expensive-idle race chose %v, want curve min", d.Point)
+	}
+}
+
+func TestPaceToFinishGovernor(t *testing.T) {
+	eval := syntheticEval(10, 1e9, 50)
+	// 1e9 cycles at 800 MHz = 1.25 s; a 1.3 s deadline admits 800 MHz
+	// but not 700 (1.43 s).
+	d, err := PaceToFinish{DeadlineSeconds: 1.3}.Decide(K40Curve(), eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Point.FreqHz != 800e6 {
+		t.Errorf("pace chose %v, want 800 MHz", d.Point)
+	}
+	// An impossible deadline falls back to the fastest point.
+	d, err = PaceToFinish{DeadlineSeconds: 0.1}.Decide(K40Curve(), eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Point != K40Curve().Max() {
+		t.Errorf("impossible deadline chose %v, want curve max", d.Point)
+	}
+}

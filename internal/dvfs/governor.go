@@ -1,0 +1,238 @@
+package dvfs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DeepIdleFraction is the fraction of the machine's constant power that
+// a deep-idle (clock-gated, rail-dropped) GPU still draws while parked
+// after racing to finish. Race-to-idle is only a real contest if idling
+// is cheaper than computing slowly; 25% residual is the conventional
+// package-sleep assumption.
+const DeepIdleFraction = 0.25
+
+// Metrics is one candidate evaluation: a workload run (simulated or
+// modeled) at an operating point.
+type Metrics struct {
+	Point OperatingPoint
+	// Energy is the total Eq. 4 energy in joules.
+	Energy float64
+	// Seconds is the execution time.
+	Seconds float64
+}
+
+// EDP is the energy-delay product, the classic single-number
+// efficiency/performance compromise.
+func (m Metrics) EDP() float64 { return m.Energy * m.Seconds }
+
+// Evaluator runs one workload at an operating point and reports its
+// energy and time. Governors call it once per candidate point; callers
+// back it with the simulator, the analytic model, or a cache.
+type Evaluator func(p OperatingPoint) (Metrics, error)
+
+// Objective ranks candidate evaluations; governors minimize it.
+type Objective func(m Metrics) float64
+
+// Built-in objectives.
+var (
+	// MinEnergy minimizes joules, ignoring runtime.
+	MinEnergy Objective = func(m Metrics) float64 { return m.Energy }
+	// MinEDP minimizes the energy-delay product.
+	MinEDP Objective = func(m Metrics) float64 { return m.EDP() }
+	// MinED2P minimizes energy·delay², weighting performance harder.
+	MinED2P Objective = func(m Metrics) float64 { return m.Energy * m.Seconds * m.Seconds }
+)
+
+// Decision is a governor's choice of operating point for one workload,
+// with the evaluations that justified it.
+type Decision struct {
+	// Policy names the governor that decided.
+	Policy string
+	// Point is the chosen operating point.
+	Point OperatingPoint
+	// Chosen is the evaluation at the chosen point.
+	Chosen Metrics
+	// Candidates are all evaluations the governor made, ascending in
+	// frequency.
+	Candidates []Metrics
+	// Reason is a one-line human-readable rationale.
+	Reason string
+}
+
+// Governor picks an operating point for a workload by evaluating
+// candidates from a V/f curve.
+type Governor interface {
+	// Name identifies the policy (stable; appears in reports).
+	Name() string
+	// Decide evaluates candidates from the curve and picks a point.
+	Decide(curve *Curve, eval Evaluator) (Decision, error)
+}
+
+// Fixed runs everything at one operating point — the pre-DVFS behavior
+// when the point is nominal.
+type Fixed struct {
+	Point OperatingPoint
+}
+
+// Name implements Governor.
+func (f Fixed) Name() string { return "fixed" }
+
+// Decide implements Governor: a single evaluation at the fixed point.
+func (f Fixed) Decide(curve *Curve, eval Evaluator) (Decision, error) {
+	p, err := curve.At(f.Point.FreqHz)
+	if err != nil {
+		return Decision{}, err
+	}
+	m, err := eval(p)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{
+		Policy:     f.Name(),
+		Point:      p,
+		Chosen:     m,
+		Candidates: []Metrics{m},
+		Reason:     fmt.Sprintf("pinned to %v", p),
+	}, nil
+}
+
+// SweetSpot sweeps the whole curve and picks the point minimizing the
+// objective (MinEDP when nil) — the per-workload sweet-spot search.
+type SweetSpot struct {
+	// Objective ranks candidates; nil means MinEDP.
+	Objective Objective
+	// ObjectiveName labels the objective in the decision reason (e.g.
+	// "EDP"); empty defaults to "EDP".
+	ObjectiveName string
+}
+
+// Name implements Governor.
+func (s SweetSpot) Name() string { return "sweetspot" }
+
+// Decide implements Governor: evaluate every curve point, keep the
+// minimum-objective one. Ties go to the lower frequency (points ascend,
+// strict < keeps the first).
+func (s SweetSpot) Decide(curve *Curve, eval Evaluator) (Decision, error) {
+	obj := s.Objective
+	if obj == nil {
+		obj = MinEDP
+	}
+	objName := s.ObjectiveName
+	if objName == "" {
+		objName = "EDP"
+	}
+	var (
+		cands []Metrics
+		best  Metrics
+		bestV = math.Inf(1)
+	)
+	for _, p := range curve.Points() {
+		m, err := eval(p)
+		if err != nil {
+			return Decision{}, err
+		}
+		cands = append(cands, m)
+		if v := obj(m); v < bestV {
+			best, bestV = m, v
+		}
+	}
+	return Decision{
+		Policy:     s.Name(),
+		Point:      best.Point,
+		Chosen:     best,
+		Candidates: cands,
+		Reason:     fmt.Sprintf("min %s over %d points: %v", objName, len(cands), best.Point),
+	}, nil
+}
+
+// RaceToIdle compares finishing fast then deep-idling until the
+// pace-to-finish deadline against computing slowly the whole time. The
+// deadline is the runtime at the curve's slowest point; racing charges
+// IdleWatts for the slack it buys.
+type RaceToIdle struct {
+	// IdleWatts is the machine's deep-idle power draw (typically
+	// DeepIdleFraction times the model's total constant power).
+	IdleWatts float64
+}
+
+// Name implements Governor.
+func (r RaceToIdle) Name() string { return "racetoidle" }
+
+// Decide implements Governor: evaluate the curve's extremes, charge the
+// racer for its idle slack, pick the cheaper strategy.
+func (r RaceToIdle) Decide(curve *Curve, eval Evaluator) (Decision, error) {
+	if r.IdleWatts < 0 {
+		return Decision{}, errors.New("dvfs: race-to-idle idle power must be non-negative")
+	}
+	pace, err := eval(curve.Min())
+	if err != nil {
+		return Decision{}, err
+	}
+	race, err := eval(curve.Max())
+	if err != nil {
+		return Decision{}, err
+	}
+	slack := pace.Seconds - race.Seconds
+	if slack < 0 {
+		slack = 0
+	}
+	raceTotal := race.Energy + r.IdleWatts*slack
+	d := Decision{
+		Policy:     r.Name(),
+		Candidates: []Metrics{pace, race},
+	}
+	if raceTotal < pace.Energy {
+		d.Point, d.Chosen = race.Point, race
+		d.Reason = fmt.Sprintf("race %.4g J (incl. %.4g J idle) beats pace %.4g J over %.4g s deadline",
+			raceTotal, r.IdleWatts*slack, pace.Energy, pace.Seconds)
+	} else {
+		d.Point, d.Chosen = pace.Point, pace
+		d.Reason = fmt.Sprintf("pace %.4g J beats race %.4g J (incl. %.4g J idle) over %.4g s deadline",
+			pace.Energy, raceTotal, r.IdleWatts*slack, pace.Seconds)
+	}
+	return d, nil
+}
+
+// PaceToFinish picks the slowest operating point that still meets a
+// deadline — the dual of racing. A zero deadline means "the slowest
+// point's runtime", which always selects the curve minimum.
+type PaceToFinish struct {
+	// DeadlineSeconds is the latest acceptable completion time.
+	DeadlineSeconds float64
+}
+
+// Name implements Governor.
+func (p PaceToFinish) Name() string { return "pacetofinish" }
+
+// Decide implements Governor: walk the curve ascending and return the
+// first (slowest) point meeting the deadline; if none does, the fastest
+// point is the best effort.
+func (p PaceToFinish) Decide(curve *Curve, eval Evaluator) (Decision, error) {
+	var cands []Metrics
+	for _, pt := range curve.Points() {
+		m, err := eval(pt)
+		if err != nil {
+			return Decision{}, err
+		}
+		cands = append(cands, m)
+		if p.DeadlineSeconds <= 0 || m.Seconds <= p.DeadlineSeconds {
+			return Decision{
+				Policy:     p.Name(),
+				Point:      m.Point,
+				Chosen:     m,
+				Candidates: cands,
+				Reason:     fmt.Sprintf("slowest point meeting %.4g s deadline: %v (%.4g s)", p.DeadlineSeconds, m.Point, m.Seconds),
+			}, nil
+		}
+	}
+	last := cands[len(cands)-1]
+	return Decision{
+		Policy:     p.Name(),
+		Point:      last.Point,
+		Chosen:     last,
+		Candidates: cands,
+		Reason:     fmt.Sprintf("no point meets %.4g s deadline; best effort %v (%.4g s)", p.DeadlineSeconds, last.Point, last.Seconds),
+	}, nil
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"gpujoule/internal/dvfs"
+	"gpujoule/internal/obs"
+	"gpujoule/internal/runner"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+// TestNominalOperatingPointIsIdentity pins the byte-identity contract
+// without running a single simulation: at the nominal point (and for a
+// harness constructed the pre-DVFS way) config stamping and model
+// selection are the exact identity — same values, same pointers.
+func TestNominalOperatingPointIsIdentity(t *testing.T) {
+	h := New(shapeScale)
+	cfg := sim.MultiGPM(8, sim.BW2x)
+	if got := h.cfgAt(cfg); got != cfg {
+		t.Errorf("cfgAt at nominal changed the config: %+v", got)
+	}
+	if h.Model(cfg) != h.onPackage {
+		t.Error("Model at nominal must return the shared on-package pointer")
+	}
+	brd := cfg
+	brd.Domain = sim.DomainOnBoard
+	if h.Model(brd) != h.onBoard {
+		t.Error("Model at nominal must return the shared on-board pointer")
+	}
+
+	// An explicitly-nominal Options.OperatingPoint must behave the same.
+	hn := NewWithOptions(Options{Scale: shapeScale, OperatingPoint: dvfs.Nominal()})
+	if got := hn.cfgAt(cfg); got != cfg {
+		t.Errorf("explicit nominal OperatingPoint changed the config: %+v", got)
+	}
+}
+
+// TestHarnessOperatingPointStampsConfigs checks the non-nominal path: a
+// harness-wide operating point stamps every config it builds, but never
+// overrides a config that chose its own point.
+func TestHarnessOperatingPointStampsConfigs(t *testing.T) {
+	p, err := dvfs.K40Curve().AtMHz(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewWithOptions(Options{Scale: shapeScale, OperatingPoint: p})
+	cfg := h.cfgAt(sim.MultiGPM(4, sim.BW2x))
+	if cfg.ClockHz != 800e6 || cfg.VoltageV != 0.90 {
+		t.Errorf("cfgAt did not stamp the harness point: clock=%g V=%g", cfg.ClockHz, cfg.VoltageV)
+	}
+	own := sim.MultiGPM(4, sim.BW2x)
+	own.ClockHz = 1.2e9
+	if got := h.cfgAt(own); got.ClockHz != 1.2e9 {
+		t.Errorf("cfgAt overrode a config's own point: clock=%g", got.ClockHz)
+	}
+	if m := h.Model(cfg); m == h.onPackage || m == h.onBoard || m.ClockHz != 800e6 {
+		t.Error("Model at 800 MHz must be a rescaled copy carrying the point's clock")
+	}
+}
+
+// TestEvaluatorEnergyReconcilesWithModel checks the acceptance contract
+// end to end at a non-nominal point: the governor evaluator's energy is
+// exactly the rescaled model priced on the simulated counts, and the
+// per-term attribution reconciles bit-exactly with that aggregate.
+func TestEvaluatorEnergyReconcilesWithModel(t *testing.T) {
+	skipIfShort(t)
+	h := New(shapeScale)
+	app := h.apps[0]
+	p, err := dvfs.K40Curve().AtMHz(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dvfs.Apply(sim.MultiGPM(2, sim.BW2x), p)
+
+	eng := runner.New(runner.Options{Counters: true})
+	res, err := eng.One(h.ctx, runner.Point{App: app, Scale: h.params.Scale, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := h.Model(cfg)
+	a, err := obs.AttributeEnergy(m, &res.Counts, res.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.EstimateEnergy(&res.Counts); a.TotalJ != want {
+		t.Errorf("attribution total %.17g != model aggregate %.17g (must be bit-exact)", a.TotalJ, want)
+	}
+
+	// The evaluator must price with the same model.
+	got, err := h.evaluator(app, func(dvfs.OperatingPoint) sim.Config { return cfg })(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Energy != a.TotalJ {
+		t.Errorf("evaluator energy %.17g != attributed total %.17g", got.Energy, a.TotalJ)
+	}
+	if got.Seconds != res.Seconds() {
+		t.Errorf("evaluator seconds %g != result %g", got.Seconds, res.Seconds())
+	}
+}
+
+func TestShapeSweetSpotStudy(t *testing.T) {
+	skipIfShort(t)
+	h := sharedHarness
+	res, err := h.SweetSpotStudy(1, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != "EDP" {
+		t.Errorf("nil objective must default to EDP, got %q", res.Objective)
+	}
+	if len(res.Rows) != len(h.apps) {
+		t.Fatalf("rows = %d, want one per workload (%d)", len(res.Rows), len(h.apps))
+	}
+	curvePts := len(dvfs.K40Curve().Points())
+	for _, row := range res.Rows {
+		if len(row.Decision.Candidates) != curvePts {
+			t.Errorf("%s: %d candidates, want the full curve (%d)", row.Workload, len(row.Decision.Candidates), curvePts)
+		}
+		// The chosen point must actually minimize EDP over the candidates.
+		for _, c := range row.Decision.Candidates {
+			if c.EDP() < row.Decision.Chosen.EDP() {
+				t.Errorf("%s: candidate %s EDP %.4g beats chosen %s EDP %.4g",
+					row.Workload, c.Point, c.EDP(), row.Decision.Point, row.Decision.Chosen.EDP())
+			}
+		}
+		// Nominal is on the curve, so the sweet spot can only improve.
+		if row.GainPct < 0 {
+			t.Errorf("%s: negative gain %.2f%% over nominal", row.Workload, row.GainPct)
+		}
+	}
+	if res.Table() == nil || len(res.Table().Rows) != len(res.Rows) {
+		t.Error("Table must render one row per workload")
+	}
+}
+
+func TestShapeRaceToIdleStudy(t *testing.T) {
+	skipIfShort(t)
+	h := sharedHarness
+	res, err := h.RaceToIdleStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := 1 + len(GPMSteps)
+	if len(res.Rows) != wantSteps {
+		t.Fatalf("rows = %d, want %d (1 GPM + Table III steps)", len(res.Rows), wantSteps)
+	}
+	for i, row := range res.Rows {
+		if row.RaceWins+row.PaceWins != len(h.apps) {
+			t.Errorf("%d-GPM: %d+%d verdicts, want %d workloads", row.GPMs, row.RaceWins, row.PaceWins, len(h.apps))
+		}
+		if row.IdleWatts <= 0 {
+			t.Errorf("%d-GPM: non-positive idle power %.2f W", row.GPMs, row.IdleWatts)
+		}
+		if i > 0 && row.IdleWatts <= res.Rows[i-1].IdleWatts {
+			t.Errorf("idle power must grow with module count: %d-GPM %.1f W <= %d-GPM %.1f W",
+				row.GPMs, row.IdleWatts, res.Rows[i-1].GPMs, res.Rows[i-1].IdleWatts)
+		}
+	}
+}
+
+func TestShapeEnergyRooflineStudy(t *testing.T) {
+	skipIfShort(t)
+	h := sharedHarness
+	res, err := h.EnergyRooflineStudy([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-GPM ring + 4-GPM ring + 4-GPM switch per workload.
+	if want := 3 * len(h.apps); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	if res.FreqMHz != 1000 {
+		t.Errorf("nominal study must report 1000 MHz, got %g", res.FreqMHz)
+	}
+	byCat := map[trace.Category][]float64{}
+	cat := map[string]trace.Category{}
+	for _, app := range h.apps {
+		cat[app.Name] = app.Category
+	}
+	for _, row := range res.Rows {
+		if row.OpsPerJoule <= 0 || row.TotalJ <= 0 {
+			t.Errorf("%s %d-GPM %s: non-positive efficiency (%.3g ops/J, %.3g J)",
+				row.Workload, row.GPMs, row.Topology, row.OpsPerJoule, row.TotalJ)
+		}
+		if row.ConstSharePct <= 0 || row.ConstSharePct >= 100 {
+			t.Errorf("%s %d-GPM: constant share %.1f%% out of range", row.Workload, row.GPMs, row.ConstSharePct)
+		}
+		if row.GPMs == 1 && !math.IsInf(row.AI, 1) {
+			byCat[cat[row.Workload]] = append(byCat[cat[row.Workload]], row.AI)
+		}
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	// The roofline's x-axis must separate the Table II classes: the
+	// compute-intensive apps sit at higher arithmetic intensity.
+	if c, m := byCat[trace.CategoryCompute], byCat[trace.CategoryMemory]; len(c) > 0 && len(m) > 0 {
+		if mean(c) <= mean(m) {
+			t.Errorf("mean AI: compute %.3f <= memory %.3f", mean(c), mean(m))
+		}
+	}
+}

@@ -38,7 +38,7 @@ func (h *Harness) EnergyAttributionStudy() (*Table, error) {
 
 	var points []runner.Point
 	for _, n := range energyAttrSteps {
-		points = append(points, runner.Point{App: app, Scale: h.params.Scale, Config: sim.MultiGPM(n, sim.BW1x)})
+		points = append(points, runner.Point{App: app, Scale: h.params.Scale, Config: h.cfgAt(sim.MultiGPM(n, sim.BW1x))})
 	}
 	results, err := eng.Run(h.ctx, points)
 	if err != nil {
@@ -60,11 +60,12 @@ func (h *Harness) EnergyAttributionStudy() (*Table, error) {
 	}
 	for i, pt := range points {
 		res := results[i]
-		a, err := obs.AttributeEnergy(h.onBoard, &res.Counts, res.Counters)
+		model := h.Model(pt.Config)
+		a, err := obs.AttributeEnergy(model, &res.Counts, res.Counters)
 		if err != nil {
 			return nil, err
 		}
-		scaled := h.onBoard.WithLinkEnergy(4).EstimateEnergy(&res.Counts)
+		scaled := model.WithLinkEnergy(4).EstimateEnergy(&res.Counts)
 		t.AddRow(
 			fmt.Sprintf("%d", pt.Config.GPMs),
 			fmt.Sprintf("%.3f", a.TotalJ),

@@ -12,6 +12,7 @@ import (
 	"context"
 
 	"gpujoule/internal/core"
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/interconnect"
 	"gpujoule/internal/metrics"
 	"gpujoule/internal/runner"
@@ -48,6 +49,11 @@ type Options struct {
 	// Context cancels in-flight experiment grids when done; nil means
 	// context.Background().
 	Context context.Context
+	// OperatingPoint runs the whole evaluation at a DVFS operating
+	// point: every config the harness builds is stamped with it (unless
+	// a study stamps its own) and the projection models are rescaled to
+	// match. The zero value is the nominal point and changes nothing.
+	OperatingPoint dvfs.OperatingPoint
 }
 
 // Harness runs the evaluation at a chosen workload scale.
@@ -56,6 +62,7 @@ type Harness struct {
 	apps   []*trace.App
 	engine *runner.Engine
 	ctx    context.Context
+	op     dvfs.OperatingPoint
 
 	onPackage *core.Model
 	onBoard   *core.Model
@@ -84,9 +91,24 @@ func NewWithOptions(opts Options) *Harness {
 			Trace:       opts.Trace,
 		}),
 		ctx:       ctx,
+		op:        opts.OperatingPoint,
 		onPackage: core.ProjectionModel(core.OnPackageLinks()),
 		onBoard:   core.ProjectionModel(core.OnBoardLinks()),
 	}
+}
+
+// OperatingPoint returns the harness-wide DVFS operating point (the
+// nominal point unless Options set one).
+func (h *Harness) OperatingPoint() dvfs.OperatingPoint { return h.op }
+
+// cfgAt stamps the harness operating point onto a config that has not
+// chosen its own. At the nominal point this returns cfg unchanged, so
+// every pre-DVFS key and serialization is preserved.
+func (h *Harness) cfgAt(cfg sim.Config) sim.Config {
+	if cfg.ClockHz != 0 || cfg.VoltageV != 0 || h.op.IsNominal() {
+		return cfg
+	}
+	return dvfs.Apply(cfg, h.op)
 }
 
 // Apps returns the evaluation workloads.
@@ -101,9 +123,10 @@ func (h *Harness) Runs() int { return h.engine.Distinct() }
 // Engine exposes the shared run engine (for progress statistics).
 func (h *Harness) Engine() *runner.Engine { return h.engine }
 
-// pointFor wraps (app, cfg) as a run-engine point at the harness scale.
+// pointFor wraps (app, cfg) as a run-engine point at the harness scale
+// and operating point.
 func (h *Harness) pointFor(app *trace.App, cfg sim.Config) runner.Point {
-	return runner.Point{App: app, Scale: h.params.Scale, Config: cfg}
+	return runner.Point{App: app, Scale: h.params.Scale, Config: h.cfgAt(cfg)}
 }
 
 // run simulates app on cfg through the engine (memoized by canonical
@@ -117,7 +140,11 @@ func (h *Harness) run(app *trace.App, cfg sim.Config) (*sim.Result, error) {
 // that follows is a cache hit. Experiment builders call this with their
 // whole grid before deriving metrics serially.
 func (h *Harness) prime(cfgs ...sim.Config) error {
-	_, err := h.engine.Run(h.ctx, runner.Points(h.apps, h.params.Scale, cfgs...))
+	stamped := make([]sim.Config, len(cfgs))
+	for i, c := range cfgs {
+		stamped[i] = h.cfgAt(c)
+	}
+	_, err := h.engine.Run(h.ctx, runner.Points(h.apps, h.params.Scale, stamped...))
 	return err
 }
 
@@ -135,12 +162,14 @@ func scaledConfigs(bw sim.BWSetting) []sim.Config {
 }
 
 // Model returns the projection energy model for a configuration's
-// integration domain.
+// integration domain, rescaled to the configuration's operating point
+// (the same pointer as today for nominal configs).
 func (h *Harness) Model(cfg sim.Config) *core.Model {
+	m := h.onBoard
 	if cfg.Domain == sim.DomainOnPackage {
-		return h.onPackage
+		m = h.onPackage
 	}
-	return h.onBoard
+	return dvfs.ScaleForConfig(m, h.cfgAt(cfg))
 }
 
 // sample derives the (energy, delay) sample of a run under a model.

@@ -100,6 +100,9 @@ const switchLatency = 60
 // unidirectional links carries half the per-GPM budget.
 type Ring struct {
 	n int
+	// hop is the per-traversal latency in core cycles (HopLatency scaled
+	// by the core-clock ratio; the fabric's wall-clock speed is fixed).
+	hop float64
 	// links[d][i] is the unidirectional link from GPM i in direction d
 	// (0 = clockwise to (i+1)%n, 1 = counter-clockwise to (i-1+n)%n).
 	links [2][]*memsys.BWResource
@@ -108,15 +111,19 @@ type Ring struct {
 // NewRing builds a ring of n GPMs where each GPM has perGPMBytesPerCycle
 // of total inter-GPM I/O bandwidth (half per direction).
 func NewRing(n int, perGPMBytesPerCycle float64) *Ring {
+	return newRingAtClock(n, perGPMBytesPerCycle, 1)
+}
+
+func newRingAtClock(n int, perGPMBytesPerCycle, clockScale float64) *Ring {
 	if n < 2 {
 		panic(fmt.Sprintf("interconnect: ring needs at least 2 GPMs, got %d", n))
 	}
-	r := &Ring{n: n}
+	r := &Ring{n: n, hop: HopLatency * clockScale}
 	for d := 0; d < 2; d++ {
 		r.links[d] = make([]*memsys.BWResource, n)
 		for i := 0; i < n; i++ {
 			r.links[d][i] = memsys.NewBWResource(
-				fmt.Sprintf("ring-link[d%d][%d]", d, i), perGPMBytesPerCycle/2)
+				fmt.Sprintf("ring-link[d%d][%d]", d, i), perGPMBytesPerCycle/2/clockScale)
 		}
 	}
 	return r
@@ -153,7 +160,7 @@ func (r *Ring) Send(now float64, src, dst, bytes int) Transfer {
 	t := now
 	node := src
 	for h := 0; h < hops; h++ {
-		t = r.links[dir][node].Acquire(t, bytes) + HopLatency
+		t = r.links[dir][node].Acquire(t, bytes) + r.hop
 		if dir == 0 {
 			node = (node + 1) % r.n
 		} else {
@@ -201,6 +208,8 @@ func (r *Ring) Reset() {
 // traversals, independent of module count.
 type Switch struct {
 	n       int
+	hop     float64              // per-traversal latency in core cycles
+	swLat   float64              // switch-crossing latency in core cycles
 	egress  []*memsys.BWResource // GPM -> switch
 	ingress []*memsys.BWResource // switch -> GPM
 }
@@ -208,17 +217,23 @@ type Switch struct {
 // NewSwitch builds a switch fabric over n GPMs with the given per-GPM
 // I/O bandwidth on each of the ingress and egress links.
 func NewSwitch(n int, perGPMBytesPerCycle float64) *Switch {
+	return newSwitchAtClock(n, perGPMBytesPerCycle, 1)
+}
+
+func newSwitchAtClock(n int, perGPMBytesPerCycle, clockScale float64) *Switch {
 	if n < 2 {
 		panic(fmt.Sprintf("interconnect: switch needs at least 2 GPMs, got %d", n))
 	}
 	s := &Switch{
 		n:       n,
+		hop:     HopLatency * clockScale,
+		swLat:   switchLatency * clockScale,
 		egress:  make([]*memsys.BWResource, n),
 		ingress: make([]*memsys.BWResource, n),
 	}
 	for i := 0; i < n; i++ {
-		s.egress[i] = memsys.NewBWResource(fmt.Sprintf("switch-egress[%d]", i), perGPMBytesPerCycle)
-		s.ingress[i] = memsys.NewBWResource(fmt.Sprintf("switch-ingress[%d]", i), perGPMBytesPerCycle)
+		s.egress[i] = memsys.NewBWResource(fmt.Sprintf("switch-egress[%d]", i), perGPMBytesPerCycle/clockScale)
+		s.ingress[i] = memsys.NewBWResource(fmt.Sprintf("switch-ingress[%d]", i), perGPMBytesPerCycle/clockScale)
 	}
 	return s
 }
@@ -237,8 +252,8 @@ func (s *Switch) Send(now float64, src, dst, bytes int) Transfer {
 	if src == dst {
 		panic(fmt.Sprintf("interconnect: switch transfer %d->%d is local", src, dst))
 	}
-	t := s.egress[src].Acquire(now, bytes) + HopLatency + switchLatency
-	t = s.ingress[dst].Acquire(t, bytes) + HopLatency
+	t := s.egress[src].Acquire(now, bytes) + s.hop + s.swLat
+	t = s.ingress[dst].Acquire(t, bytes) + s.hop
 	return Transfer{Done: t, Hops: 2, Switched: true}
 }
 
@@ -288,11 +303,20 @@ func (s *Switch) Reset() {
 // New builds a fabric of the given topology. A 1-GPM GPU has no fabric;
 // callers must not construct one.
 func New(t Topology, gpms int, perGPMBytesPerCycle float64) Fabric {
+	return NewAtClock(t, gpms, perGPMBytesPerCycle, 1)
+}
+
+// NewAtClock builds a fabric whose latencies and bandwidths are
+// expressed in core cycles of a clock running at clockScale times the
+// nominal frequency. The fabric itself is a fixed wall-clock device, so
+// in core-cycle units its latencies scale up with the core clock and its
+// per-cycle bandwidth scales down. clockScale 1 reproduces New exactly.
+func NewAtClock(t Topology, gpms int, perGPMBytesPerCycle, clockScale float64) Fabric {
 	switch t {
 	case TopologyRing:
-		return NewRing(gpms, perGPMBytesPerCycle)
+		return newRingAtClock(gpms, perGPMBytesPerCycle, clockScale)
 	case TopologySwitch:
-		return NewSwitch(gpms, perGPMBytesPerCycle)
+		return newSwitchAtClock(gpms, perGPMBytesPerCycle, clockScale)
 	default:
 		panic(fmt.Sprintf("interconnect: unknown topology %v", t))
 	}

@@ -335,6 +335,26 @@ type PointCounters struct {
 	// Energy is the exact per-GPM/per-term/per-link decomposition of the
 	// point's model energy, when the exporting CLI can price the point.
 	Energy *EnergyAttribution `json:"energy,omitempty"`
+	// OperatingPoint records the DVFS operating point and governor
+	// decision behind the run. nil for nominal fixed-clock runs, so
+	// pre-DVFS exports are byte-identical.
+	OperatingPoint *OperatingPointInfo `json:"operating_point,omitempty"`
+}
+
+// OperatingPointInfo is the additive (v2-compatible) DVFS section of a
+// point record: which clock/voltage the point ran at and, when a
+// governor chose it, which policy and why.
+type OperatingPointInfo struct {
+	// FreqMHz is the core clock in MHz.
+	FreqMHz float64 `json:"freq_mhz"`
+	// VoltageV is the supply voltage in volts.
+	VoltageV float64 `json:"voltage_v,omitempty"`
+	// Governor names the policy that chose the point ("fixed",
+	// "sweetspot", "racetoidle", "pacetofinish"); empty when the point
+	// was pinned by hand.
+	Governor string `json:"governor,omitempty"`
+	// Reason is the governor's one-line rationale.
+	Reason string `json:"reason,omitempty"`
 }
 
 // Report is the top-level -counters JSON document.

@@ -334,7 +334,9 @@ func TestProfile(t *testing.T) {
 }
 
 func TestOne(t *testing.T) {
-	app, err := workloads.ByName("Stream", workloads.Params{Scale: testScale})
+	// RSBench is compute-bound, so its wall time must track the core
+	// clock (a bandwidth-bound app like Stream is clock-invariant).
+	app, err := workloads.ByName("RSBench", workloads.Params{Scale: testScale})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +394,9 @@ func TestCoalescedCounter(t *testing.T) {
 }
 
 func TestEphemeralEviction(t *testing.T) {
-	app, err := workloads.ByName("Stream", workloads.Params{Scale: testScale})
+	// RSBench is compute-bound, so its wall time must track the core
+	// clock (a bandwidth-bound app like Stream is clock-invariant).
+	app, err := workloads.ByName("RSBench", workloads.Params{Scale: testScale})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,5 +544,42 @@ func TestSubscribe(t *testing.T) {
 	}
 	if len(b) <= alen {
 		t.Error("live subscriber stopped receiving after another subscription was cancelled")
+	}
+}
+
+// TestOperatingPointsGetDistinctCacheEntries pins the DVFS cache-key
+// contract: the same (workload, design) at two clock frequencies must
+// occupy two memo entries (and produce different timing), never alias.
+func TestOperatingPointsGetDistinctCacheEntries(t *testing.T) {
+	// RSBench is compute-bound, so its wall time must track the core
+	// clock (a bandwidth-bound app like Stream is clock-invariant).
+	app, err := workloads.ByName("RSBench", workloads.Params{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.MultiGPM(2, sim.BW2x)
+	slow, fast := base, base
+	slow.ClockHz, slow.VoltageV = 600e6, 0.80
+	fast.ClockHz, fast.VoltageV = 1.2e9, 1.17
+
+	eng := runner.New(runner.Options{Workers: 2})
+	pts := []runner.Point{
+		{App: app, Scale: testScale, Config: slow},
+		{App: app, Scale: testScale, Config: fast},
+		{App: app, Scale: testScale, Config: slow}, // dup: must hit, not add
+	}
+	results, err := eng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Distinct(); got != 2 {
+		t.Errorf("Distinct() = %d, want 2 (one cache entry per operating point)", got)
+	}
+	if results[0].Seconds() <= results[1].Seconds() {
+		t.Errorf("600 MHz wall time %g must exceed 1200 MHz %g",
+			results[0].Seconds(), results[1].Seconds())
+	}
+	if results[0].Counts.Inst != results[1].Counts.Inst {
+		t.Error("operating point must not change instruction counts")
 	}
 }

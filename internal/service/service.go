@@ -52,6 +52,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/obs"
 	"gpujoule/internal/profiling"
 	"gpujoule/internal/resultcache"
@@ -104,6 +105,12 @@ type JobSpec struct {
 	// TimeoutSeconds bounds the job's execution once it starts running
 	// (0 = no deadline).
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// FreqMHz pins the whole grid to a K40 V/f-curve operating point:
+	// every expanded grid config (baseline included) is stamped with
+	// the matching (clock, voltage) pair, so the points get their own
+	// cache identities. 0 is the nominal 1000 MHz and stamps nothing.
+	// Ignored by explicit Points specs, whose configs ride verbatim.
+	FreqMHz float64 `json:"freq_mhz,omitempty"`
 	// Points, when non-empty, bypasses the grid syntax entirely: the
 	// job is exactly this point list, in order, with no baseline
 	// injection. This is the wire form a cluster gateway uses to hand
@@ -188,6 +195,11 @@ func (sp JobSpec) Validate() error {
 		}
 	} else if _, err := sp.configs(); err != nil {
 		return err
+	}
+	if len(sp.Points) == 0 && sp.FreqMHz != 0 {
+		if _, err := dvfs.K40Curve().AtMHz(sp.FreqMHz); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
 	}
 	names := sp.names()
 	if len(names) == 0 {
@@ -333,6 +345,10 @@ type Options struct {
 	// (GOMAXPROCS − Workers) at run time. The effective lane count
 	// and budget appear on /metrics.
 	GPMParallel int
+	// DefaultFreqMHz stamps grid jobs that did not pick an operating
+	// point with this K40 V/f-curve frequency (0 leaves them at the
+	// nominal 1000 MHz). Explicit-point jobs are never restamped.
+	DefaultFreqMHz float64
 	// Tenants configures per-tenant weights and in-flight quotas for
 	// the weighted-fair scheduler. Tenants absent from the map get
 	// weight 1 and no quota.
@@ -437,6 +453,11 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Version == "" {
 		opts.Version = profiling.VersionString("gpujouled")
+	}
+	if opts.DefaultFreqMHz != 0 {
+		if _, err := dvfs.K40Curve().AtMHz(opts.DefaultFreqMHz); err != nil {
+			return nil, fmt.Errorf("service: default operating point: %w", err)
+		}
 	}
 	optsSig := "plain"
 	if opts.Counters {
@@ -554,6 +575,9 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 // here, so the returned status carries the exact point count and the
 // scheduler can dispatch at point granularity.
 func (s *Server) SubmitTenant(tenant string, spec JobSpec) (JobStatus, error) {
+	if spec.FreqMHz == 0 && len(spec.Points) == 0 {
+		spec.FreqMHz = s.opts.DefaultFreqMHz
+	}
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
@@ -830,7 +854,17 @@ func ExpandPoints(spec JobSpec) ([]runner.Point, error) {
 		}
 		apps = append(apps, app)
 	}
-	return runner.GridPoints(apps, spec.scale(), spec.Baseline, cfgs...), nil
+	pts := runner.GridPoints(apps, spec.scale(), spec.Baseline, cfgs...)
+	if spec.FreqMHz != 0 {
+		p, err := dvfs.K40Curve().AtMHz(spec.FreqMHz)
+		if err != nil {
+			return nil, err
+		}
+		for i := range pts {
+			pts[i].Config = dvfs.Apply(pts[i].Config, p)
+		}
+	}
+	return pts, nil
 }
 
 // expandExplicit resolves an explicit point list. Workload traces are
@@ -915,6 +949,18 @@ func (s *Server) writeServiceMetrics(w io.Writer) {
 	preemptions := s.preemptions
 	peerHits := s.peerHits
 	queuedJobs, queuedPoints, inflightPoints := 0, 0, 0
+	// Operating point of the most recently admitted live job (nominal
+	// jobs report 1000 MHz; 0 means no live job).
+	opMHz := 0.0
+	for _, id := range s.order {
+		jj, ok := s.jobs[id]
+		if !ok || jj.status.State.Terminal() {
+			continue
+		}
+		if opMHz = jj.status.Spec.FreqMHz; opMHz == 0 {
+			opMHz = sim.NominalClockHz / 1e6
+		}
+	}
 	states := map[State]int{}
 	for _, jj := range s.jobs {
 		states[jj.status.State]++
@@ -954,6 +1000,7 @@ func (s *Server) writeServiceMetrics(w io.Writer) {
 	profiling.WriteGauge(w, "gpujoule_sched_queued_points", "Points admitted and not yet dispatched.", float64(queuedPoints))
 	profiling.WriteGauge(w, "gpujoule_sched_inflight_points", "Points executing in executor slots.", float64(inflightPoints))
 	profiling.WriteGauge(w, "gpujoule_retry_after_hint_seconds", "Current adaptive 429 Retry-After hint.", float64(retryAfter))
+	profiling.WriteGauge(w, "gpujoule_operating_point_mhz", "DVFS operating-point clock of the most recently admitted live job (0 = idle).", opMHz)
 
 	writeTenantFamily := func(name, help, typ string, value func(tenantRow) float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)

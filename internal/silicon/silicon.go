@@ -29,9 +29,11 @@ package silicon
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"gpujoule/internal/core"
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
@@ -64,6 +66,28 @@ type Hidden struct {
 
 	// SensorQuantumWatts is the sensor's reporting resolution.
 	SensorQuantumWatts float64
+
+	// Curve is the silicon's V/f curve: the operating points the board
+	// firmware will actually accept. nil restricts the device to the
+	// nominal point.
+	Curve *dvfs.Curve
+
+	// LeakageWatts is the slice of ConstPower that is subthreshold
+	// leakage; it scales with the voltage ratio cubed, a superlinear
+	// effect the top-down model's flat constant-power term cannot see.
+	LeakageWatts float64
+
+	// ClockTreeWatts is the slice of ConstPower burned by the always-on
+	// clock distribution; it scales with f·V² (it is switching energy
+	// spent per cycle regardless of work).
+	ClockTreeWatts float64
+
+	// DynFreqSlope adds a frequency-linear term to per-event dynamic
+	// energy: at frequency ratio fr the silicon pays V²·(1+slope·(fr−1))
+	// per event (short-circuit currents grow with clock rate). The
+	// top-down rule scales by V² alone, so this is a second honest
+	// model-error source per-point recalibration must absorb.
+	DynFreqSlope float64
 }
 
 // K40Hidden returns the reference-silicon parameterization used
@@ -78,6 +102,10 @@ func K40Hidden() Hidden {
 		// effective reporting resolution is finer than the sensor's
 		// 1 W register.
 		SensorQuantumWatts: 0.25,
+		Curve:              dvfs.K40Curve(),
+		LeakageWatts:       9,
+		ClockTreeWatts:     6,
+		DynFreqSlope:       0.08,
 	}
 	h.Base.Name = "silicon-K40"
 	h.Interaction[isa.TxnShmToRF] = -0.05
@@ -107,6 +135,59 @@ func NewDevice(cfg sim.Config, hid Hidden) *Device {
 
 // Config returns the device's architectural configuration.
 func (d *Device) Config() sim.Config { return d.cfg }
+
+// Curve returns the device's V/f curve (nil if the device only runs at
+// the nominal point).
+func (d *Device) Curve() *dvfs.Curve { return d.hid.Curve }
+
+// AtOperatingPoint returns the device reclocked to an operating point
+// on its V/f curve. The nominal point returns d itself. The reclocked
+// silicon dissipates what real silicon would, not what the top-down
+// scaling rule predicts: only the core-domain terms (EPI, EPStall, and
+// the on-module SRAM movement costs) scale with V²·(1+slope·(fr−1));
+// the DRAM interface and inter-module links live on fixed voltage
+// rails and keep their per-event costs; and constant power picks up the
+// superlinear leakage (V³) and clock-tree (f·V²) deltas. Calibration
+// against this device therefore has honest, frequency-dependent model
+// error to recover — exactly the Fig. 4 situation at a new clock.
+func (d *Device) AtOperatingPoint(p dvfs.OperatingPoint) (*Device, error) {
+	if p.IsNominal() {
+		return d, nil
+	}
+	if d.hid.Curve == nil {
+		return nil, fmt.Errorf("silicon: device %q has no V/f curve: %w", d.hid.Base.Name, dvfs.ErrOffCurve)
+	}
+	pt, err := d.hid.Curve.At(p.FreqHz)
+	if err != nil {
+		return nil, err
+	}
+	if p.Voltage != 0 && p.Voltage != pt.Voltage {
+		return nil, fmt.Errorf("silicon: %g V at %g MHz (curve says %g V): %w",
+			p.Voltage, pt.FreqHz/1e6, pt.Voltage, dvfs.ErrOffCurve)
+	}
+
+	fr := pt.FreqHz / sim.NominalClockHz
+	vr := pt.Voltage / sim.NominalVoltage
+	dyn := vr * vr * (1 + d.hid.DynFreqSlope*(fr-1))
+
+	base := d.hid.Base.Clone()
+	for op := range base.EPI {
+		base.EPI[op] *= dyn
+	}
+	base.EPStall *= dyn
+	// Core-voltage-domain movement only: shared memory, L1, and L2 are
+	// on-module SRAM. DRAM and the inter-GPM links keep their costs.
+	base.EPT[isa.TxnShmToRF] *= dyn
+	base.EPT[isa.TxnL1ToRF] *= dyn
+	base.EPT[isa.TxnL2ToL1] *= dyn
+	base.ConstPower += d.hid.LeakageWatts*(vr*vr*vr-1) + d.hid.ClockTreeWatts*(fr*vr*vr-1)
+	base.ClockHz = pt.FreqHz
+	base.Name = fmt.Sprintf("%s@%gMHz", d.hid.Base.Name, pt.FreqHz/1e6)
+
+	hid := d.hid
+	hid.Base = base
+	return &Device{cfg: dvfs.Apply(d.cfg, pt), hid: hid}, nil
+}
 
 // ClockHz returns the device clock, for converting measured cycle
 // counts to seconds.
@@ -238,7 +319,7 @@ func (d *Device) dramUtilization(l *sim.LaunchStats) float64 {
 		return 0
 	}
 	bytes := float64(l.Counts.TotalTransactionBytes(isa.TxnDRAMToL2))
-	u := bytes / (dur * d.cfg.DRAMBytesPerCycle * float64(d.cfg.GPMs))
+	u := bytes / (dur * d.cfg.DRAMBytesPerCoreCycle() * float64(d.cfg.GPMs))
 	return math.Min(u, 1)
 }
 

@@ -1,9 +1,11 @@
 package silicon
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"gpujoule/internal/dvfs"
 	"gpujoule/internal/isa"
 	"gpujoule/internal/sim"
 	"gpujoule/internal/trace"
@@ -194,5 +196,75 @@ func TestMeasurementFields(t *testing.T) {
 	total := float64(m.Result.Counts.Cycles) / dev.ClockHz()
 	if m.KernelSeconds > total {
 		t.Error("kernel time cannot exceed total time")
+	}
+}
+
+func TestAtOperatingPointNominalIdentity(t *testing.T) {
+	dev := NewK40()
+	rd, err := dev.AtOperatingPoint(dvfs.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd != dev {
+		t.Error("nominal AtOperatingPoint must return the same device")
+	}
+	if rd, err = dev.AtOperatingPoint(dvfs.OperatingPoint{}); err != nil || rd != dev {
+		t.Errorf("zero operating point: dev=%p rd=%p err=%v", dev, rd, err)
+	}
+}
+
+func TestAtOperatingPointOffCurve(t *testing.T) {
+	dev := NewK40()
+	if _, err := dev.AtOperatingPoint(dvfs.OperatingPoint{FreqHz: 850e6}); !errors.Is(err, dvfs.ErrOffCurve) {
+		t.Errorf("850 MHz error = %v, want ErrOffCurve", err)
+	}
+	// Right frequency, wrong voltage.
+	if _, err := dev.AtOperatingPoint(dvfs.OperatingPoint{FreqHz: 800e6, Voltage: 1.0}); !errors.Is(err, dvfs.ErrOffCurve) {
+		t.Errorf("800 MHz @ 1.0 V error = %v, want ErrOffCurve", err)
+	}
+}
+
+// TestReclockedSiliconDirections pins the hidden model's frequency
+// behavior: at a lower point the dynamic per-event costs drop (V²), the
+// idle power drops (leakage + clock tree run below nominal), and a
+// fixed workload takes longer in wall time.
+func TestReclockedSiliconDirections(t *testing.T) {
+	dev := NewK40()
+	low, err := dev.AtOperatingPoint(dvfs.OperatingPoint{FreqHz: 600e6, Voltage: 0.80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.ClockHz() != 600e6 {
+		t.Errorf("reclocked ClockHz = %g, want 600e6", low.ClockHz())
+	}
+	if low.IdlePowerReading() >= dev.IdlePowerReading() {
+		t.Errorf("idle power %g at 600 MHz, want below nominal %g", low.IdlePowerReading(), dev.IdlePowerReading())
+	}
+	app := computeApp("reclock", 32, 1, 1)
+	nm, err := dev.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := low.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomSecs := float64(nm.Result.Counts.Cycles) / dev.ClockHz()
+	lowSecs := float64(lm.Result.Counts.Cycles) / low.ClockHz()
+	if lowSecs <= nomSecs {
+		t.Errorf("wall time %g s at 600 MHz, want above nominal %g s", lowSecs, nomSecs)
+	}
+	// Compute-bound work at 0.80 V: dynamic energy falls faster than
+	// the stretched runtime grows the (now smaller) constant term.
+	if lm.TrueJoules >= nm.TrueJoules {
+		t.Errorf("true energy %g J at 600 MHz, want below nominal %g J", lm.TrueJoules, nm.TrueJoules)
+	}
+
+	high, err := dev.AtOperatingPoint(dvfs.OperatingPoint{FreqHz: 1200e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.IdlePowerReading() <= dev.IdlePowerReading() {
+		t.Errorf("idle power %g at 1200 MHz, want above nominal %g", high.IdlePowerReading(), dev.IdlePowerReading())
 	}
 }

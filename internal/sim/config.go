@@ -13,15 +13,29 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"gpujoule/internal/interconnect"
 )
 
-// ClockHz is the module clock. At 1 GHz one cycle is one nanosecond, so
-// bandwidths in bytes/cycle are numerically equal to GB/s.
-const ClockHz = 1e9
+// NominalClockHz is the nominal module clock (the operating point the
+// paper evaluates at). At 1 GHz one cycle is one nanosecond, so
+// bandwidths in bytes/cycle are numerically equal to GB/s. A Config
+// with a zero ClockHz runs here.
+const NominalClockHz = 1e9
 
-// Architectural latencies in cycles (Kepler-class, 1 GHz).
+// NominalVoltage is the supply voltage at the nominal operating point,
+// in volts. A Config with a zero VoltageV runs here. Voltage never
+// affects simulated performance — it only prices energy (see
+// internal/dvfs) — which is why, like Domain, it is normalized out of
+// SimKey.
+const NominalVoltage = 1.0
+
+// Architectural latencies in cycles (Kepler-class, at the nominal
+// 1 GHz clock). The L1/L2/shared/store latencies are core-clocked
+// pipeline depths: fixed in cycles at any frequency. latDRAM is the
+// DRAM access time, fixed in wall time (250 ns), so a GPU at a
+// non-nominal clock sees it scaled into its own cycles (see newGPU).
 const (
 	latL1Hit  = 32
 	latL2Hit  = 160
@@ -208,6 +222,20 @@ type Config struct {
 	MaxCTAsPerSM int `json:"max_ctas_per_sm"`
 	// EpochCycles bounds cross-SM event reordering (default 2000).
 	EpochCycles float64 `json:"epoch_cycles"`
+	// ClockHz is the core clock of every module, in Hz; 0 selects the
+	// nominal 1 GHz clock, keeping legacy configs (and their JSON
+	// serialization and SimKeys) unchanged. The memory system and the
+	// inter-GPM fabric are fixed in wall time, so a slower core clock
+	// shortens their latencies in cycles and raises their bytes per
+	// core cycle — which is what makes memory-bound workloads nearly
+	// frequency-insensitive (the DVFS sweet-spot mechanism). Construct
+	// non-nominal configs through dvfs.Apply so the clock stays on the
+	// architecture's V/f curve.
+	ClockHz float64 `json:"clock_hz,omitempty"`
+	// VoltageV is the supply voltage in volts; 0 selects the nominal
+	// 1.00 V. Voltage prices energy only (dynamic terms scale with V²,
+	// see internal/dvfs); the performance simulator never reads it.
+	VoltageV float64 `json:"voltage_v,omitempty"`
 }
 
 // BaseGPM returns the basic GPU module configuration of §V-A1
@@ -241,11 +269,15 @@ var TableIIIGPMCounts = []int{1, 2, 4, 8, 16, 32}
 
 // Name returns a short descriptive name for the configuration.
 func (c Config) Name() string {
+	suffix := ""
+	if c.Clock() != NominalClockHz {
+		suffix = fmt.Sprintf("@%gMHz", c.Clock()/1e6)
+	}
 	if c.Monolithic {
-		return fmt.Sprintf("monolithic-%dx", c.GPMs)
+		return fmt.Sprintf("monolithic-%dx%s", c.GPMs, suffix)
 	}
 	if c.GPMs == 1 {
-		return "1-GPM"
+		return "1-GPM" + suffix
 	}
 	name := fmt.Sprintf("%d-GPM/%s/%s/%s", c.GPMs, c.InterGPM, c.Topology, c.Domain)
 	if c.L2 == L2MemorySide {
@@ -257,7 +289,7 @@ func (c Config) Name() string {
 	if c.ForceStripedPages {
 		name += "/striped-pages"
 	}
-	return name
+	return name + suffix
 }
 
 // TotalSMs returns the total SM count.
@@ -278,10 +310,19 @@ func (c Config) SimKey() string {
 	if c.GPMs == 1 || c.Monolithic {
 		bw, topo = "-", "-"
 	}
-	return fmt.Sprintf("g%d/s%d/l1=%d/l2=%d/dram=%g/bw=%s/topo=%s/mono=%t/l2p=%s/cta=%s/striped=%t/ctas=%d/epoch=%g",
+	key := fmt.Sprintf("g%d/s%d/l1=%d/l2=%d/dram=%g/bw=%s/topo=%s/mono=%t/l2p=%s/cta=%s/striped=%t/ctas=%d/epoch=%g",
 		c.GPMs, c.SMsPerGPM, c.L1PerSMBytes, c.L2PerGPMBytes, c.DRAMBytesPerCycle,
 		bw, topo, c.Monolithic, c.L2, c.CTASchedule, c.ForceStripedPages,
 		c.maxCTAs(), c.epoch())
+	// The clock changes simulated timing, so an explicitly clocked
+	// config — even one pinned to the nominal frequency — never shares
+	// a cache entry with a legacy zero-clock config. The segment is
+	// appended only when set, keeping every pre-DVFS key (and every
+	// content-addressed cache built on it) byte-identical.
+	if c.ClockHz != 0 {
+		key += fmt.Sprintf("/clk=%g", c.ClockHz)
+	}
+	return key
 }
 
 // InterGPMBytesPerCycle returns the per-GPM I/O bandwidth in
@@ -306,6 +347,40 @@ func (c Config) epoch() float64 {
 	return c.EpochCycles
 }
 
+// Clock returns the effective core clock in Hz (the nominal 1 GHz when
+// ClockHz is zero).
+func (c Config) Clock() float64 {
+	if c.ClockHz == 0 {
+		return NominalClockHz
+	}
+	return c.ClockHz
+}
+
+// Voltage returns the effective supply voltage in volts (the nominal
+// 1.00 V when VoltageV is zero).
+func (c Config) Voltage() float64 {
+	if c.VoltageV == 0 {
+		return NominalVoltage
+	}
+	return c.VoltageV
+}
+
+// clockScale is the effective clock as a fraction of nominal. One core
+// cycle spans 1/clockScale nominal cycles of wall time, so wall-fixed
+// quantities (DRAM latency, fabric hops, host gaps) convert to core
+// cycles by multiplying with it, and wall-fixed bandwidths convert to
+// bytes per core cycle by dividing by it. At the nominal clock every
+// conversion multiplies or divides by exactly 1.0, so the nominal
+// simulation is bit-identical to the pre-DVFS one.
+func (c Config) clockScale() float64 { return c.Clock() / NominalClockHz }
+
+// DRAMBytesPerCoreCycle returns the per-GPM local DRAM bandwidth in
+// bytes per core cycle: HBM bandwidth is fixed in wall time, so a
+// slower core clock sees more bytes land per cycle.
+func (c Config) DRAMBytesPerCoreCycle() float64 {
+	return c.DRAMBytesPerCycle / c.clockScale()
+}
+
 // Typed validation errors. Validate wraps these with the offending
 // values, so callers can branch with errors.Is and print an actionable
 // usage message instead of parsing error text.
@@ -318,6 +393,13 @@ var (
 	ErrBadCacheSize = errors.New("cache sizes must be positive")
 	// ErrBadBandwidth reports a non-positive DRAM bandwidth.
 	ErrBadBandwidth = errors.New("DRAM bandwidth must be positive")
+	// ErrBadFrequency reports a negative or non-finite core clock
+	// (0 means the nominal 1 GHz; positive values pick an explicit
+	// operating point — use dvfs.Apply to stay on the V/f curve).
+	ErrBadFrequency = errors.New("clock frequency must be positive (0 = nominal 1 GHz)")
+	// ErrBadVoltage reports a negative or non-finite supply voltage
+	// (0 means the nominal 1.00 V).
+	ErrBadVoltage = errors.New("supply voltage must be positive (0 = nominal 1.00 V)")
 )
 
 // Validate checks the configuration for structural errors. Every
@@ -336,6 +418,12 @@ func (c Config) Validate() error {
 	if c.DRAMBytesPerCycle <= 0 {
 		return fmt.Errorf("sim: config DRAMBytesPerCycle=%g: %w",
 			c.DRAMBytesPerCycle, ErrBadBandwidth)
+	}
+	if c.ClockHz < 0 || math.IsNaN(c.ClockHz) || math.IsInf(c.ClockHz, 0) {
+		return fmt.Errorf("sim: config ClockHz=%g: %w", c.ClockHz, ErrBadFrequency)
+	}
+	if c.VoltageV < 0 || math.IsNaN(c.VoltageV) || math.IsInf(c.VoltageV, 0) {
+		return fmt.Errorf("sim: config VoltageV=%g: %w", c.VoltageV, ErrBadVoltage)
 	}
 	return nil
 }

@@ -1,0 +1,203 @@
+package sim_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpujoule/internal/isa"
+	"gpujoule/internal/sim"
+	"gpujoule/internal/trace"
+)
+
+// dvfsApp exercises every clock-sensitive path: DRAM fills (latency and
+// bandwidth), a multi-GPM fabric (hop latency and link bandwidth), an
+// L2 hit stream (core-clocked, must NOT move), and host gaps.
+func dvfsApp() *trace.App {
+	k := &trace.Kernel{
+		Name:        "dvfs-mix",
+		Grid:        24,
+		WarpsPerCTA: 8,
+		Iters:       6,
+		Body: []trace.Inst{
+			{Op: isa.OpLoadGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatShared, Lines: 2}},
+			{Op: isa.OpFFMA32, Times: 4},
+			{Op: isa.OpLoadShared},
+			{Op: isa.OpBarrier},
+			{Op: isa.OpStoreGlobal, Mem: &trace.MemAccess{Region: 0, Pattern: trace.PatOwn}},
+		},
+	}
+	return &trace.App{
+		Name:          "dvfs-golden",
+		Category:      trace.CategoryMemory,
+		Regions:       []trace.Region{{Name: "a", Bytes: 8 << 20, Home: trace.HomeStriped}},
+		HostGapCycles: 100,
+		Launches:      []trace.Launch{{Kernel: k, Count: 2}},
+	}
+}
+
+func runJSON(t *testing.T, cfg sim.Config) []byte {
+	t.Helper()
+	res, err := sim.Simulate(context.Background(), cfg, dvfsApp(), sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestNominalByteIdentityGolden pins the nominal operating point's
+// output bytes against a checked-in digest: the DVFS threading must be
+// the exact identity at 1 GHz. Regenerate (only after proving the
+// change is intentional) with
+//
+//	UPDATE_DVFS_GOLDEN=1 go test ./internal/sim/ -run TestNominalByteIdentityGolden
+func TestNominalByteIdentityGolden(t *testing.T) {
+	b := runJSON(t, sim.MultiGPM(4, sim.BW2x))
+	sum := sha256.Sum256(b)
+	got := hex.EncodeToString(sum[:]) + "\n"
+	golden := filepath.Join("testdata", "dvfs_nominal.sha256")
+
+	if os.Getenv("UPDATE_DVFS_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("no golden digest (%v); generate with UPDATE_DVFS_GOLDEN=1", err)
+	}
+	if got != string(want) {
+		t.Errorf("nominal simulation output drifted: sha256 %s, want %s"+
+			"\nThe nominal operating point must stay byte-identical; if this change is"+
+			"\ndeliberate, regenerate with UPDATE_DVFS_GOLDEN=1", strings.TrimSpace(got), strings.TrimSpace(string(want)))
+	}
+}
+
+// TestExplicitNominalMatchesZeroConfig proves the explicit 1 GHz / 1 V
+// stamp simulates identically to the legacy zero-field config (the two
+// deliberately keep distinct SimKeys, but every counter, launch, and
+// sample must agree bit-for-bit).
+func TestExplicitNominalMatchesZeroConfig(t *testing.T) {
+	zero := sim.MultiGPM(4, sim.BW2x)
+	explicit := zero
+	explicit.ClockHz = sim.NominalClockHz
+	explicit.VoltageV = sim.NominalVoltage
+
+	if zero.SimKey() == explicit.SimKey() {
+		t.Error("explicit nominal must keep its own SimKey (Result.Config serialization differs)")
+	}
+
+	rz, err := sim.Simulate(context.Background(), zero, dvfsApp(), sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := sim.Simulate(context.Background(), explicit, dvfsApp(), sim.WithCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare everything except the Config stamp itself.
+	re.Config = rz.Config
+	bz, _ := json.MarshalIndent(rz, "", " ")
+	be, _ := json.MarshalIndent(re, "", " ")
+	if string(bz) != string(be) {
+		t.Error("explicit 1 GHz / 1.00 V simulation differs from the zero-field config")
+	}
+	if rz.Seconds() != re.Seconds() {
+		t.Errorf("Seconds: %g vs %g", rz.Seconds(), re.Seconds())
+	}
+}
+
+// TestClockScalingDirections pins the simulator-side physics of a lower
+// clock: the same work takes fewer core cycles (wall-fixed memory costs
+// shrink in cycle units) but strictly more wall time, and the
+// instruction/transaction counts are identical (the clock changes
+// timing, not work).
+func TestClockScalingDirections(t *testing.T) {
+	nom := sim.MultiGPM(4, sim.BW2x)
+	low := nom
+	low.ClockHz = 600e6
+	low.VoltageV = 0.80
+
+	rn, err := sim.Simulate(context.Background(), nom, dvfsApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := sim.Simulate(context.Background(), low, dvfsApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Counts.Inst != rn.Counts.Inst || rl.Counts.Txn != rn.Counts.Txn {
+		t.Error("operating point must not change the work performed")
+	}
+	if rl.Cycles() >= rn.Cycles() {
+		t.Errorf("cycles at 600 MHz = %g, want below nominal %g (DRAM/fabric cost fewer core cycles)",
+			rl.Cycles(), rn.Cycles())
+	}
+	if rl.Seconds() <= rn.Seconds() {
+		t.Errorf("wall time at 600 MHz = %g s, want above nominal %g s", rl.Seconds(), rn.Seconds())
+	}
+}
+
+func TestValidateOperatingPointSentinels(t *testing.T) {
+	cfg := sim.MultiGPM(2, sim.BW2x)
+	cfg.ClockHz = -1
+	if err := cfg.Validate(); !isErr(err, sim.ErrBadFrequency) {
+		t.Errorf("negative clock: %v, want ErrBadFrequency", err)
+	}
+	cfg = sim.MultiGPM(2, sim.BW2x)
+	cfg.VoltageV = -0.5
+	if err := cfg.Validate(); !isErr(err, sim.ErrBadVoltage) {
+		t.Errorf("negative voltage: %v, want ErrBadVoltage", err)
+	}
+	cfg = sim.MultiGPM(2, sim.BW2x)
+	cfg.ClockHz = 800e6
+	cfg.VoltageV = 0.9
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid operating point rejected: %v", err)
+	}
+}
+
+func isErr(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// TestSimKeyAndNameCarryOperatingPoint covers the cache-key satellite:
+// two frequencies of the same grid point must never share a key.
+func TestSimKeyAndNameCarryOperatingPoint(t *testing.T) {
+	base := sim.MultiGPM(4, sim.BW2x)
+	a, b := base, base
+	a.ClockHz = 800e6
+	b.ClockHz = 1200e6
+	if a.SimKey() == b.SimKey() || a.SimKey() == base.SimKey() {
+		t.Errorf("SimKeys must be distinct: %q / %q / %q", base.SimKey(), a.SimKey(), b.SimKey())
+	}
+	if !strings.Contains(a.Name(), "@800MHz") {
+		t.Errorf("Name %q should carry the operating point", a.Name())
+	}
+	if strings.Contains(base.Name(), "@") {
+		t.Errorf("nominal Name %q must stay unchanged", base.Name())
+	}
+}

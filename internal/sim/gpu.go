@@ -50,6 +50,15 @@ type GPU struct {
 	// is the optional shared parallelism budget extra lanes draw from.
 	par    int
 	budget *Budget
+
+	// Clock-domain conversions (see Config.clockScale): the DRAM access
+	// latency and inter-GPM hop latency are fixed in wall time, so in
+	// core cycles they scale with the clock, as does the host-side
+	// inter-launch gap. At the nominal clock all three equal the
+	// historical constants exactly.
+	clkScale float64
+	latDRAM  float64
+	hopLat   float64
 }
 
 // gpmShard is one GPM's slice of the launch-wide counters. Every
@@ -166,10 +175,13 @@ func newGPU(cfg Config, app *trace.App, o simOptions) (*GPU, error) {
 	}
 
 	g := &GPU{
-		cfg:   cfg,
-		pages: memsys.NewPageTable(phys.GPMs),
-		app:   app,
+		cfg:      cfg,
+		pages:    memsys.NewPageTable(phys.GPMs),
+		app:      app,
+		clkScale: cfg.clockScale(),
 	}
+	g.latDRAM = latDRAM * g.clkScale
+	g.hopLat = interconnect.HopLatency * g.clkScale
 
 	// Region layout: page-aligned, disjoint, deterministic. The layout
 	// is contiguous from layoutBase, so the page table serves the whole
@@ -200,7 +212,7 @@ func newGPU(cfg Config, app *trace.App, o simOptions) (*GPU, error) {
 	}
 
 	if phys.GPMs > 1 {
-		g.fabric = interconnect.New(cfg.Topology, phys.GPMs, cfg.InterGPMBytesPerCycle())
+		g.fabric = interconnect.NewAtClock(cfg.Topology, phys.GPMs, cfg.InterGPMBytesPerCycle(), g.clkScale)
 	}
 
 	for i := 0; i < phys.GPMs; i++ {
@@ -212,7 +224,7 @@ func newGPU(cfg Config, app *trace.App, o simOptions) (*GPU, error) {
 			id:   i,
 			l2:   l2,
 			l2bw: memsys.NewBWResource(fmt.Sprintf("l2[%d]", i), 2*phys.DRAMBytesPerCycle),
-			dram: memsys.NewBWResource(fmt.Sprintf("dram[%d]", i), phys.DRAMBytesPerCycle),
+			dram: memsys.NewBWResource(fmt.Sprintf("dram[%d]", i), phys.DRAMBytesPerCycle/g.clkScale),
 		}
 		for s := 0; s < phys.SMsPerGPM; s++ {
 			l1, err := memsys.NewCache(phys.L1PerSMBytes, 4)
@@ -478,7 +490,7 @@ func (g *GPU) runLaunch(k *trace.Kernel) error {
 	if gap <= 0 {
 		gap = hostGapCycles
 	}
-	g.time = eng.end + gap
+	g.time = eng.end + gap*g.clkScale
 	return nil
 }
 
@@ -701,7 +713,7 @@ func (g *GPU) fillModuleSide(gpm *gpmState, t float64, addr uint64, isStore bool
 		if g.col != nil {
 			g.col.GPMs[gpm.id].LocalFills++
 		}
-		return homeDRAM.Acquire(t2, isa.LineBytes) + latDRAM
+		return homeDRAM.Acquire(t2, isa.LineBytes) + g.latDRAM
 	}
 	sh.remoteFills++
 	gpm.l2HasRemote = true
@@ -713,13 +725,13 @@ func (g *GPU) fillModuleSide(gpm *gpmState, t float64, addr uint64, isStore bool
 		// home DRAM.
 		tr := g.fabric.Send(t2, gpm.id, home, isa.LineBytes)
 		g.chargeFabric(sh, tr)
-		return homeDRAM.Acquire(tr.Done, isa.LineBytes) + latDRAM
+		return homeDRAM.Acquire(tr.Done, isa.LineBytes) + g.latDRAM
 	}
 	// The request header rides to the home module (latency only), the
 	// line is read from the home DRAM, and the data returns over the
 	// fabric, consuming link bandwidth.
-	reqLat := float64(g.fabric.Hops(gpm.id, home)) * interconnect.HopLatency
-	dramDone := homeDRAM.Acquire(t2+reqLat, isa.LineBytes) + latDRAM
+	reqLat := float64(g.fabric.Hops(gpm.id, home)) * g.hopLat
+	dramDone := homeDRAM.Acquire(t2+reqLat, isa.LineBytes) + g.latDRAM
 	tr := g.fabric.Send(dramDone, home, gpm.id, isa.LineBytes)
 	g.chargeFabric(sh, tr)
 	return tr.Done
@@ -745,7 +757,7 @@ func (g *GPU) fillMemorySide(gpm *gpmState, t float64, addr uint64, isStore bool
 		arrive = tr.Done
 	} else if home != gpm.id {
 		// Request header crosses the fabric (latency only).
-		arrive = t + float64(g.fabric.Hops(gpm.id, home))*interconnect.HopLatency
+		arrive = t + float64(g.fabric.Hops(gpm.id, home))*g.hopLat
 	}
 
 	sh.l2Accesses++
@@ -780,7 +792,7 @@ func (g *GPU) fillMemorySide(gpm *gpmState, t float64, addr uint64, isStore bool
 				g.col.GPMs[gpm.id].RemoteFills++
 			}
 		}
-		ready = homeGPM.dram.Acquire(t2, isa.LineBytes) + latDRAM
+		ready = homeGPM.dram.Acquire(t2, isa.LineBytes) + g.latDRAM
 	}
 	if home == gpm.id || isStore {
 		return ready

@@ -119,3 +119,33 @@ func BenchmarkGPMParallelEpoch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDVFSScaledSim measures a full 4-GPM memory-heavy simulation
+// at the nominal clock and reclocked to the slowest K40 curve point.
+// The clock domain split rescales every wall-clock-fixed latency and
+// bandwidth once at config time, so the scaled run must cost the same
+// per simulated instruction as the nominal one — a regression here
+// means frequency handling leaked into the per-access hot path.
+func BenchmarkDVFSScaledSim(b *testing.B) {
+	app := memApp(32, 4, 16)
+	for _, bc := range []struct {
+		name    string
+		clockHz float64
+	}{
+		{"nominal", 0},
+		{"600MHz", 600e6},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := MultiGPM(4, BW2x)
+			cfg.ClockHz = bc.clockHz
+			if bc.clockHz != 0 {
+				cfg.VoltageV = 0.80
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(context.Background(), cfg, app); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

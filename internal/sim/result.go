@@ -66,7 +66,7 @@ type Result struct {
 func (r *Result) Cycles() float64 { return float64(r.Counts.Cycles) }
 
 // Seconds returns the end-to-end execution time in seconds.
-func (r *Result) Seconds() float64 { return r.Cycles() / ClockHz }
+func (r *Result) Seconds() float64 { return r.Cycles() / r.Config.Clock() }
 
 // L1HitRate returns the run-wide L1 hit rate.
 func (r *Result) L1HitRate() float64 { return hitRate(r.L1Accesses, r.L1Misses) }

@@ -167,7 +167,7 @@ func (g *GPU) finishCounters() {
 	}
 	g.res.Counters = g.col.Snapshot(links)
 	if g.col.TraceEnabled() {
-		g.res.Trace = g.col.TraceSnapshot(ClockHz)
+		g.res.Trace = g.col.TraceSnapshot(g.cfg.Clock())
 	}
 }
 

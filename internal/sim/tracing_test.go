@@ -28,8 +28,8 @@ func TestTraceTimelineMatchesLaunches(t *testing.T) {
 	if tr.SchemaVersion != obs.SchemaVersion {
 		t.Errorf("trace schema version = %d, want %d", tr.SchemaVersion, obs.SchemaVersion)
 	}
-	if tr.ClockHz != sim.ClockHz {
-		t.Errorf("trace clock = %g, want %g", tr.ClockHz, sim.ClockHz)
+	if tr.ClockHz != sim.NominalClockHz {
+		t.Errorf("trace clock = %g, want %g", tr.ClockHz, sim.NominalClockHz)
 	}
 	if len(tr.Launches) != len(res.Launches) {
 		t.Fatalf("trace has %d launches, result has %d", len(tr.Launches), len(res.Launches))

@@ -33,7 +33,7 @@ run_benches() {
   # Fast memsys ops need many iterations to stabilize; the sim epoch
   # benchmarks are ~ms/op so 100 iterations suffice.
   go test -run '^$' -count 3 -benchtime 100x \
-    -bench 'BenchmarkSMAdvance|BenchmarkGPMParallelEpoch' ./internal/sim/
+    -bench 'BenchmarkSMAdvance|BenchmarkGPMParallelEpoch|BenchmarkDVFSScaledSim' ./internal/sim/
   go test -run '^$' -count 3 -benchtime 100000x \
     -bench 'BenchmarkPageTableHome|BenchmarkBWAcquire|BenchmarkCacheAccess' ./internal/memsys/
 }

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke-test the DVFS layer end to end at a heavily scaled-down app
+# size:
+#   1. run the sweet-spot study (per-app min-EDP operating point over
+#      the whole K40 V/f curve) and assert every chosen point lies on
+#      the curve with a non-negative EDP gain;
+#   2. run the energy-roofline study and assert it emits rows for
+#      every curve point with positive ops/J;
+#   3. run a fixed-frequency sweep with the per-point frequency
+#      columns enabled and assert the stamped columns match -freq;
+#   4. assert byte identity at the nominal point: `sweep` with no
+#      DVFS flags and `sweep -freq 1000` must render identical CSVs.
+#
+# Artifacts (study tables + CSVs) land in the workdir so CI can
+# upload them for eyeballing trends across PRs.
+#
+# Usage: scripts/dvfs_smoke.sh [workdir]   (default: a fresh mktemp dir)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+SCALE=0.03
+
+go build -o "$WORK/paper" ./cmd/paper
+go build -o "$WORK/sweep" ./cmd/sweep
+
+echo "== sweet-spot study (scale $SCALE) =="
+"$WORK/paper" -scale "$SCALE" -only sweetspot | tee "$WORK/sweetspot.txt"
+grep -q 'MHz' "$WORK/sweetspot.txt"
+# Every chosen point must be one of the seven curve frequencies.
+if grep -oE '@[0-9]+MHz' "$WORK/sweetspot.txt" |
+    grep -vE '@(600|700|800|900|1000|1100|1200)MHz'; then
+    echo "dvfs_smoke: off-curve operating point in sweet-spot table" >&2
+    exit 1
+fi
+
+echo "== energy-roofline study (scale $SCALE) =="
+"$WORK/paper" -scale "$SCALE" -only roofline | tee "$WORK/roofline.txt"
+grep -q 'ops/J' "$WORK/roofline.txt"
+
+echo "== fixed-frequency sweep with frequency columns =="
+"$WORK/sweep" -workloads Stream,RSBench -gpms 1,2 -bw 2x -scale "$SCALE" \
+    -freq 800 -freq-cols -o "$WORK/sweep_800.csv"
+head -1 "$WORK/sweep_800.csv" | grep -q 'freq_mhz,voltage_v'
+# Every data row must carry the stamped 800 MHz / 0.90 V point.
+if awk -F, 'NR > 1 && ($(NF-1) != 800 || $NF != 0.90) { bad = 1 }
+    END { exit bad }' "$WORK/sweep_800.csv"; then
+    echo "frequency columns stamped correctly"
+else
+    echo "dvfs_smoke: bad freq/voltage columns in sweep_800.csv" >&2
+    exit 1
+fi
+
+echo "== nominal byte identity =="
+"$WORK/sweep" -workloads Stream -gpms 1,2 -bw 2x -scale "$SCALE" \
+    -o "$WORK/sweep_nominal.csv"
+"$WORK/sweep" -workloads Stream -gpms 1,2 -bw 2x -scale "$SCALE" \
+    -freq 1000 -o "$WORK/sweep_1000.csv"
+cmp "$WORK/sweep_nominal.csv" "$WORK/sweep_1000.csv"
+
+echo "dvfs_smoke: OK (artifacts in $WORK)"
